@@ -1,0 +1,190 @@
+// Ablations of GAugur's design choices (DESIGN.md):
+//  1. Aggregate-intensity transform: the paper's Eq. 5 <|G|, mean, var>
+//     vs naive per-resource sums (the Paragon assumption) vs mean-only.
+//  2. Sensitivity-grid granularity k: profiling cost vs RM accuracy.
+//  3. Training-corpus mixture: pairs-only training vs mixed sizes,
+//     evaluated on 4-game colocations (extrapolation ability).
+//  4. Victim-side feature block: with vs without our V^A extension.
+
+#include <iostream>
+
+#include "bench/bench_world.h"
+#include "bench/eval_util.h"
+#include "common/table.h"
+#include "common/thread_pool.h"
+#include "gaugur/training.h"
+#include "ml/factory.h"
+#include "ml/metrics.h"
+#include "profiling/profiler.h"
+
+using namespace gaugur;
+using resources::Resource;
+
+namespace {
+
+constexpr std::size_t kTrainSamples = 1000;
+
+/// Builds an RM dataset with a configurable aggregate transform and an
+/// optional victim block, from raw test samples.
+enum class Aggregate { kPaperMeanVar, kSum, kMeanOnly };
+
+std::vector<double> BuildFeatures(const core::FeatureBuilder& features,
+                                  const core::SessionRequest& victim,
+                                  std::span<const core::SessionRequest> co,
+                                  Aggregate aggregate, bool victim_block) {
+  std::vector<double> x;
+  const auto& profile = features.Profile(victim.game_id);
+  for (const auto& curve : profile.sensitivity) {
+    x.insert(x.end(), curve.degradation.begin(), curve.degradation.end());
+  }
+  if (victim_block) {
+    x.push_back(victim.resolution.Megapixels());
+    x.push_back(profile.SoloFps(victim.resolution));
+    for (Resource r : resources::kAllResources) {
+      x.push_back(profile.IntensityAt(r, victim.resolution));
+    }
+  }
+  const auto agg = features.Aggregate(co);
+  switch (aggregate) {
+    case Aggregate::kPaperMeanVar:
+      agg.AppendTo(x);
+      break;
+    case Aggregate::kSum:
+      for (Resource r : resources::kAllResources) {
+        x.push_back(agg.mean[r] * agg.group_size);
+      }
+      break;
+    case Aggregate::kMeanOnly:
+      x.push_back(agg.group_size);
+      for (Resource r : resources::kAllResources) {
+        x.push_back(agg.mean[r]);
+      }
+      break;
+  }
+  return x;
+}
+
+double EvalVariant(const bench::BenchWorld& world, Aggregate aggregate,
+                   bool victim_block,
+                   bool pairs_only_training = false,
+                   std::size_t eval_size = 0) {
+  const auto& features = world.features();
+  auto build_dataset = [&](const std::vector<core::MeasuredColocation>& ms,
+                           bool pairs_only) {
+    std::size_t dim = 0;
+    {
+      const auto probe = BuildFeatures(
+          features, {0, resources::k1080p}, {}, aggregate, victim_block);
+      dim = probe.size();
+    }
+    ml::Dataset ds(dim);
+    std::vector<core::SessionRequest> co;
+    for (const auto& m : ms) {
+      if (pairs_only && m.sessions.size() != 2) continue;
+      for (std::size_t v = 0; v < m.sessions.size(); ++v) {
+        co.clear();
+        for (std::size_t j = 0; j < m.sessions.size(); ++j) {
+          if (j != v) co.push_back(m.sessions[j]);
+        }
+        ds.Add(BuildFeatures(features, m.sessions[v], co, aggregate,
+                             victim_block),
+               core::DegradationTarget(features, m.sessions[v], m.fps[v]));
+      }
+    }
+    return ds;
+  };
+
+  const auto train_full =
+      build_dataset(world.train_colocations(), pairs_only_training);
+  const auto train =
+      bench::BenchWorld::ShuffledSubset(train_full, kTrainSamples, 7);
+  auto model = ml::MakeRegressor("GBRT");
+  model->Fit(train);
+
+  const auto samples = bench::BuildTestSamples(world);
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& s : samples) {
+    if (eval_size != 0 && s.colocation_size != eval_size) continue;
+    const auto x = BuildFeatures(features, s.victim, s.corunners, aggregate,
+                                 victim_block);
+    const double pred = std::clamp(model->Predict(x), 0.01, 1.0);
+    sum += std::abs(pred - s.actual_degradation) / s.actual_degradation;
+    ++n;
+  }
+  return sum / static_cast<double>(n);
+}
+
+}  // namespace
+
+int main() {
+  const auto& world = bench::BenchWorld::Get();
+
+  {
+    common::Table table({"aggregate transform", "RM error"}, 4);
+    table.AddRow({std::string("paper Eq.5 <|G|, mean, var>"),
+                  EvalVariant(world, Aggregate::kPaperMeanVar, true)});
+    table.AddRow({std::string("mean only <|G|, mean>"),
+                  EvalVariant(world, Aggregate::kMeanOnly, true)});
+    table.AddRow({std::string("naive per-resource sum (Paragon-style)"),
+                  EvalVariant(world, Aggregate::kSum, true)});
+    table.Print(std::cout, "Ablation 1: aggregate-intensity transform");
+    bench::WriteResultCsv("ablation1_aggregate", table);
+  }
+
+  {
+    common::Table table({"victim-side block", "RM error"}, 4);
+    table.AddRow({std::string("with V^A (ours)"),
+                  EvalVariant(world, Aggregate::kPaperMeanVar, true)});
+    table.AddRow({std::string("without (paper's strict Eq. 4)"),
+                  EvalVariant(world, Aggregate::kPaperMeanVar, false)});
+    table.Print(std::cout, "Ablation 4: victim-side feature block");
+    bench::WriteResultCsv("ablation4_victim_block", table);
+  }
+
+  {
+    common::Table table(
+        {"training mixture", "error on 4-game colocations"}, 4);
+    table.AddRow({std::string("mixed sizes (paper protocol)"),
+                  EvalVariant(world, Aggregate::kPaperMeanVar, true, false,
+                              4)});
+    table.AddRow({std::string("pairs only"),
+                  EvalVariant(world, Aggregate::kPaperMeanVar, true, true,
+                              4)});
+    table.Print(std::cout, "Ablation 3: training-corpus mixture");
+    bench::WriteResultCsv("ablation3_mixture", table);
+  }
+
+  {
+    // Ablation 2: curve granularity. Re-profile at several k and retrain.
+    common::Table table(
+        {"grid k", "measurements/game", "RM error"}, 4);
+    for (int k : {2, 5, 10}) {
+      profiling::ProfilerOptions options;
+      options.pressure_granularity = k;
+      const profiling::Profiler profiler(world.server(), options);
+      core::FeatureBuilder coarse(profiler.ProfileCatalog(
+          world.catalog(), &common::ThreadPool::Global()));
+
+      const auto train_full =
+          core::BuildRmDataset(coarse, world.train_colocations());
+      const auto train =
+          bench::BenchWorld::ShuffledSubset(train_full, kTrainSamples, 7);
+      auto model = ml::MakeRegressor("GBRT");
+      model->Fit(train);
+      const auto test =
+          core::BuildRmDataset(coarse, world.test_colocations());
+      auto pred = model->PredictBatch(test);
+      for (auto& p : pred) p = std::clamp(p, 0.01, 1.0);
+      table.AddRow(
+          {static_cast<long long>(k),
+           static_cast<long long>(profiler.MeasurementsPerGame()),
+           ml::MeanRelativeError(pred, test.Targets())});
+    }
+    table.Print(std::cout,
+                "Ablation 2: sensitivity-grid granularity (profiling cost "
+                "vs accuracy)");
+    bench::WriteResultCsv("ablation2_granularity", table);
+  }
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Collaborative-filtering profiling reduction (paper §6): onboard new
+// games with a 45-measurement probe instead of the full 234-measurement
+// profile, imputing the missing sensitivity-curve interior from similar
+// reference games.
+//
+// Leave-one-out over the catalog: each game is removed from the reference
+// fleet, probed cheaply, imputed, and compared against its full profile.
+// Downstream effect: RM prediction error when every TEST victim uses an
+// imputed profile instead of a full one.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_world.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "gaugur/training.h"
+#include "ml/factory.h"
+#include "ml/metrics.h"
+#include "profiling/collaborative.h"
+
+using namespace gaugur;
+using resources::Resource;
+
+int main() {
+  const auto& world = bench::BenchWorld::Get();
+  const auto& features = world.features();
+
+  const profiling::PartialProfiler prober(world.server());
+  const profiling::Profiler full_profiler(world.server());
+  std::printf("probe cost: %zu measurements/game vs %zu for the full "
+              "profile (%.1fx cheaper)\n",
+              prober.MeasurementsPerGame(),
+              full_profiler.MeasurementsPerGame(),
+              static_cast<double>(full_profiler.MeasurementsPerGame()) /
+                  static_cast<double>(prober.MeasurementsPerGame()));
+
+  // Leave-one-out curve reconstruction error.
+  std::vector<double> curve_errors;
+  std::vector<profiling::GameProfile> imputed_all;
+  imputed_all.reserve(world.catalog().size());
+  for (std::size_t id = 0; id < world.catalog().size(); ++id) {
+    std::vector<profiling::GameProfile> reference;
+    reference.reserve(world.catalog().size() - 1);
+    for (std::size_t j = 0; j < world.catalog().size(); ++j) {
+      if (j != id) reference.push_back(features.Profile(static_cast<int>(j)));
+    }
+    const profiling::CurveImputer imputer(std::move(reference));
+    const auto probe = prober.ProbeGame(world.catalog()[id]);
+    auto imputed = imputer.Impute(probe);
+
+    const auto& truth = features.Profile(static_cast<int>(id));
+    for (Resource r : resources::kAllResources) {
+      for (std::size_t i = 0; i < 11; ++i) {
+        curve_errors.push_back(
+            std::abs(imputed.Sensitivity(r).degradation[i] -
+                     truth.Sensitivity(r).degradation[i]));
+      }
+    }
+    imputed_all.push_back(std::move(imputed));
+  }
+
+  common::Table table({"metric", "value"}, 4);
+  table.AddRow({std::string("mean |curve gap| (imputed vs full)"),
+                common::Mean(curve_errors)});
+  table.AddRow({std::string("p95 |curve gap|"),
+                common::Percentile(curve_errors, 0.95)});
+
+  // Downstream: RM trained on full profiles, evaluated with imputed
+  // victim profiles (the realistic onboarding scenario).
+  {
+    const auto rm_full =
+        core::BuildRmDataset(features, world.train_colocations());
+    const auto train = bench::BenchWorld::ShuffledSubset(rm_full, 1000, 7);
+    auto model = ml::MakeRegressor("GBRT");
+    model->Fit(train);
+
+    const core::FeatureBuilder imputed_features(imputed_all);
+    auto eval = [&](const core::FeatureBuilder& fb) {
+      std::vector<double> predicted, actual;
+      for (const auto& m : world.test_colocations()) {
+        std::vector<core::SessionRequest> corunners;
+        for (std::size_t v = 0; v < m.sessions.size(); ++v) {
+          corunners.clear();
+          for (std::size_t j = 0; j < m.sessions.size(); ++j) {
+            if (j != v) corunners.push_back(m.sessions[j]);
+          }
+          const auto x = fb.RmFeatures(m.sessions[v], corunners);
+          predicted.push_back(std::clamp(model->Predict(x), 0.01, 1.0));
+          actual.push_back(core::DegradationTarget(features, m.sessions[v],
+                                                   m.fps[v]));
+        }
+      }
+      return ml::MeanRelativeError(predicted, actual);
+    };
+    table.AddRow({std::string("RM error with full profiles"),
+                  eval(features)});
+    table.AddRow({std::string("RM error with imputed profiles"),
+                  eval(imputed_features)});
+  }
+  table.Print(std::cout,
+              "Collaborative profiling: 5x cheaper onboarding probes");
+  bench::WriteResultCsv("collaborative_profiling", table);
+  return 0;
+}

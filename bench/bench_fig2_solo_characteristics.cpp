@@ -1,0 +1,57 @@
+// Figure 2: (a) normalized CPU/GPU/memory demand and (b) solo frame rate
+// of all 100 games running alone at 1080p.
+//
+// Paper shape: demands vary widely across games and resource types
+// (motivating colocation), and solo FPS spans ~30-360 with many games far
+// above a 60 FPS QoS floor (motivating the over-provisioning argument).
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench/bench_world.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+using namespace gaugur;
+using resources::Resource;
+
+int main() {
+  const auto& world = bench::BenchWorld::Get();
+  const auto& features = world.features();
+
+  // Normalize demands to the max across games, as the paper does.
+  double max_cpu = 0.0, max_gpu = 0.0, max_mem = 0.0;
+  for (std::size_t id = 0; id < features.NumGames(); ++id) {
+    const auto& p = features.Profile(static_cast<int>(id));
+    max_cpu = std::max(max_cpu, p.solo_utilization[Resource::kCpuCore]);
+    max_gpu = std::max(max_gpu, p.solo_utilization[Resource::kGpuCore]);
+    max_mem = std::max(max_mem, p.cpu_memory + p.gpu_memory);
+  }
+
+  common::Table table(
+      {"game", "cpu demand", "gpu demand", "mem demand", "solo FPS"}, 3);
+  std::vector<double> fps_all;
+  for (std::size_t id = 0; id < features.NumGames(); ++id) {
+    const auto& p = features.Profile(static_cast<int>(id));
+    const double fps = p.SoloFps(resources::k1080p);
+    fps_all.push_back(fps);
+    table.AddRow({p.name,
+                  p.solo_utilization[Resource::kCpuCore] / max_cpu,
+                  p.solo_utilization[Resource::kGpuCore] / max_gpu,
+                  (p.cpu_memory + p.gpu_memory) / max_mem, fps});
+  }
+  table.Print(std::cout,
+              "Figure 2: solo demand and frame rate of 100 games (1080p)");
+  bench::WriteResultCsv("fig2_solo_characteristics", table);
+
+  common::Table summary({"metric", "value"}, 1);
+  summary.AddRow({std::string("min solo FPS"), common::Min(fps_all)});
+  summary.AddRow({std::string("median solo FPS"),
+                  common::Percentile(fps_all, 0.5)});
+  summary.AddRow({std::string("max solo FPS"), common::Max(fps_all)});
+  const auto above60 = static_cast<long long>(std::count_if(
+      fps_all.begin(), fps_all.end(), [](double f) { return f > 60.0; }));
+  summary.AddRow({std::string("games above 60 FPS solo"), above60});
+  summary.Print(std::cout, "Figure 2b summary");
+  return 0;
+}

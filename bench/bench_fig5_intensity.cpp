@@ -1,0 +1,68 @@
+// Figure 5: intensity (mean pressure-benchmark slowdown minus one) of the
+// six representative games on each shared resource.
+//
+// Paper shape (Observation 2): intensity is NOT the mirror of
+// sensitivity — e.g. Granado Espada is very sensitive to GPU-CE but puts
+// little pressure on it.
+
+#include <iostream>
+
+#include "bench/bench_world.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+using namespace gaugur;
+using resources::Resource;
+
+int main() {
+  const auto& world = bench::BenchWorld::Get();
+  const char* games[] = {"Dota2",
+                         "Far Cry 4",
+                         "Granado Espada",
+                         "Rise of The Tomb Raider",
+                         "The Elder Scrolls 5",
+                         "World of Warcraft"};
+
+  std::vector<std::string> headers = {"game"};
+  for (Resource r : resources::kAllResources) {
+    headers.emplace_back(resources::Name(r));
+  }
+  common::Table table(headers, 3);
+  for (const char* name : games) {
+    const auto& profile =
+        world.features().Profile(world.catalog().ByName(name).id);
+    std::vector<common::Cell> row{std::string(name)};
+    for (Resource r : resources::kAllResources) {
+      row.emplace_back(profile.intensity_ref[r]);
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout, "Figure 5: intensity of selected games (1080p)");
+  bench::WriteResultCsv("fig5_intensity", table);
+
+  // Observation 2: sensitivity and intensity are decoupled. Report the
+  // correlation between (1 - sensitivity score) and intensity across all
+  // games and resources — weak correlation = decoupled.
+  std::vector<double> sens_amount, intensity;
+  for (std::size_t id = 0; id < world.features().NumGames(); ++id) {
+    const auto& p = world.features().Profile(static_cast<int>(id));
+    for (Resource r : resources::kAllResources) {
+      sens_amount.push_back(1.0 - p.Sensitivity(r).Score());
+      intensity.push_back(p.intensity_ref[r]);
+    }
+  }
+  std::printf(
+      "\nObs2: correlation(sensitivity amount, intensity) across all games "
+      "and resources = %.3f\n(low correlation confirms the two must be "
+      "profiled separately).\n",
+      common::PearsonCorrelation(sens_amount, intensity));
+
+  const auto& ge =
+      world.features().Profile(world.catalog().ByName("Granado Espada").id);
+  std::printf(
+      "Obs2 showcase: Granado Espada GPU-CE sensitivity score %.2f "
+      "(very sensitive) yet GPU-CE intensity only %.2f.\n",
+      ge.Sensitivity(Resource::kGpuCore).Score(),
+      ge.intensity_ref[Resource::kGpuCore]);
+  return 0;
+}

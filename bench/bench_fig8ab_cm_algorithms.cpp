@@ -1,0 +1,72 @@
+// Figures 8a/8b: CM prediction accuracy vs number of training samples for
+// DTC, GBDT, RF and SVC, at QoS requirements of 60 FPS (8a) and 50 FPS
+// (8b).
+//
+// Paper shape: accuracy rises with training data; GBDT reaches ~95% at
+// 1000 samples and leads the other algorithms at both QoS levels.
+
+#include <iostream>
+
+#include "bench/bench_world.h"
+#include "common/table.h"
+#include "gaugur/training.h"
+#include "ml/factory.h"
+#include "ml/metrics.h"
+
+using namespace gaugur;
+
+namespace {
+
+void RunAtQos(const bench::BenchWorld& world, double qos,
+              const char* figure, const char* csv) {
+  const auto cm_full = core::BuildCmDataset(
+      world.features(), world.train_colocations(), qos);
+  const auto cm_test = core::BuildCmDataset(
+      world.features(), world.test_colocations(), qos);
+  std::vector<int> actual;
+  for (double y : cm_test.Targets()) actual.push_back(y > 0.5 ? 1 : 0);
+
+  std::vector<std::size_t> sample_counts = {400, 600, 800, 1000};
+  if (world.fast_mode()) sample_counts = {200, 400};
+
+  // Each cell averages three training draws/seeds (see fig7a).
+  const std::vector<std::uint64_t> seeds = {13, 14, 15};
+  common::Table table({"samples", "DTC", "GBDT", "RF", "SVC"}, 4);
+  double gbdt_at_max = 0.0;
+  for (std::size_t n : sample_counts) {
+    std::vector<common::Cell> row;
+    long long rows_used = 0;
+    for (const auto& name : ml::ClassifierNames()) {
+      double acc_sum = 0.0;
+      for (std::uint64_t seed : seeds) {
+        const auto train = bench::BenchWorld::ShuffledSubset(cm_full, n, seed);
+        rows_used = static_cast<long long>(train.NumRows());
+        auto model = ml::MakeClassifier(name, 23 + seed);
+        model->Fit(train);
+        acc_sum += ml::Accuracy(model->PredictBatch(cm_test), actual);
+      }
+      const double acc = acc_sum / static_cast<double>(seeds.size());
+      row.emplace_back(acc);
+      if (name == "GBDT" && n == sample_counts.back()) gbdt_at_max = acc;
+    }
+    row.insert(row.begin(), common::Cell{rows_used});
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout, figure);
+  bench::WriteResultCsv(csv, table);
+  std::printf("GBDT at max samples, QoS %.0f: %.1f%% (paper: ~95%%)\n", qos,
+              100.0 * gbdt_at_max);
+}
+
+}  // namespace
+
+int main() {
+  const auto& world = bench::BenchWorld::Get();
+  RunAtQos(world, 60.0,
+           "Figure 8a: CM accuracy vs training samples (QoS = 60 FPS)",
+           "fig8a_cm_algorithms_qos60");
+  RunAtQos(world, 50.0,
+           "Figure 8b: CM accuracy vs training samples (QoS = 50 FPS)",
+           "fig8b_cm_algorithms_qos50");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 8c: classification accuracy of GAugur(CM) vs GAugur(RM)
+// thresholded, vs Sigmoid and SMiTe (both thresholded), overall and by
+// colocation size, at QoS 60 FPS.
+//
+// Paper shape: CM best (~95%); RM-as-classifier slightly worse;
+// Sigmoid/SMiTe around 80%.
+
+#include <iostream>
+
+#include "bench/bench_world.h"
+#include "bench/eval_util.h"
+#include "bench/trained_stack.h"
+#include "common/table.h"
+
+using namespace gaugur;
+
+int main() {
+  constexpr double kQos = 60.0;
+  const auto& world = bench::BenchWorld::Get();
+  const auto& stack = bench::TrainedStack::Get();
+  const auto samples = bench::BuildTestSamples(world);
+
+  std::vector<int> cm_pred, rm_pred, sigmoid_pred, smite_pred;
+  for (const auto& s : samples) {
+    cm_pred.push_back(
+        stack.gaugur.PredictQosOk(kQos, s.victim, s.corunners) ? 1 : 0);
+    rm_pred.push_back(
+        stack.gaugur.PredictFps(s.victim, s.corunners) >= kQos ? 1 : 0);
+    sigmoid_pred.push_back(
+        stack.sigmoid.PredictFps(s.victim, s.corunners.size()) >= kQos ? 1
+                                                                       : 0);
+    smite_pred.push_back(
+        stack.smite.PredictFps(s.victim, s.corunners) >= kQos ? 1 : 0);
+  }
+
+  common::Table table({"colocation size", "GAugur(CM)", "GAugur(RM)",
+                       "Sigmoid", "SMiTe"},
+                      4);
+  for (std::size_t size : {0u, 2u, 3u, 4u}) {
+    table.AddRow({size == 0 ? std::string("overall")
+                            : std::to_string(size) + "-games",
+                  bench::SizeAccuracy(samples, cm_pred, kQos, size),
+                  bench::SizeAccuracy(samples, rm_pred, kQos, size),
+                  bench::SizeAccuracy(samples, sigmoid_pred, kQos, size),
+                  bench::SizeAccuracy(samples, smite_pred, kQos, size)});
+  }
+  table.Print(std::cout,
+              "Figure 8c: QoS-classification accuracy by methodology "
+              "(QoS = 60 FPS)");
+  bench::WriteResultCsv("fig8c_cm_vs_baselines", table);
+
+  std::printf(
+      "\nPaper: CM highest (~95%%), RM-thresholded a bit lower, Sigmoid "
+      "and SMiTe around 80%%.\n");
+  return 0;
+}

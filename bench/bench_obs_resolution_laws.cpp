@@ -1,0 +1,122 @@
+// §3.3 resolution laws: Eq. 2 (solo FPS linear in pixel count) and
+// Observations 6-8 (sensitivity curves resolution-invariant; CPU-side
+// intensity resolution-flat; GPU-side intensity linear in pixels).
+//
+// Paper shape: all three hold well enough that a game need only be
+// profiled at two resolutions. We quantify how well each law holds in our
+// substrate across the whole catalog.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_world.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "profiling/profiler.h"
+
+using namespace gaugur;
+using resources::Resolution;
+using resources::Resource;
+
+int main() {
+  const auto& world = bench::BenchWorld::Get();
+  const auto& features = world.features();
+
+  // --- Eq. 2: predict 900p and 1440p solo FPS. Two models: the paper's
+  // two-point line (720p/1080p fit, extrapolated to 1440p) and our
+  // piecewise three-anchor model that handles the bottleneck kink.
+  {
+    common::Table table({"resolution", "Eq.2 line mean |err| %",
+                         "piecewise mean |err| %"},
+                        2);
+    for (const Resolution& res : {resources::k900p, resources::k1440p}) {
+      std::vector<double> line_errors, pw_errors;
+      for (std::size_t id = 0; id < features.NumGames(); ++id) {
+        const auto& p = features.Profile(static_cast<int>(id));
+        const double truth = world.catalog()[id].SoloFps(res);
+        line_errors.push_back(
+            100.0 * std::abs(std::max(1.0, p.solo_fps_model.Eval(res)) -
+                             truth) /
+            truth);
+        pw_errors.push_back(100.0 * std::abs(p.SoloFps(res) - truth) /
+                            truth);
+      }
+      table.AddRow({res.ToString(), common::Mean(line_errors),
+                    common::Mean(pw_errors)});
+    }
+    table.Print(std::cout,
+                "Eq. 2: solo-FPS vs resolution models, error at "
+                "unprofiled resolutions (100 games)");
+    bench::WriteResultCsv("obs_eq2_solo_fps", table);
+  }
+
+  // --- Observation 6: re-profile a sample of games at 900p and compare
+  // sensitivity curves with the 1080p reference profile.
+  {
+    profiling::ProfilerOptions options;
+    options.primary_res = resources::k900p;
+    options.secondary_res = resources::k720p;
+    const profiling::Profiler profiler(world.server(), options);
+    common::Table table({"game", "max curve gap", "mean curve gap"}, 3);
+    for (int id : {0, 10, 20, 35, 50, 65, 80, 95}) {
+      const auto re = profiler.ProfileGame(world.catalog()[
+          static_cast<std::size_t>(id)]);
+      const auto& ref = features.Profile(id);
+      double max_gap = 0.0, sum_gap = 0.0;
+      int count = 0;
+      for (Resource r : resources::kAllResources) {
+        for (std::size_t i = 0; i < 11; ++i) {
+          const double gap = std::abs(re.Sensitivity(r).degradation[i] -
+                                      ref.Sensitivity(r).degradation[i]);
+          max_gap = std::max(max_gap, gap);
+          sum_gap += gap;
+          ++count;
+        }
+      }
+      table.AddRow({ref.name, max_gap, sum_gap / count});
+    }
+    table.Print(std::cout,
+                "Observation 6: sensitivity-curve gap, 900p vs 1080p "
+                "profile (approximate invariance)");
+    bench::WriteResultCsv("obs6_sensitivity_invariance", table);
+  }
+
+  // --- Observations 7-8: intensity vs resolution, from the two-point
+  // models, validated against a third profiled resolution.
+  {
+    profiling::ProfilerOptions options;
+    options.primary_res = resources::k900p;
+    options.secondary_res = resources::k720p;
+    const profiling::Profiler profiler(world.server(), options);
+    common::Table table({"resource side", "mean |predicted - measured|"},
+                        4);
+    double cpu_err = 0.0, gpu_err = 0.0;
+    int cpu_n = 0, gpu_n = 0;
+    for (int id : {5, 25, 45, 70, 90}) {
+      const auto at_900 =
+          profiler.ProfileGame(world.catalog()[static_cast<std::size_t>(id)]);
+      const auto& ref = features.Profile(id);
+      for (Resource r : resources::kAllResources) {
+        // Predict the 900p intensity from the 1080p/720p linear model and
+        // compare with the directly measured 900p value.
+        const double predicted = ref.IntensityAt(r, resources::k900p);
+        const double measured = at_900.intensity_ref[r];
+        const double err = std::abs(predicted - measured);
+        if (resources::ScalesWithPixels(r)) {
+          gpu_err += err;
+          ++gpu_n;
+        } else {
+          cpu_err += err;
+          ++cpu_n;
+        }
+      }
+    }
+    table.AddRow({std::string("CPU-side (Obs 7: flat)"), cpu_err / cpu_n});
+    table.AddRow({std::string("GPU-side (Obs 8: linear)"), gpu_err / gpu_n});
+    table.Print(std::cout,
+                "Observations 7-8: two-point intensity model vs direct "
+                "900p measurement (5 games)");
+    bench::WriteResultCsv("obs78_intensity_models", table);
+  }
+  return 0;
+}

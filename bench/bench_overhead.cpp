@@ -1,0 +1,123 @@
+// §3.6 overhead analysis: offline profiling and training cost the scale of
+// the game count; online prediction is negligible (the property that lets
+// GAugur serve request-arrival-time decisions).
+//
+// Micro-timings via google-benchmark:
+//  * online RM / CM prediction and feature construction (target: µs);
+//  * one full game profiling pass (offline, per game — O(N) total);
+//  * one colocation measurement on the simulated server;
+//  * RM training at the paper's 1000 samples (offline, once).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_world.h"
+#include "bench/trained_stack.h"
+#include "gaugur/training.h"
+#include "ml/factory.h"
+#include "profiling/profiler.h"
+
+using namespace gaugur;
+
+namespace {
+
+const core::Colocation& SampleColocation() {
+  static const core::Colocation colocation = {
+      {0, resources::k1080p}, {17, resources::k720p}, {42, resources::k1440p}};
+  return colocation;
+}
+
+void BM_OnlineRmPrediction(benchmark::State& state) {
+  const auto& stack = bench::TrainedStack::Get();
+  const auto& colocation = SampleColocation();
+  const std::vector<core::SessionRequest> corunners{colocation[1],
+                                                    colocation[2]};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        stack.gaugur.PredictFps(colocation[0], corunners));
+  }
+}
+BENCHMARK(BM_OnlineRmPrediction)->Unit(benchmark::kMicrosecond);
+
+void BM_OnlineCmPrediction(benchmark::State& state) {
+  const auto& stack = bench::TrainedStack::Get();
+  const auto& colocation = SampleColocation();
+  const std::vector<core::SessionRequest> corunners{colocation[1],
+                                                    colocation[2]};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        stack.gaugur.PredictQosOk(60.0, colocation[0], corunners));
+  }
+}
+BENCHMARK(BM_OnlineCmPrediction)->Unit(benchmark::kMicrosecond);
+
+void BM_OnlineFeasibilityCheck(benchmark::State& state) {
+  const auto& stack = bench::TrainedStack::Get();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        stack.gaugur.PredictFeasible(60.0, SampleColocation()));
+  }
+}
+BENCHMARK(BM_OnlineFeasibilityCheck)->Unit(benchmark::kMicrosecond);
+
+void BM_FeatureConstruction(benchmark::State& state) {
+  const auto& world = bench::BenchWorld::Get();
+  const auto& colocation = SampleColocation();
+  const std::vector<core::SessionRequest> corunners{colocation[1],
+                                                    colocation[2]};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        world.features().RmFeatures(colocation[0], corunners));
+  }
+}
+BENCHMARK(BM_FeatureConstruction)->Unit(benchmark::kMicrosecond);
+
+void BM_MeasureColocation(benchmark::State& state) {
+  const auto& world = bench::BenchWorld::Get();
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        world.lab().Measure(SampleColocation(), seed++));
+  }
+}
+BENCHMARK(BM_MeasureColocation)->Unit(benchmark::kMicrosecond);
+
+void BM_ProfileOneGame(benchmark::State& state) {
+  const auto& world = bench::BenchWorld::Get();
+  const profiling::Profiler profiler(world.server());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profiler.ProfileGame(world.catalog()[3]));
+  }
+  state.counters["measurements_per_game"] =
+      static_cast<double>(profiler.MeasurementsPerGame());
+}
+BENCHMARK(BM_ProfileOneGame)->Unit(benchmark::kMillisecond);
+
+void BM_TrainRm1000Samples(benchmark::State& state) {
+  const auto& world = bench::BenchWorld::Get();
+  const auto rm_full =
+      core::BuildRmDataset(world.features(), world.train_colocations());
+  const auto train = bench::BenchWorld::ShuffledSubset(rm_full, 1000, 7);
+  for (auto _ : state) {
+    auto model = ml::MakeRegressor("GBRT");
+    model->Fit(train);
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_TrainRm1000Samples)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Build the shared world (profiling pass + corpus + trained stack)
+  // outside the timed regions.
+  bench::TrainedStack::Get();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  std::printf(
+      "\nSection 3.6: profiling cost is per-game (O(N) over the catalog) "
+      "and training needs a few hundred colocations (also O(N)); online "
+      "prediction is microseconds.\n");
+  return 0;
+}

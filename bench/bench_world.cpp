@@ -1,0 +1,75 @@
+#include "bench/bench_world.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/thread_pool.h"
+#include "profiling/profiler.h"
+
+namespace gaugur::bench {
+
+BenchWorld::BenchWorld()
+    : catalog_(gamesim::GameCatalog::MakeDefault(42)),
+      server_(),
+      lab_(catalog_, server_),
+      features_([this] {
+        const profiling::Profiler profiler(server_);
+        return core::FeatureBuilder(
+            profiler.ProfileCatalog(catalog_, &common::ThreadPool::Global()));
+      }()) {
+  const char* fast = std::getenv("GAUGUR_BENCH_FAST");
+  fast_mode_ = fast != nullptr && fast[0] == '1';
+
+  core::CorpusOptions options;
+  options.num_pairs = fast_mode_ ? 120 : 500;
+  options.num_triples = fast_mode_ ? 30 : 100;
+  options.num_quads = fast_mode_ ? 30 : 100;
+  options.seed = 99;
+  auto corpus = core::GenerateCorpus(lab_, options);
+
+  // Paper split: 400 of the 700 colocations train, 300 test.
+  common::Rng rng(4242);
+  rng.Shuffle(corpus);
+  const std::size_t train_count =
+      corpus.size() * 4 / 7;  // 400/700 proportionally in fast mode
+  train_.assign(corpus.begin(),
+                corpus.begin() + static_cast<std::ptrdiff_t>(train_count));
+  test_.assign(corpus.begin() + static_cast<std::ptrdiff_t>(train_count),
+               corpus.end());
+  if (fast_mode_) {
+    std::fprintf(stderr,
+                 "[bench] GAUGUR_BENCH_FAST=1: corpus trimmed to %zu "
+                 "colocations; results not paper-comparable\n",
+                 corpus.size());
+  }
+}
+
+const BenchWorld& BenchWorld::Get() {
+  static const BenchWorld world;
+  return world;
+}
+
+ml::Dataset BenchWorld::ShuffledSubset(const ml::Dataset& full,
+                                       std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  const std::size_t take = std::min(n, full.NumRows());
+  const auto idx = rng.SampleWithoutReplacement(full.NumRows(), take);
+  return full.Subset(idx);
+}
+
+void WriteResultCsv(const std::string& name, const common::Table& table) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories("bench_results", ec);
+  const std::string path = "bench_results/" + name + ".csv";
+  if (table.WriteCsv(path)) {
+    std::printf("[csv] %s\n", path.c_str());
+  } else {
+    std::printf("[csv] FAILED to write %s\n", path.c_str());
+  }
+}
+
+}  // namespace gaugur::bench

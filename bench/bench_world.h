@@ -1,0 +1,68 @@
+// Shared experimental world for the figure-reproduction benches: the
+// 100-game catalog on the simulated server, a full profiling pass, and the
+// paper's measurement corpus — 500 two-game, 100 three-game and 100
+// four-game colocations, split 400 train / 300 test at colocation
+// granularity (§4).
+//
+// Building this costs ~15s (profiling dominates); each bench binary builds
+// it once. Set GAUGUR_BENCH_FAST=1 to shrink the corpus and sweeps for
+// quick iteration — results are then NOT comparable to the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/table.h"
+#include "gamesim/catalog.h"
+#include "gamesim/server_sim.h"
+#include "gaugur/corpus.h"
+#include "gaugur/features.h"
+#include "gaugur/lab.h"
+#include "ml/dataset.h"
+
+namespace gaugur::bench {
+
+class BenchWorld {
+ public:
+  static const BenchWorld& Get();
+
+  /// True when GAUGUR_BENCH_FAST=1 trimmed the corpus.
+  bool fast_mode() const { return fast_mode_; }
+
+  const gamesim::GameCatalog& catalog() const { return catalog_; }
+  const gamesim::ServerSim& server() const { return server_; }
+  const core::ColocationLab& lab() const { return lab_; }
+  const core::FeatureBuilder& features() const { return features_; }
+
+  /// The 400 training colocations (paper: randomly selected from 700).
+  const std::vector<core::MeasuredColocation>& train_colocations() const {
+    return train_;
+  }
+  /// The held-out 300 test colocations.
+  const std::vector<core::MeasuredColocation>& test_colocations() const {
+    return test_;
+  }
+
+  /// Row-shuffled subset of a dataset for the "number of training samples"
+  /// sweeps (shuffling matters: corpus rows are grouped by colocation
+  /// size).
+  static ml::Dataset ShuffledSubset(const ml::Dataset& full, std::size_t n,
+                                    std::uint64_t seed);
+
+ private:
+  BenchWorld();
+
+  bool fast_mode_ = false;
+  gamesim::GameCatalog catalog_;
+  gamesim::ServerSim server_;
+  core::ColocationLab lab_;
+  core::FeatureBuilder features_;
+  std::vector<core::MeasuredColocation> train_;
+  std::vector<core::MeasuredColocation> test_;
+};
+
+/// Writes `csv` into bench_results/<name>.csv (directory created on
+/// demand); prints the path or a warning.
+void WriteResultCsv(const std::string& name, const common::Table& table);
+
+}  // namespace gaugur::bench

@@ -1,0 +1,71 @@
+// Shared evaluation helpers for the §4 accuracy benches: test sets
+// annotated with colocation size, and per-size error/accuracy breakdowns.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bench/bench_world.h"
+#include "gaugur/training.h"
+
+namespace gaugur::bench {
+
+/// One test sample: the victim, its co-runners, the measured outcome.
+struct TestSample {
+  core::SessionRequest victim;
+  std::vector<core::SessionRequest> corunners;
+  double measured_fps = 0.0;
+  double actual_degradation = 0.0;
+  std::size_t colocation_size = 0;
+};
+
+inline std::vector<TestSample> BuildTestSamples(const BenchWorld& world) {
+  std::vector<TestSample> samples;
+  for (const auto& m : world.test_colocations()) {
+    for (std::size_t v = 0; v < m.sessions.size(); ++v) {
+      TestSample s;
+      s.victim = m.sessions[v];
+      for (std::size_t j = 0; j < m.sessions.size(); ++j) {
+        if (j != v) s.corunners.push_back(m.sessions[j]);
+      }
+      s.measured_fps = m.fps[v];
+      s.actual_degradation = core::DegradationTarget(
+          world.features(), m.sessions[v], m.fps[v]);
+      s.colocation_size = m.sessions.size();
+      samples.push_back(std::move(s));
+    }
+  }
+  return samples;
+}
+
+/// Mean of |pred - actual| / actual restricted to samples of one
+/// colocation size (0 = all sizes).
+inline double SizeError(std::span<const TestSample> samples,
+                        std::span<const double> predicted,
+                        std::size_t size) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (size != 0 && samples[i].colocation_size != size) continue;
+    sum += std::abs(predicted[i] - samples[i].actual_degradation) /
+           samples[i].actual_degradation;
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+/// Classification accuracy restricted to one colocation size (0 = all).
+inline double SizeAccuracy(std::span<const TestSample> samples,
+                           std::span<const int> predicted, double qos_fps,
+                           std::size_t size) {
+  std::size_t correct = 0, n = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (size != 0 && samples[i].colocation_size != size) continue;
+    const int truth = samples[i].measured_fps >= qos_fps ? 1 : 0;
+    correct += predicted[i] == truth ? 1 : 0;
+    ++n;
+  }
+  return n == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(n);
+}
+
+}  // namespace gaugur::bench

@@ -1,0 +1,50 @@
+#include "bench/trained_stack.h"
+
+#include <array>
+
+#include "gaugur/training.h"
+
+namespace gaugur::bench {
+
+namespace {
+constexpr std::size_t kPaperTrainingSamples = 1000;
+}
+
+const TrainedStack& TrainedStack::Get() {
+  static const TrainedStack* stack = [] {
+    const auto& world = BenchWorld::Get();
+    core::PredictorConfig config;
+    // Scheduling experiments use the cost-sensitive CM threshold (see
+    // PredictorConfig): violations are costlier than missed colocations.
+    config.cm_decision_threshold = 0.8;
+    auto* s = new TrainedStack{
+        core::GAugurPredictor(world.features(), config),
+        baselines::SigmoidModel(world.features()),
+        baselines::SmiteModel(world.features()),
+        baselines::VbpModel(world.features()),
+        0};
+
+    const auto rm_full =
+        core::BuildRmDataset(world.features(), world.train_colocations());
+    const auto rm_train =
+        BenchWorld::ShuffledSubset(rm_full, kPaperTrainingSamples, 7);
+    s->rm_samples = rm_train.NumRows();
+    s->gaugur.TrainRmOnDataset(rm_train);
+
+    // Q-aware CM: 1000 samples replicated across a dense QoS grid. The
+    // binary labels carry far less information per measured colocation
+    // than the RM's continuous targets, so the CM benefits from seeing
+    // the same colocations thresholded at many QoS levels (no additional
+    // measurement cost).
+    const std::array<double, 7> qos_grid{40.0, 50.0, 55.0, 60.0,
+                                         65.0, 70.0, 80.0};
+    s->gaugur.TrainCm(world.train_colocations(), qos_grid);
+
+    s->sigmoid.Train(world.train_colocations());
+    s->smite.Train(world.train_colocations());
+    return s;
+  }();
+  return *stack;
+}
+
+}  // namespace gaugur::bench

@@ -1,0 +1,27 @@
+// The fully trained prediction stack shared by the §4/§5 benches:
+// GAugur's GBRT regression model and GBDT classification model (each
+// trained on the paper's 1000 training samples), plus the Sigmoid, SMiTe
+// and VBP baselines trained on the same corpus.
+#pragma once
+
+#include "baselines/sigmoid_model.h"
+#include "baselines/smite_model.h"
+#include "baselines/vbp_model.h"
+#include "bench/bench_world.h"
+#include "gaugur/predictor.h"
+
+namespace gaugur::bench {
+
+struct TrainedStack {
+  core::GAugurPredictor gaugur;
+  baselines::SigmoidModel sigmoid;
+  baselines::SmiteModel smite;
+  baselines::VbpModel vbp;
+
+  /// Number of RM training samples actually used (paper target: 1000).
+  std::size_t rm_samples = 0;
+
+  static const TrainedStack& Get();
+};
+
+}  // namespace gaugur::bench

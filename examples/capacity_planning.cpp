@@ -1,0 +1,95 @@
+// Capacity planning: how many servers does a game lineup need?
+//
+// A cloud-gaming operator picks a lineup of games, forecasts a daily
+// request mix, and wants the smallest fleet that serves every request at
+// 60 FPS. This example walks the full GAugur §5.1 workflow:
+//   profile -> measure corpus -> train CM -> enumerate colocations ->
+//   Algorithm 1 packing -> compare against no-colocation provisioning.
+//
+// Run:  ./build/examples/capacity_planning
+
+#include <cstdio>
+#include <memory>
+
+#include "common/thread_pool.h"
+#include "gamesim/catalog.h"
+#include "gamesim/server_sim.h"
+#include "gaugur/corpus.h"
+#include "gaugur/lab.h"
+#include "gaugur/predictor.h"
+#include "profiling/profiler.h"
+#include "sched/enumeration.h"
+#include "sched/methodology.h"
+#include "sched/packing.h"
+#include "sched/study.h"
+
+using namespace gaugur;
+
+int main() {
+  constexpr double kQos = 60.0;
+  constexpr int kRequests = 2000;
+
+  const auto catalog = gamesim::GameCatalog::MakeDefault(42);
+  const gamesim::ServerSim server;
+  const core::ColocationLab lab(catalog, server);
+
+  std::printf("Profiling the catalog (offline, once)...\n");
+  const profiling::Profiler profiler(server);
+  core::FeatureBuilder features(
+      profiler.ProfileCatalog(catalog, &common::ThreadPool::Global()));
+
+  std::printf("Measuring a training corpus of colocations...\n");
+  core::CorpusOptions corpus_options;
+  corpus_options.num_pairs = 300;
+  corpus_options.num_triples = 80;
+  corpus_options.num_quads = 80;
+  const auto corpus = core::GenerateCorpus(lab, corpus_options);
+
+  core::PredictorConfig config;
+  config.cm_decision_threshold = 0.7;  // QoS violations cost more
+  core::GAugurPredictor predictor(features, config);
+  const std::vector<double> qos_grid{45.0, 55.0, 60.0, 65.0, 75.0};
+  predictor.TrainCm(corpus, qos_grid);
+
+  // The lineup: eight games the operator offers.
+  const auto setup = sched::SelectStudyGames(lab, 8, kQos, 12);
+  std::printf("\nLineup:\n");
+  for (int id : setup.game_ids) {
+    std::printf("  %-40s solo %6.1f FPS\n", catalog[static_cast<std::size_t>(id)].name.c_str(),
+                lab.TrueSoloFps({id, resources::k1080p}));
+  }
+
+  // Identify feasible colocations with the CM, then pack.
+  const auto candidates = sched::EnumerateColocations(setup.pool, 4);
+  std::vector<core::Colocation> feasible;
+  for (const auto& c : candidates) {
+    if (c.size() == 1 || predictor.PredictFeasible(kQos, c)) {
+      feasible.push_back(c);
+    }
+  }
+  std::printf("\nCM judged %zu of %zu candidate colocations feasible.\n",
+              feasible.size(), candidates.size());
+
+  const auto requests = sched::GenerateRequestCounts(
+      catalog.size(), setup.game_ids, kRequests, 3);
+  const auto packed = sched::PackRequests(feasible, requests);
+
+  // Realized QoS check on the packed plan.
+  std::size_t violations = 0, sessions = 0;
+  for (const auto& colocation : packed.assignments) {
+    for (double fps : lab.TrueFps(colocation)) {
+      ++sessions;
+      if (fps < kQos) ++violations;
+    }
+  }
+  std::printf(
+      "\nPlan: %zu servers for %d requests (no-colocation baseline: %d).\n"
+      "Utilization gain: %.0f%%. Sessions violating %g FPS when the plan "
+      "actually runs: %zu of %zu (%.1f%%).\n",
+      packed.servers_used, kRequests, kRequests,
+      100.0 * (1.0 - static_cast<double>(packed.servers_used) / kRequests),
+      kQos, violations, sessions,
+      100.0 * static_cast<double>(violations) /
+          static_cast<double>(sessions));
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Interaction-delay prediction (the paper's §7/§8 extension).
+//
+// Frame rate alone hides tail behavior: a game averaging 70 FPS can still
+// spike past a 30 ms processing-delay budget when scenes get heavy. This
+// example trains the DelayPredictor on measured tail frame times and uses
+// it to vet a colocation against a latency SLO, then verifies against the
+// simulated ground truth.
+//
+// Run:  ./build/examples/interaction_delay
+
+#include <cstdio>
+
+#include "common/thread_pool.h"
+#include "gamesim/catalog.h"
+#include "gamesim/server_sim.h"
+#include "gaugur/corpus.h"
+#include "gaugur/delay.h"
+#include "gaugur/lab.h"
+#include "profiling/profiler.h"
+
+using namespace gaugur;
+
+int main() {
+  constexpr double kDelayBudgetMs = 25.0;
+
+  const auto catalog = gamesim::GameCatalog::MakeDefault(42);
+  const gamesim::ServerSim server;
+  const core::ColocationLab lab(catalog, server);
+
+  std::printf("Profiling and measuring tail delays (offline)...\n");
+  const profiling::Profiler profiler(server);
+  core::FeatureBuilder features(
+      profiler.ProfileCatalog(catalog, &common::ThreadPool::Global()));
+  core::CorpusOptions corpus_options;
+  corpus_options.num_pairs = 250;
+  corpus_options.num_triples = 60;
+  corpus_options.num_quads = 60;
+  const auto corpus = core::GenerateCorpus(lab, corpus_options);
+
+  core::DelayPredictor delay(features);
+  delay.Train(lab, corpus);
+
+  const core::Colocation colocation = {
+      {catalog.ByName("The Witcher 3 - Wild Hunt").id, resources::k1080p},
+      {catalog.ByName("StarCraft 2").id, resources::k1080p},
+      {catalog.ByName("Stardew Valley").id, resources::k720p}};
+
+  std::printf("\n%-28s %14s %14s %8s\n", "game", "predicted p95",
+              "measured p95", "SLO ok");
+  const auto actual = lab.MeasureFrameTimes(colocation, 99);
+  for (std::size_t v = 0; v < colocation.size(); ++v) {
+    std::vector<core::SessionRequest> corunners;
+    for (std::size_t j = 0; j < colocation.size(); ++j) {
+      if (j != v) corunners.push_back(colocation[j]);
+    }
+    const double predicted =
+        delay.PredictP95DelayMs(colocation[v], corunners);
+    const bool ok =
+        delay.PredictDelayOk(kDelayBudgetMs, colocation[v], corunners);
+    std::printf("%-28s %11.1f ms %11.1f ms %8s\n",
+                features.Profile(colocation[v].game_id).name.c_str(),
+                predicted, actual[v].p95_ms, ok ? "yes" : "NO");
+  }
+  std::printf(
+      "\nA %g ms processing-delay budget vetoes colocations whose tail "
+      "frame times would spike, even when mean FPS looks fine.\n",
+      kDelayBudgetMs);
+  return 0;
+}

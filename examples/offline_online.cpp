@@ -1,0 +1,89 @@
+// Offline/online split via persistence: the deployment shape GAugur is
+// designed for. An offline job profiles the catalog, measures the corpus,
+// trains the models, and writes everything to disk; each online scheduler
+// instance loads the artifacts in milliseconds and serves predictions.
+//
+// Run:  ./build/examples/offline_online
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "common/thread_pool.h"
+#include "gamesim/catalog.h"
+#include "gamesim/server_sim.h"
+#include "gaugur/corpus.h"
+#include "gaugur/lab.h"
+#include "gaugur/training.h"
+#include "ml/factory.h"
+#include "ml/serialize.h"
+#include "profiling/profile_io.h"
+#include "profiling/profiler.h"
+
+using namespace gaugur;
+
+namespace {
+constexpr const char* kProfilesPath = "/tmp/gaugur_profiles.txt";
+constexpr const char* kRmPath = "/tmp/gaugur_rm.txt";
+}  // namespace
+
+static void OfflineJob() {
+  std::printf("[offline] profiling catalog and training models...\n");
+  const auto catalog = gamesim::GameCatalog::MakeDefault(42);
+  const gamesim::ServerSim server;
+  const core::ColocationLab lab(catalog, server);
+
+  const profiling::Profiler profiler(server);
+  const auto profiles =
+      profiler.ProfileCatalog(catalog, &common::ThreadPool::Global());
+  profiling::SaveProfilesToFile(kProfilesPath, profiles);
+
+  core::FeatureBuilder features(profiles);
+  core::CorpusOptions corpus_options;
+  corpus_options.num_pairs = 300;
+  corpus_options.num_triples = 80;
+  corpus_options.num_quads = 80;
+  const auto corpus = core::GenerateCorpus(lab, corpus_options);
+
+  auto rm = ml::MakeRegressor("GBRT");
+  rm->Fit(core::BuildRmDataset(features, corpus));
+  ml::SaveRegressorToFile(kRmPath, *rm);
+  std::printf("[offline] artifacts written to %s and %s\n", kProfilesPath,
+              kRmPath);
+}
+
+static void OnlineService() {
+  const auto start = std::chrono::steady_clock::now();
+  core::FeatureBuilder features(
+      profiling::LoadProfilesFromFile(kProfilesPath));
+  const auto rm = ml::LoadRegressorFromFile(kRmPath);
+  const auto load_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  std::printf("[online] loaded %zu profiles + RM in %.1f ms\n",
+              features.NumGames(), load_ms);
+
+  // Serve a prediction request: will "Warframe" hold 60 FPS next to two
+  // specific neighbors at the player's resolutions?
+  const core::SessionRequest victim{31, resources::k1080p};
+  const std::vector<core::SessionRequest> corunners{
+      {16, resources::k1080p}, {53, resources::k720p}};
+  const auto x = features.RmFeatures(victim, corunners);
+  const double degradation = std::clamp(rm->Predict(x), 0.01, 1.0);
+  const double fps =
+      degradation * features.Profile(victim.game_id).SoloFps(
+                        victim.resolution);
+  std::printf(
+      "[online] %s with 2 co-runners: predicted %.0f%% of solo speed = "
+      "%.1f FPS -> %s at 60 FPS QoS\n",
+      features.Profile(victim.game_id).name.c_str(), 100.0 * degradation,
+      fps, fps >= 60.0 ? "admit" : "reject");
+}
+
+int main() {
+  OfflineJob();
+  OnlineService();
+  std::remove(kProfilesPath);
+  std::remove(kRmPath);
+  return 0;
+}

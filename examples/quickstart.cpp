@@ -1,0 +1,78 @@
+// Quickstart: the full GAugur pipeline on a small scale.
+//
+//  1. Build the game catalog and the simulated server.
+//  2. Profile a handful of games (sensitivity curves + intensities).
+//  3. Measure a small colocation corpus and train the RM and CM.
+//  4. Predict the interference of a fresh colocation and compare with
+//     what actually happens when the games run together.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+
+#include <cstdio>
+#include <vector>
+
+#include "gamesim/catalog.h"
+#include "gamesim/server_sim.h"
+#include "gaugur/corpus.h"
+#include "gaugur/lab.h"
+#include "gaugur/predictor.h"
+#include "profiling/profiler.h"
+
+using namespace gaugur;
+
+int main() {
+  // 1. The "machine room": 100 games and one GTX-1060-class server.
+  const auto catalog = gamesim::GameCatalog::MakeDefault(/*seed=*/42);
+  const gamesim::ServerSim server;
+  const core::ColocationLab lab(catalog, server);
+
+  // 2. Offline contention-feature profiling (all 100 games).
+  std::printf("Profiling %zu games...\n", catalog.size());
+  const profiling::Profiler profiler(server);
+  core::FeatureBuilder features(profiler.ProfileCatalog(catalog));
+
+  // 3. Measure a corpus of real colocations and train both models.
+  core::CorpusOptions corpus_options;
+  corpus_options.num_pairs = 200;
+  corpus_options.num_triples = 50;
+  corpus_options.num_quads = 50;
+  std::printf("Measuring %d training colocations...\n",
+              corpus_options.num_pairs + corpus_options.num_triples +
+                  corpus_options.num_quads);
+  const auto corpus = core::GenerateCorpus(lab, corpus_options);
+
+  core::GAugurPredictor predictor(features);
+  predictor.TrainRm(corpus);
+  const std::vector<double> qos_grid = {50.0, 60.0};
+  predictor.TrainCm(corpus, qos_grid);
+
+  // 4. Predict a fresh colocation, then actually run it.
+  const core::Colocation colocation = {
+      {catalog.ByName("Dota2").id, resources::k1080p},
+      {catalog.ByName("Far Cry 4").id, resources::k1080p},
+      {catalog.ByName("Stardew Valley").id, resources::k720p},
+  };
+
+  std::printf("\n%-24s %10s %10s %10s %6s\n", "game", "solo FPS",
+              "predicted", "actual", "QoS60");
+  const auto actual = lab.TrueFps(colocation);
+  for (std::size_t v = 0; v < colocation.size(); ++v) {
+    std::vector<core::SessionRequest> corunners;
+    for (std::size_t j = 0; j < colocation.size(); ++j) {
+      if (j != v) corunners.push_back(colocation[j]);
+    }
+    const auto& victim = colocation[v];
+    const auto& profile = features.Profile(victim.game_id);
+    const double predicted = predictor.PredictFps(victim, corunners);
+    const bool qos_ok = predictor.PredictQosOk(60.0, victim, corunners);
+    std::printf("%-24s %10.1f %10.1f %10.1f %6s\n", profile.name.c_str(),
+                profile.SoloFps(victim.resolution), predicted, actual[v],
+                qos_ok ? "yes" : "no");
+  }
+  std::printf("\ncolocation judged %s at 60 FPS QoS (ground truth: %s)\n",
+              predictor.PredictFeasible(60.0, colocation) ? "FEASIBLE"
+                                                          : "infeasible",
+              lab.TrulyFeasible(colocation, 60.0) ? "FEASIBLE"
+                                                  : "infeasible");
+  return 0;
+}

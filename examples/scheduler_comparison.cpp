@@ -1,0 +1,85 @@
+// Scheduler comparison: live request assignment onto a fixed fleet.
+//
+// Requests stream in one by one; the scheduler must place each on a
+// server immediately (§5.2). This example pits GAugur(RM)-guided
+// placement against VBP worst-fit on the same fleet and reports the
+// frame rates players actually get.
+//
+// Run:  ./build/examples/scheduler_comparison
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/stats.h"
+#include "common/thread_pool.h"
+#include "gamesim/catalog.h"
+#include "gamesim/server_sim.h"
+#include "gaugur/corpus.h"
+#include "gaugur/lab.h"
+#include "gaugur/predictor.h"
+#include "profiling/profiler.h"
+#include "sched/assignment.h"
+#include "sched/methodology.h"
+#include "sched/study.h"
+
+using namespace gaugur;
+
+int main() {
+  constexpr int kRequests = 1200;
+  constexpr std::size_t kServers = 400;
+
+  const auto catalog = gamesim::GameCatalog::MakeDefault(42);
+  const gamesim::ServerSim server;
+  const core::ColocationLab lab(catalog, server);
+
+  std::printf("Profiling and training (offline)...\n");
+  const profiling::Profiler profiler(server);
+  core::FeatureBuilder features(
+      profiler.ProfileCatalog(catalog, &common::ThreadPool::Global()));
+  core::CorpusOptions corpus_options;
+  corpus_options.num_pairs = 300;
+  corpus_options.num_triples = 80;
+  corpus_options.num_quads = 80;
+  const auto corpus = core::GenerateCorpus(lab, corpus_options);
+
+  core::GAugurPredictor predictor(features);
+  predictor.TrainRm(corpus);
+  baselines::VbpModel vbp(features);
+
+  const auto setup = sched::SelectStudyGames(lab, 10, 60.0, 12);
+  const auto counts =
+      sched::GenerateRequestCounts(catalog.size(), setup.game_ids,
+                                   kRequests, 3);
+  const auto requests = sched::RequestStream(counts, 4);
+
+  sched::AssignmentOptions options;
+  options.num_servers = kServers;
+
+  const auto rm_method = sched::MakeGAugurRmMethod(predictor);
+  const auto rm_fleet =
+      sched::AssignByPredictedFps(*rm_method, features, requests, options);
+  const auto vbp_fleet =
+      sched::AssignWorstFit(vbp, features, requests, options);
+
+  const auto rm_fps = sched::EvaluateAssignment(lab, rm_fleet);
+  const auto vbp_fps = sched::EvaluateAssignment(lab, vbp_fleet);
+
+  auto report = [](const char* name, std::span<const double> fps) {
+    std::printf("%-22s mean %6.1f  p10 %6.1f  median %6.1f  below 60: %4.1f%%\n",
+                name, common::Mean(fps), common::Percentile(fps, 0.10),
+                common::Percentile(fps, 0.50),
+                100.0 *
+                    static_cast<double>(std::count_if(
+                        fps.begin(), fps.end(),
+                        [](double f) { return f < 60.0; })) /
+                    static_cast<double>(fps.size()));
+  };
+  std::printf("\nRealized FPS of %d requests on %zu servers:\n", kRequests,
+              kServers);
+  report("GAugur(RM) placement", rm_fps);
+  report("VBP worst-fit", vbp_fps);
+  std::printf(
+      "\nInterference-aware placement packs noisy neighbors apart, so the "
+      "same fleet delivers higher frame rates.\n");
+  return 0;
+}

@@ -1,0 +1,136 @@
+#include "baselines/sigmoid_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/mathutil.h"
+
+namespace gaugur::baselines {
+
+double SigmoidParams::Eval(double n) const {
+  return alpha1 * common::Sigmoid(alpha2 * n - alpha3);
+}
+
+namespace {
+
+double SseFor(std::span<const double> n, std::span<const double> y,
+              const SigmoidParams& p) {
+  double sse = 0.0;
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    const double r = y[i] - p.Eval(n[i]);
+    sse += r * r;
+  }
+  return sse;
+}
+
+/// Optimal alpha_1 for fixed (alpha_2, alpha_3): linear least squares.
+double BestAlpha1(std::span<const double> n, std::span<const double> y,
+                  double a2, double a3) {
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    const double s = common::Sigmoid(a2 * n[i] - a3);
+    num += y[i] * s;
+    den += s * s;
+  }
+  if (den < 1e-12) return 1.0;
+  return num / den;
+}
+
+}  // namespace
+
+SigmoidParams FitSigmoid(std::span<const double> n,
+                         std::span<const double> y) {
+  GAUGUR_CHECK(n.size() == y.size());
+  GAUGUR_CHECK(!n.empty());
+
+  SigmoidParams best{1.0, 0.0, 0.0};
+  double best_sse = std::numeric_limits<double>::infinity();
+
+  // Coarse grid; note alpha_2 < 0 gives the decreasing-in-n shapes the
+  // data actually follows (the paper's alpha_2 sign convention is free).
+  for (double a2 = -3.0; a2 <= 3.0; a2 += 0.25) {
+    for (double a3 = -6.0; a3 <= 6.0; a3 += 0.5) {
+      SigmoidParams p{BestAlpha1(n, y, a2, a3), a2, a3};
+      const double sse = SseFor(n, y, p);
+      if (sse < best_sse) {
+        best_sse = sse;
+        best = p;
+      }
+    }
+  }
+  // Coordinate refinement around the grid winner.
+  double step2 = 0.125, step3 = 0.25;
+  for (int round = 0; round < 40; ++round) {
+    bool improved = false;
+    for (const double da2 : {-step2, 0.0, step2}) {
+      for (const double da3 : {-step3, 0.0, step3}) {
+        if (da2 == 0.0 && da3 == 0.0) continue;
+        SigmoidParams p{0.0, best.alpha2 + da2, best.alpha3 + da3};
+        p.alpha1 = BestAlpha1(n, y, p.alpha2, p.alpha3);
+        const double sse = SseFor(n, y, p);
+        if (sse + 1e-12 < best_sse) {
+          best_sse = sse;
+          best = p;
+          improved = true;
+        }
+      }
+    }
+    if (!improved) {
+      step2 *= 0.5;
+      step3 *= 0.5;
+      if (step2 < 1e-4) break;
+    }
+  }
+  return best;
+}
+
+SigmoidModel::SigmoidModel(const core::FeatureBuilder& features)
+    : features_(&features), params_(features.NumGames()) {}
+
+void SigmoidModel::Train(std::span<const core::MeasuredColocation> corpus) {
+  const std::size_t num_games = features_->NumGames();
+  std::vector<std::vector<double>> ns(num_games), ys(num_games);
+
+  // Solo anchor: degradation 1.0 at n = 0 (known from profiling).
+  for (std::size_t g = 0; g < num_games; ++g) {
+    ns[g].push_back(0.0);
+    ys[g].push_back(1.0);
+  }
+  for (const auto& measured : corpus) {
+    for (std::size_t v = 0; v < measured.sessions.size(); ++v) {
+      const auto& victim = measured.sessions[v];
+      const auto g = static_cast<std::size_t>(victim.game_id);
+      ns[g].push_back(
+          static_cast<double>(measured.sessions.size() - 1));
+      ys[g].push_back(
+          core::DegradationTarget(*features_, victim, measured.fps[v]));
+    }
+  }
+  for (std::size_t g = 0; g < num_games; ++g) {
+    params_[g] = FitSigmoid(ns[g], ys[g]);
+  }
+  trained_ = true;
+}
+
+double SigmoidModel::PredictDegradation(const core::SessionRequest& victim,
+                                        std::size_t num_corunners) const {
+  GAUGUR_CHECK_MSG(trained_, "Sigmoid model not trained");
+  const auto& p = Params(victim.game_id);
+  return std::clamp(p.Eval(static_cast<double>(num_corunners)), 0.01, 1.0);
+}
+
+double SigmoidModel::PredictFps(const core::SessionRequest& victim,
+                                std::size_t num_corunners) const {
+  return PredictDegradation(victim, num_corunners) *
+         features_->Profile(victim.game_id).SoloFps(victim.resolution);
+}
+
+const SigmoidParams& SigmoidModel::Params(int game_id) const {
+  GAUGUR_CHECK(game_id >= 0 &&
+               static_cast<std::size_t>(game_id) < params_.size());
+  return params_[static_cast<std::size_t>(game_id)];
+}
+
+}  // namespace gaugur::baselines

@@ -1,0 +1,58 @@
+// The Sigmoid baseline (paper §4.1, after [6, 21]): assumes a game's
+// degradation depends only on HOW MANY games it is colocated with, not
+// which ones. Per game A the model is
+//
+//     delta_A(n) = alpha_1 / (1 + exp(-alpha_2 * n + alpha_3))
+//
+// with n the number of co-runners, fit by least squares on the training
+// colocations that contain A (plus the solo anchor n = 0). We fit the
+// degradation ratio rather than raw FPS so the baseline handles mixed
+// resolutions as charitably as possible; predicted FPS is the ratio times
+// the profiled solo FPS at the victim's resolution.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "gaugur/features.h"
+#include "gaugur/training.h"
+
+namespace gaugur::baselines {
+
+struct SigmoidParams {
+  double alpha1 = 1.0;
+  double alpha2 = 0.0;
+  double alpha3 = 0.0;
+
+  double Eval(double n) const;
+};
+
+class SigmoidModel {
+ public:
+  explicit SigmoidModel(const core::FeatureBuilder& features);
+
+  void Train(std::span<const core::MeasuredColocation> corpus);
+  bool IsTrained() const { return trained_; }
+
+  /// Predicted degradation of `victim` among `num_corunners` others.
+  double PredictDegradation(const core::SessionRequest& victim,
+                            std::size_t num_corunners) const;
+
+  double PredictFps(const core::SessionRequest& victim,
+                    std::size_t num_corunners) const;
+
+  const SigmoidParams& Params(int game_id) const;
+
+ private:
+  const core::FeatureBuilder* features_;
+  std::vector<SigmoidParams> params_;  // indexed by game id
+  bool trained_ = false;
+};
+
+/// Least-squares sigmoid fit on (n, degradation) points: closed-form
+/// alpha_1 given (alpha_2, alpha_3) over a coarse grid, then coordinate
+/// refinement. Exposed for unit testing.
+SigmoidParams FitSigmoid(std::span<const double> n,
+                         std::span<const double> degradation);
+
+}  // namespace gaugur::baselines

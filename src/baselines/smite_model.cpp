@@ -1,0 +1,76 @@
+#include "baselines/smite_model.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/linalg.h"
+
+namespace gaugur::baselines {
+
+using resources::Resource;
+
+SmiteModel::SmiteModel(const core::FeatureBuilder& features)
+    : features_(&features) {}
+
+std::vector<double> SmiteModel::SampleFeatures(
+    const core::SessionRequest& victim,
+    std::span<const core::SessionRequest> corunners) const {
+  const auto& profile = features_->Profile(victim.game_id);
+  std::vector<double> x;
+  x.reserve(resources::kNumResources + 1);
+  for (Resource r : resources::kAllResources) {
+    double intensity_sum = 0.0;
+    for (const auto& c : corunners) {
+      intensity_sum +=
+          features_->Profile(c.game_id).IntensityAt(r, c.resolution);
+    }
+    // Sensitivity score: degradation at max pressure. SMiTe's linear term
+    // uses "how much A suffers" — we use (1 - score), the degradation
+    // *amount*, so a fully insensitive resource (score 1.0) contributes 0.
+    x.push_back((1.0 - profile.Sensitivity(r).Score()) * intensity_sum);
+  }
+  x.push_back(1.0);  // intercept
+  return x;
+}
+
+void SmiteModel::Train(std::span<const core::MeasuredColocation> corpus) {
+  const std::size_t cols = resources::kNumResources + 1;
+  std::vector<double> design;
+  std::vector<double> targets;
+  for (const auto& measured : corpus) {
+    std::vector<core::SessionRequest> corunners;
+    for (std::size_t v = 0; v < measured.sessions.size(); ++v) {
+      corunners.clear();
+      for (std::size_t j = 0; j < measured.sessions.size(); ++j) {
+        if (j != v) corunners.push_back(measured.sessions[j]);
+      }
+      const auto x = SampleFeatures(measured.sessions[v], corunners);
+      design.insert(design.end(), x.begin(), x.end());
+      targets.push_back(core::DegradationTarget(
+          *features_, measured.sessions[v], measured.fps[v]));
+    }
+  }
+  GAUGUR_CHECK_MSG(targets.size() >= cols,
+                   "too few samples to fit SMiTe coefficients");
+  coef_ = common::LeastSquares(design, targets.size(), cols, targets);
+  trained_ = true;
+}
+
+double SmiteModel::PredictDegradation(
+    const core::SessionRequest& victim,
+    std::span<const core::SessionRequest> corunners) const {
+  GAUGUR_CHECK_MSG(trained_, "SMiTe model not trained");
+  const auto x = SampleFeatures(victim, corunners);
+  double value = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) value += coef_[i] * x[i];
+  return std::clamp(value, 0.01, 1.0);
+}
+
+double SmiteModel::PredictFps(
+    const core::SessionRequest& victim,
+    std::span<const core::SessionRequest> corunners) const {
+  return PredictDegradation(victim, corunners) *
+         features_->Profile(victim.game_id).SoloFps(victim.resolution);
+}
+
+}  // namespace gaugur::baselines

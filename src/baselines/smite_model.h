@@ -1,0 +1,49 @@
+// The SMiTe baseline (paper §4.1, after Zhang et al. [39], extended to
+// >2 co-runners with Paragon's additive-intensity assumption [13]):
+//
+//   delta_A|{B,C,...} = sum_r c_r * delta_A_r(1) * (I_B_r + I_C_r + ...)
+//                       + c_0                                     (Eq. 9)
+//
+// delta_A_r(1) is A's sensitivity *score* (degradation at maximum
+// pressure) and the co-runner intensities are summed per resource — the
+// two simplifications (linearity, additivity) GAugur's Observations 4-5
+// show to be wrong for games. Coefficients come from ridge-regularized
+// least squares on the training samples.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "gaugur/features.h"
+#include "gaugur/training.h"
+
+namespace gaugur::baselines {
+
+class SmiteModel {
+ public:
+  explicit SmiteModel(const core::FeatureBuilder& features);
+
+  void Train(std::span<const core::MeasuredColocation> corpus);
+  bool IsTrained() const { return trained_; }
+
+  double PredictDegradation(
+      const core::SessionRequest& victim,
+      std::span<const core::SessionRequest> corunners) const;
+
+  double PredictFps(const core::SessionRequest& victim,
+                    std::span<const core::SessionRequest> corunners) const;
+
+  /// [c_1..c_R, c_0] after training.
+  const std::vector<double>& Coefficients() const { return coef_; }
+
+ private:
+  std::vector<double> SampleFeatures(
+      const core::SessionRequest& victim,
+      std::span<const core::SessionRequest> corunners) const;
+
+  const core::FeatureBuilder* features_;
+  std::vector<double> coef_;
+  bool trained_ = false;
+};
+
+}  // namespace gaugur::baselines

@@ -1,0 +1,58 @@
+#include "baselines/vbp_model.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gaugur::baselines {
+
+using resources::Resource;
+
+VbpModel::VbpModel(const core::FeatureBuilder& features)
+    : features_(&features) {}
+
+std::vector<double> VbpModel::Demand(
+    const core::SessionRequest& session) const {
+  const auto& profile = features_->Profile(session.game_id);
+  // Utilizations were measured at the reference resolution; scale the
+  // pixel-dependent dimensions by the pixel ratio (an operator without
+  // GAugur's two-point intensity fits would do exactly this).
+  const double pixel_ratio =
+      std::clamp(session.resolution.Megapixels() /
+                     resources::kReferenceResolution.Megapixels(),
+                 0.4, 1.6);
+  std::vector<double> demand;
+  demand.reserve(kNumDims);
+  for (Resource r : resources::kAllResources) {
+    if (resources::IsCacheCapacity(r)) continue;
+    const double scale = resources::ScalesWithPixels(r) ? pixel_ratio : 1.0;
+    demand.push_back(profile.solo_utilization[r] * scale);
+  }
+  demand.push_back(profile.cpu_memory);
+  demand.push_back(profile.gpu_memory);
+  GAUGUR_CHECK(demand.size() == kNumDims);
+  return demand;
+}
+
+bool VbpModel::Feasible(const core::Colocation& colocation) const {
+  std::vector<double> total(kNumDims, 0.0);
+  for (const auto& session : colocation) {
+    const auto demand = Demand(session);
+    for (std::size_t d = 0; d < kNumDims; ++d) total[d] += demand[d];
+  }
+  return std::all_of(total.begin(), total.end(),
+                     [](double t) { return t <= 1.0; });
+}
+
+double VbpModel::RemainingCapacity(const core::Colocation& colocation) const {
+  std::vector<double> total(kNumDims, 0.0);
+  for (const auto& session : colocation) {
+    const auto demand = Demand(session);
+    for (std::size_t d = 0; d < kNumDims; ++d) total[d] += demand[d];
+  }
+  double remaining = 0.0;
+  for (double t : total) remaining += std::max(0.0, 1.0 - t);
+  return remaining;
+}
+
+}  // namespace gaugur::baselines

@@ -1,0 +1,40 @@
+// The Vector Bin Packing baseline (paper §2.2, §5): each game is a demand
+// vector of its solo resource utilizations; a colocation is feasible when
+// the per-dimension sums stay within server capacity. Cache-capacity
+// resources (LLC, GPU-L2) are excluded — caches are not characterized by
+// utilization (paper §5.1) — while memories are included as capacity
+// dimensions. VBP ignores interference entirely, which is exactly the
+// failure mode the paper's §2.2 example (Dragon's Dogma + Little Witch
+// Academia) demonstrates.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "gaugur/features.h"
+
+namespace gaugur::baselines {
+
+class VbpModel {
+ public:
+  explicit VbpModel(const core::FeatureBuilder& features);
+
+  /// Per-dimension demand of one session (contention dims minus the two
+  /// caches, then CPU memory, then GPU memory).
+  std::vector<double> Demand(const core::SessionRequest& session) const;
+
+  static constexpr std::size_t kNumDims =
+      resources::kNumResources - 2 + 2;  // minus caches, plus 2 memories
+
+  /// Feasible iff the summed demand fits 1.0 in every dimension.
+  bool Feasible(const core::Colocation& colocation) const;
+
+  /// Total remaining capacity across dimensions after hosting
+  /// `colocation` — the worst-fit score used in §5.2 (higher = emptier).
+  double RemainingCapacity(const core::Colocation& colocation) const;
+
+ private:
+  const core::FeatureBuilder* features_;
+};
+
+}  // namespace gaugur::baselines

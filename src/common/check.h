@@ -1,0 +1,41 @@
+// Lightweight precondition / invariant checking.
+//
+// GAUGUR_CHECK is active in all build types: simulation and model-training
+// code paths are cheap relative to the cost of silently corrupt state, and
+// the benches depend on deterministic, validated inputs.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gaugur::common {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "GAUGUR_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace gaugur::common
+
+#define GAUGUR_CHECK(cond)                                              \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::gaugur::common::CheckFailed(#cond, __FILE__, __LINE__, "");     \
+    }                                                                   \
+  } while (0)
+
+#define GAUGUR_CHECK_MSG(cond, msg)                                     \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream gaugur_check_os_;                              \
+      gaugur_check_os_ << msg;                                          \
+      ::gaugur::common::CheckFailed(#cond, __FILE__, __LINE__,          \
+                                    gaugur_check_os_.str());            \
+    }                                                                   \
+  } while (0)

@@ -1,0 +1,88 @@
+#include "common/linalg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gaugur::common {
+
+bool SolveLinearSystem(std::vector<double> a, std::vector<double> b,
+                       std::size_t n, std::vector<double>& x) {
+  GAUGUR_CHECK(a.size() == n * n);
+  GAUGUR_CHECK(b.size() == n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row) {
+      if (std::abs(a[row * n + col]) > std::abs(a[pivot * n + col])) {
+        pivot = row;
+      }
+    }
+    if (std::abs(a[pivot * n + col]) < 1e-14) return false;
+    if (pivot != col) {
+      for (std::size_t k = 0; k < n; ++k) {
+        std::swap(a[col * n + k], a[pivot * n + k]);
+      }
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv = 1.0 / a[col * n + col];
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row * n + col] * inv;
+      if (factor == 0.0) continue;
+      for (std::size_t k = col; k < n; ++k) {
+        a[row * n + k] -= factor * a[col * n + k];
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+  x.assign(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) {
+      sum -= a[i * n + k] * x[k];
+    }
+    x[i] = sum / a[i * n + i];
+  }
+  return true;
+}
+
+std::vector<double> LeastSquares(std::span<const double> x_rowmajor,
+                                 std::size_t rows, std::size_t cols,
+                                 std::span<const double> y, double ridge) {
+  GAUGUR_CHECK(x_rowmajor.size() == rows * cols);
+  GAUGUR_CHECK(y.size() == rows);
+  GAUGUR_CHECK(rows >= 1 && cols >= 1);
+
+  // Normal equations: (X'X + ridge I) w = X'y.
+  std::vector<double> xtx(cols * cols, 0.0);
+  std::vector<double> xty(cols, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* row = x_rowmajor.data() + r * cols;
+    for (std::size_t i = 0; i < cols; ++i) {
+      xty[i] += row[i] * y[r];
+      for (std::size_t j = i; j < cols; ++j) {
+        xtx[i * cols + j] += row[i] * row[j];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < cols; ++i) {
+    xtx[i * cols + i] += ridge;
+    for (std::size_t j = 0; j < i; ++j) {
+      xtx[i * cols + j] = xtx[j * cols + i];
+    }
+  }
+  std::vector<double> w;
+  double boost = ridge;
+  // Escalate regularization until solvable; degenerate designs happen
+  // when a baseline is fit on too few samples.
+  while (!SolveLinearSystem(xtx, xty, cols, w)) {
+    boost = std::max(boost * 100.0, 1e-6);
+    for (std::size_t i = 0; i < cols; ++i) {
+      xtx[i * cols + i] += boost;
+    }
+  }
+  return w;
+}
+
+}  // namespace gaugur::common

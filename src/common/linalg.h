@@ -1,0 +1,25 @@
+// Dense linear algebra for the small systems the baselines need: ordinary
+// least squares via normal equations with partial-pivot Gaussian
+// elimination and Tikhonov ridge fallback for rank-deficient designs.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gaugur::common {
+
+/// Solves A x = b for square A (row-major, n x n) with partial pivoting.
+/// Returns false if A is numerically singular (x untouched).
+bool SolveLinearSystem(std::vector<double> a, std::vector<double> b,
+                       std::size_t n, std::vector<double>& x);
+
+/// Least-squares fit of design matrix X (row-major, rows x cols) against
+/// y: minimizes |X w - y|^2 + ridge * |w|^2. A small default ridge keeps
+/// collinear designs solvable. Returns the weight vector (size cols).
+std::vector<double> LeastSquares(std::span<const double> x_rowmajor,
+                                 std::size_t rows, std::size_t cols,
+                                 std::span<const double> y,
+                                 double ridge = 1e-8);
+
+}  // namespace gaugur::common

@@ -1,0 +1,43 @@
+// Small numeric helpers shared across modules.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace gaugur::common {
+
+inline double Clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+
+inline double Sigmoid(double x) {
+  // Numerically stable in both tails.
+  if (x >= 0.0) {
+    const double e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+/// Linear interpolation between a and b at t in [0, 1].
+inline double Lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+/// Piecewise-linear interpolation over a uniform grid of `n` samples on
+/// [0, 1]. `ys` points at n >= 2 values; x is clamped to [0, 1].
+inline double InterpUniformGrid(const double* ys, int n, double x) {
+  x = Clamp01(x);
+  const double pos = x * static_cast<double>(n - 1);
+  const int lo = std::min(static_cast<int>(pos), n - 2);
+  const double frac = pos - static_cast<double>(lo);
+  return Lerp(ys[lo], ys[lo + 1], frac);
+}
+
+/// Relative error |predicted - actual| / |actual| (actual must be nonzero).
+inline double RelativeError(double predicted, double actual) {
+  return std::abs(predicted - actual) / std::abs(actual);
+}
+
+inline bool ApproxEqual(double a, double b, double tol = 1e-9) {
+  return std::abs(a - b) <= tol * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+}  // namespace gaugur::common

@@ -1,0 +1,153 @@
+// Deterministic, seedable random number generation.
+//
+// Everything stochastic in this repository (game catalog generation,
+// measurement noise, bootstrap sampling, workload draws) flows through Rng so
+// that every test and bench is reproducible run-to-run and across machines.
+// The generator is xoshiro256++ seeded via splitmix64, which is fast,
+// high-quality, and has a trivially portable implementation — we deliberately
+// avoid std::mt19937 + std::*_distribution whose outputs differ across
+// standard libraries.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+#include "common/check.h"
+
+namespace gaugur::common {
+
+/// splitmix64 step; used for seeding and for cheap stateless hashing.
+inline std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ PRNG with convenience draws. Not thread-safe; create one
+/// per thread (see Rng::Fork for deriving independent streams).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9c0ffee123456789ULL) { Seed(seed); }
+
+  void Seed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = SplitMix64(sm);
+    has_cached_gauss_ = false;
+  }
+
+  /// Raw 64 random bits.
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    GAUGUR_CHECK(lo <= hi);
+    return lo + (hi - lo) * Uniform();
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t UniformInt(std::uint64_t n) {
+    GAUGUR_CHECK(n > 0);
+    // Lemire's unbiased bounded generation.
+    std::uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    GAUGUR_CHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    UniformInt(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal via Box–Muller (cached pair).
+  double Gaussian() {
+    if (has_cached_gauss_) {
+      has_cached_gauss_ = false;
+      return cached_gauss_;
+    }
+    double u1 = Uniform();
+    while (u1 <= 1e-300) u1 = Uniform();
+    const double u2 = Uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    cached_gauss_ = r * std::sin(theta);
+    has_cached_gauss_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Normal with given mean and stddev.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Derive an independent stream; deterministic function of current state
+  /// and `stream_id`. Used to hand child components their own generator.
+  Rng Fork(std::uint64_t stream_id) {
+    std::uint64_t mix = Next() ^ (0xa5a5a5a5a5a5a5a5ULL + stream_id);
+    return Rng(SplitMix64(mix));
+  }
+
+  /// Fisher–Yates shuffle of a vector.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(UniformInt(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Sample `k` distinct indices from [0, n) in random order.
+  std::vector<std::size_t> SampleWithoutReplacement(std::size_t n,
+                                                    std::size_t k) {
+    GAUGUR_CHECK(k <= n);
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+    // Partial Fisher–Yates: only the first k positions need randomizing.
+    for (std::size_t i = 0; i < k; ++i) {
+      std::size_t j = i + static_cast<std::size_t>(UniformInt(n - i));
+      std::swap(idx[i], idx[j]);
+    }
+    idx.resize(k);
+    return idx;
+  }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+  double cached_gauss_ = 0.0;
+  bool has_cached_gauss_ = false;
+};
+
+}  // namespace gaugur::common

@@ -1,0 +1,135 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gaugur::common {
+
+double Mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double Variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = Mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size());
+}
+
+double StdDev(std::span<const double> xs) { return std::sqrt(Variance(xs)); }
+
+double Min(std::span<const double> xs) {
+  GAUGUR_CHECK(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double Max(std::span<const double> xs) {
+  GAUGUR_CHECK(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double Sum(std::span<const double> xs) {
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s;
+}
+
+double Percentile(std::span<const double> xs, double q) {
+  GAUGUR_CHECK(!xs.empty());
+  GAUGUR_CHECK(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double PearsonCorrelation(std::span<const double> xs,
+                          std::span<const double> ys) {
+  GAUGUR_CHECK(xs.size() == ys.size());
+  if (xs.size() < 2) return 0.0;
+  const double mx = Mean(xs);
+  const double my = Mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+LineFit FitLine(std::span<const double> xs, std::span<const double> ys) {
+  GAUGUR_CHECK(xs.size() == ys.size());
+  GAUGUR_CHECK(xs.size() >= 2);
+  const double mx = Mean(xs);
+  const double my = Mean(ys);
+  double sxy = 0.0, sxx = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+  }
+  GAUGUR_CHECK_MSG(sxx > 0.0, "FitLine requires non-constant x values");
+  LineFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double r = ys[i] - fit.Eval(xs[i]);
+    ss_res += r * r;
+    ss_tot += (ys[i] - my) * (ys[i] - my);
+  }
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+std::vector<CdfPoint> EmpiricalCdf(std::span<const double> xs,
+                                   std::size_t num_points) {
+  GAUGUR_CHECK(!xs.empty());
+  GAUGUR_CHECK(num_points >= 2);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<CdfPoint> cdf;
+  cdf.reserve(num_points);
+  for (std::size_t i = 0; i < num_points; ++i) {
+    const double frac =
+        static_cast<double>(i + 1) / static_cast<double>(num_points);
+    const auto idx = static_cast<std::size_t>(
+        frac * static_cast<double>(sorted.size() - 1) + 0.5);
+    cdf.push_back({sorted[idx], frac});
+  }
+  return cdf;
+}
+
+void RunningStats::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::Variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::StdDev() const { return std::sqrt(Variance()); }
+
+}  // namespace gaugur::common

@@ -1,0 +1,75 @@
+// Small statistics toolkit used throughout profiling, model evaluation and
+// the bench report generators: moments, percentiles, CDF sampling, simple
+// least-squares line fits, and correlation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gaugur::common {
+
+double Mean(std::span<const double> xs);
+
+/// Population variance (divide by n). Returns 0 for n < 2.
+double Variance(std::span<const double> xs);
+
+double StdDev(std::span<const double> xs);
+
+double Min(std::span<const double> xs);
+double Max(std::span<const double> xs);
+double Sum(std::span<const double> xs);
+
+/// Linear-interpolated percentile, q in [0, 1]. Sorts a copy.
+double Percentile(std::span<const double> xs, double q);
+
+/// Pearson correlation coefficient; returns 0 if either side is constant.
+double PearsonCorrelation(std::span<const double> xs,
+                          std::span<const double> ys);
+
+/// Result of an ordinary least-squares line fit y = slope * x + intercept.
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination of the fit in [0, 1].
+  double r_squared = 0.0;
+
+  double Eval(double x) const { return slope * x + intercept; }
+};
+
+/// OLS fit of y on x. Requires at least two points; with exactly two it
+/// returns the interpolating line (r_squared = 1).
+LineFit FitLine(std::span<const double> xs, std::span<const double> ys);
+
+/// One (x, F(x)) point of an empirical CDF.
+struct CdfPoint {
+  double value = 0.0;
+  double fraction = 0.0;
+};
+
+/// Empirical CDF of `xs` evaluated at `num_points` evenly spaced fractions
+/// in (0, 1]. Useful for the CDF figures (7c, 10b).
+std::vector<CdfPoint> EmpiricalCdf(std::span<const double> xs,
+                                   std::size_t num_points = 20);
+
+/// Streaming mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+  std::size_t Count() const { return n_; }
+  double Mean() const { return mean_; }
+  /// Population variance.
+  double Variance() const;
+  double StdDev() const;
+  double Min() const { return min_; }
+  double Max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace gaugur::common

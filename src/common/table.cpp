@@ -1,0 +1,107 @@
+#include "common/table.h"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace gaugur::common {
+
+Table::Table(std::vector<std::string> headers, int double_precision)
+    : headers_(std::move(headers)), double_precision_(double_precision) {
+  GAUGUR_CHECK(!headers_.empty());
+}
+
+void Table::AddRow(std::vector<Cell> cells) {
+  GAUGUR_CHECK_MSG(cells.size() == headers_.size(),
+                   "row has " << cells.size() << " cells, expected "
+                              << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Format(const Cell& cell) const {
+  if (const auto* s = std::get_if<std::string>(&cell)) return *s;
+  if (const auto* i = std::get_if<long long>(&cell)) {
+    return std::to_string(*i);
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(double_precision_)
+     << std::get<double>(cell);
+  return os.str();
+}
+
+std::string Table::ToText() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  std::vector<std::vector<std::string>> formatted;
+  formatted.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(Format(row[c]));
+      widths[c] = std::max(widths[c], cells.back().size());
+    }
+    formatted.push_back(std::move(cells));
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::left
+         << std::setw(static_cast<int>(widths[c])) << cells[c];
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c == 0 ? "" : "  ") << std::string(widths[c], '-');
+  }
+  os << '\n';
+  for (const auto& row : formatted) emit_row(row);
+  return os.str();
+}
+
+std::string Table::ToCsv() const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c == 0 ? "" : ",") << quote(headers_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : ",") << quote(Format(row[c]));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void Table::Print(std::ostream& os, const std::string& title) const {
+  if (!title.empty()) {
+    os << "\n== " << title << " ==\n";
+  }
+  os << ToText();
+}
+
+bool Table::WriteCsv(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << ToCsv();
+  return static_cast<bool>(file);
+}
+
+}  // namespace gaugur::common

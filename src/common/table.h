@@ -1,0 +1,46 @@
+// Report tables for the bench harness. Each paper figure is regenerated as
+// a text table (aligned columns, printed to stdout) and optionally a CSV
+// file, so results can be eyeballed in the terminal or re-plotted.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace gaugur::common {
+
+/// A cell is a string, an integer, or a double (printed with fixed
+/// precision chosen per table).
+using Cell = std::variant<std::string, long long, double>;
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int double_precision = 3);
+
+  /// Appends a row; must have exactly as many cells as headers.
+  void AddRow(std::vector<Cell> cells);
+
+  std::size_t NumRows() const { return rows_.size(); }
+
+  /// Renders with aligned columns and a header separator.
+  std::string ToText() const;
+
+  /// Renders RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  std::string ToCsv() const;
+
+  /// Print ToText() to the stream with an optional title banner.
+  void Print(std::ostream& os, const std::string& title = "") const;
+
+  /// Write ToCsv() to `path`; returns false on I/O failure.
+  bool WriteCsv(const std::string& path) const;
+
+ private:
+  std::string Format(const Cell& cell) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int double_precision_;
+};
+
+}  // namespace gaugur::common

@@ -1,0 +1,106 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "common/check.h"
+
+namespace gaugur::common {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] {
+      for (;;) {
+        std::function<void()> task;
+        {
+          std::unique_lock lock(mutex_);
+          cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+          if (stop_ && tasks_.empty()) return;
+          task = std::move(tasks_.front());
+          tasks_.pop();
+        }
+        task();
+      }
+    });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  auto packaged =
+      std::make_shared<std::packaged_task<void()>>(std::move(task));
+  std::future<void> future = packaged->get_future();
+  {
+    std::lock_guard lock(mutex_);
+    GAUGUR_CHECK_MSG(!stop_, "Submit on stopped ThreadPool");
+    tasks_.emplace([packaged] { (*packaged)(); });
+  }
+  cv_.notify_one();
+  return future;
+}
+
+bool ThreadPool::OnWorkerThread() const {
+  const auto self = std::this_thread::get_id();
+  return std::any_of(workers_.begin(), workers_.end(),
+                     [self](const std::thread& w) { return w.get_id() == self; });
+}
+
+void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
+                             const std::function<void(std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  // Inline when trivial or when called from a worker (nested parallelism):
+  // a worker blocking on futures served by the same pool would deadlock.
+  if (n == 1 || workers_.size() == 1 || OnWorkerThread()) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  const std::size_t num_chunks = std::min(n, workers_.size() * 4);
+  std::atomic<std::size_t> next_chunk{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto run_chunks = [&] {
+    for (;;) {
+      const std::size_t c = next_chunk.fetch_add(1);
+      if (c >= num_chunks) return;
+      const std::size_t chunk_begin = begin + c * n / num_chunks;
+      const std::size_t chunk_end = begin + (c + 1) * n / num_chunks;
+      try {
+        for (std::size_t i = chunk_begin; i < chunk_end; ++i) body(i);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+  std::vector<std::future<void>> futures;
+  const std::size_t helpers = std::min(workers_.size(), num_chunks) - 1;
+  futures.reserve(helpers);
+  for (std::size_t i = 0; i < helpers; ++i) {
+    futures.push_back(Submit(run_chunks));
+  }
+  run_chunks();  // The calling thread participates too.
+  for (auto& f : futures) f.wait();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace gaugur::common

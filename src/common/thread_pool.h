@@ -1,0 +1,59 @@
+// Fixed-size worker pool with a blocking task queue plus a ParallelFor
+// convenience for the embarrassingly parallel loops in this repository:
+// fitting the trees of a random forest, sweeping profiling pressures, and
+// evaluating scheduler candidates.
+//
+// Design notes (why not std::async / OpenMP):
+//  * std::async gives no control over thread count and may serialize;
+//  * the repo must build with no dependencies beyond the standard library;
+//  * a single shared pool avoids oversubscription when nested code paths
+//    (e.g. forest-fit inside a bench sweep) both want parallelism — inner
+//    calls fall back to inline execution when invoked from a worker thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gaugur::common {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t NumThreads() const { return workers_.size(); }
+
+  /// Enqueue a task; returns a future for its completion.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs body(i) for i in [begin, end), distributing contiguous chunks
+  /// over the pool and blocking until all complete. Exceptions thrown by
+  /// `body` are rethrown (first one wins). Safe to call from a worker
+  /// thread: it then runs inline to avoid deadlock.
+  void ParallelFor(std::size_t begin, std::size_t end,
+                   const std::function<void(std::size_t)>& body);
+
+  /// Process-wide default pool (lazily constructed).
+  static ThreadPool& Global();
+
+ private:
+  bool OnWorkerThread() const;
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace gaugur::common

@@ -1,0 +1,413 @@
+#include "gamesim/catalog.h"
+
+#include <array>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "resources/resolution.h"
+
+namespace gaugur::gamesim {
+
+using resources::Resource;
+
+namespace {
+
+struct Range {
+  double lo = 0.0;
+  double hi = 1.0;
+  double Draw(common::Rng& rng) const { return rng.Uniform(lo, hi); }
+};
+
+/// Per-genre parameter distributions at the reference resolution (1080p)
+/// on the default (GTX-1060-class) server.
+struct GenreArchetype {
+  Range t_cpu_ms;
+  Range gpu_fps_intercept;   // F_gpu(M) = intercept - slope * M
+  Range gpu_fps_slope;
+  Range xfer_fraction;
+  std::array<double, 4> cap_choices;  // candidate FPS caps (1e5 = uncapped)
+  Range occ_cpu, occ_llc, occ_mem, occ_gpu, occ_gbw, occ_gl2, occ_pcie;
+  Range amp_cpu_side;        // inflation amplitudes for CPU-side resources
+  Range amp_gpu_side;
+  Range amp_pcie;
+  Range cpu_memory, gpu_memory;
+};
+
+const GenreArchetype& ArchetypeFor(Genre g) {
+  // clang-format off
+  static const GenreArchetype kMoba{
+      {3.0, 6.0}, {300, 420}, {40, 70}, {0.06, 0.14}, {240, 300, 1e5, 1e5},
+      {0.30, 0.50}, {0.20, 0.40}, {0.20, 0.35}, {0.30, 0.50},
+      {0.25, 0.40}, {0.20, 0.40}, {0.15, 0.30},
+      {0.5, 1.3}, {0.4, 1.1}, {0.2, 0.6}, {0.05, 0.12}, {0.05, 0.12}};
+  static const GenreArchetype kFps{
+      {2.5, 5.0}, {350, 500}, {50, 90}, {0.06, 0.14}, {300, 1e5, 1e5, 1e5},
+      {0.35, 0.55}, {0.25, 0.45}, {0.25, 0.45}, {0.35, 0.60},
+      {0.30, 0.50}, {0.25, 0.45}, {0.20, 0.35},
+      {0.5, 1.4}, {0.5, 1.3}, {0.2, 0.7}, {0.06, 0.15}, {0.06, 0.15}};
+  static const GenreArchetype kAaa{
+      {8.0, 14.0}, {130, 190}, {25, 45}, {0.08, 0.18}, {1e5, 1e5, 1e5, 144},
+      {0.40, 0.60}, {0.40, 0.60}, {0.40, 0.60}, {0.60, 0.85},
+      {0.50, 0.80}, {0.40, 0.70}, {0.30, 0.50},
+      {0.5, 1.2}, {0.6, 1.3}, {0.3, 0.8}, {0.12, 0.24}, {0.14, 0.24}};
+  static const GenreArchetype kMmo{
+      {6.0, 10.0}, {190, 270}, {30, 50}, {0.07, 0.15}, {1e5, 1e5, 144, 1e5},
+      {0.50, 0.70}, {0.35, 0.55}, {0.40, 0.60}, {0.35, 0.55},
+      {0.30, 0.50}, {0.25, 0.45}, {0.20, 0.35},
+      {0.5, 1.3}, {0.4, 1.0}, {0.2, 0.6}, {0.10, 0.22}, {0.08, 0.18}};
+  static const GenreArchetype kRts{
+      {8.0, 16.0}, {200, 300}, {25, 45}, {0.05, 0.12}, {1e5, 1e5, 1e5, 72},
+      {0.50, 0.75}, {0.50, 0.70}, {0.50, 0.70}, {0.25, 0.45},
+      {0.20, 0.40}, {0.20, 0.40}, {0.12, 0.25},
+      {0.6, 1.4}, {0.3, 0.8}, {0.15, 0.5}, {0.10, 0.22}, {0.06, 0.16}};
+  static const GenreArchetype kIndie{
+      {2.0, 4.0}, {400, 700}, {20, 60}, {0.04, 0.10}, {72, 144, 72, 1e5},
+      {0.08, 0.22}, {0.06, 0.20}, {0.06, 0.18}, {0.08, 0.25},
+      {0.06, 0.20}, {0.06, 0.18}, {0.04, 0.14},
+      {0.2, 0.8}, {0.2, 0.7}, {0.1, 0.4}, {0.03, 0.08}, {0.03, 0.08}};
+  static const GenreArchetype kRacing{
+      {5.0, 8.0}, {180, 260}, {30, 55}, {0.07, 0.15}, {144, 72, 1e5, 1e5},
+      {0.30, 0.50}, {0.25, 0.45}, {0.25, 0.45}, {0.40, 0.65},
+      {0.35, 0.55}, {0.30, 0.50}, {0.20, 0.40},
+      {0.5, 1.2}, {0.5, 1.3}, {0.2, 0.7}, {0.08, 0.18}, {0.08, 0.20}};
+  static const GenreArchetype kCasual{
+      {2.0, 5.0}, {300, 600}, {10, 40}, {0.04, 0.10}, {72, 72, 144, 72},
+      {0.05, 0.15}, {0.04, 0.14}, {0.04, 0.12}, {0.05, 0.16},
+      {0.04, 0.13}, {0.04, 0.12}, {0.03, 0.10},
+      {0.15, 0.6}, {0.15, 0.6}, {0.1, 0.35}, {0.02, 0.06}, {0.02, 0.06}};
+  // clang-format on
+  switch (g) {
+    case Genre::kMoba:           return kMoba;
+    case Genre::kCompetitiveFps: return kFps;
+    case Genre::kOpenWorldAaa:   return kAaa;
+    case Genre::kMmorpg:         return kMmo;
+    case Genre::kRtsSim:         return kRts;
+    case Genre::kIndie2d:        return kIndie;
+    case Genre::kRacingSports:   return kRacing;
+    case Genre::kCasual:         return kCasual;
+  }
+  return kCasual;
+}
+
+/// Random inflation shape; cache resources favor cliff/plateau responses
+/// (working-set effects), bandwidth resources favor concave ones.
+InflationShape DrawShape(common::Rng& rng, Resource r) {
+  const double u = rng.Uniform();
+  if (resources::IsCacheCapacity(r)) {
+    if (u < 0.45) return InflationShape::Power(rng.Uniform(1.6, 3.2));
+    if (u < 0.80) return InflationShape::Plateau(rng.Uniform(0.25, 0.55));
+    return InflationShape::Logistic(rng.Uniform(6.0, 12.0),
+                                    rng.Uniform(0.4, 0.7));
+  }
+  if (r == Resource::kMemBw || r == Resource::kGpuBw ||
+      r == Resource::kPcieBw) {
+    if (u < 0.40) return InflationShape::Power(rng.Uniform(0.5, 0.9));
+    if (u < 0.75) return InflationShape::Linear();
+    return InflationShape::Logistic(rng.Uniform(4.0, 8.0),
+                                    rng.Uniform(0.3, 0.6));
+  }
+  // Compute engines.
+  if (u < 0.35) return InflationShape::Linear();
+  if (u < 0.70) return InflationShape::Logistic(rng.Uniform(5.0, 10.0),
+                                                rng.Uniform(0.35, 0.65));
+  return InflationShape::Power(rng.Uniform(1.2, 2.2));
+}
+
+Game GenerateGame(int id, std::string name, Genre genre, common::Rng rng) {
+  const GenreArchetype& a = ArchetypeFor(genre);
+  Game g;
+  g.id = id;
+  g.name = std::move(name);
+  g.genre = genre;
+  g.t_cpu_ms = a.t_cpu_ms.Draw(rng);
+  g.gpu_fps_intercept = a.gpu_fps_intercept.Draw(rng);
+  g.gpu_fps_slope = a.gpu_fps_slope.Draw(rng);
+  g.xfer_fraction = a.xfer_fraction.Draw(rng);
+  g.fps_cap = a.cap_choices[rng.UniformInt(4)];
+  g.pixel_scale_floor = rng.Uniform(0.15, 0.35);
+  g.throughput_coupling = rng.Uniform(0.2, 0.5);
+  g.cpu_memory = a.cpu_memory.Draw(rng);
+  g.gpu_memory = a.gpu_memory.Draw(rng);
+
+  g.occupancy_ref[Resource::kCpuCore] = a.occ_cpu.Draw(rng);
+  g.occupancy_ref[Resource::kLlc] = a.occ_llc.Draw(rng);
+  g.occupancy_ref[Resource::kMemBw] = a.occ_mem.Draw(rng);
+  g.occupancy_ref[Resource::kGpuCore] = a.occ_gpu.Draw(rng);
+  g.occupancy_ref[Resource::kGpuBw] = a.occ_gbw.Draw(rng);
+  g.occupancy_ref[Resource::kGpuL2] = a.occ_gl2.Draw(rng);
+  g.occupancy_ref[Resource::kPcieBw] = a.occ_pcie.Draw(rng);
+
+  for (Resource r : resources::kAllResources) {
+    double amp;
+    if (resources::IsCpuSide(r)) {
+      amp = a.amp_cpu_side.Draw(rng);
+    } else if (resources::IsGpuSide(r)) {
+      amp = a.amp_gpu_side.Draw(rng);
+    } else {
+      amp = a.amp_pcie.Draw(rng);
+    }
+    g.response[r] = InflationResponse{amp, DrawShape(rng, r)};
+  }
+  return g;
+}
+
+struct NamedGame {
+  std::string_view name;
+  Genre genre;
+};
+
+/// The 100 titles (names from the paper's reference [3]) with the genre
+/// archetype each one draws its hidden parameters from.
+constexpr auto kGameList = std::to_array<NamedGame>({
+    // MOBAs / arena games.
+    {"Dota2", Genre::kMoba},
+    {"LoL", Genre::kMoba},
+    {"AirMech Strike", Genre::kMoba},
+    {"Battlerite", Genre::kMoba},
+    {"Tiger Knight", Genre::kMoba},
+    // Competitive shooters.
+    {"H1Z1", Genre::kCompetitiveFps},
+    {"CoD14", Genre::kCompetitiveFps},
+    {"Team Fortress 2", Genre::kCompetitiveFps},
+    {"Black Squad", Genre::kCompetitiveFps},
+    {"Warface", Genre::kCompetitiveFps},
+    {"PlanetSide2", Genre::kCompetitiveFps},
+    {"Heroes and Generals", Genre::kCompetitiveFps},
+    {"Radical Heights", Genre::kCompetitiveFps},
+    {"Unturned", Genre::kCompetitiveFps},
+    {"Robocraft", Genre::kCompetitiveFps},
+    // Open-world / AAA.
+    {"Far Cry 4", Genre::kOpenWorldAaa},
+    {"The Witcher 3 - Wild Hunt", Genre::kOpenWorldAaa},
+    {"Assassin's Creed Origins", Genre::kOpenWorldAaa},
+    {"Rise of The Tomb Raider", Genre::kOpenWorldAaa},
+    {"The Elder Scrolls 5", Genre::kOpenWorldAaa},
+    {"ARK Survival Evolved", Genre::kOpenWorldAaa},
+    {"Kingdom Come: Deliverance", Genre::kOpenWorldAaa},
+    {"DARK SOULS III", Genre::kOpenWorldAaa},
+    {"Dragon's Dogma", Genre::kOpenWorldAaa},
+    {"NieR: Automata", Genre::kOpenWorldAaa},
+    {"Borderland2", Genre::kOpenWorldAaa},
+    {"DmC: Devil May Cry", Genre::kOpenWorldAaa},
+    {"FINAL FANTASY XII The Zodiac Age", Genre::kOpenWorldAaa},
+    {"H1Z1 Test Server", Genre::kOpenWorldAaa},
+    // MMO / online worlds.
+    {"World of Warcraft", Genre::kMmorpg},
+    {"Granado Espada", Genre::kMmorpg},
+    {"Warframe", Genre::kMmorpg},
+    {"World of Warships", Genre::kMmorpg},
+    {"War Thunder", Genre::kMmorpg},
+    {"War Robots", Genre::kMmorpg},
+    {"VEGA Conflict", Genre::kMmorpg},
+    {"Russian Fishing 4", Genre::kMmorpg},
+    {"GUNS UP!", Genre::kMmorpg},
+    {"The Legend of Heroes: Trails of Cold Steel", Genre::kMmorpg},
+    // RTS / simulation.
+    {"Ancestors Legacy", Genre::kRtsSim},
+    {"StarCraft 2", Genre::kRtsSim},
+    {"Cities: Skylines", Genre::kRtsSim},
+    {"Stellaris", Genre::kRtsSim},
+    {"RimWorld", Genre::kRtsSim},
+    {"Oxygen Not Included", Genre::kRtsSim},
+    {"Northgard", Genre::kRtsSim},
+    {"Empire Earth III", Genre::kRtsSim},
+    {"CALL TO ARMS", Genre::kRtsSim},
+    {"Craft The World", Genre::kRtsSim},
+    {"Romance of the Three Kingdoms 11", Genre::kRtsSim},
+    {"Warcraft", Genre::kRtsSim},
+    {"Divinity: Original Sin 2", Genre::kRtsSim},
+    {"Hobo: Tough Life", Genre::kRtsSim},
+    // Indie / 2D.
+    {"Stardew Valley", Genre::kIndie2d},
+    {"Slay the Spire", Genre::kIndie2d},
+    {"Ori and the Blind Forest", Genre::kIndie2d},
+    {"Salt and Sanctuary", Genre::kIndie2d},
+    {"Little Nightmares", Genre::kIndie2d},
+    {"Candle", Genre::kIndie2d},
+    {"FAR: Lone Sails", Genre::kIndie2d},
+    {"Getting Over It with Bennett Foddy", Genre::kIndie2d},
+    {"Human: Fall Flat", Genre::kIndie2d},
+    {"BlubBlub", Genre::kIndie2d},
+    {"Gems of War", Genre::kIndie2d},
+    {"Delicious 12", Genre::kIndie2d},
+    {"Maries Room", Genre::kIndie2d},
+    {"A Walk in the Woods", Genre::kIndie2d},
+    {"After Dreams", Genre::kIndie2d},
+    {"Frightened Beetles", Genre::kIndie2d},
+    {"The Sibling Experiment", Genre::kIndie2d},
+    {"The will of a single Tale", Genre::kIndie2d},
+    {"Project RAT", Genre::kIndie2d},
+    {"Cognizer", Genre::kIndie2d},
+    {"Destined", Genre::kIndie2d},
+    {"Torchlight II", Genre::kIndie2d},
+    {"The Long Dark", Genre::kIndie2d},
+    {"Impact Winter", Genre::kIndie2d},
+    {"Life is Strange: Before the Storm", Genre::kIndie2d},
+    {"Little Witch Academia", Genre::kIndie2d},
+    // Racing / sports / fighting (balanced pipelines).
+    {"Need for Speed: Hot Pursuit", Genre::kRacingSports},
+    {"Project CARS", Genre::kRacingSports},
+    {"WRC 5", Genre::kRacingSports},
+    {"NBA 2K17", Genre::kRacingSports},
+    {"NBA Playgrounds", Genre::kRacingSports},
+    {"PES2017", Genre::kRacingSports},
+    {"PES2015", Genre::kRacingSports},
+    {"PES2012", Genre::kRacingSports},
+    {"TEKKEN 7", Genre::kRacingSports},
+    {"NARUTO SHIPPUDEN: Ultimate Ninja STORM 4", Genre::kRacingSports},
+    {"DRAGON BALL XENOVERSE 2", Genre::kRacingSports},
+    {"Dynasty Warriors 5", Genre::kRacingSports},
+    {"Mahou Arms", Genre::kRacingSports},
+    {"RiME", Genre::kRacingSports},
+    // Casual / card / idle.
+    {"Hearth Stone", Genre::kCasual},
+    {"Shop Heroes", Genre::kCasual},
+    {"Endless Fables: The Minotaur's Curse", Genre::kCasual},
+    {"The Walking Dead: A New Frontier", Genre::kCasual},
+    {"Hand of Fate 2", Genre::kCasual},
+    {"Logout", Genre::kCasual},
+    {"Tactical Monsters Rumble Arena", Genre::kCasual},
+});
+static_assert(kGameList.size() == 100);
+
+/// Showcase-game tuning to reproduce the paper's named qualitative facts.
+void ApplyShowcaseOverrides(std::vector<Game>& games) {
+  auto find = [&](std::string_view name) -> Game& {
+    for (auto& g : games) {
+      if (g.name == name) return g;
+    }
+    common::CheckFailed("showcase game present", __FILE__, __LINE__,
+                        std::string(name));
+  };
+
+  {
+    // Observation 3: ~70% degradation under max CPU-CE pressure. Make the
+    // game CPU-bound so CPU-stage inflation hits frame time directly.
+    Game& tes = find("The Elder Scrolls 5");
+    tes.t_cpu_ms = 11.0;                     // 91 FPS CPU limit
+    tes.gpu_fps_intercept = 200.0;           // plenty of GPU headroom
+    tes.gpu_fps_slope = 30.0;
+    tes.fps_cap = 1e5;
+    tes.response[Resource::kCpuCore] =
+        InflationResponse{2.3, InflationShape::Logistic(7.0, 0.45)};
+  }
+  {
+    // Observation 3 + 1: sensitive to everything, but only ~30% CPU-CE
+    // degradation at max pressure (GPU-bound with moderate CPU headroom).
+    Game& fc = find("Far Cry 4");
+    // GPU-bound at every player resolution (CPU limit 143 > GPU limit at
+    // 720p of ~124), so the Eq. 2 linear fit holds across the range.
+    fc.t_cpu_ms = 7.0;
+    fc.gpu_fps_intercept = 150.0;  // F_gpu(2.07 Mpix) ~= 92 FPS
+    fc.gpu_fps_slope = 28.0;
+    fc.fps_cap = 1e5;
+    fc.response[Resource::kCpuCore] =
+        InflationResponse{1.22, InflationShape::Power(1.4)};
+    fc.response[Resource::kLlc] =
+        InflationResponse{0.9, InflationShape::Plateau(0.35)};
+    fc.response[Resource::kMemBw] =
+        InflationResponse{0.85, InflationShape::Power(0.7)};
+    fc.response[Resource::kGpuCore] =
+        InflationResponse{1.3, InflationShape::Logistic(6.0, 0.5)};
+    fc.response[Resource::kGpuBw] =
+        InflationResponse{1.0, InflationShape::Power(0.8)};
+    fc.response[Resource::kGpuL2] =
+        InflationResponse{0.8, InflationShape::Power(2.0)};
+    fc.response[Resource::kPcieBw] =
+        InflationResponse{0.6, InflationShape::Linear()};
+  }
+  {
+    // Observation 2: very sensitive to GPU-CE, but light GPU-CE intensity.
+    Game& ge = find("Granado Espada");
+    ge.response[Resource::kGpuCore] =
+        InflationResponse{2.6, InflationShape::Logistic(8.0, 0.4)};
+    ge.occupancy_ref[Resource::kGpuCore] = 0.12;
+    ge.gpu_fps_intercept = 230.0;
+    ge.gpu_fps_slope = 40.0;
+    ge.t_cpu_ms = 7.0;
+  }
+  {
+    // Fig. 1: Ancestors Legacy + Borderland2 colocate above 60 FPS...
+    Game& al = find("Ancestors Legacy");
+    al.t_cpu_ms = 8.0;  // 125 FPS CPU limit
+    al.gpu_fps_intercept = 220.0;
+    al.gpu_fps_slope = 35.0;
+    al.fps_cap = 1e5;
+    for (Resource r : resources::kAllResources) {
+      al.response[r].amplitude *= 0.7;  // fairly contention-tolerant
+    }
+    al.response[Resource::kCpuCore] =
+        InflationResponse{1.4, InflationShape::Logistic(7.0, 0.55)};
+    for (auto& o : al.occupancy_ref) o *= 0.8;
+
+    Game& bl = find("Borderland2");
+    bl.t_cpu_ms = 7.5;
+    bl.gpu_fps_intercept = 210.0;
+    bl.gpu_fps_slope = 34.0;
+    bl.fps_cap = 1e5;
+    for (auto& o : bl.occupancy_ref) o *= 0.75;   // light co-runner
+    for (Resource r : resources::kAllResources) {
+      bl.response[r].amplitude *= 0.55;           // contention-tolerant too
+    }
+
+    // ... while H1Z1 is a heavy, messy co-runner.
+    Game& h1 = find("H1Z1");
+    h1.occupancy_ref[Resource::kCpuCore] = 0.62;
+    h1.occupancy_ref[Resource::kMemBw] = 0.55;
+    h1.occupancy_ref[Resource::kGpuCore] = 0.60;
+    h1.occupancy_ref[Resource::kGpuBw] = 0.52;
+  }
+  {
+    // §2.2: VBP-feasible pair that violates QoS when actually colocated.
+    Game& dd = find("Dragon's Dogma");
+    dd.occupancy_ref[Resource::kCpuCore] = 0.45;
+    dd.occupancy_ref[Resource::kGpuCore] = 0.32;
+    dd.cpu_memory = 0.06;
+    dd.gpu_memory = 0.05;
+
+    Game& lwa = find("Little Witch Academia");
+    lwa.t_cpu_ms = 6.0;
+    lwa.gpu_fps_intercept = 130.0;  // solo ~68 FPS at 1080p
+    lwa.gpu_fps_slope = 30.0;
+    lwa.fps_cap = 1e5;
+    lwa.occupancy_ref[Resource::kCpuCore] = 0.33;
+    lwa.occupancy_ref[Resource::kGpuCore] = 0.60;
+    lwa.cpu_memory = 0.25;
+    lwa.gpu_memory = 0.50;
+    lwa.response[Resource::kGpuCore] =
+        InflationResponse{1.6, InflationShape::Power(0.75)};
+    lwa.response[Resource::kCpuCore] =
+        InflationResponse{1.0, InflationShape::Power(0.8)};
+  }
+}
+
+}  // namespace
+
+GameCatalog GameCatalog::MakeDefault(std::uint64_t seed) {
+  GameCatalog catalog;
+  common::Rng root(seed);
+  catalog.games_.reserve(kGameList.size());
+  for (std::size_t i = 0; i < kGameList.size(); ++i) {
+    catalog.games_.push_back(GenerateGame(static_cast<int>(i),
+                                          std::string(kGameList[i].name),
+                                          kGameList[i].genre,
+                                          root.Fork(i)));
+  }
+  ApplyShowcaseOverrides(catalog.games_);
+  return catalog;
+}
+
+const Game* GameCatalog::FindByName(std::string_view name) const {
+  for (const auto& g : games_) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+const Game& GameCatalog::ByName(std::string_view name) const {
+  const Game* g = FindByName(name);
+  GAUGUR_CHECK_MSG(g != nullptr, "no game named " << name);
+  return *g;
+}
+
+}  // namespace gaugur::gamesim

@@ -1,0 +1,48 @@
+#include "gamesim/contention.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/mathutil.h"
+
+namespace gaugur::gamesim {
+
+using resources::Resource;
+
+double AggregatePressure(Resource r, std::span<const double> occ,
+                         const ContentionParams& params) {
+  if (occ.empty()) return 0.0;
+  if (resources::IsCacheCapacity(r)) {
+    // Super-additive: footprints plus pairwise-overlap thrashing boost.
+    double sum = 0.0;
+    for (double o : occ) sum += std::max(0.0, o);
+    double overlap = 0.0;
+    for (std::size_t j = 0; j < occ.size(); ++j) {
+      for (std::size_t k = j + 1; k < occ.size(); ++k) {
+        overlap += std::min(std::max(0.0, occ[j]), std::max(0.0, occ[k]));
+      }
+    }
+    return std::min(params.cache_pressure_cap,
+                    sum + params.cache_overlap_boost * overlap);
+  }
+  // Sub-additive saturation: complement-product law.
+  double complement = 1.0;
+  for (double o : occ) complement *= 1.0 - common::Clamp01(o);
+  return 1.0 - complement;
+}
+
+resources::PerResource<double> AggregatePressures(
+    std::span<const resources::PerResource<double>> occupancies,
+    const ContentionParams& params) {
+  resources::PerResource<double> pressure{};
+  std::vector<double> occ(occupancies.size());
+  for (Resource r : resources::kAllResources) {
+    for (std::size_t j = 0; j < occupancies.size(); ++j) {
+      occ[j] = occupancies[j][r];
+    }
+    pressure[r] = AggregatePressure(r, occ, params);
+  }
+  return pressure;
+}
+
+}  // namespace gaugur::gamesim

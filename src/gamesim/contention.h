@@ -1,0 +1,50 @@
+// Pressure aggregation: how the occupancies of multiple co-running
+// workloads combine into the contention pressure felt on each shared
+// resource.
+//
+// The paper's Observation 5 is that game intensity is NOT additive: the
+// aggregate pressure of two games can be well below or above the sum of
+// their individual pressures, which is precisely what breaks the
+// SMiTe/Paragon additive baselines. We model two physically motivated
+// regimes:
+//
+//  * Bandwidth/compute-engine resources saturate: requests interleave, so
+//    combined pressure follows the complement-product law
+//        P = 1 - prod_j (1 - o_j)             (sub-additive)
+//    — two 0.6 streams yield 0.84, not 1.2.
+//
+//  * Cache-capacity resources thrash: overlapping working sets evict each
+//    other, so combined pressure gets a pairwise-overlap boost
+//        P = min(cap, sum_j o_j + eta * sum_{j<k} min(o_j, o_k))
+//    — two 0.4 working sets pressure the cache like 0.4+0.4+0.2 = 1.0
+//    (super-additive).
+//
+// Both laws reduce to P = o for a single co-runner, so sensitivity curves
+// profiled against a lone benchmark remain directly interpretable.
+#pragma once
+
+#include <span>
+
+#include "resources/resource.h"
+
+namespace gaugur::gamesim {
+
+struct ContentionParams {
+  /// Pairwise-overlap boost for cache-capacity resources.
+  double cache_overlap_boost = 0.45;
+  /// Ceiling on cache pressure (slightly above 1: total thrash).
+  double cache_pressure_cap = 1.10;
+};
+
+/// Combined pressure on resource `r` from co-runner occupancies `occ`
+/// (one value per co-runner; the victim itself is excluded by the caller).
+double AggregatePressure(resources::Resource r, std::span<const double> occ,
+                         const ContentionParams& params = {});
+
+/// Convenience: aggregate across all resources at once. `occupancies[j]`
+/// is co-runner j's full per-resource occupancy vector.
+resources::PerResource<double> AggregatePressures(
+    std::span<const resources::PerResource<double>> occupancies,
+    const ContentionParams& params = {});
+
+}  // namespace gaugur::gamesim

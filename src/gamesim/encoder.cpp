@@ -1,0 +1,26 @@
+#include "gamesim/encoder.h"
+
+#include <algorithm>
+
+#include "resources/resource.h"
+
+namespace gaugur::gamesim {
+
+using resources::Resource;
+
+void AttachHardwareEncoder(WorkloadProfile& workload,
+                           const resources::Resolution& resolution,
+                           const EncoderSettings& settings) {
+  // Pixel throughput relative to 1080p60.
+  const double reference_throughput =
+      resources::k1080p.NumPixels() * 60.0;
+  const double throughput =
+      resolution.NumPixels() * std::min(settings.stream_fps, 240.0);
+  const double scale = throughput / reference_throughput;
+
+  workload.occupancy[Resource::kGpuBw] += settings.gpu_bw_occupancy * scale;
+  workload.occupancy[Resource::kPcieBw] += settings.pcie_occupancy * scale;
+  workload.occupancy[Resource::kCpuCore] += settings.cpu_occupancy * scale;
+}
+
+}  // namespace gaugur::gamesim

@@ -1,0 +1,33 @@
+// Hardware video encoding (paper §7): cloud-gaming servers encode each
+// session's rendered frames into a video stream. Modern GPUs carry a
+// dedicated encoder block (NVENC-class), so encoding consumes almost no
+// shader compute — its footprint is a small amount of GPU memory
+// bandwidth (reading back frames), PCIe bandwidth (shipping the
+// bitstream), and a sliver of CPU for the streaming stack. The paper
+// argues this is insignificant and leaves it out; we model it so the
+// claim can be checked (see EncoderImpact in the tests and the
+// quantification in EXPERIMENTS.md).
+#pragma once
+
+#include "gamesim/workload.h"
+#include "resources/resolution.h"
+
+namespace gaugur::gamesim {
+
+struct EncoderSettings {
+  /// Streamed frame rate (encoder works per delivered frame).
+  double stream_fps = 60.0;
+  /// Footprints at 1080p60 as occupancy fractions; scaled linearly in
+  /// streamed pixel throughput.
+  double gpu_bw_occupancy = 0.015;
+  double pcie_occupancy = 0.02;
+  double cpu_occupancy = 0.01;
+};
+
+/// Adds a hardware-encoder footprint for a session streaming at
+/// `resolution` to the session's own workload profile.
+void AttachHardwareEncoder(WorkloadProfile& workload,
+                           const resources::Resolution& resolution,
+                           const EncoderSettings& settings = {});
+
+}  // namespace gaugur::gamesim

@@ -1,0 +1,78 @@
+#include "gamesim/game.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gaugur::gamesim {
+
+using resources::Resolution;
+using resources::Resource;
+
+namespace {
+// Minimum GPU throughput: even pathological resolutions render something.
+constexpr double kMinGpuFps = 5.0;
+}  // namespace
+
+std::string_view GenreName(Genre g) {
+  switch (g) {
+    case Genre::kMoba:           return "MOBA";
+    case Genre::kCompetitiveFps: return "CompetitiveFPS";
+    case Genre::kOpenWorldAaa:   return "OpenWorldAAA";
+    case Genre::kMmorpg:         return "MMORPG";
+    case Genre::kRtsSim:         return "RTS/Sim";
+    case Genre::kIndie2d:        return "Indie2D";
+    case Genre::kRacingSports:   return "Racing/Sports";
+    case Genre::kCasual:         return "Casual";
+  }
+  return "?";
+}
+
+double Game::GpuLimitFps(const Resolution& res) const {
+  return std::max(kMinGpuFps,
+                  gpu_fps_intercept - gpu_fps_slope * res.Megapixels());
+}
+
+double Game::SoloFps(const Resolution& res) const {
+  const double cpu_limit = 1000.0 / t_cpu_ms;
+  return std::min({fps_cap, cpu_limit, GpuLimitFps(res)});
+}
+
+WorkloadProfile Game::AtResolution(const Resolution& res) const {
+  GAUGUR_CHECK(t_cpu_ms > 0.0);
+  GAUGUR_CHECK(xfer_fraction >= 0.0 && xfer_fraction < 1.0);
+
+  WorkloadProfile w;
+  w.name = name;
+  w.t_cpu_ms = t_cpu_ms;
+  const double t_gpu_total_ms = 1000.0 / GpuLimitFps(res);
+  w.t_gpu_render_ms = t_gpu_total_ms * (1.0 - xfer_fraction);
+  w.t_xfer_ms = t_gpu_total_ms * xfer_fraction;
+  w.fps_cap = fps_cap;
+  w.throughput_coupling = throughput_coupling;
+  w.cpu_memory = cpu_memory;
+  w.gpu_memory = gpu_memory;
+  w.response = response;
+
+  const double pixel_ratio =
+      res.Megapixels() / resources::kReferenceResolution.Megapixels();
+  const double gpu_scale =
+      pixel_scale_floor + (1.0 - pixel_scale_floor) * pixel_ratio;
+  for (Resource r : resources::kAllResources) {
+    const double scale = resources::ScalesWithPixels(r) ? gpu_scale : 1.0;
+    w.occupancy[r] = occupancy_ref[r] * scale;
+  }
+  // A frame-capped game that could render faster idles between frames;
+  // its steady-state occupancy shrinks with the duty cycle it actually
+  // sustains relative to its uncapped pipeline throughput.
+  const double pipeline_fps =
+      std::min(1000.0 / t_cpu_ms, GpuLimitFps(res));
+  if (fps_cap < pipeline_fps) {
+    const double duty = fps_cap / pipeline_fps;
+    for (auto& o : w.occupancy) o *= duty;
+  }
+  return w;
+}
+
+}  // namespace gaugur::gamesim

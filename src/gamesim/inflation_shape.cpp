@@ -1,0 +1,32 @@
+#include "gamesim/inflation_shape.h"
+
+#include <cmath>
+
+#include "common/mathutil.h"
+
+namespace gaugur::gamesim {
+
+double InflationShape::Eval(double x) const {
+  x = common::Clamp01(x);
+  switch (kind) {
+    case ShapeKind::kLinear:
+      return x;
+    case ShapeKind::kPower:
+      return std::pow(x, p1);
+    case ShapeKind::kLogistic: {
+      // Normalize the sigmoid so the curve passes exactly through (0,0)
+      // and (1,1) regardless of steepness/knee.
+      const double lo = common::Sigmoid(p1 * (0.0 - p2));
+      const double hi = common::Sigmoid(p1 * (1.0 - p2));
+      const double v = common::Sigmoid(p1 * (x - p2));
+      return (v - lo) / (hi - lo);
+    }
+    case ShapeKind::kPlateau: {
+      if (x <= p2) return 0.0;
+      return (x - p2) / (1.0 - p2);
+    }
+  }
+  return x;
+}
+
+}  // namespace gaugur::gamesim

@@ -1,0 +1,228 @@
+#include "gamesim/server_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace gaugur::gamesim {
+
+using resources::Resource;
+
+namespace {
+
+constexpr int kMaxIterations = 200;
+constexpr double kDamping = 0.5;
+constexpr double kConvergenceTol = 1e-10;
+
+/// Frame time of workload `w` (with scene-complexity scale) under the
+/// given pressure vector.
+double FrameMs(const WorkloadProfile& w, double complexity,
+               const resources::PerResource<double>& pressure) {
+  double cpu = w.t_cpu_ms * complexity;
+  double gpu = w.t_gpu_render_ms * complexity;
+  double xfer = w.t_xfer_ms * complexity;
+  for (Resource r : resources::kAllResources) {
+    const double factor = w.response[r].SlowdownFactor(pressure[r]);
+    if (resources::IsCpuSide(r)) {
+      cpu *= factor;
+    } else if (resources::IsGpuSide(r)) {
+      gpu *= factor;
+    } else {  // PCIe
+      xfer *= factor;
+    }
+  }
+  const double pipeline = std::max(cpu, gpu + xfer);
+  return std::max(pipeline, 1000.0 / w.fps_cap);
+}
+
+}  // namespace
+
+ServerSim::ServerSim(resources::ServerSpec spec, ContentionParams contention)
+    : spec_(std::move(spec)), contention_(contention) {}
+
+bool ServerSim::FitsMemory(std::span<const WorkloadProfile> workloads) const {
+  double cpu_mem = 0.0, gpu_mem = 0.0;
+  for (const auto& w : workloads) {
+    cpu_mem += w.cpu_memory;
+    gpu_mem += w.gpu_memory;
+  }
+  return cpu_mem <= spec_.cpu_memory && gpu_mem <= spec_.gpu_memory;
+}
+
+std::vector<SessionResult> ServerSim::Solve(
+    std::span<const WorkloadProfile> workloads,
+    std::span<const double> complexity) const {
+  GAUGUR_CHECK(workloads.size() == complexity.size());
+  const std::size_t n = workloads.size();
+  std::vector<SessionResult> results(n);
+  if (n == 0) return results;
+
+  std::vector<double> solo_rate(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Solo rate at this scene complexity (pressure-free frame time).
+    static constexpr resources::PerResource<double> kNoPressure{};
+    solo_rate[i] = 1000.0 / FrameMs(workloads[i], complexity[i], kNoPressure);
+  }
+
+  // Fixed point over rate ratios: occupancy scales with achieved rate,
+  // pressure derives from occupancy, frame time derives from pressure.
+  std::vector<double> ratio(n, 1.0);
+  std::vector<resources::PerResource<double>> eff_occ(n);
+  std::vector<double> occ_column(n > 0 ? n - 1 : 0);
+
+  for (int iter = 0; iter < kMaxIterations; ++iter) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double scale =
+          std::pow(ratio[j], workloads[j].throughput_coupling);
+      for (Resource r : resources::kAllResources) {
+        eff_occ[j][r] = workloads[j].occupancy[r] * scale;
+      }
+    }
+    double max_delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      resources::PerResource<double> pressure{};
+      for (Resource r : resources::kAllResources) {
+        std::size_t m = 0;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (j != i) occ_column[m++] = eff_occ[j][r];
+        }
+        pressure[r] = AggregatePressure(
+            r, std::span<const double>(occ_column.data(), m), contention_);
+        // Heterogeneous-capacity servers scale felt pressure.
+        pressure[r] /= spec_.capacity[r];
+      }
+      const double rate =
+          1000.0 / FrameMs(workloads[i], complexity[i], pressure);
+      const double new_ratio = std::min(1.0, rate / solo_rate[i]);
+      const double damped =
+          ratio[i] + kDamping * (new_ratio - ratio[i]);
+      max_delta = std::max(max_delta, std::abs(damped - ratio[i]));
+      ratio[i] = damped;
+      results[i].rate = rate;
+    }
+    if (max_delta < kConvergenceTol) break;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    results[i].rate_ratio = std::min(1.0, results[i].rate / solo_rate[i]);
+    results[i].rate = std::min(results[i].rate, solo_rate[i]);
+  }
+  return results;
+}
+
+std::vector<SessionResult> ServerSim::RunAnalytic(
+    std::span<const WorkloadProfile> workloads) const {
+  const std::vector<double> complexity(workloads.size(), 1.0);
+  return Solve(workloads, complexity);
+}
+
+std::vector<SessionResult> ServerSim::Measure(
+    std::span<const WorkloadProfile> workloads, std::uint64_t seed,
+    double noise_sigma) const {
+  auto results = RunAnalytic(workloads);
+  common::Rng rng(seed);
+  for (auto& res : results) {
+    // Log-normal multiplicative noise, mean-one to first order.
+    const double noise = std::exp(rng.Gaussian(0.0, noise_sigma) -
+                                  0.5 * noise_sigma * noise_sigma);
+    res.rate *= noise;
+    res.rate_ratio = std::min(1.0, res.rate_ratio * noise);
+  }
+  return results;
+}
+
+std::vector<FrameTimeStats> ServerSim::SimulateFrameTimes(
+    std::span<const WorkloadProfile> workloads, int num_frames,
+    std::uint64_t seed) const {
+  GAUGUR_CHECK(num_frames > 0);
+  const std::size_t n = workloads.size();
+  common::Rng rng(seed);
+
+  std::vector<double> complexity(n, 1.0);
+  constexpr double kAr = 0.98;
+  constexpr double kSceneSigma = 0.05;
+  const double innovation_sigma = kSceneSigma * std::sqrt(1.0 - kAr * kAr);
+  std::vector<double> log_c(n, 0.0);
+
+  std::vector<std::vector<double>> frame_ms(n);
+  for (auto& v : frame_ms) v.reserve(static_cast<std::size_t>(num_frames));
+  for (int f = 0; f < num_frames; ++f) {
+    for (std::size_t j = 0; j < n; ++j) {
+      log_c[j] = kAr * log_c[j] + rng.Gaussian(0.0, innovation_sigma);
+      complexity[j] = std::exp(log_c[j]);
+    }
+    const auto frame = Solve(workloads, complexity);
+    for (std::size_t j = 0; j < n; ++j) {
+      frame_ms[j].push_back(1000.0 / frame[j].rate);
+    }
+  }
+
+  std::vector<FrameTimeStats> stats(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    auto& ms = frame_ms[j];
+    stats[j].mean_ms = common::Mean(ms);
+    stats[j].p95_ms = common::Percentile(ms, 0.95);
+    stats[j].max_ms = common::Max(ms);
+  }
+  return stats;
+}
+
+std::vector<SessionResult> ServerSim::SimulateFrames(
+    std::span<const WorkloadProfile> workloads, int num_frames,
+    std::uint64_t seed) const {
+  GAUGUR_CHECK(num_frames > 0);
+  const std::size_t n = workloads.size();
+  common::Rng rng(seed);
+
+  // AR(1) scene-complexity process per workload: slow wander around 1.0.
+  std::vector<double> complexity(n, 1.0);
+  constexpr double kAr = 0.98;          // frame-to-frame persistence
+  constexpr double kSceneSigma = 0.05;  // stationary stddev of log-complexity
+  const double innovation_sigma = kSceneSigma * std::sqrt(1.0 - kAr * kAr);
+  std::vector<double> log_c(n, 0.0);
+
+  std::vector<double> rate_sum(n, 0.0);
+  for (int f = 0; f < num_frames; ++f) {
+    for (std::size_t j = 0; j < n; ++j) {
+      log_c[j] = kAr * log_c[j] + rng.Gaussian(0.0, innovation_sigma);
+      complexity[j] = std::exp(log_c[j]);
+    }
+    const auto frame = Solve(workloads, complexity);
+    for (std::size_t j = 0; j < n; ++j) rate_sum[j] += frame[j].rate;
+  }
+
+  std::vector<SessionResult> results(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    results[j].rate = rate_sum[j] / num_frames;
+    results[j].rate_ratio =
+        std::min(1.0, results[j].rate / workloads[j].SoloRate());
+  }
+  return results;
+}
+
+resources::PerResource<double> ServerSim::EquilibriumPressureOn(
+    std::span<const WorkloadProfile> workloads, std::size_t victim) const {
+  GAUGUR_CHECK(victim < workloads.size());
+  const auto results = RunAnalytic(workloads);
+  const std::size_t n = workloads.size();
+  std::vector<double> occ_column;
+  occ_column.reserve(n - 1);
+  resources::PerResource<double> pressure{};
+  for (Resource r : resources::kAllResources) {
+    occ_column.clear();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == victim) continue;
+      const double scale =
+          std::pow(results[j].rate_ratio, workloads[j].throughput_coupling);
+      occ_column.push_back(workloads[j].occupancy[r] * scale);
+    }
+    pressure[r] = AggregatePressure(r, occ_column, contention_) /
+                  spec_.capacity[r];
+  }
+  return pressure;
+}
+
+}  // namespace gaugur::gamesim

@@ -1,0 +1,95 @@
+// ServerSim: the stand-in for the paper's physical testbed (i7-7700 +
+// GTX 1060 under ASTER multiseat). It "runs" a set of colocated workloads
+// and reports each one's throughput.
+//
+// The model: each workload's occupancies generate contention pressure on
+// the seven shared resources (contention.h); pressure inflates the other
+// workloads' stage times (inflation_shape.h); and occupancy itself scales
+// with the rate a workload actually sustains (a game rendering at half
+// speed issues roughly half the memory traffic). That feedback loop makes
+// the colocation a fixed point, which RunAnalytic solves by damped
+// iteration.
+//
+// Three entry points:
+//  * RunAnalytic    — exact equilibrium, no noise (ground truth).
+//  * Measure        — equilibrium + multiplicative measurement noise,
+//                     emulating the paper's several-minute mean-FPS
+//                     measurements over a varying game scene.
+//  * SimulateFrames — frame-by-frame simulation with AR(1) scene-
+//                     complexity jitter; used to validate that Measure's
+//                     closed form matches the mean of an actual frame loop.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gamesim/contention.h"
+#include "gamesim/workload.h"
+#include "resources/server_spec.h"
+
+namespace gaugur::gamesim {
+
+struct SessionResult {
+  /// Achieved throughput (frames or iterations per second).
+  double rate = 0.0;
+  /// rate / solo rate, in (0, 1]: the paper's "performance degradation".
+  double rate_ratio = 1.0;
+};
+
+/// Frame-time distribution of one session over a simulated scene (for the
+/// paper's §7 interaction-delay extension: processing delay ~ frame time).
+struct FrameTimeStats {
+  double mean_ms = 0.0;
+  double p95_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+class ServerSim {
+ public:
+  explicit ServerSim(resources::ServerSpec spec = resources::ServerSpec::Default(),
+                     ContentionParams contention = {});
+
+  const resources::ServerSpec& spec() const { return spec_; }
+
+  /// True if the workloads' total memory demands fit the server.
+  bool FitsMemory(std::span<const WorkloadProfile> workloads) const;
+
+  /// Exact contention equilibrium (deterministic, noise-free).
+  std::vector<SessionResult> RunAnalytic(
+      std::span<const WorkloadProfile> workloads) const;
+
+  /// Equilibrium plus multiplicative log-normal measurement noise with the
+  /// given sigma. Deterministic in `seed`.
+  std::vector<SessionResult> Measure(std::span<const WorkloadProfile> workloads,
+                                     std::uint64_t seed,
+                                     double noise_sigma = 0.015) const;
+
+  /// Simulates `num_frames` frames; each workload's stage times are
+  /// modulated by an AR(1) scene-complexity process. Returns mean rates.
+  std::vector<SessionResult> SimulateFrames(
+      std::span<const WorkloadProfile> workloads, int num_frames,
+      std::uint64_t seed) const;
+
+  /// Same frame loop, but returns each session's frame-time distribution
+  /// statistics (processing-delay observable, paper §7).
+  std::vector<FrameTimeStats> SimulateFrameTimes(
+      std::span<const WorkloadProfile> workloads, int num_frames,
+      std::uint64_t seed) const;
+
+  /// Pressure vector felt by workload `victim` at equilibrium — exposed
+  /// for tests and the ablation benches, not used by predictors.
+  resources::PerResource<double> EquilibriumPressureOn(
+      std::span<const WorkloadProfile> workloads, std::size_t victim) const;
+
+ private:
+  /// Core fixed-point solve; `complexity[j]` scales workload j's stage
+  /// times (1.0 = nominal scene).
+  std::vector<SessionResult> Solve(std::span<const WorkloadProfile> workloads,
+                                   std::span<const double> complexity) const;
+
+  resources::ServerSpec spec_;
+  ContentionParams contention_;
+};
+
+}  // namespace gaugur::gamesim

@@ -1,0 +1,64 @@
+// WorkloadProfile: the common currency of the contention simulator.
+//
+// Both games (at a chosen resolution) and pressure micro-benchmarks (at a
+// chosen pressure level) reduce to a WorkloadProfile before being handed
+// to ServerSim. A profile captures:
+//   * stage times of the frame/iteration loop when running alone,
+//   * the occupancy this workload places on each shared resource,
+//   * how each stage's time inflates under pressure on each resource,
+//   * an optional throughput cap (game engine FPS cap).
+//
+// The frame loop is modeled as a pipelined CPU stage overlapping a GPU
+// stage that includes a host<->device transfer slice:
+//
+//   frame_ms = max( t_cpu,  t_gpu_render + t_xfer )
+//
+// CPU-side resources (CPU-CE, LLC, MEM-BW) inflate t_cpu; GPU-side
+// resources (GPU-CE, GPU-BW, GPU-L2) inflate t_gpu_render; PCIe-BW
+// inflates t_xfer.
+#pragma once
+
+#include <string>
+
+#include "gamesim/inflation_shape.h"
+#include "resources/resource.h"
+
+namespace gaugur::gamesim {
+
+struct WorkloadProfile {
+  std::string name;
+
+  /// Solo stage times in milliseconds.
+  double t_cpu_ms = 5.0;
+  double t_gpu_render_ms = 5.0;
+  double t_xfer_ms = 1.0;
+
+  /// Throughput cap in iterations (frames) per second; large = uncapped.
+  double fps_cap = 100000.0;
+
+  /// Occupancy placed on each shared resource while running at the solo
+  /// rate, in [0, ~1]. Occupancy scales down when the workload is slowed
+  /// (see throughput_coupling).
+  resources::PerResource<double> occupancy{};
+
+  /// Exponent phi in [0,1]: effective occupancy = occupancy *
+  /// (achieved_rate / solo_rate)^phi. 0 = pressure independent of achieved
+  /// frame rate; 1 = pressure fully proportional to it.
+  double throughput_coupling = 0.5;
+
+  /// Per-resource stage inflation responses.
+  resources::PerResource<InflationResponse> response{};
+
+  /// Memory demands (capacity constraints only; no contention dimension).
+  double cpu_memory = 0.05;
+  double gpu_memory = 0.05;
+
+  /// Solo frame time / rate implied by the stage times and cap.
+  double SoloFrameMs() const {
+    const double pipeline = std::max(t_cpu_ms, t_gpu_render_ms + t_xfer_ms);
+    return std::max(pipeline, 1000.0 / fps_cap);
+  }
+  double SoloRate() const { return 1000.0 / SoloFrameMs(); }
+};
+
+}  // namespace gaugur::gamesim

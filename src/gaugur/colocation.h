@@ -1,0 +1,35 @@
+// Colocation primitives: a session request (game + player-chosen
+// resolution), a colocation (the set of sessions sharing one server), and
+// a measured colocation (the observed frame rates).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "resources/resolution.h"
+
+namespace gaugur::core {
+
+struct SessionRequest {
+  int game_id = -1;
+  resources::Resolution resolution = resources::kReferenceResolution;
+
+  friend bool operator==(const SessionRequest&,
+                         const SessionRequest&) = default;
+};
+
+using Colocation = std::vector<SessionRequest>;
+
+struct MeasuredColocation {
+  Colocation sessions;
+  /// Measured frame rate of each session (paper: mean FPS over the test
+  /// scene), parallel to `sessions`.
+  std::vector<double> fps;
+};
+
+/// Canonical string key for a colocation (sorted game ids + resolutions);
+/// used for memoizing predictions and ground-truth measurements.
+std::string ColocationKey(const Colocation& colocation);
+
+}  // namespace gaugur::core

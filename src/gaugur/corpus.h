@@ -1,0 +1,32 @@
+// Training-corpus generation (paper §4): a set of real game colocations is
+// measured once, offline, to supply training samples for both models. The
+// paper measures 500 colocations of two games, 100 of three and 100 of
+// four, each game at a randomly selected resolution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gaugur/lab.h"
+
+namespace gaugur::core {
+
+struct CorpusOptions {
+  int num_pairs = 500;
+  int num_triples = 100;
+  int num_quads = 100;
+  /// Draw each session's resolution uniformly from the player resolutions;
+  /// otherwise everything runs at the reference resolution.
+  bool random_resolutions = true;
+  /// FPS measurement noise for the corpus measurements.
+  double noise_sigma = 0.015;
+  std::uint64_t seed = 99;
+};
+
+/// Draws random distinct-game colocations (re-drawing any whose memory
+/// demands don't fit the server — those cannot be launched at all) and
+/// measures each one. Deterministic in options.seed.
+std::vector<MeasuredColocation> GenerateCorpus(const ColocationLab& lab,
+                                               const CorpusOptions& options);
+
+}  // namespace gaugur::core

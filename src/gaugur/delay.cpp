@@ -1,0 +1,57 @@
+#include "gaugur/delay.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "ml/factory.h"
+
+namespace gaugur::core {
+
+DelayPredictor::DelayPredictor(const FeatureBuilder& features,
+                               DelayPredictorConfig config)
+    : features_(&features),
+      config_(std::move(config)),
+      model_(ml::MakeRegressor(config_.algorithm, config_.seed)) {}
+
+void DelayPredictor::Train(const ColocationLab& lab,
+                           std::span<const MeasuredColocation> corpus) {
+  GAUGUR_CHECK(!corpus.empty());
+  ml::Dataset dataset(features_->RmDim(), features_->RmFeatureNames());
+  common::Rng rng(config_.seed);
+
+  std::vector<SessionRequest> corunners;
+  for (const auto& measured : corpus) {
+    const auto frame_stats =
+        lab.MeasureFrameTimes(measured.sessions, rng.Next());
+    for (std::size_t v = 0; v < measured.sessions.size(); ++v) {
+      corunners.clear();
+      for (std::size_t j = 0; j < measured.sessions.size(); ++j) {
+        if (j != v) corunners.push_back(measured.sessions[j]);
+      }
+      // Log-space target: delay spans ~3ms..100ms and the relevant error
+      // is relative.
+      dataset.Add(features_->RmFeatures(measured.sessions[v], corunners),
+                  std::log(std::max(0.1, frame_stats[v].p95_ms)));
+    }
+  }
+  model_->Fit(dataset);
+  trained_ = true;
+}
+
+double DelayPredictor::PredictP95DelayMs(
+    const SessionRequest& victim,
+    std::span<const SessionRequest> corunners) const {
+  GAUGUR_CHECK_MSG(trained_, "DelayPredictor not trained");
+  const auto x = features_->RmFeatures(victim, corunners);
+  return std::clamp(std::exp(model_->Predict(x)), 0.1, 10000.0);
+}
+
+bool DelayPredictor::PredictDelayOk(
+    double budget_ms, const SessionRequest& victim,
+    std::span<const SessionRequest> corunners) const {
+  return PredictP95DelayMs(victim, corunners) <= budget_ms;
+}
+
+}  // namespace gaugur::core

@@ -1,0 +1,58 @@
+// Interaction-delay prediction — the paper's §7/§8 extension. Cloud
+// gaming cares about processing delay (the server-side time to turn a
+// player's input into an encoded frame), which is dominated by frame
+// time. The paper states the processing delay of colocated games "can be
+// predicted in a similar way using our methodology"; this module does so:
+// a regression model over the same contention features as the RM, with
+// the tail frame time (p95 over a play scene) as the target, trained in
+// log space because delay spans more than an order of magnitude.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "gaugur/features.h"
+#include "gaugur/lab.h"
+#include "ml/model.h"
+
+namespace gaugur::core {
+
+struct DelayPredictorConfig {
+  std::string algorithm = "GBRT";
+  /// Frames simulated per delay measurement during training.
+  int frames_per_measurement = 240;
+  std::uint64_t seed = 47;
+};
+
+class DelayPredictor {
+ public:
+  explicit DelayPredictor(const FeatureBuilder& features,
+                          DelayPredictorConfig config = {});
+
+  /// Measures the p95 frame time of every session of every training
+  /// colocation (offline, like the FPS corpus measurements) and fits the
+  /// regressor. Deterministic in config.seed.
+  void Train(const ColocationLab& lab,
+             std::span<const MeasuredColocation> corpus);
+
+  bool IsTrained() const { return trained_; }
+
+  /// Predicted p95 processing delay (ms) of `victim` among `corunners`.
+  double PredictP95DelayMs(
+      const SessionRequest& victim,
+      std::span<const SessionRequest> corunners) const;
+
+  /// QoS view: does the predicted tail delay stay under `budget_ms`?
+  bool PredictDelayOk(double budget_ms, const SessionRequest& victim,
+                      std::span<const SessionRequest> corunners) const;
+
+ private:
+  const FeatureBuilder* features_;
+  DelayPredictorConfig config_;
+  std::unique_ptr<ml::Regressor> model_;
+  bool trained_ = false;
+};
+
+}  // namespace gaugur::core

@@ -1,0 +1,94 @@
+#include "gaugur/lab.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+#include "gamesim/encoder.h"
+
+namespace gaugur::core {
+
+std::string ColocationKey(const Colocation& colocation) {
+  std::vector<std::pair<int, long long>> parts;
+  parts.reserve(colocation.size());
+  for (const auto& s : colocation) {
+    parts.emplace_back(s.game_id, static_cast<long long>(
+                                      s.resolution.NumPixels()));
+  }
+  std::sort(parts.begin(), parts.end());
+  std::ostringstream os;
+  for (const auto& [id, pixels] : parts) {
+    os << id << '@' << pixels << ';';
+  }
+  return os.str();
+}
+
+ColocationLab::ColocationLab(const gamesim::GameCatalog& catalog,
+                             const gamesim::ServerSim& server,
+                             LabOptions options)
+    : catalog_(&catalog), server_(&server), options_(options) {}
+
+std::vector<gamesim::WorkloadProfile> ColocationLab::ToWorkloads(
+    const Colocation& colocation) const {
+  std::vector<gamesim::WorkloadProfile> workloads;
+  workloads.reserve(colocation.size());
+  for (const auto& session : colocation) {
+    GAUGUR_CHECK(session.game_id >= 0 &&
+                 static_cast<std::size_t>(session.game_id) <
+                     catalog_->size());
+    workloads.push_back(
+        (*catalog_)[static_cast<std::size_t>(session.game_id)].AtResolution(
+            session.resolution));
+    if (options_.include_encoders) {
+      gamesim::AttachHardwareEncoder(workloads.back(), session.resolution);
+    }
+  }
+  return workloads;
+}
+
+MeasuredColocation ColocationLab::Measure(const Colocation& colocation,
+                                          std::uint64_t seed,
+                                          double noise_sigma) const {
+  const auto workloads = ToWorkloads(colocation);
+  const auto results = server_->Measure(workloads, seed, noise_sigma);
+  MeasuredColocation measured;
+  measured.sessions = colocation;
+  measured.fps.reserve(results.size());
+  for (const auto& r : results) measured.fps.push_back(r.rate);
+  return measured;
+}
+
+std::vector<double> ColocationLab::TrueFps(
+    const Colocation& colocation) const {
+  const auto workloads = ToWorkloads(colocation);
+  const auto results = server_->RunAnalytic(workloads);
+  std::vector<double> fps;
+  fps.reserve(results.size());
+  for (const auto& r : results) fps.push_back(r.rate);
+  return fps;
+}
+
+double ColocationLab::TrueSoloFps(const SessionRequest& session) const {
+  return TrueFps({session})[0];
+}
+
+std::vector<gamesim::FrameTimeStats> ColocationLab::MeasureFrameTimes(
+    const Colocation& colocation, std::uint64_t seed) const {
+  return server_->SimulateFrameTimes(ToWorkloads(colocation),
+                                     options_.delay_frames, seed);
+}
+
+bool ColocationLab::FitsMemory(const Colocation& colocation) const {
+  return server_->FitsMemory(ToWorkloads(colocation));
+}
+
+bool ColocationLab::TrulyFeasible(const Colocation& colocation,
+                                  double qos_fps) const {
+  if (!FitsMemory(colocation)) return false;
+  for (double fps : TrueFps(colocation)) {
+    if (fps < qos_fps) return false;
+  }
+  return true;
+}
+
+}  // namespace gaugur::core

@@ -1,0 +1,67 @@
+// ColocationLab: the "machine room" — the only place where colocations
+// are actually run on the simulated server. Corpus generation, ground
+// truth for the feasibility study (Fig. 9), and the final scheduler
+// evaluations (Fig. 9c, 10) all measure through the lab; prediction
+// methodologies never touch it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gamesim/catalog.h"
+#include "gamesim/server_sim.h"
+#include "gaugur/colocation.h"
+
+namespace gaugur::core {
+
+struct LabOptions {
+  /// Attach a hardware-encoder footprint to every session (paper §7:
+  /// servers also encode and stream the rendered frames).
+  bool include_encoders = false;
+  /// Frames simulated per MeasureFrameTimes call.
+  int delay_frames = 240;
+};
+
+class ColocationLab {
+ public:
+  ColocationLab(const gamesim::GameCatalog& catalog,
+                const gamesim::ServerSim& server, LabOptions options = {});
+
+  const gamesim::GameCatalog& catalog() const { return *catalog_; }
+  const gamesim::ServerSim& server() const { return *server_; }
+
+  /// Runs the colocation and records noisy frame-rate measurements
+  /// (deterministic in `seed`).
+  MeasuredColocation Measure(const Colocation& colocation,
+                             std::uint64_t seed,
+                             double noise_sigma = 0.015) const;
+
+  /// Noise-free equilibrium frame rates (evaluation ground truth).
+  std::vector<double> TrueFps(const Colocation& colocation) const;
+
+  /// Noise-free solo frame rate of one session.
+  double TrueSoloFps(const SessionRequest& session) const;
+
+  /// Frame-time distribution of each session over a simulated scene —
+  /// the processing-delay observable of the §7 extension.
+  std::vector<gamesim::FrameTimeStats> MeasureFrameTimes(
+      const Colocation& colocation, std::uint64_t seed) const;
+
+  /// Whether the colocation's memory demands fit the server; a colocation
+  /// that does not fit cannot run at all (and is never QoS-feasible).
+  bool FitsMemory(const Colocation& colocation) const;
+
+  /// Ground-truth QoS feasibility: memory fits and every session's true
+  /// frame rate meets `qos_fps`.
+  bool TrulyFeasible(const Colocation& colocation, double qos_fps) const;
+
+ private:
+  std::vector<gamesim::WorkloadProfile> ToWorkloads(
+      const Colocation& colocation) const;
+
+  const gamesim::GameCatalog* catalog_;
+  const gamesim::ServerSim* server_;
+  LabOptions options_;
+};
+
+}  // namespace gaugur::core

@@ -1,0 +1,85 @@
+#include "gaugur/predictor.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "ml/factory.h"
+
+namespace gaugur::core {
+
+GAugurPredictor::GAugurPredictor(const FeatureBuilder& features,
+                                 PredictorConfig config)
+    : features_(&features),
+      config_(std::move(config)),
+      rm_(ml::MakeRegressor(config_.rm_algorithm, config_.seed)),
+      cm_(ml::MakeClassifier(config_.cm_algorithm, config_.seed + 1)) {}
+
+void GAugurPredictor::TrainRm(std::span<const MeasuredColocation> corpus) {
+  TrainRmOnDataset(BuildRmDataset(*features_, corpus));
+}
+
+void GAugurPredictor::TrainRmOnDataset(const ml::Dataset& dataset) {
+  GAUGUR_CHECK(dataset.NumFeatures() == features_->RmDim());
+  rm_->Fit(dataset);
+  rm_trained_ = true;
+}
+
+void GAugurPredictor::TrainCm(std::span<const MeasuredColocation> corpus,
+                              std::span<const double> qos_grid) {
+  TrainCmOnDataset(BuildCmDatasetMultiQos(*features_, corpus, qos_grid));
+}
+
+void GAugurPredictor::TrainCmOnDataset(const ml::Dataset& dataset) {
+  GAUGUR_CHECK(dataset.NumFeatures() == features_->CmDim());
+  cm_->Fit(dataset);
+  cm_trained_ = true;
+}
+
+double GAugurPredictor::PredictDegradation(
+    const SessionRequest& victim,
+    std::span<const SessionRequest> corunners) const {
+  GAUGUR_CHECK_MSG(rm_trained_, "RM not trained");
+  const auto x = features_->RmFeatures(victim, corunners);
+  return std::clamp(rm_->Predict(x), 0.01, 1.0);
+}
+
+double GAugurPredictor::PredictFps(
+    const SessionRequest& victim,
+    std::span<const SessionRequest> corunners) const {
+  return PredictDegradation(victim, corunners) *
+         features_->Profile(victim.game_id).SoloFps(victim.resolution);
+}
+
+bool GAugurPredictor::PredictQosOk(
+    double qos_fps, const SessionRequest& victim,
+    std::span<const SessionRequest> corunners) const {
+  if (cm_trained_) {
+    const auto x = features_->CmFeatures(qos_fps, victim, corunners);
+    return cm_->PredictProb(x) >= config_.cm_decision_threshold;
+  }
+  return PredictFps(victim, corunners) >= qos_fps;
+}
+
+bool GAugurPredictor::PredictFeasible(double qos_fps,
+                                      const Colocation& colocation) const {
+  double cpu_mem = 0.0, gpu_mem = 0.0;
+  for (const auto& session : colocation) {
+    const auto& profile = features_->Profile(session.game_id);
+    cpu_mem += profile.cpu_memory;
+    gpu_mem += profile.gpu_memory;
+  }
+  if (cpu_mem > 1.0 || gpu_mem > 1.0) return false;
+
+  std::vector<SessionRequest> corunners;
+  corunners.reserve(colocation.size() - 1);
+  for (std::size_t v = 0; v < colocation.size(); ++v) {
+    corunners.clear();
+    for (std::size_t j = 0; j < colocation.size(); ++j) {
+      if (j != v) corunners.push_back(colocation[j]);
+    }
+    if (!PredictQosOk(qos_fps, colocation[v], corunners)) return false;
+  }
+  return true;
+}
+
+}  // namespace gaugur::core

@@ -1,0 +1,76 @@
+// GAugurPredictor: the online prediction service (paper §3.5). Wraps the
+// trained classification model (CM) and regression model (RM) behind the
+// queries the schedulers need, answering from profiled features only —
+// never from the simulator's hidden state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "gaugur/features.h"
+#include "gaugur/training.h"
+#include "ml/model.h"
+
+namespace gaugur::core {
+
+struct PredictorConfig {
+  /// Algorithm names per ml::factory; the paper's winners by default.
+  std::string rm_algorithm = "GBRT";
+  std::string cm_algorithm = "GBDT";
+  /// CM decision threshold on the positive-class probability. 0.5 is the
+  /// plain max-accuracy rule; scheduling deployments raise it because a
+  /// false "feasible" verdict (QoS violation for a paying player) costs
+  /// more than a missed colocation opportunity.
+  double cm_decision_threshold = 0.5;
+  std::uint64_t seed = 31;
+};
+
+class GAugurPredictor {
+ public:
+  /// `features` must outlive the predictor.
+  explicit GAugurPredictor(const FeatureBuilder& features,
+                           PredictorConfig config = {});
+
+  /// Trains the RM on the corpus (k samples per colocation of k games).
+  void TrainRm(std::span<const MeasuredColocation> corpus);
+  /// Trains the RM on a pre-built dataset (for sample-count sweeps).
+  void TrainRmOnDataset(const ml::Dataset& dataset);
+
+  /// Trains a Q-aware CM by replicating the corpus across `qos_grid`.
+  void TrainCm(std::span<const MeasuredColocation> corpus,
+               std::span<const double> qos_grid);
+  void TrainCmOnDataset(const ml::Dataset& dataset);
+
+  bool HasRm() const { return rm_trained_; }
+  bool HasCm() const { return cm_trained_; }
+
+  /// RM: predicted degradation of `victim` among `corunners`.
+  double PredictDegradation(
+      const SessionRequest& victim,
+      std::span<const SessionRequest> corunners) const;
+
+  /// RM: predicted absolute FPS (degradation x profiled solo FPS).
+  double PredictFps(const SessionRequest& victim,
+                    std::span<const SessionRequest> corunners) const;
+
+  /// CM when trained, else RM-thresholding: does `victim` meet `qos_fps`?
+  bool PredictQosOk(double qos_fps, const SessionRequest& victim,
+                    std::span<const SessionRequest> corunners) const;
+
+  /// All sessions meet QoS and the profiled memory demands fit.
+  bool PredictFeasible(double qos_fps, const Colocation& colocation) const;
+
+  const FeatureBuilder& Features() const { return *features_; }
+
+ private:
+  const FeatureBuilder* features_;
+  PredictorConfig config_;
+  std::unique_ptr<ml::Regressor> rm_;
+  std::unique_ptr<ml::Classifier> cm_;
+  bool rm_trained_ = false;
+  bool cm_trained_ = false;
+};
+
+}  // namespace gaugur::core

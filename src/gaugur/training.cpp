@@ -1,0 +1,76 @@
+#include "gaugur/training.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gaugur::core {
+
+namespace {
+
+/// Visits each (colocation, victim) pair, handing the callback the victim
+/// session, its co-runners, and its measured FPS.
+template <typename Fn>
+void ForEachVictim(std::span<const MeasuredColocation> corpus, Fn&& fn) {
+  std::vector<SessionRequest> corunners;
+  for (const auto& measured : corpus) {
+    GAUGUR_CHECK(measured.fps.size() == measured.sessions.size());
+    for (std::size_t v = 0; v < measured.sessions.size(); ++v) {
+      corunners.clear();
+      for (std::size_t j = 0; j < measured.sessions.size(); ++j) {
+        if (j != v) corunners.push_back(measured.sessions[j]);
+      }
+      fn(measured.sessions[v], std::span<const SessionRequest>(corunners),
+         measured.fps[v]);
+    }
+  }
+}
+
+}  // namespace
+
+double DegradationTarget(const FeatureBuilder& features,
+                         const SessionRequest& victim, double measured_fps) {
+  const double solo = features.Profile(victim.game_id).SoloFps(
+      victim.resolution);
+  GAUGUR_CHECK(solo > 0.0);
+  return std::clamp(measured_fps / solo, 0.01, 1.0);
+}
+
+ml::Dataset BuildRmDataset(const FeatureBuilder& features,
+                           std::span<const MeasuredColocation> corpus) {
+  ml::Dataset dataset(features.RmDim(), features.RmFeatureNames());
+  ForEachVictim(corpus, [&](const SessionRequest& victim,
+                            std::span<const SessionRequest> corunners,
+                            double fps) {
+    dataset.Add(features.RmFeatures(victim, corunners),
+                DegradationTarget(features, victim, fps));
+  });
+  return dataset;
+}
+
+ml::Dataset BuildCmDataset(const FeatureBuilder& features,
+                           std::span<const MeasuredColocation> corpus,
+                           double qos_fps) {
+  ml::Dataset dataset(features.CmDim(), features.CmFeatureNames());
+  ForEachVictim(corpus, [&](const SessionRequest& victim,
+                            std::span<const SessionRequest> corunners,
+                            double fps) {
+    dataset.Add(features.CmFeatures(qos_fps, victim, corunners),
+                fps >= qos_fps ? 1.0 : 0.0);
+  });
+  return dataset;
+}
+
+ml::Dataset BuildCmDatasetMultiQos(const FeatureBuilder& features,
+                                   std::span<const MeasuredColocation> corpus,
+                                   std::span<const double> qos_grid) {
+  GAUGUR_CHECK(!qos_grid.empty());
+  ml::Dataset dataset(features.CmDim(), features.CmFeatureNames());
+  for (double qos : qos_grid) {
+    const ml::Dataset at_qos = BuildCmDataset(features, corpus, qos);
+    dataset.Append(at_qos);
+  }
+  return dataset;
+}
+
+}  // namespace gaugur::core

@@ -1,0 +1,40 @@
+// Training-sample generation (paper §3.5): a measured colocation of k
+// games yields k samples per model — one with each game as the victim.
+//
+//   RM sample:  [ S^A | I^G ]            ->  delta = fps_coloc / fps_solo
+//   CM sample:  [ Q, F_solo | S^A | I^G ] -> 1{fps_coloc >= Q}
+//
+// fps_solo is the *profiled* solo rate at the victim's resolution (the
+// Eq. 2 linear model) — predictors only ever see profiled quantities.
+#pragma once
+
+#include <span>
+
+#include "gaugur/features.h"
+#include "ml/dataset.h"
+
+namespace gaugur::core {
+
+/// Regression dataset over every (colocation, victim) pair.
+ml::Dataset BuildRmDataset(const FeatureBuilder& features,
+                           std::span<const MeasuredColocation> corpus);
+
+/// Classification dataset at a fixed QoS requirement.
+ml::Dataset BuildCmDataset(const FeatureBuilder& features,
+                           std::span<const MeasuredColocation> corpus,
+                           double qos_fps);
+
+/// Classification dataset replicated across several QoS levels, for a CM
+/// that must serve arbitrary Q at prediction time (Q is an input feature
+/// per Eq. 3).
+ml::Dataset BuildCmDatasetMultiQos(const FeatureBuilder& features,
+                                   std::span<const MeasuredColocation> corpus,
+                                   std::span<const double> qos_grid);
+
+/// The per-sample degradation target used by BuildRmDataset, exposed for
+/// evaluation code: measured colocated FPS over profiled solo FPS,
+/// clamped into (0, 1].
+double DegradationTarget(const FeatureBuilder& features,
+                         const SessionRequest& victim, double measured_fps);
+
+}  // namespace gaugur::core

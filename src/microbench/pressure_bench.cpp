@@ -1,0 +1,80 @@
+#include "microbench/pressure_bench.h"
+
+#include <string>
+
+#include "common/check.h"
+#include "common/mathutil.h"
+#include "gamesim/inflation_shape.h"
+
+namespace gaugur::microbench {
+
+using gamesim::InflationResponse;
+using gamesim::InflationShape;
+using gamesim::WorkloadProfile;
+using resources::Resource;
+
+namespace {
+
+/// Residual occupancy a benchmark leaks onto non-target resources, as a
+/// fraction of its dialed pressure.
+constexpr double kResidualLeak = 0.03;
+
+/// GPU-BW benchmark's unavoidable GPU-L2 footprint (see header).
+constexpr double kGpuBwCacheLeak = 0.35;
+
+/// Linear contention response of the benchmark's own kernel on its target
+/// resource; small residual responses elsewhere keep the observable from
+/// being perfectly separable (real benchmarks are not).
+constexpr double kSelfAmplitude = 1.0;
+constexpr double kResidualAmplitude = 0.06;
+
+}  // namespace
+
+WorkloadProfile MakePressureBench(Resource r, double x) {
+  GAUGUR_CHECK_MSG(x >= 0.0 && x <= 1.0, "pressure must be in [0,1]");
+  WorkloadProfile w;
+  w.name = "bench/" + std::string(resources::Name(r));
+  w.fps_cap = 1e6;
+  w.throughput_coupling = 0.0;  // pressure pinned by sleep re-tuning
+  w.cpu_memory = 0.02;
+  w.gpu_memory = resources::IsCpuSide(r) ? 0.0 : 0.05;
+
+  // The kernel runs on the side of the chip its resource lives on; its
+  // iteration time is what the slowdown observable measures.
+  if (resources::IsCpuSide(r)) {
+    w.t_cpu_ms = 10.0;
+    w.t_gpu_render_ms = 0.01;
+    w.t_xfer_ms = 0.01;
+  } else if (resources::IsGpuSide(r)) {
+    w.t_cpu_ms = 0.01;
+    w.t_gpu_render_ms = 10.0;
+    w.t_xfer_ms = 0.01;
+  } else {  // PCIe: a host<->device copy loop
+    w.t_cpu_ms = 0.01;
+    w.t_gpu_render_ms = 0.01;
+    w.t_xfer_ms = 10.0;
+  }
+
+  for (Resource other : resources::kAllResources) {
+    w.occupancy[other] = (other == r) ? x : kResidualLeak * x;
+    w.response[other] = InflationResponse{
+        other == r ? kSelfAmplitude : kResidualAmplitude,
+        InflationShape::Linear()};
+  }
+  if (r == Resource::kGpuBw) {
+    w.occupancy[Resource::kGpuL2] = kGpuBwCacheLeak * x;
+  }
+  return w;
+}
+
+std::vector<double> PressureGrid(int k) {
+  GAUGUR_CHECK(k >= 1);
+  std::vector<double> grid;
+  grid.reserve(static_cast<std::size_t>(k) + 1);
+  for (int i = 0; i <= k; ++i) {
+    grid.push_back(static_cast<double>(i) / static_cast<double>(k));
+  }
+  return grid;
+}
+
+}  // namespace gaugur::microbench

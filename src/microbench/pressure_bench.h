@@ -1,0 +1,45 @@
+// Tunable pressure micro-benchmarks, one per shared resource (paper §3.2).
+//
+// Each benchmark follows the two design principles the paper inherits from
+// iBench/Bubble-Up and extends to the GPU side:
+//   1. it can dial its pressure on the target resource continuously from 0
+//      to the maximum (here: occupancy x in [0, 1], the paper's "tune the
+//      sleep time so utilization is exactly x");
+//   2. it causes minimal contention on the other resources (a small
+//      residual remains, as in real benchmarks — with one deliberate
+//      exception below).
+//
+// Exception, straight from the paper: the GPU-BW benchmark cannot bypass
+// the GPU cache (no streaming-store instruction on GPUs), so it also
+// pressures GPU-L2. We model that with a proportional GPU-L2 occupancy.
+//
+// A benchmark is also an *observable*: profiling records its slowdown
+// (runtime to finish a fixed iteration count vs. running alone) while
+// colocated with a game — that slowdown is the game's intensity. To make
+// the observable well-behaved, benchmarks hold their pressure constant
+// regardless of their own slowdown (throughput_coupling = 0; the paper's
+// benchmarks re-tune sleep times to pin utilization) and respond linearly
+// to contention (they are simple streaming kernels), which is also what
+// makes Observation 8's linearity hold in profiled intensities.
+#pragma once
+
+#include <vector>
+
+#include "gamesim/workload.h"
+#include "resources/resource.h"
+
+namespace gaugur::microbench {
+
+/// The benchmark for resource `r` dialed to pressure `x` in [0, 1].
+gamesim::WorkloadProfile MakePressureBench(resources::Resource r, double x);
+
+/// The paper's sampling grid {0, 1/k, 2/k, ..., 1}.
+std::vector<double> PressureGrid(int k);
+
+/// Slowdown of a benchmark given its solo rate and measured colocated
+/// rate: the ratio of runtimes to complete a fixed iteration count.
+inline double BenchSlowdown(double solo_rate, double colocated_rate) {
+  return solo_rate / colocated_rate;
+}
+
+}  // namespace gaugur::microbench

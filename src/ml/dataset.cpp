@@ -1,0 +1,63 @@
+#include "ml/dataset.h"
+
+#include "common/rng.h"
+
+namespace gaugur::ml {
+
+Dataset::Dataset(std::size_t num_features,
+                 std::vector<std::string> feature_names)
+    : num_features_(num_features), feature_names_(std::move(feature_names)) {
+  GAUGUR_CHECK(num_features_ > 0);
+  GAUGUR_CHECK(feature_names_.empty() ||
+               feature_names_.size() == num_features_);
+}
+
+void Dataset::Add(std::span<const double> x, double y) {
+  GAUGUR_CHECK_MSG(x.size() == num_features_,
+                   "row has " << x.size() << " features, dataset expects "
+                              << num_features_);
+  x_.insert(x_.end(), x.begin(), x.end());
+  y_.push_back(y);
+}
+
+Dataset Dataset::Subset(std::span<const std::size_t> indices) const {
+  Dataset out(num_features_, feature_names_);
+  out.x_.reserve(indices.size() * num_features_);
+  out.y_.reserve(indices.size());
+  for (std::size_t i : indices) out.Add(Row(i), Target(i));
+  return out;
+}
+
+Dataset Dataset::Head(std::size_t n) const {
+  GAUGUR_CHECK(n <= NumRows());
+  Dataset out(num_features_, feature_names_);
+  out.x_.assign(x_.begin(),
+                x_.begin() + static_cast<std::ptrdiff_t>(n * num_features_));
+  out.y_.assign(y_.begin(), y_.begin() + static_cast<std::ptrdiff_t>(n));
+  return out;
+}
+
+void Dataset::Append(const Dataset& other) {
+  GAUGUR_CHECK(other.num_features_ == num_features_);
+  x_.insert(x_.end(), other.x_.begin(), other.x_.end());
+  y_.insert(y_.end(), other.y_.begin(), other.y_.end());
+}
+
+TrainTestSplit MakeSplit(std::size_t num_rows, double train_fraction,
+                         std::uint64_t seed) {
+  GAUGUR_CHECK(train_fraction > 0.0 && train_fraction < 1.0);
+  std::vector<std::size_t> idx(num_rows);
+  for (std::size_t i = 0; i < num_rows; ++i) idx[i] = i;
+  common::Rng rng(seed);
+  rng.Shuffle(idx);
+  const auto cut = static_cast<std::size_t>(
+      train_fraction * static_cast<double>(num_rows));
+  TrainTestSplit split;
+  split.train_indices.assign(idx.begin(),
+                             idx.begin() + static_cast<std::ptrdiff_t>(cut));
+  split.test_indices.assign(idx.begin() + static_cast<std::ptrdiff_t>(cut),
+                            idx.end());
+  return split;
+}
+
+}  // namespace gaugur::ml

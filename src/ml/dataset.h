@@ -1,0 +1,69 @@
+// Dense row-major dataset for the from-scratch learners.
+//
+// Targets are always doubles; classifiers interpret them as binary labels
+// (0.0 / 1.0). Feature names are optional and carried along for the
+// model-inspection utilities and serialization.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace gaugur::ml {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::size_t num_features,
+                   std::vector<std::string> feature_names = {});
+
+  std::size_t NumRows() const { return y_.size(); }
+  std::size_t NumFeatures() const { return num_features_; }
+  bool Empty() const { return y_.empty(); }
+
+  void Add(std::span<const double> x, double y);
+
+  std::span<const double> Row(std::size_t i) const {
+    GAUGUR_CHECK(i < NumRows());
+    return {x_.data() + i * num_features_, num_features_};
+  }
+  double Target(std::size_t i) const {
+    GAUGUR_CHECK(i < NumRows());
+    return y_[i];
+  }
+  std::span<const double> Targets() const { return y_; }
+
+  const std::vector<std::string>& FeatureNames() const {
+    return feature_names_;
+  }
+
+  /// Rows selected by `indices`, in order (repeats allowed — used for
+  /// bootstrap resampling).
+  Dataset Subset(std::span<const std::size_t> indices) const;
+
+  /// First `n` rows.
+  Dataset Head(std::size_t n) const;
+
+  /// Appends every row of `other` (must agree on feature count).
+  void Append(const Dataset& other);
+
+ private:
+  std::size_t num_features_ = 0;
+  std::vector<double> x_;  // row-major, NumRows() * num_features_
+  std::vector<double> y_;
+  std::vector<std::string> feature_names_;
+};
+
+/// Deterministic train/test row split: shuffles [0, n) with `seed` and
+/// cuts at `train_fraction`.
+struct TrainTestSplit {
+  std::vector<std::size_t> train_indices;
+  std::vector<std::size_t> test_indices;
+};
+TrainTestSplit MakeSplit(std::size_t num_rows, double train_fraction,
+                         std::uint64_t seed);
+
+}  // namespace gaugur::ml

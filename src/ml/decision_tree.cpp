@@ -1,0 +1,312 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace gaugur::ml {
+
+namespace {
+
+/// Node impurity * count ("weighted impurity"): sum of squared deviations
+/// for MSE; count * gini for classification. Only differences of this
+/// quantity matter for split selection.
+double WeightedImpurity(SplitCriterion criterion, double sum, double sum_sq,
+                        double count) {
+  if (count <= 0.0) return 0.0;
+  if (criterion == SplitCriterion::kMse) {
+    return sum_sq - sum * sum / count;
+  }
+  // Gini with binary targets: sum == positive count.
+  const double p = sum / count;
+  return count * 2.0 * p * (1.0 - p);
+}
+
+/// Presorted split finder: one index array per feature, each holding the
+/// same multiset of sample slots ordered by that feature's value. Nodes
+/// own aligned [begin, end) ranges of every array; a split stably
+/// partitions each array once (O(n * d) per node) instead of re-sorting
+/// (O(n log n * d)), which is the classic presort CART optimization and
+/// makes gradient boosting ~10x faster at our training sizes.
+class PresortedBuilder {
+ public:
+  PresortedBuilder(const Dataset& data, std::span<const std::size_t> rows,
+                   std::span<const double> targets)
+      : data_(data), targets_(targets), num_rows_(rows.size()) {
+    // "Slots" identify samples; bootstrap duplicates get distinct slots.
+    slot_row_.assign(rows.begin(), rows.end());
+    const std::size_t d = data.NumFeatures();
+    order_.resize(d);
+    for (std::size_t f = 0; f < d; ++f) {
+      auto& ord = order_[f];
+      ord.resize(num_rows_);
+      std::iota(ord.begin(), ord.end(), std::uint32_t{0});
+      std::sort(ord.begin(), ord.end(),
+                [&](std::uint32_t a, std::uint32_t b) {
+                  return Value(a, f) < Value(b, f);
+                });
+    }
+    is_left_.resize(num_rows_);
+    scratch_.resize(num_rows_);
+  }
+
+  double Value(std::uint32_t slot, std::size_t feature) const {
+    return data_.Row(slot_row_[slot])[feature];
+  }
+  double Target(std::uint32_t slot) const {
+    return targets_[slot_row_[slot]];
+  }
+  std::size_t RowOf(std::uint32_t slot) const { return slot_row_[slot]; }
+
+  std::span<const std::uint32_t> Slice(std::size_t feature,
+                                       std::size_t begin,
+                                       std::size_t end) const {
+    return {order_[feature].data() + begin, end - begin};
+  }
+
+  /// Stably partitions every feature's [begin, end) range so slots
+  /// satisfying value(split_feature) <= threshold come first. Returns the
+  /// boundary offset.
+  std::size_t Partition(std::size_t begin, std::size_t end,
+                        int split_feature, double threshold) {
+    const auto f = static_cast<std::size_t>(split_feature);
+    std::size_t left_count = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint32_t slot = order_[f][i];
+      const bool left = Value(slot, f) <= threshold;
+      is_left_[slot] = left;
+      left_count += left ? 1 : 0;
+    }
+    const std::size_t mid = begin + left_count;
+    for (auto& ord : order_) {
+      std::size_t lo = begin;
+      std::size_t hi = mid;
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::uint32_t slot = ord[i];
+        scratch_[is_left_[slot] ? lo++ : hi++] = slot;
+      }
+      std::copy(scratch_.begin() + static_cast<std::ptrdiff_t>(begin),
+                scratch_.begin() + static_cast<std::ptrdiff_t>(end),
+                ord.begin() + static_cast<std::ptrdiff_t>(begin));
+    }
+    return mid;
+  }
+
+  std::size_t NumRowsTotal() const { return num_rows_; }
+
+ private:
+  const Dataset& data_;
+  std::span<const double> targets_;
+  std::size_t num_rows_;
+  std::vector<std::size_t> slot_row_;
+  std::vector<std::vector<std::uint32_t>> order_;  // per feature
+  std::vector<char> is_left_;                      // indexed by slot
+  std::vector<std::uint32_t> scratch_;
+};
+
+struct SplitResult {
+  int feature = -1;
+  double threshold = 0.0;
+  double gain = 0.0;
+};
+
+}  // namespace
+
+void TreeModel::Fit(const Dataset& data) {
+  std::vector<std::size_t> rows(data.NumRows());
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+  Fit(data, rows, data.Targets());
+}
+
+void TreeModel::Fit(const Dataset& data, std::span<const std::size_t> rows,
+                    std::span<const double> targets,
+                    const LeafValueFn& leaf_value) {
+  GAUGUR_CHECK(!rows.empty());
+  GAUGUR_CHECK(targets.size() == data.NumRows());
+  nodes_.clear();
+
+  const std::size_t num_features = data.NumFeatures();
+  common::Rng rng(config_.seed);
+  PresortedBuilder builder(data, rows, targets);
+
+  struct WorkItem {
+    int node;
+    int depth;
+    std::size_t begin;
+    std::size_t end;
+  };
+  std::vector<WorkItem> stack;
+
+  auto make_leaf = [&](int node_idx, std::size_t begin, std::size_t end) {
+    TreeNode& node = nodes_[static_cast<std::size_t>(node_idx)];
+    node.feature = -1;
+    // Any feature's slice lists the node's slots.
+    const auto slots = builder.Slice(0, begin, end);
+    if (leaf_value) {
+      std::vector<std::size_t> leaf_rows;
+      leaf_rows.reserve(slots.size());
+      for (std::uint32_t s : slots) leaf_rows.push_back(builder.RowOf(s));
+      node.value = leaf_value(leaf_rows);
+    } else {
+      double sum = 0.0;
+      for (std::uint32_t s : slots) sum += builder.Target(s);
+      node.value = sum / static_cast<double>(slots.size());
+    }
+  };
+
+  nodes_.emplace_back();
+  nodes_[0].num_samples = builder.NumRowsTotal();
+  stack.push_back({0, 0, 0, builder.NumRowsTotal()});
+
+  std::vector<int> feature_order(num_features);
+  std::iota(feature_order.begin(), feature_order.end(), 0);
+
+  while (!stack.empty()) {
+    const WorkItem item = stack.back();
+    stack.pop_back();
+    const std::size_t n = item.end - item.begin;
+    nodes_[static_cast<std::size_t>(item.node)].num_samples = n;
+
+    // Stopping conditions: depth, size, or pure targets.
+    bool pure = true;
+    {
+      const auto slots = builder.Slice(0, item.begin, item.end);
+      const double first_target = builder.Target(slots[0]);
+      for (std::size_t i = 1; i < slots.size() && pure; ++i) {
+        pure = builder.Target(slots[i]) == first_target;
+      }
+    }
+    if (item.depth >= config_.max_depth || n < config_.min_samples_split ||
+        pure) {
+      make_leaf(item.node, item.begin, item.end);
+      continue;
+    }
+
+    // Feature subsampling (random forest style).
+    std::size_t features_to_try = num_features;
+    if (config_.max_features > 0 &&
+        static_cast<std::size_t>(config_.max_features) < num_features) {
+      features_to_try = static_cast<std::size_t>(config_.max_features);
+      for (std::size_t i = 0; i < features_to_try; ++i) {
+        const std::size_t j =
+            i + static_cast<std::size_t>(rng.UniformInt(num_features - i));
+        std::swap(feature_order[i], feature_order[j]);
+      }
+    }
+
+    double total_sum = 0.0, total_sum_sq = 0.0;
+    for (std::uint32_t s : builder.Slice(0, item.begin, item.end)) {
+      const double t = builder.Target(s);
+      total_sum += t;
+      total_sum_sq += t * t;
+    }
+    const double parent_impurity = WeightedImpurity(
+        config_.criterion, total_sum, total_sum_sq, static_cast<double>(n));
+
+    SplitResult best;
+    for (std::size_t fi = 0; fi < features_to_try; ++fi) {
+      const int f = feature_order[fi];
+      const auto slice =
+          builder.Slice(static_cast<std::size_t>(f), item.begin, item.end);
+      const double first_value = builder.Value(slice.front(),
+                                               static_cast<std::size_t>(f));
+      const double last_value = builder.Value(slice.back(),
+                                              static_cast<std::size_t>(f));
+      if (first_value == last_value) continue;  // constant feature
+
+      double left_sum = 0.0, left_sum_sq = 0.0;
+      for (std::size_t i = 0; i + 1 < n; ++i) {
+        const double t = builder.Target(slice[i]);
+        left_sum += t;
+        left_sum_sq += t * t;
+        const double value =
+            builder.Value(slice[i], static_cast<std::size_t>(f));
+        const double next_value =
+            builder.Value(slice[i + 1], static_cast<std::size_t>(f));
+        if (value == next_value) continue;  // no cut between equal values
+        const std::size_t left_n = i + 1;
+        const std::size_t right_n = n - left_n;
+        if (left_n < config_.min_samples_leaf ||
+            right_n < config_.min_samples_leaf) {
+          continue;
+        }
+        const double impurity =
+            WeightedImpurity(config_.criterion, left_sum, left_sum_sq,
+                             static_cast<double>(left_n)) +
+            WeightedImpurity(config_.criterion, total_sum - left_sum,
+                             total_sum_sq - left_sum_sq,
+                             static_cast<double>(right_n));
+        const double gain = parent_impurity - impurity;
+        if (gain > best.gain + 1e-12) {
+          best.gain = gain;
+          best.feature = f;
+          best.threshold = 0.5 * (value + next_value);
+        }
+      }
+    }
+
+    if (best.feature < 0) {
+      make_leaf(item.node, item.begin, item.end);
+      continue;
+    }
+
+    const std::size_t mid =
+        builder.Partition(item.begin, item.end, best.feature, best.threshold);
+    GAUGUR_CHECK(mid > item.begin && mid < item.end);
+
+    const int left_idx = static_cast<int>(nodes_.size());
+    nodes_.emplace_back();
+    const int right_idx = static_cast<int>(nodes_.size());
+    nodes_.emplace_back();
+    TreeNode& parent = nodes_[static_cast<std::size_t>(item.node)];
+    parent.feature = best.feature;
+    parent.threshold = best.threshold;
+    parent.left = left_idx;
+    parent.right = right_idx;
+    stack.push_back({left_idx, item.depth + 1, item.begin, mid});
+    stack.push_back({right_idx, item.depth + 1, mid, item.end});
+  }
+}
+
+double TreeModel::Predict(std::span<const double> x) const {
+  GAUGUR_CHECK_MSG(IsFitted(), "Predict before Fit");
+  int idx = 0;
+  for (;;) {
+    const TreeNode& node = nodes_[static_cast<std::size_t>(idx)];
+    if (node.feature < 0) return node.value;
+    GAUGUR_CHECK(static_cast<std::size_t>(node.feature) < x.size());
+    idx = x[static_cast<std::size_t>(node.feature)] <= node.threshold
+              ? node.left
+              : node.right;
+  }
+}
+
+int TreeModel::Depth() const {
+  if (nodes_.empty()) return 0;
+  std::vector<std::pair<int, int>> stack{{0, 1}};
+  int depth = 0;
+  while (!stack.empty()) {
+    auto [idx, d] = stack.back();
+    stack.pop_back();
+    depth = std::max(depth, d);
+    const TreeNode& node = nodes_[static_cast<std::size_t>(idx)];
+    if (node.feature >= 0) {
+      stack.push_back({node.left, d + 1});
+      stack.push_back({node.right, d + 1});
+    }
+  }
+  return depth;
+}
+
+std::size_t TreeModel::NumLeaves() const {
+  std::size_t leaves = 0;
+  for (const auto& node : nodes_) {
+    if (node.feature < 0) ++leaves;
+  }
+  return leaves;
+}
+
+}  // namespace gaugur::ml

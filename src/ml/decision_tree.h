@@ -1,0 +1,148 @@
+// CART decision trees (Breiman et al.): binary splits chosen by exhaustive
+// scan over sorted feature values, minimizing MSE (regression) or Gini
+// impurity (binary classification).
+//
+// One core tree (TreeModel) backs four consumers:
+//  * DecisionTreeRegressor / DecisionTreeClassifier — the paper's DTR/DTC;
+//  * RandomForest* — bagged trees with per-node feature subsampling;
+//  * Gradient boosting — shallow regression trees fit to residuals, with a
+//    caller-supplied leaf-value functional for Newton updates.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/model.h"
+
+namespace gaugur::ml {
+
+enum class SplitCriterion { kMse, kGini };
+
+struct TreeConfig {
+  SplitCriterion criterion = SplitCriterion::kMse;
+  int max_depth = 12;
+  std::size_t min_samples_leaf = 2;
+  std::size_t min_samples_split = 4;
+  /// Number of features considered per split; <= 0 means all features.
+  int max_features = -1;
+  std::uint64_t seed = 7;
+};
+
+struct TreeNode {
+  int feature = -1;  // -1 marks a leaf
+  double threshold = 0.0;
+  int left = -1;
+  int right = -1;
+  double value = 0.0;  // leaf prediction
+  std::size_t num_samples = 0;
+};
+
+/// Recomputes a leaf's value from the training rows that landed in it;
+/// used by gradient boosting for Newton leaf updates.
+using LeafValueFn =
+    std::function<double(std::span<const std::size_t> row_indices)>;
+
+class TreeModel {
+ public:
+  explicit TreeModel(TreeConfig config = {}) : config_(config) {}
+
+  /// Fits on the rows of `data` listed in `rows` against `targets`
+  /// (indexed by absolute row id, so callers can pass residual vectors).
+  /// `leaf_value` overrides the default leaf mean when provided.
+  void Fit(const Dataset& data, std::span<const std::size_t> rows,
+           std::span<const double> targets,
+           const LeafValueFn& leaf_value = nullptr);
+
+  /// Convenience: fit on all rows against the dataset's own targets.
+  void Fit(const Dataset& data);
+
+  double Predict(std::span<const double> x) const;
+
+  const std::vector<TreeNode>& Nodes() const { return nodes_; }
+  bool IsFitted() const { return !nodes_.empty(); }
+
+  /// Reconstructs a fitted tree from its node array (serialization).
+  static TreeModel FromNodes(TreeConfig config, std::vector<TreeNode> nodes) {
+    TreeModel tree(config);
+    tree.nodes_ = std::move(nodes);
+    return tree;
+  }
+  int Depth() const;
+  std::size_t NumLeaves() const;
+
+  const TreeConfig& Config() const { return config_; }
+
+ private:
+  TreeConfig config_;
+  std::vector<TreeNode> nodes_;
+};
+
+/// The paper's DTR.
+class DecisionTreeRegressor final : public Regressor {
+ public:
+  explicit DecisionTreeRegressor(TreeConfig config = MakeDefaultConfig())
+      : tree_(config) {}
+
+  void Fit(const Dataset& data) override { tree_.Fit(data); }
+  double Predict(std::span<const double> x) const override {
+    return tree_.Predict(x);
+  }
+  std::string Name() const override { return "DTR"; }
+  const TreeModel& Tree() const { return tree_; }
+
+  /// Wraps an already-fitted tree (serialization).
+  static DecisionTreeRegressor FromTree(TreeModel tree) {
+    DecisionTreeRegressor model(tree.Config());
+    model.tree_ = std::move(tree);
+    return model;
+  }
+
+  static TreeConfig MakeDefaultConfig() {
+    TreeConfig c;
+    c.criterion = SplitCriterion::kMse;
+    c.max_depth = 10;
+    c.min_samples_leaf = 3;
+    return c;
+  }
+
+ private:
+  TreeModel tree_;
+};
+
+/// The paper's DTC. Leaf values are positive-class fractions, so the tree
+/// doubles as a probability estimator.
+class DecisionTreeClassifier final : public Classifier {
+ public:
+  explicit DecisionTreeClassifier(TreeConfig config = MakeDefaultConfig())
+      : tree_(config) {}
+
+  void Fit(const Dataset& data) override { tree_.Fit(data); }
+  double PredictProb(std::span<const double> x) const override {
+    return tree_.Predict(x);
+  }
+  std::string Name() const override { return "DTC"; }
+  const TreeModel& Tree() const { return tree_; }
+
+  /// Wraps an already-fitted tree (serialization).
+  static DecisionTreeClassifier FromTree(TreeModel tree) {
+    DecisionTreeClassifier model(tree.Config());
+    model.tree_ = std::move(tree);
+    return model;
+  }
+
+  static TreeConfig MakeDefaultConfig() {
+    TreeConfig c;
+    c.criterion = SplitCriterion::kGini;
+    c.max_depth = 10;
+    c.min_samples_leaf = 3;
+    return c;
+  }
+
+ private:
+  TreeModel tree_;
+};
+
+}  // namespace gaugur::ml

@@ -1,0 +1,71 @@
+#include "ml/factory.h"
+
+#include "common/check.h"
+#include "ml/decision_tree.h"
+#include "ml/gradient_boosting.h"
+#include "ml/random_forest.h"
+#include "ml/svm.h"
+
+namespace gaugur::ml {
+
+std::unique_ptr<Regressor> MakeRegressor(const std::string& name,
+                                         std::uint64_t seed) {
+  if (name == "DTR") {
+    auto config = DecisionTreeRegressor::MakeDefaultConfig();
+    config.seed = seed;
+    return std::make_unique<DecisionTreeRegressor>(config);
+  }
+  if (name == "GBRT") {
+    BoostConfig config;
+    config.seed = seed;
+    return std::make_unique<GradientBoostedRegressor>(config);
+  }
+  if (name == "RF") {
+    ForestConfig config;
+    config.seed = seed;
+    return std::make_unique<RandomForestRegressor>(config);
+  }
+  if (name == "SVR") {
+    SvmConfig config;
+    config.seed = seed;
+    return std::make_unique<SvmRegressor>(config);
+  }
+  GAUGUR_CHECK_MSG(false, "unknown regressor: " << name);
+}
+
+std::unique_ptr<Classifier> MakeClassifier(const std::string& name,
+                                           std::uint64_t seed) {
+  if (name == "DTC") {
+    auto config = DecisionTreeClassifier::MakeDefaultConfig();
+    config.seed = seed;
+    return std::make_unique<DecisionTreeClassifier>(config);
+  }
+  if (name == "GBDT") {
+    BoostConfig config;
+    config.seed = seed;
+    return std::make_unique<GradientBoostedClassifier>(config);
+  }
+  if (name == "RF") {
+    ForestConfig config;
+    config.seed = seed;
+    return std::make_unique<RandomForestClassifier>(config);
+  }
+  if (name == "SVC") {
+    SvmConfig config;
+    config.seed = seed;
+    return std::make_unique<SvmClassifier>(config);
+  }
+  GAUGUR_CHECK_MSG(false, "unknown classifier: " << name);
+}
+
+const std::vector<std::string>& RegressorNames() {
+  static const std::vector<std::string> names = {"DTR", "GBRT", "RF", "SVR"};
+  return names;
+}
+
+const std::vector<std::string>& ClassifierNames() {
+  static const std::vector<std::string> names = {"DTC", "GBDT", "RF", "SVC"};
+  return names;
+}
+
+}  // namespace gaugur::ml

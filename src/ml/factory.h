@@ -1,0 +1,26 @@
+// Name-based learner construction — the benches sweep algorithms by the
+// names the paper uses (DTR/GBRT/RF/SVR and DTC/GBDT/RF/SVC).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/model.h"
+
+namespace gaugur::ml {
+
+/// Creates a regressor by paper name; CHECK-fails on unknown names.
+/// Known: "DTR", "GBRT", "RF", "SVR".
+std::unique_ptr<Regressor> MakeRegressor(const std::string& name,
+                                         std::uint64_t seed = 21);
+
+/// Creates a classifier by paper name; CHECK-fails on unknown names.
+/// Known: "DTC", "GBDT", "RF", "SVC".
+std::unique_ptr<Classifier> MakeClassifier(const std::string& name,
+                                           std::uint64_t seed = 23);
+
+const std::vector<std::string>& RegressorNames();
+const std::vector<std::string>& ClassifierNames();
+
+}  // namespace gaugur::ml

@@ -1,0 +1,88 @@
+#include "ml/metrics.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gaugur::ml {
+
+std::vector<double> RelativeErrors(std::span<const double> predicted,
+                                   std::span<const double> actual) {
+  GAUGUR_CHECK(predicted.size() == actual.size());
+  std::vector<double> errors;
+  errors.reserve(predicted.size());
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    GAUGUR_CHECK_MSG(actual[i] != 0.0, "relative error undefined at 0");
+    errors.push_back(std::abs(predicted[i] - actual[i]) /
+                     std::abs(actual[i]));
+  }
+  return errors;
+}
+
+double MeanRelativeError(std::span<const double> predicted,
+                         std::span<const double> actual) {
+  const auto errors = RelativeErrors(predicted, actual);
+  if (errors.empty()) return 0.0;
+  double s = 0.0;
+  for (double e : errors) s += e;
+  return s / static_cast<double>(errors.size());
+}
+
+double MeanAbsoluteError(std::span<const double> predicted,
+                         std::span<const double> actual) {
+  GAUGUR_CHECK(predicted.size() == actual.size());
+  if (predicted.empty()) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    s += std::abs(predicted[i] - actual[i]);
+  }
+  return s / static_cast<double>(predicted.size());
+}
+
+double RootMeanSquaredError(std::span<const double> predicted,
+                            std::span<const double> actual) {
+  GAUGUR_CHECK(predicted.size() == actual.size());
+  if (predicted.empty()) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double d = predicted[i] - actual[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(predicted.size()));
+}
+
+double ConfusionMatrix::Accuracy() const {
+  const std::size_t total = Total();
+  if (total == 0) return 0.0;
+  return static_cast<double>(tp + tn) / static_cast<double>(total);
+}
+
+double ConfusionMatrix::Precision() const {
+  if (tp + fp == 0) return 0.0;
+  return static_cast<double>(tp) / static_cast<double>(tp + fp);
+}
+
+double ConfusionMatrix::Recall() const {
+  if (tp + fn == 0) return 0.0;
+  return static_cast<double>(tp) / static_cast<double>(tp + fn);
+}
+
+ConfusionMatrix ComputeConfusion(std::span<const int> predicted,
+                                 std::span<const int> actual) {
+  GAUGUR_CHECK(predicted.size() == actual.size());
+  ConfusionMatrix cm;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] == 1) {
+      actual[i] == 1 ? ++cm.tp : ++cm.fp;
+    } else {
+      actual[i] == 1 ? ++cm.fn : ++cm.tn;
+    }
+  }
+  return cm;
+}
+
+double Accuracy(std::span<const int> predicted, std::span<const int> actual) {
+  return ComputeConfusion(predicted, actual).Accuracy();
+}
+
+}  // namespace gaugur::ml

@@ -1,0 +1,47 @@
+// Evaluation metrics matching the paper's definitions:
+//  * regression error  |pred - actual| / actual   (§4.2)
+//  * classification accuracy, and the precision/recall breakdown of the
+//    feasibility judgement (§5.1).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gaugur::ml {
+
+/// Mean of |pred - actual| / |actual| over all samples.
+double MeanRelativeError(std::span<const double> predicted,
+                         std::span<const double> actual);
+
+/// Per-sample relative errors (for CDF plots).
+std::vector<double> RelativeErrors(std::span<const double> predicted,
+                                   std::span<const double> actual);
+
+double MeanAbsoluteError(std::span<const double> predicted,
+                         std::span<const double> actual);
+
+double RootMeanSquaredError(std::span<const double> predicted,
+                            std::span<const double> actual);
+
+/// Confusion-matrix counts for binary decisions. "Positive" follows the
+/// paper's §5.1 convention: a positive is a *feasible* judgement.
+struct ConfusionMatrix {
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t fn = 0;
+  std::size_t tn = 0;
+
+  std::size_t Total() const { return tp + fp + fn + tn; }
+  double Accuracy() const;
+  double Precision() const;
+  double Recall() const;
+};
+
+ConfusionMatrix ComputeConfusion(std::span<const int> predicted,
+                                 std::span<const int> actual);
+
+/// Fraction of matching labels.
+double Accuracy(std::span<const int> predicted, std::span<const int> actual);
+
+}  // namespace gaugur::ml

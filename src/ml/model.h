@@ -1,0 +1,58 @@
+// Abstract learner interfaces. Every algorithm in this library (trees,
+// forests, boosted ensembles, SVMs) implements one or both of these, which
+// is what lets the GAugur model wrappers and the benches sweep algorithms
+// uniformly (Figures 7a, 8a, 8b).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace gaugur::ml {
+
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  virtual void Fit(const Dataset& data) = 0;
+  virtual double Predict(std::span<const double> x) const = 0;
+  virtual std::string Name() const = 0;
+
+  std::vector<double> PredictBatch(const Dataset& data) const {
+    std::vector<double> out;
+    out.reserve(data.NumRows());
+    for (std::size_t i = 0; i < data.NumRows(); ++i) {
+      out.push_back(Predict(data.Row(i)));
+    }
+    return out;
+  }
+};
+
+/// Binary classifier over labels {0, 1} encoded as target doubles.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  virtual void Fit(const Dataset& data) = 0;
+  /// Probability of the positive class.
+  virtual double PredictProb(std::span<const double> x) const = 0;
+  virtual std::string Name() const = 0;
+
+  int Predict(std::span<const double> x) const {
+    return PredictProb(x) >= 0.5 ? 1 : 0;
+  }
+
+  std::vector<int> PredictBatch(const Dataset& data) const {
+    std::vector<int> out;
+    out.reserve(data.NumRows());
+    for (std::size_t i = 0; i < data.NumRows(); ++i) {
+      out.push_back(Predict(data.Row(i)));
+    }
+    return out;
+  }
+};
+
+}  // namespace gaugur::ml

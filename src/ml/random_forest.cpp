@@ -1,0 +1,89 @@
+#include "ml/random_forest.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace gaugur::ml {
+
+namespace {
+
+int ResolveMaxFeatures(int requested, std::size_t num_features,
+                       SplitCriterion criterion) {
+  if (requested > 0) return requested;
+  const double d = static_cast<double>(num_features);
+  const double def = criterion == SplitCriterion::kGini
+                         ? std::sqrt(d)
+                         : std::max(1.0, d / 3.0);
+  return std::max(1, static_cast<int>(def));
+}
+
+void FitForest(const Dataset& data, const ForestConfig& config,
+               SplitCriterion criterion, std::vector<TreeModel>& trees) {
+  GAUGUR_CHECK(data.NumRows() >= 2);
+  GAUGUR_CHECK(config.num_trees >= 1);
+  GAUGUR_CHECK(config.bootstrap_fraction > 0.0 &&
+               config.bootstrap_fraction <= 1.0);
+
+  TreeConfig tree_config;
+  tree_config.criterion = criterion;
+  tree_config.max_depth = config.max_depth;
+  tree_config.min_samples_leaf = config.min_samples_leaf;
+  tree_config.max_features =
+      ResolveMaxFeatures(config.max_features, data.NumFeatures(), criterion);
+
+  const std::size_t n = data.NumRows();
+  const auto sample_size = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config.bootstrap_fraction *
+                                  static_cast<double>(n)));
+
+  trees.assign(static_cast<std::size_t>(config.num_trees), TreeModel{});
+  auto fit_one = [&](std::size_t t) {
+    // Per-tree RNG derived deterministically from the forest seed.
+    common::Rng rng(config.seed + 0x9e3779b97f4a7c15ULL * (t + 1));
+    std::vector<std::size_t> rows(sample_size);
+    for (auto& r : rows) {
+      r = static_cast<std::size_t>(rng.UniformInt(n));
+    }
+    TreeConfig tc = tree_config;
+    tc.seed = rng.Next();
+    trees[t] = TreeModel(tc);
+    trees[t].Fit(data, rows, data.Targets());
+  };
+
+  if (config.parallel_fit) {
+    common::ThreadPool::Global().ParallelFor(0, trees.size(), fit_one);
+  } else {
+    for (std::size_t t = 0; t < trees.size(); ++t) fit_one(t);
+  }
+}
+
+double ForestPredict(const std::vector<TreeModel>& trees,
+                     std::span<const double> x) {
+  GAUGUR_CHECK_MSG(!trees.empty(), "Predict before Fit");
+  double sum = 0.0;
+  for (const auto& tree : trees) sum += tree.Predict(x);
+  return sum / static_cast<double>(trees.size());
+}
+
+}  // namespace
+
+void RandomForestRegressor::Fit(const Dataset& data) {
+  FitForest(data, config_, SplitCriterion::kMse, trees_);
+}
+
+double RandomForestRegressor::Predict(std::span<const double> x) const {
+  return ForestPredict(trees_, x);
+}
+
+void RandomForestClassifier::Fit(const Dataset& data) {
+  FitForest(data, config_, SplitCriterion::kGini, trees_);
+}
+
+double RandomForestClassifier::PredictProb(std::span<const double> x) const {
+  return ForestPredict(trees_, x);
+}
+
+}  // namespace gaugur::ml

@@ -1,0 +1,80 @@
+// Random forests (Breiman 2001): bootstrap-bagged CART trees with per-node
+// random feature subsampling. Tree fitting is embarrassingly parallel and
+// runs on the shared ThreadPool.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/decision_tree.h"
+#include "ml/model.h"
+
+namespace gaugur::ml {
+
+struct ForestConfig {
+  int num_trees = 200;
+  int max_depth = 14;
+  std::size_t min_samples_leaf = 2;
+  /// Features per split; <= 0 selects sqrt(d) for classification and d/3
+  /// for regression at fit time (the classic defaults).
+  int max_features = 0;
+  /// Bootstrap sample size as a fraction of the training set.
+  double bootstrap_fraction = 1.0;
+  std::uint64_t seed = 11;
+  /// Fit trees in parallel on the global ThreadPool.
+  bool parallel_fit = true;
+};
+
+class RandomForestRegressor final : public Regressor {
+ public:
+  explicit RandomForestRegressor(ForestConfig config = {})
+      : config_(config) {}
+
+  void Fit(const Dataset& data) override;
+  double Predict(std::span<const double> x) const override;
+  std::string Name() const override { return "RF"; }
+
+  const std::vector<TreeModel>& Trees() const { return trees_; }
+  const ForestConfig& Config() const { return config_; }
+
+  /// Reconstructs a fitted forest (serialization).
+  static RandomForestRegressor FromTrees(ForestConfig config,
+                                         std::vector<TreeModel> trees) {
+    RandomForestRegressor forest(config);
+    forest.trees_ = std::move(trees);
+    return forest;
+  }
+
+ private:
+  ForestConfig config_;
+  std::vector<TreeModel> trees_;
+};
+
+class RandomForestClassifier final : public Classifier {
+ public:
+  explicit RandomForestClassifier(ForestConfig config = {})
+      : config_(config) {}
+
+  void Fit(const Dataset& data) override;
+  /// Mean of the trees' leaf positive-fractions (soft voting).
+  double PredictProb(std::span<const double> x) const override;
+  std::string Name() const override { return "RF"; }
+
+  const std::vector<TreeModel>& Trees() const { return trees_; }
+  const ForestConfig& Config() const { return config_; }
+
+  /// Reconstructs a fitted forest (serialization).
+  static RandomForestClassifier FromTrees(ForestConfig config,
+                                          std::vector<TreeModel> trees) {
+    RandomForestClassifier forest(config);
+    forest.trees_ = std::move(trees);
+    return forest;
+  }
+
+ private:
+  ForestConfig config_;
+  std::vector<TreeModel> trees_;
+};
+
+}  // namespace gaugur::ml

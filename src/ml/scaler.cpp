@@ -1,0 +1,52 @@
+#include "ml/scaler.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gaugur::ml {
+
+void StandardScaler::Fit(const Dataset& data) {
+  GAUGUR_CHECK(data.NumRows() > 0);
+  const std::size_t d = data.NumFeatures();
+  mean_.assign(d, 0.0);
+  std_.assign(d, 0.0);
+  for (std::size_t i = 0; i < data.NumRows(); ++i) {
+    const auto row = data.Row(i);
+    for (std::size_t f = 0; f < d; ++f) mean_[f] += row[f];
+  }
+  for (auto& m : mean_) m /= static_cast<double>(data.NumRows());
+  for (std::size_t i = 0; i < data.NumRows(); ++i) {
+    const auto row = data.Row(i);
+    for (std::size_t f = 0; f < d; ++f) {
+      const double delta = row[f] - mean_[f];
+      std_[f] += delta * delta;
+    }
+  }
+  for (auto& s : std_) {
+    s = std::sqrt(s / static_cast<double>(data.NumRows()));
+    if (s < 1e-12) s = 1.0;  // constant feature: pass through centered
+  }
+}
+
+void StandardScaler::Transform(std::span<const double> x,
+                               std::vector<double>& out) const {
+  GAUGUR_CHECK(IsFitted());
+  GAUGUR_CHECK(x.size() == mean_.size());
+  out.resize(x.size());
+  for (std::size_t f = 0; f < x.size(); ++f) {
+    out[f] = (x[f] - mean_[f]) / std_[f];
+  }
+}
+
+Dataset StandardScaler::TransformDataset(const Dataset& data) const {
+  Dataset out(data.NumFeatures(), data.FeatureNames());
+  std::vector<double> row;
+  for (std::size_t i = 0; i < data.NumRows(); ++i) {
+    Transform(data.Row(i), row);
+    out.Add(row, data.Target(i));
+  }
+  return out;
+}
+
+}  // namespace gaugur::ml

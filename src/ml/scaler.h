@@ -1,0 +1,42 @@
+// Per-feature standardization (zero mean, unit variance). Tree models are
+// scale-invariant, but the SVMs need it; the scaler is fit on the training
+// set and baked into the model so prediction inputs are raw features.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace gaugur::ml {
+
+class StandardScaler {
+ public:
+  void Fit(const Dataset& data);
+
+  bool IsFitted() const { return !mean_.empty(); }
+
+  /// Standardizes one row into `out` (resized as needed).
+  void Transform(std::span<const double> x, std::vector<double>& out) const;
+
+  /// A fully standardized copy of `data` (targets unchanged).
+  Dataset TransformDataset(const Dataset& data) const;
+
+  const std::vector<double>& Mean() const { return mean_; }
+  const std::vector<double>& Std() const { return std_; }
+
+  /// Reconstructs a fitted scaler (serialization).
+  static StandardScaler FromMoments(std::vector<double> mean,
+                                    std::vector<double> std) {
+    StandardScaler scaler;
+    scaler.mean_ = std::move(mean);
+    scaler.std_ = std::move(std);
+    return scaler;
+  }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> std_;
+};
+
+}  // namespace gaugur::ml

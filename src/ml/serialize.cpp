@@ -1,0 +1,341 @@
+#include "ml/serialize.h"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace gaugur::ml {
+
+namespace {
+
+void WriteHeader(std::ostream& os) {
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+}
+
+/// Reads the next non-empty line and CHECKs its first token.
+std::istringstream ExpectLine(std::istream& is, const std::string& expected) {
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string token;
+    ls >> token;
+    GAUGUR_CHECK_MSG(token == expected,
+                     "expected '" << expected << "', got '" << token << "'");
+    return ls;
+  }
+  GAUGUR_CHECK_MSG(false, "unexpected end of stream, wanted " << expected);
+}
+
+void SaveTreeConfig(std::ostream& os, const TreeConfig& config) {
+  os << "tree_config " << static_cast<int>(config.criterion) << ' '
+     << config.max_depth << ' ' << config.min_samples_leaf << ' '
+     << config.min_samples_split << ' ' << config.max_features << '\n';
+}
+
+TreeConfig LoadTreeConfig(std::istream& is) {
+  auto ls = ExpectLine(is, "tree_config");
+  TreeConfig config;
+  int criterion = 0;
+  ls >> criterion >> config.max_depth >> config.min_samples_leaf >>
+      config.min_samples_split >> config.max_features;
+  config.criterion = static_cast<SplitCriterion>(criterion);
+  return config;
+}
+
+void SaveVector(std::ostream& os, const char* key,
+                const std::vector<double>& values) {
+  os << key << ' ' << values.size();
+  for (double v : values) os << ' ' << v;
+  os << '\n';
+}
+
+std::vector<double> LoadVector(std::istream& is, const char* key) {
+  auto ls = ExpectLine(is, key);
+  std::size_t n = 0;
+  ls >> n;
+  std::vector<double> values(n);
+  for (auto& v : values) ls >> v;
+  return values;
+}
+
+void SaveForestConfig(std::ostream& os, const ForestConfig& config) {
+  os << "forest_config " << config.num_trees << ' ' << config.max_depth
+     << ' ' << config.min_samples_leaf << ' ' << config.max_features << ' '
+     << config.bootstrap_fraction << '\n';
+}
+
+ForestConfig LoadForestConfig(std::istream& is) {
+  auto ls = ExpectLine(is, "forest_config");
+  ForestConfig config;
+  ls >> config.num_trees >> config.max_depth >> config.min_samples_leaf >>
+      config.max_features >> config.bootstrap_fraction;
+  return config;
+}
+
+void SaveBoostConfig(std::ostream& os, const BoostConfig& config) {
+  os << "boost_config " << config.num_stages << ' ' << config.learning_rate
+     << ' ' << config.max_depth << ' ' << config.min_samples_leaf << ' '
+     << config.subsample << '\n';
+}
+
+BoostConfig LoadBoostConfig(std::istream& is) {
+  auto ls = ExpectLine(is, "boost_config");
+  BoostConfig config;
+  ls >> config.num_stages >> config.learning_rate >> config.max_depth >>
+      config.min_samples_leaf >> config.subsample;
+  return config;
+}
+
+void SaveSvmConfig(std::ostream& os, const SvmConfig& config) {
+  os << "svm_config " << static_cast<int>(config.kernel) << ' ' << config.c
+     << ' ' << config.gamma << ' ' << config.epsilon << ' '
+     << config.max_epochs << ' ' << config.tolerance << '\n';
+}
+
+SvmConfig LoadSvmConfig(std::istream& is) {
+  auto ls = ExpectLine(is, "svm_config");
+  SvmConfig config;
+  int kernel = 0;
+  ls >> kernel >> config.c >> config.gamma >> config.epsilon >>
+      config.max_epochs >> config.tolerance;
+  config.kernel = static_cast<KernelKind>(kernel);
+  return config;
+}
+
+template <typename Machine>
+void SaveKernelMachine(std::ostream& os, const Machine& svm) {
+  SaveSvmConfig(os, svm.Config());
+  SaveScaler(os, svm.Scaler());
+  os << "gamma " << svm.EffectiveGamma() << '\n';
+  os << "num_features " << svm.NumFeatures() << '\n';
+  SaveVector(os, "support_vectors", svm.SupportVectorData());
+  SaveVector(os, "coefficients", svm.Coefficients());
+}
+
+template <typename Machine>
+Machine LoadKernelMachine(std::istream& is) {
+  const SvmConfig config = LoadSvmConfig(is);
+  StandardScaler scaler = LoadScaler(is);
+  double gamma = 0.0;
+  ExpectLine(is, "gamma") >> gamma;
+  std::size_t num_features = 0;
+  ExpectLine(is, "num_features") >> num_features;
+  auto sv = LoadVector(is, "support_vectors");
+  auto coef = LoadVector(is, "coefficients");
+  Machine svm(config);
+  svm.RestoreState(std::move(scaler), gamma, std::move(sv), std::move(coef),
+                   num_features);
+  return svm;
+}
+
+std::string ReadModelTag(std::istream& is) {
+  auto ls = ExpectLine(is, "model");
+  std::string tag;
+  ls >> tag;
+  return tag;
+}
+
+}  // namespace
+
+void SaveTree(std::ostream& os, const TreeModel& tree) {
+  WriteHeader(os);
+  SaveTreeConfig(os, tree.Config());
+  os << "nodes " << tree.Nodes().size() << '\n';
+  for (const auto& node : tree.Nodes()) {
+    os << "n " << node.feature << ' ' << node.threshold << ' ' << node.left
+       << ' ' << node.right << ' ' << node.value << ' ' << node.num_samples
+       << '\n';
+  }
+}
+
+TreeModel LoadTree(std::istream& is) {
+  const TreeConfig config = LoadTreeConfig(is);
+  std::size_t count = 0;
+  ExpectLine(is, "nodes") >> count;
+  std::vector<TreeNode> nodes(count);
+  for (auto& node : nodes) {
+    ExpectLine(is, "n") >> node.feature >> node.threshold >> node.left >>
+        node.right >> node.value >> node.num_samples;
+  }
+  return TreeModel::FromNodes(config, std::move(nodes));
+}
+
+void SaveScaler(std::ostream& os, const StandardScaler& scaler) {
+  WriteHeader(os);
+  SaveVector(os, "scaler_mean", scaler.Mean());
+  SaveVector(os, "scaler_std", scaler.Std());
+}
+
+StandardScaler LoadScaler(std::istream& is) {
+  auto mean = LoadVector(is, "scaler_mean");
+  auto std = LoadVector(is, "scaler_std");
+  return StandardScaler::FromMoments(std::move(mean), std::move(std));
+}
+
+void SaveRegressor(std::ostream& os, const Regressor& model) {
+  WriteHeader(os);
+  if (const auto* dtr = dynamic_cast<const DecisionTreeRegressor*>(&model)) {
+    os << "model DTR\n";
+    SaveTree(os, dtr->Tree());
+    return;
+  }
+  if (const auto* rf = dynamic_cast<const RandomForestRegressor*>(&model)) {
+    os << "model RF_R\n";
+    SaveForestConfig(os, rf->Config());
+    os << "trees " << rf->Trees().size() << '\n';
+    for (const auto& tree : rf->Trees()) SaveTree(os, tree);
+    return;
+  }
+  if (const auto* gbrt =
+          dynamic_cast<const GradientBoostedRegressor*>(&model)) {
+    os << "model GBRT\n";
+    SaveBoostConfig(os, gbrt->Config());
+    os << "base " << gbrt->BaseValue() << '\n';
+    os << "stages " << gbrt->Stages().size() << '\n';
+    for (const auto& tree : gbrt->Stages()) SaveTree(os, tree);
+    return;
+  }
+  if (const auto* svr = dynamic_cast<const SvmRegressor*>(&model)) {
+    os << "model SVR\n";
+    SaveKernelMachine(os, *svr);
+    return;
+  }
+  GAUGUR_CHECK_MSG(false, "unserializable regressor: " << model.Name());
+}
+
+std::unique_ptr<Regressor> LoadRegressor(std::istream& is) {
+  const std::string tag = ReadModelTag(is);
+  if (tag == "DTR") {
+    return std::make_unique<DecisionTreeRegressor>(
+        DecisionTreeRegressor::FromTree(LoadTree(is)));
+  }
+  if (tag == "RF_R") {
+    const ForestConfig config = LoadForestConfig(is);
+    std::size_t count = 0;
+    ExpectLine(is, "trees") >> count;
+    std::vector<TreeModel> trees;
+    trees.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) trees.push_back(LoadTree(is));
+    return std::make_unique<RandomForestRegressor>(
+        RandomForestRegressor::FromTrees(config, std::move(trees)));
+  }
+  if (tag == "GBRT") {
+    const BoostConfig config = LoadBoostConfig(is);
+    double base = 0.0;
+    ExpectLine(is, "base") >> base;
+    std::size_t count = 0;
+    ExpectLine(is, "stages") >> count;
+    std::vector<TreeModel> stages;
+    stages.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) stages.push_back(LoadTree(is));
+    return std::make_unique<GradientBoostedRegressor>(
+        GradientBoostedRegressor::FromStages(config, base,
+                                             std::move(stages)));
+  }
+  if (tag == "SVR") {
+    return std::make_unique<SvmRegressor>(
+        LoadKernelMachine<SvmRegressor>(is));
+  }
+  GAUGUR_CHECK_MSG(false, "unknown regressor tag: " << tag);
+}
+
+void SaveClassifier(std::ostream& os, const Classifier& model) {
+  WriteHeader(os);
+  if (const auto* dtc = dynamic_cast<const DecisionTreeClassifier*>(&model)) {
+    os << "model DTC\n";
+    SaveTree(os, dtc->Tree());
+    return;
+  }
+  if (const auto* rf = dynamic_cast<const RandomForestClassifier*>(&model)) {
+    os << "model RF_C\n";
+    SaveForestConfig(os, rf->Config());
+    os << "trees " << rf->Trees().size() << '\n';
+    for (const auto& tree : rf->Trees()) SaveTree(os, tree);
+    return;
+  }
+  if (const auto* gbdt =
+          dynamic_cast<const GradientBoostedClassifier*>(&model)) {
+    os << "model GBDT\n";
+    SaveBoostConfig(os, gbdt->Config());
+    os << "base " << gbdt->BaseValue() << '\n';
+    os << "stages " << gbdt->Stages().size() << '\n';
+    for (const auto& tree : gbdt->Stages()) SaveTree(os, tree);
+    return;
+  }
+  if (const auto* svc = dynamic_cast<const SvmClassifier*>(&model)) {
+    os << "model SVC\n";
+    SaveKernelMachine(os, *svc);
+    return;
+  }
+  GAUGUR_CHECK_MSG(false, "unserializable classifier: " << model.Name());
+}
+
+std::unique_ptr<Classifier> LoadClassifier(std::istream& is) {
+  const std::string tag = ReadModelTag(is);
+  if (tag == "DTC") {
+    return std::make_unique<DecisionTreeClassifier>(
+        DecisionTreeClassifier::FromTree(LoadTree(is)));
+  }
+  if (tag == "RF_C") {
+    const ForestConfig config = LoadForestConfig(is);
+    std::size_t count = 0;
+    ExpectLine(is, "trees") >> count;
+    std::vector<TreeModel> trees;
+    trees.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) trees.push_back(LoadTree(is));
+    return std::make_unique<RandomForestClassifier>(
+        RandomForestClassifier::FromTrees(config, std::move(trees)));
+  }
+  if (tag == "GBDT") {
+    const BoostConfig config = LoadBoostConfig(is);
+    double base = 0.0;
+    ExpectLine(is, "base") >> base;
+    std::size_t count = 0;
+    ExpectLine(is, "stages") >> count;
+    std::vector<TreeModel> stages;
+    stages.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) stages.push_back(LoadTree(is));
+    return std::make_unique<GradientBoostedClassifier>(
+        GradientBoostedClassifier::FromStages(config, base,
+                                              std::move(stages)));
+  }
+  if (tag == "SVC") {
+    return std::make_unique<SvmClassifier>(
+        LoadKernelMachine<SvmClassifier>(is));
+  }
+  GAUGUR_CHECK_MSG(false, "unknown classifier tag: " << tag);
+}
+
+bool SaveRegressorToFile(const std::string& path, const Regressor& model) {
+  std::ofstream os(path);
+  if (!os) return false;
+  SaveRegressor(os, model);
+  return static_cast<bool>(os);
+}
+
+std::unique_ptr<Regressor> LoadRegressorFromFile(const std::string& path) {
+  std::ifstream is(path);
+  GAUGUR_CHECK_MSG(static_cast<bool>(is), "cannot open " << path);
+  return LoadRegressor(is);
+}
+
+bool SaveClassifierToFile(const std::string& path, const Classifier& model) {
+  std::ofstream os(path);
+  if (!os) return false;
+  SaveClassifier(os, model);
+  return static_cast<bool>(os);
+}
+
+std::unique_ptr<Classifier> LoadClassifierFromFile(const std::string& path) {
+  std::ifstream is(path);
+  GAUGUR_CHECK_MSG(static_cast<bool>(is), "cannot open " << path);
+  return LoadClassifier(is);
+}
+
+}  // namespace gaugur::ml

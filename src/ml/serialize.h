@@ -1,0 +1,50 @@
+// Model serialization: a line-oriented text format so models trained
+// offline (the expensive step) can be shipped to the online prediction
+// service. Every learner round-trips exactly — predictions from a loaded
+// model are bit-identical to the original's.
+//
+// Format: one "<key> <values...>" record per line, nested blocks wrapped
+// in "begin <type>" / "end" lines. Doubles are written with max_digits10
+// so the round-trip is lossless.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "ml/decision_tree.h"
+#include "ml/gradient_boosting.h"
+#include "ml/model.h"
+#include "ml/random_forest.h"
+#include "ml/scaler.h"
+#include "ml/svm.h"
+
+namespace gaugur::ml {
+
+// ---- Streaming API (one model per call; composable).
+
+void SaveTree(std::ostream& os, const TreeModel& tree);
+TreeModel LoadTree(std::istream& is);
+
+void SaveScaler(std::ostream& os, const StandardScaler& scaler);
+StandardScaler LoadScaler(std::istream& is);
+
+// ---- Regressor / Classifier round-trips by dynamic type. Supported:
+// DecisionTree*, RandomForest*, GradientBoosted*, Svm*. CHECK-fails on
+// unknown concrete types.
+
+void SaveRegressor(std::ostream& os, const Regressor& model);
+std::unique_ptr<Regressor> LoadRegressor(std::istream& is);
+
+void SaveClassifier(std::ostream& os, const Classifier& model);
+std::unique_ptr<Classifier> LoadClassifier(std::istream& is);
+
+// ---- File convenience wrappers; return false on I/O failure.
+
+bool SaveRegressorToFile(const std::string& path, const Regressor& model);
+std::unique_ptr<Regressor> LoadRegressorFromFile(const std::string& path);
+
+bool SaveClassifierToFile(const std::string& path, const Classifier& model);
+std::unique_ptr<Classifier> LoadClassifierFromFile(const std::string& path);
+
+}  // namespace gaugur::ml

@@ -1,0 +1,194 @@
+#include "ml/svm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/mathutil.h"
+#include "common/rng.h"
+
+namespace gaugur::ml {
+
+namespace {
+constexpr double kCoefCutoff = 1e-9;
+}
+
+double KernelMachine::Kernel(std::span<const double> a,
+                             std::span<const double> b) const {
+  GAUGUR_CHECK(a.size() == b.size());
+  if (config_.kernel == KernelKind::kLinear) {
+    double dot = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) dot += a[i] * b[i];
+    return dot;
+  }
+  double dist_sq = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    dist_sq += d * d;
+  }
+  return std::exp(-effective_gamma_ * dist_sq);
+}
+
+std::vector<double> KernelMachine::BuildGram(const Dataset& scaled) const {
+  const std::size_t n = scaled.NumRows();
+  std::vector<double> gram(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double k = Kernel(scaled.Row(i), scaled.Row(j)) + 1.0;
+      gram[i * n + j] = k;
+      gram[j * n + i] = k;
+    }
+  }
+  return gram;
+}
+
+void KernelMachine::StoreSupportVectors(const Dataset& scaled,
+                                        std::span<const double> dual_coef) {
+  sv_.clear();
+  coef_.clear();
+  num_features_ = scaled.NumFeatures();
+  for (std::size_t i = 0; i < scaled.NumRows(); ++i) {
+    if (std::abs(dual_coef[i]) <= kCoefCutoff) continue;
+    const auto row = scaled.Row(i);
+    sv_.insert(sv_.end(), row.begin(), row.end());
+    coef_.push_back(dual_coef[i]);
+  }
+}
+
+double KernelMachine::Decision(std::span<const double> x) const {
+  GAUGUR_CHECK_MSG(!coef_.empty(), "Predict before Fit");
+  thread_local std::vector<double> scaled;
+  scaler_.Transform(x, scaled);
+  double value = 0.0;
+  for (std::size_t j = 0; j < coef_.size(); ++j) {
+    std::span<const double> sv(sv_.data() + j * num_features_,
+                               num_features_);
+    value += coef_[j] * (Kernel(sv, scaled) + 1.0);
+  }
+  return value;
+}
+
+void SvmClassifier::Fit(const Dataset& data) {
+  GAUGUR_CHECK(data.NumRows() >= 2);
+  scaler_.Fit(data);
+  const Dataset scaled = scaler_.TransformDataset(data);
+  const std::size_t n = scaled.NumRows();
+  effective_gamma_ = config_.gamma > 0.0
+                         ? config_.gamma
+                         : 1.0 / static_cast<double>(scaled.NumFeatures());
+
+  // Labels to {-1, +1}.
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = scaled.Target(i);
+    GAUGUR_CHECK_MSG(t == 0.0 || t == 1.0, "labels must be 0/1");
+    y[i] = t > 0.5 ? 1.0 : -1.0;
+  }
+
+  const std::vector<double> gram = BuildGram(scaled);
+  std::vector<double> alpha(n, 0.0);
+  // margin[i] = y_i * f(x_i); maintained incrementally.
+  std::vector<double> margin(n, 0.0);
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  common::Rng rng(config_.seed);
+
+  for (int epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    rng.Shuffle(order);
+    double max_update = 0.0;
+    for (std::size_t i : order) {
+      const double kii = gram[i * n + i];
+      if (kii <= 0.0) continue;
+      const double delta_unclipped = (1.0 - margin[i]) / kii;
+      const double new_alpha =
+          std::clamp(alpha[i] + delta_unclipped, 0.0, config_.c);
+      const double delta = new_alpha - alpha[i];
+      if (std::abs(delta) < kCoefCutoff) continue;
+      alpha[i] = new_alpha;
+      max_update = std::max(max_update, std::abs(delta));
+      for (std::size_t j = 0; j < n; ++j) {
+        margin[j] += delta * y[i] * y[j] * gram[i * n + j];
+      }
+    }
+    if (max_update < config_.tolerance) break;
+  }
+
+  std::vector<double> dual_coef(n);
+  for (std::size_t i = 0; i < n; ++i) dual_coef[i] = alpha[i] * y[i];
+  StoreSupportVectors(scaled, dual_coef);
+  // Degenerate single-class fit: keep one zero-coefficient "support
+  // vector" so Decision() stays callable and predicts the majority side.
+  if (coef_.empty()) {
+    coef_.push_back(y[0] * kCoefCutoff * 2);
+    const auto row = scaled.Row(0);
+    sv_.assign(row.begin(), row.end());
+  }
+}
+
+double SvmClassifier::PredictProb(std::span<const double> x) const {
+  return common::Sigmoid(2.0 * Decision(x));
+}
+
+void SvmRegressor::Fit(const Dataset& data) {
+  GAUGUR_CHECK(data.NumRows() >= 2);
+  scaler_.Fit(data);
+  const Dataset scaled = scaler_.TransformDataset(data);
+  const std::size_t n = scaled.NumRows();
+  effective_gamma_ = config_.gamma > 0.0
+                         ? config_.gamma
+                         : 1.0 / static_cast<double>(scaled.NumFeatures());
+
+  const std::vector<double> gram = BuildGram(scaled);
+  // beta_i = alpha_i - alpha_i^* in [-C, C]; objective
+  //   1/2 b'Kb - b'y + eps * |b|_1.
+  std::vector<double> beta(n, 0.0);
+  std::vector<double> f(n, 0.0);  // f_i = sum_j beta_j K_ij
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  common::Rng rng(config_.seed);
+
+  for (int epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    rng.Shuffle(order);
+    double max_update = 0.0;
+    for (std::size_t i : order) {
+      const double kii = gram[i * n + i];
+      if (kii <= 0.0) continue;
+      // Minimize in beta_i alone: 1/2 kii b^2 - r b + eps |b|, where
+      // r = y_i - (f_i - beta_i * kii) is the residual excluding i.
+      const double r = scaled.Target(i) - (f[i] - beta[i] * kii);
+      double new_beta = 0.0;
+      if (r > config_.epsilon) {
+        new_beta = (r - config_.epsilon) / kii;
+      } else if (r < -config_.epsilon) {
+        new_beta = (r + config_.epsilon) / kii;
+      }
+      new_beta = std::clamp(new_beta, -config_.c, config_.c);
+      const double delta = new_beta - beta[i];
+      if (std::abs(delta) < kCoefCutoff) continue;
+      beta[i] = new_beta;
+      max_update = std::max(max_update, std::abs(delta));
+      for (std::size_t j = 0; j < n; ++j) {
+        f[j] += delta * gram[i * n + j];
+      }
+    }
+    if (max_update < config_.tolerance) break;
+  }
+
+  StoreSupportVectors(scaled, beta);
+  if (coef_.empty()) {
+    // All targets inside the epsilon tube around zero: predict constant 0
+    // via a single null support vector.
+    coef_.push_back(kCoefCutoff * 2);
+    const auto row = scaled.Row(0);
+    sv_.assign(row.begin(), row.end());
+  }
+}
+
+double SvmRegressor::Predict(std::span<const double> x) const {
+  return Decision(x);
+}
+
+}  // namespace gaugur::ml

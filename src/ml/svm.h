@@ -1,0 +1,118 @@
+// Kernel support vector machines: SVC (hinge loss) and SVR (epsilon-
+// insensitive loss), solved by dual coordinate descent.
+//
+// The bias term is folded into the kernel (K~ = K + 1), which removes the
+// dual equality constraint and lets plain box-constrained coordinate
+// descent converge without SMO's working-set pair selection. Features are
+// standardized internally; the RBF gamma follows the "scale" heuristic
+// 1/d on standardized features.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/model.h"
+#include "ml/scaler.h"
+
+namespace gaugur::ml {
+
+enum class KernelKind { kRbf, kLinear };
+
+struct SvmConfig {
+  KernelKind kernel = KernelKind::kRbf;
+  /// Box constraint C.
+  double c = 10.0;
+  /// RBF gamma; <= 0 selects 1/num_features on standardized inputs.
+  double gamma = -1.0;
+  /// SVR tube half-width.
+  double epsilon = 0.01;
+  int max_epochs = 200;
+  double tolerance = 1e-5;
+  std::uint64_t seed = 17;
+};
+
+/// Shared kernel machinery + support vector storage.
+class KernelMachine {
+ public:
+  explicit KernelMachine(SvmConfig config) : config_(config) {}
+
+  double Kernel(std::span<const double> a, std::span<const double> b) const;
+
+  /// Decision value sum_j coef_j * (K(sv_j, x) + 1) on a raw input row.
+  double Decision(std::span<const double> x) const;
+
+  std::size_t NumSupportVectors() const { return coef_.size(); }
+  const SvmConfig& Config() const { return config_; }
+
+  /// Serialization state access.
+  const StandardScaler& Scaler() const { return scaler_; }
+  double EffectiveGamma() const { return effective_gamma_; }
+  const std::vector<double>& SupportVectorData() const { return sv_; }
+  const std::vector<double>& Coefficients() const { return coef_; }
+  std::size_t NumFeatures() const { return num_features_; }
+  void RestoreState(StandardScaler scaler, double gamma,
+                    std::vector<double> sv, std::vector<double> coef,
+                    std::size_t num_features) {
+    scaler_ = std::move(scaler);
+    effective_gamma_ = gamma;
+    sv_ = std::move(sv);
+    coef_ = std::move(coef);
+    num_features_ = num_features;
+  }
+
+ protected:
+  /// Gram matrix of the standardized training set with the +1 bias fold.
+  std::vector<double> BuildGram(const Dataset& scaled) const;
+
+  /// Keeps only rows with non-negligible dual coefficients.
+  void StoreSupportVectors(const Dataset& scaled,
+                           std::span<const double> dual_coef);
+
+  SvmConfig config_;
+  StandardScaler scaler_;
+  double effective_gamma_ = 0.0;
+  std::vector<double> sv_;  // row-major support vectors (standardized)
+  std::vector<double> coef_;
+  std::size_t num_features_ = 0;
+};
+
+class SvmClassifier final : public Classifier, private KernelMachine {
+ public:
+  explicit SvmClassifier(SvmConfig config = {}) : KernelMachine(config) {}
+
+  void Fit(const Dataset& data) override;
+  /// Logistic link on the margin — adequate for thresholding at 0.5.
+  double PredictProb(std::span<const double> x) const override;
+  std::string Name() const override { return "SVC"; }
+
+  double DecisionValue(std::span<const double> x) const { return Decision(x); }
+  using KernelMachine::Coefficients;
+  using KernelMachine::Config;
+  using KernelMachine::EffectiveGamma;
+  using KernelMachine::NumFeatures;
+  using KernelMachine::NumSupportVectors;
+  using KernelMachine::RestoreState;
+  using KernelMachine::Scaler;
+  using KernelMachine::SupportVectorData;
+};
+
+class SvmRegressor final : public Regressor, private KernelMachine {
+ public:
+  explicit SvmRegressor(SvmConfig config = {}) : KernelMachine(config) {}
+
+  void Fit(const Dataset& data) override;
+  double Predict(std::span<const double> x) const override;
+  std::string Name() const override { return "SVR"; }
+
+  using KernelMachine::Coefficients;
+  using KernelMachine::Config;
+  using KernelMachine::EffectiveGamma;
+  using KernelMachine::NumFeatures;
+  using KernelMachine::NumSupportVectors;
+  using KernelMachine::RestoreState;
+  using KernelMachine::Scaler;
+  using KernelMachine::SupportVectorData;
+};
+
+}  // namespace gaugur::ml

@@ -1,0 +1,252 @@
+#include "profiling/collaborative.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/mathutil.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "microbench/pressure_bench.h"
+
+namespace gaugur::profiling {
+
+using gamesim::WorkloadProfile;
+using resources::Resolution;
+using resources::Resource;
+
+namespace {
+
+double MeasureSolo(const gamesim::ServerSim& server, const WorkloadProfile& w,
+                   common::Rng& rng, double noise) {
+  const std::vector<WorkloadProfile> solo{w};
+  return server.Measure(solo, rng.Next(), noise)[0].rate;
+}
+
+}  // namespace
+
+PartialProfiler::PartialProfiler(const gamesim::ServerSim& server,
+                                 ProfilerOptions options)
+    : server_(server), options_(options) {}
+
+PartialProfile PartialProfiler::ProbeGame(const gamesim::Game& game) const {
+  common::Rng rng(options_.seed ^
+                  (0xd1342543de82ef95ULL *
+                   static_cast<std::uint64_t>(game.id + 1)));
+  PartialProfile probe;
+  probe.game_id = game.id;
+  probe.name = game.name;
+  probe.cpu_memory = game.cpu_memory;
+  probe.gpu_memory = game.gpu_memory;
+
+  const Resolution res_a = options_.primary_res;
+  const Resolution res_b = options_.secondary_res;
+  const Resolution res_c = options_.tertiary_res;
+  const WorkloadProfile game_a = game.AtResolution(res_a);
+  const WorkloadProfile game_b = game.AtResolution(res_b);
+
+  const double solo_a = MeasureSolo(server_, game_a, rng,
+                                    options_.noise_sigma);
+  const double solo_b = MeasureSolo(server_, game_b, rng,
+                                    options_.noise_sigma);
+  const double solo_c = MeasureSolo(server_, game.AtResolution(res_c), rng,
+                                    options_.noise_sigma);
+  probe.solo_fps_points = {{res_a.Megapixels(), solo_a},
+                           {res_b.Megapixels(), solo_b},
+                           {res_c.Megapixels(), solo_c}};
+  std::sort(probe.solo_fps_points.begin(), probe.solo_fps_points.end());
+  probe.solo_fps_model = resources::PixelLinearModel::FromTwoPoints(
+      res_a, solo_a, res_b, solo_b);
+
+  probe.solo_utilization = game_a.occupancy;
+  for (auto& u : probe.solo_utilization) {
+    u = std::max(0.0, u * std::exp(rng.Gaussian(0.0, 0.01)));
+  }
+
+  for (Resource r : resources::kAllResources) {
+    // Sensitivity anchors at pressures 0.5 and 1.0 (primary resolution),
+    // plus the mid-pressure benchmark slowdown at both resolutions for
+    // the intensity models.
+    double slowdown_a = 1.0, slowdown_b = 1.0;
+    for (double pressure : {0.5, 1.0}) {
+      const WorkloadProfile bench =
+          microbench::MakePressureBench(r, pressure);
+      const double bench_solo =
+          MeasureSolo(server_, bench, rng, options_.noise_sigma);
+      const std::vector<WorkloadProfile> pair{game_a, bench};
+      const auto res = server_.Measure(pair, rng.Next(),
+                                       options_.noise_sigma);
+      const double degradation = std::min(1.0, res[0].rate / solo_a);
+      if (pressure == 0.5) {
+        probe.sensitivity_mid[r] = degradation;
+        slowdown_a = microbench::BenchSlowdown(bench_solo, res[1].rate);
+        const std::vector<WorkloadProfile> pair_b{game_b, bench};
+        const auto res_b2 = server_.Measure(pair_b, rng.Next(),
+                                            options_.noise_sigma);
+        slowdown_b = microbench::BenchSlowdown(bench_solo, res_b2[1].rate);
+      } else {
+        probe.sensitivity_max[r] = degradation;
+      }
+    }
+    const double intensity_a = std::max(0.0, slowdown_a - 1.0);
+    const double intensity_b = std::max(0.0, slowdown_b - 1.0);
+    probe.intensity_ref[r] = intensity_a;
+    probe.intensity_model[r] = resources::PixelLinearModel::FromTwoPoints(
+        res_a, intensity_a, res_b, intensity_b);
+  }
+  return probe;
+}
+
+std::size_t PartialProfiler::MeasurementsPerGame() const {
+  // 3 solo + per resource: 2 bench solos + 2 primary colocations + 1
+  // secondary colocation.
+  return 3 + resources::kNumResources * 6;
+}
+
+CurveImputer::CurveImputer(std::vector<GameProfile> reference,
+                           ImputerOptions options)
+    : reference_(std::move(reference)), options_(options) {
+  GAUGUR_CHECK_MSG(reference_.size() >= options_.num_neighbors,
+                   "reference fleet smaller than num_neighbors");
+  // Normalize probe features over the reference fleet.
+  std::vector<std::vector<double>> features;
+  features.reserve(reference_.size());
+  for (const auto& profile : reference_) {
+    features.push_back(ReferenceFeatures(profile));
+  }
+  const std::size_t d = features[0].size();
+  feature_mean_.assign(d, 0.0);
+  feature_std_.assign(d, 0.0);
+  for (const auto& f : features) {
+    for (std::size_t i = 0; i < d; ++i) feature_mean_[i] += f[i];
+  }
+  for (auto& m : feature_mean_) m /= static_cast<double>(features.size());
+  for (const auto& f : features) {
+    for (std::size_t i = 0; i < d; ++i) {
+      const double delta = f[i] - feature_mean_[i];
+      feature_std_[i] += delta * delta;
+    }
+  }
+  for (auto& s : feature_std_) {
+    s = std::sqrt(s / static_cast<double>(features.size()));
+    if (s < 1e-9) s = 1.0;
+  }
+}
+
+std::vector<double> CurveImputer::ReferenceFeatures(
+    const GameProfile& profile) const {
+  std::vector<double> f;
+  f.reserve(3 * resources::kNumResources + 1);
+  for (Resource r : resources::kAllResources) {
+    f.push_back(profile.intensity_ref[r]);
+    f.push_back(profile.Sensitivity(r).At(0.5));
+    f.push_back(profile.Sensitivity(r).Score());
+  }
+  f.push_back(std::log(std::max(1.0, profile.SoloFps(
+                                         resources::kReferenceResolution))));
+  return f;
+}
+
+std::vector<double> CurveImputer::ProbeFeatures(
+    const PartialProfile& probe) const {
+  std::vector<double> f;
+  f.reserve(3 * resources::kNumResources + 1);
+  for (Resource r : resources::kAllResources) {
+    f.push_back(probe.intensity_ref[r]);
+    f.push_back(probe.sensitivity_mid[r]);
+    f.push_back(probe.sensitivity_max[r]);
+  }
+  double solo_ref = 1.0;
+  // Interpolate the probe's solo FPS at the reference resolution.
+  const double m_ref = resources::kReferenceResolution.Megapixels();
+  for (std::size_t i = 1; i < probe.solo_fps_points.size(); ++i) {
+    const auto& [m0, f0] = probe.solo_fps_points[i - 1];
+    const auto& [m1, f1] = probe.solo_fps_points[i];
+    if (m_ref <= m1 || i + 1 == probe.solo_fps_points.size()) {
+      const double t = (m_ref - m0) / (m1 - m0);
+      solo_ref = f0 + (f1 - f0) * t;
+      break;
+    }
+  }
+  f.push_back(std::log(std::max(1.0, solo_ref)));
+  return f;
+}
+
+GameProfile CurveImputer::Impute(const PartialProfile& probe) const {
+  // Everything the probe measured directly carries over verbatim.
+  GameProfile profile;
+  profile.game_id = probe.game_id;
+  profile.name = probe.name;
+  profile.solo_fps_points = probe.solo_fps_points;
+  profile.solo_fps_model = probe.solo_fps_model;
+  profile.solo_fps_ref =
+      profile.SoloFps(resources::kReferenceResolution);
+  profile.intensity_ref = probe.intensity_ref;
+  profile.intensity_model = probe.intensity_model;
+  profile.solo_utilization = probe.solo_utilization;
+  profile.cpu_memory = probe.cpu_memory;
+  profile.gpu_memory = probe.gpu_memory;
+
+  // Neighbor weights from normalized probe distance.
+  const auto target = ProbeFeatures(probe);
+  std::vector<std::pair<double, std::size_t>> distances;
+  distances.reserve(reference_.size());
+  for (std::size_t j = 0; j < reference_.size(); ++j) {
+    const auto f = ReferenceFeatures(reference_[j]);
+    double d2 = 0.0;
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      const double delta = (f[i] - target[i]) / feature_std_[i];
+      d2 += delta * delta;
+    }
+    distances.emplace_back(d2 / static_cast<double>(f.size()), j);
+  }
+  std::partial_sort(distances.begin(),
+                    distances.begin() +
+                        static_cast<std::ptrdiff_t>(options_.num_neighbors),
+                    distances.end());
+
+  const std::size_t curve_points =
+      reference_[0].sensitivity[0].degradation.size();
+  const double h2 = options_.bandwidth * options_.bandwidth;
+
+  for (Resource r : resources::kAllResources) {
+    // Weighted curve blend over the nearest neighbors.
+    std::vector<double> blended(curve_points, 0.0);
+    double weight_sum = 0.0;
+    for (std::size_t k = 0; k < options_.num_neighbors; ++k) {
+      const auto& [d2, j] = distances[k];
+      const double w = std::exp(-d2 / h2) + 1e-9;
+      weight_sum += w;
+      const auto& curve = reference_[j].Sensitivity(r).degradation;
+      for (std::size_t i = 0; i < curve_points; ++i) {
+        blended[i] += w * curve[i];
+      }
+    }
+    for (auto& v : blended) v /= weight_sum;
+
+    // Warp the blend so it passes through the probe's measured anchors:
+    // a per-point affine nudge that is zero at pressure 0 (degradation
+    // 1.0 by definition) and matches (0.5, 1.0) exactly.
+    const std::size_t mid = (curve_points - 1) / 2;
+    const double mid_gap = probe.sensitivity_mid[r] - blended[mid];
+    const double max_gap = probe.sensitivity_max[r] - blended.back();
+    SensitivityCurve warped;
+    warped.degradation.resize(curve_points);
+    for (std::size_t i = 0; i < curve_points; ++i) {
+      const double x =
+          static_cast<double>(i) / static_cast<double>(curve_points - 1);
+      // Piecewise-linear correction through (0,0), (0.5,mid_gap),
+      // (1,max_gap).
+      const double correction =
+          x <= 0.5 ? mid_gap * (x / 0.5)
+                   : mid_gap + (max_gap - mid_gap) * ((x - 0.5) / 0.5);
+      warped.degradation[i] =
+          std::clamp(blended[i] + correction, 0.01, 1.0);
+    }
+    profile.sensitivity[resources::Index(r)] = std::move(warped);
+  }
+  return profile;
+}
+
+}  // namespace gaugur::profiling

@@ -1,0 +1,102 @@
+// Collaborative-filtering profile imputation (paper §6: Paragon/Quasar
+// [13,14] "leveraged collaborative filtering techniques to reduce the
+// overhead of profiling ... complementary to our work").
+//
+// Full contention profiling costs ~234 server measurements per game. Once
+// a reference fleet of games is fully profiled, a NEW game onboarding to
+// the platform can be admitted with a cheap probe:
+//   * solo FPS at the three anchor resolutions (3 measurements),
+//   * intensity at two resolutions (7 resources x 2, via a short
+//     mid-pressure benchmark colocation each), and
+//   * sensitivity at only two pressures (0.5 and 1.0) per resource
+//     instead of the full k+1 grid.
+// That is 45 measurements — a 5x reduction.
+//
+// The missing curve interior is reconstructed from the reference games:
+// nearest neighbors in probe space vote on curve shape, and the blended
+// curve is then anchored to the probe's directly measured points, so the
+// imputation never contradicts what was actually observed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gamesim/game.h"
+#include "gamesim/server_sim.h"
+#include "profiling/game_profile.h"
+#include "profiling/profiler.h"
+
+namespace gaugur::profiling {
+
+/// The cheap onboarding probe of one game.
+struct PartialProfile {
+  int game_id = -1;
+  std::string name;
+
+  /// Solo FPS anchors (same as the full profile).
+  std::vector<std::pair<double, double>> solo_fps_points;
+  resources::PixelLinearModel solo_fps_model;
+
+  /// Intensities and their resolution models (same as the full profile —
+  /// these are already cheap).
+  resources::PerResource<double> intensity_ref{};
+  resources::PerResource<resources::PixelLinearModel> intensity_model{};
+
+  /// Sensitivity measured ONLY at pressures 0.5 and 1.0.
+  resources::PerResource<double> sensitivity_mid{};
+  resources::PerResource<double> sensitivity_max{};
+
+  resources::PerResource<double> solo_utilization{};
+  double cpu_memory = 0.0;
+  double gpu_memory = 0.0;
+};
+
+/// Runs the cheap probe (45 measurements at the default granularity
+/// instead of 234).
+class PartialProfiler {
+ public:
+  PartialProfiler(const gamesim::ServerSim& server,
+                  ProfilerOptions options = {});
+
+  PartialProfile ProbeGame(const gamesim::Game& game) const;
+
+  std::size_t MeasurementsPerGame() const;
+
+ private:
+  const gamesim::ServerSim& server_;
+  ProfilerOptions options_;
+};
+
+struct ImputerOptions {
+  /// Neighbors contributing curve shape.
+  std::size_t num_neighbors = 5;
+  /// Kernel bandwidth on normalized probe distance.
+  double bandwidth = 0.5;
+};
+
+/// Reconstructs full profiles from probes using a fully profiled
+/// reference fleet.
+class CurveImputer {
+ public:
+  explicit CurveImputer(std::vector<GameProfile> reference,
+                        ImputerOptions options = {});
+
+  /// Full profile whose curves blend the nearest reference games, warped
+  /// to pass through the probe's measured (0.5, 1.0) sensitivity points.
+  GameProfile Impute(const PartialProfile& probe) const;
+
+  std::size_t ReferenceSize() const { return reference_.size(); }
+
+ private:
+  std::vector<double> ProbeFeatures(const PartialProfile& probe) const;
+  std::vector<double> ReferenceFeatures(const GameProfile& profile) const;
+
+  std::vector<GameProfile> reference_;
+  ImputerOptions options_;
+  // Per-feature normalization (mean/std over the reference fleet).
+  std::vector<double> feature_mean_;
+  std::vector<double> feature_std_;
+};
+
+}  // namespace gaugur::profiling

@@ -1,0 +1,97 @@
+// The contention-feature profile of one game — everything GAugur and the
+// baselines are allowed to know about a game. Produced offline by the
+// Profiler (profiler.h) purely from observable measurements: frame rates,
+// benchmark runtimes, and utilization counters. The hidden simulator
+// parameters never leak into a GameProfile.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/mathutil.h"
+#include "resources/resolution.h"
+#include "resources/resource.h"
+
+namespace gaugur::profiling {
+
+/// Degradation (retained-FPS ratio, 1 = unharmed) of a game under the
+/// pressure grid {0, 1/k, ..., 1} of one resource's benchmark. This is the
+/// paper's sensitivity curve S_r^A (Eq. 1).
+struct SensitivityCurve {
+  std::vector<double> degradation;
+
+  /// Piecewise-linear interpolation at an arbitrary pressure in [0, 1].
+  double At(double pressure) const {
+    GAUGUR_CHECK(degradation.size() >= 2);
+    return common::InterpUniformGrid(degradation.data(),
+                                     static_cast<int>(degradation.size()),
+                                     pressure);
+  }
+
+  /// The paper's "sensitivity score": degradation at maximum pressure.
+  double Score() const {
+    GAUGUR_CHECK(!degradation.empty());
+    return degradation.back();
+  }
+};
+
+struct GameProfile {
+  int game_id = -1;
+  std::string name;
+
+  /// Solo FPS measured at the reference resolution.
+  double solo_fps_ref = 0.0;
+  /// Eq. 2: solo FPS as a linear function of megapixels, fit from two
+  /// profiled resolutions. Kept for the paper-comparison benches.
+  resources::PixelLinearModel solo_fps_model;
+  /// (megapixels, solo FPS) anchors at the profiled resolutions, sorted
+  /// by megapixels. Our games have a bottleneck kink (frame cap or CPU
+  /// limit flattens the low-resolution side), so SoloFps() interpolates
+  /// piecewise-linearly over three profiled resolutions instead of
+  /// extrapolating the Eq. 2 line — one extra solo measurement per game.
+  std::vector<std::pair<double, double>> solo_fps_points;
+
+  /// Sensitivity curves at the reference resolution. Observation 6: these
+  /// are (approximately) resolution-invariant, so one profile suffices.
+  std::array<SensitivityCurve, resources::kNumResources> sensitivity;
+
+  /// Intensity (mean benchmark slowdown - 1) at the reference resolution.
+  resources::PerResource<double> intensity_ref{};
+  /// Observations 7-8: intensity as a linear function of megapixels
+  /// (near-zero slope for CPU-side resources), fit from two resolutions.
+  resources::PerResource<resources::PixelLinearModel> intensity_model{};
+
+  /// Solo utilization counters (for the VBP baseline and Fig. 2a).
+  resources::PerResource<double> solo_utilization{};
+  double cpu_memory = 0.0;
+  double gpu_memory = 0.0;
+
+  /// Predicted solo FPS at any resolution: piecewise-linear over the
+  /// profiled anchors when available, else the Eq. 2 line.
+  double SoloFps(const resources::Resolution& res) const {
+    if (solo_fps_points.size() < 2) {
+      return std::max(1.0, solo_fps_model.Eval(res));
+    }
+    const double m = res.Megapixels();
+    const auto& pts = solo_fps_points;
+    std::size_t hi = 1;
+    while (hi + 1 < pts.size() && m > pts[hi].first) ++hi;
+    const auto& [m0, f0] = pts[hi - 1];
+    const auto& [m1, f1] = pts[hi];
+    const double t = (m - m0) / (m1 - m0);
+    return std::max(1.0, f0 + (f1 - f0) * t);
+  }
+
+  /// Predicted intensity on `r` at any resolution via Observations 7-8.
+  double IntensityAt(resources::Resource r,
+                     const resources::Resolution& res) const {
+    return std::max(0.0, intensity_model[r].Eval(res));
+  }
+
+  const SensitivityCurve& Sensitivity(resources::Resource r) const {
+    return sensitivity[resources::Index(r)];
+  }
+};
+
+}  // namespace gaugur::profiling

@@ -1,0 +1,154 @@
+#include "profiling/profile_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace gaugur::profiling {
+
+using resources::Resource;
+
+namespace {
+
+std::istringstream ExpectLine(std::istream& is, const std::string& expected) {
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string token;
+    ls >> token;
+    GAUGUR_CHECK_MSG(token == expected,
+                     "expected '" << expected << "', got '" << token << "'");
+    return ls;
+  }
+  GAUGUR_CHECK_MSG(false, "unexpected end of stream, wanted " << expected);
+}
+
+}  // namespace
+
+void SaveProfile(std::ostream& os, const GameProfile& profile) {
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "profile " << profile.game_id << '\n';
+  // Names may contain spaces; quote-free length-prefixed form.
+  os << "name_len " << profile.name.size() << '\n';
+  os << profile.name << '\n';
+  os << "solo_fps_ref " << profile.solo_fps_ref << '\n';
+  os << "solo_fps_model " << profile.solo_fps_model.intercept << ' '
+     << profile.solo_fps_model.slope << '\n';
+  os << "solo_fps_points " << profile.solo_fps_points.size();
+  for (const auto& [mpix, fps] : profile.solo_fps_points) {
+    os << ' ' << mpix << ' ' << fps;
+  }
+  os << '\n';
+  for (Resource r : resources::kAllResources) {
+    const auto& curve = profile.Sensitivity(r).degradation;
+    os << "curve " << resources::Index(r) << ' ' << curve.size();
+    for (double v : curve) os << ' ' << v;
+    os << '\n';
+  }
+  os << "intensity";
+  for (Resource r : resources::kAllResources) {
+    os << ' ' << profile.intensity_ref[r];
+  }
+  os << '\n';
+  os << "intensity_model";
+  for (Resource r : resources::kAllResources) {
+    os << ' ' << profile.intensity_model[r].intercept << ' '
+       << profile.intensity_model[r].slope;
+  }
+  os << '\n';
+  os << "utilization";
+  for (Resource r : resources::kAllResources) {
+    os << ' ' << profile.solo_utilization[r];
+  }
+  os << '\n';
+  os << "memory " << profile.cpu_memory << ' ' << profile.gpu_memory << '\n';
+}
+
+GameProfile LoadProfile(std::istream& is) {
+  GameProfile profile;
+  ExpectLine(is, "profile") >> profile.game_id;
+  std::size_t name_len = 0;
+  ExpectLine(is, "name_len") >> name_len;
+  // The name is the remainder of the next line (verbatim).
+  std::string line;
+  GAUGUR_CHECK(std::getline(is, line));
+  GAUGUR_CHECK_MSG(line.size() == name_len, "name length mismatch");
+  profile.name = line;
+  ExpectLine(is, "solo_fps_ref") >> profile.solo_fps_ref;
+  ExpectLine(is, "solo_fps_model") >> profile.solo_fps_model.intercept >>
+      profile.solo_fps_model.slope;
+  {
+    auto ls = ExpectLine(is, "solo_fps_points");
+    std::size_t n = 0;
+    ls >> n;
+    profile.solo_fps_points.resize(n);
+    for (auto& [mpix, fps] : profile.solo_fps_points) ls >> mpix >> fps;
+  }
+  for (std::size_t i = 0; i < resources::kNumResources; ++i) {
+    auto ls = ExpectLine(is, "curve");
+    std::size_t index = 0, n = 0;
+    ls >> index >> n;
+    GAUGUR_CHECK(index < resources::kNumResources);
+    auto& curve = profile.sensitivity[index].degradation;
+    curve.resize(n);
+    for (double& v : curve) ls >> v;
+  }
+  {
+    auto ls = ExpectLine(is, "intensity");
+    for (Resource r : resources::kAllResources) ls >> profile.intensity_ref[r];
+  }
+  {
+    auto ls = ExpectLine(is, "intensity_model");
+    for (Resource r : resources::kAllResources) {
+      ls >> profile.intensity_model[r].intercept >>
+          profile.intensity_model[r].slope;
+    }
+  }
+  {
+    auto ls = ExpectLine(is, "utilization");
+    for (Resource r : resources::kAllResources) {
+      ls >> profile.solo_utilization[r];
+    }
+  }
+  ExpectLine(is, "memory") >> profile.cpu_memory >> profile.gpu_memory;
+  return profile;
+}
+
+void SaveProfiles(std::ostream& os,
+                  const std::vector<GameProfile>& profiles) {
+  os << "profiles " << profiles.size() << '\n';
+  for (const auto& profile : profiles) SaveProfile(os, profile);
+}
+
+std::vector<GameProfile> LoadProfiles(std::istream& is) {
+  std::size_t count = 0;
+  ExpectLine(is, "profiles") >> count;
+  std::vector<GameProfile> profiles;
+  profiles.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    profiles.push_back(LoadProfile(is));
+  }
+  return profiles;
+}
+
+bool SaveProfilesToFile(const std::string& path,
+                        const std::vector<GameProfile>& profiles) {
+  std::ofstream os(path);
+  if (!os) return false;
+  SaveProfiles(os, profiles);
+  return static_cast<bool>(os);
+}
+
+std::vector<GameProfile> LoadProfilesFromFile(const std::string& path) {
+  std::ifstream is(path);
+  GAUGUR_CHECK_MSG(static_cast<bool>(is), "cannot open " << path);
+  return LoadProfiles(is);
+}
+
+}  // namespace gaugur::profiling

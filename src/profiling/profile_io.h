@@ -1,0 +1,26 @@
+// GameProfile persistence. Profiling a catalog costs hundreds of server
+// measurements per game; operators run it once and load the profiles into
+// every scheduler instance. Same line-oriented lossless text format as
+// ml/serialize.h.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "profiling/game_profile.h"
+
+namespace gaugur::profiling {
+
+void SaveProfile(std::ostream& os, const GameProfile& profile);
+GameProfile LoadProfile(std::istream& is);
+
+void SaveProfiles(std::ostream& os, const std::vector<GameProfile>& profiles);
+std::vector<GameProfile> LoadProfiles(std::istream& is);
+
+/// File wrappers; Save returns false on I/O failure, Load CHECK-fails.
+bool SaveProfilesToFile(const std::string& path,
+                        const std::vector<GameProfile>& profiles);
+std::vector<GameProfile> LoadProfilesFromFile(const std::string& path);
+
+}  // namespace gaugur::profiling

@@ -1,0 +1,66 @@
+// Offline contention-feature profiler (paper §3.2-3.3).
+//
+// For each game the profiler:
+//  * measures solo FPS at two resolutions and fits the Eq. 2 linear model;
+//  * colocates the game with each resource's pressure benchmark at every
+//    grid pressure {0, 1/k, ..., 1}, recording the game's degradation
+//    (its sensitivity curve) and the benchmark's slowdown (whose mean over
+//    pressures, minus one, is the game's intensity on that resource);
+//  * repeats the intensity measurement at the second resolution to fit the
+//    Observation 7/8 linear intensity-vs-pixels models;
+//  * reads solo utilization counters for the VBP baseline.
+//
+// Total cost per game: 2 solo runs + R * (k+1) benchmark colocations at
+// each of 2 resolutions — O(N) across the catalog, as §3.6 requires.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gamesim/catalog.h"
+#include "gamesim/server_sim.h"
+#include "profiling/game_profile.h"
+
+namespace gaugur::common {
+class ThreadPool;
+}
+
+namespace gaugur::profiling {
+
+struct ProfilerOptions {
+  /// Pressure sampling granularity k (the paper uses 10 → 11 grid points).
+  int pressure_granularity = 10;
+  /// The two resolutions profiled; everything else is derived linearly.
+  resources::Resolution primary_res = resources::kReferenceResolution;
+  resources::Resolution secondary_res = resources::k720p;
+  /// Third solo-FPS anchor (one extra solo run per game) so SoloFps()
+  /// can interpolate across the bottleneck kink; see GameProfile.
+  resources::Resolution tertiary_res = resources::k1440p;
+  /// FPS measurement noise (stddev of log-FPS over the profiling scene).
+  double noise_sigma = 0.01;
+  std::uint64_t seed = 1234;
+};
+
+class Profiler {
+ public:
+  Profiler(const gamesim::ServerSim& server, ProfilerOptions options = {});
+
+  /// Profile a single game (deterministic in options.seed and game id).
+  GameProfile ProfileGame(const gamesim::Game& game) const;
+
+  /// Profile every game in the catalog; parallel over games when a pool
+  /// is supplied.
+  std::vector<GameProfile> ProfileCatalog(
+      const gamesim::GameCatalog& catalog,
+      common::ThreadPool* pool = nullptr) const;
+
+  /// Number of server measurements ProfileGame performs — used by the
+  /// overhead bench to validate the O(N) cost claim.
+  std::size_t MeasurementsPerGame() const;
+
+ private:
+  const gamesim::ServerSim& server_;
+  ProfilerOptions options_;
+};
+
+}  // namespace gaugur::profiling

@@ -1,0 +1,70 @@
+// Display resolutions. The paper's resolution study (§3.3) found FPS and
+// GPU-side intensity to be linear in the number of pixels (Eq. 2,
+// Observations 6-8); all resolution math in the repo goes through NumPixels.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/check.h"
+
+namespace gaugur::resources {
+
+struct Resolution {
+  int width = 1920;
+  int height = 1080;
+
+  constexpr double NumPixels() const {
+    return static_cast<double>(width) * static_cast<double>(height);
+  }
+
+  /// Pixels in millions; convenient unit for the linear models.
+  constexpr double Megapixels() const { return NumPixels() / 1e6; }
+
+  std::string ToString() const {
+    return std::to_string(width) + "x" + std::to_string(height);
+  }
+
+  friend constexpr bool operator==(const Resolution&,
+                                   const Resolution&) = default;
+};
+
+inline constexpr Resolution k720p{1280, 720};
+inline constexpr Resolution k900p{1600, 900};
+inline constexpr Resolution k1080p{1920, 1080};
+inline constexpr Resolution k1440p{2560, 1440};
+
+/// The resolutions players may pick in our experiments (the paper lets each
+/// game run at a randomly selected resolution).
+inline constexpr Resolution kPlayerResolutions[] = {k720p, k900p, k1080p,
+                                                    k1440p};
+inline constexpr int kNumPlayerResolutions = 4;
+
+/// Reference resolution used for profiling (sensitivity curves are
+/// resolution-invariant per Observation 6, so one profile suffices).
+inline constexpr Resolution kReferenceResolution = k1080p;
+
+/// A linear-in-pixels model y = intercept + slope * megapixels, used for
+/// Eq. 2 (solo FPS vs resolution) and Observation 8 (intensity vs
+/// resolution). Fit from two profiled resolutions.
+struct PixelLinearModel {
+  double intercept = 0.0;
+  double slope = 0.0;
+
+  double Eval(const Resolution& res) const {
+    return intercept + slope * res.Megapixels();
+  }
+
+  /// Interpolating fit through two (resolution, value) observations.
+  static PixelLinearModel FromTwoPoints(const Resolution& r1, double y1,
+                                        const Resolution& r2, double y2) {
+    GAUGUR_CHECK_MSG(r1.NumPixels() != r2.NumPixels(),
+                     "need two distinct resolutions");
+    PixelLinearModel m;
+    m.slope = (y2 - y1) / (r2.Megapixels() - r1.Megapixels());
+    m.intercept = y1 - m.slope * r1.Megapixels();
+    return m;
+  }
+};
+
+}  // namespace gaugur::resources

@@ -1,0 +1,89 @@
+// The seven shared resources GAugur models (paper §3.2): CPU cores, last
+// level cache, memory bandwidth, GPU cores, GPU memory bandwidth, GPU L2
+// cache, and PCIe bandwidth. Memories (CPU/GPU RAM capacity) are tracked
+// only as a feasibility constraint, not as a contention dimension, per the
+// paper's observation that they do not affect frame rate while total demand
+// fits in the server.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace gaugur::resources {
+
+enum class Resource : int {
+  kCpuCore = 0,  // CPU-CE: compute-engine (core) time
+  kLlc,          // LLC: last-level cache capacity
+  kMemBw,        // MEM-BW: DRAM bandwidth
+  kGpuCore,      // GPU-CE: GPU compute engines (SMs)
+  kGpuBw,        // GPU-BW: GPU memory bandwidth
+  kGpuL2,        // GPU-L2: GPU L2 cache capacity
+  kPcieBw,       // PCIe-BW: host<->device transfer bandwidth
+};
+
+inline constexpr std::size_t kNumResources = 7;
+
+inline constexpr std::array<Resource, kNumResources> kAllResources = {
+    Resource::kCpuCore, Resource::kLlc,   Resource::kMemBw, Resource::kGpuCore,
+    Resource::kGpuBw,   Resource::kGpuL2, Resource::kPcieBw};
+
+constexpr std::size_t Index(Resource r) { return static_cast<std::size_t>(r); }
+
+constexpr std::string_view Name(Resource r) {
+  switch (r) {
+    case Resource::kCpuCore: return "CPU-CE";
+    case Resource::kLlc:     return "LLC";
+    case Resource::kMemBw:   return "MEM-BW";
+    case Resource::kGpuCore: return "GPU-CE";
+    case Resource::kGpuBw:   return "GPU-BW";
+    case Resource::kGpuL2:   return "GPU-L2";
+    case Resource::kPcieBw:  return "PCIe-BW";
+  }
+  return "?";
+}
+
+/// True for the resources that feed the CPU stage of the frame loop.
+constexpr bool IsCpuSide(Resource r) {
+  return r == Resource::kCpuCore || r == Resource::kLlc ||
+         r == Resource::kMemBw;
+}
+
+/// True for the resources that feed the GPU stage of the frame loop.
+/// PCIe feeds the transfer stage and is neither pure CPU nor pure GPU.
+constexpr bool IsGpuSide(Resource r) {
+  return r == Resource::kGpuCore || r == Resource::kGpuBw ||
+         r == Resource::kGpuL2;
+}
+
+/// Cache-capacity resources: characterized by occupancy, not utilization.
+/// The paper's VBP baseline excludes these from its demand vectors.
+constexpr bool IsCacheCapacity(Resource r) {
+  return r == Resource::kLlc || r == Resource::kGpuL2;
+}
+
+/// Resources whose intensity scales with rendered pixel count
+/// (Observation 8); the CPU-side ones do not (Observation 7).
+constexpr bool ScalesWithPixels(Resource r) {
+  return r == Resource::kGpuCore || r == Resource::kGpuBw ||
+         r == Resource::kGpuL2 || r == Resource::kPcieBw;
+}
+
+/// Fixed-size per-resource value bundle with named indexing.
+template <typename T>
+struct PerResource {
+  std::array<T, kNumResources> values{};
+
+  T& operator[](Resource r) { return values[Index(r)]; }
+  const T& operator[](Resource r) const { return values[Index(r)]; }
+  T& operator[](std::size_t i) { return values[i]; }
+  const T& operator[](std::size_t i) const { return values[i]; }
+
+  auto begin() { return values.begin(); }
+  auto end() { return values.end(); }
+  auto begin() const { return values.begin(); }
+  auto end() const { return values.end(); }
+  static constexpr std::size_t size() { return kNumResources; }
+};
+
+}  // namespace gaugur::resources

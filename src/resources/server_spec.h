@@ -1,0 +1,33 @@
+// Server hardware description. Mirrors the paper's testbed shape (one CPU,
+// one GPU, fixed memory) without modeling any specific silicon: capacities
+// are normalized so that occupancy/pressure values live in [0, 1] per
+// resource, and memory is a hard capacity constraint.
+#pragma once
+
+#include "resources/resource.h"
+
+namespace gaugur::resources {
+
+struct ServerSpec {
+  /// Normalized contention capacity per shared resource. 1.0 everywhere by
+  /// convention; kept explicit so heterogeneous-server experiments can scale
+  /// individual dimensions.
+  PerResource<double> capacity{};
+
+  /// CPU RAM and GPU VRAM in normalized units (game demands are expressed
+  /// as fractions of the default server's memory).
+  double cpu_memory = 1.0;
+  double gpu_memory = 1.0;
+
+  /// Maximum number of concurrently hosted game sessions. The paper finds
+  /// colocations beyond 4 games impractical on its testbed.
+  int max_sessions = 4;
+
+  static ServerSpec Default() {
+    ServerSpec spec;
+    for (auto& c : spec.capacity) c = 1.0;
+    return spec;
+  }
+};
+
+}  // namespace gaugur::resources

@@ -1,0 +1,190 @@
+#include "sched/assignment.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace gaugur::sched {
+
+using core::Colocation;
+using core::ColocationKey;
+using core::SessionRequest;
+
+namespace {
+
+/// Server groups: all servers currently hosting the same colocation.
+struct GroupState {
+  Colocation content;
+  std::size_t count = 0;
+};
+
+class GroupedFleet {
+ public:
+  GroupedFleet(std::size_t num_servers, std::size_t max_sessions)
+      : max_sessions_(max_sessions) {
+    groups_[""] = GroupState{{}, num_servers};
+  }
+
+  std::size_t MaxSessions() const { return max_sessions_; }
+
+  /// Visits each distinct group that still has a free session slot.
+  template <typename Fn>
+  void ForEachOpenGroup(Fn&& fn) const {
+    for (const auto& [key, group] : groups_) {
+      if (group.content.size() < max_sessions_) fn(key, group);
+    }
+  }
+
+  /// Moves one server from `from_key`'s group into the group holding
+  /// `new_content`.
+  void Move(const std::string& from_key, Colocation new_content) {
+    auto it = groups_.find(from_key);
+    GAUGUR_CHECK(it != groups_.end() && it->second.count > 0);
+    if (--it->second.count == 0) groups_.erase(it);
+    const std::string new_key = ColocationKey(new_content);
+    auto& group = groups_[new_key];
+    if (group.count == 0) group.content = std::move(new_content);
+    ++group.count;
+  }
+
+  std::vector<Colocation> Expand() const {
+    std::vector<Colocation> servers;
+    for (const auto& [key, group] : groups_) {
+      for (std::size_t i = 0; i < group.count; ++i) {
+        servers.push_back(group.content);
+      }
+    }
+    return servers;
+  }
+
+ private:
+  std::size_t max_sessions_;
+  std::unordered_map<std::string, GroupState> groups_;
+};
+
+Colocation Extend(const Colocation& content, const SessionRequest& request) {
+  Colocation extended = content;
+  extended.push_back(request);
+  return extended;
+}
+
+/// Sum of predicted FPS over all sessions of a colocation.
+double PredictedFpsSum(const Methodology& method,
+                       const Colocation& colocation) {
+  double sum = 0.0;
+  std::vector<SessionRequest> corunners;
+  for (std::size_t v = 0; v < colocation.size(); ++v) {
+    corunners.clear();
+    for (std::size_t j = 0; j < colocation.size(); ++j) {
+      if (j != v) corunners.push_back(colocation[j]);
+    }
+    sum += method.PredictFps(colocation[v], corunners);
+  }
+  return sum;
+}
+
+}  // namespace
+
+std::vector<Colocation> AssignByPredictedFps(
+    const Methodology& method, const core::FeatureBuilder& features,
+    std::span<const SessionRequest> requests,
+    const AssignmentOptions& options) {
+  GAUGUR_CHECK_MSG(method.CanPredictFps(),
+                   method.Name() << " has no FPS model");
+  GAUGUR_CHECK_MSG(
+      requests.size() <= options.num_servers * options.max_sessions_per_server,
+      "fleet capacity too small for the request stream");
+
+  GroupedFleet fleet(options.num_servers, options.max_sessions_per_server);
+  // Memoized predicted-FPS sums by colocation key.
+  std::unordered_map<std::string, double> fps_sum_cache;
+  auto cached_sum = [&](const Colocation& colocation) {
+    const std::string key = ColocationKey(colocation);
+    auto it = fps_sum_cache.find(key);
+    if (it != fps_sum_cache.end()) return it->second;
+    const double sum = PredictedFpsSum(method, colocation);
+    fps_sum_cache.emplace(key, sum);
+    return sum;
+  };
+
+  for (const auto& request : requests) {
+    std::string best_key;
+    const Colocation* best_content = nullptr;
+    double best_gain = -std::numeric_limits<double>::infinity();
+    fleet.ForEachOpenGroup([&](const std::string& key,
+                               const GroupState& group) {
+      const Colocation extended = Extend(group.content, request);
+      if (!ProfiledMemoryFits(features, extended)) return;
+      const double gain = cached_sum(extended) - cached_sum(group.content);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_key = key;
+        best_content = &group.content;
+      }
+    });
+    GAUGUR_CHECK_MSG(best_content != nullptr,
+                     "no server can host the request (memory)");
+    fleet.Move(best_key, Extend(*best_content, request));
+  }
+  return fleet.Expand();
+}
+
+std::vector<Colocation> AssignWorstFit(
+    const baselines::VbpModel& vbp, const core::FeatureBuilder& features,
+    std::span<const SessionRequest> requests,
+    const AssignmentOptions& options) {
+  GAUGUR_CHECK_MSG(
+      requests.size() <= options.num_servers * options.max_sessions_per_server,
+      "fleet capacity too small for the request stream");
+  (void)features;
+
+  GroupedFleet fleet(options.num_servers, options.max_sessions_per_server);
+  std::unordered_map<std::string, double> capacity_cache;
+  auto cached_capacity = [&](const std::string& key,
+                             const Colocation& colocation) {
+    auto it = capacity_cache.find(key);
+    if (it != capacity_cache.end()) return it->second;
+    const double cap = vbp.RemainingCapacity(colocation);
+    capacity_cache.emplace(key, cap);
+    return cap;
+  };
+
+  for (const auto& request : requests) {
+    std::string best_key;
+    const Colocation* best_content = nullptr;
+    double best_capacity = -std::numeric_limits<double>::infinity();
+    fleet.ForEachOpenGroup([&](const std::string& key,
+                               const GroupState& group) {
+      const double capacity = cached_capacity(key, group.content);
+      if (capacity > best_capacity) {
+        best_capacity = capacity;
+        best_key = key;
+        best_content = &group.content;
+      }
+    });
+    GAUGUR_CHECK(best_content != nullptr);
+    fleet.Move(best_key, Extend(*best_content, request));
+  }
+  return fleet.Expand();
+}
+
+std::vector<double> EvaluateAssignment(
+    const core::ColocationLab& lab,
+    std::span<const Colocation> servers) {
+  std::unordered_map<std::string, std::vector<double>> fps_cache;
+  std::vector<double> all_fps;
+  for (const auto& server : servers) {
+    if (server.empty()) continue;
+    const std::string key = ColocationKey(server);
+    auto it = fps_cache.find(key);
+    if (it == fps_cache.end()) {
+      it = fps_cache.emplace(key, lab.TrueFps(server)).first;
+    }
+    all_fps.insert(all_fps.end(), it->second.begin(), it->second.end());
+  }
+  return all_fps;
+}
+
+}  // namespace gaugur::sched

@@ -1,0 +1,229 @@
+#include "sched/dynamic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace gaugur::sched {
+
+using core::Colocation;
+using core::SessionRequest;
+
+namespace {
+
+struct LiveSession {
+  SessionRequest session;
+  std::size_t request_index = 0;
+  double end_min = 0.0;
+};
+
+struct LiveServer {
+  std::vector<LiveSession> sessions;
+  /// When this server last became non-empty (for server-minute billing).
+  double powered_since = 0.0;
+  bool powered = false;
+};
+
+/// Event: +1 arrival of request i, or -1 departure from server s.
+struct Event {
+  double time = 0.0;
+  bool is_arrival = false;
+  std::size_t index = 0;  // request index (arrival) or sequence breaker
+};
+
+}  // namespace
+
+DynamicResult SimulateDynamicFleet(const core::ColocationLab& lab,
+                                   std::span<const DynamicRequest> requests,
+                                   const PlacementPolicy& policy,
+                                   const DynamicOptions& options) {
+  GAUGUR_CHECK(options.max_sessions_per_server >= 1);
+
+  // Sort arrivals by time (stable for determinism on ties).
+  std::vector<std::size_t> order(requests.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return requests[a].arrival_min < requests[b].arrival_min;
+                   });
+
+  std::vector<LiveServer> servers;
+  std::vector<char> violated(requests.size(), 0);
+  // Memoized ground-truth QoS check per colocation content.
+  std::unordered_map<std::string, std::vector<double>> fps_cache;
+  auto mark_violations = [&](LiveServer& server) {
+    if (server.sessions.empty()) return;
+    Colocation content;
+    for (const auto& s : server.sessions) content.push_back(s.session);
+    const std::string key = core::ColocationKey(content);
+    auto it = fps_cache.find(key);
+    if (it == fps_cache.end()) {
+      it = fps_cache.emplace(key, lab.TrueFps(content)).first;
+    }
+    for (std::size_t i = 0; i < server.sessions.size(); ++i) {
+      if (it->second[i] < options.qos_fps) {
+        violated[server.sessions[i].request_index] = 1;
+      }
+    }
+  };
+
+  DynamicResult result;
+  result.sessions = requests.size();
+
+  // Departure queue: (time, server index, request index).
+  std::multimap<double, std::pair<std::size_t, std::size_t>> departures;
+
+  std::size_t live_servers = 0;
+  auto bill_and_update = [&](std::size_t server_idx, double now,
+                             bool now_empty) {
+    LiveServer& server = servers[server_idx];
+    if (server.powered && now_empty) {
+      result.server_minutes += now - server.powered_since;
+      server.powered = false;
+      --live_servers;
+    } else if (!server.powered && !now_empty) {
+      server.powered = true;
+      server.powered_since = now;
+      ++live_servers;
+    }
+    result.peak_servers = std::max(result.peak_servers, live_servers);
+  };
+
+  std::vector<Colocation> open_view;
+  std::vector<std::size_t> open_index;
+
+  for (std::size_t oi : order) {
+    const DynamicRequest& request = requests[oi];
+    const double now = request.arrival_min;
+
+    // Process departures up to `now`.
+    while (!departures.empty() && departures.begin()->first <= now) {
+      const auto [server_idx, request_idx] = departures.begin()->second;
+      const double when = departures.begin()->first;
+      departures.erase(departures.begin());
+      LiveServer& server = servers[server_idx];
+      auto it = std::find_if(server.sessions.begin(), server.sessions.end(),
+                             [&](const LiveSession& s) {
+                               return s.request_index == request_idx;
+                             });
+      GAUGUR_CHECK(it != server.sessions.end());
+      server.sessions.erase(it);
+      mark_violations(server);  // the survivors' new (smaller) colocation
+      bill_and_update(server_idx, when, server.sessions.empty());
+    }
+
+    // Policy sees only servers with a free slot.
+    open_view.clear();
+    open_index.clear();
+    for (std::size_t s = 0; s < servers.size(); ++s) {
+      if (servers[s].sessions.empty() ||
+          servers[s].sessions.size() >= options.max_sessions_per_server) {
+        continue;
+      }
+      Colocation content;
+      for (const auto& live : servers[s].sessions) {
+        content.push_back(live.session);
+      }
+      open_view.push_back(std::move(content));
+      open_index.push_back(s);
+    }
+
+    const int choice = policy(open_view, request.session);
+    std::size_t target;
+    if (choice < 0) {
+      // Reuse a powered-off slot if one exists, else grow the fleet.
+      auto idle = std::find_if(servers.begin(), servers.end(),
+                               [](const LiveServer& s) {
+                                 return s.sessions.empty();
+                               });
+      if (idle == servers.end()) {
+        servers.emplace_back();
+        target = servers.size() - 1;
+      } else {
+        target = static_cast<std::size_t>(idle - servers.begin());
+      }
+    } else {
+      GAUGUR_CHECK_MSG(static_cast<std::size_t>(choice) < open_view.size(),
+                       "policy returned an invalid server index");
+      target = open_index[static_cast<std::size_t>(choice)];
+    }
+    LiveServer& server = servers[target];
+    GAUGUR_CHECK(server.sessions.size() < options.max_sessions_per_server);
+    const bool was_empty = server.sessions.empty();
+    server.sessions.push_back(
+        {request.session, oi, now + request.duration_min});
+    if (was_empty) bill_and_update(target, now, /*now_empty=*/false);
+    mark_violations(server);
+    departures.emplace(now + request.duration_min, std::make_pair(target, oi));
+  }
+
+  // Drain remaining departures.
+  while (!departures.empty()) {
+    const auto [server_idx, request_idx] = departures.begin()->second;
+    const double when = departures.begin()->first;
+    departures.erase(departures.begin());
+    LiveServer& server = servers[server_idx];
+    auto it = std::find_if(server.sessions.begin(), server.sessions.end(),
+                           [&](const LiveSession& s) {
+                             return s.request_index == request_idx;
+                           });
+    GAUGUR_CHECK(it != server.sessions.end());
+    server.sessions.erase(it);
+    mark_violations(server);
+    bill_and_update(server_idx, when, server.sessions.empty());
+  }
+
+  for (char v : violated) result.violated_sessions += v != 0 ? 1 : 0;
+  return result;
+}
+
+std::vector<DynamicRequest> GenerateDynamicTrace(
+    std::span<const int> game_ids, double horizon_min,
+    double arrivals_per_min, double mean_duration_min, std::uint64_t seed,
+    resources::Resolution resolution) {
+  GAUGUR_CHECK(!game_ids.empty());
+  GAUGUR_CHECK(arrivals_per_min > 0.0 && mean_duration_min > 0.0);
+  common::Rng rng(seed);
+  std::vector<DynamicRequest> trace;
+  double now = 0.0;
+  for (;;) {
+    // Exponential inter-arrival gap.
+    now += -std::log(1.0 - rng.Uniform()) / arrivals_per_min;
+    if (now >= horizon_min) break;
+    DynamicRequest request;
+    request.arrival_min = now;
+    // Log-normal-ish duration: median ~ mean/1.3, heavy right tail.
+    request.duration_min = std::max(
+        2.0, mean_duration_min * std::exp(rng.Gaussian(-0.25, 0.7)));
+    request.session = {game_ids[rng.UniformInt(game_ids.size())],
+                       resolution};
+    trace.push_back(request);
+  }
+  return trace;
+}
+
+PlacementPolicy MakeFirstFeasiblePolicy(
+    std::function<bool(const core::Colocation&)> feasible) {
+  return [feasible = std::move(feasible)](
+             std::span<const Colocation> open_servers,
+             const SessionRequest& arrival) -> int {
+    for (std::size_t s = 0; s < open_servers.size(); ++s) {
+      Colocation extended = open_servers[s];
+      extended.push_back(arrival);
+      if (feasible(extended)) return static_cast<int>(s);
+    }
+    return -1;
+  };
+}
+
+PlacementPolicy MakeDedicatedPolicy() {
+  return [](std::span<const Colocation>, const SessionRequest&) -> int {
+    return -1;
+  };
+}
+
+}  // namespace gaugur::sched

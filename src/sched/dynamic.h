@@ -1,0 +1,82 @@
+// Dynamic session scheduling: the online reality behind the paper's
+// static packing study. Players arrive over the day, play for a while,
+// and leave; each arrival must be admitted onto a server immediately, and
+// migrating a running game later is off the table (the paper's first
+// challenge — "it is hard to readjust by migrating games among servers").
+//
+// This module provides an event-driven fleet simulation plus pluggable
+// placement policies, and scores each policy by:
+//   * server-minutes (the cost integral: how many machines were powered,
+//     for how long),
+//   * peak concurrent servers (the provisioning requirement), and
+//   * QoS violations (sessions whose frame rate dipped below the floor at
+//     any point in their lifetime, measured on the ground-truth
+//     simulator).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "gaugur/lab.h"
+
+namespace gaugur::sched {
+
+/// One session arrival in the workload trace.
+struct DynamicRequest {
+  double arrival_min = 0.0;
+  double duration_min = 30.0;
+  core::SessionRequest session;
+};
+
+/// Chooses a server for an arrival: an index into `open_servers` (each
+/// entry is the colocation currently running there), or -1 to power a
+/// fresh server. Returning an index of a full server is a contract
+/// violation (CHECK).
+using PlacementPolicy = std::function<int(
+    std::span<const core::Colocation> open_servers,
+    const core::SessionRequest& arrival)>;
+
+struct DynamicOptions {
+  std::size_t max_sessions_per_server = 4;
+  double qos_fps = 60.0;
+};
+
+struct DynamicResult {
+  double server_minutes = 0.0;
+  std::size_t peak_servers = 0;
+  std::size_t sessions = 0;
+  /// Sessions whose ground-truth FPS fell below qos_fps during any
+  /// interval of their lifetime.
+  std::size_t violated_sessions = 0;
+
+  double MeanServersInUse(double horizon_min) const {
+    return horizon_min > 0.0 ? server_minutes / horizon_min : 0.0;
+  }
+};
+
+/// Runs the fleet simulation. `requests` need not be sorted. The policy
+/// only sees servers with a free slot.
+DynamicResult SimulateDynamicFleet(const core::ColocationLab& lab,
+                                   std::span<const DynamicRequest> requests,
+                                   const PlacementPolicy& policy,
+                                   const DynamicOptions& options = {});
+
+/// Poisson arrivals with log-normal-ish play durations, uniform over the
+/// study games. Deterministic in `seed`.
+std::vector<DynamicRequest> GenerateDynamicTrace(
+    std::span<const int> game_ids, double horizon_min,
+    double arrivals_per_min, double mean_duration_min, std::uint64_t seed,
+    resources::Resolution resolution = resources::kReferenceResolution);
+
+/// First-feasible admission guided by a QoS oracle: place on the first
+/// open server where `feasible(colocation + arrival)` holds, else a new
+/// server. Wrap a GAugurPredictor, a baseline, or the ground truth.
+PlacementPolicy MakeFirstFeasiblePolicy(
+    std::function<bool(const core::Colocation&)> feasible);
+
+/// The no-colocation policy: every session gets its own server.
+PlacementPolicy MakeDedicatedPolicy();
+
+}  // namespace gaugur::sched

@@ -1,0 +1,49 @@
+#include "sched/enumeration.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gaugur::sched {
+
+std::vector<core::Colocation> EnumerateColocations(
+    std::span<const core::SessionRequest> pool, std::size_t max_size) {
+  GAUGUR_CHECK(max_size >= 1);
+  std::vector<core::Colocation> out;
+  std::vector<std::size_t> pick;
+
+  auto recurse = [&](auto&& self, std::size_t start) -> void {
+    if (!pick.empty()) {
+      core::Colocation colocation;
+      colocation.reserve(pick.size());
+      for (std::size_t i : pick) colocation.push_back(pool[i]);
+      out.push_back(std::move(colocation));
+    }
+    if (pick.size() == max_size) return;
+    for (std::size_t i = start; i < pool.size(); ++i) {
+      pick.push_back(i);
+      self(self, i + 1);
+      pick.pop_back();
+    }
+  };
+  recurse(recurse, 0);
+
+  // Depth-first emits mixed sizes; the study wants increasing size order.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const core::Colocation& a, const core::Colocation& b) {
+                     return a.size() < b.size();
+                   });
+  return out;
+}
+
+std::size_t CountColocations(std::size_t pool_size, std::size_t max_size) {
+  std::size_t total = 0;
+  std::size_t binom = 1;
+  for (std::size_t k = 1; k <= max_size && k <= pool_size; ++k) {
+    binom = binom * (pool_size - k + 1) / k;
+    total += binom;
+  }
+  return total;
+}
+
+}  // namespace gaugur::sched

@@ -1,0 +1,21 @@
+// Colocation enumeration for the §5.1 feasibility study: all subsets of a
+// game pool up to a maximum size (385 colocations for 10 games, sizes
+// 1-4, matching the paper).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "gaugur/colocation.h"
+
+namespace gaugur::sched {
+
+/// All non-empty subsets of `pool` with size <= max_size, in increasing
+/// size order, then lexicographic by pool position.
+std::vector<core::Colocation> EnumerateColocations(
+    std::span<const core::SessionRequest> pool, std::size_t max_size);
+
+/// Binomial-sum count of what EnumerateColocations returns.
+std::size_t CountColocations(std::size_t pool_size, std::size_t max_size);
+
+}  // namespace gaugur::sched

@@ -1,0 +1,208 @@
+#include "sched/methodology.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace gaugur::sched {
+
+using core::Colocation;
+using core::SessionRequest;
+
+bool ProfiledMemoryFits(const core::FeatureBuilder& features,
+                        const Colocation& colocation) {
+  double cpu_mem = 0.0, gpu_mem = 0.0;
+  for (const auto& session : colocation) {
+    const auto& profile = features.Profile(session.game_id);
+    cpu_mem += profile.cpu_memory;
+    gpu_mem += profile.gpu_memory;
+  }
+  return cpu_mem <= 1.0 && gpu_mem <= 1.0;
+}
+
+namespace {
+
+/// Applies a per-victim FPS predictor to every session of a colocation.
+template <typename PredictFpsFn>
+bool AllSessionsMeetQos(const Colocation& colocation, double qos_fps,
+                        PredictFpsFn&& predict) {
+  std::vector<SessionRequest> corunners;
+  corunners.reserve(colocation.size());
+  for (std::size_t v = 0; v < colocation.size(); ++v) {
+    corunners.clear();
+    for (std::size_t j = 0; j < colocation.size(); ++j) {
+      if (j != v) corunners.push_back(colocation[j]);
+    }
+    if (predict(colocation[v],
+                std::span<const SessionRequest>(corunners)) < qos_fps) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class GAugurCmMethod final : public Methodology {
+ public:
+  explicit GAugurCmMethod(const core::GAugurPredictor& predictor)
+      : predictor_(&predictor) {}
+
+  std::string Name() const override { return "GAugur(CM)"; }
+
+  bool Feasible(double qos_fps, const Colocation& colocation) const override {
+    return predictor_->PredictFeasible(qos_fps, colocation);
+  }
+
+  bool CanPredictFps() const override { return predictor_->HasRm(); }
+
+  double PredictFps(
+      const SessionRequest& victim,
+      std::span<const SessionRequest> corunners) const override {
+    return predictor_->PredictFps(victim, corunners);
+  }
+
+ private:
+  const core::GAugurPredictor* predictor_;
+};
+
+class GAugurRmMethod final : public Methodology {
+ public:
+  explicit GAugurRmMethod(const core::GAugurPredictor& predictor)
+      : predictor_(&predictor) {}
+
+  std::string Name() const override { return "GAugur(RM)"; }
+
+  bool Feasible(double qos_fps, const Colocation& colocation) const override {
+    if (!ProfiledMemoryFits(predictor_->Features(), colocation)) return false;
+    return AllSessionsMeetQos(
+        colocation, qos_fps,
+        [this](const SessionRequest& victim,
+               std::span<const SessionRequest> corunners) {
+          return predictor_->PredictFps(victim, corunners);
+        });
+  }
+
+  double PredictFps(
+      const SessionRequest& victim,
+      std::span<const SessionRequest> corunners) const override {
+    return predictor_->PredictFps(victim, corunners);
+  }
+
+ private:
+  const core::GAugurPredictor* predictor_;
+};
+
+class SigmoidMethod final : public Methodology {
+ public:
+  SigmoidMethod(const core::FeatureBuilder& features,
+                const baselines::SigmoidModel& model)
+      : features_(&features), model_(&model) {}
+
+  std::string Name() const override { return "Sigmoid"; }
+
+  bool Feasible(double qos_fps, const Colocation& colocation) const override {
+    if (!ProfiledMemoryFits(*features_, colocation)) return false;
+    return AllSessionsMeetQos(
+        colocation, qos_fps,
+        [this](const SessionRequest& victim,
+               std::span<const SessionRequest> corunners) {
+          return model_->PredictFps(victim, corunners.size());
+        });
+  }
+
+  double PredictFps(
+      const SessionRequest& victim,
+      std::span<const SessionRequest> corunners) const override {
+    return model_->PredictFps(victim, corunners.size());
+  }
+
+ private:
+  const core::FeatureBuilder* features_;
+  const baselines::SigmoidModel* model_;
+};
+
+class SmiteMethod final : public Methodology {
+ public:
+  SmiteMethod(const core::FeatureBuilder& features,
+              const baselines::SmiteModel& model)
+      : features_(&features), model_(&model) {}
+
+  std::string Name() const override { return "SMiTe"; }
+
+  bool Feasible(double qos_fps, const Colocation& colocation) const override {
+    if (!ProfiledMemoryFits(*features_, colocation)) return false;
+    return AllSessionsMeetQos(
+        colocation, qos_fps,
+        [this](const SessionRequest& victim,
+               std::span<const SessionRequest> corunners) {
+          return model_->PredictFps(victim, corunners);
+        });
+  }
+
+  double PredictFps(
+      const SessionRequest& victim,
+      std::span<const SessionRequest> corunners) const override {
+    return model_->PredictFps(victim, corunners);
+  }
+
+ private:
+  const core::FeatureBuilder* features_;
+  const baselines::SmiteModel* model_;
+};
+
+class VbpMethod final : public Methodology {
+ public:
+  VbpMethod(const core::FeatureBuilder& features,
+            const baselines::VbpModel& model)
+      : features_(&features), model_(&model) {}
+
+  std::string Name() const override { return "VBP"; }
+
+  bool Feasible(double /*qos_fps*/,
+                const Colocation& colocation) const override {
+    // VBP has no QoS model; feasibility is purely capacity (including the
+    // memory dimensions already inside VbpModel::Demand).
+    return model_->Feasible(colocation);
+  }
+
+  bool CanPredictFps() const override { return false; }
+
+  double PredictFps(const SessionRequest&,
+                    std::span<const SessionRequest>) const override {
+    GAUGUR_CHECK_MSG(false, "VBP cannot predict FPS");
+  }
+
+ private:
+  [[maybe_unused]] const core::FeatureBuilder* features_;
+  const baselines::VbpModel* model_;
+};
+
+}  // namespace
+
+std::unique_ptr<Methodology> MakeGAugurCmMethod(
+    const core::GAugurPredictor& predictor) {
+  return std::make_unique<GAugurCmMethod>(predictor);
+}
+
+std::unique_ptr<Methodology> MakeGAugurRmMethod(
+    const core::GAugurPredictor& predictor) {
+  return std::make_unique<GAugurRmMethod>(predictor);
+}
+
+std::unique_ptr<Methodology> MakeSigmoidMethod(
+    const core::FeatureBuilder& features,
+    const baselines::SigmoidModel& model) {
+  return std::make_unique<SigmoidMethod>(features, model);
+}
+
+std::unique_ptr<Methodology> MakeSmiteMethod(
+    const core::FeatureBuilder& features,
+    const baselines::SmiteModel& model) {
+  return std::make_unique<SmiteMethod>(features, model);
+}
+
+std::unique_ptr<Methodology> MakeVbpMethod(
+    const core::FeatureBuilder& features, const baselines::VbpModel& model) {
+  return std::make_unique<VbpMethod>(features, model);
+}
+
+}  // namespace gaugur::sched

@@ -1,0 +1,61 @@
+// A uniform facade over every prediction methodology the paper compares
+// (GAugur CM, GAugur RM, Sigmoid, SMiTe, VBP), so the §5 experiments can
+// sweep them: feasibility judgement for the packing study (Fig. 9) and
+// per-session FPS prediction for the assignment study (Fig. 10).
+//
+// All methodologies apply the same profiled-memory capacity check —
+// memory is a hard constraint independent of interference prediction.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "baselines/sigmoid_model.h"
+#include "baselines/smite_model.h"
+#include "baselines/vbp_model.h"
+#include "gaugur/predictor.h"
+
+namespace gaugur::sched {
+
+class Methodology {
+ public:
+  virtual ~Methodology() = default;
+
+  virtual std::string Name() const = 0;
+
+  /// Does this methodology judge the colocation QoS-feasible?
+  virtual bool Feasible(double qos_fps,
+                        const core::Colocation& colocation) const = 0;
+
+  /// Whether PredictFps is meaningful (VBP has no performance model).
+  virtual bool CanPredictFps() const { return true; }
+
+  virtual double PredictFps(
+      const core::SessionRequest& victim,
+      std::span<const core::SessionRequest> corunners) const = 0;
+};
+
+/// Profiled memory fit shared by all predictive methodologies.
+bool ProfiledMemoryFits(const core::FeatureBuilder& features,
+                        const core::Colocation& colocation);
+
+/// GAugur with the classification model (and RM for FPS if trained).
+std::unique_ptr<Methodology> MakeGAugurCmMethod(
+    const core::GAugurPredictor& predictor);
+
+/// GAugur using the regression model thresholded for feasibility.
+std::unique_ptr<Methodology> MakeGAugurRmMethod(
+    const core::GAugurPredictor& predictor);
+
+std::unique_ptr<Methodology> MakeSigmoidMethod(
+    const core::FeatureBuilder& features,
+    const baselines::SigmoidModel& model);
+
+std::unique_ptr<Methodology> MakeSmiteMethod(
+    const core::FeatureBuilder& features, const baselines::SmiteModel& model);
+
+std::unique_ptr<Methodology> MakeVbpMethod(
+    const core::FeatureBuilder& features, const baselines::VbpModel& model);
+
+}  // namespace gaugur::sched

@@ -1,0 +1,66 @@
+#include "sched/packing.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gaugur::sched {
+
+PackingResult PackRequests(std::span<const core::Colocation> feasible,
+                           std::span<const int> requests) {
+  std::vector<int> remaining(requests.begin(), requests.end());
+  long long total = 0;
+  for (int r : remaining) {
+    GAUGUR_CHECK(r >= 0);
+    total += r;
+  }
+
+  // Validate the termination guarantee: every requested game must have a
+  // singleton colocation available.
+  std::vector<bool> has_singleton(remaining.size(), false);
+  for (const auto& c : feasible) {
+    if (c.size() == 1) {
+      const auto id = static_cast<std::size_t>(c[0].game_id);
+      GAUGUR_CHECK(id < has_singleton.size());
+      has_singleton[id] = true;
+    }
+  }
+  for (std::size_t g = 0; g < remaining.size(); ++g) {
+    GAUGUR_CHECK_MSG(remaining[g] == 0 || has_singleton[g],
+                     "game " << g << " has requests but no feasible "
+                                     "singleton colocation");
+  }
+
+  // Largest-first order (Algorithm 1 always picks the max-size survivor).
+  std::vector<const core::Colocation*> order;
+  order.reserve(feasible.size());
+  for (const auto& c : feasible) order.push_back(&c);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const core::Colocation* a, const core::Colocation* b) {
+                     return a->size() > b->size();
+                   });
+
+  PackingResult result;
+  for (const core::Colocation* c : order) {
+    for (;;) {
+      bool all_have_requests = true;
+      for (const auto& session : *c) {
+        if (remaining[static_cast<std::size_t>(session.game_id)] <= 0) {
+          all_have_requests = false;
+          break;
+        }
+      }
+      if (!all_have_requests) break;  // Algorithm 1: remove c from F
+      for (const auto& session : *c) {
+        --remaining[static_cast<std::size_t>(session.game_id)];
+      }
+      result.assignments.push_back(*c);
+      total -= static_cast<long long>(c->size());
+    }
+  }
+  GAUGUR_CHECK_MSG(total == 0, "packing left " << total << " requests");
+  result.servers_used = result.assignments.size();
+  return result;
+}
+
+}  // namespace gaugur::sched

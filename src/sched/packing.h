@@ -1,0 +1,29 @@
+// Algorithm 1 from the paper (§5.1): interference-aware request packing.
+// Given the set of feasible colocations a methodology identified and a
+// request count per game, repeatedly instantiate the largest feasible
+// colocation whose games all still have pending requests; drop a
+// colocation once some member game runs dry. The greedy is a ln(k)
+// approximation of the NP-hard minimum-server packing.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "gaugur/colocation.h"
+
+namespace gaugur::sched {
+
+struct PackingResult {
+  /// Number of servers allocated.
+  std::size_t servers_used = 0;
+  /// The colocation placed on each server.
+  std::vector<core::Colocation> assignments;
+};
+
+/// `feasible` must contain a singleton colocation for every game that has
+/// requests (otherwise some requests could never be placed; CHECK-fails).
+/// `requests[game_id]` is the number of pending requests of that game.
+PackingResult PackRequests(std::span<const core::Colocation> feasible,
+                           std::span<const int> requests);
+
+}  // namespace gaugur::sched

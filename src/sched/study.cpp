@@ -1,0 +1,74 @@
+#include "sched/study.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace gaugur::sched {
+
+StudySetup SelectStudyGames(const core::ColocationLab& lab,
+                            std::size_t count, double qos_fps,
+                            std::uint64_t seed,
+                            resources::Resolution resolution) {
+  // Games must be individually playable at the QoS floor (the paper's
+  // random selections are). No extra margin: borderline games are what
+  // makes large colocations scarce and the packing problem interesting.
+  const double floor = qos_fps;
+  // Memory must never be the binding constraint (the paper's testbed
+  // colocates up to four games without hitting RAM/VRAM limits), so any
+  // four pool games have to fit the server's memory together.
+  constexpr double kMaxMemoryShare = 0.24;
+  std::vector<int> eligible;
+  for (std::size_t id = 0; id < lab.catalog().size(); ++id) {
+    core::SessionRequest session{static_cast<int>(id), resolution};
+    const auto& game = lab.catalog()[id];
+    if (lab.TrueSoloFps(session) >= floor &&
+        game.cpu_memory <= kMaxMemoryShare &&
+        game.gpu_memory <= kMaxMemoryShare) {
+      eligible.push_back(static_cast<int>(id));
+    }
+  }
+  GAUGUR_CHECK_MSG(eligible.size() >= count,
+                   "only " << eligible.size() << " games clear "
+                           << floor << " FPS solo");
+  common::Rng rng(seed);
+  rng.Shuffle(eligible);
+  eligible.resize(count);
+
+  StudySetup setup;
+  setup.game_ids = eligible;
+  setup.pool.reserve(count);
+  for (int id : eligible) {
+    setup.pool.push_back(core::SessionRequest{id, resolution});
+  }
+  return setup;
+}
+
+std::vector<int> GenerateRequestCounts(std::size_t num_games_total,
+                                       std::span<const int> game_ids,
+                                       int total, std::uint64_t seed) {
+  GAUGUR_CHECK(!game_ids.empty());
+  std::vector<int> counts(num_games_total, 0);
+  common::Rng rng(seed);
+  for (int i = 0; i < total; ++i) {
+    const int id = game_ids[rng.UniformInt(game_ids.size())];
+    ++counts[static_cast<std::size_t>(id)];
+  }
+  return counts;
+}
+
+std::vector<core::SessionRequest> RequestStream(
+    std::span<const int> counts, std::uint64_t seed,
+    resources::Resolution resolution) {
+  std::vector<core::SessionRequest> requests;
+  for (std::size_t id = 0; id < counts.size(); ++id) {
+    for (int i = 0; i < counts[id]; ++i) {
+      requests.push_back(
+          core::SessionRequest{static_cast<int>(id), resolution});
+    }
+  }
+  common::Rng rng(seed);
+  rng.Shuffle(requests);
+  return requests;
+}
+
+}  // namespace gaugur::sched

@@ -1,0 +1,41 @@
+// Experimental setup helpers for the §5 studies: selecting the 10-game
+// pool (games that are individually playable at the QoS floor, as the
+// paper's randomly selected study games must be) and generating the 5000
+// gaming requests distributed uniformly over the pool.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gaugur/features.h"
+#include "gaugur/lab.h"
+
+namespace gaugur::sched {
+
+struct StudySetup {
+  /// The selected game ids.
+  std::vector<int> game_ids;
+  /// One session request per selected game, at the study resolution.
+  std::vector<core::SessionRequest> pool;
+};
+
+/// Randomly selects `count` games whose true solo FPS at `resolution`
+/// clears `qos_fps` with a small margin. Deterministic in `seed`.
+StudySetup SelectStudyGames(
+    const core::ColocationLab& lab, std::size_t count, double qos_fps,
+    std::uint64_t seed,
+    resources::Resolution resolution = resources::kReferenceResolution);
+
+/// `total` requests spread uniformly at random over the pool's games.
+/// Returns counts indexed by game id (zero for unselected games).
+std::vector<int> GenerateRequestCounts(std::size_t num_games_total,
+                                       std::span<const int> game_ids,
+                                       int total, std::uint64_t seed);
+
+/// Flattens request counts into a shuffled request stream.
+std::vector<core::SessionRequest> RequestStream(
+    std::span<const int> counts, std::uint64_t seed,
+    resources::Resolution resolution = resources::kReferenceResolution);
+
+}  // namespace gaugur::sched

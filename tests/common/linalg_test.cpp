@@ -1,0 +1,104 @@
+#include "common/linalg.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gaugur::common {
+namespace {
+
+TEST(LinalgTest, SolvesIdentity) {
+  std::vector<double> a{1, 0, 0, 1};
+  std::vector<double> b{3, 4};
+  std::vector<double> x;
+  ASSERT_TRUE(SolveLinearSystem(a, b, 2, x));
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+  EXPECT_DOUBLE_EQ(x[1], 4.0);
+}
+
+TEST(LinalgTest, Solves3x3System) {
+  // x = 1, y = -2, z = 3.
+  std::vector<double> a{2, 1, 1, 1, 3, 2, 1, 0, 0};
+  std::vector<double> b{3, 1, 1};
+  std::vector<double> x;
+  ASSERT_TRUE(SolveLinearSystem(a, b, 3, x));
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], -2.0, 1e-12);
+  EXPECT_NEAR(x[2], 3.0, 1e-12);
+}
+
+TEST(LinalgTest, RequiresPivoting) {
+  // Leading zero forces a row swap.
+  std::vector<double> a{0, 1, 1, 0};
+  std::vector<double> b{5, 7};
+  std::vector<double> x;
+  ASSERT_TRUE(SolveLinearSystem(a, b, 2, x));
+  EXPECT_DOUBLE_EQ(x[0], 7.0);
+  EXPECT_DOUBLE_EQ(x[1], 5.0);
+}
+
+TEST(LinalgTest, DetectsSingularMatrix) {
+  std::vector<double> a{1, 2, 2, 4};
+  std::vector<double> b{1, 2};
+  std::vector<double> x;
+  EXPECT_FALSE(SolveLinearSystem(a, b, 2, x));
+}
+
+TEST(LinalgTest, LeastSquaresRecoversExactSolution) {
+  // y = 2a + 3b, noise-free, overdetermined.
+  Rng rng(41);
+  std::vector<double> design;
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) {
+    const double a = rng.Uniform(-1.0, 1.0);
+    const double b = rng.Uniform(-1.0, 1.0);
+    design.push_back(a);
+    design.push_back(b);
+    y.push_back(2.0 * a + 3.0 * b);
+  }
+  const auto w = LeastSquares(design, 50, 2, y);
+  EXPECT_NEAR(w[0], 2.0, 1e-6);
+  EXPECT_NEAR(w[1], 3.0, 1e-6);
+}
+
+TEST(LinalgTest, LeastSquaresHandlesIntercept) {
+  Rng rng(42);
+  std::vector<double> design;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    const double a = rng.Uniform(0.0, 5.0);
+    design.push_back(a);
+    design.push_back(1.0);  // intercept column
+    y.push_back(-1.5 * a + 4.0 + rng.Gaussian(0.0, 0.01));
+  }
+  const auto w = LeastSquares(design, 100, 2, y);
+  EXPECT_NEAR(w[0], -1.5, 0.01);
+  EXPECT_NEAR(w[1], 4.0, 0.02);
+}
+
+TEST(LinalgTest, LeastSquaresSurvivesCollinearDesign) {
+  // Two identical columns: rank-deficient; ridge escalation must cope.
+  std::vector<double> design;
+  std::vector<double> y;
+  for (int i = 0; i < 20; ++i) {
+    const double a = static_cast<double>(i);
+    design.push_back(a);
+    design.push_back(a);
+    y.push_back(4.0 * a);
+  }
+  const auto w = LeastSquares(design, 20, 2, y);
+  // Any split w0 + w1 = 4 is acceptable; prediction must be right.
+  EXPECT_NEAR(w[0] + w[1], 4.0, 0.01);
+}
+
+TEST(LinalgTest, LeastSquaresSingleColumn) {
+  std::vector<double> design{1.0, 2.0, 3.0};
+  std::vector<double> y{2.0, 4.0, 6.0};
+  const auto w = LeastSquares(design, 3, 1, y);
+  EXPECT_NEAR(w[0], 2.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace gaugur::common

@@ -1,0 +1,63 @@
+#include "common/mathutil.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace gaugur::common {
+namespace {
+
+TEST(MathUtilTest, Clamp01) {
+  EXPECT_DOUBLE_EQ(Clamp01(-0.5), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp01(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(Clamp01(1.5), 1.0);
+}
+
+TEST(MathUtilTest, SigmoidSymmetry) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(3.0) + Sigmoid(-3.0), 1.0, 1e-12);
+}
+
+TEST(MathUtilTest, SigmoidExtremesStable) {
+  EXPECT_NEAR(Sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-1000.0), 0.0, 1e-12);
+}
+
+TEST(MathUtilTest, Lerp) {
+  EXPECT_DOUBLE_EQ(Lerp(2.0, 4.0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(Lerp(2.0, 4.0, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Lerp(2.0, 4.0, 0.5), 3.0);
+}
+
+TEST(MathUtilTest, InterpUniformGridEndpoints) {
+  const std::array<double, 3> ys{1.0, 0.5, 0.2};
+  EXPECT_DOUBLE_EQ(InterpUniformGrid(ys.data(), 3, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(InterpUniformGrid(ys.data(), 3, 1.0), 0.2);
+}
+
+TEST(MathUtilTest, InterpUniformGridMidpoints) {
+  const std::array<double, 3> ys{1.0, 0.5, 0.2};
+  EXPECT_DOUBLE_EQ(InterpUniformGrid(ys.data(), 3, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(InterpUniformGrid(ys.data(), 3, 0.25), 0.75);
+  EXPECT_NEAR(InterpUniformGrid(ys.data(), 3, 0.75), 0.35, 1e-12);
+}
+
+TEST(MathUtilTest, InterpUniformGridClampsOutOfRange) {
+  const std::array<double, 2> ys{3.0, 7.0};
+  EXPECT_DOUBLE_EQ(InterpUniformGrid(ys.data(), 2, -1.0), 3.0);
+  EXPECT_DOUBLE_EQ(InterpUniformGrid(ys.data(), 2, 2.0), 7.0);
+}
+
+TEST(MathUtilTest, RelativeError) {
+  EXPECT_DOUBLE_EQ(RelativeError(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(90.0, 100.0), 0.1);
+}
+
+TEST(MathUtilTest, ApproxEqual) {
+  EXPECT_TRUE(ApproxEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(ApproxEqual(1.0, 1.001));
+  EXPECT_TRUE(ApproxEqual(1e9, 1e9 + 1.0, 1e-8));
+}
+
+}  // namespace
+}  // namespace gaugur::common

@@ -1,0 +1,142 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gaugur::common {
+namespace {
+
+TEST(StatsTest, MeanOfKnownValues) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 2.5);
+}
+
+TEST(StatsTest, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Mean(std::vector<double>{}), 0.0);
+}
+
+TEST(StatsTest, VarianceOfConstantIsZero) {
+  const std::vector<double> xs{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(Variance(xs), 0.0);
+}
+
+TEST(StatsTest, VarianceKnownValue) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(StdDev(xs), 2.0);
+}
+
+TEST(StatsTest, MinMaxSum) {
+  const std::vector<double> xs{3.0, -1.0, 7.0, 2.0};
+  EXPECT_DOUBLE_EQ(Min(xs), -1.0);
+  EXPECT_DOUBLE_EQ(Max(xs), 7.0);
+  EXPECT_DOUBLE_EQ(Sum(xs), 11.0);
+}
+
+TEST(StatsTest, PercentileEndpoints) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.5), 3.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.25), 2.5);
+}
+
+TEST(StatsTest, PercentileUnsortedInput) {
+  const std::vector<double> xs{9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.5), 5.0);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{2.0, 4.0, 6.0};
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), 1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonAntiCorrelation) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{6.0, 4.0, 2.0};
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonConstantSideIsZero) {
+  const std::vector<double> xs{1.0, 1.0, 1.0};
+  const std::vector<double> ys{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(xs, ys), 0.0);
+}
+
+TEST(StatsTest, FitLineExactThroughTwoPoints) {
+  const std::vector<double> xs{1.0, 3.0};
+  const std::vector<double> ys{2.0, 8.0};
+  const LineFit fit = FitLine(xs, ys);
+  EXPECT_DOUBLE_EQ(fit.slope, 3.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, -1.0);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);
+}
+
+TEST(StatsTest, FitLineRecoversNoisyLine) {
+  Rng rng(31);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.Uniform(0.0, 10.0);
+    xs.push_back(x);
+    ys.push_back(2.5 * x + 1.0 + rng.Gaussian(0.0, 0.1));
+  }
+  const LineFit fit = FitLine(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.5, 0.02);
+  EXPECT_NEAR(fit.intercept, 1.0, 0.05);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(StatsTest, FitLineRejectsConstantX) {
+  const std::vector<double> xs{2.0, 2.0};
+  const std::vector<double> ys{1.0, 3.0};
+  EXPECT_THROW(FitLine(xs, ys), std::logic_error);
+}
+
+TEST(StatsTest, EmpiricalCdfMonotone) {
+  const std::vector<double> xs{5.0, 1.0, 3.0, 2.0, 4.0};
+  const auto cdf = EmpiricalCdf(xs, 10);
+  ASSERT_EQ(cdf.size(), 10u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].value, cdf[i - 1].value);
+    EXPECT_GT(cdf[i].fraction, cdf[i - 1].fraction);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.back().value, 5.0);
+}
+
+TEST(StatsTest, RunningStatsMatchesBatch) {
+  Rng rng(32);
+  std::vector<double> xs;
+  RunningStats rs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Gaussian(3.0, 2.0);
+    xs.push_back(x);
+    rs.Add(x);
+  }
+  EXPECT_EQ(rs.Count(), 1000u);
+  EXPECT_NEAR(rs.Mean(), Mean(xs), 1e-9);
+  EXPECT_NEAR(rs.Variance(), Variance(xs), 1e-9);
+  EXPECT_DOUBLE_EQ(rs.Min(), Min(xs));
+  EXPECT_DOUBLE_EQ(rs.Max(), Max(xs));
+}
+
+TEST(StatsTest, RunningStatsSingleValue) {
+  RunningStats rs;
+  rs.Add(7.0);
+  EXPECT_DOUBLE_EQ(rs.Mean(), 7.0);
+  EXPECT_DOUBLE_EQ(rs.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.Min(), 7.0);
+  EXPECT_DOUBLE_EQ(rs.Max(), 7.0);
+}
+
+}  // namespace
+}  // namespace gaugur::common

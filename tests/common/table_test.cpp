@@ -1,0 +1,85 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace gaugur::common {
+namespace {
+
+TEST(TableTest, TextHasHeaderAndRows) {
+  Table table({"name", "value"});
+  table.AddRow({std::string("alpha"), 1.5});
+  table.AddRow({std::string("beta"), 2.25});
+  const std::string text = table.ToText();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("2.250"), std::string::npos);
+}
+
+TEST(TableTest, RowArityEnforced) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.AddRow({std::string("only-one")}), std::logic_error);
+}
+
+TEST(TableTest, IntegerCellsUnpadded) {
+  Table table({"n"});
+  table.AddRow({static_cast<long long>(42)});
+  EXPECT_NE(table.ToText().find("42"), std::string::npos);
+  EXPECT_EQ(table.ToText().find("42.0"), std::string::npos);
+}
+
+TEST(TableTest, DoublePrecisionConfigurable) {
+  Table table({"x"}, /*double_precision=*/1);
+  table.AddRow({3.14159});
+  EXPECT_NE(table.ToText().find("3.1"), std::string::npos);
+  EXPECT_EQ(table.ToText().find("3.14"), std::string::npos);
+}
+
+TEST(TableTest, CsvBasicFormat) {
+  Table table({"a", "b"});
+  table.AddRow({std::string("x"), static_cast<long long>(1)});
+  EXPECT_EQ(table.ToCsv(), "a,b\nx,1\n");
+}
+
+TEST(TableTest, CsvQuotesSpecialCharacters) {
+  Table table({"a"});
+  table.AddRow({std::string("hello, world")});
+  table.AddRow({std::string("say \"hi\"")});
+  const std::string csv = table.ToCsv();
+  EXPECT_NE(csv.find("\"hello, world\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TableTest, PrintIncludesTitle) {
+  Table table({"a"});
+  table.AddRow({static_cast<long long>(1)});
+  std::ostringstream os;
+  table.Print(os, "My Title");
+  EXPECT_NE(os.str().find("My Title"), std::string::npos);
+}
+
+TEST(TableTest, WriteCsvRoundTrip) {
+  Table table({"k", "v"});
+  table.AddRow({std::string("x"), 1.0});
+  const std::string path = "/tmp/gaugur_table_test.csv";
+  ASSERT_TRUE(table.WriteCsv(path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), table.ToCsv());
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, NumRowsTracksAdds) {
+  Table table({"a"});
+  EXPECT_EQ(table.NumRows(), 0u);
+  table.AddRow({1.0});
+  table.AddRow({2.0});
+  EXPECT_EQ(table.NumRows(), 2u);
+}
+
+}  // namespace
+}  // namespace gaugur::common

@@ -1,0 +1,104 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace gaugur::common {
+namespace {
+
+TEST(ThreadPoolTest, NumThreadsAtLeastOne) {
+  ThreadPool pool;
+  EXPECT_GE(pool.NumThreads(), 1u);
+}
+
+TEST(ThreadPoolTest, ExplicitThreadCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.NumThreads(), 3u);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTask) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  auto f = pool.Submit([&] { counter = 42; });
+  f.wait();
+  EXPECT_EQ(counter.load(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitManyTasksAllRun) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&] { ++counter; }));
+  }
+  for (auto& f : futures) f.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(1000);
+  pool.ParallelFor(0, 1000, [&](std::size_t i) { ++visits[i]; });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForRespectsBeginEnd) {
+  ThreadPool pool(2);
+  std::atomic<long long> sum{0};
+  pool.ParallelFor(10, 20, [&](std::size_t i) {
+    sum += static_cast<long long>(i);
+  });
+  EXPECT_EQ(sum.load(), 145);  // 10 + ... + 19
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(5, 5, [&](std::size_t) { ++counter; });
+  pool.ParallelFor(7, 3, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 0);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(0, 100,
+                                [](std::size_t i) {
+                                  if (i == 57) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  // Inner ParallelFor issued from a worker thread must not deadlock.
+  pool.ParallelFor(0, 4, [&](std::size_t) {
+    pool.ParallelFor(0, 10, [&](std::size_t) { ++counter; });
+  });
+  EXPECT_EQ(counter.load(), 40);
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::Global(), &ThreadPool::Global());
+}
+
+TEST(ThreadPoolTest, ParallelSumMatchesSerial) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 100000;
+  std::vector<double> values(kN);
+  std::iota(values.begin(), values.end(), 0.0);
+  std::vector<double> doubled(kN);
+  pool.ParallelFor(0, kN, [&](std::size_t i) { doubled[i] = 2 * values[i]; });
+  double sum = 0;
+  for (double d : doubled) sum += d;
+  EXPECT_DOUBLE_EQ(sum, static_cast<double>(kN) * (kN - 1));
+}
+
+}  // namespace
+}  // namespace gaugur::common

@@ -1,0 +1,169 @@
+#include "gamesim/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "gamesim/server_sim.h"
+#include "resources/resolution.h"
+
+namespace gaugur::gamesim {
+namespace {
+
+using resources::Resource;
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { catalog_ = new GameCatalog(GameCatalog::MakeDefault(42)); }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    catalog_ = nullptr;
+  }
+  static const GameCatalog& catalog() { return *catalog_; }
+
+ private:
+  static const GameCatalog* catalog_;
+};
+
+const GameCatalog* CatalogTest::catalog_ = nullptr;
+
+TEST_F(CatalogTest, HasExactlyHundredGames) {
+  EXPECT_EQ(catalog().size(), 100u);
+}
+
+TEST_F(CatalogTest, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& g : catalog().games()) names.insert(g.name);
+  EXPECT_EQ(names.size(), catalog().size());
+}
+
+TEST_F(CatalogTest, IdsMatchPositions) {
+  for (std::size_t i = 0; i < catalog().size(); ++i) {
+    EXPECT_EQ(catalog()[i].id, static_cast<int>(i));
+  }
+}
+
+TEST_F(CatalogTest, DeterministicAcrossBuilds) {
+  const auto again = GameCatalog::MakeDefault(42);
+  for (std::size_t i = 0; i < catalog().size(); ++i) {
+    EXPECT_EQ(catalog()[i].name, again[i].name);
+    EXPECT_DOUBLE_EQ(catalog()[i].t_cpu_ms, again[i].t_cpu_ms);
+    EXPECT_DOUBLE_EQ(catalog()[i].gpu_fps_intercept,
+                     again[i].gpu_fps_intercept);
+    for (Resource r : resources::kAllResources) {
+      EXPECT_DOUBLE_EQ(catalog()[i].occupancy_ref[r],
+                       again[i].occupancy_ref[r]);
+    }
+  }
+}
+
+TEST_F(CatalogTest, DifferentSeedDifferentParameters) {
+  const auto other = GameCatalog::MakeDefault(43);
+  int differing = 0;
+  for (std::size_t i = 0; i < catalog().size(); ++i) {
+    if (catalog()[i].t_cpu_ms != other[i].t_cpu_ms) ++differing;
+  }
+  EXPECT_GT(differing, 80);
+}
+
+TEST_F(CatalogTest, ParametersInPhysicalRanges) {
+  for (const auto& g : catalog().games()) {
+    EXPECT_GT(g.t_cpu_ms, 0.0) << g.name;
+    EXPECT_LT(g.t_cpu_ms, 30.0) << g.name;
+    EXPECT_GT(g.gpu_fps_intercept, 50.0) << g.name;
+    EXPECT_GE(g.xfer_fraction, 0.0) << g.name;
+    EXPECT_LT(g.xfer_fraction, 0.5) << g.name;
+    EXPECT_GT(g.cpu_memory, 0.0) << g.name;
+    EXPECT_LE(g.cpu_memory, 0.6) << g.name;
+    EXPECT_GT(g.gpu_memory, 0.0) << g.name;
+    EXPECT_LE(g.gpu_memory, 0.6) << g.name;
+    for (Resource r : resources::kAllResources) {
+      EXPECT_GE(g.occupancy_ref[r], 0.0) << g.name;
+      EXPECT_LE(g.occupancy_ref[r], 1.0) << g.name;
+      EXPECT_GE(g.response[r].amplitude, 0.0) << g.name;
+      EXPECT_LT(g.response[r].amplitude, 3.5) << g.name;
+    }
+  }
+}
+
+TEST_F(CatalogTest, SoloFpsSpectrumIsWide) {
+  // The paper's Fig. 2b shows solo rates from ~30 to ~360 FPS.
+  double lo = 1e9, hi = 0.0;
+  for (const auto& g : catalog().games()) {
+    const double fps = g.SoloFps(resources::k1080p);
+    lo = std::min(lo, fps);
+    hi = std::max(hi, fps);
+    EXPECT_GT(fps, 20.0) << g.name;
+    EXPECT_LT(fps, 500.0) << g.name;
+  }
+  EXPECT_LT(lo, 70.0);
+  EXPECT_GT(hi, 200.0);
+}
+
+TEST_F(CatalogTest, ByNameFindsShowcaseGames) {
+  for (const char* name :
+       {"Dota2", "Far Cry 4", "Granado Espada", "Rise of The Tomb Raider",
+        "The Elder Scrolls 5", "World of Warcraft", "Ancestors Legacy",
+        "Borderland2", "H1Z1", "ARK Survival Evolved", "AirMech Strike",
+        "Hobo: Tough Life", "Dragon's Dogma", "Little Witch Academia"}) {
+    EXPECT_NE(catalog().FindByName(name), nullptr) << name;
+  }
+}
+
+TEST_F(CatalogTest, ByNameThrowsOnUnknown) {
+  EXPECT_EQ(catalog().FindByName("No Such Game"), nullptr);
+  EXPECT_THROW(catalog().ByName("No Such Game"), std::logic_error);
+}
+
+TEST_F(CatalogTest, AllGenresRepresented) {
+  std::set<Genre> genres;
+  for (const auto& g : catalog().games()) genres.insert(g.genre);
+  EXPECT_EQ(genres.size(), static_cast<std::size_t>(kNumGenres));
+}
+
+TEST_F(CatalogTest, ShowcaseElderScrollsCpuSensitive) {
+  // Observation 3: ~70% degradation under max CPU-CE pressure — i.e. a
+  // high CPU-CE amplitude on a CPU-bound game.
+  const Game& tes = catalog().ByName("The Elder Scrolls 5");
+  EXPECT_GT(tes.response[Resource::kCpuCore].amplitude, 2.0);
+  EXPECT_LT(1000.0 / tes.t_cpu_ms, tes.GpuLimitFps(resources::k1080p));
+}
+
+TEST_F(CatalogTest, ShowcaseGranadoEspadaDecoupled) {
+  // Observation 2: sensitivity and intensity are decoupled.
+  const Game& ge = catalog().ByName("Granado Espada");
+  EXPECT_GT(ge.response[Resource::kGpuCore].amplitude, 2.0);
+  EXPECT_LT(ge.occupancy_ref[Resource::kGpuCore], 0.2);
+}
+
+TEST_F(CatalogTest, SectionTwoVbpCounterexampleDemands) {
+  // §2.2's demand vectors must make the VBP sums fit the server.
+  const Game& dd = catalog().ByName("Dragon's Dogma");
+  const Game& lwa = catalog().ByName("Little Witch Academia");
+  EXPECT_LE(dd.occupancy_ref[Resource::kCpuCore] +
+                lwa.occupancy_ref[Resource::kCpuCore],
+            1.0);
+  EXPECT_LE(dd.occupancy_ref[Resource::kGpuCore] +
+                lwa.occupancy_ref[Resource::kGpuCore],
+            1.0);
+  EXPECT_LE(dd.cpu_memory + lwa.cpu_memory, 1.0);
+  EXPECT_LE(dd.gpu_memory + lwa.gpu_memory, 1.0);
+}
+
+TEST_F(CatalogTest, SectionTwoVbpCounterexampleViolatesQos) {
+  // ... and yet the actual colocation drops Little Witch Academia well
+  // below 60 FPS (the paper measures 42).
+  const ServerSim sim;
+  const Game& dd = catalog().ByName("Dragon's Dogma");
+  const Game& lwa = catalog().ByName("Little Witch Academia");
+  const std::array<WorkloadProfile, 2> pair = {
+      lwa.AtResolution(resources::k1080p),
+      dd.AtResolution(resources::k1080p)};
+  const auto results = sim.RunAnalytic(pair);
+  EXPECT_LT(results[0].rate, 60.0);
+  EXPECT_GT(lwa.SoloFps(resources::k1080p), 60.0);
+}
+
+}  // namespace
+}  // namespace gaugur::gamesim

@@ -1,0 +1,124 @@
+#include "gamesim/contention.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "resources/resource.h"
+
+namespace gaugur::gamesim {
+namespace {
+
+using resources::Resource;
+
+TEST(ContentionTest, NoCorunnersNoPressure) {
+  for (Resource r : resources::kAllResources) {
+    EXPECT_DOUBLE_EQ(AggregatePressure(r, std::vector<double>{}), 0.0);
+  }
+}
+
+TEST(ContentionTest, SingleCorunnerIsIdentityEverywhere) {
+  // Both aggregation laws reduce to P = o for one co-runner — that's what
+  // keeps sensitivity curves interpretable (profiling uses one benchmark).
+  const std::vector<double> occ{0.37};
+  for (Resource r : resources::kAllResources) {
+    EXPECT_NEAR(AggregatePressure(r, occ), 0.37, 1e-12)
+        << resources::Name(r);
+  }
+}
+
+TEST(ContentionTest, BandwidthSubAdditive) {
+  const std::vector<double> occ{0.6, 0.6};
+  const double p = AggregatePressure(Resource::kMemBw, occ);
+  EXPECT_LT(p, 1.2);       // below the naive sum
+  EXPECT_GT(p, 0.6);       // but more than either alone
+  EXPECT_NEAR(p, 0.84, 1e-12);  // 1 - 0.4 * 0.4
+}
+
+TEST(ContentionTest, BandwidthSaturatesBelowOne) {
+  const std::vector<double> occ{0.9, 0.9, 0.9, 0.9};
+  for (Resource r : {Resource::kCpuCore, Resource::kMemBw, Resource::kGpuBw,
+                     Resource::kGpuCore, Resource::kPcieBw}) {
+    EXPECT_LE(AggregatePressure(r, occ), 1.0);
+  }
+}
+
+TEST(ContentionTest, CacheSuperAdditive) {
+  const std::vector<double> occ{0.4, 0.4};
+  const ContentionParams params;
+  for (Resource r : {Resource::kLlc, Resource::kGpuL2}) {
+    const double p = AggregatePressure(r, occ, params);
+    EXPECT_GT(p, 0.8) << resources::Name(r);  // above the naive sum
+    EXPECT_NEAR(p, 0.8 + params.cache_overlap_boost * 0.4, 1e-12);
+  }
+}
+
+TEST(ContentionTest, CachePressureCapped) {
+  const ContentionParams params;
+  const std::vector<double> occ{0.8, 0.8, 0.8};
+  EXPECT_DOUBLE_EQ(AggregatePressure(Resource::kLlc, occ, params),
+                   params.cache_pressure_cap);
+}
+
+TEST(ContentionTest, MonotoneInOccupancy) {
+  for (Resource r : resources::kAllResources) {
+    double prev = -1.0;
+    for (double o = 0.0; o <= 1.0; o += 0.1) {
+      const std::vector<double> occ{o, 0.3};
+      const double p = AggregatePressure(r, occ);
+      EXPECT_GE(p, prev - 1e-12) << resources::Name(r) << " at o=" << o;
+      prev = p;
+    }
+  }
+}
+
+TEST(ContentionTest, MonotoneInGroupSize) {
+  for (Resource r : resources::kAllResources) {
+    std::vector<double> occ;
+    double prev = 0.0;
+    for (int k = 1; k <= 4; ++k) {
+      occ.push_back(0.3);
+      const double p = AggregatePressure(r, occ);
+      EXPECT_GE(p, prev - 1e-12) << resources::Name(r) << " k=" << k;
+      prev = p;
+    }
+  }
+}
+
+TEST(ContentionTest, PermutationInvariant) {
+  const std::vector<double> a{0.2, 0.5, 0.7};
+  const std::vector<double> b{0.7, 0.2, 0.5};
+  for (Resource r : resources::kAllResources) {
+    EXPECT_NEAR(AggregatePressure(r, a), AggregatePressure(r, b), 1e-12);
+  }
+}
+
+TEST(ContentionTest, NegativeOccupancyTreatedAsZero) {
+  const std::vector<double> occ{-0.3, 0.5};
+  for (Resource r : resources::kAllResources) {
+    EXPECT_NEAR(AggregatePressure(r, occ), 0.5, 1e-12);
+  }
+}
+
+TEST(ContentionTest, AggregatePressuresMatchesPerResource) {
+  std::vector<resources::PerResource<double>> occupancies(2);
+  for (Resource r : resources::kAllResources) {
+    occupancies[0][r] = 0.3;
+    occupancies[1][r] = 0.5;
+  }
+  const auto all = AggregatePressures(occupancies);
+  for (Resource r : resources::kAllResources) {
+    const std::vector<double> column{0.3, 0.5};
+    EXPECT_DOUBLE_EQ(all[r], AggregatePressure(r, column));
+  }
+}
+
+TEST(ContentionTest, ConfigurableCacheBoost) {
+  ContentionParams params;
+  params.cache_overlap_boost = 0.0;
+  const std::vector<double> occ{0.4, 0.4};
+  EXPECT_NEAR(AggregatePressure(Resource::kLlc, occ, params), 0.8, 1e-12);
+}
+
+}  // namespace
+}  // namespace gaugur::gamesim

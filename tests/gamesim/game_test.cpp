@@ -1,0 +1,143 @@
+#include "gamesim/game.h"
+
+#include <gtest/gtest.h>
+
+#include "resources/resolution.h"
+
+namespace gaugur::gamesim {
+namespace {
+
+using resources::Resolution;
+using resources::Resource;
+
+Game MakeTestGame() {
+  Game g;
+  g.id = 0;
+  g.name = "test";
+  g.t_cpu_ms = 8.0;  // 125 FPS CPU limit
+  g.gpu_fps_intercept = 200.0;
+  g.gpu_fps_slope = 40.0;
+  g.xfer_fraction = 0.1;
+  g.fps_cap = 1e5;
+  g.pixel_scale_floor = 0.25;
+  for (Resource r : resources::kAllResources) {
+    g.occupancy_ref[r] = 0.4;
+    g.response[r] = InflationResponse{0.5, InflationShape::Linear()};
+  }
+  return g;
+}
+
+TEST(GameTest, GpuLimitLinearInMegapixels) {
+  const Game g = MakeTestGame();
+  // Eq. 2: F_gpu = 200 - 40 * Mpix.
+  EXPECT_NEAR(g.GpuLimitFps(resources::k1080p),
+              200.0 - 40.0 * resources::k1080p.Megapixels(), 1e-9);
+  EXPECT_NEAR(g.GpuLimitFps(resources::k720p),
+              200.0 - 40.0 * resources::k720p.Megapixels(), 1e-9);
+}
+
+TEST(GameTest, GpuLimitFlooredAtLowFps) {
+  Game g = MakeTestGame();
+  g.gpu_fps_slope = 1000.0;  // negative at any real resolution
+  EXPECT_GT(g.GpuLimitFps(resources::k1440p), 0.0);
+}
+
+TEST(GameTest, SoloFpsIsMinOfLimits) {
+  const Game g = MakeTestGame();
+  // At 1080p: CPU limit 125, GPU limit ~117 -> GPU-bound.
+  const double solo = g.SoloFps(resources::k1080p);
+  EXPECT_NEAR(solo, g.GpuLimitFps(resources::k1080p), 1e-9);
+  // At 720p: GPU limit ~163 > CPU limit 125 -> CPU-bound.
+  EXPECT_NEAR(g.SoloFps(resources::k720p), 125.0, 1e-9);
+}
+
+TEST(GameTest, SoloFpsRespectsCap) {
+  Game g = MakeTestGame();
+  g.fps_cap = 60.0;
+  EXPECT_DOUBLE_EQ(g.SoloFps(resources::k1080p), 60.0);
+}
+
+TEST(GameTest, SoloFpsDecreasesWithResolution) {
+  const Game g = MakeTestGame();
+  EXPECT_GT(g.SoloFps(resources::k720p), g.SoloFps(resources::k1080p));
+  EXPECT_GT(g.SoloFps(resources::k1080p), g.SoloFps(resources::k1440p));
+}
+
+TEST(GameTest, WorkloadSoloRateMatchesGameSoloFps) {
+  const Game g = MakeTestGame();
+  for (const Resolution& res :
+       {resources::k720p, resources::k1080p, resources::k1440p}) {
+    const WorkloadProfile w = g.AtResolution(res);
+    EXPECT_NEAR(w.SoloRate(), g.SoloFps(res), 1e-6) << res.ToString();
+  }
+}
+
+TEST(GameTest, CpuStageResolutionIndependent) {
+  const Game g = MakeTestGame();
+  const auto w1 = g.AtResolution(resources::k720p);
+  const auto w2 = g.AtResolution(resources::k1440p);
+  EXPECT_DOUBLE_EQ(w1.t_cpu_ms, w2.t_cpu_ms);
+}
+
+TEST(GameTest, GpuStageGrowsWithResolution) {
+  const Game g = MakeTestGame();
+  const auto w1 = g.AtResolution(resources::k720p);
+  const auto w2 = g.AtResolution(resources::k1440p);
+  EXPECT_LT(w1.t_gpu_render_ms + w1.t_xfer_ms,
+            w2.t_gpu_render_ms + w2.t_xfer_ms);
+}
+
+TEST(GameTest, XferFractionRespected) {
+  const Game g = MakeTestGame();
+  const auto w = g.AtResolution(resources::k1080p);
+  const double total = w.t_gpu_render_ms + w.t_xfer_ms;
+  EXPECT_NEAR(w.t_xfer_ms / total, g.xfer_fraction, 1e-9);
+}
+
+TEST(GameTest, CpuSideOccupancyResolutionIndependent) {
+  // Observation 7.
+  const Game g = MakeTestGame();
+  const auto w1 = g.AtResolution(resources::k720p);
+  const auto w2 = g.AtResolution(resources::k1440p);
+  for (Resource r :
+       {Resource::kCpuCore, Resource::kLlc, Resource::kMemBw}) {
+    EXPECT_DOUBLE_EQ(w1.occupancy[r], w2.occupancy[r])
+        << resources::Name(r);
+  }
+}
+
+TEST(GameTest, GpuSideOccupancyLinearInPixels) {
+  // Observation 8: occupancy at resolution M is o_ref * (floor +
+  // (1-floor) * M / M_ref) — affine in M.
+  const Game g = MakeTestGame();
+  const auto w_ref = g.AtResolution(resources::kReferenceResolution);
+  const auto w_720 = g.AtResolution(resources::k720p);
+  const auto w_1440 = g.AtResolution(resources::k1440p);
+  const double m_ref = resources::kReferenceResolution.Megapixels();
+  for (Resource r : {Resource::kGpuCore, Resource::kGpuBw,
+                     Resource::kGpuL2, Resource::kPcieBw}) {
+    EXPECT_NEAR(w_ref.occupancy[r], 0.4, 1e-12);
+    const double expected_720 =
+        0.4 * (0.25 + 0.75 * resources::k720p.Megapixels() / m_ref);
+    EXPECT_NEAR(w_720.occupancy[r], expected_720, 1e-12);
+    EXPECT_GT(w_1440.occupancy[r], w_ref.occupancy[r]);
+  }
+}
+
+TEST(GameTest, CappedGameShedsOccupancy) {
+  Game g = MakeTestGame();
+  g.fps_cap = 60.0;  // pipeline could do ~117 at 1080p
+  const auto w = g.AtResolution(resources::k1080p);
+  const auto uncapped = MakeTestGame().AtResolution(resources::k1080p);
+  for (Resource r : resources::kAllResources) {
+    EXPECT_LT(w.occupancy[r], uncapped.occupancy[r]) << resources::Name(r);
+  }
+}
+
+TEST(GameTest, GenreNamesDistinct) {
+  EXPECT_NE(GenreName(Genre::kMoba), GenreName(Genre::kCasual));
+  EXPECT_EQ(GenreName(Genre::kOpenWorldAaa), "OpenWorldAAA");
+}
+
+}  // namespace
+}  // namespace gaugur::gamesim

@@ -1,0 +1,139 @@
+#include "microbench/pressure_bench.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "gamesim/server_sim.h"
+
+namespace gaugur::microbench {
+namespace {
+
+using gamesim::ServerSim;
+using gamesim::WorkloadProfile;
+using resources::Resource;
+
+class PressureBenchAllResources
+    : public ::testing::TestWithParam<Resource> {};
+
+TEST_P(PressureBenchAllResources, TargetOccupancyEqualsPressure) {
+  const Resource r = GetParam();
+  for (double x : {0.0, 0.3, 0.7, 1.0}) {
+    const WorkloadProfile w = MakePressureBench(r, x);
+    EXPECT_DOUBLE_EQ(w.occupancy[r], x) << resources::Name(r);
+  }
+}
+
+TEST_P(PressureBenchAllResources, MinimalCrossResourceLeak) {
+  // Design principle 2: little contention on non-target resources. The
+  // one sanctioned exception is GPU-BW's GPU-L2 footprint.
+  const Resource r = GetParam();
+  const WorkloadProfile w = MakePressureBench(r, 1.0);
+  for (Resource other : resources::kAllResources) {
+    if (other == r) continue;
+    if (r == Resource::kGpuBw && other == Resource::kGpuL2) {
+      EXPECT_GT(w.occupancy[other], 0.2);  // the documented cache leak
+      continue;
+    }
+    EXPECT_LE(w.occupancy[other], 0.05) << resources::Name(other);
+  }
+}
+
+TEST_P(PressureBenchAllResources, PressureIsPinned) {
+  // throughput_coupling 0: the bench re-tunes its sleep to hold pressure.
+  const WorkloadProfile w = MakePressureBench(GetParam(), 0.5);
+  EXPECT_DOUBLE_EQ(w.throughput_coupling, 0.0);
+}
+
+TEST_P(PressureBenchAllResources, RunsOnItsResourceSide) {
+  const Resource r = GetParam();
+  const WorkloadProfile w = MakePressureBench(r, 0.5);
+  if (resources::IsCpuSide(r)) {
+    EXPECT_GT(w.t_cpu_ms, w.t_gpu_render_ms);
+    EXPECT_GT(w.t_cpu_ms, w.t_xfer_ms);
+  } else if (resources::IsGpuSide(r)) {
+    EXPECT_GT(w.t_gpu_render_ms, w.t_cpu_ms);
+  } else {
+    EXPECT_GT(w.t_xfer_ms, w.t_cpu_ms);
+  }
+}
+
+TEST_P(PressureBenchAllResources, SlowdownGrowsWithVictimOccupancy) {
+  // The intensity observable: a heavier co-runner slows the bench more.
+  const Resource r = GetParam();
+  const ServerSim sim;
+  const WorkloadProfile bench = MakePressureBench(r, 0.5);
+  const double solo = sim.RunAnalytic(std::array{bench})[0].rate;
+
+  auto slowdown_against = [&](double occ) {
+    WorkloadProfile game;
+    game.name = "synthetic-game";
+    game.t_cpu_ms = 5.0;
+    game.t_gpu_render_ms = 5.0;
+    game.t_xfer_ms = 0.5;
+    game.occupancy[r] = occ;
+    game.throughput_coupling = 0.0;
+    const auto res = sim.RunAnalytic(std::array{bench, game});
+    return BenchSlowdown(solo, res[0].rate);
+  };
+  EXPECT_NEAR(slowdown_against(0.0), 1.0, 1e-9);
+  EXPECT_LT(slowdown_against(0.3), slowdown_against(0.9));
+  EXPECT_GT(slowdown_against(0.9), 1.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllResources, PressureBenchAllResources,
+    ::testing::ValuesIn(resources::kAllResources),
+    [](const auto& info) {
+      std::string name(resources::Name(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(PressureBenchTest, RejectsOutOfRangePressure) {
+  EXPECT_THROW(MakePressureBench(Resource::kLlc, -0.1), std::logic_error);
+  EXPECT_THROW(MakePressureBench(Resource::kLlc, 1.1), std::logic_error);
+}
+
+TEST(PressureBenchTest, ZeroPressureIsHarmless) {
+  const ServerSim sim;
+  const WorkloadProfile bench =
+      MakePressureBench(Resource::kGpuCore, 0.0);
+  WorkloadProfile game;
+  game.t_cpu_ms = 5.0;
+  game.t_gpu_render_ms = 8.0;
+  game.t_xfer_ms = 0.5;
+  for (Resource r : resources::kAllResources) {
+    game.response[r] = gamesim::InflationResponse{
+        1.0, gamesim::InflationShape::Linear()};
+  }
+  const auto res = sim.RunAnalytic(std::array{game, bench});
+  EXPECT_NEAR(res[0].rate_ratio, 1.0, 1e-9);
+}
+
+TEST(PressureBenchTest, PressureGridMatchesPaper) {
+  const auto grid = PressureGrid(10);
+  ASSERT_EQ(grid.size(), 11u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0.0);
+  EXPECT_DOUBLE_EQ(grid.back(), 1.0);
+  EXPECT_DOUBLE_EQ(grid[5], 0.5);
+}
+
+TEST(PressureBenchTest, PressureGridGranularityOne) {
+  const auto grid = PressureGrid(1);
+  ASSERT_EQ(grid.size(), 2u);
+  EXPECT_DOUBLE_EQ(grid[0], 0.0);
+  EXPECT_DOUBLE_EQ(grid[1], 1.0);
+}
+
+TEST(PressureBenchTest, GpuBwLeaksIntoGpuL2Proportionally) {
+  const auto half = MakePressureBench(Resource::kGpuBw, 0.5);
+  const auto full = MakePressureBench(Resource::kGpuBw, 1.0);
+  EXPECT_NEAR(full.occupancy[Resource::kGpuL2],
+              2.0 * half.occupancy[Resource::kGpuL2], 1e-12);
+}
+
+}  // namespace
+}  // namespace gaugur::microbench

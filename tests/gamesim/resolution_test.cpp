@@ -1,0 +1,64 @@
+#include "resources/resolution.h"
+
+#include <gtest/gtest.h>
+
+namespace gaugur::resources {
+namespace {
+
+TEST(ResolutionTest, PixelCounts) {
+  EXPECT_DOUBLE_EQ(k1080p.NumPixels(), 1920.0 * 1080.0);
+  EXPECT_DOUBLE_EQ(k720p.Megapixels(), 1280.0 * 720.0 / 1e6);
+}
+
+TEST(ResolutionTest, OrderingByPixels) {
+  EXPECT_LT(k720p.NumPixels(), k900p.NumPixels());
+  EXPECT_LT(k900p.NumPixels(), k1080p.NumPixels());
+  EXPECT_LT(k1080p.NumPixels(), k1440p.NumPixels());
+}
+
+TEST(ResolutionTest, ToStringFormat) {
+  EXPECT_EQ(k1080p.ToString(), "1920x1080");
+}
+
+TEST(ResolutionTest, EqualityComparison) {
+  EXPECT_EQ(k1080p, (Resolution{1920, 1080}));
+  EXPECT_NE(k1080p, k720p);
+}
+
+TEST(PixelLinearModelTest, FromTwoPointsInterpolates) {
+  const auto m = PixelLinearModel::FromTwoPoints(k720p, 100.0, k1440p, 40.0);
+  EXPECT_NEAR(m.Eval(k720p), 100.0, 1e-9);
+  EXPECT_NEAR(m.Eval(k1440p), 40.0, 1e-9);
+}
+
+TEST(PixelLinearModelTest, EvalIsLinearInMegapixels) {
+  const auto m = PixelLinearModel::FromTwoPoints(k720p, 100.0, k1440p, 40.0);
+  const double mid_megapixels =
+      (k720p.Megapixels() + k1440p.Megapixels()) / 2.0;
+  // A synthetic resolution at the megapixel midpoint maps to the value
+  // midpoint.
+  PixelLinearModel direct = m;
+  EXPECT_NEAR(direct.intercept + direct.slope * mid_megapixels, 70.0, 1e-9);
+}
+
+TEST(PixelLinearModelTest, NegativeSlopeForFpsLikeData) {
+  // Eq. 2: FPS falls as pixels grow.
+  const auto m = PixelLinearModel::FromTwoPoints(k720p, 120.0, k1080p, 80.0);
+  EXPECT_LT(m.slope, 0.0);
+}
+
+TEST(PixelLinearModelTest, RejectsDegenerateFit) {
+  EXPECT_THROW(PixelLinearModel::FromTwoPoints(k1080p, 1.0, k1080p, 2.0),
+               std::logic_error);
+}
+
+TEST(ResolutionTest, ReferenceIsAPlayerResolution) {
+  bool found = false;
+  for (const auto& r : kPlayerResolutions) {
+    if (r == kReferenceResolution) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace gaugur::resources

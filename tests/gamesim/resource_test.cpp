@@ -1,0 +1,83 @@
+#include "resources/resource.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace gaugur::resources {
+namespace {
+
+TEST(ResourceTest, SevenResources) {
+  EXPECT_EQ(kNumResources, 7u);
+  EXPECT_EQ(kAllResources.size(), kNumResources);
+}
+
+TEST(ResourceTest, IndicesAreDense) {
+  std::set<std::size_t> indices;
+  for (Resource r : kAllResources) indices.insert(Index(r));
+  EXPECT_EQ(indices.size(), kNumResources);
+  EXPECT_EQ(*indices.begin(), 0u);
+  EXPECT_EQ(*indices.rbegin(), kNumResources - 1);
+}
+
+TEST(ResourceTest, NamesMatchPaper) {
+  EXPECT_EQ(Name(Resource::kCpuCore), "CPU-CE");
+  EXPECT_EQ(Name(Resource::kLlc), "LLC");
+  EXPECT_EQ(Name(Resource::kMemBw), "MEM-BW");
+  EXPECT_EQ(Name(Resource::kGpuCore), "GPU-CE");
+  EXPECT_EQ(Name(Resource::kGpuBw), "GPU-BW");
+  EXPECT_EQ(Name(Resource::kGpuL2), "GPU-L2");
+  EXPECT_EQ(Name(Resource::kPcieBw), "PCIe-BW");
+}
+
+TEST(ResourceTest, SidePartition) {
+  // Every resource is CPU-side, GPU-side, or the PCIe link — exactly one.
+  int cpu = 0, gpu = 0, other = 0;
+  for (Resource r : kAllResources) {
+    EXPECT_FALSE(IsCpuSide(r) && IsGpuSide(r)) << Name(r);
+    if (IsCpuSide(r)) {
+      ++cpu;
+    } else if (IsGpuSide(r)) {
+      ++gpu;
+    } else {
+      ++other;
+    }
+  }
+  EXPECT_EQ(cpu, 3);
+  EXPECT_EQ(gpu, 3);
+  EXPECT_EQ(other, 1);
+}
+
+TEST(ResourceTest, CacheCapacityResources) {
+  EXPECT_TRUE(IsCacheCapacity(Resource::kLlc));
+  EXPECT_TRUE(IsCacheCapacity(Resource::kGpuL2));
+  EXPECT_FALSE(IsCacheCapacity(Resource::kMemBw));
+  EXPECT_FALSE(IsCacheCapacity(Resource::kGpuBw));
+}
+
+TEST(ResourceTest, PixelScalingIsGpuSidePlusPcie) {
+  // Observation 8's resources.
+  for (Resource r : kAllResources) {
+    EXPECT_EQ(ScalesWithPixels(r), IsGpuSide(r) || r == Resource::kPcieBw)
+        << Name(r);
+  }
+}
+
+TEST(PerResourceTest, IndexingByEnumAndSize) {
+  PerResource<double> values{};
+  values[Resource::kGpuBw] = 3.5;
+  EXPECT_DOUBLE_EQ(values[Index(Resource::kGpuBw)], 3.5);
+  EXPECT_EQ(PerResource<double>::size(), kNumResources);
+}
+
+TEST(PerResourceTest, IterationCoversAll) {
+  PerResource<int> values{};
+  for (auto& v : values) v = 2;
+  int sum = 0;
+  for (int v : values) sum += v;
+  EXPECT_EQ(sum, 14);
+}
+
+}  // namespace
+}  // namespace gaugur::resources

@@ -1,0 +1,223 @@
+#include "gamesim/server_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "common/stats.h"
+#include "gamesim/game.h"
+#include "resources/resolution.h"
+
+namespace gaugur::gamesim {
+namespace {
+
+using resources::Resource;
+
+WorkloadProfile MakeWorkload(double occ, double amplitude,
+                             double t_cpu = 5.0, double t_gpu = 8.0) {
+  WorkloadProfile w;
+  w.name = "w";
+  w.t_cpu_ms = t_cpu;
+  w.t_gpu_render_ms = t_gpu;
+  w.t_xfer_ms = 1.0;
+  w.throughput_coupling = 0.5;
+  for (Resource r : resources::kAllResources) {
+    w.occupancy[r] = occ;
+    w.response[r] = InflationResponse{amplitude, InflationShape::Linear()};
+  }
+  return w;
+}
+
+TEST(ServerSimTest, SoloRunsAtSoloRate) {
+  const ServerSim sim;
+  const std::array<WorkloadProfile, 1> w = {MakeWorkload(0.5, 1.0)};
+  const auto results = sim.RunAnalytic(w);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_NEAR(results[0].rate, w[0].SoloRate(), 1e-9);
+  EXPECT_DOUBLE_EQ(results[0].rate_ratio, 1.0);
+}
+
+TEST(ServerSimTest, EmptyColocationIsEmpty) {
+  const ServerSim sim;
+  EXPECT_TRUE(sim.RunAnalytic(std::vector<WorkloadProfile>{}).empty());
+}
+
+TEST(ServerSimTest, ColocationDegradesBothWorkloads) {
+  const ServerSim sim;
+  const std::array<WorkloadProfile, 2> pair = {MakeWorkload(0.5, 1.0),
+                                               MakeWorkload(0.5, 1.0)};
+  const auto results = sim.RunAnalytic(pair);
+  for (const auto& r : results) {
+    EXPECT_LT(r.rate_ratio, 1.0);
+    EXPECT_GT(r.rate_ratio, 0.1);
+  }
+}
+
+TEST(ServerSimTest, SymmetricWorkloadsDegradeEqually) {
+  const ServerSim sim;
+  const std::array<WorkloadProfile, 2> pair = {MakeWorkload(0.6, 0.8),
+                                               MakeWorkload(0.6, 0.8)};
+  const auto results = sim.RunAnalytic(pair);
+  EXPECT_NEAR(results[0].rate_ratio, results[1].rate_ratio, 1e-6);
+}
+
+TEST(ServerSimTest, InsensitiveWorkloadUnharmed) {
+  const ServerSim sim;
+  const std::array<WorkloadProfile, 2> pair = {
+      MakeWorkload(0.5, /*amplitude=*/0.0), MakeWorkload(0.5, 1.0)};
+  const auto results = sim.RunAnalytic(pair);
+  EXPECT_NEAR(results[0].rate_ratio, 1.0, 1e-9);
+  EXPECT_LT(results[1].rate_ratio, 1.0);
+}
+
+TEST(ServerSimTest, HarmlessCorunnerCausesNoDegradation) {
+  const ServerSim sim;
+  const std::array<WorkloadProfile, 2> pair = {
+      MakeWorkload(0.5, 1.0), MakeWorkload(/*occ=*/0.0, 1.0)};
+  const auto results = sim.RunAnalytic(pair);
+  EXPECT_NEAR(results[0].rate_ratio, 1.0, 1e-9);
+}
+
+TEST(ServerSimTest, MoreCorunnersMoreDegradation) {
+  const ServerSim sim;
+  std::vector<WorkloadProfile> group{MakeWorkload(0.4, 1.0)};
+  double prev_ratio = 1.0;
+  for (int k = 1; k <= 3; ++k) {
+    group.push_back(MakeWorkload(0.4, 1.0));
+    const auto results = sim.RunAnalytic(group);
+    EXPECT_LT(results[0].rate_ratio, prev_ratio + 1e-9) << "k=" << k;
+    prev_ratio = results[0].rate_ratio;
+  }
+}
+
+TEST(ServerSimTest, HeavierCorunnerHurtsMore) {
+  const ServerSim sim;
+  const std::array<WorkloadProfile, 2> light = {MakeWorkload(0.5, 1.0),
+                                                MakeWorkload(0.2, 1.0)};
+  const std::array<WorkloadProfile, 2> heavy = {MakeWorkload(0.5, 1.0),
+                                                MakeWorkload(0.8, 1.0)};
+  EXPECT_GT(sim.RunAnalytic(light)[0].rate_ratio,
+            sim.RunAnalytic(heavy)[0].rate_ratio);
+}
+
+TEST(ServerSimTest, FrameCapHidesMildInterference) {
+  // A game capped well below its pipeline rate has headroom: mild
+  // contention doesn't dent its delivered FPS.
+  const ServerSim sim;
+  WorkloadProfile capped = MakeWorkload(0.3, 0.3, 2.0, 3.0);  // ~200 FPS pipe
+  capped.fps_cap = 60.0;
+  const std::array<WorkloadProfile, 2> pair = {capped,
+                                               MakeWorkload(0.3, 0.5)};
+  const auto results = sim.RunAnalytic(pair);
+  EXPECT_NEAR(results[0].rate, 60.0, 1e-6);
+  EXPECT_DOUBLE_EQ(results[0].rate_ratio, 1.0);
+}
+
+TEST(ServerSimTest, MeasureIsDeterministicInSeed) {
+  const ServerSim sim;
+  const std::array<WorkloadProfile, 2> pair = {MakeWorkload(0.5, 1.0),
+                                               MakeWorkload(0.4, 0.7)};
+  const auto a = sim.Measure(pair, 77);
+  const auto b = sim.Measure(pair, 77);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].rate, b[i].rate);
+  }
+}
+
+TEST(ServerSimTest, MeasureNoiseIsSmallAndCentered) {
+  const ServerSim sim;
+  const std::array<WorkloadProfile, 1> solo = {MakeWorkload(0.5, 1.0)};
+  const double truth = sim.RunAnalytic(solo)[0].rate;
+  std::vector<double> rates;
+  for (std::uint64_t seed = 0; seed < 300; ++seed) {
+    rates.push_back(sim.Measure(solo, seed, 0.015)[0].rate);
+  }
+  EXPECT_NEAR(common::Mean(rates), truth, truth * 0.01);
+  EXPECT_LT(common::StdDev(rates) / truth, 0.03);
+}
+
+TEST(ServerSimTest, ZeroNoiseMeasureMatchesAnalytic) {
+  const ServerSim sim;
+  const std::array<WorkloadProfile, 2> pair = {MakeWorkload(0.5, 1.0),
+                                               MakeWorkload(0.4, 0.7)};
+  const auto measured = sim.Measure(pair, 5, 0.0);
+  const auto truth = sim.RunAnalytic(pair);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(measured[i].rate, truth[i].rate, 1e-9);
+  }
+}
+
+TEST(ServerSimTest, SimulateFramesMeanNearAnalytic) {
+  const ServerSim sim;
+  const std::array<WorkloadProfile, 2> pair = {MakeWorkload(0.5, 0.8),
+                                               MakeWorkload(0.4, 0.6)};
+  const auto frames = sim.SimulateFrames(pair, 2000, 3);
+  const auto truth = sim.RunAnalytic(pair);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    // AR(1) scene jitter (5%) plus Jensen effects: a few percent of truth.
+    EXPECT_NEAR(frames[i].rate, truth[i].rate, truth[i].rate * 0.05);
+  }
+}
+
+TEST(ServerSimTest, FitsMemoryBoundary) {
+  const ServerSim sim;
+  WorkloadProfile a = MakeWorkload(0.1, 0.1);
+  WorkloadProfile b = a;
+  a.cpu_memory = 0.6;
+  b.cpu_memory = 0.5;
+  const std::array<WorkloadProfile, 2> over = {a, b};
+  EXPECT_FALSE(sim.FitsMemory(over));
+  b.cpu_memory = 0.4;
+  const std::array<WorkloadProfile, 2> exact = {a, b};
+  EXPECT_TRUE(sim.FitsMemory(exact));
+}
+
+TEST(ServerSimTest, GpuMemoryAlsoConstrains) {
+  const ServerSim sim;
+  WorkloadProfile a = MakeWorkload(0.1, 0.1);
+  a.gpu_memory = 0.7;
+  const std::array<WorkloadProfile, 2> over = {a, a};
+  EXPECT_FALSE(sim.FitsMemory(over));
+}
+
+TEST(ServerSimTest, EquilibriumPressureSingleCorunnerBelowOccupancy) {
+  // With throughput coupling, a degraded co-runner exerts less pressure
+  // than its nominal occupancy.
+  const ServerSim sim;
+  const std::array<WorkloadProfile, 2> pair = {MakeWorkload(0.5, 1.0),
+                                               MakeWorkload(0.7, 1.0)};
+  const auto pressure = sim.EquilibriumPressureOn(pair, 0);
+  for (Resource r : resources::kAllResources) {
+    EXPECT_LE(pressure[r], 0.7 + 1e-9);
+    EXPECT_GT(pressure[r], 0.3);
+  }
+}
+
+TEST(ServerSimTest, PinnedWorkloadKeepsFullPressure) {
+  // throughput_coupling = 0 (micro-benchmarks) pins occupancy.
+  const ServerSim sim;
+  WorkloadProfile pinned = MakeWorkload(0.6, 1.0);
+  pinned.throughput_coupling = 0.0;
+  const std::array<WorkloadProfile, 2> pair = {MakeWorkload(0.5, 1.0),
+                                               pinned};
+  const auto pressure = sim.EquilibriumPressureOn(pair, 0);
+  for (Resource r : resources::kAllResources) {
+    EXPECT_NEAR(pressure[r], 0.6, 1e-9);
+  }
+}
+
+TEST(ServerSimTest, CapacityScalingReducesFeltPressure) {
+  resources::ServerSpec big = resources::ServerSpec::Default();
+  for (auto& c : big.capacity) c = 2.0;
+  const ServerSim small_sim;
+  const ServerSim big_sim(big);
+  const std::array<WorkloadProfile, 2> pair = {MakeWorkload(0.5, 1.0),
+                                               MakeWorkload(0.5, 1.0)};
+  EXPECT_GT(big_sim.RunAnalytic(pair)[0].rate_ratio,
+            small_sim.RunAnalytic(pair)[0].rate_ratio);
+}
+
+}  // namespace
+}  // namespace gaugur::gamesim

@@ -1,0 +1,132 @@
+// Server-simulation property sweeps across resources and group sizes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "gamesim/server_sim.h"
+#include "microbench/pressure_bench.h"
+
+namespace gaugur::gamesim {
+namespace {
+
+using resources::Resource;
+
+WorkloadProfile SensitiveGame(Resource r, double amplitude) {
+  WorkloadProfile w;
+  w.name = "victim";
+  w.t_cpu_ms = 5.0;
+  w.t_gpu_render_ms = 6.0;
+  w.t_xfer_ms = 1.0;
+  w.response[r] = InflationResponse{amplitude, InflationShape::Linear()};
+  w.occupancy[r] = 0.2;
+  return w;
+}
+
+class PerResourceSimTest : public ::testing::TestWithParam<Resource> {};
+
+TEST_P(PerResourceSimTest, DegradationMonotoneInBenchPressure) {
+  const Resource r = GetParam();
+  const ServerSim sim;
+  const WorkloadProfile victim = SensitiveGame(r, 1.0);
+  double prev_ratio = 1.0 + 1e-9;
+  for (double x = 0.0; x <= 1.0; x += 0.125) {
+    const std::vector<WorkloadProfile> pair{
+        victim, microbench::MakePressureBench(r, x)};
+    const double ratio = sim.RunAnalytic(pair)[0].rate_ratio;
+    EXPECT_LE(ratio, prev_ratio + 1e-9)
+        << resources::Name(r) << " at x=" << x;
+    prev_ratio = ratio;
+  }
+}
+
+TEST_P(PerResourceSimTest, AmplitudeScalesHarm) {
+  const Resource r = GetParam();
+  const ServerSim sim;
+  const auto bench = microbench::MakePressureBench(r, 0.8);
+  const std::vector<WorkloadProfile> mild{SensitiveGame(r, 0.3), bench};
+  const std::vector<WorkloadProfile> harsh{SensitiveGame(r, 1.5), bench};
+  EXPECT_GT(sim.RunAnalytic(mild)[0].rate_ratio,
+            sim.RunAnalytic(harsh)[0].rate_ratio)
+      << resources::Name(r);
+}
+
+TEST_P(PerResourceSimTest, OnlyMatchingResourceHurtsIsolatedVictim) {
+  // A victim sensitive to exactly one resource is untouched by pressure
+  // benchmarks for the others (modulo the benches' tiny residual leak).
+  const Resource r = GetParam();
+  const ServerSim sim;
+  const WorkloadProfile victim = SensitiveGame(r, 1.2);
+  for (Resource other : resources::kAllResources) {
+    if (other == r) continue;
+    // GPU-BW's sanctioned GPU-L2 leak can touch a GPU-L2-sensitive game.
+    if (other == Resource::kGpuBw && r == Resource::kGpuL2) continue;
+    const std::vector<WorkloadProfile> pair{
+        victim, microbench::MakePressureBench(other, 1.0)};
+    EXPECT_GT(sim.RunAnalytic(pair)[0].rate_ratio, 0.93)
+        << "victim sensitive to " << resources::Name(r)
+        << " harmed by bench on " << resources::Name(other);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllResources, PerResourceSimTest,
+    ::testing::ValuesIn(resources::kAllResources),
+    [](const auto& info) {
+      std::string name(resources::Name(info.param));
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+class GroupSizeSimTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GroupSizeSimTest, PermutationInvariance) {
+  const int n = GetParam();
+  const ServerSim sim;
+  std::vector<WorkloadProfile> group;
+  for (int i = 0; i < n; ++i) {
+    WorkloadProfile w = SensitiveGame(Resource::kGpuCore, 0.8);
+    w.occupancy[Resource::kGpuCore] = 0.2 + 0.15 * i;
+    w.t_cpu_ms = 4.0 + i;
+    w.name = "g" + std::to_string(i);
+    group.push_back(w);
+  }
+  const auto base = sim.RunAnalytic(group);
+  auto rotated = group;
+  std::rotate(rotated.begin(), rotated.begin() + 1, rotated.end());
+  const auto shifted = sim.RunAnalytic(rotated);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(base[static_cast<std::size_t>(i)].rate,
+                shifted[static_cast<std::size_t>((i + n - 1) % n)].rate,
+                1e-6)
+        << "n=" << n << " i=" << i;
+  }
+}
+
+TEST_P(GroupSizeSimTest, AddingAnIdleCorunnerChangesNothing) {
+  const int n = GetParam();
+  const ServerSim sim;
+  std::vector<WorkloadProfile> group;
+  for (int i = 0; i < n; ++i) {
+    group.push_back(SensitiveGame(Resource::kMemBw, 0.7));
+  }
+  const auto before = sim.RunAnalytic(group);
+  WorkloadProfile idle;
+  idle.name = "idle";
+  idle.t_cpu_ms = 1.0;
+  idle.t_gpu_render_ms = 1.0;
+  idle.t_xfer_ms = 0.1;
+  // Zero occupancy everywhere: exerts no pressure.
+  group.push_back(idle);
+  const auto after = sim.RunAnalytic(group);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(after[static_cast<std::size_t>(i)].rate,
+                before[static_cast<std::size_t>(i)].rate, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, GroupSizeSimTest,
+                         ::testing::Values(2, 3, 4));
+
+}  // namespace
+}  // namespace gaugur::gamesim

@@ -1,0 +1,98 @@
+#include "ml/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+namespace gaugur::ml {
+namespace {
+
+TEST(DatasetTest, AddAndRetrieveRows) {
+  Dataset data(3);
+  data.Add(std::array{1.0, 2.0, 3.0}, 10.0);
+  data.Add(std::array{4.0, 5.0, 6.0}, 20.0);
+  ASSERT_EQ(data.NumRows(), 2u);
+  EXPECT_EQ(data.NumFeatures(), 3u);
+  EXPECT_DOUBLE_EQ(data.Row(1)[0], 4.0);
+  EXPECT_DOUBLE_EQ(data.Target(0), 10.0);
+  EXPECT_DOUBLE_EQ(data.Targets()[1], 20.0);
+}
+
+TEST(DatasetTest, RejectsWrongArity) {
+  Dataset data(2);
+  EXPECT_THROW(data.Add(std::array{1.0}, 0.0), std::logic_error);
+  EXPECT_THROW(data.Add(std::array{1.0, 2.0, 3.0}, 0.0), std::logic_error);
+}
+
+TEST(DatasetTest, FeatureNamesValidated) {
+  EXPECT_THROW(Dataset(2, {"only-one"}), std::logic_error);
+  const Dataset ok(2, {"a", "b"});
+  EXPECT_EQ(ok.FeatureNames()[1], "b");
+}
+
+TEST(DatasetTest, SubsetSelectsAndRepeats) {
+  Dataset data(1);
+  data.Add(std::array{1.0}, 1.0);
+  data.Add(std::array{2.0}, 2.0);
+  data.Add(std::array{3.0}, 3.0);
+  const std::array<std::size_t, 4> idx{2, 0, 2, 1};
+  const Dataset sub = data.Subset(idx);
+  ASSERT_EQ(sub.NumRows(), 4u);
+  EXPECT_DOUBLE_EQ(sub.Target(0), 3.0);
+  EXPECT_DOUBLE_EQ(sub.Target(1), 1.0);
+  EXPECT_DOUBLE_EQ(sub.Target(2), 3.0);
+  EXPECT_DOUBLE_EQ(sub.Target(3), 2.0);
+}
+
+TEST(DatasetTest, HeadTakesPrefix) {
+  Dataset data(1);
+  for (int i = 0; i < 5; ++i) {
+    data.Add(std::array{static_cast<double>(i)}, i);
+  }
+  const Dataset head = data.Head(3);
+  ASSERT_EQ(head.NumRows(), 3u);
+  EXPECT_DOUBLE_EQ(head.Target(2), 2.0);
+  EXPECT_THROW(data.Head(6), std::logic_error);
+}
+
+TEST(DatasetTest, AppendConcatenates) {
+  Dataset a(2), b(2);
+  a.Add(std::array{1.0, 1.0}, 1.0);
+  b.Add(std::array{2.0, 2.0}, 2.0);
+  b.Add(std::array{3.0, 3.0}, 3.0);
+  a.Append(b);
+  ASSERT_EQ(a.NumRows(), 3u);
+  EXPECT_DOUBLE_EQ(a.Target(2), 3.0);
+}
+
+TEST(DatasetTest, AppendRejectsMismatchedWidth) {
+  Dataset a(2), b(3);
+  EXPECT_THROW(a.Append(b), std::logic_error);
+}
+
+TEST(MakeSplitTest, PartitionsAllRows) {
+  const auto split = MakeSplit(100, 0.7, 5);
+  EXPECT_EQ(split.train_indices.size(), 70u);
+  EXPECT_EQ(split.test_indices.size(), 30u);
+  std::set<std::size_t> all(split.train_indices.begin(),
+                            split.train_indices.end());
+  all.insert(split.test_indices.begin(), split.test_indices.end());
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(MakeSplitTest, DeterministicInSeed) {
+  const auto a = MakeSplit(50, 0.5, 9);
+  const auto b = MakeSplit(50, 0.5, 9);
+  EXPECT_EQ(a.train_indices, b.train_indices);
+  const auto c = MakeSplit(50, 0.5, 10);
+  EXPECT_NE(a.train_indices, c.train_indices);
+}
+
+TEST(MakeSplitTest, RejectsDegenerateFractions) {
+  EXPECT_THROW(MakeSplit(10, 0.0, 1), std::logic_error);
+  EXPECT_THROW(MakeSplit(10, 1.0, 1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace gaugur::ml

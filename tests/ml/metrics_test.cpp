@@ -1,0 +1,93 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace gaugur::ml {
+namespace {
+
+TEST(MetricsTest, MeanRelativeErrorKnownValues) {
+  const std::vector<double> pred{110.0, 90.0};
+  const std::vector<double> actual{100.0, 100.0};
+  EXPECT_DOUBLE_EQ(MeanRelativeError(pred, actual), 0.1);
+}
+
+TEST(MetricsTest, RelativeErrorsPerSample) {
+  const std::vector<double> pred{0.5, 0.8};
+  const std::vector<double> actual{0.4, 1.0};
+  const auto errors = RelativeErrors(pred, actual);
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_NEAR(errors[0], 0.25, 1e-12);
+  EXPECT_NEAR(errors[1], 0.2, 1e-12);
+}
+
+TEST(MetricsTest, RelativeErrorRejectsZeroActual) {
+  const std::vector<double> pred{1.0};
+  const std::vector<double> actual{0.0};
+  EXPECT_THROW(RelativeErrors(pred, actual), std::logic_error);
+}
+
+TEST(MetricsTest, MaeAndRmse) {
+  const std::vector<double> pred{1.0, 3.0};
+  const std::vector<double> actual{2.0, 1.0};
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError(pred, actual), 1.5);
+  EXPECT_NEAR(RootMeanSquaredError(pred, actual), std::sqrt(2.5), 1e-12);
+}
+
+TEST(MetricsTest, PerfectPredictionsZeroError) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(MeanRelativeError(v, v), 0.0);
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError(v, v), 0.0);
+  EXPECT_DOUBLE_EQ(RootMeanSquaredError(v, v), 0.0);
+}
+
+TEST(MetricsTest, ConfusionCounts) {
+  const std::vector<int> pred{1, 1, 0, 0, 1};
+  const std::vector<int> actual{1, 0, 0, 1, 1};
+  const auto cm = ComputeConfusion(pred, actual);
+  EXPECT_EQ(cm.tp, 2u);
+  EXPECT_EQ(cm.fp, 1u);
+  EXPECT_EQ(cm.fn, 1u);
+  EXPECT_EQ(cm.tn, 1u);
+  EXPECT_EQ(cm.Total(), 5u);
+}
+
+TEST(MetricsTest, ConfusionDerivedMetrics) {
+  ConfusionMatrix cm;
+  cm.tp = 8;
+  cm.fp = 2;
+  cm.fn = 4;
+  cm.tn = 6;
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 0.7);
+  EXPECT_DOUBLE_EQ(cm.Precision(), 0.8);
+  EXPECT_NEAR(cm.Recall(), 8.0 / 12.0, 1e-12);
+}
+
+TEST(MetricsTest, ConfusionEdgeCases) {
+  ConfusionMatrix empty;
+  EXPECT_DOUBLE_EQ(empty.Accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Recall(), 0.0);
+
+  ConfusionMatrix all_negative;
+  all_negative.tn = 10;
+  EXPECT_DOUBLE_EQ(all_negative.Accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(all_negative.Precision(), 0.0);  // no positives judged
+}
+
+TEST(MetricsTest, AccuracyHelper) {
+  const std::vector<int> pred{1, 0, 1, 0};
+  const std::vector<int> actual{1, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(Accuracy(pred, actual), 0.75);
+}
+
+TEST(MetricsTest, SizeMismatchThrows) {
+  const std::vector<int> a{1};
+  const std::vector<int> b{1, 0};
+  EXPECT_THROW(ComputeConfusion(a, b), std::logic_error);
+}
+
+}  // namespace
+}  // namespace gaugur::ml

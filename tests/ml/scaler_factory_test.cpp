@@ -1,0 +1,118 @@
+// StandardScaler + learner-factory tests.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ml/factory.h"
+#include "ml/metrics.h"
+#include "ml/scaler.h"
+#include "tests/ml/synthetic.h"
+
+namespace gaugur::ml {
+namespace {
+
+TEST(StandardScalerTest, TransformedDataHasZeroMeanUnitVar) {
+  const Dataset data = testing::MakeRegressionData(500, 71);
+  StandardScaler scaler;
+  scaler.Fit(data);
+  const Dataset scaled = scaler.TransformDataset(data);
+  for (std::size_t f = 0; f < data.NumFeatures(); ++f) {
+    double sum = 0.0, sum_sq = 0.0;
+    for (std::size_t i = 0; i < scaled.NumRows(); ++i) {
+      sum += scaled.Row(i)[f];
+      sum_sq += scaled.Row(i)[f] * scaled.Row(i)[f];
+    }
+    const double n = static_cast<double>(scaled.NumRows());
+    EXPECT_NEAR(sum / n, 0.0, 1e-9);
+    EXPECT_NEAR(sum_sq / n, 1.0, 1e-9);
+  }
+}
+
+TEST(StandardScalerTest, ConstantFeaturePassesThroughCentered) {
+  Dataset data(2);
+  data.Add(std::vector{5.0, 1.0}, 0.0);
+  data.Add(std::vector{5.0, 3.0}, 0.0);
+  StandardScaler scaler;
+  scaler.Fit(data);
+  std::vector<double> out;
+  scaler.Transform(std::vector{5.0, 2.0}, out);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);  // centered, not divided by 0
+}
+
+TEST(StandardScalerTest, TargetsPreserved) {
+  const Dataset data = testing::MakeRegressionData(50, 72);
+  StandardScaler scaler;
+  scaler.Fit(data);
+  const Dataset scaled = scaler.TransformDataset(data);
+  for (std::size_t i = 0; i < data.NumRows(); ++i) {
+    EXPECT_DOUBLE_EQ(scaled.Target(i), data.Target(i));
+  }
+}
+
+TEST(StandardScalerTest, TransformBeforeFitThrows) {
+  StandardScaler scaler;
+  std::vector<double> out;
+  EXPECT_THROW(scaler.Transform(std::vector{1.0}, out), std::logic_error);
+}
+
+TEST(FactoryTest, AllRegressorNamesConstruct) {
+  for (const auto& name : RegressorNames()) {
+    const auto model = MakeRegressor(name);
+    ASSERT_NE(model, nullptr) << name;
+    EXPECT_EQ(model->Name(), name);
+  }
+}
+
+TEST(FactoryTest, AllClassifierNamesConstruct) {
+  for (const auto& name : ClassifierNames()) {
+    const auto model = MakeClassifier(name);
+    ASSERT_NE(model, nullptr) << name;
+    EXPECT_EQ(model->Name(), name);
+  }
+}
+
+TEST(FactoryTest, UnknownNamesRejected) {
+  EXPECT_THROW(MakeRegressor("XGB"), std::logic_error);
+  EXPECT_THROW(MakeClassifier("MLP"), std::logic_error);
+}
+
+TEST(FactoryTest, PaperAlgorithmLists) {
+  EXPECT_EQ(RegressorNames(),
+            (std::vector<std::string>{"DTR", "GBRT", "RF", "SVR"}));
+  EXPECT_EQ(ClassifierNames(),
+            (std::vector<std::string>{"DTC", "GBDT", "RF", "SVC"}));
+}
+
+TEST(FactoryTest, EveryRegressorLearnsSomething) {
+  const Dataset train = testing::MakeRegressionData(600, 73);
+  const Dataset test = testing::MakeRegressionData(150, 74);
+  // Baseline: predicting the mean.
+  double mean = 0.0;
+  for (double y : train.Targets()) mean += y;
+  mean /= static_cast<double>(train.NumRows());
+  std::vector<double> mean_pred(test.NumRows(), mean);
+  const double mean_rmse = RootMeanSquaredError(mean_pred, test.Targets());
+
+  for (const auto& name : RegressorNames()) {
+    auto model = MakeRegressor(name);
+    model->Fit(train);
+    const double rmse =
+        RootMeanSquaredError(model->PredictBatch(test), test.Targets());
+    EXPECT_LT(rmse, mean_rmse) << name;
+  }
+}
+
+TEST(FactoryTest, EveryClassifierBeatsChance) {
+  const Dataset train = testing::MakeClassificationData(800, 75);
+  const Dataset test = testing::MakeClassificationData(200, 76);
+  std::vector<int> actual;
+  for (double y : test.Targets()) actual.push_back(y > 0.5 ? 1 : 0);
+  for (const auto& name : ClassifierNames()) {
+    auto model = MakeClassifier(name);
+    model->Fit(train);
+    EXPECT_GT(Accuracy(model->PredictBatch(test), actual), 0.7) << name;
+  }
+}
+
+}  // namespace
+}  // namespace gaugur::ml

@@ -1,0 +1,156 @@
+#include "ml/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "ml/factory.h"
+#include "tests/ml/synthetic.h"
+
+namespace gaugur::ml {
+namespace {
+
+std::unique_ptr<Regressor> MakeRegressorForTest(const std::string& name) {
+  if (name == "RF") {
+    ForestConfig config;
+    config.num_trees = 15;  // keep the round-trip test fast
+    return std::make_unique<RandomForestRegressor>(config);
+  }
+  if (name == "GBRT") {
+    BoostConfig config;
+    config.num_stages = 40;
+    return std::make_unique<GradientBoostedRegressor>(config);
+  }
+  return MakeRegressor(name);
+}
+
+std::unique_ptr<Classifier> MakeClassifierForTest(const std::string& name) {
+  if (name == "RF") {
+    ForestConfig config;
+    config.num_trees = 15;
+    return std::make_unique<RandomForestClassifier>(config);
+  }
+  if (name == "GBDT") {
+    BoostConfig config;
+    config.num_stages = 40;
+    return std::make_unique<GradientBoostedClassifier>(config);
+  }
+  return MakeClassifier(name);
+}
+
+/// Round-trips a regressor through the text format and checks bit-equal
+/// predictions on fresh data.
+void ExpectRegressorRoundTrip(const std::string& name) {
+  const Dataset train = testing::MakeRegressionData(300, 81);
+  const Dataset probe = testing::MakeRegressionData(50, 82);
+  auto model = MakeRegressorForTest(name);
+  model->Fit(train);
+
+  std::stringstream stream;
+  SaveRegressor(stream, *model);
+  const auto loaded = LoadRegressor(stream);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->Name(), model->Name());
+  for (std::size_t i = 0; i < probe.NumRows(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded->Predict(probe.Row(i)),
+                     model->Predict(probe.Row(i)))
+        << name << " row " << i;
+  }
+}
+
+void ExpectClassifierRoundTrip(const std::string& name) {
+  const Dataset train = testing::MakeClassificationData(300, 83);
+  const Dataset probe = testing::MakeClassificationData(50, 84);
+  auto model = MakeClassifierForTest(name);
+  model->Fit(train);
+
+  std::stringstream stream;
+  SaveClassifier(stream, *model);
+  const auto loaded = LoadClassifier(stream);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->Name(), model->Name());
+  for (std::size_t i = 0; i < probe.NumRows(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded->PredictProb(probe.Row(i)),
+                     model->PredictProb(probe.Row(i)))
+        << name << " row " << i;
+  }
+}
+
+TEST(SerializeTest, TreeRoundTrip) {
+  const Dataset train = testing::MakeRegressionData(200, 85);
+  TreeModel tree;
+  tree.Fit(train);
+  std::stringstream stream;
+  SaveTree(stream, tree);
+  const TreeModel loaded = LoadTree(stream);
+  ASSERT_EQ(loaded.Nodes().size(), tree.Nodes().size());
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(loaded.Predict(train.Row(i)),
+                     tree.Predict(train.Row(i)));
+  }
+}
+
+TEST(SerializeTest, ScalerRoundTrip) {
+  const Dataset train = testing::MakeRegressionData(100, 86);
+  StandardScaler scaler;
+  scaler.Fit(train);
+  std::stringstream stream;
+  SaveScaler(stream, scaler);
+  const StandardScaler loaded = LoadScaler(stream);
+  std::vector<double> a, b;
+  scaler.Transform(train.Row(0), a);
+  loaded.Transform(train.Row(0), b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SerializeTest, RegressorDtr) { ExpectRegressorRoundTrip("DTR"); }
+TEST(SerializeTest, RegressorGbrt) { ExpectRegressorRoundTrip("GBRT"); }
+TEST(SerializeTest, RegressorRf) { ExpectRegressorRoundTrip("RF"); }
+TEST(SerializeTest, RegressorSvr) { ExpectRegressorRoundTrip("SVR"); }
+
+TEST(SerializeTest, ClassifierDtc) { ExpectClassifierRoundTrip("DTC"); }
+TEST(SerializeTest, ClassifierGbdt) { ExpectClassifierRoundTrip("GBDT"); }
+TEST(SerializeTest, ClassifierRf) { ExpectClassifierRoundTrip("RF"); }
+TEST(SerializeTest, ClassifierSvc) { ExpectClassifierRoundTrip("SVC"); }
+
+TEST(SerializeTest, FileRoundTrip) {
+  const Dataset train = testing::MakeRegressionData(200, 87);
+  auto model = MakeRegressorForTest("GBRT");
+  model->Fit(train);
+  const std::string path = "/tmp/gaugur_model_test.txt";
+  ASSERT_TRUE(SaveRegressorToFile(path, *model));
+  const auto loaded = LoadRegressorFromFile(path);
+  EXPECT_DOUBLE_EQ(loaded->Predict(train.Row(0)),
+                   model->Predict(train.Row(0)));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, CorruptStreamRejected) {
+  std::stringstream stream("model UNKNOWN_THING\n");
+  EXPECT_THROW(LoadRegressor(stream), std::logic_error);
+  std::stringstream garbage("not-a-model 1 2 3\n");
+  EXPECT_THROW(LoadRegressor(garbage), std::logic_error);
+  std::stringstream empty("");
+  EXPECT_THROW(LoadRegressor(empty), std::logic_error);
+}
+
+TEST(SerializeTest, MissingFileRejected) {
+  EXPECT_THROW(LoadRegressorFromFile("/nonexistent/path/model.txt"),
+               std::logic_error);
+}
+
+TEST(SerializeTest, TruncatedStreamRejected) {
+  const Dataset train = testing::MakeRegressionData(100, 88);
+  auto model = MakeRegressorForTest("GBRT");
+  model->Fit(train);
+  std::stringstream stream;
+  SaveRegressor(stream, *model);
+  std::string text = stream.str();
+  text.resize(text.size() / 2);
+  std::stringstream truncated(text);
+  EXPECT_THROW(LoadRegressor(truncated), std::logic_error);
+}
+
+}  // namespace
+}  // namespace gaugur::ml

@@ -1,0 +1,161 @@
+#include "ml/svm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ml/metrics.h"
+#include "tests/ml/synthetic.h"
+
+namespace gaugur::ml {
+namespace {
+
+std::vector<int> Labels(const Dataset& data) {
+  std::vector<int> out;
+  for (double y : data.Targets()) out.push_back(y > 0.5 ? 1 : 0);
+  return out;
+}
+
+TEST(SvmClassifierTest, SeparableDataNearPerfect) {
+  const Dataset train = testing::MakeSeparableData(400, 51);
+  const Dataset test = testing::MakeSeparableData(200, 52);
+  SvmClassifier svc;
+  svc.Fit(train);
+  EXPECT_GT(Accuracy(svc.PredictBatch(test), Labels(test)), 0.97);
+  EXPECT_EQ(svc.Name(), "SVC");
+}
+
+TEST(SvmClassifierTest, RbfHandlesXor) {
+  const Dataset train = testing::MakeClassificationData(800, 53);
+  const Dataset test = testing::MakeClassificationData(200, 54);
+  SvmConfig config;
+  config.c = 50.0;
+  SvmClassifier svc(config);
+  svc.Fit(train);
+  EXPECT_GT(Accuracy(svc.PredictBatch(test), Labels(test)), 0.85);
+}
+
+TEST(SvmClassifierTest, LinearKernelFailsXor) {
+  // Sanity check that the kernel choice matters: a linear SVM cannot cut
+  // the XOR board much better than chance.
+  const Dataset train = testing::MakeClassificationData(800, 55);
+  const Dataset test = testing::MakeClassificationData(200, 56);
+  SvmConfig config;
+  config.kernel = KernelKind::kLinear;
+  SvmClassifier svc(config);
+  svc.Fit(train);
+  EXPECT_LT(Accuracy(svc.PredictBatch(test), Labels(test)), 0.75);
+}
+
+TEST(SvmClassifierTest, ProbabilityMonotoneInMargin) {
+  const Dataset train = testing::MakeSeparableData(300, 57);
+  SvmClassifier svc;
+  svc.Fit(train);
+  // Deep in the positive region beats the boundary region.
+  const double deep = svc.PredictProb(std::vector{0.0, 1.5});
+  const double boundary = svc.PredictProb(std::vector{0.0, 0.0});
+  EXPECT_GT(deep, boundary);
+}
+
+TEST(SvmClassifierTest, SingleClassDegenerateFit) {
+  Dataset data(2);
+  data.Add(std::vector{0.0, 0.0}, 1.0);
+  data.Add(std::vector{1.0, 1.0}, 1.0);
+  SvmClassifier svc;
+  svc.Fit(data);  // must not crash
+  EXPECT_EQ(svc.Predict(std::vector{0.5, 0.5}), 1);
+}
+
+TEST(SvmClassifierTest, RejectsNonBinaryLabels) {
+  Dataset data(1);
+  data.Add(std::vector{0.1}, 0.5);
+  data.Add(std::vector{0.2}, 1.0);
+  SvmClassifier svc;
+  EXPECT_THROW(svc.Fit(data), std::logic_error);
+}
+
+TEST(SvmClassifierTest, SupportVectorsAreSubset) {
+  const Dataset train = testing::MakeSeparableData(300, 58, /*margin=*/0.5);
+  SvmClassifier svc;
+  svc.Fit(train);
+  EXPECT_GT(svc.NumSupportVectors(), 0u);
+  EXPECT_LT(svc.NumSupportVectors(), train.NumRows());
+}
+
+TEST(SvmRegressorTest, FitsLinearFunction) {
+  common::Rng rng(59);
+  Dataset train(2);
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.Uniform(-1.0, 1.0);
+    const double b = rng.Uniform(-1.0, 1.0);
+    train.Add(std::vector{a, b}, 2.0 * a - b + 0.5);
+  }
+  SvmRegressor svr;
+  svr.Fit(train);
+  EXPECT_NEAR(svr.Predict(std::vector{0.5, 0.5}), 1.0, 0.1);
+  EXPECT_NEAR(svr.Predict(std::vector{-0.5, 0.0}), -0.5, 0.1);
+  EXPECT_EQ(svr.Name(), "SVR");
+}
+
+TEST(SvmRegressorTest, FitsSmoothNonlinearFunction) {
+  common::Rng rng(60);
+  Dataset train(1), test(1);
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.Uniform(0.0, 1.0);
+    train.Add(std::vector{x}, std::sin(6.0 * x));
+  }
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.Uniform(0.0, 1.0);
+    test.Add(std::vector{x}, std::sin(6.0 * x));
+  }
+  SvmConfig config;
+  config.c = 50.0;
+  config.epsilon = 0.02;
+  SvmRegressor svr(config);
+  svr.Fit(train);
+  EXPECT_LT(RootMeanSquaredError(svr.PredictBatch(test), test.Targets()),
+            0.1);
+}
+
+TEST(SvmRegressorTest, EpsilonTubeSparsifies) {
+  common::Rng rng(61);
+  Dataset train(1);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.Uniform();
+    train.Add(std::vector{x}, x);
+  }
+  SvmConfig tight, loose;
+  tight.epsilon = 0.001;
+  loose.epsilon = 0.2;
+  SvmRegressor svr_tight(tight), svr_loose(loose);
+  svr_tight.Fit(train);
+  svr_loose.Fit(train);
+  EXPECT_LT(svr_loose.NumSupportVectors(), svr_tight.NumSupportVectors());
+}
+
+TEST(SvmRegressorTest, ConstantTargetsHandled) {
+  Dataset train(1);
+  for (int i = 0; i < 20; ++i) {
+    train.Add(std::vector{i / 20.0}, 5.0);
+  }
+  SvmRegressor svr;
+  svr.Fit(train);
+  EXPECT_NEAR(svr.Predict(std::vector{0.5}), 5.0, 0.25);
+}
+
+TEST(SvmRegressorTest, DeterministicInSeed) {
+  const Dataset train = testing::MakeRegressionData(200, 62);
+  SvmConfig config;
+  config.seed = 5;
+  SvmRegressor a(config), b(config);
+  a.Fit(train);
+  b.Fit(train);
+  const Dataset test = testing::MakeRegressionData(20, 63);
+  for (std::size_t i = 0; i < test.NumRows(); ++i) {
+    EXPECT_DOUBLE_EQ(a.Predict(test.Row(i)), b.Predict(test.Row(i)));
+  }
+}
+
+}  // namespace
+}  // namespace gaugur::ml

@@ -1,0 +1,60 @@
+// Synthetic learnable problems shared by the ML tests.
+#pragma once
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+
+namespace gaugur::ml::testing {
+
+/// Nonlinear regression target: smooth interaction of three features.
+inline double Friedmanish(std::span<const double> x) {
+  return 2.0 * x[0] * x[1] + 1.5 * (x[2] > 0.5 ? 1.0 : 0.0) + 0.5 * x[3];
+}
+
+inline Dataset MakeRegressionData(std::size_t n, std::uint64_t seed,
+                                  double noise = 0.0) {
+  common::Rng rng(seed);
+  Dataset data(5);
+  std::vector<double> row(5);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto& v : row) v = rng.Uniform();
+    data.Add(row, Friedmanish(row) + rng.Gaussian(0.0, noise));
+  }
+  return data;
+}
+
+/// Binary labels from a nonlinear boundary (XOR-of-halves plus a margin
+/// feature), not linearly separable.
+inline Dataset MakeClassificationData(std::size_t n, std::uint64_t seed,
+                                      double flip_prob = 0.0) {
+  common::Rng rng(seed);
+  Dataset data(4);
+  std::vector<double> row(4);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto& v : row) v = rng.Uniform();
+    bool label = (row[0] > 0.5) != (row[1] > 0.5);
+    if (row[2] > 0.9) label = !label;
+    if (rng.Bernoulli(flip_prob)) label = !label;
+    data.Add(row, label ? 1.0 : 0.0);
+  }
+  return data;
+}
+
+/// A linearly separable problem for the SVM happy path.
+inline Dataset MakeSeparableData(std::size_t n, std::uint64_t seed,
+                                 double margin = 0.2) {
+  common::Rng rng(seed);
+  Dataset data(2);
+  std::vector<double> row(2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool label = rng.Bernoulli(0.5);
+    const double offset = label ? margin : -margin;
+    row[0] = rng.Uniform(-1.0, 1.0);
+    row[1] = row[0] + offset + (label ? rng.Uniform(0.0, 1.0)
+                                      : rng.Uniform(-1.0, 0.0));
+    data.Add(row, label ? 1.0 : 0.0);
+  }
+  return data;
+}
+
+}  // namespace gaugur::ml::testing

@@ -1,0 +1,122 @@
+// Parameterized CART invariants across a config grid.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "ml/decision_tree.h"
+#include "tests/ml/synthetic.h"
+
+namespace gaugur::ml {
+namespace {
+
+// (max_depth, min_samples_leaf)
+using TreeParam = std::tuple<int, std::size_t>;
+
+class TreeConfigGridTest : public ::testing::TestWithParam<TreeParam> {
+ protected:
+  TreeConfig MakeConfig() const {
+    TreeConfig config;
+    config.max_depth = std::get<0>(GetParam());
+    config.min_samples_leaf = std::get<1>(GetParam());
+    config.min_samples_split = 2 * config.min_samples_leaf;
+    return config;
+  }
+};
+
+TEST_P(TreeConfigGridTest, DepthBoundHolds) {
+  const Dataset train = testing::MakeRegressionData(600, 101);
+  TreeModel tree(MakeConfig());
+  tree.Fit(train);
+  EXPECT_LE(tree.Depth(), std::get<0>(GetParam()) + 1);
+}
+
+TEST_P(TreeConfigGridTest, LeavesRespectMinimumSize) {
+  const Dataset train = testing::MakeRegressionData(600, 102);
+  TreeModel tree(MakeConfig());
+  tree.Fit(train);
+  for (const auto& node : tree.Nodes()) {
+    if (node.feature < 0) {
+      EXPECT_GE(node.num_samples, std::get<1>(GetParam()));
+    }
+  }
+}
+
+TEST_P(TreeConfigGridTest, PredictionsWithinTargetRange) {
+  // Leaf means cannot extrapolate beyond the observed target range.
+  const Dataset train = testing::MakeRegressionData(600, 103);
+  double lo = 1e18, hi = -1e18;
+  for (double y : train.Targets()) {
+    lo = std::min(lo, y);
+    hi = std::max(hi, y);
+  }
+  TreeModel tree(MakeConfig());
+  tree.Fit(train);
+  const Dataset probe = testing::MakeRegressionData(200, 104);
+  for (std::size_t i = 0; i < probe.NumRows(); ++i) {
+    const double p = tree.Predict(probe.Row(i));
+    EXPECT_GE(p, lo - 1e-9);
+    EXPECT_LE(p, hi + 1e-9);
+  }
+}
+
+TEST_P(TreeConfigGridTest, NodeChildrenAreConsistent) {
+  const Dataset train = testing::MakeClassificationData(600, 105);
+  TreeConfig config = MakeConfig();
+  config.criterion = SplitCriterion::kGini;
+  TreeModel tree(config);
+  tree.Fit(train);
+  const auto& nodes = tree.Nodes();
+  for (const auto& node : nodes) {
+    if (node.feature >= 0) {
+      ASSERT_GE(node.left, 0);
+      ASSERT_GE(node.right, 0);
+      ASSERT_LT(static_cast<std::size_t>(node.left), nodes.size());
+      ASSERT_LT(static_cast<std::size_t>(node.right), nodes.size());
+      // Children partition the parent.
+      EXPECT_EQ(nodes[static_cast<std::size_t>(node.left)].num_samples +
+                    nodes[static_cast<std::size_t>(node.right)].num_samples,
+                node.num_samples);
+    } else {
+      EXPECT_GE(node.value, 0.0);  // gini leaves are class fractions
+      EXPECT_LE(node.value, 1.0);
+    }
+  }
+}
+
+TEST_P(TreeConfigGridTest, InvariantToAffineFeatureTransforms) {
+  // CART splits depend only on feature order, so shifting/scaling a
+  // feature must leave every prediction unchanged.
+  const Dataset train = testing::MakeRegressionData(400, 106);
+  Dataset scaled(train.NumFeatures());
+  std::vector<double> row;
+  for (std::size_t i = 0; i < train.NumRows(); ++i) {
+    row.assign(train.Row(i).begin(), train.Row(i).end());
+    row[0] = row[0] * 37.0 - 5.0;
+    row[2] = row[2] * 0.001 + 100.0;
+    scaled.Add(row, train.Target(i));
+  }
+  TreeModel a(MakeConfig()), b(MakeConfig());
+  a.Fit(train);
+  b.Fit(scaled);
+  const Dataset probe = testing::MakeRegressionData(100, 107);
+  for (std::size_t i = 0; i < probe.NumRows(); ++i) {
+    row.assign(probe.Row(i).begin(), probe.Row(i).end());
+    const double pa = a.Predict(row);
+    row[0] = row[0] * 37.0 - 5.0;
+    row[2] = row[2] * 0.001 + 100.0;
+    EXPECT_NEAR(b.Predict(row), pa, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigGrid, TreeConfigGridTest,
+    ::testing::Combine(::testing::Values(2, 5, 10),
+                       ::testing::Values(std::size_t{1}, std::size_t{5},
+                                         std::size_t{25})),
+    [](const auto& info) {
+      return "depth" + std::to_string(std::get<0>(info.param)) + "_leaf" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace gaugur::ml

@@ -1,0 +1,147 @@
+#include "profiling/collaborative.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "tests/pipeline/world.h"
+
+namespace gaugur::profiling {
+namespace {
+
+using gaugur::testing::TestWorld;
+using resources::Resource;
+
+const PartialProfile& ProbeOf(int game_id) {
+  static std::map<int, PartialProfile>* cache =
+      new std::map<int, PartialProfile>();
+  auto it = cache->find(game_id);
+  if (it == cache->end()) {
+    const auto& world = TestWorld::Get();
+    const PartialProfiler prober(world.server());
+    it = cache->emplace(game_id,
+                        prober.ProbeGame(world.catalog()[
+                            static_cast<std::size_t>(game_id)]))
+             .first;
+  }
+  return it->second;
+}
+
+CurveImputer MakeLeaveOneOutImputer(int excluded_id) {
+  const auto& world = TestWorld::Get();
+  std::vector<GameProfile> reference;
+  for (std::size_t j = 0; j < world.catalog().size(); ++j) {
+    if (static_cast<int>(j) != excluded_id) {
+      reference.push_back(world.features().Profile(static_cast<int>(j)));
+    }
+  }
+  return CurveImputer(std::move(reference));
+}
+
+TEST(PartialProfilerTest, ProbeIsMuchCheaperThanFullProfile) {
+  const auto& world = TestWorld::Get();
+  const PartialProfiler prober(world.server());
+  const Profiler full(world.server());
+  EXPECT_LT(prober.MeasurementsPerGame() * 4,
+            full.MeasurementsPerGame());
+  EXPECT_EQ(prober.MeasurementsPerGame(), 3u + 7u * 6u);
+}
+
+TEST(PartialProfilerTest, ProbeMatchesFullProfileOnSharedQuantities) {
+  const auto& world = TestWorld::Get();
+  const auto& probe = ProbeOf(4);
+  const auto& full = world.features().Profile(4);
+  for (Resource r : resources::kAllResources) {
+    // Intensity protocols differ (2-point vs 11-point average), so allow
+    // a modest gap.
+    EXPECT_NEAR(probe.intensity_ref[r], full.intensity_ref[r], 0.15)
+        << resources::Name(r);
+    // Sensitivity anchors are the same measurement as the full curve's
+    // grid points, modulo noise.
+    EXPECT_NEAR(probe.sensitivity_mid[r], full.Sensitivity(r).At(0.5), 0.05);
+    EXPECT_NEAR(probe.sensitivity_max[r], full.Sensitivity(r).Score(), 0.05);
+  }
+}
+
+TEST(PartialProfilerTest, DeterministicInSeed) {
+  const auto& world = TestWorld::Get();
+  const PartialProfiler prober(world.server());
+  const auto a = prober.ProbeGame(world.catalog()[9]);
+  const auto b = prober.ProbeGame(world.catalog()[9]);
+  for (Resource r : resources::kAllResources) {
+    EXPECT_DOUBLE_EQ(a.sensitivity_mid[r], b.sensitivity_mid[r]);
+    EXPECT_DOUBLE_EQ(a.intensity_ref[r], b.intensity_ref[r]);
+  }
+}
+
+TEST(CurveImputerTest, RejectsTinyReferenceFleet) {
+  const auto& world = TestWorld::Get();
+  std::vector<GameProfile> tiny{world.features().Profile(0)};
+  EXPECT_THROW(CurveImputer imputer(std::move(tiny)), std::logic_error);
+}
+
+TEST(CurveImputerTest, ImputedCurvesHonorMeasuredAnchors) {
+  const int id = 7;
+  const auto imputer = MakeLeaveOneOutImputer(id);
+  const auto& probe = ProbeOf(id);
+  const auto imputed = imputer.Impute(probe);
+  for (Resource r : resources::kAllResources) {
+    EXPECT_NEAR(imputed.Sensitivity(r).At(0.5), probe.sensitivity_mid[r],
+                0.02)
+        << resources::Name(r);
+    EXPECT_NEAR(imputed.Sensitivity(r).Score(), probe.sensitivity_max[r],
+                0.02);
+  }
+}
+
+TEST(CurveImputerTest, ImputedCurvesAreValid) {
+  const int id = 22;
+  const auto imputer = MakeLeaveOneOutImputer(id);
+  const auto imputed = imputer.Impute(ProbeOf(id));
+  for (Resource r : resources::kAllResources) {
+    const auto& curve = imputed.Sensitivity(r).degradation;
+    EXPECT_EQ(curve.size(), 11u);
+    for (double v : curve) {
+      EXPECT_GT(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(CurveImputerTest, LeaveOneOutReconstructionIsClose) {
+  const auto& world = TestWorld::Get();
+  double max_gap = 0.0;
+  double sum_gap = 0.0;
+  int count = 0;
+  for (int id : {3, 18, 40, 61, 88}) {
+    const auto imputer = MakeLeaveOneOutImputer(id);
+    const auto imputed = imputer.Impute(ProbeOf(id));
+    const auto& truth = world.features().Profile(id);
+    for (Resource r : resources::kAllResources) {
+      for (std::size_t i = 0; i < 11; ++i) {
+        const double gap = std::abs(imputed.Sensitivity(r).degradation[i] -
+                                    truth.Sensitivity(r).degradation[i]);
+        max_gap = std::max(max_gap, gap);
+        sum_gap += gap;
+        ++count;
+      }
+    }
+  }
+  EXPECT_LT(sum_gap / count, 0.05);
+  EXPECT_LT(max_gap, 0.35);
+}
+
+TEST(CurveImputerTest, DirectlyMeasuredQuantitiesPassThrough) {
+  const int id = 12;
+  const auto imputer = MakeLeaveOneOutImputer(id);
+  const auto& probe = ProbeOf(id);
+  const auto imputed = imputer.Impute(probe);
+  EXPECT_EQ(imputed.solo_fps_points, probe.solo_fps_points);
+  for (Resource r : resources::kAllResources) {
+    EXPECT_DOUBLE_EQ(imputed.intensity_ref[r], probe.intensity_ref[r]);
+  }
+  EXPECT_DOUBLE_EQ(imputed.cpu_memory, probe.cpu_memory);
+}
+
+}  // namespace
+}  // namespace gaugur::profiling

@@ -1,0 +1,169 @@
+// Corpus generation + training-sample construction tests.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gaugur/corpus.h"
+#include "gaugur/training.h"
+#include "tests/pipeline/world.h"
+
+namespace gaugur::core {
+namespace {
+
+using gaugur::testing::TestWorld;
+
+TEST(CorpusTest, SizesMatchOptions) {
+  const auto& corpus = TestWorld::Get().corpus();
+  std::size_t pairs = 0, triples = 0, quads = 0;
+  for (const auto& m : corpus) {
+    switch (m.sessions.size()) {
+      case 2: ++pairs; break;
+      case 3: ++triples; break;
+      case 4: ++quads; break;
+      default: FAIL() << "unexpected colocation size " << m.sessions.size();
+    }
+  }
+  EXPECT_EQ(pairs, 500u);
+  EXPECT_EQ(triples, 100u);
+  EXPECT_EQ(quads, 100u);
+}
+
+TEST(CorpusTest, GamesWithinColocationAreDistinct) {
+  for (const auto& m : TestWorld::Get().corpus()) {
+    std::set<int> ids;
+    for (const auto& s : m.sessions) ids.insert(s.game_id);
+    EXPECT_EQ(ids.size(), m.sessions.size());
+  }
+}
+
+TEST(CorpusTest, AllColocationsFitMemory) {
+  const auto& world = TestWorld::Get();
+  for (const auto& m : world.corpus()) {
+    EXPECT_TRUE(world.lab().FitsMemory(m.sessions));
+  }
+}
+
+TEST(CorpusTest, MeasuredFpsPositiveAndPlausible) {
+  for (const auto& m : TestWorld::Get().corpus()) {
+    for (double fps : m.fps) {
+      EXPECT_GT(fps, 0.1);
+      EXPECT_LT(fps, 500.0);
+    }
+  }
+}
+
+TEST(CorpusTest, ResolutionsComeFromPlayerSet) {
+  for (const auto& m : TestWorld::Get().corpus()) {
+    for (const auto& s : m.sessions) {
+      bool known = false;
+      for (const auto& r : resources::kPlayerResolutions) {
+        if (s.resolution == r) known = true;
+      }
+      EXPECT_TRUE(known) << s.resolution.ToString();
+    }
+  }
+}
+
+TEST(CorpusTest, DeterministicInSeed) {
+  const auto& world = TestWorld::Get();
+  CorpusOptions options;
+  options.num_pairs = 5;
+  options.num_triples = 2;
+  options.num_quads = 1;
+  options.seed = 7;
+  const auto a = GenerateCorpus(world.lab(), options);
+  const auto b = GenerateCorpus(world.lab(), options);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].sessions, b[i].sessions);
+    EXPECT_EQ(a[i].fps, b[i].fps);
+  }
+}
+
+TEST(CorpusTest, FixedResolutionOption) {
+  const auto& world = TestWorld::Get();
+  CorpusOptions options;
+  options.num_pairs = 5;
+  options.num_triples = 0;
+  options.num_quads = 0;
+  options.random_resolutions = false;
+  const auto corpus = GenerateCorpus(world.lab(), options);
+  for (const auto& m : corpus) {
+    for (const auto& s : m.sessions) {
+      EXPECT_EQ(s.resolution, resources::kReferenceResolution);
+    }
+  }
+}
+
+TEST(TrainingTest, RmDatasetHasKSamplesPerColocation) {
+  const auto& world = TestWorld::Get();
+  std::size_t expected = 0;
+  for (const auto& m : world.corpus()) expected += m.sessions.size();
+  const auto rm = BuildRmDataset(world.features(), world.corpus());
+  EXPECT_EQ(rm.NumRows(), expected);
+  EXPECT_EQ(rm.NumFeatures(), world.features().RmDim());
+}
+
+TEST(TrainingTest, RmTargetsAreDegradationRatios) {
+  const auto& world = TestWorld::Get();
+  const auto rm = BuildRmDataset(world.features(), world.corpus());
+  for (std::size_t i = 0; i < rm.NumRows(); ++i) {
+    EXPECT_GT(rm.Target(i), 0.0);
+    EXPECT_LE(rm.Target(i), 1.0);
+  }
+}
+
+TEST(TrainingTest, DegradationTargetMatchesDefinition) {
+  const auto& world = TestWorld::Get();
+  const auto& m = world.corpus()[0];
+  const auto& victim = m.sessions[0];
+  const double solo =
+      world.features().Profile(victim.game_id).SoloFps(victim.resolution);
+  EXPECT_NEAR(DegradationTarget(world.features(), victim, m.fps[0]),
+              std::clamp(m.fps[0] / solo, 0.01, 1.0), 1e-12);
+}
+
+TEST(TrainingTest, CmLabelsConsistentWithQos) {
+  const auto& world = TestWorld::Get();
+  const auto cm = BuildCmDataset(world.features(), world.corpus(), 60.0);
+  std::size_t row = 0;
+  for (const auto& m : world.corpus()) {
+    for (std::size_t v = 0; v < m.sessions.size(); ++v, ++row) {
+      EXPECT_DOUBLE_EQ(cm.Target(row), m.fps[v] >= 60.0 ? 1.0 : 0.0);
+    }
+  }
+  EXPECT_EQ(row, cm.NumRows());
+}
+
+TEST(TrainingTest, CmQosFeatureIsFirstColumn) {
+  const auto& world = TestWorld::Get();
+  const auto cm = BuildCmDataset(world.features(), world.corpus(), 45.0);
+  for (std::size_t i = 0; i < cm.NumRows(); ++i) {
+    EXPECT_DOUBLE_EQ(cm.Row(i)[0], 45.0);
+  }
+}
+
+TEST(TrainingTest, LowerQosNeverDecreasesPositives) {
+  const auto& world = TestWorld::Get();
+  const auto strict = BuildCmDataset(world.features(), world.corpus(), 60.0);
+  const auto loose = BuildCmDataset(world.features(), world.corpus(), 30.0);
+  double strict_pos = 0.0, loose_pos = 0.0;
+  for (std::size_t i = 0; i < strict.NumRows(); ++i) {
+    strict_pos += strict.Target(i);
+    loose_pos += loose.Target(i);
+  }
+  EXPECT_GE(loose_pos, strict_pos);
+  EXPECT_GT(loose_pos, 0.0);
+}
+
+TEST(TrainingTest, MultiQosReplication) {
+  const auto& world = TestWorld::Get();
+  const std::vector<double> grid{50.0, 60.0};
+  const auto multi =
+      BuildCmDatasetMultiQos(world.features(), world.corpus(), grid);
+  const auto single = BuildCmDataset(world.features(), world.corpus(), 50.0);
+  EXPECT_EQ(multi.NumRows(), 2 * single.NumRows());
+}
+
+}  // namespace
+}  // namespace gaugur::core

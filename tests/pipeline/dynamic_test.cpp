@@ -1,0 +1,130 @@
+#include "sched/dynamic.h"
+
+#include "sched/study.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/pipeline/world.h"
+
+namespace gaugur::sched {
+namespace {
+
+using core::Colocation;
+using core::SessionRequest;
+using gaugur::testing::TestWorld;
+
+std::vector<DynamicRequest> TinyTrace(int game_id = 0) {
+  // Two overlapping sessions, one later one.
+  return {
+      {0.0, 10.0, {game_id, resources::k1080p}},
+      {2.0, 10.0, {game_id, resources::k1080p}},
+      {30.0, 5.0, {game_id, resources::k1080p}},
+  };
+}
+
+TEST(DynamicFleetTest, DedicatedPolicyOneServerPerSession) {
+  const auto& world = TestWorld::Get();
+  const auto result = SimulateDynamicFleet(world.lab(), TinyTrace(),
+                                           MakeDedicatedPolicy());
+  EXPECT_EQ(result.sessions, 3u);
+  EXPECT_EQ(result.peak_servers, 2u);  // two overlap, third is later
+  EXPECT_NEAR(result.server_minutes, 25.0, 1e-9);
+  EXPECT_EQ(result.violated_sessions, 0u);
+}
+
+TEST(DynamicFleetTest, AlwaysColocatePolicyPacksOverlaps) {
+  const auto& world = TestWorld::Get();
+  const auto always = MakeFirstFeasiblePolicy(
+      [](const Colocation&) { return true; });
+  const auto result =
+      SimulateDynamicFleet(world.lab(), TinyTrace(), always);
+  EXPECT_EQ(result.peak_servers, 1u);
+  // Server busy [0, 12] and [30, 35].
+  EXPECT_NEAR(result.server_minutes, 17.0, 1e-9);
+}
+
+TEST(DynamicFleetTest, CapacityLimitsColocation) {
+  const auto& world = TestWorld::Get();
+  std::vector<DynamicRequest> burst;
+  for (int i = 0; i < 6; ++i) {
+    burst.push_back({0.0 + 0.1 * i, 20.0, {0, resources::k1080p}});
+  }
+  const auto always = MakeFirstFeasiblePolicy(
+      [](const Colocation&) { return true; });
+  DynamicOptions options;
+  options.max_sessions_per_server = 4;
+  const auto result =
+      SimulateDynamicFleet(world.lab(), burst, always, options);
+  EXPECT_EQ(result.peak_servers, 2u);  // 4 + 2
+}
+
+TEST(DynamicFleetTest, ViolationsDetectedForGreedyPacking) {
+  // Packing four heavy games on one box must violate 60 FPS sometime.
+  const auto& world = TestWorld::Get();
+  std::vector<DynamicRequest> burst;
+  const char* heavies[] = {"Far Cry 4", "ARK Survival Evolved",
+                           "Rise of The Tomb Raider",
+                           "The Witcher 3 - Wild Hunt"};
+  for (int i = 0; i < 4; ++i) {
+    burst.push_back({0.1 * i, 20.0,
+                     {world.catalog().ByName(heavies[i]).id,
+                      resources::k1080p}});
+  }
+  const auto always = MakeFirstFeasiblePolicy(
+      [](const Colocation&) { return true; });
+  const auto result = SimulateDynamicFleet(world.lab(), burst, always);
+  EXPECT_GT(result.violated_sessions, 0u);
+}
+
+TEST(DynamicFleetTest, GroundTruthPolicyAvoidsViolations) {
+  const auto& world = TestWorld::Get();
+  const auto setup = SelectStudyGames(world.lab(), 8, 60.0, 3);
+  const auto trace = GenerateDynamicTrace(setup.game_ids, 200.0, 0.5,
+                                          25.0, 7);
+  const auto oracle = MakeFirstFeasiblePolicy([&](const Colocation& c) {
+    return world.lab().TrulyFeasible(c, 60.0);
+  });
+  const auto result = SimulateDynamicFleet(world.lab(), trace, oracle);
+  // Admission checks every intermediate colocation, so at the moment of
+  // each placement nothing violates; departures only relieve pressure.
+  EXPECT_EQ(result.violated_sessions, 0u);
+  // And colocation must beat dedicated servers on cost.
+  const auto dedicated =
+      SimulateDynamicFleet(world.lab(), trace, MakeDedicatedPolicy());
+  EXPECT_LT(result.server_minutes, dedicated.server_minutes);
+  EXPECT_EQ(dedicated.violated_sessions, 0u);
+}
+
+TEST(DynamicTraceTest, RespectsHorizonAndGames) {
+  const std::vector<int> ids{3, 7, 11};
+  const auto trace = GenerateDynamicTrace(ids, 100.0, 1.0, 30.0, 5);
+  EXPECT_GT(trace.size(), 50u);
+  EXPECT_LT(trace.size(), 200u);
+  for (const auto& r : trace) {
+    EXPECT_GE(r.arrival_min, 0.0);
+    EXPECT_LT(r.arrival_min, 100.0);
+    EXPECT_GE(r.duration_min, 2.0);
+    EXPECT_TRUE(std::find(ids.begin(), ids.end(), r.session.game_id) !=
+                ids.end());
+  }
+}
+
+TEST(DynamicTraceTest, DeterministicInSeed) {
+  const std::vector<int> ids{1, 2};
+  const auto a = GenerateDynamicTrace(ids, 50.0, 0.8, 20.0, 9);
+  const auto b = GenerateDynamicTrace(ids, 50.0, 0.8, 20.0, 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].arrival_min, b[i].arrival_min);
+    EXPECT_EQ(a[i].session.game_id, b[i].session.game_id);
+  }
+}
+
+TEST(DynamicTraceTest, ArrivalRateRoughlyHonored) {
+  const std::vector<int> ids{0};
+  const auto trace = GenerateDynamicTrace(ids, 2000.0, 2.0, 30.0, 13);
+  EXPECT_NEAR(static_cast<double>(trace.size()), 4000.0, 400.0);
+}
+
+}  // namespace
+}  // namespace gaugur::sched

@@ -1,0 +1,228 @@
+#include "profiling/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "tests/pipeline/world.h"
+
+namespace gaugur::profiling {
+namespace {
+
+using gaugur::testing::TestWorld;
+using resources::Resource;
+
+const GameProfile& ProfileOf(const char* name) {
+  const auto& world = TestWorld::Get();
+  return world.features().Profile(world.catalog().ByName(name).id);
+}
+
+TEST(ProfilerTest, AllGamesProfiled) {
+  const auto& world = TestWorld::Get();
+  EXPECT_EQ(world.features().NumGames(), world.catalog().size());
+}
+
+TEST(ProfilerTest, SensitivityCurvesHaveGridSize) {
+  const auto& profile = ProfileOf("Dota2");
+  for (const auto& curve : profile.sensitivity) {
+    EXPECT_EQ(curve.degradation.size(), 11u);  // k = 10
+  }
+}
+
+TEST(ProfilerTest, SensitivityStartsNearOne) {
+  // Zero benchmark pressure must leave the game essentially unharmed.
+  const auto& world = TestWorld::Get();
+  for (const auto& game : world.catalog().games()) {
+    const auto& profile = world.features().Profile(game.id);
+    for (Resource r : resources::kAllResources) {
+      EXPECT_GT(profile.Sensitivity(r).degradation.front(), 0.93)
+          << game.name << " " << resources::Name(r);
+    }
+  }
+}
+
+TEST(ProfilerTest, SensitivityBoundedAndRoughlyMonotone) {
+  const auto& world = TestWorld::Get();
+  for (const auto& game : world.catalog().games()) {
+    const auto& profile = world.features().Profile(game.id);
+    for (Resource r : resources::kAllResources) {
+      const auto& curve = profile.Sensitivity(r).degradation;
+      for (std::size_t i = 0; i < curve.size(); ++i) {
+        EXPECT_GT(curve[i], 0.0);
+        EXPECT_LE(curve[i], 1.0);
+        // Measurement noise allows tiny upticks, nothing more.
+        if (i > 0) {
+          EXPECT_LT(curve[i], curve[i - 1] + 0.05)
+              << game.name << " " << resources::Name(r) << " point " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(ProfilerTest, IntensityNonNegativeAndBounded) {
+  const auto& world = TestWorld::Get();
+  for (const auto& game : world.catalog().games()) {
+    const auto& profile = world.features().Profile(game.id);
+    for (Resource r : resources::kAllResources) {
+      EXPECT_GE(profile.intensity_ref[r], 0.0) << game.name;
+      EXPECT_LT(profile.intensity_ref[r], 2.0) << game.name;
+    }
+  }
+}
+
+TEST(ProfilerTest, SoloFpsModelInterpolatesThirdResolution) {
+  // Eq. 2 fit from 1080p + 720p must predict 900p well for a GPU-bound
+  // game (exactly linear in the simulator).
+  const auto& world = TestWorld::Get();
+  const auto& game = world.catalog().ByName("Far Cry 4");
+  const auto& profile = world.features().Profile(game.id);
+  const double predicted = profile.SoloFps(resources::k900p);
+  const double actual = game.SoloFps(resources::k900p);
+  EXPECT_NEAR(predicted, actual, actual * 0.05);
+}
+
+TEST(ProfilerTest, SoloFpsModelHasNegativeSlopeForGpuBound) {
+  const auto& profile = ProfileOf("Far Cry 4");
+  EXPECT_LT(profile.solo_fps_model.slope, 0.0);
+}
+
+TEST(ProfilerTest, Observation7CpuIntensityResolutionFlat) {
+  const auto& world = TestWorld::Get();
+  int checked = 0;
+  for (const auto& game : world.catalog().games()) {
+    const auto& profile = world.features().Profile(game.id);
+    for (Resource r :
+         {Resource::kCpuCore, Resource::kLlc, Resource::kMemBw}) {
+      const double at_720 = profile.IntensityAt(r, resources::k720p);
+      const double at_1440 = profile.IntensityAt(r, resources::k1440p);
+      // CPU-side intensity barely moves with resolution.
+      EXPECT_NEAR(at_720, at_1440, 0.15) << game.name;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(ProfilerTest, Observation8GpuIntensityGrowsWithPixels) {
+  const auto& world = TestWorld::Get();
+  int grew = 0, total = 0;
+  for (const auto& game : world.catalog().games()) {
+    const auto& profile = world.features().Profile(game.id);
+    for (Resource r : {Resource::kGpuCore, Resource::kGpuBw,
+                       Resource::kGpuL2, Resource::kPcieBw}) {
+      if (profile.intensity_ref[r] < 0.05) continue;  // too faint to judge
+      ++total;
+      if (profile.IntensityAt(r, resources::k1440p) >
+          profile.IntensityAt(r, resources::k720p)) {
+        ++grew;
+      }
+    }
+  }
+  ASSERT_GT(total, 50);
+  EXPECT_GT(static_cast<double>(grew) / total, 0.9);
+}
+
+TEST(ProfilerTest, Observation6SensitivityResolutionInvariant) {
+  // Profile one game at a different primary resolution; curves should be
+  // close to the reference-resolution curves.
+  const auto& world = TestWorld::Get();
+  const auto& game = world.catalog().ByName("Dota2");
+  ProfilerOptions options;
+  options.primary_res = resources::k900p;
+  options.secondary_res = resources::k720p;
+  const Profiler profiler(world.server(), options);
+  const GameProfile at_1440 = profiler.ProfileGame(game);
+  const auto& at_ref = world.features().Profile(game.id);
+  double max_gap = 0.0;
+  for (Resource r : resources::kAllResources) {
+    for (std::size_t i = 0; i < 11; ++i) {
+      max_gap = std::max(
+          max_gap,
+          std::abs(at_1440.Sensitivity(r).degradation[i] -
+                   at_ref.Sensitivity(r).degradation[i]));
+    }
+  }
+  // Invariance is approximate (bottleneck crossovers shift), but curves
+  // must stay recognizably the same.
+  EXPECT_LT(max_gap, 0.25);
+}
+
+TEST(ProfilerTest, DeterministicInSeed) {
+  const auto& world = TestWorld::Get();
+  const Profiler profiler(world.server());
+  const auto a = profiler.ProfileGame(world.catalog()[3]);
+  const auto b = profiler.ProfileGame(world.catalog()[3]);
+  for (Resource r : resources::kAllResources) {
+    EXPECT_DOUBLE_EQ(a.intensity_ref[r], b.intensity_ref[r]);
+    for (std::size_t i = 0; i < 11; ++i) {
+      EXPECT_DOUBLE_EQ(a.Sensitivity(r).degradation[i],
+                       b.Sensitivity(r).degradation[i]);
+    }
+  }
+}
+
+TEST(ProfilerTest, MeasurementsPerGameFormula) {
+  const auto& world = TestWorld::Get();
+  ProfilerOptions options;
+  options.pressure_granularity = 10;
+  const Profiler profiler(world.server(), options);
+  // 3 solo + 7 resources * 11 pressures * 3 measurements each.
+  EXPECT_EQ(profiler.MeasurementsPerGame(), 3u + 7u * 11u * 3u);
+}
+
+TEST(ProfilerTest, ParallelAndSerialProfilingAgree) {
+  const auto& world = TestWorld::Get();
+  const Profiler profiler(world.server());
+  // Serial profile of one game must equal the fixture's parallel result.
+  const GameProfile serial = profiler.ProfileGame(world.catalog()[7]);
+  const auto& parallel = world.features().Profile(7);
+  EXPECT_DOUBLE_EQ(serial.solo_fps_ref, parallel.solo_fps_ref);
+  for (Resource r : resources::kAllResources) {
+    EXPECT_DOUBLE_EQ(serial.intensity_ref[r], parallel.intensity_ref[r]);
+  }
+}
+
+TEST(ProfilerTest, GranularityControlsCurveSize) {
+  const auto& world = TestWorld::Get();
+  ProfilerOptions options;
+  options.pressure_granularity = 4;
+  const Profiler profiler(world.server(), options);
+  const GameProfile profile = profiler.ProfileGame(world.catalog()[0]);
+  for (const auto& curve : profile.sensitivity) {
+    EXPECT_EQ(curve.degradation.size(), 5u);
+  }
+}
+
+TEST(ProfilerTest, RejectsDegenerateOptions) {
+  const auto& world = TestWorld::Get();
+  ProfilerOptions options;
+  options.secondary_res = options.primary_res;
+  EXPECT_THROW(Profiler(world.server(), options), std::logic_error);
+}
+
+TEST(GameProfileTest, SensitivityInterpolation) {
+  SensitivityCurve curve;
+  curve.degradation = {1.0, 0.8, 0.6};
+  EXPECT_DOUBLE_EQ(curve.At(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(curve.At(0.25), 0.9);
+  EXPECT_DOUBLE_EQ(curve.At(1.0), 0.6);
+  EXPECT_DOUBLE_EQ(curve.Score(), 0.6);
+}
+
+TEST(ProfilerTest, ShowcaseObservation2GranadoEspada) {
+  // Sensitive to GPU-CE (deep curve) yet light GPU-CE intensity.
+  const auto& profile = ProfileOf("Granado Espada");
+  EXPECT_LT(profile.Sensitivity(Resource::kGpuCore).Score(), 0.5);
+  EXPECT_LT(profile.intensity_ref[Resource::kGpuCore], 0.35);
+}
+
+TEST(ProfilerTest, ShowcaseObservation3SensitivityDiversity) {
+  // Elder Scrolls 5 loses ~70% at max CPU-CE pressure; Far Cry 4 ~30%.
+  const auto& tes = ProfileOf("The Elder Scrolls 5");
+  const auto& fc = ProfileOf("Far Cry 4");
+  EXPECT_LT(tes.Sensitivity(Resource::kCpuCore).Score(), 0.45);
+  EXPECT_GT(fc.Sensitivity(Resource::kCpuCore).Score(), 0.55);
+}
+
+}  // namespace
+}  // namespace gaugur::profiling

@@ -1,0 +1,36 @@
+#include "tests/pipeline/world.h"
+
+#include "common/thread_pool.h"
+
+namespace gaugur::testing {
+
+TestWorld::TestWorld()
+    : catalog_(gamesim::GameCatalog::MakeDefault(42)),
+      server_(),
+      lab_(catalog_, server_),
+      features_([this] {
+        const profiling::Profiler profiler(server_);
+        return core::FeatureBuilder(
+            profiler.ProfileCatalog(catalog_, &common::ThreadPool::Global()));
+      }()) {
+  core::CorpusOptions train_options;
+  train_options.num_pairs = 500;
+  train_options.num_triples = 100;
+  train_options.num_quads = 100;
+  train_options.seed = 99;
+  corpus_ = core::GenerateCorpus(lab_, train_options);
+
+  core::CorpusOptions test_options;
+  test_options.num_pairs = 150;
+  test_options.num_triples = 50;
+  test_options.num_quads = 50;
+  test_options.seed = 1234567;  // disjoint draw from the training corpus
+  test_corpus_ = core::GenerateCorpus(lab_, test_options);
+}
+
+const TestWorld& TestWorld::Get() {
+  static const TestWorld world;
+  return world;
+}
+
+}  // namespace gaugur::testing

@@ -1,0 +1,45 @@
+// Shared heavyweight fixture for the pipeline tests: one catalog, one
+// server, one full profiling pass and one measured corpus, built lazily
+// and reused by every test in the binary (profiling 100 games is the
+// expensive part).
+#pragma once
+
+#include <vector>
+
+#include "gamesim/catalog.h"
+#include "gamesim/server_sim.h"
+#include "gaugur/corpus.h"
+#include "gaugur/features.h"
+#include "gaugur/lab.h"
+#include "profiling/profiler.h"
+
+namespace gaugur::testing {
+
+class TestWorld {
+ public:
+  static const TestWorld& Get();
+
+  const gamesim::GameCatalog& catalog() const { return catalog_; }
+  const gamesim::ServerSim& server() const { return server_; }
+  const core::ColocationLab& lab() const { return lab_; }
+  const core::FeatureBuilder& features() const { return features_; }
+  const std::vector<core::MeasuredColocation>& corpus() const {
+    return corpus_;
+  }
+  /// Held-out colocations never used for training.
+  const std::vector<core::MeasuredColocation>& test_corpus() const {
+    return test_corpus_;
+  }
+
+ private:
+  TestWorld();
+
+  gamesim::GameCatalog catalog_;
+  gamesim::ServerSim server_;
+  core::ColocationLab lab_;
+  core::FeatureBuilder features_;
+  std::vector<core::MeasuredColocation> corpus_;
+  std::vector<core::MeasuredColocation> test_corpus_;
+};
+
+}  // namespace gaugur::testing
