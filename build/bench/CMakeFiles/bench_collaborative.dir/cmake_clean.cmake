@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_collaborative.dir/bench_collaborative.cpp.o"
+  "CMakeFiles/bench_collaborative.dir/bench_collaborative.cpp.o.d"
+  "bench_collaborative"
+  "bench_collaborative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_collaborative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_solo_characteristics.dir/bench_fig2_solo_characteristics.cpp.o"
+  "CMakeFiles/bench_fig2_solo_characteristics.dir/bench_fig2_solo_characteristics.cpp.o.d"
+  "bench_fig2_solo_characteristics"
+  "bench_fig2_solo_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_solo_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_obs_resolution_laws.dir/bench_obs_resolution_laws.cpp.o"
+  "CMakeFiles/bench_obs_resolution_laws.dir/bench_obs_resolution_laws.cpp.o.d"
+  "bench_obs_resolution_laws"
+  "bench_obs_resolution_laws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_obs_resolution_laws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaugur_bench_common.dir/bench_world.cpp.o"
+  "CMakeFiles/gaugur_bench_common.dir/bench_world.cpp.o.d"
+  "CMakeFiles/gaugur_bench_common.dir/trained_stack.cpp.o"
+  "CMakeFiles/gaugur_bench_common.dir/trained_stack.cpp.o.d"
+  "libgaugur_bench_common.a"
+  "libgaugur_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaugur_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interaction_delay.dir/interaction_delay.cpp.o"
+  "CMakeFiles/interaction_delay.dir/interaction_delay.cpp.o.d"
+  "interaction_delay"
+  "interaction_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interaction_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

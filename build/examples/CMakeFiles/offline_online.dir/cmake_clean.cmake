@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_online.dir/offline_online.cpp.o"
+  "CMakeFiles/offline_online.dir/offline_online.cpp.o.d"
+  "offline_online"
+  "offline_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

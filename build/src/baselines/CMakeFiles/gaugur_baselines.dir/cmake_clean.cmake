@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaugur_baselines.dir/sigmoid_model.cpp.o"
+  "CMakeFiles/gaugur_baselines.dir/sigmoid_model.cpp.o.d"
+  "CMakeFiles/gaugur_baselines.dir/smite_model.cpp.o"
+  "CMakeFiles/gaugur_baselines.dir/smite_model.cpp.o.d"
+  "CMakeFiles/gaugur_baselines.dir/vbp_model.cpp.o"
+  "CMakeFiles/gaugur_baselines.dir/vbp_model.cpp.o.d"
+  "libgaugur_baselines.a"
+  "libgaugur_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaugur_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

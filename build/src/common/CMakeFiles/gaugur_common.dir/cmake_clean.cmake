@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaugur_common.dir/linalg.cpp.o"
+  "CMakeFiles/gaugur_common.dir/linalg.cpp.o.d"
+  "CMakeFiles/gaugur_common.dir/stats.cpp.o"
+  "CMakeFiles/gaugur_common.dir/stats.cpp.o.d"
+  "CMakeFiles/gaugur_common.dir/table.cpp.o"
+  "CMakeFiles/gaugur_common.dir/table.cpp.o.d"
+  "CMakeFiles/gaugur_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/gaugur_common.dir/thread_pool.cpp.o.d"
+  "libgaugur_common.a"
+  "libgaugur_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaugur_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gamesim/catalog.cpp" "src/gamesim/CMakeFiles/gaugur_gamesim.dir/catalog.cpp.o" "gcc" "src/gamesim/CMakeFiles/gaugur_gamesim.dir/catalog.cpp.o.d"
+  "/root/repo/src/gamesim/contention.cpp" "src/gamesim/CMakeFiles/gaugur_gamesim.dir/contention.cpp.o" "gcc" "src/gamesim/CMakeFiles/gaugur_gamesim.dir/contention.cpp.o.d"
+  "/root/repo/src/gamesim/encoder.cpp" "src/gamesim/CMakeFiles/gaugur_gamesim.dir/encoder.cpp.o" "gcc" "src/gamesim/CMakeFiles/gaugur_gamesim.dir/encoder.cpp.o.d"
+  "/root/repo/src/gamesim/game.cpp" "src/gamesim/CMakeFiles/gaugur_gamesim.dir/game.cpp.o" "gcc" "src/gamesim/CMakeFiles/gaugur_gamesim.dir/game.cpp.o.d"
+  "/root/repo/src/gamesim/inflation_shape.cpp" "src/gamesim/CMakeFiles/gaugur_gamesim.dir/inflation_shape.cpp.o" "gcc" "src/gamesim/CMakeFiles/gaugur_gamesim.dir/inflation_shape.cpp.o.d"
+  "/root/repo/src/gamesim/server_sim.cpp" "src/gamesim/CMakeFiles/gaugur_gamesim.dir/server_sim.cpp.o" "gcc" "src/gamesim/CMakeFiles/gaugur_gamesim.dir/server_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gaugur_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaugur_gamesim.dir/catalog.cpp.o"
+  "CMakeFiles/gaugur_gamesim.dir/catalog.cpp.o.d"
+  "CMakeFiles/gaugur_gamesim.dir/contention.cpp.o"
+  "CMakeFiles/gaugur_gamesim.dir/contention.cpp.o.d"
+  "CMakeFiles/gaugur_gamesim.dir/encoder.cpp.o"
+  "CMakeFiles/gaugur_gamesim.dir/encoder.cpp.o.d"
+  "CMakeFiles/gaugur_gamesim.dir/game.cpp.o"
+  "CMakeFiles/gaugur_gamesim.dir/game.cpp.o.d"
+  "CMakeFiles/gaugur_gamesim.dir/inflation_shape.cpp.o"
+  "CMakeFiles/gaugur_gamesim.dir/inflation_shape.cpp.o.d"
+  "CMakeFiles/gaugur_gamesim.dir/server_sim.cpp.o"
+  "CMakeFiles/gaugur_gamesim.dir/server_sim.cpp.o.d"
+  "libgaugur_gamesim.a"
+  "libgaugur_gamesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaugur_gamesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

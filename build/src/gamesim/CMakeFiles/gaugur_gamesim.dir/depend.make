@@ -1,0 +1,2 @@
+# Empty dependencies file for gaugur_gamesim.
+# This may be replaced when dependencies are built.

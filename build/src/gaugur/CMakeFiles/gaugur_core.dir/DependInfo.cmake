@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gaugur/corpus.cpp" "src/gaugur/CMakeFiles/gaugur_core.dir/corpus.cpp.o" "gcc" "src/gaugur/CMakeFiles/gaugur_core.dir/corpus.cpp.o.d"
+  "/root/repo/src/gaugur/delay.cpp" "src/gaugur/CMakeFiles/gaugur_core.dir/delay.cpp.o" "gcc" "src/gaugur/CMakeFiles/gaugur_core.dir/delay.cpp.o.d"
+  "/root/repo/src/gaugur/features.cpp" "src/gaugur/CMakeFiles/gaugur_core.dir/features.cpp.o" "gcc" "src/gaugur/CMakeFiles/gaugur_core.dir/features.cpp.o.d"
+  "/root/repo/src/gaugur/lab.cpp" "src/gaugur/CMakeFiles/gaugur_core.dir/lab.cpp.o" "gcc" "src/gaugur/CMakeFiles/gaugur_core.dir/lab.cpp.o.d"
+  "/root/repo/src/gaugur/predictor.cpp" "src/gaugur/CMakeFiles/gaugur_core.dir/predictor.cpp.o" "gcc" "src/gaugur/CMakeFiles/gaugur_core.dir/predictor.cpp.o.d"
+  "/root/repo/src/gaugur/training.cpp" "src/gaugur/CMakeFiles/gaugur_core.dir/training.cpp.o" "gcc" "src/gaugur/CMakeFiles/gaugur_core.dir/training.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gamesim/CMakeFiles/gaugur_gamesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiling/CMakeFiles/gaugur_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/gaugur_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/microbench/CMakeFiles/gaugur_microbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gaugur_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

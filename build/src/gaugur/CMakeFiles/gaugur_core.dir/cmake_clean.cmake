@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaugur_core.dir/corpus.cpp.o"
+  "CMakeFiles/gaugur_core.dir/corpus.cpp.o.d"
+  "CMakeFiles/gaugur_core.dir/delay.cpp.o"
+  "CMakeFiles/gaugur_core.dir/delay.cpp.o.d"
+  "CMakeFiles/gaugur_core.dir/features.cpp.o"
+  "CMakeFiles/gaugur_core.dir/features.cpp.o.d"
+  "CMakeFiles/gaugur_core.dir/lab.cpp.o"
+  "CMakeFiles/gaugur_core.dir/lab.cpp.o.d"
+  "CMakeFiles/gaugur_core.dir/predictor.cpp.o"
+  "CMakeFiles/gaugur_core.dir/predictor.cpp.o.d"
+  "CMakeFiles/gaugur_core.dir/training.cpp.o"
+  "CMakeFiles/gaugur_core.dir/training.cpp.o.d"
+  "libgaugur_core.a"
+  "libgaugur_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaugur_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

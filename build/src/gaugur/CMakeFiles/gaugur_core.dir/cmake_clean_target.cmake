@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgaugur_core.a"
+)

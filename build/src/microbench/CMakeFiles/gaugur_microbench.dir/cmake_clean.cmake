@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaugur_microbench.dir/pressure_bench.cpp.o"
+  "CMakeFiles/gaugur_microbench.dir/pressure_bench.cpp.o.d"
+  "libgaugur_microbench.a"
+  "libgaugur_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaugur_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/gaugur_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/gaugur_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/decision_tree.cpp" "src/ml/CMakeFiles/gaugur_ml.dir/decision_tree.cpp.o" "gcc" "src/ml/CMakeFiles/gaugur_ml.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/factory.cpp" "src/ml/CMakeFiles/gaugur_ml.dir/factory.cpp.o" "gcc" "src/ml/CMakeFiles/gaugur_ml.dir/factory.cpp.o.d"
+  "/root/repo/src/ml/gradient_boosting.cpp" "src/ml/CMakeFiles/gaugur_ml.dir/gradient_boosting.cpp.o" "gcc" "src/ml/CMakeFiles/gaugur_ml.dir/gradient_boosting.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/gaugur_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/gaugur_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/ml/CMakeFiles/gaugur_ml.dir/random_forest.cpp.o" "gcc" "src/ml/CMakeFiles/gaugur_ml.dir/random_forest.cpp.o.d"
+  "/root/repo/src/ml/scaler.cpp" "src/ml/CMakeFiles/gaugur_ml.dir/scaler.cpp.o" "gcc" "src/ml/CMakeFiles/gaugur_ml.dir/scaler.cpp.o.d"
+  "/root/repo/src/ml/serialize.cpp" "src/ml/CMakeFiles/gaugur_ml.dir/serialize.cpp.o" "gcc" "src/ml/CMakeFiles/gaugur_ml.dir/serialize.cpp.o.d"
+  "/root/repo/src/ml/svm.cpp" "src/ml/CMakeFiles/gaugur_ml.dir/svm.cpp.o" "gcc" "src/ml/CMakeFiles/gaugur_ml.dir/svm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gaugur_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

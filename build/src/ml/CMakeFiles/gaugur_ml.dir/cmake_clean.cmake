@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaugur_ml.dir/dataset.cpp.o"
+  "CMakeFiles/gaugur_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/gaugur_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/gaugur_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/gaugur_ml.dir/factory.cpp.o"
+  "CMakeFiles/gaugur_ml.dir/factory.cpp.o.d"
+  "CMakeFiles/gaugur_ml.dir/gradient_boosting.cpp.o"
+  "CMakeFiles/gaugur_ml.dir/gradient_boosting.cpp.o.d"
+  "CMakeFiles/gaugur_ml.dir/metrics.cpp.o"
+  "CMakeFiles/gaugur_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/gaugur_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/gaugur_ml.dir/random_forest.cpp.o.d"
+  "CMakeFiles/gaugur_ml.dir/scaler.cpp.o"
+  "CMakeFiles/gaugur_ml.dir/scaler.cpp.o.d"
+  "CMakeFiles/gaugur_ml.dir/serialize.cpp.o"
+  "CMakeFiles/gaugur_ml.dir/serialize.cpp.o.d"
+  "CMakeFiles/gaugur_ml.dir/svm.cpp.o"
+  "CMakeFiles/gaugur_ml.dir/svm.cpp.o.d"
+  "libgaugur_ml.a"
+  "libgaugur_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaugur_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

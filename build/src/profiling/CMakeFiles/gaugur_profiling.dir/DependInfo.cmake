@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profiling/collaborative.cpp" "src/profiling/CMakeFiles/gaugur_profiling.dir/collaborative.cpp.o" "gcc" "src/profiling/CMakeFiles/gaugur_profiling.dir/collaborative.cpp.o.d"
+  "/root/repo/src/profiling/profile_io.cpp" "src/profiling/CMakeFiles/gaugur_profiling.dir/profile_io.cpp.o" "gcc" "src/profiling/CMakeFiles/gaugur_profiling.dir/profile_io.cpp.o.d"
+  "/root/repo/src/profiling/profiler.cpp" "src/profiling/CMakeFiles/gaugur_profiling.dir/profiler.cpp.o" "gcc" "src/profiling/CMakeFiles/gaugur_profiling.dir/profiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gamesim/CMakeFiles/gaugur_gamesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/microbench/CMakeFiles/gaugur_microbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gaugur_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaugur_profiling.dir/collaborative.cpp.o"
+  "CMakeFiles/gaugur_profiling.dir/collaborative.cpp.o.d"
+  "CMakeFiles/gaugur_profiling.dir/profile_io.cpp.o"
+  "CMakeFiles/gaugur_profiling.dir/profile_io.cpp.o.d"
+  "CMakeFiles/gaugur_profiling.dir/profiler.cpp.o"
+  "CMakeFiles/gaugur_profiling.dir/profiler.cpp.o.d"
+  "libgaugur_profiling.a"
+  "libgaugur_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaugur_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

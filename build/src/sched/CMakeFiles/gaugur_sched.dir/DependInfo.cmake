@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/assignment.cpp" "src/sched/CMakeFiles/gaugur_sched.dir/assignment.cpp.o" "gcc" "src/sched/CMakeFiles/gaugur_sched.dir/assignment.cpp.o.d"
+  "/root/repo/src/sched/dynamic.cpp" "src/sched/CMakeFiles/gaugur_sched.dir/dynamic.cpp.o" "gcc" "src/sched/CMakeFiles/gaugur_sched.dir/dynamic.cpp.o.d"
+  "/root/repo/src/sched/enumeration.cpp" "src/sched/CMakeFiles/gaugur_sched.dir/enumeration.cpp.o" "gcc" "src/sched/CMakeFiles/gaugur_sched.dir/enumeration.cpp.o.d"
+  "/root/repo/src/sched/methodology.cpp" "src/sched/CMakeFiles/gaugur_sched.dir/methodology.cpp.o" "gcc" "src/sched/CMakeFiles/gaugur_sched.dir/methodology.cpp.o.d"
+  "/root/repo/src/sched/packing.cpp" "src/sched/CMakeFiles/gaugur_sched.dir/packing.cpp.o" "gcc" "src/sched/CMakeFiles/gaugur_sched.dir/packing.cpp.o.d"
+  "/root/repo/src/sched/study.cpp" "src/sched/CMakeFiles/gaugur_sched.dir/study.cpp.o" "gcc" "src/sched/CMakeFiles/gaugur_sched.dir/study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gaugur/CMakeFiles/gaugur_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/gaugur_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiling/CMakeFiles/gaugur_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/microbench/CMakeFiles/gaugur_microbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/gamesim/CMakeFiles/gaugur_gamesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/gaugur_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gaugur_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaugur_sched.dir/assignment.cpp.o"
+  "CMakeFiles/gaugur_sched.dir/assignment.cpp.o.d"
+  "CMakeFiles/gaugur_sched.dir/dynamic.cpp.o"
+  "CMakeFiles/gaugur_sched.dir/dynamic.cpp.o.d"
+  "CMakeFiles/gaugur_sched.dir/enumeration.cpp.o"
+  "CMakeFiles/gaugur_sched.dir/enumeration.cpp.o.d"
+  "CMakeFiles/gaugur_sched.dir/methodology.cpp.o"
+  "CMakeFiles/gaugur_sched.dir/methodology.cpp.o.d"
+  "CMakeFiles/gaugur_sched.dir/packing.cpp.o"
+  "CMakeFiles/gaugur_sched.dir/packing.cpp.o.d"
+  "CMakeFiles/gaugur_sched.dir/study.cpp.o"
+  "CMakeFiles/gaugur_sched.dir/study.cpp.o.d"
+  "libgaugur_sched.a"
+  "libgaugur_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaugur_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

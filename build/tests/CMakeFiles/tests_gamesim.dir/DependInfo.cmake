@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gamesim/catalog_property_test.cpp" "tests/CMakeFiles/tests_gamesim.dir/gamesim/catalog_property_test.cpp.o" "gcc" "tests/CMakeFiles/tests_gamesim.dir/gamesim/catalog_property_test.cpp.o.d"
+  "/root/repo/tests/gamesim/catalog_test.cpp" "tests/CMakeFiles/tests_gamesim.dir/gamesim/catalog_test.cpp.o" "gcc" "tests/CMakeFiles/tests_gamesim.dir/gamesim/catalog_test.cpp.o.d"
+  "/root/repo/tests/gamesim/contention_test.cpp" "tests/CMakeFiles/tests_gamesim.dir/gamesim/contention_test.cpp.o" "gcc" "tests/CMakeFiles/tests_gamesim.dir/gamesim/contention_test.cpp.o.d"
+  "/root/repo/tests/gamesim/game_test.cpp" "tests/CMakeFiles/tests_gamesim.dir/gamesim/game_test.cpp.o" "gcc" "tests/CMakeFiles/tests_gamesim.dir/gamesim/game_test.cpp.o.d"
+  "/root/repo/tests/gamesim/inflation_shape_test.cpp" "tests/CMakeFiles/tests_gamesim.dir/gamesim/inflation_shape_test.cpp.o" "gcc" "tests/CMakeFiles/tests_gamesim.dir/gamesim/inflation_shape_test.cpp.o.d"
+  "/root/repo/tests/gamesim/pressure_bench_test.cpp" "tests/CMakeFiles/tests_gamesim.dir/gamesim/pressure_bench_test.cpp.o" "gcc" "tests/CMakeFiles/tests_gamesim.dir/gamesim/pressure_bench_test.cpp.o.d"
+  "/root/repo/tests/gamesim/resolution_test.cpp" "tests/CMakeFiles/tests_gamesim.dir/gamesim/resolution_test.cpp.o" "gcc" "tests/CMakeFiles/tests_gamesim.dir/gamesim/resolution_test.cpp.o.d"
+  "/root/repo/tests/gamesim/resource_test.cpp" "tests/CMakeFiles/tests_gamesim.dir/gamesim/resource_test.cpp.o" "gcc" "tests/CMakeFiles/tests_gamesim.dir/gamesim/resource_test.cpp.o.d"
+  "/root/repo/tests/gamesim/server_sim_test.cpp" "tests/CMakeFiles/tests_gamesim.dir/gamesim/server_sim_test.cpp.o" "gcc" "tests/CMakeFiles/tests_gamesim.dir/gamesim/server_sim_test.cpp.o.d"
+  "/root/repo/tests/gamesim/simulation_property_test.cpp" "tests/CMakeFiles/tests_gamesim.dir/gamesim/simulation_property_test.cpp.o" "gcc" "tests/CMakeFiles/tests_gamesim.dir/gamesim/simulation_property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gamesim/CMakeFiles/gaugur_gamesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/microbench/CMakeFiles/gaugur_microbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gaugur_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_gamesim.dir/gamesim/catalog_property_test.cpp.o"
+  "CMakeFiles/tests_gamesim.dir/gamesim/catalog_property_test.cpp.o.d"
+  "CMakeFiles/tests_gamesim.dir/gamesim/catalog_test.cpp.o"
+  "CMakeFiles/tests_gamesim.dir/gamesim/catalog_test.cpp.o.d"
+  "CMakeFiles/tests_gamesim.dir/gamesim/contention_test.cpp.o"
+  "CMakeFiles/tests_gamesim.dir/gamesim/contention_test.cpp.o.d"
+  "CMakeFiles/tests_gamesim.dir/gamesim/game_test.cpp.o"
+  "CMakeFiles/tests_gamesim.dir/gamesim/game_test.cpp.o.d"
+  "CMakeFiles/tests_gamesim.dir/gamesim/inflation_shape_test.cpp.o"
+  "CMakeFiles/tests_gamesim.dir/gamesim/inflation_shape_test.cpp.o.d"
+  "CMakeFiles/tests_gamesim.dir/gamesim/pressure_bench_test.cpp.o"
+  "CMakeFiles/tests_gamesim.dir/gamesim/pressure_bench_test.cpp.o.d"
+  "CMakeFiles/tests_gamesim.dir/gamesim/resolution_test.cpp.o"
+  "CMakeFiles/tests_gamesim.dir/gamesim/resolution_test.cpp.o.d"
+  "CMakeFiles/tests_gamesim.dir/gamesim/resource_test.cpp.o"
+  "CMakeFiles/tests_gamesim.dir/gamesim/resource_test.cpp.o.d"
+  "CMakeFiles/tests_gamesim.dir/gamesim/server_sim_test.cpp.o"
+  "CMakeFiles/tests_gamesim.dir/gamesim/server_sim_test.cpp.o.d"
+  "CMakeFiles/tests_gamesim.dir/gamesim/simulation_property_test.cpp.o"
+  "CMakeFiles/tests_gamesim.dir/gamesim/simulation_property_test.cpp.o.d"
+  "tests_gamesim"
+  "tests_gamesim.pdb"
+  "tests_gamesim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_gamesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

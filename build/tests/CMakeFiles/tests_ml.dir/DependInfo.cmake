@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml/dataset_test.cpp" "tests/CMakeFiles/tests_ml.dir/ml/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ml.dir/ml/dataset_test.cpp.o.d"
+  "/root/repo/tests/ml/decision_tree_test.cpp" "tests/CMakeFiles/tests_ml.dir/ml/decision_tree_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ml.dir/ml/decision_tree_test.cpp.o.d"
+  "/root/repo/tests/ml/ensemble_test.cpp" "tests/CMakeFiles/tests_ml.dir/ml/ensemble_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ml.dir/ml/ensemble_test.cpp.o.d"
+  "/root/repo/tests/ml/metrics_test.cpp" "tests/CMakeFiles/tests_ml.dir/ml/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ml.dir/ml/metrics_test.cpp.o.d"
+  "/root/repo/tests/ml/scaler_factory_test.cpp" "tests/CMakeFiles/tests_ml.dir/ml/scaler_factory_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ml.dir/ml/scaler_factory_test.cpp.o.d"
+  "/root/repo/tests/ml/serialize_test.cpp" "tests/CMakeFiles/tests_ml.dir/ml/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ml.dir/ml/serialize_test.cpp.o.d"
+  "/root/repo/tests/ml/svm_test.cpp" "tests/CMakeFiles/tests_ml.dir/ml/svm_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ml.dir/ml/svm_test.cpp.o.d"
+  "/root/repo/tests/ml/tree_property_test.cpp" "tests/CMakeFiles/tests_ml.dir/ml/tree_property_test.cpp.o" "gcc" "tests/CMakeFiles/tests_ml.dir/ml/tree_property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/gaugur_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gaugur_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_ml.dir/ml/dataset_test.cpp.o"
+  "CMakeFiles/tests_ml.dir/ml/dataset_test.cpp.o.d"
+  "CMakeFiles/tests_ml.dir/ml/decision_tree_test.cpp.o"
+  "CMakeFiles/tests_ml.dir/ml/decision_tree_test.cpp.o.d"
+  "CMakeFiles/tests_ml.dir/ml/ensemble_test.cpp.o"
+  "CMakeFiles/tests_ml.dir/ml/ensemble_test.cpp.o.d"
+  "CMakeFiles/tests_ml.dir/ml/metrics_test.cpp.o"
+  "CMakeFiles/tests_ml.dir/ml/metrics_test.cpp.o.d"
+  "CMakeFiles/tests_ml.dir/ml/scaler_factory_test.cpp.o"
+  "CMakeFiles/tests_ml.dir/ml/scaler_factory_test.cpp.o.d"
+  "CMakeFiles/tests_ml.dir/ml/serialize_test.cpp.o"
+  "CMakeFiles/tests_ml.dir/ml/serialize_test.cpp.o.d"
+  "CMakeFiles/tests_ml.dir/ml/svm_test.cpp.o"
+  "CMakeFiles/tests_ml.dir/ml/svm_test.cpp.o.d"
+  "CMakeFiles/tests_ml.dir/ml/tree_property_test.cpp.o"
+  "CMakeFiles/tests_ml.dir/ml/tree_property_test.cpp.o.d"
+  "tests_ml"
+  "tests_ml.pdb"
+  "tests_ml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pipeline/baselines_test.cpp" "tests/CMakeFiles/tests_pipeline.dir/pipeline/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/tests_pipeline.dir/pipeline/baselines_test.cpp.o.d"
+  "/root/repo/tests/pipeline/collaborative_test.cpp" "tests/CMakeFiles/tests_pipeline.dir/pipeline/collaborative_test.cpp.o" "gcc" "tests/CMakeFiles/tests_pipeline.dir/pipeline/collaborative_test.cpp.o.d"
+  "/root/repo/tests/pipeline/corpus_training_test.cpp" "tests/CMakeFiles/tests_pipeline.dir/pipeline/corpus_training_test.cpp.o" "gcc" "tests/CMakeFiles/tests_pipeline.dir/pipeline/corpus_training_test.cpp.o.d"
+  "/root/repo/tests/pipeline/dynamic_test.cpp" "tests/CMakeFiles/tests_pipeline.dir/pipeline/dynamic_test.cpp.o" "gcc" "tests/CMakeFiles/tests_pipeline.dir/pipeline/dynamic_test.cpp.o.d"
+  "/root/repo/tests/pipeline/extensions_test.cpp" "tests/CMakeFiles/tests_pipeline.dir/pipeline/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/tests_pipeline.dir/pipeline/extensions_test.cpp.o.d"
+  "/root/repo/tests/pipeline/features_test.cpp" "tests/CMakeFiles/tests_pipeline.dir/pipeline/features_test.cpp.o" "gcc" "tests/CMakeFiles/tests_pipeline.dir/pipeline/features_test.cpp.o.d"
+  "/root/repo/tests/pipeline/integration_test.cpp" "tests/CMakeFiles/tests_pipeline.dir/pipeline/integration_test.cpp.o" "gcc" "tests/CMakeFiles/tests_pipeline.dir/pipeline/integration_test.cpp.o.d"
+  "/root/repo/tests/pipeline/predictor_test.cpp" "tests/CMakeFiles/tests_pipeline.dir/pipeline/predictor_test.cpp.o" "gcc" "tests/CMakeFiles/tests_pipeline.dir/pipeline/predictor_test.cpp.o.d"
+  "/root/repo/tests/pipeline/profiler_test.cpp" "tests/CMakeFiles/tests_pipeline.dir/pipeline/profiler_test.cpp.o" "gcc" "tests/CMakeFiles/tests_pipeline.dir/pipeline/profiler_test.cpp.o.d"
+  "/root/repo/tests/pipeline/sched_test.cpp" "tests/CMakeFiles/tests_pipeline.dir/pipeline/sched_test.cpp.o" "gcc" "tests/CMakeFiles/tests_pipeline.dir/pipeline/sched_test.cpp.o.d"
+  "/root/repo/tests/pipeline/world.cpp" "tests/CMakeFiles/tests_pipeline.dir/pipeline/world.cpp.o" "gcc" "tests/CMakeFiles/tests_pipeline.dir/pipeline/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/gaugur_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/gaugur_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/gaugur/CMakeFiles/gaugur_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiling/CMakeFiles/gaugur_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/microbench/CMakeFiles/gaugur_microbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/gamesim/CMakeFiles/gaugur_gamesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/gaugur_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gaugur_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

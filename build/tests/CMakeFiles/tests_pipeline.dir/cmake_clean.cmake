@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_pipeline.dir/pipeline/baselines_test.cpp.o"
+  "CMakeFiles/tests_pipeline.dir/pipeline/baselines_test.cpp.o.d"
+  "CMakeFiles/tests_pipeline.dir/pipeline/collaborative_test.cpp.o"
+  "CMakeFiles/tests_pipeline.dir/pipeline/collaborative_test.cpp.o.d"
+  "CMakeFiles/tests_pipeline.dir/pipeline/corpus_training_test.cpp.o"
+  "CMakeFiles/tests_pipeline.dir/pipeline/corpus_training_test.cpp.o.d"
+  "CMakeFiles/tests_pipeline.dir/pipeline/dynamic_test.cpp.o"
+  "CMakeFiles/tests_pipeline.dir/pipeline/dynamic_test.cpp.o.d"
+  "CMakeFiles/tests_pipeline.dir/pipeline/extensions_test.cpp.o"
+  "CMakeFiles/tests_pipeline.dir/pipeline/extensions_test.cpp.o.d"
+  "CMakeFiles/tests_pipeline.dir/pipeline/features_test.cpp.o"
+  "CMakeFiles/tests_pipeline.dir/pipeline/features_test.cpp.o.d"
+  "CMakeFiles/tests_pipeline.dir/pipeline/integration_test.cpp.o"
+  "CMakeFiles/tests_pipeline.dir/pipeline/integration_test.cpp.o.d"
+  "CMakeFiles/tests_pipeline.dir/pipeline/predictor_test.cpp.o"
+  "CMakeFiles/tests_pipeline.dir/pipeline/predictor_test.cpp.o.d"
+  "CMakeFiles/tests_pipeline.dir/pipeline/profiler_test.cpp.o"
+  "CMakeFiles/tests_pipeline.dir/pipeline/profiler_test.cpp.o.d"
+  "CMakeFiles/tests_pipeline.dir/pipeline/sched_test.cpp.o"
+  "CMakeFiles/tests_pipeline.dir/pipeline/sched_test.cpp.o.d"
+  "CMakeFiles/tests_pipeline.dir/pipeline/world.cpp.o"
+  "CMakeFiles/tests_pipeline.dir/pipeline/world.cpp.o.d"
+  "tests_pipeline"
+  "tests_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tests_common[1]_include.cmake")
+include("/root/repo/build/tests/tests_gamesim[1]_include.cmake")
+include("/root/repo/build/tests/tests_ml[1]_include.cmake")
+add_test(tests_pipeline "/root/repo/build/tests/tests_pipeline")
+set_tests_properties(tests_pipeline PROPERTIES  TIMEOUT "1800" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;62;add_test;/root/repo/tests/CMakeLists.txt;0;")
