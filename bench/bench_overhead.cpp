@@ -8,12 +8,21 @@
 //  * one colocation measurement on the simulated server;
 //  * RM training at the paper's 1000 samples (offline, once).
 
+//  * telemetry-layer overhead: one colocation measurement with obs
+//    enabled vs disabled (the disabled path must be < 2%), plus the raw
+//    cost of the metric primitives themselves.
+
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
 
 #include "bench/bench_world.h"
 #include "bench/trained_stack.h"
 #include "gaugur/training.h"
 #include "ml/factory.h"
+#include "obs/metrics.h"
+#include "obs/switch.h"
 #include "profiling/profiler.h"
 
 using namespace gaugur;
@@ -81,6 +90,88 @@ void BM_MeasureColocation(benchmark::State& state) {
 }
 BENCHMARK(BM_MeasureColocation)->Unit(benchmark::kMicrosecond);
 
+void BM_MeasureColocationObsDisabled(benchmark::State& state) {
+  const auto& world = bench::BenchWorld::Get();
+  obs::EnabledScope off(false);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        world.lab().Measure(SampleColocation(), seed++));
+  }
+}
+BENCHMARK(BM_MeasureColocationObsDisabled)->Unit(benchmark::kMicrosecond);
+
+void BM_ObsCounterAddEnabled(benchmark::State& state) {
+  obs::EnabledScope on(true);
+  obs::Counter& counter =
+      obs::Registry::Global().GetCounter("bench.counter_probe");
+  for (auto _ : state) {
+    counter.Add(1);
+  }
+}
+BENCHMARK(BM_ObsCounterAddEnabled);
+
+void BM_ObsCounterAddDisabled(benchmark::State& state) {
+  obs::EnabledScope off(false);
+  obs::Counter& counter =
+      obs::Registry::Global().GetCounter("bench.counter_probe");
+  for (auto _ : state) {
+    counter.Add(1);
+  }
+}
+BENCHMARK(BM_ObsCounterAddDisabled);
+
+void BM_ObsHistogramRecordEnabled(benchmark::State& state) {
+  obs::EnabledScope on(true);
+  obs::Histogram& hist =
+      obs::Registry::Global().GetHistogram("bench.hist_probe");
+  double v = 0.0;
+  for (auto _ : state) {
+    hist.Record(v);
+    v = v < 1e6 ? v + 17.0 : 0.0;
+  }
+}
+BENCHMARK(BM_ObsHistogramRecordEnabled);
+
+/// The §tentpole acceptance number: mean Measure() latency with the obs
+/// switch on vs off. The disabled path leaves only relaxed-load branches
+/// in the hot code; its overhead must stay under 2%.
+void ReportInstrumentationOverhead() {
+  const auto& world = bench::BenchWorld::Get();
+  const auto time_measure_loop = [&](int iters) {
+    std::uint64_t seed = 1;
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) {
+      benchmark::DoNotOptimize(
+          world.lab().Measure(SampleColocation(), seed++));
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    return std::chrono::duration<double, std::micro>(elapsed).count() /
+           iters;
+  };
+
+  constexpr int kWarmup = 200;
+  constexpr int kIters = 2000;
+  double enabled_us = 0.0, disabled_us = 0.0;
+  {
+    obs::EnabledScope on(true);
+    time_measure_loop(kWarmup);
+    enabled_us = time_measure_loop(kIters);
+  }
+  {
+    obs::EnabledScope off(false);
+    time_measure_loop(kWarmup);
+    disabled_us = time_measure_loop(kIters);
+  }
+  const double delta_pct =
+      100.0 * (enabled_us - disabled_us) / disabled_us;
+  std::printf(
+      "\nInstrumentation overhead on ColocationLab::Measure: "
+      "obs on %.2f µs, obs off %.2f µs, enabled-path delta %+.2f%% "
+      "(disabled path is a relaxed-load branch; target < 2%%).\n",
+      enabled_us, disabled_us, delta_pct);
+}
+
 void BM_ProfileOneGame(benchmark::State& state) {
   const auto& world = bench::BenchWorld::Get();
   const profiling::Profiler profiler(world.server());
@@ -115,6 +206,7 @@ int main(int argc, char** argv) {
   bench::TrainedStack::Get();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  ReportInstrumentationOverhead();
   std::printf(
       "\nSection 3.6: profiling cost is per-game (O(N) over the catalog) "
       "and training needs a few hundred colocations (also O(N)); online "

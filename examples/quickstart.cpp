@@ -5,10 +5,14 @@
 //  3. Measure a small colocation corpus and train the RM and CM.
 //  4. Predict the interference of a fresh colocation and compare with
 //     what actually happens when the games run together.
+//  5. Dump the telemetry run report the pipeline accumulated along the
+//     way (metrics table + JSON written next to the binary).
 //
 // Build & run:  cmake --build build && ./build/examples/quickstart
 
 #include <cstdio>
+#include <iostream>
+#include <string>
 #include <vector>
 
 #include "gamesim/catalog.h"
@@ -16,6 +20,7 @@
 #include "gaugur/corpus.h"
 #include "gaugur/lab.h"
 #include "gaugur/predictor.h"
+#include "obs/report.h"
 #include "profiling/profiler.h"
 
 using namespace gaugur;
@@ -74,5 +79,20 @@ int main() {
                                                           : "infeasible",
               lab.TrulyFeasible(colocation, 60.0) ? "FEASIBLE"
                                                   : "infeasible");
+
+  // 5. Everything above was instrumented; capture the registry as a
+  // structured run report.
+  obs::RunReport report = obs::RunReport::Capture("quickstart");
+  report.SetMeta("games_profiled", std::to_string(catalog.size()));
+  std::printf("\n");
+  report.Print(std::cout);
+  // bench_results/ only exists when run from the repo root; fall back to
+  // the current directory otherwise.
+  const char* report_path = "bench_results/quickstart_report.json";
+  if (!report.WriteJson(report_path)) {
+    report_path = "quickstart_report.json";
+    report.WriteJson(report_path);
+  }
+  std::printf("\nrun report written to %s\n", report_path);
   return 0;
 }

@@ -5,8 +5,26 @@
 #include <exception>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace gaugur::common {
+
+namespace {
+
+/// Process-wide pool telemetry (summed across every ThreadPool instance).
+struct PoolMetrics {
+  obs::Gauge& queue_depth =
+      obs::Registry::Global().GetGauge("pool.queue_depth");
+  obs::Counter& tasks_executed =
+      obs::Registry::Global().GetCounter("pool.tasks_executed");
+
+  static PoolMetrics& Get() {
+    static PoolMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -23,7 +41,14 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
           if (stop_ && tasks_.empty()) return;
           task = std::move(tasks_.front());
           tasks_.pop();
+          queue_depth_.fetch_sub(1, std::memory_order_relaxed);
+          PoolMetrics::Get().queue_depth.Sub(1);
         }
+        // Counted at dequeue so the tally is exact the moment every
+        // submitted future has resolved (the increment happens-before the
+        // task body, which happens-before the future becoming ready).
+        tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+        PoolMetrics::Get().tasks_executed.Add(1);
         task();
       }
     });
@@ -36,7 +61,13 @@ ThreadPool::~ThreadPool() {
     stop_ = true;
   }
   cv_.notify_all();
+  // Workers only exit once the queue is empty (see the wait predicate), so
+  // joining them is a deterministic drain: every task submitted before
+  // stop was set has run by the time the joins return.
   for (auto& w : workers_) w.join();
+  GAUGUR_CHECK_MSG(tasks_.empty(), "ThreadPool destroyed with queued tasks");
+  GAUGUR_CHECK_MSG(QueueDepth() == 0,
+                   "queue-depth gauge nonzero after drain");
 }
 
 std::future<void> ThreadPool::Submit(std::function<void()> task) {
@@ -47,6 +78,8 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
     std::lock_guard lock(mutex_);
     GAUGUR_CHECK_MSG(!stop_, "Submit on stopped ThreadPool");
     tasks_.emplace([packaged] { (*packaged)(); });
+    queue_depth_.fetch_add(1, std::memory_order_relaxed);
+    PoolMetrics::Get().queue_depth.Add(1);
   }
   cv_.notify_one();
   return future;

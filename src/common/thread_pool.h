@@ -11,8 +11,10 @@
 //    calls fall back to inline execution when invoked from a worker thread.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -32,6 +34,19 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   std::size_t NumThreads() const { return workers_.size(); }
+
+  /// Tasks currently enqueued but not yet picked up by a worker. The
+  /// destructor drains the queue before joining and asserts this is zero.
+  /// Mirrored into the obs registry as the "pool.queue_depth" gauge.
+  std::size_t QueueDepth() const {
+    return queue_depth_.load(std::memory_order_relaxed);
+  }
+
+  /// Total tasks this pool has finished executing ("pool.tasks_executed"
+  /// counter in the obs registry).
+  std::uint64_t TasksExecuted() const {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
 
   /// Enqueue a task; returns a future for its completion.
   std::future<void> Submit(std::function<void()> task);
@@ -54,6 +69,8 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
+  std::atomic<std::size_t> queue_depth_{0};
+  std::atomic<std::uint64_t> tasks_executed_{0};
 };
 
 }  // namespace gaugur::common

@@ -7,12 +7,30 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "obs/metrics.h"
 
 namespace gaugur::gamesim {
 
 using resources::Resource;
 
 namespace {
+
+/// Simulator telemetry: how much fixed-point work the "testbed" performs.
+struct SimMetrics {
+  obs::Counter& solve_calls =
+      obs::Registry::Global().GetCounter("sim.solve_calls");
+  obs::Counter& equilibrium_iters =
+      obs::Registry::Global().GetCounter("sim.equilibrium_iters");
+  obs::Counter& frames_simulated =
+      obs::Registry::Global().GetCounter("sim.frames_simulated");
+  obs::Counter& measurements =
+      obs::Registry::Global().GetCounter("sim.measurements");
+
+  static SimMetrics& Get() {
+    static SimMetrics metrics;
+    return metrics;
+  }
+};
 
 constexpr int kMaxIterations = 200;
 constexpr double kDamping = 0.5;
@@ -74,7 +92,9 @@ std::vector<SessionResult> ServerSim::Solve(
   std::vector<resources::PerResource<double>> eff_occ(n);
   std::vector<double> occ_column(n > 0 ? n - 1 : 0);
 
+  int iters_used = 0;
   for (int iter = 0; iter < kMaxIterations; ++iter) {
+    ++iters_used;
     for (std::size_t j = 0; j < n; ++j) {
       const double scale =
           std::pow(ratio[j], workloads[j].throughput_coupling);
@@ -106,6 +126,11 @@ std::vector<SessionResult> ServerSim::Solve(
     }
     if (max_delta < kConvergenceTol) break;
   }
+  if (obs::Enabled()) {
+    SimMetrics& metrics = SimMetrics::Get();
+    metrics.solve_calls.Add(1);
+    metrics.equilibrium_iters.Add(static_cast<std::uint64_t>(iters_used));
+  }
   for (std::size_t i = 0; i < n; ++i) {
     results[i].rate_ratio = std::min(1.0, results[i].rate / solo_rate[i]);
     results[i].rate = std::min(results[i].rate, solo_rate[i]);
@@ -122,6 +147,7 @@ std::vector<SessionResult> ServerSim::RunAnalytic(
 std::vector<SessionResult> ServerSim::Measure(
     std::span<const WorkloadProfile> workloads, std::uint64_t seed,
     double noise_sigma) const {
+  SimMetrics::Get().measurements.Add(1);
   auto results = RunAnalytic(workloads);
   common::Rng rng(seed);
   for (auto& res : results) {
@@ -138,6 +164,7 @@ std::vector<FrameTimeStats> ServerSim::SimulateFrameTimes(
     std::span<const WorkloadProfile> workloads, int num_frames,
     std::uint64_t seed) const {
   GAUGUR_CHECK(num_frames > 0);
+  SimMetrics::Get().frames_simulated.Add(static_cast<std::uint64_t>(num_frames));
   const std::size_t n = workloads.size();
   common::Rng rng(seed);
 
@@ -174,6 +201,7 @@ std::vector<SessionResult> ServerSim::SimulateFrames(
     std::span<const WorkloadProfile> workloads, int num_frames,
     std::uint64_t seed) const {
   GAUGUR_CHECK(num_frames > 0);
+  SimMetrics::Get().frames_simulated.Add(static_cast<std::uint64_t>(num_frames));
   const std::size_t n = workloads.size();
   common::Rng rng(seed);
 

@@ -5,8 +5,33 @@
 
 #include "common/check.h"
 #include "gamesim/encoder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gaugur::core {
+
+namespace {
+
+/// Lab telemetry: the paper's measurement budget ("a few hundred
+/// colocations", §3.6) made observable — every trip to the machine room
+/// is counted and timed.
+struct LabMetrics {
+  obs::Counter& measurements =
+      obs::Registry::Global().GetCounter("lab.measurements");
+  obs::Counter& true_fps_calls =
+      obs::Registry::Global().GetCounter("lab.true_fps_calls");
+  obs::Counter& frame_time_calls =
+      obs::Registry::Global().GetCounter("lab.frame_time_calls");
+  obs::Histogram& measure_us =
+      obs::Registry::Global().GetHistogram("lab.measure_us");
+
+  static LabMetrics& Get() {
+    static LabMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 std::string ColocationKey(const Colocation& colocation) {
   std::vector<std::pair<int, long long>> parts;
@@ -49,6 +74,9 @@ std::vector<gamesim::WorkloadProfile> ColocationLab::ToWorkloads(
 MeasuredColocation ColocationLab::Measure(const Colocation& colocation,
                                           std::uint64_t seed,
                                           double noise_sigma) const {
+  LabMetrics::Get().measurements.Add(1);
+  obs::ScopedTimer timer(LabMetrics::Get().measure_us);
+  obs::ScopedSpan span("lab.Measure");
   const auto workloads = ToWorkloads(colocation);
   const auto results = server_->Measure(workloads, seed, noise_sigma);
   MeasuredColocation measured;
@@ -60,6 +88,7 @@ MeasuredColocation ColocationLab::Measure(const Colocation& colocation,
 
 std::vector<double> ColocationLab::TrueFps(
     const Colocation& colocation) const {
+  LabMetrics::Get().true_fps_calls.Add(1);
   const auto workloads = ToWorkloads(colocation);
   const auto results = server_->RunAnalytic(workloads);
   std::vector<double> fps;
@@ -74,6 +103,8 @@ double ColocationLab::TrueSoloFps(const SessionRequest& session) const {
 
 std::vector<gamesim::FrameTimeStats> ColocationLab::MeasureFrameTimes(
     const Colocation& colocation, std::uint64_t seed) const {
+  LabMetrics::Get().frame_time_calls.Add(1);
+  obs::ScopedSpan span("lab.MeasureFrameTimes");
   return server_->SimulateFrameTimes(ToWorkloads(colocation),
                                      options_.delay_frames, seed);
 }

@@ -6,10 +6,30 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
 
 namespace gaugur::ml {
 
 namespace {
+
+/// Tree-training telemetry. Split evaluations are accumulated in a plain
+/// local during Fit and flushed once per tree — the split search is far
+/// too hot for per-candidate atomics.
+struct TreeMetrics {
+  obs::Counter& tree_fits =
+      obs::Registry::Global().GetCounter("ml.tree_fits");
+  obs::Counter& split_evaluations =
+      obs::Registry::Global().GetCounter("ml.split_evaluations");
+  obs::Counter& tree_nodes =
+      obs::Registry::Global().GetCounter("ml.tree_nodes");
+  obs::Histogram& tree_fit_us =
+      obs::Registry::Global().GetHistogram("ml.tree_fit_us");
+
+  static TreeMetrics& Get() {
+    static TreeMetrics metrics;
+    return metrics;
+  }
+};
 
 /// Node impurity * count ("weighted impurity"): sum of squared deviations
 /// for MSE; count * gini for classification. Only differences of this
@@ -126,6 +146,8 @@ void TreeModel::Fit(const Dataset& data, std::span<const std::size_t> rows,
                     const LeafValueFn& leaf_value) {
   GAUGUR_CHECK(!rows.empty());
   GAUGUR_CHECK(targets.size() == data.NumRows());
+  obs::ScopedTimer fit_timer(TreeMetrics::Get().tree_fit_us);
+  std::uint64_t split_evals = 0;
   nodes_.clear();
 
   const std::size_t num_features = data.NumFeatures();
@@ -233,6 +255,7 @@ void TreeModel::Fit(const Dataset& data, std::span<const std::size_t> rows,
             right_n < config_.min_samples_leaf) {
           continue;
         }
+        ++split_evals;
         const double impurity =
             WeightedImpurity(config_.criterion, left_sum, left_sum_sq,
                              static_cast<double>(left_n)) +
@@ -268,6 +291,13 @@ void TreeModel::Fit(const Dataset& data, std::span<const std::size_t> rows,
     parent.right = right_idx;
     stack.push_back({left_idx, item.depth + 1, item.begin, mid});
     stack.push_back({right_idx, item.depth + 1, mid, item.end});
+  }
+
+  if (obs::Enabled()) {
+    TreeMetrics& metrics = TreeMetrics::Get();
+    metrics.tree_fits.Add(1);
+    metrics.split_evaluations.Add(split_evals);
+    metrics.tree_nodes.Add(nodes_.size());
   }
 }
 

@@ -7,10 +7,24 @@
 #include "common/check.h"
 #include "common/mathutil.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gaugur::ml {
 
 namespace {
+
+struct BoostMetrics {
+  obs::Counter& stages =
+      obs::Registry::Global().GetCounter("ml.boost_stages");
+  obs::Histogram& stage_us =
+      obs::Registry::Global().GetHistogram("ml.boost_stage_us");
+
+  static BoostMetrics& Get() {
+    static BoostMetrics metrics;
+    return metrics;
+  }
+};
 
 TreeConfig StageTreeConfig(const BoostConfig& config, std::uint64_t seed) {
   TreeConfig tc;
@@ -51,7 +65,10 @@ void GradientBoostedRegressor::Fit(const Dataset& data) {
   stages_.clear();
   stages_.reserve(static_cast<std::size_t>(config_.num_stages));
 
+  obs::ScopedSpan fit_span("ml.GradientBoostedRegressor.Fit");
   for (int stage = 0; stage < config_.num_stages; ++stage) {
+    obs::ScopedTimer stage_timer(BoostMetrics::Get().stage_us);
+    BoostMetrics::Get().stages.Add(1);
     for (std::size_t i = 0; i < n; ++i) {
       residual[i] = data.Target(i) - prediction[i];
     }
@@ -95,7 +112,10 @@ void GradientBoostedClassifier::Fit(const Dataset& data) {
   stages_.clear();
   stages_.reserve(static_cast<std::size_t>(config_.num_stages));
 
+  obs::ScopedSpan fit_span("ml.GradientBoostedClassifier.Fit");
   for (int stage = 0; stage < config_.num_stages; ++stage) {
+    obs::ScopedTimer stage_timer(BoostMetrics::Get().stage_us);
+    BoostMetrics::Get().stages.Add(1);
     for (std::size_t i = 0; i < n; ++i) {
       prob[i] = common::Sigmoid(log_odds[i]);
       gradient[i] = data.Target(i) - prob[i];

@@ -5,6 +5,8 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gaugur::ml {
 
@@ -39,8 +41,12 @@ void FitForest(const Dataset& data, const ForestConfig& config,
       1, static_cast<std::size_t>(config.bootstrap_fraction *
                                   static_cast<double>(n)));
 
+  obs::ScopedSpan fit_span("ml.FitForest");
+  static obs::Counter& forest_trees =
+      obs::Registry::Global().GetCounter("ml.forest_trees_fit");
   trees.assign(static_cast<std::size_t>(config.num_trees), TreeModel{});
   auto fit_one = [&](std::size_t t) {
+    forest_trees.Add(1);
     // Per-tree RNG derived deterministically from the forest seed.
     common::Rng rng(config.seed + 0x9e3779b97f4a7c15ULL * (t + 1));
     std::vector<std::size_t> rows(sample_size);

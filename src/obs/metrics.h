@@ -1,0 +1,325 @@
+// Metrics core: counters, gauges, and fixed-bucket histograms behind a
+// process-wide named registry.
+//
+// Deliberately header-only so the lowest layers (common::ThreadPool lives
+// in gaugur_common, *below* the gaugur_obs library) can record metrics
+// without a dependency cycle. The heavier pieces — tracing, JSON reports —
+// live in gaugur_obs and link the usual way.
+//
+// Concurrency model: every write-side operation is a relaxed atomic on a
+// cache-line-aligned shard picked per thread (round-robin at first touch),
+// so ThreadPool workers hammering the same counter never bounce a line
+// between cores. Reads (Value / Snap) sum the shards; they are O(shards)
+// and intended for end-of-run reporting, not hot loops. All mutators are
+// no-ops while obs::Enabled() is false; that disabled path is a single
+// relaxed load + branch.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/switch.h"
+
+namespace gaugur::obs {
+
+inline constexpr std::size_t kNumShards = 16;
+
+namespace detail {
+
+inline std::size_t ThreadShard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kNumShards;
+  return shard;
+}
+
+struct alignas(64) U64Cell {
+  std::atomic<std::uint64_t> value{0};
+};
+
+struct alignas(64) I64Cell {
+  std::atomic<std::int64_t> value{0};
+};
+
+}  // namespace detail
+
+/// Monotonic event count (tasks executed, measurements taken, ...).
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) {
+    if (!Enabled()) return;
+    shards_[detail::ThreadShard()].value.fetch_add(n,
+                                                   std::memory_order_relaxed);
+  }
+
+  std::uint64_t Value() const {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (auto& s : shards_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  detail::U64Cell shards_[kNumShards];
+};
+
+/// Instantaneous level (queue depth, live servers, ...). Delta-based so
+/// concurrent Add/Sub from different threads stay contention-free; Value
+/// is the sum of all per-shard deltas.
+class Gauge {
+ public:
+  void Add(std::int64_t delta = 1) {
+    if (!Enabled()) return;
+    shards_[detail::ThreadShard()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  void Sub(std::int64_t delta = 1) { Add(-delta); }
+
+  std::int64_t Value() const {
+    std::int64_t total = 0;
+    for (const auto& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (auto& s : shards_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  detail::I64Cell shards_[kNumShards];
+};
+
+/// Percentile estimate from fixed histogram buckets: linear interpolation
+/// inside the bucket containing the q-quantile rank. `bounds` are the
+/// ascending finite upper bounds; `counts` has one extra overflow bucket.
+inline double PercentileFromBuckets(std::span<const double> bounds,
+                                    std::span<const std::uint64_t> counts,
+                                    double q) {
+  q = std::clamp(q, 0.0, 1.0);
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts[i]);
+    if (next >= target || i + 1 == counts.size()) {
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      // The overflow bucket has no finite upper edge; report its lower one.
+      const double hi = i < bounds.size() ? bounds[i] : lo;
+      const double in_bucket = static_cast<double>(counts[i]);
+      const double fraction =
+          in_bucket > 0.0 ? std::clamp((target - cumulative) / in_bucket,
+                                       0.0, 1.0)
+                          : 0.0;
+      return lo + fraction * (hi - lo);
+    }
+    cumulative = next;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+/// Read-side copy of one histogram, detached from the atomics.
+struct HistogramSnapshot {
+  std::vector<double> bounds;          // finite upper bucket edges
+  std::vector<std::uint64_t> counts;   // bounds.size() + 1 (overflow last)
+  double sum = 0.0;
+  std::uint64_t count = 0;
+
+  double Mean() const {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+  double Percentile(double q) const {
+    return PercentileFromBuckets(bounds, counts, q);
+  }
+
+  friend bool operator==(const HistogramSnapshot&,
+                         const HistogramSnapshot&) = default;
+};
+
+/// Fixed-bucket histogram (value distribution; typically microseconds).
+/// Bucket layout is fixed at construction; recording is two relaxed
+/// atomics (bucket count + shard sum).
+class Histogram {
+ public:
+  /// Default 1-2-5 log grid from 1 to 1e7 — sized for microsecond
+  /// latencies from sub-µs predictions up to 10 s offline passes.
+  static std::span<const double> DefaultBounds() {
+    static const std::vector<double> bounds = {
+        1,    2,    5,    10,   20,   50,   100,  200,  500,  1e3, 2e3,
+        5e3,  1e4,  2e4,  5e4,  1e5,  2e5,  5e5,  1e6,  2e6,  5e6, 1e7};
+    return bounds;
+  }
+
+  explicit Histogram(std::span<const double> bounds)
+      : bounds_(bounds.begin(), bounds.end()) {
+    for (auto& shard : shards_) {
+      shard.counts = std::make_unique<std::atomic<std::uint64_t>[]>(
+          bounds_.size() + 1);
+      for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+        shard.counts[i].store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  void Record(double value) {
+    if (!Enabled()) return;
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+    const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+    Shard& shard = shards_[detail::ThreadShard()];
+    shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+    shard.sum.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot Snap() const {
+    HistogramSnapshot snap;
+    snap.bounds = bounds_;
+    snap.counts.assign(bounds_.size() + 1, 0);
+    for (const auto& shard : shards_) {
+      for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+        snap.counts[i] += shard.counts[i].load(std::memory_order_relaxed);
+      }
+      snap.sum += shard.sum.load(std::memory_order_relaxed);
+    }
+    for (std::uint64_t c : snap.counts) snap.count += c;
+    return snap;
+  }
+
+  std::uint64_t Count() const { return Snap().count; }
+  double Mean() const { return Snap().Mean(); }
+  double Percentile(double q) const { return Snap().Percentile(q); }
+
+  void Reset() {
+    for (auto& shard : shards_) {
+      for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+        shard.counts[i].store(0, std::memory_order_relaxed);
+      }
+      shard.sum.store(0.0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> counts;
+    std::atomic<double> sum{0.0};
+  };
+
+  std::vector<double> bounds_;
+  Shard shards_[kNumShards];
+};
+
+/// RAII wall-clock timer feeding a histogram in microseconds. When obs is
+/// disabled at construction the destructor does nothing (no clock reads).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& hist)
+      : hist_(Enabled() ? &hist : nullptr) {
+    if (hist_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (hist_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    hist_->Record(
+        std::chrono::duration<double, std::micro>(elapsed).count());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Full read-side copy of a registry. Round-trips through the run-report
+/// JSON schema (obs/report.h).
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  friend bool operator==(const Snapshot&, const Snapshot&) = default;
+};
+
+/// Named metric registry. Get* lazily creates on first use and returns a
+/// reference that stays valid for the registry's lifetime, so call sites
+/// can cache it in a function-local static. First caller of GetHistogram
+/// fixes the bucket layout for that name.
+class Registry {
+ public:
+  Counter& GetCounter(const std::string& name) {
+    std::lock_guard lock(mutex_);
+    auto& slot = counters_[name];
+    if (slot == nullptr) slot = std::make_unique<Counter>();
+    return *slot;
+  }
+
+  Gauge& GetGauge(const std::string& name) {
+    std::lock_guard lock(mutex_);
+    auto& slot = gauges_[name];
+    if (slot == nullptr) slot = std::make_unique<Gauge>();
+    return *slot;
+  }
+
+  Histogram& GetHistogram(const std::string& name,
+                          std::span<const double> bounds = {}) {
+    std::lock_guard lock(mutex_);
+    auto& slot = histograms_[name];
+    if (slot == nullptr) {
+      slot = std::make_unique<Histogram>(
+          bounds.empty() ? Histogram::DefaultBounds() : bounds);
+    }
+    return *slot;
+  }
+
+  Snapshot Snap() const {
+    std::lock_guard lock(mutex_);
+    Snapshot snap;
+    for (const auto& [name, counter] : counters_) {
+      snap.counters[name] = counter->Value();
+    }
+    for (const auto& [name, gauge] : gauges_) {
+      snap.gauges[name] = gauge->Value();
+    }
+    for (const auto& [name, hist] : histograms_) {
+      snap.histograms[name] = hist->Snap();
+    }
+    return snap;
+  }
+
+  /// Zeroes every metric in place (handles stay valid) — test isolation
+  /// and start-of-run baselines.
+  void Reset() {
+    std::lock_guard lock(mutex_);
+    for (auto& [name, counter] : counters_) counter->Reset();
+    for (auto& [name, gauge] : gauges_) gauge->Reset();
+    for (auto& [name, hist] : histograms_) hist->Reset();
+  }
+
+  static Registry& Global() {
+    static Registry registry;
+    return registry;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace gaugur::obs

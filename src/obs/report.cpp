@@ -1,0 +1,182 @@
+#include "obs/report.h"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/table.h"
+
+namespace gaugur::obs {
+
+namespace {
+
+JsonValue HistogramToJson(const HistogramSnapshot& hist) {
+  JsonObject object;
+  object["count"] = static_cast<unsigned long long>(hist.count);
+  object["sum"] = hist.sum;
+  object["mean"] = hist.Mean();
+  object["p50"] = hist.Percentile(0.50);
+  object["p95"] = hist.Percentile(0.95);
+  object["p99"] = hist.Percentile(0.99);
+  JsonArray buckets;
+  for (std::size_t i = 0; i < hist.counts.size(); ++i) {
+    JsonObject bucket;
+    bucket["le"] = i < hist.bounds.size() ? JsonValue(hist.bounds[i])
+                                          : JsonValue(nullptr);
+    bucket["count"] = static_cast<unsigned long long>(hist.counts[i]);
+    buckets.push_back(JsonValue(std::move(bucket)));
+  }
+  object["buckets"] = JsonValue(std::move(buckets));
+  return JsonValue(std::move(object));
+}
+
+HistogramSnapshot HistogramFromJson(const JsonValue& value) {
+  GAUGUR_CHECK_MSG(value.IsObject(), "histogram entry must be an object");
+  HistogramSnapshot hist;
+  const JsonValue* sum = value.Find("sum");
+  GAUGUR_CHECK_MSG(sum != nullptr && sum->IsNumber(),
+                   "histogram missing numeric 'sum'");
+  hist.sum = sum->AsNumber();
+  const JsonValue* buckets = value.Find("buckets");
+  GAUGUR_CHECK_MSG(buckets != nullptr && buckets->IsArray(),
+                   "histogram missing 'buckets' array");
+  for (const JsonValue& entry : buckets->AsArray()) {
+    const JsonValue* le = entry.Find("le");
+    const JsonValue* count = entry.Find("count");
+    GAUGUR_CHECK_MSG(le != nullptr && count != nullptr && count->IsNumber(),
+                     "bucket must have 'le' and numeric 'count'");
+    if (le->IsNumber()) {
+      hist.bounds.push_back(le->AsNumber());
+    } else {
+      GAUGUR_CHECK_MSG(le->IsNull(), "'le' must be a number or null");
+    }
+    hist.counts.push_back(static_cast<std::uint64_t>(count->AsNumber()));
+  }
+  GAUGUR_CHECK_MSG(hist.counts.size() == hist.bounds.size() + 1,
+                   "exactly one overflow bucket (le: null) required, last");
+  for (std::uint64_t c : hist.counts) hist.count += c;
+  const JsonValue* count = value.Find("count");
+  if (count != nullptr && count->IsNumber()) {
+    GAUGUR_CHECK_MSG(
+        static_cast<std::uint64_t>(count->AsNumber()) == hist.count,
+        "'count' disagrees with the bucket sum");
+  }
+  return hist;
+}
+
+}  // namespace
+
+JsonValue RunReport::ToJson() const {
+  JsonObject doc;
+  doc["schema"] = kRunReportSchema;
+  doc["name"] = name_;
+  JsonObject meta;
+  for (const auto& [key, value] : meta_) meta[key] = value;
+  doc["meta"] = JsonValue(std::move(meta));
+  JsonObject counters;
+  for (const auto& [name, value] : snapshot_.counters) {
+    counters[name] = static_cast<unsigned long long>(value);
+  }
+  doc["counters"] = JsonValue(std::move(counters));
+  JsonObject gauges;
+  for (const auto& [name, value] : snapshot_.gauges) {
+    gauges[name] = static_cast<long long>(value);
+  }
+  doc["gauges"] = JsonValue(std::move(gauges));
+  JsonObject histograms;
+  for (const auto& [name, hist] : snapshot_.histograms) {
+    histograms[name] = HistogramToJson(hist);
+  }
+  doc["histograms"] = JsonValue(std::move(histograms));
+  return JsonValue(std::move(doc));
+}
+
+std::string RunReport::ToJsonString(int indent) const {
+  return ToJson().Dump(indent);
+}
+
+std::string RunReport::ToText() const {
+  std::ostringstream os;
+  Print(os);
+  return os.str();
+}
+
+void RunReport::Print(std::ostream& os) const {
+  common::Table scalars({"metric", "kind", "value"});
+  for (const auto& [name, value] : snapshot_.counters) {
+    scalars.AddRow({name, std::string("counter"),
+                    static_cast<long long>(value)});
+  }
+  for (const auto& [name, value] : snapshot_.gauges) {
+    scalars.AddRow({name, std::string("gauge"),
+                    static_cast<long long>(value)});
+  }
+  if (scalars.NumRows() > 0) {
+    scalars.Print(os, "run report: " + name_);
+  }
+  common::Table hists({"histogram", "count", "mean", "p50", "p95", "p99"},
+                      /*double_precision=*/1);
+  for (const auto& [name, hist] : snapshot_.histograms) {
+    hists.AddRow({name, static_cast<long long>(hist.count), hist.Mean(),
+                  hist.Percentile(0.50), hist.Percentile(0.95),
+                  hist.Percentile(0.99)});
+  }
+  if (hists.NumRows() > 0) {
+    hists.Print(os, "latency histograms (µs)");
+  }
+}
+
+bool RunReport::WriteJson(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << ToJsonString() << '\n';
+  return static_cast<bool>(out);
+}
+
+RunReport RunReport::FromJson(const JsonValue& doc) {
+  GAUGUR_CHECK_MSG(doc.IsObject(), "run report must be a JSON object");
+  const JsonValue* schema = doc.Find("schema");
+  GAUGUR_CHECK_MSG(schema != nullptr && schema->IsString() &&
+                       schema->AsString() == kRunReportSchema,
+                   "unknown run-report schema");
+  const JsonValue* name = doc.Find("name");
+  GAUGUR_CHECK_MSG(name != nullptr && name->IsString(),
+                   "run report missing 'name'");
+
+  Snapshot snapshot;
+  if (const JsonValue* counters = doc.Find("counters")) {
+    GAUGUR_CHECK_MSG(counters->IsObject(), "'counters' must be an object");
+    for (const auto& [key, value] : counters->AsObject()) {
+      GAUGUR_CHECK_MSG(value.IsNumber(), "counter values must be numbers");
+      snapshot.counters[key] = static_cast<std::uint64_t>(value.AsNumber());
+    }
+  }
+  if (const JsonValue* gauges = doc.Find("gauges")) {
+    GAUGUR_CHECK_MSG(gauges->IsObject(), "'gauges' must be an object");
+    for (const auto& [key, value] : gauges->AsObject()) {
+      GAUGUR_CHECK_MSG(value.IsNumber(), "gauge values must be numbers");
+      snapshot.gauges[key] = static_cast<std::int64_t>(value.AsNumber());
+    }
+  }
+  if (const JsonValue* histograms = doc.Find("histograms")) {
+    GAUGUR_CHECK_MSG(histograms->IsObject(),
+                     "'histograms' must be an object");
+    for (const auto& [key, value] : histograms->AsObject()) {
+      snapshot.histograms[key] = HistogramFromJson(value);
+    }
+  }
+
+  RunReport report(name->AsString(), std::move(snapshot));
+  if (const JsonValue* meta = doc.Find("meta")) {
+    GAUGUR_CHECK_MSG(meta->IsObject(), "'meta' must be an object");
+    for (const auto& [key, value] : meta->AsObject()) {
+      GAUGUR_CHECK_MSG(value.IsString(), "meta values must be strings");
+      report.SetMeta(key, value.AsString());
+    }
+  }
+  return report;
+}
+
+}  // namespace gaugur::obs

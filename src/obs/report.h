@@ -1,0 +1,82 @@
+// Structured run reports: a Registry snapshot serialized to JSON (for
+// machines) and aligned text tables (for eyeballs), following the
+// bench_results/ convention of one artifact per run.
+//
+// Documented schema, version "gaugur.obs.run_report/v1":
+//
+//   {
+//     "schema": "gaugur.obs.run_report/v1",
+//     "name": "<run name>",
+//     "meta": {"<key>": "<string value>", ...},
+//     "counters": {"<name>": <uint>, ...},
+//     "gauges": {"<name>": <int>, ...},
+//     "histograms": {
+//       "<name>": {
+//         "count": <uint>, "sum": <double>, "mean": <double>,
+//         "p50": <double>, "p95": <double>, "p99": <double>,
+//         "buckets": [{"le": <double>, "count": <uint>}, ...,
+//                     {"le": null, "count": <uint>}]   // overflow last
+//       }, ...
+//     }
+//   }
+//
+// mean/p50/p95/p99 are derived conveniences; ParseSnapshot reconstructs
+// the snapshot from buckets + sum alone, so a written report round-trips
+// exactly (tests/obs/registry_test.cpp proves it).
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace gaugur::obs {
+
+inline constexpr const char* kRunReportSchema = "gaugur.obs.run_report/v1";
+
+class RunReport {
+ public:
+  RunReport(std::string name, Snapshot snapshot)
+      : name_(std::move(name)), snapshot_(std::move(snapshot)) {}
+
+  /// Captures the global registry as of now.
+  static RunReport Capture(std::string name) {
+    return RunReport(std::move(name), Registry::Global().Snap());
+  }
+
+  const std::string& name() const { return name_; }
+  const Snapshot& snapshot() const { return snapshot_; }
+
+  /// Free-form string metadata (git sha, seed, workload label, ...).
+  void SetMeta(const std::string& key, const std::string& value) {
+    meta_[key] = value;
+  }
+  const std::map<std::string, std::string>& meta() const { return meta_; }
+
+  JsonValue ToJson() const;
+  std::string ToJsonString(int indent = 2) const;
+
+  /// Aligned text tables (via common::Table): one for counters + gauges,
+  /// one for histograms with count/mean/p50/p95/p99 columns.
+  std::string ToText() const;
+  void Print(std::ostream& os) const;
+
+  /// Writes ToJsonString() to `path`; returns false on I/O failure.
+  bool WriteJson(const std::string& path) const;
+
+  /// Inverse of ToJson(). Throws std::logic_error (GAUGUR_CHECK) when the
+  /// document does not match the v1 schema.
+  static RunReport FromJson(const JsonValue& doc);
+  static RunReport FromJsonString(const std::string& text) {
+    return FromJson(JsonValue::Parse(text));
+  }
+
+ private:
+  std::string name_;
+  Snapshot snapshot_;
+  std::map<std::string, std::string> meta_;
+};
+
+}  // namespace gaugur::obs

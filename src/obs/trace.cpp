@@ -1,0 +1,149 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+#include "obs/switch.h"
+
+namespace gaugur::obs {
+
+namespace {
+
+/// Per-thread event buffer. Appends come only from the owning thread; the
+/// mutex exists so Events()/Clear() on another thread can read safely.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::uint32_t tid = 0;
+  std::vector<TraceEvent> events;
+};
+
+thread_local int tls_depth = 0;
+
+}  // namespace
+
+struct Tracer::Impl {
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  std::atomic<bool> tracing{false};
+  std::atomic<std::uint32_t> next_tid{0};
+  std::mutex registry_mutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+
+  ThreadBuffer& LocalBuffer() {
+    thread_local ThreadBuffer* cached = nullptr;
+    if (cached == nullptr) {
+      auto owned = std::make_unique<ThreadBuffer>();
+      owned->tid = next_tid.fetch_add(1, std::memory_order_relaxed);
+      cached = owned.get();
+      std::lock_guard lock(registry_mutex);
+      buffers.push_back(std::move(owned));
+    }
+    return *cached;
+  }
+};
+
+Tracer::Tracer() : impl_(new Impl) {}
+
+Tracer& Tracer::Global() {
+  // Leaked on purpose: worker threads may record during static teardown.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::SetTracing(bool on) {
+  impl_->tracing.store(on, std::memory_order_relaxed);
+}
+
+bool Tracer::TracingOn() const {
+  return impl_->tracing.load(std::memory_order_relaxed);
+}
+
+double Tracer::NowUs() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - impl_->epoch)
+      .count();
+}
+
+void Tracer::Record(TraceEvent event) {
+  ThreadBuffer& buffer = impl_->LocalBuffer();
+  event.tid = buffer.tid;
+  std::lock_guard lock(buffer.mutex);
+  buffer.events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::Events() const {
+  std::vector<TraceEvent> all;
+  std::lock_guard registry_lock(impl_->registry_mutex);
+  for (const auto& buffer : impl_->buffers) {
+    std::lock_guard lock(buffer->mutex);
+    all.insert(all.end(), buffer->events.begin(), buffer->events.end());
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return all;
+}
+
+void Tracer::Clear() {
+  std::lock_guard registry_lock(impl_->registry_mutex);
+  for (const auto& buffer : impl_->buffers) {
+    std::lock_guard lock(buffer->mutex);
+    buffer->events.clear();
+  }
+}
+
+JsonValue Tracer::ToChromeJson() const {
+  JsonArray events;
+  for (const TraceEvent& e : Events()) {
+    JsonObject entry;
+    entry["name"] = e.name;
+    entry["cat"] = "gaugur";
+    entry["ph"] = "X";
+    entry["pid"] = 1;
+    entry["tid"] = static_cast<unsigned long long>(e.tid);
+    entry["ts"] = e.ts_us;
+    entry["dur"] = e.dur_us;
+    entry["args"] = JsonObject{{"depth", e.depth}};
+    events.push_back(JsonValue(std::move(entry)));
+  }
+  JsonObject doc;
+  doc["traceEvents"] = JsonValue(std::move(events));
+  doc["displayTimeUnit"] = "ms";
+  return JsonValue(std::move(doc));
+}
+
+bool Tracer::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << ToChromeJson().Dump(2) << '\n';
+  return static_cast<bool>(out);
+}
+
+ScopedSpan::ScopedSpan(std::string name)
+    : active_(Enabled() && Tracer::Global().TracingOn()) {
+  if (!active_) return;
+  name_ = std::move(name);
+  depth_ = tls_depth++;
+  start_us_ = Tracer::Global().NowUs();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  --tls_depth;
+  Tracer& tracer = Tracer::Global();
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.depth = depth_;
+  event.ts_us = start_us_;
+  event.dur_us = tracer.NowUs() - start_us_;
+  tracer.Record(std::move(event));
+}
+
+int ScopedSpan::CurrentDepth() { return tls_depth; }
+
+}  // namespace gaugur::obs

@@ -1,0 +1,106 @@
+// Scoped wall-clock tracing with Chrome trace_event output.
+//
+// ScopedSpan is an RAII timer: construction stamps a start time, the
+// destructor appends one complete ("ph":"X") event to a per-thread buffer
+// owned by the global Tracer. Nesting falls out naturally — an inner
+// span's [ts, ts+dur] interval lies inside its parent's, which is exactly
+// how chrome://tracing / Perfetto reconstruct flame graphs; we also record
+// the explicit nesting depth for tests and text tooling.
+//
+// Tracing is OFF by default (buffers would otherwise grow for the whole
+// run) and is gated twice: the global obs::Enabled() switch AND
+// Tracer::SetTracing(true). An inactive ScopedSpan costs two relaxed
+// loads and no clock reads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace gaugur::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::uint32_t tid = 0;   // small sequential thread id
+  int depth = 0;           // nesting depth at the time the span opened
+  double ts_us = 0.0;      // start, microseconds since tracer epoch
+  double dur_us = 0.0;     // wall-clock duration, microseconds
+};
+
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Master switch for span collection (independent of obs::Enabled(),
+  /// which gates all observability).
+  void SetTracing(bool on);
+  bool TracingOn() const;
+
+  /// Microseconds since the tracer's epoch (process-lifetime steady clock).
+  double NowUs() const;
+
+  /// Appends one finished event to the calling thread's buffer.
+  void Record(TraceEvent event);
+
+  /// Copies out all recorded events (across threads), ordered by start
+  /// time.
+  std::vector<TraceEvent> Events() const;
+
+  /// Drops all recorded events (buffers stay registered).
+  void Clear();
+
+  /// Chrome trace_event JSON document:
+  /// {"traceEvents":[{"name","cat","ph":"X","pid","tid","ts","dur","args"}]}
+  JsonValue ToChromeJson() const;
+
+  /// Serializes ToChromeJson() to `path`; returns false on I/O failure.
+  bool WriteChromeTrace(const std::string& path) const;
+
+ private:
+  Tracer();
+  struct Impl;
+  Impl* impl_;  // intentionally leaked singleton state (thread-exit safe)
+};
+
+/// RAII span against the global tracer. Active only while both the obs
+/// switch and tracing are on at construction time.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const { return active_; }
+
+  /// Current nesting depth of active spans on this thread.
+  static int CurrentDepth();
+
+ private:
+  bool active_;
+  int depth_ = 0;
+  double start_us_ = 0.0;
+  std::string name_;
+};
+
+/// RAII scope that turns tracing on/off and restores the prior state.
+class TracingScope {
+ public:
+  explicit TracingScope(bool on)
+      : previous_(Tracer::Global().TracingOn()) {
+    Tracer::Global().SetTracing(on);
+  }
+  ~TracingScope() { Tracer::Global().SetTracing(previous_); }
+  TracingScope(const TracingScope&) = delete;
+  TracingScope& operator=(const TracingScope&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace gaugur::obs

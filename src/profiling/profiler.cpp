@@ -8,8 +8,31 @@
 #include "common/stats.h"
 #include "common/thread_pool.h"
 #include "microbench/pressure_bench.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gaugur::profiling {
+
+namespace {
+
+/// Offline-profiling telemetry: the §3.6 O(N) cost claim as live counters.
+struct ProfilerMetrics {
+  obs::Counter& games_profiled =
+      obs::Registry::Global().GetCounter("profile.games_profiled");
+  obs::Counter& curve_points =
+      obs::Registry::Global().GetCounter("profile.curve_points");
+  obs::Counter& solo_measurements =
+      obs::Registry::Global().GetCounter("profile.solo_measurements");
+  obs::Histogram& game_us =
+      obs::Registry::Global().GetHistogram("profile.game_us");
+
+  static ProfilerMetrics& Get() {
+    static ProfilerMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 using gamesim::WorkloadProfile;
 using resources::Resolution;
@@ -35,6 +58,8 @@ double MeasureSoloRate(const gamesim::ServerSim& server,
 }  // namespace
 
 GameProfile Profiler::ProfileGame(const gamesim::Game& game) const {
+  obs::ScopedTimer game_timer(ProfilerMetrics::Get().game_us);
+  obs::ScopedSpan span("profile.ProfileGame");
   common::Rng rng(options_.seed ^
                   (0x517cc1b727220a95ULL * static_cast<std::uint64_t>(
                                                game.id + 1)));
@@ -61,6 +86,7 @@ GameProfile Profiler::ProfileGame(const gamesim::Game& game) const {
   const Resolution res_c = options_.tertiary_res;
   const double solo_c = MeasureSoloRate(
       server_, game.AtResolution(res_c), rng, options_.noise_sigma);
+  ProfilerMetrics::Get().solo_measurements.Add(3);
   profile.solo_fps_points = {{res_a.Megapixels(), solo_a},
                              {res_b.Megapixels(), solo_b},
                              {res_c.Megapixels(), solo_c}};
@@ -115,6 +141,12 @@ GameProfile Profiler::ProfileGame(const gamesim::Game& game) const {
     profile.intensity_ref[r] = intensity_a;
     profile.intensity_model[r] = resources::PixelLinearModel::FromTwoPoints(
         res_a, intensity_a, res_b, intensity_b);
+  }
+  if (obs::Enabled()) {
+    ProfilerMetrics& metrics = ProfilerMetrics::Get();
+    metrics.games_profiled.Add(1);
+    metrics.curve_points.Add(
+        static_cast<std::uint64_t>(resources::kNumResources) * grid.size());
   }
   return profile;
 }

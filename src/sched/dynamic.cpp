@@ -7,6 +7,8 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gaugur::sched {
 
@@ -14,6 +16,24 @@ using core::Colocation;
 using core::SessionRequest;
 
 namespace {
+
+/// Fleet-scheduler telemetry: admission throughput, fleet growth, and the
+/// per-decision latency that bounds request-arrival-time scheduling.
+struct SchedMetrics {
+  obs::Counter& placements =
+      obs::Registry::Global().GetCounter("sched.placements");
+  obs::Counter& powerons =
+      obs::Registry::Global().GetCounter("sched.powerons");
+  obs::Counter& candidates_rejected =
+      obs::Registry::Global().GetCounter("sched.candidates_rejected");
+  obs::Histogram& decision_us =
+      obs::Registry::Global().GetHistogram("sched.decision_us");
+
+  static SchedMetrics& Get() {
+    static SchedMetrics metrics;
+    return metrics;
+  }
+};
 
 struct LiveSession {
   SessionRequest session;
@@ -42,6 +62,7 @@ DynamicResult SimulateDynamicFleet(const core::ColocationLab& lab,
                                    const PlacementPolicy& policy,
                                    const DynamicOptions& options) {
   GAUGUR_CHECK(options.max_sessions_per_server >= 1);
+  obs::ScopedSpan fleet_span("sched.SimulateDynamicFleet");
 
   // Sort arrivals by time (stable for determinism on ties).
   std::vector<std::size_t> order(requests.size());
@@ -89,6 +110,8 @@ DynamicResult SimulateDynamicFleet(const core::ColocationLab& lab,
       server.powered = true;
       server.powered_since = now;
       ++live_servers;
+      ++result.powerons;
+      SchedMetrics::Get().powerons.Add(1);
     }
     result.peak_servers = std::max(result.peak_servers, live_servers);
   };
@@ -132,7 +155,18 @@ DynamicResult SimulateDynamicFleet(const core::ColocationLab& lab,
       open_index.push_back(s);
     }
 
-    const int choice = policy(open_view, request.session);
+    int choice;
+    {
+      obs::ScopedTimer decision_timer(SchedMetrics::Get().decision_us);
+      choice = policy(open_view, request.session);
+    }
+    if (obs::Enabled()) {
+      SchedMetrics& metrics = SchedMetrics::Get();
+      metrics.placements.Add(1);
+      // Open servers the policy was offered but did not pick.
+      metrics.candidates_rejected.Add(open_view.size() -
+                                      (choice >= 0 ? 1 : 0));
+    }
     std::size_t target;
     if (choice < 0) {
       // Reuse a powered-off slot if one exists, else grow the fleet.

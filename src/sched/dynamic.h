@@ -50,6 +50,9 @@ struct DynamicResult {
   /// Sessions whose ground-truth FPS fell below qos_fps during any
   /// interval of their lifetime.
   std::size_t violated_sessions = 0;
+  /// Power-on transitions (each starts one billed server trajectory).
+  /// Always >= peak_servers; mirrored as the "sched.powerons" counter.
+  std::size_t powerons = 0;
 
   double MeanServersInUse(double horizon_min) const {
     return horizon_min > 0.0 ? server_minutes / horizon_min : 0.0;

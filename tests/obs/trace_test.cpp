@@ -1,0 +1,138 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+#include "obs/json.h"
+#include "obs/switch.h"
+
+namespace gaugur::obs {
+namespace {
+
+/// The tracer is a process-global; every test starts from a clean slate.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Tracer::Global().Clear(); }
+  void TearDown() override {
+    Tracer::Global().Clear();
+    Tracer::Global().SetTracing(false);
+  }
+};
+
+const TraceEvent* FindEvent(const std::vector<TraceEvent>& events,
+                            const std::string& name) {
+  const auto it = std::find_if(
+      events.begin(), events.end(),
+      [&](const TraceEvent& e) { return e.name == name; });
+  return it == events.end() ? nullptr : &*it;
+}
+
+TEST_F(TraceTest, NestedSpansRecordDepthAndContainment) {
+  EnabledScope on(true);
+  TracingScope tracing(true);
+  {
+    ScopedSpan outer("outer");
+    EXPECT_EQ(ScopedSpan::CurrentDepth(), 1);
+    {
+      ScopedSpan inner("inner");
+      EXPECT_EQ(ScopedSpan::CurrentDepth(), 2);
+    }
+    EXPECT_EQ(ScopedSpan::CurrentDepth(), 1);
+  }
+  EXPECT_EQ(ScopedSpan::CurrentDepth(), 0);
+
+  const auto events = Tracer::Global().Events();
+  ASSERT_EQ(events.size(), 2u);
+  const TraceEvent* outer = FindEvent(events, "outer");
+  const TraceEvent* inner = FindEvent(events, "inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->depth, 0);
+  EXPECT_EQ(inner->depth, 1);
+  // The inner interval nests inside the outer one (same thread).
+  EXPECT_EQ(inner->tid, outer->tid);
+  EXPECT_GE(inner->ts_us, outer->ts_us);
+  EXPECT_LE(inner->ts_us + inner->dur_us,
+            outer->ts_us + outer->dur_us + 1e-6);
+}
+
+TEST_F(TraceTest, InactiveWhenTracingOff) {
+  EnabledScope on(true);
+  TracingScope tracing(false);
+  {
+    ScopedSpan span("ghost");
+    EXPECT_FALSE(span.active());
+    EXPECT_EQ(ScopedSpan::CurrentDepth(), 0);
+  }
+  EXPECT_TRUE(Tracer::Global().Events().empty());
+}
+
+TEST_F(TraceTest, InactiveWhenObsDisabled) {
+  EnabledScope off(false);
+  TracingScope tracing(true);
+  { ScopedSpan span("ghost"); }
+  EXPECT_TRUE(Tracer::Global().Events().empty());
+}
+
+TEST_F(TraceTest, SpansFromMultipleThreadsAllLand) {
+  EnabledScope on(true);
+  TracingScope tracing(true);
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 100;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        ScopedSpan span("worker");
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto events = Tracer::Global().Events();
+  EXPECT_EQ(events.size(),
+            static_cast<std::size_t>(kThreads) * kSpansPerThread);
+  // Events are returned sorted by start time.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].ts_us, events[i].ts_us);
+  }
+}
+
+TEST_F(TraceTest, ChromeTraceJsonIsValidAndComplete) {
+  EnabledScope on(true);
+  TracingScope tracing(true);
+  {
+    ScopedSpan outer("lab.Measure");
+    ScopedSpan inner("sim.Solve");
+  }
+  const std::string json = Tracer::Global().ToChromeJson().Dump(2);
+
+  // Must parse as JSON and follow the Chrome trace_event format.
+  const JsonValue doc = JsonValue::Parse(json);
+  const JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->IsArray());
+  ASSERT_EQ(events->AsArray().size(), 2u);
+  for (const JsonValue& event : events->AsArray()) {
+    EXPECT_EQ(event.Find("ph")->AsString(), "X");
+    EXPECT_EQ(event.Find("cat")->AsString(), "gaugur");
+    EXPECT_TRUE(event.Find("name")->IsString());
+    EXPECT_TRUE(event.Find("ts")->IsNumber());
+    EXPECT_TRUE(event.Find("dur")->IsNumber());
+    EXPECT_GE(event.Find("dur")->AsNumber(), 0.0);
+    EXPECT_TRUE(event.Find("args")->Find("depth")->IsNumber());
+  }
+}
+
+TEST_F(TraceTest, ClearDropsEvents) {
+  EnabledScope on(true);
+  TracingScope tracing(true);
+  { ScopedSpan span("once"); }
+  EXPECT_EQ(Tracer::Global().Events().size(), 1u);
+  Tracer::Global().Clear();
+  EXPECT_TRUE(Tracer::Global().Events().empty());
+}
+
+}  // namespace
+}  // namespace gaugur::obs

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/switch.h"
 #include "tests/pipeline/world.h"
 
 namespace gaugur::sched {
@@ -93,6 +96,80 @@ TEST(DynamicFleetTest, GroundTruthPolicyAvoidsViolations) {
       SimulateDynamicFleet(world.lab(), trace, MakeDedicatedPolicy());
   EXPECT_LT(result.server_minutes, dedicated.server_minutes);
   EXPECT_EQ(dedicated.violated_sessions, 0u);
+}
+
+TEST(DynamicFleetTest, PoweronsTrackServerTrajectories) {
+  const auto& world = TestWorld::Get();
+  // Dedicated policy on the tiny trace: sessions 1+2 overlap on two
+  // servers, session 3 re-powers an idle one -> 3 trajectory starts.
+  const auto result = SimulateDynamicFleet(world.lab(), TinyTrace(),
+                                           MakeDedicatedPolicy());
+  EXPECT_EQ(result.powerons, 3u);
+  EXPECT_GE(result.powerons, result.peak_servers);
+}
+
+TEST(DynamicFleetTest, SchedulerMetricsConsistentWithResult) {
+  obs::EnabledScope on(true);
+  const auto& world = TestWorld::Get();
+  auto& registry = obs::Registry::Global();
+  const obs::Snapshot before = registry.Snap();
+
+  const auto setup = SelectStudyGames(world.lab(), 6, 60.0, 3);
+  const auto trace = GenerateDynamicTrace(setup.game_ids, 150.0, 0.4,
+                                          25.0, 11);
+  const auto oracle = MakeFirstFeasiblePolicy([&](const Colocation& c) {
+    return world.lab().TrulyFeasible(c, 60.0);
+  });
+  const auto result = SimulateDynamicFleet(world.lab(), trace, oracle);
+
+  const obs::Snapshot after = registry.Snap();
+  const auto counter_delta = [&](const char* name) -> std::uint64_t {
+    const auto it = before.counters.find(name);
+    const std::uint64_t base = it == before.counters.end() ? 0 : it->second;
+    return after.counters.at(name) - base;
+  };
+
+  // Every arrival is exactly one placement decision...
+  EXPECT_EQ(counter_delta("sched.placements"), result.sessions);
+  // ...each power-on transition starts one billed server trajectory...
+  EXPECT_EQ(counter_delta("sched.powerons"), result.powerons);
+  EXPECT_GE(result.powerons, result.peak_servers);
+  // ...and each decision was timed.
+  const auto decision_before = before.histograms.find("sched.decision_us");
+  const std::uint64_t decisions_before =
+      decision_before == before.histograms.end() ? 0
+                                                 : decision_before->second.count;
+  EXPECT_EQ(after.histograms.at("sched.decision_us").count - decisions_before,
+            result.sessions);
+}
+
+TEST(DynamicFleetTest, RegistrySnapshotAfterFullRunRoundTripsJson) {
+  obs::EnabledScope on(true);
+  const auto& world = TestWorld::Get();
+  // A real fleet run on top of the TestWorld (whose construction already
+  // exercised profiling, corpus measurement, and the simulator): the
+  // resulting registry must serialize to valid JSON and round-trip the
+  // documented run-report schema exactly.
+  const auto setup = SelectStudyGames(world.lab(), 6, 60.0, 3);
+  const auto trace = GenerateDynamicTrace(setup.game_ids, 100.0, 0.4,
+                                          20.0, 17);
+  const auto oracle = MakeFirstFeasiblePolicy([&](const Colocation& c) {
+    return world.lab().TrulyFeasible(c, 60.0);
+  });
+  (void)SimulateDynamicFleet(world.lab(), trace, oracle);
+
+  obs::RunReport report = obs::RunReport::Capture("pipeline-dynamic");
+  report.SetMeta("suite", "tests_pipeline");
+  const std::string json = report.ToJsonString();
+  const obs::JsonValue doc = obs::JsonValue::Parse(json);  // valid JSON
+  EXPECT_EQ(doc.Find("schema")->AsString(), obs::kRunReportSchema);
+
+  const obs::RunReport parsed = obs::RunReport::FromJsonString(json);
+  EXPECT_TRUE(parsed.snapshot() == report.snapshot());
+  // The run left real footprints in every layer it touched.
+  EXPECT_GT(parsed.snapshot().counters.at("sched.placements"), 0u);
+  EXPECT_GT(parsed.snapshot().counters.at("lab.true_fps_calls"), 0u);
+  EXPECT_GT(parsed.snapshot().counters.at("sim.solve_calls"), 0u);
 }
 
 TEST(DynamicTraceTest, RespectsHorizonAndGames) {
