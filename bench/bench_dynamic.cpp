@@ -11,12 +11,14 @@
 // This extends the paper's static §5.1 study to the arrival/departure
 // dynamics its motivation describes.
 
+#include <chrono>
 #include <iostream>
 #include <memory>
 
 #include "bench/bench_world.h"
 #include "bench/trained_stack.h"
 #include "common/table.h"
+#include "obs/metrics.h"
 #include "sched/dynamic.h"
 #include "sched/methodology.h"
 #include "sched/study.h"
@@ -28,6 +30,7 @@ int main() {
   constexpr double kHorizonMin = 720.0;  // a 12-hour service day
   const auto& world = bench::BenchWorld::Get();
   const auto& stack = bench::TrainedStack::Get();
+  const auto wall_start = std::chrono::steady_clock::now();
 
   const auto setup = sched::SelectStudyGames(world.lab(), 10, kQos, 5);
   const auto trace = sched::GenerateDynamicTrace(
@@ -46,6 +49,7 @@ int main() {
   common::Table table({"policy", "server-minutes", "mean servers",
                        "peak servers", "violated sessions %"},
                       1);
+  obs::JsonObject policy_counters;
   auto run = [&](const std::string& name,
                  const sched::PlacementPolicy& policy) {
     const auto result =
@@ -55,6 +59,9 @@ int main() {
                   static_cast<long long>(result.peak_servers),
                   100.0 * static_cast<double>(result.violated_sessions) /
                       static_cast<double>(result.sessions)});
+    policy_counters[name + ".server_minutes"] = result.server_minutes;
+    policy_counters[name + ".violated_sessions"] =
+        static_cast<unsigned long long>(result.violated_sessions);
   };
 
   for (const auto& method : methods) {
@@ -72,6 +79,25 @@ int main() {
   table.Print(std::cout,
               "Dynamic fleet: admission policies over a 12-hour trace");
   bench::WriteResultCsv("dynamic_fleet", table);
+
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
+  obs::JsonObject config;
+  config["qos_fps"] = kQos;
+  config["horizon_min"] = kHorizonMin;
+  config["sessions"] = static_cast<unsigned long long>(trace.size());
+  config["fast_mode"] = world.fast_mode();
+  policy_counters["sched.placements"] = static_cast<unsigned long long>(
+      obs::Registry::Global().GetCounter("sched.placements").Value());
+  policy_counters["model_monitor.outcomes_joined"] =
+      static_cast<unsigned long long>(
+          obs::Registry::Global()
+              .GetCounter("model_monitor.outcomes_joined")
+              .Value());
+  bench::WriteBenchJson("dynamic", wall_ms, std::move(config),
+                        std::move(policy_counters));
 
   std::printf(
       "\nColocation admission should approach the oracle's server-minutes "

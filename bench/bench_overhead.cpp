@@ -29,6 +29,9 @@ using namespace gaugur;
 
 namespace {
 
+constexpr int kWarmup = 200;
+constexpr int kIters = 2000;
+
 const core::Colocation& SampleColocation() {
   static const core::Colocation colocation = {
       {0, resources::k1080p}, {17, resources::k720p}, {42, resources::k1440p}};
@@ -133,10 +136,16 @@ void BM_ObsHistogramRecordEnabled(benchmark::State& state) {
 }
 BENCHMARK(BM_ObsHistogramRecordEnabled);
 
+struct OverheadNumbers {
+  double enabled_us = 0.0;
+  double disabled_us = 0.0;
+  double delta_pct = 0.0;
+};
+
 /// The §tentpole acceptance number: mean Measure() latency with the obs
 /// switch on vs off. The disabled path leaves only relaxed-load branches
 /// in the hot code; its overhead must stay under 2%.
-void ReportInstrumentationOverhead() {
+OverheadNumbers ReportInstrumentationOverhead() {
   const auto& world = bench::BenchWorld::Get();
   const auto time_measure_loop = [&](int iters) {
     std::uint64_t seed = 1;
@@ -150,8 +159,6 @@ void ReportInstrumentationOverhead() {
            iters;
   };
 
-  constexpr int kWarmup = 200;
-  constexpr int kIters = 2000;
   double enabled_us = 0.0, disabled_us = 0.0;
   {
     obs::EnabledScope on(true);
@@ -170,6 +177,7 @@ void ReportInstrumentationOverhead() {
       "obs on %.2f µs, obs off %.2f µs, enabled-path delta %+.2f%% "
       "(disabled path is a relaxed-load branch; target < 2%%).\n",
       enabled_us, disabled_us, delta_pct);
+  return {enabled_us, disabled_us, delta_pct};
 }
 
 void BM_ProfileOneGame(benchmark::State& state) {
@@ -204,9 +212,28 @@ int main(int argc, char** argv) {
   // Build the shared world (profiling pass + corpus + trained stack)
   // outside the timed regions.
   bench::TrainedStack::Get();
+  const auto wall_start = std::chrono::steady_clock::now();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  ReportInstrumentationOverhead();
+  const OverheadNumbers overhead = ReportInstrumentationOverhead();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
+
+  obs::JsonObject config;
+  config["warmup_iters"] = kWarmup;
+  config["timed_iters"] = kIters;
+  config["fast_mode"] = bench::BenchWorld::Get().fast_mode();
+  obs::JsonObject counters;
+  counters["measure_enabled_us"] = overhead.enabled_us;
+  counters["measure_disabled_us"] = overhead.disabled_us;
+  counters["enabled_delta_pct"] = overhead.delta_pct;
+  counters["lab_measurements"] = static_cast<unsigned long long>(
+      obs::Registry::Global().GetCounter("lab.measurements").Value());
+  bench::WriteBenchJson("overhead", wall_ms, std::move(config),
+                        std::move(counters));
+
   std::printf(
       "\nSection 3.6: profiling cost is per-game (O(N) over the catalog) "
       "and training needs a few hundred colocations (also O(N)); online "

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 
 #include "common/rng.h"
 #include "common/table.h"
@@ -58,6 +59,26 @@ ml::Dataset BenchWorld::ShuffledSubset(const ml::Dataset& full,
   const std::size_t take = std::min(n, full.NumRows());
   const auto idx = rng.SampleWithoutReplacement(full.NumRows(), take);
   return full.Subset(idx);
+}
+
+void WriteBenchJson(const std::string& name, double wall_ms,
+                    obs::JsonObject config, obs::JsonObject counters) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories("bench_results", ec);
+  obs::JsonObject doc;
+  doc["schema"] = "gaugur.bench.result/v1";
+  doc["name"] = name;
+  doc["wall_ms"] = wall_ms;
+  doc["config"] = obs::JsonValue(std::move(config));
+  doc["counters"] = obs::JsonValue(std::move(counters));
+  const std::string path = "bench_results/BENCH_" + name + ".json";
+  std::ofstream out(path);
+  if (out && (out << obs::JsonValue(std::move(doc)).Dump(2) << '\n')) {
+    std::printf("[json] %s\n", path.c_str());
+  } else {
+    std::printf("[json] FAILED to write %s\n", path.c_str());
+  }
 }
 
 void WriteResultCsv(const std::string& name, const common::Table& table) {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/table.h"
@@ -19,6 +20,7 @@
 #include "gaugur/features.h"
 #include "gaugur/lab.h"
 #include "ml/dataset.h"
+#include "obs/json.h"
 
 namespace gaugur::bench {
 
@@ -64,5 +66,14 @@ class BenchWorld {
 /// Writes `csv` into bench_results/<name>.csv (directory created on
 /// demand); prints the path or a warning.
 void WriteResultCsv(const std::string& name, const common::Table& table);
+
+/// Writes a machine-readable bench summary to
+/// bench_results/BENCH_<name>.json (next to the CSVs), schema
+/// "gaugur.bench.result/v1":
+///   {"schema", "name", "wall_ms", "config": {...}, "counters": {...}}
+/// `config` holds the knobs the run used (QoS, trace size, fast mode);
+/// `counters` the headline numbers CI trend-tracks.
+void WriteBenchJson(const std::string& name, double wall_ms,
+                    obs::JsonObject config, obs::JsonObject counters);
 
 }  // namespace gaugur::bench

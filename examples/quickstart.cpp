@@ -20,7 +20,9 @@
 #include "gaugur/corpus.h"
 #include "gaugur/lab.h"
 #include "gaugur/predictor.h"
+#include "obs/model_monitor.h"
 #include "obs/report.h"
+#include "obs/switch.h"
 #include "profiling/profiler.h"
 
 using namespace gaugur;
@@ -79,6 +81,21 @@ int main() {
                                                           : "infeasible",
               lab.TrulyFeasible(colocation, 60.0) ? "FEASIBLE"
                                                   : "infeasible");
+
+  // Close the loop for the model monitor: report each victim's realized
+  // FPS under the same join key the predictor audited its calls with, so
+  // the run report's model_monitor section carries joined outcomes.
+  if (obs::Enabled()) {
+    for (std::size_t v = 0; v < colocation.size(); ++v) {
+      std::vector<core::SessionRequest> corunners;
+      for (std::size_t j = 0; j < colocation.size(); ++j) {
+        if (j != v) corunners.push_back(colocation[j]);
+      }
+      obs::ModelMonitor::Global().ObserveOutcome(
+          core::ModelJoinKey(colocation[v], corunners), actual[v],
+          /*qos_fps=*/60.0);
+    }
+  }
 
   // 5. Everything above was instrumented; capture the registry as a
   // structured run report.

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -31,5 +32,13 @@ struct MeasuredColocation {
 /// Canonical string key for a colocation (sorted game ids + resolutions);
 /// used for memoizing predictions and ground-truth measurements.
 std::string ColocationKey(const Colocation& colocation);
+
+/// 64-bit join key for one (victim, co-runner set) — order-insensitive in
+/// the co-runners, victim-sensitive. The model monitor (obs) uses it to
+/// join prediction audit records with the realized FPS the simulator
+/// later measures for the same victim in the same colocation. Cheap
+/// enough (~stack-only FNV) for every online prediction.
+std::uint64_t ModelJoinKey(const SessionRequest& victim,
+                           std::span<const SessionRequest> corunners);
 
 }  // namespace gaugur::core

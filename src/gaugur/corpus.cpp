@@ -2,10 +2,28 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gaugur::core {
 
 namespace {
+
+/// Corpus-generation telemetry: how many colocations the offline budget
+/// spent and the realized FPS distribution the models will train on.
+struct CorpusMetrics {
+  obs::Counter& colocations =
+      obs::Registry::Global().GetCounter("corpus.colocations");
+  obs::Counter& sessions =
+      obs::Registry::Global().GetCounter("corpus.sessions");
+  obs::Histogram& measured_fps =
+      obs::Registry::Global().GetHistogram("corpus.measured_fps");
+
+  static CorpusMetrics& Get() {
+    static CorpusMetrics metrics;
+    return metrics;
+  }
+};
 
 Colocation DrawColocation(const ColocationLab& lab, std::size_t size,
                           bool random_resolutions, common::Rng& rng) {
@@ -42,12 +60,18 @@ std::vector<MeasuredColocation> GenerateCorpus(const ColocationLab& lab,
   corpus.reserve(static_cast<std::size_t>(
       options.num_pairs + options.num_triples + options.num_quads));
 
+  obs::ScopedSpan span("core.GenerateCorpus");
   auto generate = [&](int count, std::size_t size) {
     for (int i = 0; i < count; ++i) {
       const Colocation colocation =
           DrawColocation(lab, size, options.random_resolutions, rng);
       corpus.push_back(
           lab.Measure(colocation, rng.Next(), options.noise_sigma));
+      CorpusMetrics::Get().colocations.Add(1);
+      CorpusMetrics::Get().sessions.Add(corpus.back().fps.size());
+      for (double fps : corpus.back().fps) {
+        CorpusMetrics::Get().measured_fps.Record(fps);
+      }
     }
   };
   generate(options.num_pairs, 2);

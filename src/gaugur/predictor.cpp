@@ -1,9 +1,12 @@
 #include "gaugur/predictor.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "common/check.h"
 #include "ml/factory.h"
+#include "obs/model_monitor.h"
+#include "obs/switch.h"
 
 namespace gaugur::core {
 
@@ -22,6 +25,10 @@ void GAugurPredictor::TrainRmOnDataset(const ml::Dataset& dataset) {
   GAUGUR_CHECK(dataset.NumFeatures() == features_->RmDim());
   rm_->Fit(dataset);
   rm_trained_ = true;
+  if (obs::Enabled()) {
+    obs::ModelMonitor::Global().SetReference(obs::ModelKind::kRm,
+                                             BuildFeatureReference(dataset));
+  }
 }
 
 void GAugurPredictor::TrainCm(std::span<const MeasuredColocation> corpus,
@@ -33,21 +40,53 @@ void GAugurPredictor::TrainCmOnDataset(const ml::Dataset& dataset) {
   GAUGUR_CHECK(dataset.NumFeatures() == features_->CmDim());
   cm_->Fit(dataset);
   cm_trained_ = true;
+  if (obs::Enabled()) {
+    obs::ModelMonitor::Global().SetReference(obs::ModelKind::kCm,
+                                             BuildFeatureReference(dataset));
+  }
+}
+
+double GAugurPredictor::RmDegradation(
+    const SessionRequest& victim, std::span<const SessionRequest> corunners,
+    std::vector<double>& x) const {
+  GAUGUR_CHECK_MSG(rm_trained_, "RM not trained");
+  x = features_->RmFeatures(victim, corunners);
+  return std::clamp(rm_->Predict(x), 0.01, 1.0);
+}
+
+void GAugurPredictor::AuditRm(const SessionRequest& victim,
+                              std::span<const SessionRequest> corunners,
+                              std::span<const double> x, double predicted_fps,
+                              double qos_fps, bool decision) const {
+  if (!obs::Enabled()) return;
+  obs::ModelMonitor::Global().RecordPrediction(
+      obs::ModelKind::kRm, ModelJoinKey(victim, corunners), x, predicted_fps,
+      /*threshold=*/qos_fps, decision, qos_fps);
 }
 
 double GAugurPredictor::PredictDegradation(
     const SessionRequest& victim,
     std::span<const SessionRequest> corunners) const {
-  GAUGUR_CHECK_MSG(rm_trained_, "RM not trained");
-  const auto x = features_->RmFeatures(victim, corunners);
-  return std::clamp(rm_->Predict(x), 0.01, 1.0);
+  std::vector<double> x;
+  const double degradation = RmDegradation(victim, corunners, x);
+  // Audited in FPS units (degradation x profiled solo FPS) so the record
+  // joins against realized FPS like every other RM entry.
+  AuditRm(victim, corunners, x,
+          degradation *
+              features_->Profile(victim.game_id).SoloFps(victim.resolution),
+          /*qos_fps=*/0.0, /*decision=*/false);
+  return degradation;
 }
 
 double GAugurPredictor::PredictFps(
     const SessionRequest& victim,
     std::span<const SessionRequest> corunners) const {
-  return PredictDegradation(victim, corunners) *
-         features_->Profile(victim.game_id).SoloFps(victim.resolution);
+  std::vector<double> x;
+  const double fps =
+      RmDegradation(victim, corunners, x) *
+      features_->Profile(victim.game_id).SoloFps(victim.resolution);
+  AuditRm(victim, corunners, x, fps, /*qos_fps=*/0.0, /*decision=*/false);
+  return fps;
 }
 
 bool GAugurPredictor::PredictQosOk(
@@ -55,9 +94,22 @@ bool GAugurPredictor::PredictQosOk(
     std::span<const SessionRequest> corunners) const {
   if (cm_trained_) {
     const auto x = features_->CmFeatures(qos_fps, victim, corunners);
-    return cm_->PredictProb(x) >= config_.cm_decision_threshold;
+    const double prob = cm_->PredictProb(x);
+    const bool feasible = prob >= config_.cm_decision_threshold;
+    if (obs::Enabled()) {
+      obs::ModelMonitor::Global().RecordPrediction(
+          obs::ModelKind::kCm, ModelJoinKey(victim, corunners), x, prob,
+          config_.cm_decision_threshold, feasible, qos_fps);
+    }
+    return feasible;
   }
-  return PredictFps(victim, corunners) >= qos_fps;
+  std::vector<double> x;
+  const double fps =
+      RmDegradation(victim, corunners, x) *
+      features_->Profile(victim.game_id).SoloFps(victim.resolution);
+  const bool feasible = fps >= qos_fps;
+  AuditRm(victim, corunners, x, fps, qos_fps, feasible);
+  return feasible;
 }
 
 bool GAugurPredictor::PredictFeasible(double qos_fps,

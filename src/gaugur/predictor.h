@@ -2,12 +2,18 @@
 // trained classification model (CM) and regression model (RM) behind the
 // queries the schedulers need, answering from profiled features only —
 // never from the simulator's hidden state.
+//
+// When observability is on, every public CM/RM query appends one audit
+// record to obs::ModelMonitor::Global() (keyed by core::ModelJoinKey) and
+// each Train*OnDataset call installs the training set's feature
+// distribution as that model's drift reference.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "gaugur/features.h"
 #include "gaugur/training.h"
@@ -65,6 +71,20 @@ class GAugurPredictor {
   const FeatureBuilder& Features() const { return *features_; }
 
  private:
+  /// Shared RM inference: builds the feature vector into `x` and returns
+  /// the clamped degradation. Each public entry point audits exactly one
+  /// prediction record, so this raw path never records.
+  double RmDegradation(const SessionRequest& victim,
+                       std::span<const SessionRequest> corunners,
+                       std::vector<double>& x) const;
+
+  /// Appends one RM audit record to the global model monitor (no-op while
+  /// obs is disabled). `qos_fps` is 0 for raw FPS queries.
+  void AuditRm(const SessionRequest& victim,
+               std::span<const SessionRequest> corunners,
+               std::span<const double> x, double predicted_fps,
+               double qos_fps, bool decision) const;
+
   const FeatureBuilder* features_;
   PredictorConfig config_;
   std::unique_ptr<ml::Regressor> rm_;

@@ -1,6 +1,8 @@
 #include "gaugur/training.h"
 
 #include <algorithm>
+#include <string>
+#include <vector>
 
 #include "common/check.h"
 
@@ -71,6 +73,57 @@ ml::Dataset BuildCmDatasetMultiQos(const FeatureBuilder& features,
     dataset.Append(at_qos);
   }
   return dataset;
+}
+
+obs::FeatureReference BuildFeatureReference(const ml::Dataset& dataset,
+                                            std::size_t bins) {
+  GAUGUR_CHECK(bins >= 2);
+  obs::FeatureReference reference;
+  const std::size_t rows = dataset.NumRows();
+  reference.samples = rows;
+  for (std::size_t f = 0; f < dataset.NumFeatures(); ++f) {
+    reference.names.push_back(f < dataset.FeatureNames().size()
+                                  ? dataset.FeatureNames()[f]
+                                  : "f" + std::to_string(f));
+
+    std::vector<double> column;
+    column.reserve(rows);
+    for (std::size_t i = 0; i < rows; ++i) column.push_back(dataset.Row(i)[f]);
+    std::sort(column.begin(), column.end());
+
+    // Interior quantile edges; deduplicated, so a near-constant column
+    // collapses to one wide bin instead of many empty ones.
+    std::vector<double> edges;
+    for (std::size_t b = 1; b < bins && rows > 0; ++b) {
+      const std::size_t index =
+          std::min(rows - 1, static_cast<std::size_t>(
+                                 static_cast<double>(b) *
+                                 static_cast<double>(rows) /
+                                 static_cast<double>(bins)));
+      const double edge = column[index];
+      // An edge must strictly split the column: above the minimum and above
+      // the previous edge, else it would only mint empty bins.
+      const double floor = edges.empty() ? column.front() : edges.back();
+      if (edge > floor) edges.push_back(edge);
+    }
+    reference.edges.push_back(edges);
+    reference.probs.emplace_back(edges.size() + 1, 0.0);
+  }
+  // Bin the training rows with the exact Bin() the monitor uses online, so
+  // reference proportions and online counts share the layout by
+  // construction.
+  for (std::size_t i = 0; i < rows; ++i) {
+    const auto row = dataset.Row(i);
+    for (std::size_t f = 0; f < dataset.NumFeatures(); ++f) {
+      reference.probs[f][reference.Bin(f, row[f])] += 1.0;
+    }
+  }
+  if (rows > 0) {
+    for (auto& probs : reference.probs) {
+      for (double& p : probs) p /= static_cast<double>(rows);
+    }
+  }
+  return reference;
 }
 
 }  // namespace gaugur::core

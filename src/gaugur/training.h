@@ -8,10 +8,12 @@
 // Eq. 2 linear model) — predictors only ever see profiled quantities.
 #pragma once
 
+#include <cstddef>
 #include <span>
 
 #include "gaugur/features.h"
 #include "ml/dataset.h"
+#include "obs/model_monitor.h"
 
 namespace gaugur::core {
 
@@ -36,5 +38,12 @@ ml::Dataset BuildCmDatasetMultiQos(const FeatureBuilder& features,
 /// clamped into (0, 1].
 double DegradationTarget(const FeatureBuilder& features,
                          const SessionRequest& victim, double measured_fps);
+
+/// Fit-time feature-distribution snapshot for the model monitor's PSI
+/// drift detection: per-feature quantile bin edges over the training
+/// columns plus the reference proportion of training rows in each bin.
+/// Columns with few distinct values get fewer (deduplicated) edges.
+obs::FeatureReference BuildFeatureReference(const ml::Dataset& dataset,
+                                            std::size_t bins = 10);
 
 }  // namespace gaugur::core

@@ -166,6 +166,22 @@ class Histogram {
     return bounds;
   }
 
+  /// Log-scale (exponential) bucket layout: `count` bounds starting at
+  /// `start`, each `factor` times the previous. The fixed linear grids
+  /// clip the long tail of e.g. scheduler decision latency; a geometric
+  /// grid keeps relative resolution constant across decades.
+  static std::vector<double> ExponentialBounds(double start, double factor,
+                                               std::size_t count) {
+    std::vector<double> bounds;
+    bounds.reserve(count);
+    double edge = start;
+    for (std::size_t i = 0; i < count; ++i) {
+      bounds.push_back(edge);
+      edge *= factor;
+    }
+    return bounds;
+  }
+
   explicit Histogram(std::span<const double> bounds)
       : bounds_(bounds.begin(), bounds.end()) {
     for (auto& shard : shards_) {

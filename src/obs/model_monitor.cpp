@@ -1,0 +1,682 @@
+#include "obs/model_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace gaugur::obs {
+
+namespace {
+
+/// Live registry mirrors of the monitor's tallies, so dashboards that
+/// only scrape the metric registry still see model health.
+struct MonitorMetrics {
+  Counter& predictions =
+      Registry::Global().GetCounter("model_monitor.predictions");
+  Counter& outcomes_joined =
+      Registry::Global().GetCounter("model_monitor.outcomes_joined");
+  Counter& observations_unmatched =
+      Registry::Global().GetCounter("model_monitor.observations_unmatched");
+  Counter& evicted_pending =
+      Registry::Global().GetCounter("model_monitor.evicted_pending");
+  Counter& drift_alerts =
+      Registry::Global().GetCounter("model_monitor.drift_alerts");
+  Counter& attr_cm_false_positive =
+      Registry::Global().GetCounter("model_monitor.attr_cm_false_positive");
+  Counter& attr_rm_overestimate =
+      Registry::Global().GetCounter("model_monitor.attr_rm_overestimate");
+  Counter& attr_capacity_pressure =
+      Registry::Global().GetCounter("model_monitor.attr_capacity_pressure");
+  Gauge& cm_precision_bp =
+      Registry::Global().GetGauge("model_monitor.cm_precision_bp");
+  Gauge& cm_recall_bp =
+      Registry::Global().GetGauge("model_monitor.cm_recall_bp");
+  Gauge& cm_fpr_bp = Registry::Global().GetGauge("model_monitor.cm_fpr_bp");
+  Gauge& rm_mae_milli_fps =
+      Registry::Global().GetGauge("model_monitor.rm_mae_milli_fps");
+  Histogram& rm_abs_error_fps = Registry::Global().GetHistogram(
+      "model_monitor.rm_abs_error_fps",
+      Histogram::ExponentialBounds(0.125, 2.0, 14));  // 0.125 .. 1024 FPS
+
+  static MonitorMetrics& Get() {
+    static MonitorMetrics metrics;
+    return metrics;
+  }
+};
+
+/// Gauges are delta-based; "set to value" is an add of the difference.
+/// Callers serialize through the monitor mutex, so the read-modify-write
+/// does not race with itself.
+void SetGauge(Gauge& gauge, std::int64_t value) {
+  gauge.Add(value - gauge.Value());
+}
+
+double SafeRatio(std::uint64_t num, std::uint64_t denom) {
+  return denom == 0 ? 0.0
+                    : static_cast<double>(num) / static_cast<double>(denom);
+}
+
+std::uint64_t AsU64(const JsonValue* value) {
+  GAUGUR_CHECK_MSG(value != nullptr && value->IsNumber(),
+                   "model_monitor: expected a numeric field");
+  return static_cast<std::uint64_t>(value->AsNumber());
+}
+
+double AsF64(const JsonValue* value) {
+  GAUGUR_CHECK_MSG(value != nullptr && value->IsNumber(),
+                   "model_monitor: expected a numeric field");
+  return value->AsNumber();
+}
+
+bool AsBool(const JsonValue* value) {
+  GAUGUR_CHECK_MSG(value != nullptr && value->IsBool(),
+                   "model_monitor: expected a boolean field");
+  return value->AsBool();
+}
+
+const std::string& AsString(const JsonValue* value) {
+  GAUGUR_CHECK_MSG(value != nullptr && value->IsString(),
+                   "model_monitor: expected a string field");
+  return value->AsString();
+}
+
+JsonValue DriftToJson(const DriftSummary& drift) {
+  JsonObject object;
+  object["has_reference"] = drift.has_reference;
+  object["reference_samples"] =
+      static_cast<unsigned long long>(drift.reference_samples);
+  object["online_samples"] =
+      static_cast<unsigned long long>(drift.online_samples);
+  object["max_psi"] = drift.max_psi;
+  object["features_over_threshold"] =
+      static_cast<unsigned long long>(drift.features_over_threshold);
+  JsonArray features;
+  for (const PsiEntry& entry : drift.features) {
+    JsonObject feature;
+    feature["feature"] = entry.feature;
+    feature["psi"] = entry.psi;
+    feature["alert"] = entry.alert;
+    features.push_back(JsonValue(std::move(feature)));
+  }
+  object["features"] = JsonValue(std::move(features));
+  return JsonValue(std::move(object));
+}
+
+DriftSummary DriftFromJson(const JsonValue& value) {
+  GAUGUR_CHECK_MSG(value.IsObject(), "drift section must be an object");
+  DriftSummary drift;
+  drift.has_reference = AsBool(value.Find("has_reference"));
+  drift.reference_samples = AsU64(value.Find("reference_samples"));
+  drift.online_samples = AsU64(value.Find("online_samples"));
+  drift.max_psi = AsF64(value.Find("max_psi"));
+  drift.features_over_threshold =
+      AsU64(value.Find("features_over_threshold"));
+  const JsonValue* features = value.Find("features");
+  GAUGUR_CHECK_MSG(features != nullptr && features->IsArray(),
+                   "drift section missing 'features' array");
+  for (const JsonValue& entry : features->AsArray()) {
+    PsiEntry psi;
+    psi.feature = AsString(entry.Find("feature"));
+    psi.psi = AsF64(entry.Find("psi"));
+    psi.alert = AsBool(entry.Find("alert"));
+    drift.features.push_back(std::move(psi));
+  }
+  return drift;
+}
+
+}  // namespace
+
+std::uint64_t FeatureDigest(std::span<const double> features) {
+  // FNV-1a over the IEEE-754 bit patterns.
+  std::uint64_t hash = 1469598103934665603ull;
+  for (double value : features) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (bits >> (8 * byte)) & 0xffull;
+      hash *= 1099511628211ull;
+    }
+  }
+  return hash;
+}
+
+double PopulationStabilityIndex(std::span<const double> reference_probs,
+                                std::span<const std::uint64_t> online_counts) {
+  GAUGUR_CHECK(reference_probs.size() == online_counts.size());
+  std::uint64_t total = 0;
+  for (std::uint64_t c : online_counts) total += c;
+  if (total == 0) return 0.0;
+  // Classic proportion floor keeps empty bins finite.
+  constexpr double kFloor = 1e-4;
+  double psi = 0.0;
+  for (std::size_t i = 0; i < reference_probs.size(); ++i) {
+    const double online = std::max(
+        kFloor, static_cast<double>(online_counts[i]) /
+                    static_cast<double>(total));
+    const double reference = std::max(kFloor, reference_probs[i]);
+    psi += (online - reference) * std::log(online / reference);
+  }
+  return psi;
+}
+
+std::size_t FeatureReference::Bin(std::size_t f, double value) const {
+  const std::vector<double>& feature_edges = edges[f];
+  return static_cast<std::size_t>(
+      std::upper_bound(feature_edges.begin(), feature_edges.end(), value) -
+      feature_edges.begin());
+}
+
+JsonValue FeatureReference::ToJson() const {
+  JsonObject object;
+  object["samples"] = static_cast<unsigned long long>(samples);
+  JsonArray features;
+  for (std::size_t f = 0; f < names.size(); ++f) {
+    JsonObject feature;
+    feature["name"] = names[f];
+    JsonArray edge_values;
+    for (double edge : edges[f]) edge_values.push_back(JsonValue(edge));
+    feature["edges"] = JsonValue(std::move(edge_values));
+    JsonArray prob_values;
+    for (double prob : probs[f]) prob_values.push_back(JsonValue(prob));
+    feature["probs"] = JsonValue(std::move(prob_values));
+    features.push_back(JsonValue(std::move(feature)));
+  }
+  object["features"] = JsonValue(std::move(features));
+  return JsonValue(std::move(object));
+}
+
+FeatureReference FeatureReference::FromJson(const JsonValue& doc) {
+  GAUGUR_CHECK_MSG(doc.IsObject(), "feature reference must be an object");
+  FeatureReference reference;
+  reference.samples = AsU64(doc.Find("samples"));
+  const JsonValue* features = doc.Find("features");
+  GAUGUR_CHECK_MSG(features != nullptr && features->IsArray(),
+                   "feature reference missing 'features' array");
+  for (const JsonValue& entry : features->AsArray()) {
+    reference.names.push_back(AsString(entry.Find("name")));
+    const JsonValue* edge_values = entry.Find("edges");
+    const JsonValue* prob_values = entry.Find("probs");
+    GAUGUR_CHECK_MSG(edge_values != nullptr && edge_values->IsArray() &&
+                         prob_values != nullptr && prob_values->IsArray(),
+                     "feature entry missing 'edges'/'probs' arrays");
+    std::vector<double> edges;
+    for (const JsonValue& edge : edge_values->AsArray()) {
+      edges.push_back(edge.AsNumber());
+    }
+    std::vector<double> probs;
+    for (const JsonValue& prob : prob_values->AsArray()) {
+      probs.push_back(prob.AsNumber());
+    }
+    GAUGUR_CHECK_MSG(probs.size() == edges.size() + 1,
+                     "feature entry needs edges.size() + 1 probs");
+    reference.edges.push_back(std::move(edges));
+    reference.probs.push_back(std::move(probs));
+  }
+  return reference;
+}
+
+JsonValue ModelMonitorSummary::ToJson() const {
+  JsonObject cm;
+  cm["predictions"] = static_cast<unsigned long long>(cm_predictions);
+  cm["tp"] = static_cast<unsigned long long>(cm_tp);
+  cm["fp"] = static_cast<unsigned long long>(cm_fp);
+  cm["tn"] = static_cast<unsigned long long>(cm_tn);
+  cm["fn"] = static_cast<unsigned long long>(cm_fn);
+  cm["precision"] = cm_precision;
+  cm["recall"] = cm_recall;
+  cm["fpr"] = cm_fpr;
+  cm["accuracy"] = cm_accuracy;
+  JsonArray calibration;
+  for (const CalibrationBin& bin : cm_calibration) {
+    JsonObject entry;
+    entry["lo"] = bin.lo;
+    entry["hi"] = bin.hi;
+    entry["count"] = static_cast<unsigned long long>(bin.count);
+    entry["mean_predicted"] = bin.mean_predicted;
+    entry["observed_rate"] = bin.observed_rate;
+    calibration.push_back(JsonValue(std::move(entry)));
+  }
+  cm["calibration"] = JsonValue(std::move(calibration));
+  cm["drift"] = DriftToJson(cm_drift);
+
+  JsonObject rm;
+  rm["predictions"] = static_cast<unsigned long long>(rm_predictions);
+  rm["outcomes"] = static_cast<unsigned long long>(rm_outcomes);
+  rm["mae_fps"] = rm_mae_fps;
+  rm["p95_abs_error_fps"] = rm_p95_abs_error_fps;
+  rm["bias_fps"] = rm_bias_fps;
+  rm["drift"] = DriftToJson(rm_drift);
+
+  JsonObject stream;
+  stream["outcomes_joined"] =
+      static_cast<unsigned long long>(outcomes_joined);
+  stream["observations_unmatched"] =
+      static_cast<unsigned long long>(observations_unmatched);
+  stream["evicted_pending"] =
+      static_cast<unsigned long long>(evicted_pending);
+  stream["window"] = static_cast<unsigned long long>(window);
+
+  JsonObject attribution;
+  attribution["cm_false_positive"] =
+      static_cast<unsigned long long>(attr_cm_false_positive);
+  attribution["rm_overestimate"] =
+      static_cast<unsigned long long>(attr_rm_overestimate);
+  attribution["capacity_pressure"] =
+      static_cast<unsigned long long>(attr_capacity_pressure);
+
+  JsonObject doc;
+  doc["cm"] = JsonValue(std::move(cm));
+  doc["rm"] = JsonValue(std::move(rm));
+  doc["stream"] = JsonValue(std::move(stream));
+  doc["attribution"] = JsonValue(std::move(attribution));
+  return JsonValue(std::move(doc));
+}
+
+ModelMonitorSummary ModelMonitorSummary::FromJson(const JsonValue& doc) {
+  GAUGUR_CHECK_MSG(doc.IsObject(),
+                   "model_monitor section must be a JSON object");
+  ModelMonitorSummary summary;
+
+  const JsonValue* cm = doc.Find("cm");
+  GAUGUR_CHECK_MSG(cm != nullptr && cm->IsObject(),
+                   "model_monitor missing 'cm' object");
+  summary.cm_predictions = AsU64(cm->Find("predictions"));
+  summary.cm_tp = AsU64(cm->Find("tp"));
+  summary.cm_fp = AsU64(cm->Find("fp"));
+  summary.cm_tn = AsU64(cm->Find("tn"));
+  summary.cm_fn = AsU64(cm->Find("fn"));
+  summary.cm_precision = AsF64(cm->Find("precision"));
+  summary.cm_recall = AsF64(cm->Find("recall"));
+  summary.cm_fpr = AsF64(cm->Find("fpr"));
+  summary.cm_accuracy = AsF64(cm->Find("accuracy"));
+  const JsonValue* calibration = cm->Find("calibration");
+  GAUGUR_CHECK_MSG(calibration != nullptr && calibration->IsArray(),
+                   "model_monitor 'cm' missing 'calibration' array");
+  for (const JsonValue& entry : calibration->AsArray()) {
+    CalibrationBin bin;
+    bin.lo = AsF64(entry.Find("lo"));
+    bin.hi = AsF64(entry.Find("hi"));
+    bin.count = AsU64(entry.Find("count"));
+    bin.mean_predicted = AsF64(entry.Find("mean_predicted"));
+    bin.observed_rate = AsF64(entry.Find("observed_rate"));
+    summary.cm_calibration.push_back(bin);
+  }
+  const JsonValue* cm_drift = cm->Find("drift");
+  GAUGUR_CHECK_MSG(cm_drift != nullptr, "model_monitor 'cm' missing 'drift'");
+  summary.cm_drift = DriftFromJson(*cm_drift);
+
+  const JsonValue* rm = doc.Find("rm");
+  GAUGUR_CHECK_MSG(rm != nullptr && rm->IsObject(),
+                   "model_monitor missing 'rm' object");
+  summary.rm_predictions = AsU64(rm->Find("predictions"));
+  summary.rm_outcomes = AsU64(rm->Find("outcomes"));
+  summary.rm_mae_fps = AsF64(rm->Find("mae_fps"));
+  summary.rm_p95_abs_error_fps = AsF64(rm->Find("p95_abs_error_fps"));
+  summary.rm_bias_fps = AsF64(rm->Find("bias_fps"));
+  const JsonValue* rm_drift = rm->Find("drift");
+  GAUGUR_CHECK_MSG(rm_drift != nullptr, "model_monitor 'rm' missing 'drift'");
+  summary.rm_drift = DriftFromJson(*rm_drift);
+
+  const JsonValue* stream = doc.Find("stream");
+  GAUGUR_CHECK_MSG(stream != nullptr && stream->IsObject(),
+                   "model_monitor missing 'stream' object");
+  summary.outcomes_joined = AsU64(stream->Find("outcomes_joined"));
+  summary.observations_unmatched =
+      AsU64(stream->Find("observations_unmatched"));
+  summary.evicted_pending = AsU64(stream->Find("evicted_pending"));
+  summary.window = AsU64(stream->Find("window"));
+
+  const JsonValue* attribution = doc.Find("attribution");
+  GAUGUR_CHECK_MSG(attribution != nullptr && attribution->IsObject(),
+                   "model_monitor missing 'attribution' object");
+  summary.attr_cm_false_positive =
+      AsU64(attribution->Find("cm_false_positive"));
+  summary.attr_rm_overestimate =
+      AsU64(attribution->Find("rm_overestimate"));
+  summary.attr_capacity_pressure =
+      AsU64(attribution->Find("capacity_pressure"));
+  return summary;
+}
+
+void ModelMonitor::DriftState::ResetOnline() {
+  counts.assign(reference.NumFeatures(), {});
+  for (std::size_t f = 0; f < reference.NumFeatures(); ++f) {
+    counts[f].assign(reference.probs[f].size(), 0);
+  }
+  alerted.assign(reference.NumFeatures(), false);
+  samples = 0;
+}
+
+ModelMonitor::ModelMonitor(ModelMonitorConfig config) {
+  Configure(std::move(config));
+}
+
+ModelMonitor& ModelMonitor::Global() {
+  static ModelMonitor* monitor = new ModelMonitor();  // thread-exit safe
+  return *monitor;
+}
+
+void ModelMonitor::Configure(ModelMonitorConfig config) {
+  GAUGUR_CHECK(config.ring_capacity >= 1);
+  GAUGUR_CHECK(config.window >= 1);
+  GAUGUR_CHECK(config.calibration_bins >= 1);
+  GAUGUR_CHECK(config.drift_check_interval >= 1);
+  std::lock_guard lock(mutex_);
+  config_ = std::move(config);
+  ring_.assign(config_.ring_capacity, Slot{});
+  ring_head_ = 0;
+  next_id_ = 0;
+  pending_.clear();
+  window_.clear();
+  cm_tp_ = cm_fp_ = cm_tn_ = cm_fn_ = 0;
+  rm_outcomes_ = 0;
+  rm_sum_abs_err_ = rm_sum_signed_err_ = 0.0;
+  for (DriftState& state : drift_) {
+    state.reference = FeatureReference{};
+    state.ResetOnline();
+  }
+  cm_predictions_ = rm_predictions_ = 0;
+  outcomes_joined_ = observations_unmatched_ = evicted_pending_ = 0;
+  attr_cm_false_positive_ = attr_rm_overestimate_ = 0;
+  attr_capacity_pressure_ = 0;
+  drift_alert_events_ = 0;
+}
+
+void ModelMonitor::Reset() { Configure(config_); }
+
+void ModelMonitor::SetReference(ModelKind kind, FeatureReference reference) {
+  std::lock_guard lock(mutex_);
+  DriftState& state = drift_[static_cast<std::size_t>(kind)];
+  state.reference = std::move(reference);
+  state.ResetOnline();
+}
+
+FeatureReference ModelMonitor::Reference(ModelKind kind) const {
+  std::lock_guard lock(mutex_);
+  return drift_[static_cast<std::size_t>(kind)].reference;
+}
+
+bool ModelMonitor::HasData() const {
+  std::lock_guard lock(mutex_);
+  return cm_predictions_ + rm_predictions_ > 0;
+}
+
+void ModelMonitor::RecordPrediction(ModelKind kind, std::uint64_t join_key,
+                                    std::span<const double> features,
+                                    double predicted, double threshold,
+                                    bool decision, double qos_fps) {
+  if (!Enabled()) return;
+  std::lock_guard lock(mutex_);
+  Slot& slot = ring_[ring_head_];
+  if (slot.used && slot.pending) EvictLocked(ring_head_);
+
+  slot.used = true;
+  slot.pending = true;
+  slot.record = PredictionRecord{next_id_++,  kind,     join_key,
+                                 FeatureDigest(features), predicted,
+                                 threshold,   decision, qos_fps};
+  pending_[join_key].push_back(ring_head_);
+  ring_head_ = (ring_head_ + 1) % ring_.size();
+
+  if (kind == ModelKind::kCm) {
+    ++cm_predictions_;
+  } else {
+    ++rm_predictions_;
+  }
+  MonitorMetrics::Get().predictions.Add(1);
+
+  DriftState& state = drift_[static_cast<std::size_t>(kind)];
+  if (!state.reference.Empty() &&
+      features.size() == state.reference.NumFeatures()) {
+    for (std::size_t f = 0; f < features.size(); ++f) {
+      ++state.counts[f][state.reference.Bin(f, features[f])];
+    }
+    ++state.samples;
+    if (state.samples % config_.drift_check_interval == 0) {
+      EvaluateDriftLocked(state);
+    }
+  }
+}
+
+void ModelMonitor::ObserveOutcome(std::uint64_t join_key,
+                                  double realized_fps, double qos_fps) {
+  if (!Enabled()) return;
+  std::lock_guard lock(mutex_);
+  const auto it = pending_.find(join_key);
+  if (it == pending_.end() || it->second.empty()) {
+    ++observations_unmatched_;
+    MonitorMetrics::Get().observations_unmatched.Add(1);
+    // A violated colocation the models never approved: the fleet is under
+    // capacity pressure, not misled by a prediction. Only meaningful once
+    // the monitor has seen predictions at all (otherwise every baseline
+    // policy's violation would land here).
+    if (qos_fps > 0.0 && realized_fps < qos_fps &&
+        cm_predictions_ + rm_predictions_ > 0) {
+      ++attr_capacity_pressure_;
+      MonitorMetrics::Get().attr_capacity_pressure.Add(1);
+    }
+    return;
+  }
+  const std::vector<std::size_t> slots = std::move(it->second);
+  pending_.erase(it);
+  for (std::size_t slot_index : slots) {
+    ring_[slot_index].pending = false;
+    JoinLocked(slot_index, realized_fps);
+  }
+  UpdateQualityGaugesLocked();
+}
+
+void ModelMonitor::JoinLocked(std::size_t slot_index, double realized_fps) {
+  const PredictionRecord& record = ring_[slot_index].record;
+  OutcomeRecord outcome;
+  outcome.prediction = record;
+  outcome.realized_fps = realized_fps;
+  outcome.violated = record.qos_fps > 0.0 && realized_fps < record.qos_fps;
+
+  ++outcomes_joined_;
+  MonitorMetrics::Get().outcomes_joined.Add(1);
+
+  // QoS-violation attribution: the model said "feasible" and the player
+  // still dipped below the floor — a model miss.
+  if (outcome.violated && record.decision) {
+    if (record.kind == ModelKind::kCm) {
+      ++attr_cm_false_positive_;
+      MonitorMetrics::Get().attr_cm_false_positive.Add(1);
+    } else {
+      ++attr_rm_overestimate_;
+      MonitorMetrics::Get().attr_rm_overestimate.Add(1);
+    }
+  }
+  if (record.kind == ModelKind::kRm) {
+    MonitorMetrics::Get().rm_abs_error_fps.Record(
+        std::abs(record.predicted - realized_fps));
+  }
+  PushOutcomeLocked(std::move(outcome));
+}
+
+void ModelMonitor::EvictLocked(std::size_t slot_index) {
+  const std::uint64_t key = ring_[slot_index].record.join_key;
+  const auto it = pending_.find(key);
+  if (it != pending_.end()) {
+    auto& slots = it->second;
+    slots.erase(std::remove(slots.begin(), slots.end(), slot_index),
+                slots.end());
+    if (slots.empty()) pending_.erase(it);
+  }
+  ring_[slot_index].pending = false;
+  ++evicted_pending_;
+  MonitorMetrics::Get().evicted_pending.Add(1);
+}
+
+void ModelMonitor::PushOutcomeLocked(OutcomeRecord outcome) {
+  const auto apply = [this](const OutcomeRecord& o, std::int64_t sign) {
+    const PredictionRecord& p = o.prediction;
+    if (p.kind == ModelKind::kCm && p.qos_fps > 0.0) {
+      const bool label = o.realized_fps >= p.qos_fps;
+      std::uint64_t& cell = p.decision ? (label ? cm_tp_ : cm_fp_)
+                                       : (label ? cm_fn_ : cm_tn_);
+      cell += static_cast<std::uint64_t>(sign);
+    } else if (p.kind == ModelKind::kRm) {
+      rm_outcomes_ += static_cast<std::uint64_t>(sign);
+      const double signed_err = p.predicted - o.realized_fps;
+      rm_sum_abs_err_ += sign * std::abs(signed_err);
+      rm_sum_signed_err_ += sign * signed_err;
+    }
+  };
+  window_.push_back(std::move(outcome));
+  apply(window_.back(), +1);
+  while (window_.size() > config_.window) {
+    apply(window_.front(), -1);
+    window_.pop_front();
+  }
+}
+
+void ModelMonitor::EvaluateDriftLocked(DriftState& state) {
+  for (std::size_t f = 0; f < state.reference.NumFeatures(); ++f) {
+    const double psi =
+        PopulationStabilityIndex(state.reference.probs[f], state.counts[f]);
+    const bool above = psi > config_.psi_alert_threshold;
+    if (above && !state.alerted[f]) {
+      ++drift_alert_events_;
+      MonitorMetrics::Get().drift_alerts.Add(1);
+    }
+    state.alerted[f] = above;
+  }
+}
+
+DriftSummary ModelMonitor::SummarizeDriftLocked(
+    const DriftState& state) const {
+  DriftSummary drift;
+  drift.has_reference = !state.reference.Empty();
+  drift.reference_samples = state.reference.samples;
+  drift.online_samples = state.samples;
+  for (std::size_t f = 0; f < state.reference.NumFeatures(); ++f) {
+    PsiEntry entry;
+    entry.feature = state.reference.names[f];
+    entry.psi =
+        PopulationStabilityIndex(state.reference.probs[f], state.counts[f]);
+    entry.alert = entry.psi > config_.psi_alert_threshold;
+    drift.max_psi = std::max(drift.max_psi, entry.psi);
+    drift.features_over_threshold += entry.alert ? 1 : 0;
+    drift.features.push_back(std::move(entry));
+  }
+  return drift;
+}
+
+void ModelMonitor::UpdateQualityGaugesLocked() {
+  MonitorMetrics& metrics = MonitorMetrics::Get();
+  const auto bp = [](double ratio) {
+    return static_cast<std::int64_t>(std::lround(ratio * 10000.0));
+  };
+  SetGauge(metrics.cm_precision_bp, bp(SafeRatio(cm_tp_, cm_tp_ + cm_fp_)));
+  SetGauge(metrics.cm_recall_bp, bp(SafeRatio(cm_tp_, cm_tp_ + cm_fn_)));
+  SetGauge(metrics.cm_fpr_bp, bp(SafeRatio(cm_fp_, cm_fp_ + cm_tn_)));
+  const double mae = rm_outcomes_ == 0
+                         ? 0.0
+                         : rm_sum_abs_err_ / static_cast<double>(rm_outcomes_);
+  SetGauge(metrics.rm_mae_milli_fps,
+           static_cast<std::int64_t>(std::lround(mae * 1000.0)));
+}
+
+ModelMonitorSummary ModelMonitor::Summary() const {
+  std::lock_guard lock(mutex_);
+  ModelMonitorSummary summary;
+  summary.cm_predictions = cm_predictions_;
+  summary.rm_predictions = rm_predictions_;
+  summary.outcomes_joined = outcomes_joined_;
+  summary.observations_unmatched = observations_unmatched_;
+  summary.evicted_pending = evicted_pending_;
+  summary.window = window_.size();
+
+  summary.cm_tp = cm_tp_;
+  summary.cm_fp = cm_fp_;
+  summary.cm_tn = cm_tn_;
+  summary.cm_fn = cm_fn_;
+  summary.cm_precision = SafeRatio(cm_tp_, cm_tp_ + cm_fp_);
+  summary.cm_recall = SafeRatio(cm_tp_, cm_tp_ + cm_fn_);
+  summary.cm_fpr = SafeRatio(cm_fp_, cm_fp_ + cm_tn_);
+  summary.cm_accuracy =
+      SafeRatio(cm_tp_ + cm_tn_, cm_tp_ + cm_fp_ + cm_tn_ + cm_fn_);
+
+  // Reliability bins over the rolling window.
+  const std::size_t bins = config_.calibration_bins;
+  std::vector<std::uint64_t> counts(bins, 0), positives(bins, 0);
+  std::vector<double> sum_predicted(bins, 0.0);
+  std::vector<double> rm_abs_errors;
+  for (const OutcomeRecord& outcome : window_) {
+    const PredictionRecord& p = outcome.prediction;
+    if (p.kind == ModelKind::kCm && p.qos_fps > 0.0) {
+      const double prob = std::clamp(p.predicted, 0.0, 1.0);
+      const std::size_t bin = std::min(
+          bins - 1, static_cast<std::size_t>(prob * static_cast<double>(bins)));
+      ++counts[bin];
+      sum_predicted[bin] += prob;
+      positives[bin] += outcome.realized_fps >= p.qos_fps ? 1 : 0;
+    } else if (p.kind == ModelKind::kRm) {
+      rm_abs_errors.push_back(std::abs(p.predicted - outcome.realized_fps));
+    }
+  }
+  for (std::size_t b = 0; b < bins; ++b) {
+    CalibrationBin bin;
+    bin.lo = static_cast<double>(b) / static_cast<double>(bins);
+    bin.hi = static_cast<double>(b + 1) / static_cast<double>(bins);
+    bin.count = counts[b];
+    bin.mean_predicted =
+        counts[b] == 0 ? 0.0
+                       : sum_predicted[b] / static_cast<double>(counts[b]);
+    bin.observed_rate = SafeRatio(positives[b], counts[b]);
+    summary.cm_calibration.push_back(bin);
+  }
+
+  summary.rm_outcomes = rm_outcomes_;
+  summary.rm_mae_fps =
+      rm_outcomes_ == 0 ? 0.0
+                        : rm_sum_abs_err_ / static_cast<double>(rm_outcomes_);
+  summary.rm_bias_fps =
+      rm_outcomes_ == 0
+          ? 0.0
+          : rm_sum_signed_err_ / static_cast<double>(rm_outcomes_);
+  if (!rm_abs_errors.empty()) {
+    // Nearest-rank p95 over the window.
+    std::sort(rm_abs_errors.begin(), rm_abs_errors.end());
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(0.95 * static_cast<double>(rm_abs_errors.size())));
+    summary.rm_p95_abs_error_fps = rm_abs_errors[std::max<std::size_t>(
+        1, std::min(rank, rm_abs_errors.size())) - 1];
+  }
+
+  summary.cm_drift =
+      SummarizeDriftLocked(drift_[static_cast<std::size_t>(ModelKind::kCm)]);
+  summary.rm_drift =
+      SummarizeDriftLocked(drift_[static_cast<std::size_t>(ModelKind::kRm)]);
+
+  summary.attr_cm_false_positive = attr_cm_false_positive_;
+  summary.attr_rm_overestimate = attr_rm_overestimate_;
+  summary.attr_capacity_pressure = attr_capacity_pressure_;
+  return summary;
+}
+
+std::vector<PredictionRecord> ModelMonitor::AuditLog() const {
+  std::lock_guard lock(mutex_);
+  std::vector<PredictionRecord> log;
+  log.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const Slot& slot = ring_[(ring_head_ + i) % ring_.size()];
+    if (slot.used) log.push_back(slot.record);
+  }
+  std::sort(log.begin(), log.end(),
+            [](const PredictionRecord& a, const PredictionRecord& b) {
+              return a.id < b.id;
+            });
+  return log;
+}
+
+std::vector<OutcomeRecord> ModelMonitor::RecentOutcomes() const {
+  std::lock_guard lock(mutex_);
+  return {window_.begin(), window_.end()};
+}
+
+}  // namespace gaugur::obs

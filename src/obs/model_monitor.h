@@ -1,0 +1,310 @@
+// Online model-quality monitor: the feedback loop that tells us whether
+// the CM/RM predictors are still trustworthy *in production*, not just at
+// train time (FECBench / uPredict both stress this; PAPER.md §4-5 is the
+// accuracy the fleet depends on).
+//
+// Data flow:
+//   1. Every GAugurPredictor CM/RM call appends a PredictionRecord
+//      (feature digest, predicted probability/FPS, threshold, decision)
+//      to a bounded audit ring, keyed by a 64-bit join key derived from
+//      (victim, co-runner set).
+//   2. When the fleet simulator actually runs a colocation it reports the
+//      realized per-session FPS through ObserveOutcome with the same key;
+//      pending predictions join into OutcomeRecords.
+//   3. On that stream the monitor keeps a rolling outcome window and
+//      computes CM calibration (reliability bins, precision/recall/FPR),
+//      RM error (MAE, p95 absolute error, bias), per-feature PSI drift
+//      against a FeatureReference snapshot persisted at fit time, and a
+//      QoS-violation attribution (CM false positive / RM overestimate /
+//      capacity pressure).
+//
+// Everything is exported two ways: live obs counters/gauges/histograms in
+// the global registry (model_monitor.*), and a ModelMonitorSummary that
+// serializes into the "model_monitor" section of the
+// gaugur.obs.run_report/v2 schema with an exact JSON round-trip.
+//
+// All mutators are no-ops while obs::Enabled() is false; the disabled
+// path is the usual relaxed-load + branch and stays inside the <2%
+// bench_overhead budget.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/switch.h"
+
+namespace gaugur::obs {
+
+enum class ModelKind : std::uint8_t { kCm = 0, kRm = 1 };
+
+inline const char* ModelKindName(ModelKind kind) {
+  return kind == ModelKind::kCm ? "cm" : "rm";
+}
+
+/// FNV-1a digest of a feature vector's bit patterns — identifies the
+/// exact input of a prediction without storing the (77+)-dim vector.
+std::uint64_t FeatureDigest(std::span<const double> features);
+
+/// One audited model call. `predicted` is the CM positive-class
+/// probability or the RM predicted FPS; `decision` is the thresholded
+/// verdict the scheduler acted on. `qos_fps` is 0 when the call carried
+/// no QoS context (raw PredictFps audit entries).
+struct PredictionRecord {
+  std::uint64_t id = 0;           // monotonic sequence number
+  ModelKind kind = ModelKind::kCm;
+  std::uint64_t join_key = 0;     // core::ModelJoinKey(victim, corunners)
+  std::uint64_t feature_digest = 0;
+  double predicted = 0.0;
+  double threshold = 0.0;
+  bool decision = false;
+  double qos_fps = 0.0;
+
+  friend bool operator==(const PredictionRecord&,
+                         const PredictionRecord&) = default;
+};
+
+/// A prediction joined with the realized FPS the simulator later measured
+/// for the same (victim, co-runner set).
+struct OutcomeRecord {
+  PredictionRecord prediction;
+  double realized_fps = 0.0;
+  /// realized_fps < prediction.qos_fps (always false when qos_fps == 0).
+  bool violated = false;
+
+  friend bool operator==(const OutcomeRecord&, const OutcomeRecord&) = default;
+};
+
+/// Per-feature reference distribution snapshot, persisted at model-fit
+/// time (core::BuildFeatureReference) and compared against the online
+/// feature stream via PSI. `edges[f]` are the interior bin edges of
+/// feature f (ascending, possibly fewer than requested when the training
+/// column has few distinct values); `probs[f]` has edges[f].size() + 1
+/// reference proportions.
+struct FeatureReference {
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> edges;
+  std::vector<std::vector<double>> probs;
+  std::uint64_t samples = 0;
+
+  std::size_t NumFeatures() const { return names.size(); }
+  bool Empty() const { return names.empty(); }
+
+  /// Bin index of `value` for feature `f` (upper_bound over the edges).
+  std::size_t Bin(std::size_t f, double value) const;
+
+  JsonValue ToJson() const;
+  static FeatureReference FromJson(const JsonValue& doc);
+
+  friend bool operator==(const FeatureReference&,
+                         const FeatureReference&) = default;
+};
+
+/// One reliability bin of the CM calibration curve over the rolling
+/// window: predictions with probability in [lo, hi).
+struct CalibrationBin {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::uint64_t count = 0;
+  double mean_predicted = 0.0;  // average predicted probability in the bin
+  double observed_rate = 0.0;   // fraction of realized positives
+
+  friend bool operator==(const CalibrationBin&,
+                         const CalibrationBin&) = default;
+};
+
+struct PsiEntry {
+  std::string feature;
+  double psi = 0.0;
+  bool alert = false;  // psi > config.psi_alert_threshold
+
+  friend bool operator==(const PsiEntry&, const PsiEntry&) = default;
+};
+
+/// Drift state of one model's online feature stream vs its reference.
+struct DriftSummary {
+  bool has_reference = false;
+  std::uint64_t reference_samples = 0;
+  std::uint64_t online_samples = 0;
+  double max_psi = 0.0;
+  std::uint64_t features_over_threshold = 0;
+  std::vector<PsiEntry> features;
+
+  friend bool operator==(const DriftSummary&, const DriftSummary&) = default;
+};
+
+/// The full monitor read-out; serializes as the "model_monitor" section
+/// of the run-report /v2 schema. All derived doubles (precision, MAE,
+/// PSI, ...) are stored, not recomputed, so a written summary parses back
+/// bit-exactly.
+struct ModelMonitorSummary {
+  // Stream volumes (whole run, monotonic).
+  std::uint64_t cm_predictions = 0;
+  std::uint64_t rm_predictions = 0;
+  std::uint64_t outcomes_joined = 0;
+  std::uint64_t observations_unmatched = 0;
+  std::uint64_t evicted_pending = 0;
+
+  // Rolling window actually populated (<= config.window).
+  std::uint64_t window = 0;
+
+  // CM confusion over the window ("positive" = predicted/realized
+  // feasible at the record's QoS).
+  std::uint64_t cm_tp = 0, cm_fp = 0, cm_tn = 0, cm_fn = 0;
+  double cm_precision = 0.0;
+  double cm_recall = 0.0;
+  double cm_fpr = 0.0;
+  double cm_accuracy = 0.0;
+  std::vector<CalibrationBin> cm_calibration;
+
+  // RM error over the window (FPS units).
+  std::uint64_t rm_outcomes = 0;
+  double rm_mae_fps = 0.0;
+  double rm_p95_abs_error_fps = 0.0;
+  double rm_bias_fps = 0.0;  // mean(predicted - realized); >0 = optimistic
+
+  // Feature drift per model.
+  DriftSummary cm_drift;
+  DriftSummary rm_drift;
+
+  // QoS-violation attribution (whole run, monotonic): a violated joined
+  // outcome whose prediction said "feasible" is a model miss; a violated
+  // observation with no prediction on file (while the monitor has seen
+  // predictions at all) is capacity pressure — the fleet ran a colocation
+  // the models never approved.
+  std::uint64_t attr_cm_false_positive = 0;
+  std::uint64_t attr_rm_overestimate = 0;
+  std::uint64_t attr_capacity_pressure = 0;
+
+  JsonValue ToJson() const;
+  static ModelMonitorSummary FromJson(const JsonValue& doc);
+
+  friend bool operator==(const ModelMonitorSummary&,
+                         const ModelMonitorSummary&) = default;
+};
+
+struct ModelMonitorConfig {
+  /// Audit ring capacity; the oldest unresolved prediction is evicted
+  /// when full.
+  std::size_t ring_capacity = 4096;
+  /// Rolling outcome window for calibration / error stats.
+  std::size_t window = 512;
+  /// Reliability bins over [0, 1] for the CM calibration curve.
+  std::size_t calibration_bins = 10;
+  /// Classic PSI rule of thumb: < 0.1 stable, 0.1-0.2 moderate shift,
+  /// > 0.2 action required.
+  double psi_alert_threshold = 0.2;
+  /// Re-evaluate drift alerts every this many recorded predictions (the
+  /// full PSI pass is O(features x bins)).
+  std::size_t drift_check_interval = 64;
+};
+
+/// Thread-safe (single mutex) online monitor. Use Global() for the
+/// process-wide instance the predictor and fleet simulator share; tests
+/// construct their own.
+class ModelMonitor {
+ public:
+  explicit ModelMonitor(ModelMonitorConfig config = {});
+
+  static ModelMonitor& Global();
+
+  /// Drops all state (ring, window, drift accumulators, references) and
+  /// optionally re-configures — test isolation and start-of-run resets.
+  void Reset();
+  void Configure(ModelMonitorConfig config);
+
+  const ModelMonitorConfig& config() const { return config_; }
+
+  /// Appends one audit record. No-op while obs::Enabled() is false.
+  void RecordPrediction(ModelKind kind, std::uint64_t join_key,
+                        std::span<const double> features, double predicted,
+                        double threshold, bool decision, double qos_fps);
+
+  /// Reports the realized FPS of one (victim, co-runner set). Joins every
+  /// pending prediction under `join_key`; with none pending, counts an
+  /// unmatched observation (and, if violated while predictions exist at
+  /// all, capacity pressure). No-op while obs::Enabled() is false.
+  void ObserveOutcome(std::uint64_t join_key, double realized_fps,
+                      double qos_fps);
+
+  /// Installs the fit-time feature-distribution snapshot drift is
+  /// measured against. Resets that model's online drift accumulators.
+  void SetReference(ModelKind kind, FeatureReference reference);
+  /// Copy of the installed snapshot (empty when none was set).
+  FeatureReference Reference(ModelKind kind) const;
+
+  /// Whether any prediction has been recorded since the last Reset —
+  /// RunReport::Capture attaches a summary only when true.
+  bool HasData() const;
+
+  ModelMonitorSummary Summary() const;
+
+  /// Snapshot of the live audit ring, oldest first (tests/tooling).
+  std::vector<PredictionRecord> AuditLog() const;
+  /// Snapshot of the rolling outcome window, oldest first.
+  std::vector<OutcomeRecord> RecentOutcomes() const;
+
+ private:
+  struct Slot {
+    bool used = false;
+    bool pending = false;
+    PredictionRecord record;
+  };
+
+  struct DriftState {
+    FeatureReference reference;
+    std::vector<std::vector<std::uint64_t>> counts;  // per feature, per bin
+    std::vector<bool> alerted;                       // per feature
+    std::uint64_t samples = 0;
+
+    void ResetOnline();
+  };
+
+  void JoinLocked(std::size_t slot_index, double realized_fps);
+  void EvictLocked(std::size_t slot_index);
+  void PushOutcomeLocked(OutcomeRecord outcome);
+  void EvaluateDriftLocked(DriftState& state);
+  DriftSummary SummarizeDriftLocked(const DriftState& state) const;
+  void UpdateQualityGaugesLocked();
+
+  ModelMonitorConfig config_;
+
+  mutable std::mutex mutex_;
+  std::vector<Slot> ring_;
+  std::size_t ring_head_ = 0;
+  std::uint64_t next_id_ = 0;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> pending_;
+
+  std::deque<OutcomeRecord> window_;
+  // Incremental window aggregates (added on push, removed on evict).
+  std::uint64_t cm_tp_ = 0, cm_fp_ = 0, cm_tn_ = 0, cm_fn_ = 0;
+  std::uint64_t rm_outcomes_ = 0;
+  double rm_sum_abs_err_ = 0.0;
+  double rm_sum_signed_err_ = 0.0;
+
+  DriftState drift_[2];  // indexed by ModelKind
+
+  // Whole-run monotonic tallies (mirrored as model_monitor.* counters).
+  std::uint64_t cm_predictions_ = 0;
+  std::uint64_t rm_predictions_ = 0;
+  std::uint64_t outcomes_joined_ = 0;
+  std::uint64_t observations_unmatched_ = 0;
+  std::uint64_t evicted_pending_ = 0;
+  std::uint64_t attr_cm_false_positive_ = 0;
+  std::uint64_t attr_rm_overestimate_ = 0;
+  std::uint64_t attr_capacity_pressure_ = 0;
+  std::uint64_t drift_alert_events_ = 0;
+};
+
+/// Population Stability Index between a reference distribution and online
+/// bin counts (with proportion flooring so empty bins stay finite).
+/// Exposed for tests.
+double PopulationStabilityIndex(std::span<const double> reference_probs,
+                                std::span<const std::uint64_t> online_counts);
+
+}  // namespace gaugur::obs

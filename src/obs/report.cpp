@@ -90,6 +90,9 @@ JsonValue RunReport::ToJson() const {
     histograms[name] = HistogramToJson(hist);
   }
   doc["histograms"] = JsonValue(std::move(histograms));
+  if (model_monitor_.has_value()) {
+    doc["model_monitor"] = model_monitor_->ToJson();
+  }
   return JsonValue(std::move(doc));
 }
 
@@ -126,6 +129,31 @@ void RunReport::Print(std::ostream& os) const {
   if (hists.NumRows() > 0) {
     hists.Print(os, "latency histograms (µs)");
   }
+  if (model_monitor_.has_value()) {
+    const ModelMonitorSummary& m = *model_monitor_;
+    common::Table monitor({"model monitor", "value"}, /*double_precision=*/3);
+    monitor.AddRow({std::string("cm predictions"),
+                    static_cast<long long>(m.cm_predictions)});
+    monitor.AddRow({std::string("rm predictions"),
+                    static_cast<long long>(m.rm_predictions)});
+    monitor.AddRow({std::string("outcomes joined"),
+                    static_cast<long long>(m.outcomes_joined)});
+    monitor.AddRow({std::string("cm precision"), m.cm_precision});
+    monitor.AddRow({std::string("cm recall"), m.cm_recall});
+    monitor.AddRow({std::string("cm fpr"), m.cm_fpr});
+    monitor.AddRow({std::string("rm MAE (fps)"), m.rm_mae_fps});
+    monitor.AddRow({std::string("rm p95 |err| (fps)"),
+                    m.rm_p95_abs_error_fps});
+    monitor.AddRow({std::string("cm max PSI"), m.cm_drift.max_psi});
+    monitor.AddRow({std::string("rm max PSI"), m.rm_drift.max_psi});
+    monitor.AddRow({std::string("attr: cm false positive"),
+                    static_cast<long long>(m.attr_cm_false_positive)});
+    monitor.AddRow({std::string("attr: rm overestimate"),
+                    static_cast<long long>(m.attr_rm_overestimate)});
+    monitor.AddRow({std::string("attr: capacity pressure"),
+                    static_cast<long long>(m.attr_capacity_pressure)});
+    monitor.Print(os, "model monitor (rolling window)");
+  }
 }
 
 bool RunReport::WriteJson(const std::string& path) const {
@@ -139,7 +167,8 @@ RunReport RunReport::FromJson(const JsonValue& doc) {
   GAUGUR_CHECK_MSG(doc.IsObject(), "run report must be a JSON object");
   const JsonValue* schema = doc.Find("schema");
   GAUGUR_CHECK_MSG(schema != nullptr && schema->IsString() &&
-                       schema->AsString() == kRunReportSchema,
+                       (schema->AsString() == kRunReportSchema ||
+                        schema->AsString() == kRunReportSchemaV1),
                    "unknown run-report schema");
   const JsonValue* name = doc.Find("name");
   GAUGUR_CHECK_MSG(name != nullptr && name->IsString(),
@@ -175,6 +204,9 @@ RunReport RunReport::FromJson(const JsonValue& doc) {
       GAUGUR_CHECK_MSG(value.IsString(), "meta values must be strings");
       report.SetMeta(key, value.AsString());
     }
+  }
+  if (const JsonValue* monitor = doc.Find("model_monitor")) {
+    report.SetModelMonitor(ModelMonitorSummary::FromJson(*monitor));
   }
   return report;
 }

@@ -2,10 +2,10 @@
 // machines) and aligned text tables (for eyeballs), following the
 // bench_results/ convention of one artifact per run.
 //
-// Documented schema, version "gaugur.obs.run_report/v1":
+// Documented schema, version "gaugur.obs.run_report/v2":
 //
 //   {
-//     "schema": "gaugur.obs.run_report/v1",
+//     "schema": "gaugur.obs.run_report/v2",
 //     "name": "<run name>",
 //     "meta": {"<key>": "<string value>", ...},
 //     "counters": {"<name>": <uint>, ...},
@@ -17,33 +17,50 @@
 //         "buckets": [{"le": <double>, "count": <uint>}, ...,
 //                     {"le": null, "count": <uint>}]   // overflow last
 //       }, ...
-//     }
+//     },
+//     "model_monitor": { ... }   // optional; obs/model_monitor.h schema
 //   }
 //
-// mean/p50/p95/p99 are derived conveniences; ParseSnapshot reconstructs
-// the snapshot from buckets + sum alone, so a written report round-trips
-// exactly (tests/obs/registry_test.cpp proves it).
+// v2 adds the optional "model_monitor" section (online CM/RM quality:
+// rolling calibration, RM error, per-feature PSI drift, QoS-violation
+// attribution). v1 documents (no section) still parse. mean/p50/p95/p99
+// are derived conveniences; ParseSnapshot reconstructs the snapshot from
+// buckets + sum alone, so a written report round-trips exactly
+// (tests/obs/registry_test.cpp and tests/obs/model_monitor_test.cpp
+// prove it).
 #pragma once
 
 #include <iosfwd>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/model_monitor.h"
 
 namespace gaugur::obs {
 
-inline constexpr const char* kRunReportSchema = "gaugur.obs.run_report/v1";
+inline constexpr const char* kRunReportSchema = "gaugur.obs.run_report/v2";
+/// Prior version, still accepted by FromJson (it simply lacks the
+/// model_monitor section).
+inline constexpr const char* kRunReportSchemaV1 =
+    "gaugur.obs.run_report/v1";
 
 class RunReport {
  public:
   RunReport(std::string name, Snapshot snapshot)
       : name_(std::move(name)), snapshot_(std::move(snapshot)) {}
 
-  /// Captures the global registry as of now.
+  /// Captures the global registry as of now; when the global ModelMonitor
+  /// has recorded predictions, its summary is attached as the
+  /// model_monitor section.
   static RunReport Capture(std::string name) {
-    return RunReport(std::move(name), Registry::Global().Snap());
+    RunReport report(std::move(name), Registry::Global().Snap());
+    if (ModelMonitor::Global().HasData()) {
+      report.SetModelMonitor(ModelMonitor::Global().Summary());
+    }
+    return report;
   }
 
   const std::string& name() const { return name_; }
@@ -54,6 +71,14 @@ class RunReport {
     meta_[key] = value;
   }
   const std::map<std::string, std::string>& meta() const { return meta_; }
+
+  /// Optional model-quality section (v2).
+  void SetModelMonitor(ModelMonitorSummary summary) {
+    model_monitor_ = std::move(summary);
+  }
+  const std::optional<ModelMonitorSummary>& model_monitor() const {
+    return model_monitor_;
+  }
 
   JsonValue ToJson() const;
   std::string ToJsonString(int indent = 2) const;
@@ -66,8 +91,9 @@ class RunReport {
   /// Writes ToJsonString() to `path`; returns false on I/O failure.
   bool WriteJson(const std::string& path) const;
 
-  /// Inverse of ToJson(). Throws std::logic_error (GAUGUR_CHECK) when the
-  /// document does not match the v1 schema.
+  /// Inverse of ToJson(). Accepts both the current /v2 schema and legacy
+  /// /v1 documents (which simply lack the model_monitor section); throws
+  /// std::logic_error (GAUGUR_CHECK) on anything else.
   static RunReport FromJson(const JsonValue& doc);
   static RunReport FromJsonString(const std::string& text) {
     return FromJson(JsonValue::Parse(text));
@@ -77,6 +103,7 @@ class RunReport {
   std::string name_;
   Snapshot snapshot_;
   std::map<std::string, std::string> meta_;
+  std::optional<ModelMonitorSummary> model_monitor_;
 };
 
 }  // namespace gaugur::obs

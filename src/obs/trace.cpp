@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
 #include <fstream>
 #include <memory>
 #include <mutex>
@@ -22,6 +25,28 @@ struct ThreadBuffer {
 };
 
 thread_local int tls_depth = 0;
+
+/// Terminate handler installed before ours; chained after the flush.
+std::terminate_handler previous_terminate = nullptr;
+
+void FlushOnExit() { Tracer::Global().FlushExitTrace(); }
+
+[[noreturn]] void FlushOnTerminate() {
+  Tracer::Global().FlushExitTrace();
+  if (previous_terminate != nullptr) previous_terminate();
+  std::abort();
+}
+
+/// Idempotent: hooks process exit (normal and std::terminate) so a run
+/// that dies with trace buffers full still produces a loadable trace.
+void InstallExitFlushOnce() {
+  static const bool installed = [] {
+    std::atexit(FlushOnExit);
+    previous_terminate = std::set_terminate(FlushOnTerminate);
+    return true;
+  }();
+  (void)installed;
+}
 
 }  // namespace
 
@@ -55,6 +80,7 @@ Tracer& Tracer::Global() {
 }
 
 void Tracer::SetTracing(bool on) {
+  if (on) InstallExitFlushOnce();
   impl_->tracing.store(on, std::memory_order_relaxed);
 }
 
@@ -122,6 +148,21 @@ bool Tracer::WriteChromeTrace(const std::string& path) const {
   if (!out) return false;
   out << ToChromeJson().Dump(2) << '\n';
   return static_cast<bool>(out);
+}
+
+bool Tracer::FlushExitTrace() const {
+  // Only a run that is *still* tracing wants the emergency dump — scoped
+  // TracingScope users (tests, benches) restore the switch and opt out.
+  if (!TracingOn()) return false;
+  if (Events().empty()) return false;
+  const char* env = std::getenv("GAUGUR_TRACE_EXIT_PATH");
+  const std::string path =
+      env != nullptr && env[0] != '\0' ? env : "gaugur_trace_exit.json";
+  const bool ok = WriteChromeTrace(path);
+  if (ok) {
+    std::fprintf(stderr, "[obs] exit trace written to %s\n", path.c_str());
+  }
+  return ok;
 }
 
 ScopedSpan::ScopedSpan(std::string name)

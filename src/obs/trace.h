@@ -61,6 +61,15 @@ class Tracer {
   /// Serializes ToChromeJson() to `path`; returns false on I/O failure.
   bool WriteChromeTrace(const std::string& path) const;
 
+  /// Emergency flush: writes the Chrome trace to GAUGUR_TRACE_EXIT_PATH
+  /// (default "gaugur_trace_exit.json") iff tracing is still on and any
+  /// events were recorded. Installed automatically as an atexit and
+  /// std::terminate hook on the first SetTracing(true), so a run that
+  /// crashes mid-flight (uncaught exception, GAUGUR_CHECK failure) still
+  /// leaves a loadable trace behind. Returns true when a file was
+  /// written.
+  bool FlushExitTrace() const;
+
  private:
   Tracer();
   struct Impl;

@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "obs/metrics.h"
+#include "obs/model_monitor.h"
 #include "obs/trace.h"
 
 namespace gaugur::sched {
@@ -26,8 +27,11 @@ struct SchedMetrics {
       obs::Registry::Global().GetCounter("sched.powerons");
   obs::Counter& candidates_rejected =
       obs::Registry::Global().GetCounter("sched.candidates_rejected");
-  obs::Histogram& decision_us =
-      obs::Registry::Global().GetHistogram("sched.decision_us");
+  /// Log-scale buckets: decision latency spans sub-µs (dedicated policy)
+  /// to tens of ms (predictor-backed policies over a large fleet), which
+  /// the default linear layout cannot resolve at both ends.
+  obs::Histogram& decision_us = obs::Registry::Global().GetHistogram(
+      "sched.decision_us", obs::Histogram::ExponentialBounds(1.0, 2.0, 16));
 
   static SchedMetrics& Get() {
     static SchedMetrics metrics;
@@ -84,6 +88,23 @@ DynamicResult SimulateDynamicFleet(const core::ColocationLab& lab,
     auto it = fps_cache.find(key);
     if (it == fps_cache.end()) {
       it = fps_cache.emplace(key, lab.TrueFps(content)).first;
+      if (obs::Enabled()) {
+        // First time this colocation content actually runs: feed each
+        // session's realized FPS back to the model monitor, joining any
+        // audit records the policy's predictor left under the same key.
+        // Cache hits are skipped so one colocation content is one outcome.
+        std::vector<SessionRequest> corunners;
+        corunners.reserve(content.size());
+        for (std::size_t i = 0; i < content.size(); ++i) {
+          corunners.clear();
+          for (std::size_t j = 0; j < content.size(); ++j) {
+            if (j != i) corunners.push_back(content[j]);
+          }
+          obs::ModelMonitor::Global().ObserveOutcome(
+              core::ModelJoinKey(content[i], corunners), it->second[i],
+              options.qos_fps);
+        }
+      }
     }
     for (std::size_t i = 0; i < server.sessions.size(); ++i) {
       if (it->second[i] < options.qos_fps) {

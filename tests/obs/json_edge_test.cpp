@@ -1,0 +1,127 @@
+// Edge-case coverage for the obs JSON document model: non-finite numbers,
+// control-character escaping, deep nesting, and run-report /v2 dump
+// stability (dump → parse → dump is a fixed point).
+
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "obs/model_monitor.h"
+#include "obs/report.h"
+#include "obs/switch.h"
+
+namespace gaugur::obs {
+namespace {
+
+TEST(JsonEdgeTest, NonFiniteNumbersDumpAsNull) {
+  EXPECT_EQ(JsonValue(std::nan("")).Dump(), "null");
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::infinity()).Dump(),
+            "null");
+  EXPECT_EQ(JsonValue(-std::numeric_limits<double>::infinity()).Dump(),
+            "null");
+
+  JsonArray mixed;
+  mixed.emplace_back(1.5);
+  mixed.emplace_back(std::nan(""));
+  mixed.emplace_back(3.0);
+  const std::string dumped = JsonValue(std::move(mixed)).Dump();
+  EXPECT_EQ(dumped, "[1.5,null,3]");
+  // The null parses back as JSON null, not as a number.
+  const JsonValue parsed = JsonValue::Parse(dumped);
+  EXPECT_TRUE(parsed.AsArray()[1].IsNull());
+}
+
+TEST(JsonEdgeTest, NumbersRoundTripExactly) {
+  for (const double value :
+       {0.0, -0.0, 1.0, -1.0, 0.1, 1e-300, 1e300, 3.141592653589793,
+        2.2250738585072014e-308, 9007199254740991.0, 123456.789}) {
+    const JsonValue parsed = JsonValue::Parse(JsonValue(value).Dump());
+    EXPECT_EQ(parsed.AsNumber(), value) << "value=" << value;
+  }
+}
+
+TEST(JsonEdgeTest, ControlCharactersEscapeAndRoundTrip) {
+  std::string raw = "a";
+  raw.push_back('\x01');
+  raw += "b\tc\nd\"e\\f";
+  raw.push_back('\x1f');
+
+  const std::string escaped = JsonEscape(raw);
+  EXPECT_NE(escaped.find("\\u0001"), std::string::npos);
+  EXPECT_NE(escaped.find("\\u001f"), std::string::npos);
+  EXPECT_NE(escaped.find("\\t"), std::string::npos);
+  EXPECT_NE(escaped.find("\\n"), std::string::npos);
+  EXPECT_NE(escaped.find("\\\""), std::string::npos);
+  EXPECT_NE(escaped.find("\\\\"), std::string::npos);
+
+  const JsonValue parsed = JsonValue::Parse(JsonValue(raw).Dump());
+  EXPECT_EQ(parsed.AsString(), raw);
+
+  // Control characters in object keys survive a full round trip too.
+  JsonObject object;
+  object[raw] = 7;
+  const JsonValue reparsed =
+      JsonValue::Parse(JsonValue(std::move(object)).Dump(2));
+  ASSERT_NE(reparsed.Find(raw), nullptr);
+  EXPECT_EQ(reparsed.Find(raw)->AsNumber(), 7.0);
+}
+
+TEST(JsonEdgeTest, DeeplyNestedArraysRoundTrip) {
+  constexpr int kDepth = 200;
+  JsonValue nested = JsonValue(std::string("leaf"));
+  for (int i = 0; i < kDepth; ++i) {
+    JsonArray wrapper;
+    wrapper.push_back(std::move(nested));
+    nested = JsonValue(std::move(wrapper));
+  }
+  const std::string dumped = nested.Dump();
+  const JsonValue parsed = JsonValue::Parse(dumped);
+  EXPECT_TRUE(parsed == nested);
+  // Walk back down to the leaf to make sure depth was preserved.
+  const JsonValue* cursor = &parsed;
+  for (int i = 0; i < kDepth; ++i) {
+    ASSERT_TRUE(cursor->IsArray());
+    ASSERT_EQ(cursor->AsArray().size(), 1u);
+    cursor = &cursor->AsArray()[0];
+  }
+  EXPECT_EQ(cursor->AsString(), "leaf");
+}
+
+TEST(JsonEdgeTest, ParseRejectsMalformedDocuments) {
+  EXPECT_THROW(JsonValue::Parse("{"), JsonParseError);
+  EXPECT_THROW(JsonValue::Parse("[1, 2,]"), JsonParseError);
+  EXPECT_THROW(JsonValue::Parse("\"unterminated"), JsonParseError);
+  EXPECT_THROW(JsonValue::Parse("{} trailing"), JsonParseError);
+  EXPECT_THROW(JsonValue::Parse("nul"), JsonParseError);
+}
+
+TEST(JsonEdgeTest, RunReportV2DumpIsAFixedPoint) {
+  EnabledScope on(true);
+  ModelMonitor& monitor = ModelMonitor::Global();
+  monitor.Reset();
+  // Populate the monitor with awkward fractions so the stability check
+  // exercises shortest-round-trip number formatting, not just integers.
+  const std::vector<double> cm_features = {0.1, 0.2, 0.3};
+  monitor.RecordPrediction(ModelKind::kCm, 11, cm_features, 0.6180339887,
+                           0.5, true, 60.0);
+  monitor.ObserveOutcome(11, 59.333333333333336, 60.0);
+  const std::vector<double> rm_features = {1.0 / 3.0};
+  monitor.RecordPrediction(ModelKind::kRm, 12, rm_features, 61.7, 60.0, true,
+                           60.0);
+  monitor.ObserveOutcome(12, 58.9, 60.0);
+
+  const RunReport report = RunReport::Capture("fixed-point");
+  ASSERT_TRUE(report.model_monitor().has_value());
+  const std::string first = report.ToJsonString();
+  const std::string second =
+      RunReport::FromJsonString(first).ToJsonString();
+  EXPECT_EQ(first, second);
+  monitor.Reset();
+}
+
+}  // namespace
+}  // namespace gaugur::obs

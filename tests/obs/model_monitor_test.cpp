@@ -1,0 +1,416 @@
+#include "obs/model_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/report.h"
+#include "obs/switch.h"
+
+namespace gaugur::obs {
+namespace {
+
+std::vector<double> Feat(double a, double b = 2.0) { return {a, b}; }
+
+/// A synthetic uniform-over-[0,1) single-feature reference with 4 bins.
+FeatureReference UniformReference() {
+  FeatureReference reference;
+  reference.names = {"f0"};
+  reference.edges = {{0.25, 0.5, 0.75}};
+  reference.probs = {{0.25, 0.25, 0.25, 0.25}};
+  reference.samples = 1000;
+  return reference;
+}
+
+TEST(FeatureDigestTest, DeterministicAndInputSensitive) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {1.0, 2.0, 3.0000001};
+  EXPECT_EQ(FeatureDigest(a), FeatureDigest(a));
+  EXPECT_NE(FeatureDigest(a), FeatureDigest(b));
+  EXPECT_NE(FeatureDigest(a), FeatureDigest({}));
+}
+
+TEST(PsiTest, IdenticalDistributionIsZero) {
+  const std::vector<double> reference = {0.25, 0.25, 0.25, 0.25};
+  const std::vector<std::uint64_t> online = {25, 25, 25, 25};
+  EXPECT_NEAR(PopulationStabilityIndex(reference, online), 0.0, 1e-12);
+}
+
+TEST(PsiTest, ShiftedDistributionExceedsAlertThreshold) {
+  const std::vector<double> reference = {0.25, 0.25, 0.25, 0.25};
+  // All online mass collapsed into one bin: a drastic shift.
+  const std::vector<std::uint64_t> online = {100, 0, 0, 0};
+  const double psi = PopulationStabilityIndex(reference, online);
+  EXPECT_GT(psi, 0.2);
+  // PSI is finite despite the empty bins (proportion floor).
+  EXPECT_TRUE(std::isfinite(psi));
+}
+
+TEST(PsiTest, EmptyOnlineStreamIsZero) {
+  const std::vector<double> reference = {0.5, 0.5};
+  const std::vector<std::uint64_t> online = {0, 0};
+  EXPECT_EQ(PopulationStabilityIndex(reference, online), 0.0);
+}
+
+TEST(FeatureReferenceTest, BinUsesUpperBoundOverEdges) {
+  FeatureReference reference;
+  reference.names = {"x"};
+  reference.edges = {{1.0, 2.0}};
+  reference.probs = {{0.3, 0.3, 0.4}};
+  EXPECT_EQ(reference.Bin(0, 0.5), 0u);
+  EXPECT_EQ(reference.Bin(0, 1.0), 1u);  // values on an edge go right
+  EXPECT_EQ(reference.Bin(0, 1.5), 1u);
+  EXPECT_EQ(reference.Bin(0, 5.0), 2u);
+}
+
+TEST(FeatureReferenceTest, JsonRoundTripsExactly) {
+  const FeatureReference reference = UniformReference();
+  const FeatureReference parsed =
+      FeatureReference::FromJson(JsonValue::Parse(reference.ToJson().Dump()));
+  EXPECT_TRUE(parsed == reference);
+}
+
+TEST(ModelMonitorTest, JoinsPredictionWithOutcomeAndAttributesMisses) {
+  EnabledScope on(true);
+  ModelMonitor monitor;
+
+  // CM said "feasible" (prob 0.9 >= 0.5) but the player landed at 50 FPS
+  // against a 60 FPS QoS: a CM false positive.
+  monitor.RecordPrediction(ModelKind::kCm, 1, Feat(1.0), 0.9, 0.5, true,
+                           60.0);
+  monitor.ObserveOutcome(1, 50.0, 60.0);
+
+  // RM predicted 70 FPS, decision "feasible", realized 50: overestimate.
+  monitor.RecordPrediction(ModelKind::kRm, 2, Feat(2.0), 70.0, 60.0, true,
+                           60.0);
+  monitor.ObserveOutcome(2, 50.0, 60.0);
+
+  // A violated colocation with no prediction on file: capacity pressure.
+  monitor.ObserveOutcome(99, 40.0, 60.0);
+
+  const ModelMonitorSummary summary = monitor.Summary();
+  EXPECT_EQ(summary.cm_predictions, 1u);
+  EXPECT_EQ(summary.rm_predictions, 1u);
+  EXPECT_EQ(summary.outcomes_joined, 2u);
+  EXPECT_EQ(summary.observations_unmatched, 1u);
+  EXPECT_EQ(summary.cm_fp, 1u);
+  EXPECT_EQ(summary.rm_outcomes, 1u);
+  EXPECT_NEAR(summary.rm_mae_fps, 20.0, 1e-12);
+  EXPECT_NEAR(summary.rm_bias_fps, 20.0, 1e-12);
+  EXPECT_EQ(summary.attr_cm_false_positive, 1u);
+  EXPECT_EQ(summary.attr_rm_overestimate, 1u);
+  EXPECT_EQ(summary.attr_capacity_pressure, 1u);
+}
+
+TEST(ModelMonitorTest, OneObservationJoinsEveryPendingRecordUnderItsKey) {
+  EnabledScope on(true);
+  ModelMonitor monitor;
+  // The scheduler typically asks both models about the same placement.
+  monitor.RecordPrediction(ModelKind::kCm, 5, Feat(1.0), 0.8, 0.5, true,
+                           60.0);
+  monitor.RecordPrediction(ModelKind::kRm, 5, Feat(1.0), 65.0, 60.0, true,
+                           60.0);
+  monitor.ObserveOutcome(5, 66.0, 60.0);
+
+  const ModelMonitorSummary summary = monitor.Summary();
+  EXPECT_EQ(summary.outcomes_joined, 2u);
+  EXPECT_EQ(summary.cm_tp, 1u);
+  EXPECT_EQ(summary.rm_outcomes, 1u);
+  EXPECT_NEAR(summary.rm_mae_fps, 1.0, 1e-12);
+  EXPECT_NEAR(summary.rm_bias_fps, -1.0, 1e-12);
+  // A second observation of the same key finds nothing pending.
+  monitor.ObserveOutcome(5, 66.0, 60.0);
+  EXPECT_EQ(monitor.Summary().observations_unmatched, 1u);
+}
+
+TEST(ModelMonitorTest, ConfusionMatrixAndDerivedRatesOverWindow) {
+  EnabledScope on(true);
+  ModelMonitor monitor;
+  const auto cm = [&](std::uint64_t key, double prob, bool decision,
+                      double realized) {
+    monitor.RecordPrediction(ModelKind::kCm, key, Feat(prob), prob, 0.5,
+                             decision, 60.0);
+    monitor.ObserveOutcome(key, realized, 60.0);
+  };
+  cm(1, 0.9, true, 70.0);   // tp
+  cm(2, 0.8, true, 50.0);   // fp
+  cm(3, 0.2, false, 50.0);  // tn
+  cm(4, 0.3, false, 70.0);  // fn
+
+  const ModelMonitorSummary summary = monitor.Summary();
+  EXPECT_EQ(summary.cm_tp, 1u);
+  EXPECT_EQ(summary.cm_fp, 1u);
+  EXPECT_EQ(summary.cm_tn, 1u);
+  EXPECT_EQ(summary.cm_fn, 1u);
+  EXPECT_NEAR(summary.cm_precision, 0.5, 1e-12);
+  EXPECT_NEAR(summary.cm_recall, 0.5, 1e-12);
+  EXPECT_NEAR(summary.cm_fpr, 0.5, 1e-12);
+  EXPECT_NEAR(summary.cm_accuracy, 0.5, 1e-12);
+}
+
+TEST(ModelMonitorTest, CalibrationBinsReflectObservedRates) {
+  EnabledScope on(true);
+  ModelMonitorConfig config;
+  config.calibration_bins = 10;
+  ModelMonitor monitor(config);
+  const auto cm = [&](std::uint64_t key, double prob, double realized) {
+    monitor.RecordPrediction(ModelKind::kCm, key, Feat(prob), prob, 0.5,
+                             prob >= 0.5, 60.0);
+    monitor.ObserveOutcome(key, realized, 60.0);
+  };
+  cm(1, 0.95, 70.0);  // bin 9, positive
+  cm(2, 0.95, 50.0);  // bin 9, negative
+  cm(3, 0.05, 50.0);  // bin 0, negative
+
+  const ModelMonitorSummary summary = monitor.Summary();
+  ASSERT_EQ(summary.cm_calibration.size(), 10u);
+  const CalibrationBin& top = summary.cm_calibration[9];
+  EXPECT_EQ(top.count, 2u);
+  EXPECT_NEAR(top.mean_predicted, 0.95, 1e-12);
+  EXPECT_NEAR(top.observed_rate, 0.5, 1e-12);
+  const CalibrationBin& bottom = summary.cm_calibration[0];
+  EXPECT_EQ(bottom.count, 1u);
+  EXPECT_NEAR(bottom.observed_rate, 0.0, 1e-12);
+  EXPECT_NEAR(bottom.lo, 0.0, 1e-12);
+  EXPECT_NEAR(bottom.hi, 0.1, 1e-12);
+}
+
+TEST(ModelMonitorTest, RollingWindowEvictsOldOutcomesFromAggregates) {
+  EnabledScope on(true);
+  ModelMonitorConfig config;
+  config.window = 2;
+  ModelMonitor monitor(config);
+  const auto rm = [&](std::uint64_t key, double predicted, double realized) {
+    monitor.RecordPrediction(ModelKind::kRm, key, Feat(predicted), predicted,
+                             0.0, false, 0.0);
+    monitor.ObserveOutcome(key, realized, 0.0);
+  };
+  rm(1, 60.0, 50.0);  // |err| 10 — evicted once the window fills
+  rm(2, 60.0, 40.0);  // |err| 20
+  rm(3, 60.0, 30.0);  // |err| 30
+
+  const ModelMonitorSummary summary = monitor.Summary();
+  EXPECT_EQ(summary.window, 2u);
+  EXPECT_EQ(summary.rm_outcomes, 2u);
+  EXPECT_NEAR(summary.rm_mae_fps, 25.0, 1e-12);
+  // Whole-run tallies are monotonic and unaffected by window eviction.
+  EXPECT_EQ(summary.outcomes_joined, 3u);
+  // p95 over the two windowed errors is the larger one (nearest rank).
+  EXPECT_NEAR(summary.rm_p95_abs_error_fps, 30.0, 1e-12);
+  ASSERT_EQ(monitor.RecentOutcomes().size(), 2u);
+  EXPECT_EQ(monitor.RecentOutcomes()[0].prediction.join_key, 2u);
+}
+
+TEST(ModelMonitorTest, RingEvictsOldestPendingPredictionWhenFull) {
+  EnabledScope on(true);
+  ModelMonitorConfig config;
+  config.ring_capacity = 2;
+  ModelMonitor monitor(config);
+  monitor.RecordPrediction(ModelKind::kCm, 1, Feat(1.0), 0.9, 0.5, true,
+                           60.0);
+  monitor.RecordPrediction(ModelKind::kCm, 2, Feat(2.0), 0.9, 0.5, true,
+                           60.0);
+  monitor.RecordPrediction(ModelKind::kCm, 3, Feat(3.0), 0.9, 0.5, true,
+                           60.0);  // evicts key 1
+
+  EXPECT_EQ(monitor.Summary().evicted_pending, 1u);
+  monitor.ObserveOutcome(1, 70.0, 60.0);  // its prediction is gone
+  const ModelMonitorSummary summary = monitor.Summary();
+  EXPECT_EQ(summary.observations_unmatched, 1u);
+  EXPECT_EQ(summary.outcomes_joined, 0u);
+  // The audit log holds the surviving (newest) records in id order.
+  const auto log = monitor.AuditLog();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].join_key, 2u);
+  EXPECT_EQ(log[1].join_key, 3u);
+  EXPECT_LT(log[0].id, log[1].id);
+}
+
+TEST(ModelMonitorTest, DriftDetectedAgainstShiftedSyntheticDistribution) {
+  EnabledScope on(true);
+  ModelMonitorConfig config;
+  config.drift_check_interval = 16;
+  ModelMonitor monitor(config);
+  monitor.SetReference(ModelKind::kRm, UniformReference());
+
+  // Online stream collapsed into the top bin: drastic shift vs uniform.
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    monitor.RecordPrediction(ModelKind::kRm, 1000 + i,
+                             std::vector<double>{0.9}, 50.0, 0.0, false,
+                             0.0);
+  }
+  const ModelMonitorSummary summary = monitor.Summary();
+  EXPECT_TRUE(summary.rm_drift.has_reference);
+  EXPECT_EQ(summary.rm_drift.reference_samples, 1000u);
+  EXPECT_EQ(summary.rm_drift.online_samples, 64u);
+  ASSERT_EQ(summary.rm_drift.features.size(), 1u);
+  EXPECT_GT(summary.rm_drift.max_psi, 0.2);
+  EXPECT_TRUE(summary.rm_drift.features[0].alert);
+  EXPECT_EQ(summary.rm_drift.features_over_threshold, 1u);
+  // The CM side has no reference installed.
+  EXPECT_FALSE(summary.cm_drift.has_reference);
+
+  // An on-distribution stream stays calm.
+  ModelMonitor calm(config);
+  calm.SetReference(ModelKind::kRm, UniformReference());
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const double value = (static_cast<double>(i % 16) + 0.5) / 16.0;
+    calm.RecordPrediction(ModelKind::kRm, 2000 + i,
+                          std::vector<double>{value}, 50.0, 0.0, false,
+                          0.0);
+  }
+  const ModelMonitorSummary calm_summary = calm.Summary();
+  EXPECT_LT(calm_summary.rm_drift.max_psi, 0.1);
+  EXPECT_EQ(calm_summary.rm_drift.features_over_threshold, 0u);
+}
+
+TEST(ModelMonitorTest, MismatchedFeatureDimensionSkipsDriftAccounting) {
+  EnabledScope on(true);
+  ModelMonitor monitor;
+  monitor.SetReference(ModelKind::kCm, UniformReference());  // 1 feature
+  monitor.RecordPrediction(ModelKind::kCm, 1, Feat(0.5, 0.5), 0.9, 0.5,
+                           true, 60.0);  // 2 features
+  const ModelMonitorSummary summary = monitor.Summary();
+  EXPECT_EQ(summary.cm_drift.online_samples, 0u);
+  EXPECT_EQ(summary.cm_predictions, 1u);  // the audit record still lands
+}
+
+TEST(ModelMonitorTest, DisabledMutatorsAreNoops) {
+  ModelMonitor monitor;
+  {
+    EnabledScope off(false);
+    monitor.RecordPrediction(ModelKind::kCm, 1, Feat(1.0), 0.9, 0.5, true,
+                             60.0);
+    monitor.ObserveOutcome(1, 50.0, 60.0);
+  }
+  EXPECT_FALSE(monitor.HasData());
+  const ModelMonitorSummary summary = monitor.Summary();
+  EXPECT_EQ(summary.cm_predictions + summary.rm_predictions, 0u);
+  EXPECT_EQ(summary.observations_unmatched, 0u);
+}
+
+TEST(ModelMonitorTest, ResetClearsAllState) {
+  EnabledScope on(true);
+  ModelMonitor monitor;
+  monitor.SetReference(ModelKind::kRm, UniformReference());
+  monitor.RecordPrediction(ModelKind::kRm, 1, std::vector<double>{0.9},
+                           50.0, 0.0, false, 0.0);
+  ASSERT_TRUE(monitor.HasData());
+  monitor.Reset();
+  EXPECT_FALSE(monitor.HasData());
+  EXPECT_TRUE(monitor.Reference(ModelKind::kRm).Empty());
+  EXPECT_TRUE(monitor.AuditLog().empty());
+}
+
+TEST(ModelMonitorTest, SummaryJsonRoundTripsExactly) {
+  EnabledScope on(true);
+  ModelMonitor monitor;
+  monitor.SetReference(ModelKind::kRm, UniformReference());
+  monitor.RecordPrediction(ModelKind::kCm, 1, Feat(1.0), 0.62, 0.5, true,
+                           60.0);
+  monitor.ObserveOutcome(1, 58.31, 60.0);
+  monitor.RecordPrediction(ModelKind::kRm, 2, std::vector<double>{0.77},
+                           63.117, 60.0, true, 60.0);
+  monitor.ObserveOutcome(2, 59.993, 60.0);
+  monitor.ObserveOutcome(3, 41.5, 60.0);
+
+  const ModelMonitorSummary summary = monitor.Summary();
+  // Through the document model...
+  EXPECT_TRUE(ModelMonitorSummary::FromJson(summary.ToJson()) == summary);
+  // ...and through serialized text (shortest round-trippable numbers).
+  const ModelMonitorSummary parsed =
+      ModelMonitorSummary::FromJson(JsonValue::Parse(summary.ToJson().Dump(2)));
+  EXPECT_TRUE(parsed == summary);
+}
+
+TEST(ModelMonitorTest, ConcurrentRecordObserveAndSummarize) {
+  EnabledScope on(true);
+  ModelMonitorConfig config;
+  config.ring_capacity = 1 << 15;
+  ModelMonitor monitor(config);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&monitor, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const auto key =
+            static_cast<std::uint64_t>(t) * 100000 +
+            static_cast<std::uint64_t>(i);
+        const double prob = static_cast<double>(i % 100) / 100.0;
+        monitor.RecordPrediction(t % 2 == 0 ? ModelKind::kCm
+                                            : ModelKind::kRm,
+                                 key, std::vector<double>{prob}, prob, 0.5,
+                                 prob >= 0.5, 60.0);
+        monitor.ObserveOutcome(key, 55.0 + static_cast<double>(i % 10),
+                               60.0);
+      }
+    });
+  }
+  threads.emplace_back([&monitor] {
+    for (int i = 0; i < 200; ++i) {
+      (void)monitor.Summary();
+      (void)monitor.AuditLog();
+      (void)monitor.RecentOutcomes();
+      (void)monitor.HasData();
+    }
+  });
+  for (auto& thread : threads) thread.join();
+
+  const ModelMonitorSummary summary = monitor.Summary();
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(summary.cm_predictions + summary.rm_predictions, total);
+  // Keys are unique, so every observation either joined its own record or
+  // (if the ring wrapped first) went unmatched — never both.
+  EXPECT_EQ(summary.outcomes_joined + summary.observations_unmatched, total);
+}
+
+TEST(RunReportV2Test, CaptureAttachesModelMonitorSectionAndRoundTrips) {
+  EnabledScope on(true);
+  ModelMonitor& monitor = ModelMonitor::Global();
+  monitor.Reset();
+  monitor.RecordPrediction(ModelKind::kCm, 7, Feat(1.0), 0.9, 0.5, true,
+                           60.0);
+  monitor.ObserveOutcome(7, 72.5, 60.0);
+
+  obs::RunReport report = RunReport::Capture("monitor-roundtrip");
+  ASSERT_TRUE(report.model_monitor().has_value());
+  const std::string json = report.ToJsonString();
+  const JsonValue doc = JsonValue::Parse(json);
+  EXPECT_EQ(doc.Find("schema")->AsString(), kRunReportSchema);
+  ASSERT_NE(doc.Find("model_monitor"), nullptr);
+
+  const RunReport parsed = RunReport::FromJsonString(json);
+  ASSERT_TRUE(parsed.model_monitor().has_value());
+  EXPECT_TRUE(*parsed.model_monitor() == *report.model_monitor());
+  EXPECT_TRUE(parsed.snapshot() == report.snapshot());
+  // The text rendering mentions the monitor.
+  EXPECT_NE(report.ToText().find("model monitor"), std::string::npos);
+  monitor.Reset();
+}
+
+TEST(RunReportV2Test, V1DocumentsStillParseWithoutMonitorSection) {
+  const RunReport parsed = RunReport::FromJsonString(
+      R"({"schema": "gaugur.obs.run_report/v1", "name": "legacy",)"
+      R"( "counters": {"lab.measurements": 3}})");
+  EXPECT_EQ(parsed.name(), "legacy");
+  EXPECT_FALSE(parsed.model_monitor().has_value());
+  EXPECT_EQ(parsed.snapshot().counters.at("lab.measurements"), 3u);
+}
+
+TEST(RunReportV2Test, ReportWithoutMonitorDataOmitsSection) {
+  EnabledScope on(true);
+  ModelMonitor::Global().Reset();
+  const RunReport report = RunReport::Capture("no-monitor");
+  EXPECT_FALSE(report.model_monitor().has_value());
+  EXPECT_EQ(report.ToJson().Find("model_monitor"), nullptr);
+}
+
+}  // namespace
+}  // namespace gaugur::obs

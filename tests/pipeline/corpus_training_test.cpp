@@ -156,6 +156,64 @@ TEST(TrainingTest, LowerQosNeverDecreasesPositives) {
   EXPECT_GT(loose_pos, 0.0);
 }
 
+TEST(TrainingTest, FeatureReferenceCoversTrainingDistribution) {
+  const auto& world = TestWorld::Get();
+  const auto rm = BuildRmDataset(world.features(), world.corpus());
+  const auto reference = BuildFeatureReference(rm);
+  ASSERT_EQ(reference.NumFeatures(), rm.NumFeatures());
+  EXPECT_EQ(reference.samples, rm.NumRows());
+  EXPECT_FALSE(reference.Empty());
+  for (std::size_t f = 0; f < reference.NumFeatures(); ++f) {
+    // Edges are strictly increasing (deduplicated quantiles).
+    for (std::size_t e = 1; e < reference.edges[f].size(); ++e) {
+      EXPECT_GT(reference.edges[f][e], reference.edges[f][e - 1]);
+    }
+    ASSERT_EQ(reference.probs[f].size(), reference.edges[f].size() + 1);
+    double total = 0.0;
+    for (double p : reference.probs[f]) {
+      EXPECT_GE(p, 0.0);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+  // Re-binning the training rows through the same Bin() the monitor uses
+  // online reproduces the stored proportions exactly.
+  std::vector<std::vector<double>> recount(reference.NumFeatures());
+  for (std::size_t f = 0; f < reference.NumFeatures(); ++f) {
+    recount[f].assign(reference.probs[f].size(), 0.0);
+  }
+  for (std::size_t i = 0; i < rm.NumRows(); ++i) {
+    const auto row = rm.Row(i);
+    for (std::size_t f = 0; f < reference.NumFeatures(); ++f) {
+      recount[f][reference.Bin(f, row[f])] += 1.0;
+    }
+  }
+  for (std::size_t f = 0; f < reference.NumFeatures(); ++f) {
+    for (std::size_t b = 0; b < recount[f].size(); ++b) {
+      EXPECT_NEAR(recount[f][b] / static_cast<double>(rm.NumRows()),
+                  reference.probs[f][b], 1e-12);
+    }
+  }
+}
+
+TEST(TrainingTest, FeatureReferenceCollapsesConstantColumns) {
+  ml::Dataset dataset(2, {"constant", "varying"});
+  for (int i = 0; i < 100; ++i) {
+    const double x[] = {5.0, static_cast<double>(i)};
+    dataset.Add(x, 0.0);
+  }
+  const auto reference = BuildFeatureReference(dataset, 4);
+  // The constant column deduplicates to zero interior edges: one wide bin
+  // holding all the mass.
+  ASSERT_EQ(reference.edges[0].size(), 0u);
+  ASSERT_EQ(reference.probs[0].size(), 1u);
+  EXPECT_NEAR(reference.probs[0][0], 1.0, 1e-12);
+  // The varying column keeps its 3 interior quartile edges.
+  ASSERT_EQ(reference.edges[1].size(), 3u);
+  for (double p : reference.probs[1]) EXPECT_NEAR(p, 0.25, 1e-12);
+  EXPECT_EQ(reference.names[0], "constant");
+}
+
 TEST(TrainingTest, MultiQosReplication) {
   const auto& world = TestWorld::Get();
   const std::vector<double> grid{50.0, 60.0};

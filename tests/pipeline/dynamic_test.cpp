@@ -4,7 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+
+#include "gaugur/predictor.h"
 #include "obs/metrics.h"
+#include "obs/model_monitor.h"
 #include "obs/report.h"
 #include "obs/switch.h"
 #include "tests/pipeline/world.h"
@@ -170,6 +174,54 @@ TEST(DynamicFleetTest, RegistrySnapshotAfterFullRunRoundTripsJson) {
   EXPECT_GT(parsed.snapshot().counters.at("sched.placements"), 0u);
   EXPECT_GT(parsed.snapshot().counters.at("lab.true_fps_calls"), 0u);
   EXPECT_GT(parsed.snapshot().counters.at("sim.solve_calls"), 0u);
+}
+
+TEST(DynamicFleetTest, ModelMonitorJoinsPredictionsWithFleetOutcomes) {
+  obs::EnabledScope on(true);
+  const auto& world = TestWorld::Get();
+  auto& monitor = obs::ModelMonitor::Global();
+  monitor.Reset();
+
+  // A modest training slice keeps this test fast; fit-time feature
+  // references are installed because obs is enabled during training.
+  core::GAugurPredictor predictor(world.features());
+  const std::span<const core::MeasuredColocation> slice =
+      std::span(world.corpus()).first(200);
+  predictor.TrainRm(slice);
+  const std::vector<double> qos_grid{60.0};
+  predictor.TrainCm(slice, qos_grid);
+  EXPECT_FALSE(monitor.Reference(obs::ModelKind::kRm).Empty());
+  EXPECT_FALSE(monitor.Reference(obs::ModelKind::kCm).Empty());
+
+  const auto setup = SelectStudyGames(world.lab(), 6, 60.0, 3);
+  const auto trace = GenerateDynamicTrace(setup.game_ids, 150.0, 0.5,
+                                          25.0, 19);
+  const auto policy = MakeFirstFeasiblePolicy([&](const Colocation& c) {
+    return predictor.PredictFeasible(60.0, c);
+  });
+  const auto result = SimulateDynamicFleet(world.lab(), trace, policy);
+  EXPECT_GT(result.sessions, 0u);
+
+  // The predictor audited CM queries during admission and the simulator
+  // observed realized FPS for every placed colocation: records joined.
+  const obs::ModelMonitorSummary summary = monitor.Summary();
+  EXPECT_GT(summary.cm_predictions, 0u);
+  EXPECT_GT(summary.outcomes_joined, 0u);
+  EXPECT_TRUE(summary.cm_drift.has_reference);
+  EXPECT_GT(summary.cm_drift.online_samples, 0u);
+  // Joined outcomes landed in the CM confusion matrix.
+  EXPECT_GT(summary.cm_tp + summary.cm_fp + summary.cm_tn + summary.cm_fn,
+            0u);
+
+  // The run report carries the monitor section and round-trips.
+  const obs::RunReport report =
+      obs::RunReport::Capture("pipeline-model-monitor");
+  ASSERT_TRUE(report.model_monitor().has_value());
+  const obs::RunReport parsed =
+      obs::RunReport::FromJsonString(report.ToJsonString());
+  ASSERT_TRUE(parsed.model_monitor().has_value());
+  EXPECT_TRUE(*parsed.model_monitor() == *report.model_monitor());
+  monitor.Reset();
 }
 
 TEST(DynamicTraceTest, RespectsHorizonAndGames) {
