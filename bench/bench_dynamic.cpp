@@ -65,10 +65,13 @@ int main() {
   };
 
   for (const auto& method : methods) {
-    run(method->Name(), sched::MakeFirstFeasiblePolicy(
-                            [&](const core::Colocation& c) {
-                              return method->Feasible(kQos, c);
-                            }));
+    // One batched feasibility call per arrival (all open servers scored
+    // together); GAugur methods answer it with a single model evaluation.
+    run(method->Name(),
+        sched::MakeBatchFeasiblePolicy(
+            [&](std::span<const core::Colocation> candidates) {
+              return method->FeasibleBatch(kQos, candidates);
+            }));
   }
   run("Oracle", sched::MakeFirstFeasiblePolicy(
                     [&](const core::Colocation& c) {

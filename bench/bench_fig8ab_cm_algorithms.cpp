@@ -9,6 +9,7 @@
 
 #include "bench/bench_world.h"
 #include "common/table.h"
+#include "gaugur/predictor.h"
 #include "gaugur/training.h"
 #include "ml/factory.h"
 #include "ml/metrics.h"
@@ -43,7 +44,13 @@ void RunAtQos(const bench::BenchWorld& world, double qos,
         rows_used = static_cast<long long>(train.NumRows());
         auto model = ml::MakeClassifier(name, 23 + seed);
         model->Fit(train);
-        acc_sum += ml::Accuracy(model->PredictBatch(cm_test), actual);
+        // Threshold decisions the same way the online predictor does, so
+        // this figure reflects deployed accuracy rather than a hardcoded
+        // 0.5 cut.
+        acc_sum += ml::Accuracy(
+            model->PredictBatch(cm_test,
+                                core::PredictorConfig{}.cm_decision_threshold),
+            actual);
       }
       const double acc = acc_sum / static_cast<double>(seeds.size());
       row.emplace_back(acc);

@@ -52,11 +52,10 @@ int main() {
   common::Table metrics({"methodology", "accuracy", "precision", "recall"},
                         3);
   for (const auto& method : methods) {
-    std::vector<int> predicted;
-    predicted.reserve(colocations.size());
-    for (const auto& c : colocations) {
-      predicted.push_back(method->Feasible(kQos, c) ? 1 : 0);
-    }
+    // All 385 candidates judged in one batched call.
+    const std::vector<char> verdicts =
+        method->FeasibleBatch(kQos, colocations);
+    std::vector<int> predicted(verdicts.begin(), verdicts.end());
     const auto cm = ml::ComputeConfusion(predicted, truth);
     counts.AddRow({method->Name(), static_cast<long long>(cm.tp),
                    static_cast<long long>(cm.fp),

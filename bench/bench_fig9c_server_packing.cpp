@@ -74,12 +74,15 @@ int main() {
 
       for (std::size_t mi = 0; mi <= methods.size(); ++mi) {
         const bool oracle = mi == methods.size();
+        // One batched judgement of every enumerated colocation per
+        // (draw, QoS, methodology); both protocols read from it.
+        std::vector<char> verdicts;
+        if (!oracle) verdicts = methods[mi]->FeasibleBatch(qos, colocations);
         // Paper protocol: true positives (singletons always known).
         std::vector<core::Colocation> tp_set;
         for (std::size_t i = 0; i < colocations.size(); ++i) {
           if (!truly[i]) continue;
-          if (oracle || colocations[i].size() == 1 ||
-              methods[mi]->Feasible(qos, colocations[i])) {
+          if (oracle || colocations[i].size() == 1 || verdicts[i] != 0) {
             tp_set.push_back(colocations[i]);
           }
         }
@@ -103,7 +106,7 @@ int main() {
                                       .SoloFps(
                                           colocations[i][0].resolution) >=
                                   qos
-                            : methods[mi]->Feasible(qos, colocations[i]));
+                            : verdicts[i] != 0);
           if (believed) own_set.push_back(colocations[i]);
         }
         const auto packed = sched::PackRequests(own_set, requests);

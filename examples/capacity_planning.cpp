@@ -59,12 +59,14 @@ int main() {
                 lab.TrueSoloFps({id, resources::k1080p}));
   }
 
-  // Identify feasible colocations with the CM, then pack.
+  // Identify feasible colocations with the CM — every candidate scored
+  // in one batched call — then pack.
   const auto candidates = sched::EnumerateColocations(setup.pool, 4);
+  const auto verdicts = predictor.ScoreCandidates(kQos, candidates);
   std::vector<core::Colocation> feasible;
-  for (const auto& c : candidates) {
-    if (c.size() == 1 || predictor.PredictFeasible(kQos, c)) {
-      feasible.push_back(c);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i].size() == 1 || verdicts[i] != 0) {
+      feasible.push_back(candidates[i]);
     }
   }
   std::printf("\nCM judged %zu of %zu candidate colocations feasible.\n",

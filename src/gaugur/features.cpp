@@ -59,24 +59,39 @@ AggregateIntensity FeatureBuilder::Aggregate(
   return agg;
 }
 
+void FeatureBuilder::AppendRmFeatures(
+    const SessionRequest& victim, std::span<const SessionRequest> corunners,
+    std::vector<double>& out) const {
+  const auto& profile = Profile(victim.game_id);
+  for (const auto& curve : profile.sensitivity) {
+    GAUGUR_CHECK(curve.degradation.size() == curve_points_);
+    out.insert(out.end(), curve.degradation.begin(),
+               curve.degradation.end());
+  }
+  // Victim-side extension block (see header).
+  out.push_back(victim.resolution.Megapixels());
+  out.push_back(profile.SoloFps(victim.resolution));
+  for (Resource r : resources::kAllResources) {
+    out.push_back(profile.IntensityAt(r, victim.resolution));
+  }
+  Aggregate(corunners).AppendTo(out);
+}
+
+void FeatureBuilder::AppendCmFeatures(
+    double qos_fps, const SessionRequest& victim,
+    std::span<const SessionRequest> corunners,
+    std::vector<double>& out) const {
+  out.push_back(qos_fps);
+  out.push_back(Profile(victim.game_id).SoloFps(victim.resolution));
+  AppendRmFeatures(victim, corunners, out);
+}
+
 std::vector<double> FeatureBuilder::RmFeatures(
     const SessionRequest& victim,
     std::span<const SessionRequest> corunners) const {
-  const auto& profile = Profile(victim.game_id);
   std::vector<double> features;
   features.reserve(RmDim());
-  for (const auto& curve : profile.sensitivity) {
-    GAUGUR_CHECK(curve.degradation.size() == curve_points_);
-    features.insert(features.end(), curve.degradation.begin(),
-                    curve.degradation.end());
-  }
-  // Victim-side extension block (see header).
-  features.push_back(victim.resolution.Megapixels());
-  features.push_back(profile.SoloFps(victim.resolution));
-  for (Resource r : resources::kAllResources) {
-    features.push_back(profile.IntensityAt(r, victim.resolution));
-  }
-  Aggregate(corunners).AppendTo(features);
+  AppendRmFeatures(victim, corunners, features);
   return features;
 }
 
@@ -85,10 +100,7 @@ std::vector<double> FeatureBuilder::CmFeatures(
     std::span<const SessionRequest> corunners) const {
   std::vector<double> features;
   features.reserve(CmDim());
-  features.push_back(qos_fps);
-  features.push_back(Profile(victim.game_id).SoloFps(victim.resolution));
-  const auto rm = RmFeatures(victim, corunners);
-  features.insert(features.end(), rm.begin(), rm.end());
+  AppendCmFeatures(qos_fps, victim, corunners, features);
   return features;
 }
 

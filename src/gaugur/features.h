@@ -75,6 +75,18 @@ class FeatureBuilder {
       double qos_fps, const SessionRequest& victim,
       std::span<const SessionRequest> corunners) const;
 
+  /// Appends the RM feature vector (RmDim() values) to `out` without a
+  /// fresh allocation — the matrix-building primitive behind the batch
+  /// prediction path: callers append many rows into one row-major buffer.
+  void AppendRmFeatures(const SessionRequest& victim,
+                        std::span<const SessionRequest> corunners,
+                        std::vector<double>& out) const;
+
+  /// Appends the CM feature vector (CmDim() values) to `out`.
+  void AppendCmFeatures(double qos_fps, const SessionRequest& victim,
+                        std::span<const SessionRequest> corunners,
+                        std::vector<double>& out) const;
+
   /// Victim-side extension features (see header comment): megapixels,
   /// solo FPS, and the 7 own-intensities.
   static constexpr std::size_t kVictimDim = 2 + resources::kNumResources;

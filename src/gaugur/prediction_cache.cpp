@@ -1,0 +1,56 @@
+#include "gaugur/prediction_cache.h"
+
+namespace gaugur::core {
+
+std::shared_ptr<const CachedPrediction> PredictionCache::Lookup(
+    const PredictionCacheKey& key) const {
+  if (capacity_ == 0) return nullptr;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return it->second.value;
+}
+
+void PredictionCache::Insert(const PredictionCacheKey& key,
+                             CachedPrediction entry) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.value =
+        std::make_shared<const CachedPrediction>(std::move(entry));
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+  lru_.push_front(key);
+  entries_[key] = {lru_.begin(),
+                   std::make_shared<const CachedPrediction>(std::move(entry))};
+  while (entries_.size() > capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void PredictionCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  lru_.clear();
+}
+
+std::size_t PredictionCache::Size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+PredictionCache::Stats PredictionCache::GetStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace gaugur::core

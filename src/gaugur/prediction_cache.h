@@ -1,0 +1,101 @@
+// Bounded memoization for the online prediction service.
+//
+// The schedulers re-ask the predictor about the same (victim, co-runner
+// set) many times — every arrival in the dynamic fleet re-scores the open
+// servers, and packing/assignment sweeps revisit candidate colocations —
+// so the predictor front-ends its models with this LRU cache. Keys are
+// core::ModelJoinKey (order-insensitive over the co-runner set) combined
+// with the query kind and, for CM queries, the QoS bit pattern; entries
+// carry the model's raw output *and* the feature vector it was computed
+// from, so a cache hit can still emit the exact audit record
+// (obs::ModelMonitor) an uncached query would have — memoization is
+// invisible to the monitoring pipeline.
+//
+// Invalidation: GAugurPredictor::TrainRm/TrainCm call Clear() — a cache
+// must never outlive the model that filled it.
+//
+// Thread-safe: a single mutex guards the map and LRU list (lookups mutate
+// recency). Hit/miss/eviction counts are kept internally (always on, for
+// tests) and mirrored into obs counters by the predictor.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace gaugur::core {
+
+/// Identifies one logical predictor query.
+struct PredictionCacheKey {
+  std::uint64_t join_key = 0;  // core::ModelJoinKey(victim, corunners)
+  std::uint64_t qos_bits = 0;  // bit pattern of the QoS; 0 for RM queries
+  std::uint8_t kind = 0;       // 0 = RM degradation, 1 = CM probability
+
+  friend bool operator==(const PredictionCacheKey&,
+                         const PredictionCacheKey&) = default;
+};
+
+struct PredictionCacheKeyHash {
+  std::size_t operator()(const PredictionCacheKey& key) const {
+    std::uint64_t h = key.join_key;
+    h ^= key.qos_bits + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h ^= key.kind + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// One memoized model answer: the raw output (clamped RM degradation or
+/// CM probability) plus the features it was computed from, kept so cache
+/// hits replay bit-identical audit records.
+struct CachedPrediction {
+  std::vector<double> features;
+  double value = 0.0;
+};
+
+class PredictionCache {
+ public:
+  /// `capacity` == 0 disables the cache (every Lookup misses, Insert is
+  /// a no-op).
+  explicit PredictionCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the entry and refreshes its recency, or nullptr on miss.
+  std::shared_ptr<const CachedPrediction> Lookup(
+      const PredictionCacheKey& key) const;
+
+  /// Inserts (or refreshes) an entry, evicting the least recently used
+  /// entries beyond the capacity bound.
+  void Insert(const PredictionCacheKey& key, CachedPrediction entry);
+
+  /// Drops every entry (retrain invalidation). Stats are kept.
+  void Clear();
+
+  std::size_t Size() const;
+  std::size_t Capacity() const { return capacity_; }
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+  Stats GetStats() const;
+
+ private:
+  struct Entry {
+    std::list<PredictionCacheKey>::iterator lru_it;
+    std::shared_ptr<const CachedPrediction> value;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  /// Most recently used at the front.
+  mutable std::list<PredictionCacheKey> lru_;
+  mutable std::unordered_map<PredictionCacheKey, Entry,
+                             PredictionCacheKeyHash>
+      entries_;
+  mutable Stats stats_;
+};
+
+}  // namespace gaugur::core

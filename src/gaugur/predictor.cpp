@@ -1,21 +1,55 @@
 #include "gaugur/predictor.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
 #include "ml/factory.h"
+#include "obs/metrics.h"
 #include "obs/model_monitor.h"
 #include "obs/switch.h"
 
 namespace gaugur::core {
+
+namespace {
+
+constexpr std::uint8_t kRmKind = 0;
+constexpr std::uint8_t kCmKind = 1;
+
+/// Handles into the global metric registry, resolved once. The mutators
+/// are no-ops while obs is disabled.
+struct PredictorMetrics {
+  obs::Counter& cache_hits;
+  obs::Counter& cache_misses;
+  obs::Counter& cache_evictions;
+  obs::Histogram& batch_size;
+
+  static PredictorMetrics& Get() {
+    static PredictorMetrics metrics{
+        obs::Registry::Global().GetCounter("gaugur.predictor.cache_hits"),
+        obs::Registry::Global().GetCounter("gaugur.predictor.cache_misses"),
+        obs::Registry::Global().GetCounter(
+            "gaugur.predictor.cache_evictions"),
+        obs::Registry::Global().GetHistogram(
+            "gaugur.predictor.batch_size",
+            obs::Histogram::ExponentialBounds(1.0, 2.0, 14)),
+    };
+    return metrics;
+  }
+};
+
+}  // namespace
 
 GAugurPredictor::GAugurPredictor(const FeatureBuilder& features,
                                  PredictorConfig config)
     : features_(&features),
       config_(std::move(config)),
       rm_(ml::MakeRegressor(config_.rm_algorithm, config_.seed)),
-      cm_(ml::MakeClassifier(config_.cm_algorithm, config_.seed + 1)) {}
+      cm_(ml::MakeClassifier(config_.cm_algorithm, config_.seed + 1)),
+      cache_(config_.prediction_cache_capacity) {}
 
 void GAugurPredictor::TrainRm(std::span<const MeasuredColocation> corpus) {
   TrainRmOnDataset(BuildRmDataset(*features_, corpus));
@@ -25,6 +59,7 @@ void GAugurPredictor::TrainRmOnDataset(const ml::Dataset& dataset) {
   GAUGUR_CHECK(dataset.NumFeatures() == features_->RmDim());
   rm_->Fit(dataset);
   rm_trained_ = true;
+  cache_.Clear();  // memoized outputs belong to the previous model
   if (obs::Enabled()) {
     obs::ModelMonitor::Global().SetReference(obs::ModelKind::kRm,
                                              BuildFeatureReference(dataset));
@@ -40,98 +75,268 @@ void GAugurPredictor::TrainCmOnDataset(const ml::Dataset& dataset) {
   GAUGUR_CHECK(dataset.NumFeatures() == features_->CmDim());
   cm_->Fit(dataset);
   cm_trained_ = true;
+  cache_.Clear();
   if (obs::Enabled()) {
     obs::ModelMonitor::Global().SetReference(obs::ModelKind::kCm,
                                              BuildFeatureReference(dataset));
   }
 }
 
-double GAugurPredictor::RmDegradation(
-    const SessionRequest& victim, std::span<const SessionRequest> corunners,
-    std::vector<double>& x) const {
+GAugurPredictor::BatchEval GAugurPredictor::EvalRmBatch(
+    std::span<const QosQuery> queries) const {
   GAUGUR_CHECK_MSG(rm_trained_, "RM not trained");
-  x = features_->RmFeatures(victim, corunners);
-  return std::clamp(rm_->Predict(x), 0.01, 1.0);
+  const std::size_t n = queries.size();
+  BatchEval ev;
+  ev.values.resize(n);
+  ev.keys.resize(n);
+  ev.x.resize(n);
+  ev.hits.resize(n);
+
+  std::vector<std::size_t> miss;
+  miss.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ev.keys[i] = ModelJoinKey(queries[i].victim, queries[i].corunners);
+    if (auto hit = cache_.Lookup({ev.keys[i], 0, kRmKind})) {
+      ev.values[i] = hit->value;
+      ev.x[i] = hit->features;
+      ev.hits[i] = std::move(hit);
+    } else {
+      miss.push_back(i);
+    }
+  }
+
+  const bool obs_on = obs::Enabled();
+  const std::uint64_t evictions_before =
+      obs_on ? cache_.GetStats().evictions : 0;
+
+  // Misses: one row-major matrix, one batched model call.
+  const std::size_t dim = features_->RmDim();
+  ev.matrix.reserve(miss.size() * dim);
+  for (std::size_t i : miss) {
+    features_->AppendRmFeatures(queries[i].victim, queries[i].corunners,
+                                ev.matrix);
+  }
+  std::vector<double> out(miss.size());
+  if (!miss.empty()) {
+    rm_->PredictBatch(ml::MatrixView{ev.matrix.data(), miss.size(), dim},
+                      out);
+  }
+  for (std::size_t j = 0; j < miss.size(); ++j) {
+    const std::size_t i = miss[j];
+    const double degradation = std::clamp(out[j], 0.01, 1.0);
+    ev.values[i] = degradation;
+    const std::span<const double> row{ev.matrix.data() + j * dim, dim};
+    ev.x[i] = row;
+    cache_.Insert({ev.keys[i], 0, kRmKind},
+                  {std::vector<double>(row.begin(), row.end()), degradation});
+  }
+
+  if (obs_on) {
+    auto& metrics = PredictorMetrics::Get();
+    metrics.batch_size.Record(static_cast<double>(n));
+    metrics.cache_hits.Add(n - miss.size());
+    metrics.cache_misses.Add(miss.size());
+    metrics.cache_evictions.Add(cache_.GetStats().evictions -
+                                evictions_before);
+  }
+  return ev;
 }
 
-void GAugurPredictor::AuditRm(const SessionRequest& victim,
-                              std::span<const SessionRequest> corunners,
+GAugurPredictor::BatchEval GAugurPredictor::EvalCmBatch(
+    double qos_fps, std::span<const QosQuery> queries) const {
+  GAUGUR_CHECK_MSG(cm_trained_, "CM not trained");
+  const std::uint64_t qos_bits = std::bit_cast<std::uint64_t>(qos_fps);
+  const std::size_t n = queries.size();
+  BatchEval ev;
+  ev.values.resize(n);
+  ev.keys.resize(n);
+  ev.x.resize(n);
+  ev.hits.resize(n);
+
+  std::vector<std::size_t> miss;
+  miss.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ev.keys[i] = ModelJoinKey(queries[i].victim, queries[i].corunners);
+    if (auto hit = cache_.Lookup({ev.keys[i], qos_bits, kCmKind})) {
+      ev.values[i] = hit->value;
+      ev.x[i] = hit->features;
+      ev.hits[i] = std::move(hit);
+    } else {
+      miss.push_back(i);
+    }
+  }
+
+  const bool obs_on = obs::Enabled();
+  const std::uint64_t evictions_before =
+      obs_on ? cache_.GetStats().evictions : 0;
+
+  const std::size_t dim = features_->CmDim();
+  ev.matrix.reserve(miss.size() * dim);
+  for (std::size_t i : miss) {
+    features_->AppendCmFeatures(qos_fps, queries[i].victim,
+                                queries[i].corunners, ev.matrix);
+  }
+  std::vector<double> out(miss.size());
+  if (!miss.empty()) {
+    cm_->PredictProbBatch(
+        ml::MatrixView{ev.matrix.data(), miss.size(), dim}, out);
+  }
+  for (std::size_t j = 0; j < miss.size(); ++j) {
+    const std::size_t i = miss[j];
+    ev.values[i] = out[j];
+    const std::span<const double> row{ev.matrix.data() + j * dim, dim};
+    ev.x[i] = row;
+    cache_.Insert({ev.keys[i], qos_bits, kCmKind},
+                  {std::vector<double>(row.begin(), row.end()), out[j]});
+  }
+
+  if (obs_on) {
+    auto& metrics = PredictorMetrics::Get();
+    metrics.batch_size.Record(static_cast<double>(n));
+    metrics.cache_hits.Add(n - miss.size());
+    metrics.cache_misses.Add(miss.size());
+    metrics.cache_evictions.Add(cache_.GetStats().evictions -
+                                evictions_before);
+  }
+  return ev;
+}
+
+void GAugurPredictor::AuditRm(std::uint64_t join_key,
                               std::span<const double> x, double predicted_fps,
                               double qos_fps, bool decision) const {
   if (!obs::Enabled()) return;
-  obs::ModelMonitor::Global().RecordPrediction(
-      obs::ModelKind::kRm, ModelJoinKey(victim, corunners), x, predicted_fps,
-      /*threshold=*/qos_fps, decision, qos_fps);
+  obs::ModelMonitor::Global().RecordPrediction(obs::ModelKind::kRm, join_key,
+                                               x, predicted_fps,
+                                               /*threshold=*/qos_fps,
+                                               decision, qos_fps);
 }
 
 double GAugurPredictor::PredictDegradation(
     const SessionRequest& victim,
     std::span<const SessionRequest> corunners) const {
-  std::vector<double> x;
-  const double degradation = RmDegradation(victim, corunners, x);
+  const QosQuery query{victim, corunners};
+  const BatchEval ev = EvalRmBatch({&query, 1});
   // Audited in FPS units (degradation x profiled solo FPS) so the record
   // joins against realized FPS like every other RM entry.
-  AuditRm(victim, corunners, x,
-          degradation *
-              features_->Profile(victim.game_id).SoloFps(victim.resolution),
+  AuditRm(ev.keys[0], ev.x[0], ev.values[0] * SoloFps(victim),
           /*qos_fps=*/0.0, /*decision=*/false);
-  return degradation;
+  return ev.values[0];
 }
 
 double GAugurPredictor::PredictFps(
     const SessionRequest& victim,
     std::span<const SessionRequest> corunners) const {
-  std::vector<double> x;
-  const double fps =
-      RmDegradation(victim, corunners, x) *
-      features_->Profile(victim.game_id).SoloFps(victim.resolution);
-  AuditRm(victim, corunners, x, fps, /*qos_fps=*/0.0, /*decision=*/false);
+  const QosQuery query{victim, corunners};
+  const BatchEval ev = EvalRmBatch({&query, 1});
+  const double fps = ev.values[0] * SoloFps(victim);
+  AuditRm(ev.keys[0], ev.x[0], fps, /*qos_fps=*/0.0, /*decision=*/false);
+  return fps;
+}
+
+std::vector<double> GAugurPredictor::PredictFpsBatch(
+    std::span<const QosQuery> queries) const {
+  const BatchEval ev = EvalRmBatch(queries);
+  std::vector<double> fps(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    fps[i] = ev.values[i] * SoloFps(queries[i].victim);
+    AuditRm(ev.keys[i], ev.x[i], fps[i], /*qos_fps=*/0.0,
+            /*decision=*/false);
+  }
   return fps;
 }
 
 bool GAugurPredictor::PredictQosOk(
     double qos_fps, const SessionRequest& victim,
     std::span<const SessionRequest> corunners) const {
+  const QosQuery query{victim, corunners};
+  return PredictQosOkBatch(qos_fps, {&query, 1})[0] != 0;
+}
+
+std::vector<char> GAugurPredictor::PredictQosOkBatch(
+    double qos_fps, std::span<const QosQuery> queries) const {
+  std::vector<char> ok(queries.size());
   if (cm_trained_) {
-    const auto x = features_->CmFeatures(qos_fps, victim, corunners);
-    const double prob = cm_->PredictProb(x);
-    const bool feasible = prob >= config_.cm_decision_threshold;
-    if (obs::Enabled()) {
-      obs::ModelMonitor::Global().RecordPrediction(
-          obs::ModelKind::kCm, ModelJoinKey(victim, corunners), x, prob,
-          config_.cm_decision_threshold, feasible, qos_fps);
+    const BatchEval ev = EvalCmBatch(qos_fps, queries);
+    const bool obs_on = obs::Enabled();
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const bool feasible = ev.values[i] >= config_.cm_decision_threshold;
+      ok[i] = feasible ? 1 : 0;
+      if (obs_on) {
+        obs::ModelMonitor::Global().RecordPrediction(
+            obs::ModelKind::kCm, ev.keys[i], ev.x[i], ev.values[i],
+            config_.cm_decision_threshold, feasible, qos_fps);
+      }
     }
-    return feasible;
+    return ok;
   }
-  std::vector<double> x;
-  const double fps =
-      RmDegradation(victim, corunners, x) *
-      features_->Profile(victim.game_id).SoloFps(victim.resolution);
-  const bool feasible = fps >= qos_fps;
-  AuditRm(victim, corunners, x, fps, qos_fps, feasible);
-  return feasible;
+  // RM fallback: threshold the predicted absolute FPS against QoS.
+  const BatchEval ev = EvalRmBatch(queries);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const double fps = ev.values[i] * SoloFps(queries[i].victim);
+    const bool feasible = fps >= qos_fps;
+    ok[i] = feasible ? 1 : 0;
+    AuditRm(ev.keys[i], ev.x[i], fps, qos_fps, feasible);
+  }
+  return ok;
 }
 
 bool GAugurPredictor::PredictFeasible(double qos_fps,
                                       const Colocation& colocation) const {
-  double cpu_mem = 0.0, gpu_mem = 0.0;
-  for (const auto& session : colocation) {
-    const auto& profile = features_->Profile(session.game_id);
-    cpu_mem += profile.cpu_memory;
-    gpu_mem += profile.gpu_memory;
-  }
-  if (cpu_mem > 1.0 || gpu_mem > 1.0) return false;
+  return ScoreCandidates(qos_fps, {&colocation, 1})[0] != 0;
+}
 
-  std::vector<SessionRequest> corunners;
-  corunners.reserve(colocation.size() - 1);
-  for (std::size_t v = 0; v < colocation.size(); ++v) {
-    corunners.clear();
-    for (std::size_t j = 0; j < colocation.size(); ++j) {
-      if (j != v) corunners.push_back(colocation[j]);
+std::vector<char> GAugurPredictor::ScoreCandidates(
+    double qos_fps, std::span<const Colocation> candidates) const {
+  std::vector<char> feasible(candidates.size(), 0);
+
+  // Memory screen first; only memory-fitting candidates spend model
+  // queries.
+  std::size_t num_queries = 0;
+  std::size_t pool_slots = 0;
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    double cpu_mem = 0.0, gpu_mem = 0.0;
+    for (const auto& session : candidates[c]) {
+      const auto& profile = features_->Profile(session.game_id);
+      cpu_mem += profile.cpu_memory;
+      gpu_mem += profile.gpu_memory;
     }
-    if (!PredictQosOk(qos_fps, colocation[v], corunners)) return false;
+    if (cpu_mem <= 1.0 && gpu_mem <= 1.0) {
+      feasible[c] = 1;
+      num_queries += candidates[c].size();
+      pool_slots += candidates[c].size() * (candidates[c].size() - 1);
+    }
   }
-  return true;
+  if (num_queries == 0) return feasible;
+
+  // One query per (victim, candidate). Co-runner sets live in one flat
+  // pool, reserved up front so the spans stay valid while the batch runs.
+  std::vector<SessionRequest> pool;
+  pool.reserve(pool_slots);
+  std::vector<QosQuery> queries;
+  queries.reserve(num_queries);
+  std::vector<std::size_t> query_candidate;
+  query_candidate.reserve(num_queries);
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    if (feasible[c] == 0) continue;
+    const Colocation& colocation = candidates[c];
+    for (std::size_t v = 0; v < colocation.size(); ++v) {
+      const std::size_t begin = pool.size();
+      for (std::size_t j = 0; j < colocation.size(); ++j) {
+        if (j != v) pool.push_back(colocation[j]);
+      }
+      queries.push_back(
+          {colocation[v],
+           std::span<const SessionRequest>(pool.data() + begin,
+                                           pool.size() - begin)});
+      query_candidate.push_back(c);
+    }
+  }
+
+  const std::vector<char> ok = PredictQosOkBatch(qos_fps, queries);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    if (ok[q] == 0) feasible[query_candidate[q]] = 0;
+  }
+  return feasible;
 }
 
 }  // namespace gaugur::core

@@ -3,10 +3,22 @@
 // queries the schedulers need, answering from profiled features only —
 // never from the simulator's hidden state.
 //
-// When observability is on, every public CM/RM query appends one audit
-// record to obs::ModelMonitor::Global() (keyed by core::ModelJoinKey) and
-// each Train*OnDataset call installs the training set's feature
-// distribution as that model's drift reference.
+// The service is batched end to end: the schedulers hand over every
+// candidate of a decision at once (PredictQosOkBatch / ScoreCandidates),
+// features for the whole batch are appended into one row-major matrix
+// (no per-query allocation), and a single virtual PredictBatch /
+// PredictProbBatch call runs the flattened tree kernels over it. A
+// bounded LRU PredictionCache keyed by core::ModelJoinKey (+ QoS for CM
+// queries) memoizes raw model outputs across decisions and is
+// invalidated by TrainRm/TrainCm. The scalar entry points are
+// batches of one.
+//
+// When observability is on, every public CM/RM query — cache hit or miss
+// — appends exactly one audit record to obs::ModelMonitor::Global()
+// (keyed by core::ModelJoinKey) and each Train*OnDataset call installs
+// the training set's feature distribution as that model's drift
+// reference. Cached entries keep their feature vector so a hit replays a
+// bit-identical record.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +28,7 @@
 #include <vector>
 
 #include "gaugur/features.h"
+#include "gaugur/prediction_cache.h"
 #include "gaugur/training.h"
 #include "ml/model.h"
 
@@ -31,6 +44,16 @@ struct PredictorConfig {
   /// more than a missed colocation opportunity.
   double cm_decision_threshold = 0.5;
   std::uint64_t seed = 31;
+  /// Entries held by the memoizing PredictionCache; 0 disables caching
+  /// (every query runs the model).
+  std::size_t prediction_cache_capacity = 4096;
+};
+
+/// One per-victim query: `corunners` excludes the victim and must stay
+/// alive for the duration of the call.
+struct QosQuery {
+  SessionRequest victim;
+  std::span<const SessionRequest> corunners;
 };
 
 class GAugurPredictor {
@@ -61,29 +84,59 @@ class GAugurPredictor {
   double PredictFps(const SessionRequest& victim,
                     std::span<const SessionRequest> corunners) const;
 
+  /// RM: predicted FPS for every query of the batch.
+  std::vector<double> PredictFpsBatch(
+      std::span<const QosQuery> queries) const;
+
   /// CM when trained, else RM-thresholding: does `victim` meet `qos_fps`?
   bool PredictQosOk(double qos_fps, const SessionRequest& victim,
                     std::span<const SessionRequest> corunners) const;
 
+  /// One verdict per query, from a single batched model evaluation of
+  /// the cache misses.
+  std::vector<char> PredictQosOkBatch(
+      double qos_fps, std::span<const QosQuery> queries) const;
+
   /// All sessions meet QoS and the profiled memory demands fit.
   bool PredictFeasible(double qos_fps, const Colocation& colocation) const;
 
+  /// PredictFeasible over a span of candidate colocations with one
+  /// batched model evaluation: the scheduler-facing scoring entry point.
+  std::vector<char> ScoreCandidates(
+      double qos_fps, std::span<const Colocation> candidates) const;
+
   const FeatureBuilder& Features() const { return *features_; }
 
+  /// Cache introspection (tests and run reports).
+  std::size_t PredictionCacheSize() const { return cache_.Size(); }
+  PredictionCache::Stats PredictionCacheStats() const {
+    return cache_.GetStats();
+  }
+
  private:
-  /// Shared RM inference: builds the feature vector into `x` and returns
-  /// the clamped degradation. Each public entry point audits exactly one
-  /// prediction record, so this raw path never records.
-  double RmDegradation(const SessionRequest& victim,
-                       std::span<const SessionRequest> corunners,
-                       std::vector<double>& x) const;
+  /// One memoized batch model evaluation. `values[i]` is the raw model
+  /// output (clamped RM degradation or CM probability), `keys[i]` the
+  /// audit join key, and `x[i]` the feature row backing query i — owned
+  /// by `hits[i]` (cache hit) or `matrix` (miss), both kept alive here.
+  struct BatchEval {
+    std::vector<double> values;
+    std::vector<std::uint64_t> keys;
+    std::vector<std::span<const double>> x;
+    std::vector<std::shared_ptr<const CachedPrediction>> hits;
+    std::vector<double> matrix;
+  };
+  BatchEval EvalRmBatch(std::span<const QosQuery> queries) const;
+  BatchEval EvalCmBatch(double qos_fps,
+                        std::span<const QosQuery> queries) const;
 
   /// Appends one RM audit record to the global model monitor (no-op while
   /// obs is disabled). `qos_fps` is 0 for raw FPS queries.
-  void AuditRm(const SessionRequest& victim,
-               std::span<const SessionRequest> corunners,
-               std::span<const double> x, double predicted_fps,
-               double qos_fps, bool decision) const;
+  void AuditRm(std::uint64_t join_key, std::span<const double> x,
+               double predicted_fps, double qos_fps, bool decision) const;
+
+  double SoloFps(const SessionRequest& victim) const {
+    return features_->Profile(victim.game_id).SoloFps(victim.resolution);
+  }
 
   const FeatureBuilder* features_;
   PredictorConfig config_;
@@ -91,6 +144,7 @@ class GAugurPredictor {
   std::unique_ptr<ml::Classifier> cm_;
   bool rm_trained_ = false;
   bool cm_trained_ = false;
+  mutable PredictionCache cache_;
 };
 
 }  // namespace gaugur::core

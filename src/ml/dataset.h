@@ -14,6 +14,22 @@
 
 namespace gaugur::ml {
 
+/// Borrowed view of a dense row-major matrix (`rows` x `cols` doubles).
+/// The batch-prediction entry points take this instead of a Dataset so
+/// callers that assemble feature rows into their own buffers (the GAugur
+/// predictor, the schedulers) can run inference without copying into a
+/// Dataset first. The viewed storage must outlive the view.
+struct MatrixView {
+  const double* data = nullptr;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+
+  std::span<const double> Row(std::size_t i) const {
+    GAUGUR_CHECK(i < rows);
+    return {data + i * cols, cols};
+  }
+};
+
 class Dataset {
  public:
   Dataset() = default;
@@ -35,6 +51,9 @@ class Dataset {
     return y_[i];
   }
   std::span<const double> Targets() const { return y_; }
+
+  /// View of the full row-major feature block.
+  MatrixView Matrix() const { return {x_.data(), NumRows(), num_features_}; }
 
   const std::vector<std::string>& FeatureNames() const {
     return feature_names_;

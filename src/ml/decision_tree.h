@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "ml/model.h"
+#include "ml/tree_kernel.h"
 
 namespace gaugur::ml {
 
@@ -80,15 +81,26 @@ class TreeModel {
   std::vector<TreeNode> nodes_;
 };
 
-/// The paper's DTR.
+/// The paper's DTR. Inference runs on the flattened kernel; tree_ stays
+/// the canonical (trainable, serializable) form.
 class DecisionTreeRegressor final : public Regressor {
  public:
   explicit DecisionTreeRegressor(TreeConfig config = MakeDefaultConfig())
       : tree_(config) {}
 
-  void Fit(const Dataset& data) override { tree_.Fit(data); }
+  void Fit(const Dataset& data) override {
+    tree_.Fit(data);
+    RebuildKernel();
+  }
   double Predict(std::span<const double> x) const override {
-    return tree_.Predict(x);
+    return flat_.PredictTree(0, x);
+  }
+  using Regressor::PredictBatch;
+  void PredictBatch(MatrixView x, std::span<double> out) const override {
+    GAUGUR_CHECK(out.size() == x.rows);
+    for (std::size_t i = 0; i < x.rows; ++i) {
+      out[i] = flat_.PredictTree(0, x.Row(i));
+    }
   }
   std::string Name() const override { return "DTR"; }
   const TreeModel& Tree() const { return tree_; }
@@ -97,6 +109,7 @@ class DecisionTreeRegressor final : public Regressor {
   static DecisionTreeRegressor FromTree(TreeModel tree) {
     DecisionTreeRegressor model(tree.Config());
     model.tree_ = std::move(tree);
+    model.RebuildKernel();
     return model;
   }
 
@@ -109,7 +122,13 @@ class DecisionTreeRegressor final : public Regressor {
   }
 
  private:
+  void RebuildKernel() {
+    flat_.Clear();
+    flat_.Add(tree_);
+  }
+
   TreeModel tree_;
+  FlatForest flat_;
 };
 
 /// The paper's DTC. Leaf values are positive-class fractions, so the tree
@@ -119,9 +138,19 @@ class DecisionTreeClassifier final : public Classifier {
   explicit DecisionTreeClassifier(TreeConfig config = MakeDefaultConfig())
       : tree_(config) {}
 
-  void Fit(const Dataset& data) override { tree_.Fit(data); }
+  void Fit(const Dataset& data) override {
+    tree_.Fit(data);
+    RebuildKernel();
+  }
   double PredictProb(std::span<const double> x) const override {
-    return tree_.Predict(x);
+    return flat_.PredictTree(0, x);
+  }
+  using Classifier::PredictProbBatch;
+  void PredictProbBatch(MatrixView x, std::span<double> out) const override {
+    GAUGUR_CHECK(out.size() == x.rows);
+    for (std::size_t i = 0; i < x.rows; ++i) {
+      out[i] = flat_.PredictTree(0, x.Row(i));
+    }
   }
   std::string Name() const override { return "DTC"; }
   const TreeModel& Tree() const { return tree_; }
@@ -130,6 +159,7 @@ class DecisionTreeClassifier final : public Classifier {
   static DecisionTreeClassifier FromTree(TreeModel tree) {
     DecisionTreeClassifier model(tree.Config());
     model.tree_ = std::move(tree);
+    model.RebuildKernel();
     return model;
   }
 
@@ -142,7 +172,13 @@ class DecisionTreeClassifier final : public Classifier {
   }
 
  private:
+  void RebuildKernel() {
+    flat_.Clear();
+    flat_.Add(tree_);
+  }
+
   TreeModel tree_;
+  FlatForest flat_;
 };
 
 }  // namespace gaugur::ml

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <vector>
 
 #include "common/check.h"
 #include "common/mathutil.h"
@@ -63,6 +64,7 @@ void GradientBoostedRegressor::Fit(const Dataset& data) {
   std::vector<double> prediction(n, base_prediction_);
   std::vector<double> residual(n);
   stages_.clear();
+  flat_.Clear();
   stages_.reserve(static_cast<std::size_t>(config_.num_stages));
 
   obs::ScopedSpan fit_span("ml.GradientBoostedRegressor.Fit");
@@ -75,9 +77,12 @@ void GradientBoostedRegressor::Fit(const Dataset& data) {
     const auto rows = StageRows(n, config_.subsample, rng);
     TreeModel tree(StageTreeConfig(config_, rng.Next()));
     tree.Fit(data, rows, residual);
-    for (std::size_t i = 0; i < n; ++i) {
-      prediction[i] += config_.learning_rate * tree.Predict(data.Row(i));
-    }
+    // Flatten the stage immediately and advance the training predictions
+    // through the batch kernel: same `out += lr * leaf` update, one
+    // cache-resident pass instead of n pointer-chasing descents.
+    flat_.Add(tree);
+    flat_.AccumulateTreeBatch(flat_.NumTrees() - 1, data.Matrix(),
+                              prediction, config_.learning_rate);
     stages_.push_back(std::move(tree));
   }
 }
@@ -85,10 +90,23 @@ void GradientBoostedRegressor::Fit(const Dataset& data) {
 double GradientBoostedRegressor::Predict(std::span<const double> x) const {
   GAUGUR_CHECK_MSG(!stages_.empty(), "Predict before Fit");
   double value = base_prediction_;
-  for (const auto& tree : stages_) {
-    value += config_.learning_rate * tree.Predict(x);
+  for (std::size_t t = 0; t < flat_.NumTrees(); ++t) {
+    value += config_.learning_rate * flat_.PredictTree(t, x);
   }
   return value;
+}
+
+void GradientBoostedRegressor::PredictBatch(MatrixView x,
+                                            std::span<double> out) const {
+  GAUGUR_CHECK_MSG(!stages_.empty(), "Predict before Fit");
+  GAUGUR_CHECK(out.size() == x.rows);
+  std::fill(out.begin(), out.end(), base_prediction_);
+  flat_.AccumulateBatch(x, out, config_.learning_rate);
+}
+
+void GradientBoostedRegressor::RebuildKernel() {
+  flat_.Clear();
+  for (const auto& tree : stages_) flat_.Add(tree);
 }
 
 void GradientBoostedClassifier::Fit(const Dataset& data) {
@@ -110,6 +128,7 @@ void GradientBoostedClassifier::Fit(const Dataset& data) {
   std::vector<double> gradient(n);
   std::vector<double> prob(n);
   stages_.clear();
+  flat_.Clear();
   stages_.reserve(static_cast<std::size_t>(config_.num_stages));
 
   obs::ScopedSpan fit_span("ml.GradientBoostedClassifier.Fit");
@@ -134,9 +153,9 @@ void GradientBoostedClassifier::Fit(const Dataset& data) {
     };
     TreeModel tree(StageTreeConfig(config_, rng.Next()));
     tree.Fit(data, rows, gradient, newton_leaf);
-    for (std::size_t i = 0; i < n; ++i) {
-      log_odds[i] += config_.learning_rate * tree.Predict(data.Row(i));
-    }
+    flat_.Add(tree);
+    flat_.AccumulateTreeBatch(flat_.NumTrees() - 1, data.Matrix(), log_odds,
+                              config_.learning_rate);
     stages_.push_back(std::move(tree));
   }
 }
@@ -144,8 +163,8 @@ void GradientBoostedClassifier::Fit(const Dataset& data) {
 double GradientBoostedClassifier::LogOdds(std::span<const double> x) const {
   GAUGUR_CHECK_MSG(!stages_.empty(), "Predict before Fit");
   double value = base_log_odds_;
-  for (const auto& tree : stages_) {
-    value += config_.learning_rate * tree.Predict(x);
+  for (std::size_t t = 0; t < flat_.NumTrees(); ++t) {
+    value += config_.learning_rate * flat_.PredictTree(t, x);
   }
   return value;
 }
@@ -153,6 +172,20 @@ double GradientBoostedClassifier::LogOdds(std::span<const double> x) const {
 double GradientBoostedClassifier::PredictProb(
     std::span<const double> x) const {
   return common::Sigmoid(LogOdds(x));
+}
+
+void GradientBoostedClassifier::PredictProbBatch(
+    MatrixView x, std::span<double> out) const {
+  GAUGUR_CHECK_MSG(!stages_.empty(), "Predict before Fit");
+  GAUGUR_CHECK(out.size() == x.rows);
+  std::fill(out.begin(), out.end(), base_log_odds_);
+  flat_.AccumulateBatch(x, out, config_.learning_rate);
+  for (double& v : out) v = common::Sigmoid(v);
+}
+
+void GradientBoostedClassifier::RebuildKernel() {
+  flat_.Clear();
+  for (const auto& tree : stages_) flat_.Add(tree);
 }
 
 }  // namespace gaugur::ml

@@ -16,6 +16,7 @@
 
 #include "ml/decision_tree.h"
 #include "ml/model.h"
+#include "ml/tree_kernel.h"
 
 namespace gaugur::ml {
 
@@ -36,6 +37,8 @@ class GradientBoostedRegressor final : public Regressor {
 
   void Fit(const Dataset& data) override;
   double Predict(std::span<const double> x) const override;
+  using Regressor::PredictBatch;
+  void PredictBatch(MatrixView x, std::span<double> out) const override;
   std::string Name() const override { return "GBRT"; }
 
   std::size_t NumStages() const { return stages_.size(); }
@@ -49,13 +52,17 @@ class GradientBoostedRegressor final : public Regressor {
     GradientBoostedRegressor model(config);
     model.base_prediction_ = base;
     model.stages_ = std::move(stages);
+    model.RebuildKernel();
     return model;
   }
 
  private:
+  void RebuildKernel();
+
   BoostConfig config_;
   double base_prediction_ = 0.0;
   std::vector<TreeModel> stages_;
+  FlatForest flat_;
 };
 
 class GradientBoostedClassifier final : public Classifier {
@@ -65,6 +72,8 @@ class GradientBoostedClassifier final : public Classifier {
 
   void Fit(const Dataset& data) override;
   double PredictProb(std::span<const double> x) const override;
+  using Classifier::PredictProbBatch;
+  void PredictProbBatch(MatrixView x, std::span<double> out) const override;
   std::string Name() const override { return "GBDT"; }
 
   std::size_t NumStages() const { return stages_.size(); }
@@ -78,15 +87,18 @@ class GradientBoostedClassifier final : public Classifier {
     GradientBoostedClassifier model(config);
     model.base_log_odds_ = base;
     model.stages_ = std::move(stages);
+    model.RebuildKernel();
     return model;
   }
 
  private:
   double LogOdds(std::span<const double> x) const;
+  void RebuildKernel();
 
   BoostConfig config_;
   double base_log_odds_ = 0.0;
   std::vector<TreeModel> stages_;
+  FlatForest flat_;
 };
 
 }  // namespace gaugur::ml

@@ -2,6 +2,14 @@
 // forests, boosted ensembles, SVMs) implements one or both of these, which
 // is what lets the GAugur model wrappers and the benches sweep algorithms
 // uniformly (Figures 7a, 8a, 8b).
+//
+// Batch prediction is part of the interface: PredictBatch /
+// PredictProbBatch over a row-major MatrixView are virtual, so tree-based
+// learners can run their flattened-node kernels (ml/tree_kernel.h) over
+// the whole batch instead of a per-row virtual call. The default
+// implementation is the scalar loop, and every override must stay
+// bit-identical to it (tests/ml/batch_equivalence_test.cpp enforces this
+// across the factory).
 #pragma once
 
 #include <memory>
@@ -21,12 +29,17 @@ class Regressor {
   virtual double Predict(std::span<const double> x) const = 0;
   virtual std::string Name() const = 0;
 
-  std::vector<double> PredictBatch(const Dataset& data) const {
-    std::vector<double> out;
-    out.reserve(data.NumRows());
-    for (std::size_t i = 0; i < data.NumRows(); ++i) {
-      out.push_back(Predict(data.Row(i)));
+  /// Predicts every row of `x` into `out` (out.size() == x.rows).
+  virtual void PredictBatch(MatrixView x, std::span<double> out) const {
+    GAUGUR_CHECK(out.size() == x.rows);
+    for (std::size_t i = 0; i < x.rows; ++i) {
+      out[i] = Predict(x.Row(i));
     }
+  }
+
+  std::vector<double> PredictBatch(const Dataset& data) const {
+    std::vector<double> out(data.NumRows());
+    PredictBatch(data.Matrix(), out);
     return out;
   }
 };
@@ -41,15 +54,34 @@ class Classifier {
   virtual double PredictProb(std::span<const double> x) const = 0;
   virtual std::string Name() const = 0;
 
-  int Predict(std::span<const double> x) const {
-    return PredictProb(x) >= 0.5 ? 1 : 0;
+  /// Positive-class probability for every row of `x` (out.size() ==
+  /// x.rows).
+  virtual void PredictProbBatch(MatrixView x, std::span<double> out) const {
+    GAUGUR_CHECK(out.size() == x.rows);
+    for (std::size_t i = 0; i < x.rows; ++i) {
+      out[i] = PredictProb(x.Row(i));
+    }
   }
 
-  std::vector<int> PredictBatch(const Dataset& data) const {
-    std::vector<int> out;
-    out.reserve(data.NumRows());
-    for (std::size_t i = 0; i < data.NumRows(); ++i) {
-      out.push_back(Predict(data.Row(i)));
+  std::vector<double> PredictProbBatch(const Dataset& data) const {
+    std::vector<double> out(data.NumRows());
+    PredictProbBatch(data.Matrix(), out);
+    return out;
+  }
+
+  /// Thresholded verdict. The default 0.5 is the max-accuracy rule;
+  /// deployments pass their own operating point (e.g.
+  /// core::PredictorConfig::cm_decision_threshold).
+  int Predict(std::span<const double> x, double threshold = 0.5) const {
+    return PredictProb(x) >= threshold ? 1 : 0;
+  }
+
+  std::vector<int> PredictBatch(const Dataset& data,
+                                double threshold = 0.5) const {
+    const std::vector<double> probs = PredictProbBatch(data);
+    std::vector<int> out(probs.size());
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+      out[i] = probs[i] >= threshold ? 1 : 0;
     }
     return out;
   }

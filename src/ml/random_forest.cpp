@@ -1,5 +1,6 @@
 #include "ml/random_forest.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
@@ -66,30 +67,62 @@ void FitForest(const Dataset& data, const ForestConfig& config,
   }
 }
 
-double ForestPredict(const std::vector<TreeModel>& trees,
-                     std::span<const double> x) {
-  GAUGUR_CHECK_MSG(!trees.empty(), "Predict before Fit");
-  double sum = 0.0;
-  for (const auto& tree : trees) sum += tree.Predict(x);
-  return sum / static_cast<double>(trees.size());
+/// Mean of the trees' predictions via the flattened kernel (the scalar
+/// batch-of-one: same tree-order accumulation as the batch path).
+double ForestPredict(const FlatForest& flat, std::span<const double> x) {
+  return flat.PredictRowSum(x) / static_cast<double>(flat.NumTrees());
+}
+
+void ForestPredictBatch(const FlatForest& flat, MatrixView x,
+                        std::span<double> out) {
+  GAUGUR_CHECK(out.size() == x.rows);
+  std::fill(out.begin(), out.end(), 0.0);
+  flat.AccumulateBatch(x, out, 1.0);
+  const double count = static_cast<double>(flat.NumTrees());
+  for (double& v : out) v /= count;
+}
+
+void FlattenForest(const std::vector<TreeModel>& trees, FlatForest& flat) {
+  flat.Clear();
+  for (const auto& tree : trees) flat.Add(tree);
 }
 
 }  // namespace
 
 void RandomForestRegressor::Fit(const Dataset& data) {
   FitForest(data, config_, SplitCriterion::kMse, trees_);
+  RebuildKernel();
 }
 
 double RandomForestRegressor::Predict(std::span<const double> x) const {
-  return ForestPredict(trees_, x);
+  return ForestPredict(flat_, x);
+}
+
+void RandomForestRegressor::PredictBatch(MatrixView x,
+                                         std::span<double> out) const {
+  ForestPredictBatch(flat_, x, out);
+}
+
+void RandomForestRegressor::RebuildKernel() {
+  FlattenForest(trees_, flat_);
 }
 
 void RandomForestClassifier::Fit(const Dataset& data) {
   FitForest(data, config_, SplitCriterion::kGini, trees_);
+  RebuildKernel();
 }
 
 double RandomForestClassifier::PredictProb(std::span<const double> x) const {
-  return ForestPredict(trees_, x);
+  return ForestPredict(flat_, x);
+}
+
+void RandomForestClassifier::PredictProbBatch(MatrixView x,
+                                              std::span<double> out) const {
+  ForestPredictBatch(flat_, x, out);
+}
+
+void RandomForestClassifier::RebuildKernel() {
+  FlattenForest(trees_, flat_);
 }
 
 }  // namespace gaugur::ml

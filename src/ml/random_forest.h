@@ -9,6 +9,7 @@
 
 #include "ml/decision_tree.h"
 #include "ml/model.h"
+#include "ml/tree_kernel.h"
 
 namespace gaugur::ml {
 
@@ -33,6 +34,8 @@ class RandomForestRegressor final : public Regressor {
 
   void Fit(const Dataset& data) override;
   double Predict(std::span<const double> x) const override;
+  using Regressor::PredictBatch;
+  void PredictBatch(MatrixView x, std::span<double> out) const override;
   std::string Name() const override { return "RF"; }
 
   const std::vector<TreeModel>& Trees() const { return trees_; }
@@ -43,12 +46,16 @@ class RandomForestRegressor final : public Regressor {
                                          std::vector<TreeModel> trees) {
     RandomForestRegressor forest(config);
     forest.trees_ = std::move(trees);
+    forest.RebuildKernel();
     return forest;
   }
 
  private:
+  void RebuildKernel();
+
   ForestConfig config_;
   std::vector<TreeModel> trees_;
+  FlatForest flat_;
 };
 
 class RandomForestClassifier final : public Classifier {
@@ -59,6 +66,8 @@ class RandomForestClassifier final : public Classifier {
   void Fit(const Dataset& data) override;
   /// Mean of the trees' leaf positive-fractions (soft voting).
   double PredictProb(std::span<const double> x) const override;
+  using Classifier::PredictProbBatch;
+  void PredictProbBatch(MatrixView x, std::span<double> out) const override;
   std::string Name() const override { return "RF"; }
 
   const std::vector<TreeModel>& Trees() const { return trees_; }
@@ -69,12 +78,16 @@ class RandomForestClassifier final : public Classifier {
                                           std::vector<TreeModel> trees) {
     RandomForestClassifier forest(config);
     forest.trees_ = std::move(trees);
+    forest.RebuildKernel();
     return forest;
   }
 
  private:
+  void RebuildKernel();
+
   ForestConfig config_;
   std::vector<TreeModel> trees_;
+  FlatForest flat_;
 };
 
 }  // namespace gaugur::ml

@@ -1,0 +1,146 @@
+#include "ml/tree_kernel.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "ml/decision_tree.h"
+
+namespace gaugur::ml {
+
+void FlatForest::Add(const TreeModel& tree) {
+  GAUGUR_CHECK_MSG(tree.IsFitted(), "FlatForest::Add on an unfitted tree");
+  const auto& nodes = tree.Nodes();
+  const auto base = static_cast<std::int32_t>(nodes_.size());
+  nodes_.resize(nodes_.size() + nodes.size());
+  value_.resize(value_.size() + nodes.size());
+
+  // Breadth-first renumbering that places each split's children in
+  // adjacent slots, so a descent step is `child + (x > threshold)` with
+  // no branch and no second child pointer.
+  std::vector<std::int32_t> slot(nodes.size(), 0);
+  std::vector<std::int32_t> order;  // original indices in BFS order
+  order.reserve(nodes.size());
+  order.push_back(0);
+  slot[0] = base;
+  std::int32_t next = base + 1;
+  for (std::size_t q = 0; q < order.size(); ++q) {
+    const TreeNode& node = nodes[static_cast<std::size_t>(order[q])];
+    const std::int32_t self = slot[static_cast<std::size_t>(order[q])];
+    if (node.feature < 0) {
+      // Leaf self-loop: stepping adds (x[0] > +inf) == 0 forever.
+      nodes_[static_cast<std::size_t>(self)] = {
+          std::numeric_limits<double>::infinity(), 0, self};
+      value_[static_cast<std::size_t>(self)] = node.value;
+    } else {
+      slot[static_cast<std::size_t>(node.left)] = next;
+      slot[static_cast<std::size_t>(node.right)] = next + 1;
+      nodes_[static_cast<std::size_t>(self)] = {node.threshold,
+                                                node.feature, next};
+      next += 2;
+      order.push_back(node.left);
+      order.push_back(node.right);
+      max_feature_ =
+          std::max(max_feature_, static_cast<std::size_t>(node.feature));
+    }
+  }
+  roots_.push_back(base);
+  // Depth() counts levels including the root; descents are one fewer.
+  levels_.push_back(tree.Depth() - 1);
+}
+
+void FlatForest::Clear() {
+  nodes_.clear();
+  value_.clear();
+  roots_.clear();
+  levels_.clear();
+  max_feature_ = 0;
+}
+
+void FlatForest::CheckWidth(std::size_t cols) const {
+  GAUGUR_CHECK_MSG(!Empty(), "Predict before Fit");
+  GAUGUR_CHECK_MSG(cols > max_feature_,
+                   "row width " << cols << " <= max split feature "
+                                << max_feature_);
+}
+
+double FlatForest::PredictTree(std::size_t t,
+                               std::span<const double> x) const {
+  CheckWidth(x.size());
+  std::int32_t idx = roots_[t];
+  const std::int32_t levels = levels_[t];
+  for (std::int32_t d = 0; d < levels; ++d) {
+    const Node& n = nodes_[static_cast<std::size_t>(idx)];
+    idx = n.child + static_cast<std::int32_t>(
+                        x[static_cast<std::size_t>(n.feature)] > n.threshold);
+  }
+  return value_[static_cast<std::size_t>(idx)];
+}
+
+double FlatForest::PredictRowSum(std::span<const double> x) const {
+  CheckWidth(x.size());
+  double sum = 0.0;
+  for (std::size_t t = 0; t < roots_.size(); ++t) {
+    sum += PredictTree(t, x);
+  }
+  return sum;
+}
+
+void FlatForest::AccumulateTreeBatch(std::size_t t, MatrixView x,
+                                     std::span<double> out,
+                                     double scale) const {
+  CheckWidth(x.cols);
+  GAUGUR_CHECK(out.size() == x.rows);
+  const std::int32_t root = roots_[t];
+  const std::int32_t levels = levels_[t];
+  const std::size_t cols = x.cols;
+  const double* data = x.data;
+  const Node* nodes = nodes_.data();
+  const double* value = value_.data();
+
+  // Four independent descents in flight per iteration: the self-looping
+  // leaves let every lane take the same fixed level count, and the
+  // child-adjacent layout keeps each step a compare-and-add with no
+  // data-dependent branch to mispredict.
+  std::size_t i = 0;
+  for (; i + 4 <= x.rows; i += 4) {
+    const double* r0 = data + i * cols;
+    const double* r1 = r0 + cols;
+    const double* r2 = r1 + cols;
+    const double* r3 = r2 + cols;
+    std::int32_t n0 = root, n1 = root, n2 = root, n3 = root;
+    for (std::int32_t d = 0; d < levels; ++d) {
+      const Node a = nodes[n0];
+      const Node b = nodes[n1];
+      const Node c = nodes[n2];
+      const Node e = nodes[n3];
+      n0 = a.child + static_cast<std::int32_t>(r0[a.feature] > a.threshold);
+      n1 = b.child + static_cast<std::int32_t>(r1[b.feature] > b.threshold);
+      n2 = c.child + static_cast<std::int32_t>(r2[c.feature] > c.threshold);
+      n3 = e.child + static_cast<std::int32_t>(r3[e.feature] > e.threshold);
+    }
+    out[i] += scale * value[n0];
+    out[i + 1] += scale * value[n1];
+    out[i + 2] += scale * value[n2];
+    out[i + 3] += scale * value[n3];
+  }
+  for (; i < x.rows; ++i) {
+    const double* row = data + i * cols;
+    std::int32_t idx = root;
+    for (std::int32_t d = 0; d < levels; ++d) {
+      const Node& n = nodes[idx];
+      idx = n.child +
+            static_cast<std::int32_t>(row[n.feature] > n.threshold);
+    }
+    out[i] += scale * value[idx];
+  }
+}
+
+void FlatForest::AccumulateBatch(MatrixView x, std::span<double> out,
+                                 double scale) const {
+  for (std::size_t t = 0; t < roots_.size(); ++t) {
+    AccumulateTreeBatch(t, x, out, scale);
+  }
+}
+
+}  // namespace gaugur::ml

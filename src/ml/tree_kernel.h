@@ -1,0 +1,92 @@
+// Contiguous inference kernel for CART tree ensembles.
+//
+// TreeModel stores an AoS node vector that is convenient to build and
+// serialize but slow to query: every ensemble prediction pointer-chases
+// 24-byte nodes scattered per tree, and the left-or-right choice compiles
+// to a data-dependent branch that mispredicts roughly half the time on
+// real feature data. FlatForest re-lays fitted trees into one contiguous
+// array shared by the whole ensemble and traverses it without branches:
+//
+//  * nodes are renumbered breadth-first so each split's two children sit
+//    in adjacent slots, collapsing the child choice to integer
+//    arithmetic: `idx = child + (x[feature] > threshold)` — a comisd/seta
+//    data dependency instead of a mispredicting jump;
+//  * each node packs {threshold, feature, child} into 16 bytes, so one
+//    descent step touches a single node cache line plus the row value it
+//    compares against; leaf values live in a separate array indexed by
+//    the final position;
+//  * leaves self-loop (`child` points at the leaf itself, threshold
+//    +inf so the step adds 0), which makes the descent a fixed-count
+//    loop per tree level — no per-node leaf test, no early exits;
+//  * batch entry points iterate trees-outer / rows-inner so one tree's
+//    nodes stay hot in cache across the whole batch, with the rows
+//    unrolled four wide for instruction-level parallelism.
+//
+// Accumulation order matches the scalar ensemble loops exactly (per row:
+// tree 0, tree 1, ... with the same `out += scale * leaf` operation), so
+// batch results are bit-identical to row-by-row Predict — the property
+// the batch-equivalence tests pin down.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace gaugur::ml {
+
+class TreeModel;
+
+class FlatForest {
+ public:
+  /// Appends a fitted tree to the ensemble.
+  void Add(const TreeModel& tree);
+
+  void Clear();
+
+  bool Empty() const { return roots_.empty(); }
+  std::size_t NumTrees() const { return roots_.size(); }
+  std::size_t NumNodes() const { return nodes_.size(); }
+
+  /// Largest feature index any node compares on; batch calls CHECK the
+  /// row width against this once instead of per node.
+  std::size_t MaxFeature() const { return max_feature_; }
+
+  /// Leaf value of tree `t` for one row (the batch-of-one scalar path).
+  double PredictTree(std::size_t t, std::span<const double> x) const;
+
+  /// Sum of all trees' leaf values for one row, accumulated in tree
+  /// order (matches the scalar ensemble loops bit for bit).
+  double PredictRowSum(std::span<const double> x) const;
+
+  /// out[i] += scale * tree_t(x.Row(i)) for every row.
+  void AccumulateTreeBatch(std::size_t t, MatrixView x,
+                           std::span<double> out, double scale) const;
+
+  /// Applies AccumulateTreeBatch for every tree in order: trees outer,
+  /// rows inner.
+  void AccumulateBatch(MatrixView x, std::span<double> out,
+                       double scale) const;
+
+ private:
+  /// One packed split/leaf record. `child` is the index of the left
+  /// child; the right child is `child + 1` (BFS pair layout). Leaves
+  /// self-loop: child == own index, threshold == +inf.
+  struct alignas(16) Node {
+    double threshold = 0.0;
+    std::int32_t feature = 0;  // leaves use feature 0
+    std::int32_t child = 0;
+  };
+  static_assert(sizeof(Node) == 16);
+
+  void CheckWidth(std::size_t cols) const;
+
+  std::vector<Node> nodes_;
+  std::vector<double> value_;        // leaf value; 0 for splits
+  std::vector<std::int32_t> roots_;  // per-tree root node index
+  std::vector<std::int32_t> levels_; // per-tree descent count
+  std::size_t max_feature_ = 0;
+};
+
+}  // namespace gaugur::ml

@@ -70,21 +70,6 @@ Colocation Extend(const Colocation& content, const SessionRequest& request) {
   return extended;
 }
 
-/// Sum of predicted FPS over all sessions of a colocation.
-double PredictedFpsSum(const Methodology& method,
-                       const Colocation& colocation) {
-  double sum = 0.0;
-  std::vector<SessionRequest> corunners;
-  for (std::size_t v = 0; v < colocation.size(); ++v) {
-    corunners.clear();
-    for (std::size_t j = 0; j < colocation.size(); ++j) {
-      if (j != v) corunners.push_back(colocation[j]);
-    }
-    sum += method.PredictFps(colocation[v], corunners);
-  }
-  return sum;
-}
-
 }  // namespace
 
 std::vector<Colocation> AssignByPredictedFps(
@@ -98,18 +83,45 @@ std::vector<Colocation> AssignByPredictedFps(
       "fleet capacity too small for the request stream");
 
   GroupedFleet fleet(options.num_servers, options.max_sessions_per_server);
-  // Memoized predicted-FPS sums by colocation key.
+  // Memoized predicted-FPS sums by colocation key, filled one batched
+  // Methodology::PredictFpsSums call per request (below); by the time the
+  // selection loop runs, every candidate's sum is memoized.
   std::unordered_map<std::string, double> fps_sum_cache;
   auto cached_sum = [&](const Colocation& colocation) {
-    const std::string key = ColocationKey(colocation);
-    auto it = fps_sum_cache.find(key);
-    if (it != fps_sum_cache.end()) return it->second;
-    const double sum = PredictedFpsSum(method, colocation);
-    fps_sum_cache.emplace(key, sum);
-    return sum;
+    const auto it = fps_sum_cache.find(ColocationKey(colocation));
+    GAUGUR_CHECK_MSG(it != fps_sum_cache.end(),
+                     "candidate sum missing from the prefetch");
+    return it->second;
   };
 
   for (const auto& request : requests) {
+    // Prefetch pass: collect every candidate colocation this decision can
+    // touch (group contents and memory-fitting extensions) whose sum is
+    // not memoized yet, and score them with one batched call.
+    std::vector<Colocation> uncached;
+    std::vector<std::string> uncached_keys;
+    auto enqueue = [&](std::string key, const Colocation& colocation) {
+      if (fps_sum_cache.contains(key)) return;
+      // Placeholder so duplicates within this prefetch are skipped; the
+      // real value lands right after the batch call.
+      fps_sum_cache.emplace(key, 0.0);
+      uncached.push_back(colocation);
+      uncached_keys.push_back(std::move(key));
+    };
+    fleet.ForEachOpenGroup([&](const std::string& key,
+                               const GroupState& group) {
+      const Colocation extended = Extend(group.content, request);
+      if (!ProfiledMemoryFits(features, extended)) return;
+      enqueue(key, group.content);
+      enqueue(ColocationKey(extended), extended);
+    });
+    if (!uncached.empty()) {
+      const std::vector<double> sums = method.PredictFpsSums(uncached);
+      for (std::size_t i = 0; i < uncached.size(); ++i) {
+        fps_sum_cache[uncached_keys[i]] = sums[i];
+      }
+    }
+
     std::string best_key;
     const Colocation* best_content = nullptr;
     double best_gain = -std::numeric_limits<double>::infinity();

@@ -275,6 +275,26 @@ PlacementPolicy MakeFirstFeasiblePolicy(
   };
 }
 
+PlacementPolicy MakeBatchFeasiblePolicy(BatchFeasibility feasible) {
+  return [feasible = std::move(feasible)](
+             std::span<const Colocation> open_servers,
+             const SessionRequest& arrival) -> int {
+    if (open_servers.empty()) return -1;
+    std::vector<Colocation> candidates;
+    candidates.reserve(open_servers.size());
+    for (const Colocation& content : open_servers) {
+      Colocation extended = content;
+      extended.push_back(arrival);
+      candidates.push_back(std::move(extended));
+    }
+    const std::vector<char> verdict = feasible(candidates);
+    for (std::size_t s = 0; s < verdict.size(); ++s) {
+      if (verdict[s] != 0) return static_cast<int>(s);
+    }
+    return -1;
+  };
+}
+
 PlacementPolicy MakeDedicatedPolicy() {
   return [](std::span<const Colocation>, const SessionRequest&) -> int {
     return -1;

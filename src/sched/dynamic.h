@@ -79,6 +79,18 @@ std::vector<DynamicRequest> GenerateDynamicTrace(
 PlacementPolicy MakeFirstFeasiblePolicy(
     std::function<bool(const core::Colocation&)> feasible);
 
+/// Judges a span of candidate colocations at once (one element per open
+/// server, each already extended with the arrival). Wire to
+/// Methodology::FeasibleBatch or GAugurPredictor::ScoreCandidates.
+using BatchFeasibility = std::function<std::vector<char>(
+    std::span<const core::Colocation> candidates)>;
+
+/// First-feasible admission with one batched feasibility call per
+/// arrival: all extended candidates are scored together, and the first
+/// feasible index wins. Placement decisions are identical to
+/// MakeFirstFeasiblePolicy over the same judgement.
+PlacementPolicy MakeBatchFeasiblePolicy(BatchFeasibility feasible);
+
 /// The no-colocation policy: every session gets its own server.
 PlacementPolicy MakeDedicatedPolicy();
 

@@ -9,6 +9,33 @@ namespace gaugur::sched {
 using core::Colocation;
 using core::SessionRequest;
 
+std::vector<char> Methodology::FeasibleBatch(
+    double qos_fps, std::span<const Colocation> candidates) const {
+  std::vector<char> out(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    out[i] = Feasible(qos_fps, candidates[i]) ? 1 : 0;
+  }
+  return out;
+}
+
+std::vector<double> Methodology::PredictFpsSums(
+    std::span<const Colocation> candidates) const {
+  std::vector<double> sums(candidates.size(), 0.0);
+  std::vector<SessionRequest> corunners;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const Colocation& colocation = candidates[i];
+    for (std::size_t v = 0; v < colocation.size(); ++v) {
+      corunners.clear();
+      for (std::size_t j = 0; j < colocation.size(); ++j) {
+        if (j != v) corunners.push_back(colocation[j]);
+      }
+      sums[i] += PredictFps(
+          colocation[v], std::span<const SessionRequest>(corunners));
+    }
+  }
+  return sums;
+}
+
 bool ProfiledMemoryFits(const core::FeatureBuilder& features,
                         const Colocation& colocation) {
   double cpu_mem = 0.0, gpu_mem = 0.0;
@@ -41,6 +68,60 @@ bool AllSessionsMeetQos(const Colocation& colocation, double qos_fps,
   return true;
 }
 
+/// Every (victim, candidate) pair flattened into core::QosQuery rows for
+/// one batched predictor call; co-runner sets live in `pool` (reserved up
+/// front so the spans stay valid) and query_candidate maps each query
+/// back to its candidate. With `mask` non-empty, candidates with mask 0
+/// are skipped.
+struct VictimQueries {
+  std::vector<SessionRequest> pool;
+  std::vector<core::QosQuery> queries;
+  std::vector<std::size_t> query_candidate;
+};
+
+VictimQueries BuildVictimQueries(std::span<const Colocation> candidates,
+                                 std::span<const char> mask = {}) {
+  VictimQueries vq;
+  std::size_t slots = 0, count = 0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (!mask.empty() && mask[i] == 0) continue;
+    slots += candidates[i].size() * (candidates[i].size() - 1);
+    count += candidates[i].size();
+  }
+  vq.pool.reserve(slots);
+  vq.queries.reserve(count);
+  vq.query_candidate.reserve(count);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (!mask.empty() && mask[i] == 0) continue;
+    const Colocation& colocation = candidates[i];
+    for (std::size_t v = 0; v < colocation.size(); ++v) {
+      const std::size_t begin = vq.pool.size();
+      for (std::size_t j = 0; j < colocation.size(); ++j) {
+        if (j != v) vq.pool.push_back(colocation[j]);
+      }
+      vq.queries.push_back(
+          {colocation[v],
+           std::span<const SessionRequest>(vq.pool.data() + begin,
+                                           vq.pool.size() - begin)});
+      vq.query_candidate.push_back(i);
+    }
+  }
+  return vq;
+}
+
+std::vector<double> BatchedFpsSums(const core::GAugurPredictor& predictor,
+                                   std::span<const Colocation> candidates) {
+  const VictimQueries vq = BuildVictimQueries(candidates);
+  const std::vector<double> fps = predictor.PredictFpsBatch(vq.queries);
+  std::vector<double> sums(candidates.size(), 0.0);
+  // Candidate-major, victim-minor query order: additions land in the same
+  // order as the scalar per-victim loop.
+  for (std::size_t q = 0; q < fps.size(); ++q) {
+    sums[vq.query_candidate[q]] += fps[q];
+  }
+  return sums;
+}
+
 class GAugurCmMethod final : public Methodology {
  public:
   explicit GAugurCmMethod(const core::GAugurPredictor& predictor)
@@ -52,12 +133,23 @@ class GAugurCmMethod final : public Methodology {
     return predictor_->PredictFeasible(qos_fps, colocation);
   }
 
+  std::vector<char> FeasibleBatch(
+      double qos_fps,
+      std::span<const Colocation> candidates) const override {
+    return predictor_->ScoreCandidates(qos_fps, candidates);
+  }
+
   bool CanPredictFps() const override { return predictor_->HasRm(); }
 
   double PredictFps(
       const SessionRequest& victim,
       std::span<const SessionRequest> corunners) const override {
     return predictor_->PredictFps(victim, corunners);
+  }
+
+  std::vector<double> PredictFpsSums(
+      std::span<const Colocation> candidates) const override {
+    return BatchedFpsSums(*predictor_, candidates);
   }
 
  private:
@@ -81,10 +173,31 @@ class GAugurRmMethod final : public Methodology {
         });
   }
 
+  std::vector<char> FeasibleBatch(
+      double qos_fps,
+      std::span<const Colocation> candidates) const override {
+    std::vector<char> out(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      out[i] =
+          ProfiledMemoryFits(predictor_->Features(), candidates[i]) ? 1 : 0;
+    }
+    const VictimQueries vq = BuildVictimQueries(candidates, out);
+    const std::vector<double> fps = predictor_->PredictFpsBatch(vq.queries);
+    for (std::size_t q = 0; q < fps.size(); ++q) {
+      if (fps[q] < qos_fps) out[vq.query_candidate[q]] = 0;
+    }
+    return out;
+  }
+
   double PredictFps(
       const SessionRequest& victim,
       std::span<const SessionRequest> corunners) const override {
     return predictor_->PredictFps(victim, corunners);
+  }
+
+  std::vector<double> PredictFpsSums(
+      std::span<const Colocation> candidates) const override {
+    return BatchedFpsSums(*predictor_, candidates);
   }
 
  private:

@@ -10,6 +10,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "baselines/sigmoid_model.h"
 #include "baselines/smite_model.h"
@@ -28,12 +29,26 @@ class Methodology {
   virtual bool Feasible(double qos_fps,
                         const core::Colocation& colocation) const = 0;
 
+  /// Feasible() over a span of candidate colocations. The GAugur
+  /// methodologies override this with one batched predictor evaluation
+  /// per call; the default loops the scalar judgement. Verdicts are
+  /// identical to calling Feasible() per candidate.
+  virtual std::vector<char> FeasibleBatch(
+      double qos_fps, std::span<const core::Colocation> candidates) const;
+
   /// Whether PredictFps is meaningful (VBP has no performance model).
   virtual bool CanPredictFps() const { return true; }
 
   virtual double PredictFps(
       const core::SessionRequest& victim,
       std::span<const core::SessionRequest> corunners) const = 0;
+
+  /// Per-candidate sum of PredictFps over every session (victims in
+  /// colocation order — same accumulation order as the scalar loop, so
+  /// sums are bit-identical). Requires CanPredictFps(). The GAugur
+  /// methodologies override this with one batched RM evaluation.
+  virtual std::vector<double> PredictFpsSums(
+      std::span<const core::Colocation> candidates) const;
 };
 
 /// Profiled memory fit shared by all predictive methodologies.

@@ -1,0 +1,144 @@
+// Unit tests for the predictor's LRU memoization layer: roundtrip,
+// recency/eviction bounds, retrain invalidation, the capacity-0 disabled
+// mode, and a concurrent mixed-workload loop for the TSan build.
+
+#include "gaugur/prediction_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace gaugur::core {
+namespace {
+
+PredictionCacheKey Key(std::uint64_t join_key, std::uint64_t qos_bits = 0,
+                       std::uint8_t kind = 0) {
+  return PredictionCacheKey{join_key, qos_bits, kind};
+}
+
+TEST(PredictionCache, RoundtripPreservesFeaturesAndValue) {
+  PredictionCache cache(8);
+  EXPECT_EQ(cache.Lookup(Key(1)), nullptr);
+  cache.Insert(Key(1), {{0.25, 0.5, 0.75}, 0.9});
+
+  const auto hit = cache.Lookup(Key(1));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->value, 0.9);
+  EXPECT_EQ(hit->features, (std::vector<double>{0.25, 0.5, 0.75}));
+
+  const auto stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(PredictionCache, KeyComponentsAreAllSignificant) {
+  PredictionCache cache(8);
+  cache.Insert(Key(1, 0, 0), {{}, 1.0});
+  EXPECT_EQ(cache.Lookup(Key(2, 0, 0)), nullptr);  // different join key
+  EXPECT_EQ(cache.Lookup(Key(1, 7, 0)), nullptr);  // different QoS bits
+  EXPECT_EQ(cache.Lookup(Key(1, 0, 1)), nullptr);  // different kind
+  ASSERT_NE(cache.Lookup(Key(1, 0, 0)), nullptr);
+}
+
+TEST(PredictionCache, EvictsLeastRecentlyUsedAtCapacity) {
+  PredictionCache cache(3);
+  cache.Insert(Key(1), {{}, 1.0});
+  cache.Insert(Key(2), {{}, 2.0});
+  cache.Insert(Key(3), {{}, 3.0});
+  EXPECT_EQ(cache.Size(), 3u);
+
+  // Touch key 1 so key 2 becomes the LRU victim.
+  ASSERT_NE(cache.Lookup(Key(1)), nullptr);
+  cache.Insert(Key(4), {{}, 4.0});
+
+  EXPECT_EQ(cache.Size(), 3u);
+  EXPECT_EQ(cache.Lookup(Key(2)), nullptr);
+  EXPECT_NE(cache.Lookup(Key(1)), nullptr);
+  EXPECT_NE(cache.Lookup(Key(3)), nullptr);
+  EXPECT_NE(cache.Lookup(Key(4)), nullptr);
+  EXPECT_EQ(cache.GetStats().evictions, 1u);
+}
+
+TEST(PredictionCache, SizeNeverExceedsCapacity) {
+  PredictionCache cache(16);
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    cache.Insert(Key(k), {{}, static_cast<double>(k)});
+    EXPECT_LE(cache.Size(), 16u);
+  }
+  EXPECT_EQ(cache.Size(), 16u);
+  EXPECT_EQ(cache.GetStats().evictions, 200u - 16u);
+}
+
+TEST(PredictionCache, ReinsertRefreshesInsteadOfDuplicating) {
+  PredictionCache cache(2);
+  cache.Insert(Key(1), {{}, 1.0});
+  cache.Insert(Key(1), {{}, 1.5});
+  EXPECT_EQ(cache.Size(), 1u);
+  ASSERT_NE(cache.Lookup(Key(1)), nullptr);
+  EXPECT_EQ(cache.Lookup(Key(1))->value, 1.5);
+  EXPECT_EQ(cache.GetStats().evictions, 0u);
+}
+
+TEST(PredictionCache, ClearEmptiesButKeepsStats) {
+  PredictionCache cache(8);
+  cache.Insert(Key(1), {{}, 1.0});
+  ASSERT_NE(cache.Lookup(Key(1)), nullptr);
+  cache.Lookup(Key(99));
+
+  cache.Clear();
+  EXPECT_EQ(cache.Size(), 0u);
+  EXPECT_EQ(cache.Lookup(Key(1)), nullptr);
+
+  const auto stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);  // 99, then 1 again after Clear
+}
+
+TEST(PredictionCache, CapacityZeroDisables) {
+  PredictionCache cache(0);
+  cache.Insert(Key(1), {{}, 1.0});
+  EXPECT_EQ(cache.Size(), 0u);
+  EXPECT_EQ(cache.Lookup(Key(1)), nullptr);
+  // The disabled cache neither hits nor counts traffic.
+  const auto stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(PredictionCache, ConcurrentMixedWorkloadIsSafe) {
+  PredictionCache cache(64);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kOpsPerThread = 2000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (std::uint64_t i = 0; i < kOpsPerThread; ++i) {
+        const std::uint64_t k = (static_cast<std::uint64_t>(t) * 37 + i) % 128;
+        if (i % 3 == 0) {
+          cache.Insert(Key(k), {{1.0, 2.0}, static_cast<double>(k)});
+        } else if (i % 257 == 0) {
+          cache.Clear();
+        } else {
+          const auto hit = cache.Lookup(Key(k));
+          if (hit != nullptr) {
+            // Entries are immutable snapshots: a concurrent Clear or
+            // eviction must not invalidate a handed-out pointer.
+            EXPECT_EQ(hit->value, static_cast<double>(k));
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_LE(cache.Size(), 64u);
+  const auto stats = cache.GetStats();
+  EXPECT_GT(stats.hits + stats.misses, 0u);
+}
+
+}  // namespace
+}  // namespace gaugur::core

@@ -1,0 +1,145 @@
+// Property tests for the batched inference engine: for every algorithm in
+// the factory, PredictBatch / PredictProbBatch over a matrix must be
+// bit-identical to calling the scalar entry point row by row — the
+// contract that lets the schedulers switch to batch scoring without
+// changing a single decision. Also pins the FlatForest kernel against the
+// canonical TreeModel traversal it re-lays.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ml/decision_tree.h"
+#include "ml/factory.h"
+#include "ml/tree_kernel.h"
+#include "tests/ml/synthetic.h"
+
+namespace gaugur::ml {
+namespace {
+
+TEST(BatchEquivalence, EveryRegressorMatchesScalarBitForBit) {
+  const Dataset train = testing::MakeRegressionData(300, 11, 0.05);
+  const Dataset test = testing::MakeRegressionData(120, 12);
+  for (const std::string& name : RegressorNames()) {
+    SCOPED_TRACE(name);
+    auto model = MakeRegressor(name, 5);
+    model->Fit(train);
+
+    const std::vector<double> via_dataset = model->PredictBatch(test);
+    std::vector<double> via_matrix(test.NumRows());
+    model->PredictBatch(test.Matrix(), via_matrix);
+
+    ASSERT_EQ(via_dataset.size(), test.NumRows());
+    for (std::size_t i = 0; i < test.NumRows(); ++i) {
+      const double scalar = model->Predict(test.Matrix().Row(i));
+      EXPECT_EQ(scalar, via_dataset[i]) << "row " << i;
+      EXPECT_EQ(scalar, via_matrix[i]) << "row " << i;
+    }
+  }
+}
+
+TEST(BatchEquivalence, EveryClassifierMatchesScalarBitForBit) {
+  const Dataset train = testing::MakeClassificationData(300, 21, 0.02);
+  const Dataset test = testing::MakeClassificationData(120, 22);
+  for (const std::string& name : ClassifierNames()) {
+    SCOPED_TRACE(name);
+    auto model = MakeClassifier(name, 5);
+    model->Fit(train);
+
+    const std::vector<double> via_dataset = model->PredictProbBatch(test);
+    std::vector<double> via_matrix(test.NumRows());
+    model->PredictProbBatch(test.Matrix(), via_matrix);
+
+    ASSERT_EQ(via_dataset.size(), test.NumRows());
+    for (std::size_t i = 0; i < test.NumRows(); ++i) {
+      const double scalar = model->PredictProb(test.Matrix().Row(i));
+      EXPECT_EQ(scalar, via_dataset[i]) << "row " << i;
+      EXPECT_EQ(scalar, via_matrix[i]) << "row " << i;
+    }
+  }
+}
+
+TEST(BatchEquivalence, ClassifierDecisionsHonorThreshold) {
+  const Dataset train = testing::MakeClassificationData(300, 31, 0.02);
+  const Dataset test = testing::MakeClassificationData(80, 32);
+  for (const std::string& name : ClassifierNames()) {
+    SCOPED_TRACE(name);
+    auto model = MakeClassifier(name, 5);
+    model->Fit(train);
+    for (const double threshold : {0.2, 0.5, 0.8}) {
+      const std::vector<int> decisions =
+          model->PredictBatch(test, threshold);
+      for (std::size_t i = 0; i < test.NumRows(); ++i) {
+        const auto row = test.Matrix().Row(i);
+        const int expected =
+            model->PredictProb(row) >= threshold ? 1 : 0;
+        EXPECT_EQ(decisions[i], expected) << "row " << i << " threshold "
+                                          << threshold;
+        EXPECT_EQ(model->Predict(row, threshold), expected);
+      }
+    }
+    // The defaulted threshold is the plain 0.5 rule.
+    EXPECT_EQ(model->PredictBatch(test), model->PredictBatch(test, 0.5));
+  }
+}
+
+TEST(BatchEquivalence, FlatForestMatchesCanonicalTreeTraversal) {
+  const Dataset train = testing::MakeRegressionData(400, 41, 0.1);
+  TreeConfig config;
+  config.max_depth = 6;
+  TreeModel tree(config);
+  tree.Fit(train);
+
+  FlatForest flat;
+  flat.Add(tree);
+  ASSERT_EQ(flat.NumTrees(), 1u);
+  ASSERT_EQ(flat.NumNodes(), tree.Nodes().size());
+
+  const Dataset test = testing::MakeRegressionData(200, 42);
+  std::vector<double> batch(test.NumRows(), 0.0);
+  flat.AccumulateTreeBatch(0, test.Matrix(), batch, 1.0);
+  for (std::size_t i = 0; i < test.NumRows(); ++i) {
+    const auto row = test.Matrix().Row(i);
+    EXPECT_EQ(tree.Predict(row), flat.PredictTree(0, row)) << "row " << i;
+    EXPECT_EQ(tree.Predict(row), batch[i]) << "row " << i;
+  }
+}
+
+TEST(BatchEquivalence, FlatForestAccumulatesInTreeOrder) {
+  const Dataset train = testing::MakeRegressionData(300, 51, 0.1);
+  TreeConfig config;
+  config.max_depth = 4;
+  config.seed = 3;
+  TreeModel t0(config);
+  t0.Fit(train);
+  config.max_depth = 7;
+  TreeModel t1(config);
+  t1.Fit(train);
+
+  FlatForest flat;
+  flat.Add(t0);
+  flat.Add(t1);
+
+  const Dataset test = testing::MakeRegressionData(64, 52);
+  const double scale = 0.125;
+  std::vector<double> batch(test.NumRows(), 1.0);
+  flat.AccumulateBatch(test.Matrix(), batch, scale);
+  for (std::size_t i = 0; i < test.NumRows(); ++i) {
+    const auto row = test.Matrix().Row(i);
+    double expected = 1.0;
+    expected += scale * t0.Predict(row);
+    expected += scale * t1.Predict(row);
+    EXPECT_EQ(expected, batch[i]) << "row " << i;
+    EXPECT_EQ(t0.Predict(row) + t1.Predict(row), flat.PredictRowSum(row));
+  }
+}
+
+TEST(BatchEquivalence, PredictBeforeFitThrowsOnBatchPath) {
+  FlatForest flat;
+  const double x[3] = {0.0, 0.0, 0.0};
+  EXPECT_THROW(flat.PredictRowSum(std::span<const double>(x, 3)),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace gaugur::ml

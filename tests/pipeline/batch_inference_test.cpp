@@ -1,0 +1,312 @@
+// Regression tests for the batched inference engine at the scheduler
+// boundary: batch entry points must agree bit for bit with the scalar
+// ones, the prediction cache must be invisible (same numbers, same audit
+// records) and retrain-invalidated, and every scheduler that switched to
+// batch scoring must still produce the exact placements/assignments the
+// scalar path did.
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "gaugur/predictor.h"
+#include "obs/model_monitor.h"
+#include "obs/switch.h"
+#include "sched/assignment.h"
+#include "sched/dynamic.h"
+#include "sched/methodology.h"
+#include "sched/study.h"
+#include "tests/pipeline/world.h"
+
+namespace gaugur::sched {
+namespace {
+
+using core::Colocation;
+using core::GAugurPredictor;
+using core::QosQuery;
+using core::SessionRequest;
+using gaugur::testing::TestWorld;
+
+constexpr double kQos = 60.0;
+
+/// Two predictors trained identically on the same slice, one with the
+/// cache disabled — memoization must be unobservable in the outputs.
+struct TrainedPair {
+  GAugurPredictor cached;
+  GAugurPredictor uncached;
+};
+
+const TrainedPair& Trained() {
+  static const TrainedPair* pair = [] {
+    const auto& world = TestWorld::Get();
+    core::PredictorConfig config;
+    core::PredictorConfig no_cache = config;
+    no_cache.prediction_cache_capacity = 0;
+    auto* p = new TrainedPair{GAugurPredictor(world.features(), config),
+                              GAugurPredictor(world.features(), no_cache)};
+    const std::span<const core::MeasuredColocation> slice =
+        std::span(world.corpus()).first(200);
+    const std::vector<double> qos_grid{kQos};
+    for (GAugurPredictor* predictor : {&p->cached, &p->uncached}) {
+      predictor->TrainRm(slice);
+      predictor->TrainCm(slice, qos_grid);
+    }
+    return p;
+  }();
+  return *pair;
+}
+
+/// Per-victim queries over a span of colocations, with stable co-runner
+/// storage.
+struct QueryPool {
+  std::vector<SessionRequest> pool;
+  std::vector<QosQuery> queries;
+};
+
+QueryPool BuildQueries(std::span<const core::MeasuredColocation> measured) {
+  QueryPool out;
+  std::size_t slots = 0;
+  for (const auto& m : measured) {
+    slots += m.sessions.size() * (m.sessions.size() - 1);
+  }
+  out.pool.reserve(slots);
+  for (const auto& m : measured) {
+    for (std::size_t v = 0; v < m.sessions.size(); ++v) {
+      const std::size_t begin = out.pool.size();
+      for (std::size_t j = 0; j < m.sessions.size(); ++j) {
+        if (j != v) out.pool.push_back(m.sessions[j]);
+      }
+      out.queries.push_back(
+          {m.sessions[v],
+           std::span<const SessionRequest>(out.pool.data() + begin,
+                                           out.pool.size() - begin)});
+    }
+  }
+  return out;
+}
+
+std::vector<Colocation> TestCandidates() {
+  std::vector<Colocation> candidates;
+  for (const auto& m : TestWorld::Get().test_corpus()) {
+    candidates.push_back(m.sessions);
+  }
+  return candidates;
+}
+
+TEST(BatchInferenceTest, BatchEntryPointsMatchScalarBitForBit) {
+  const auto& predictor = Trained().uncached;
+  const auto q =
+      BuildQueries(std::span(TestWorld::Get().test_corpus()).first(40));
+
+  const std::vector<double> fps = predictor.PredictFpsBatch(q.queries);
+  const std::vector<char> ok = predictor.PredictQosOkBatch(kQos, q.queries);
+  ASSERT_EQ(fps.size(), q.queries.size());
+  ASSERT_EQ(ok.size(), q.queries.size());
+  for (std::size_t i = 0; i < q.queries.size(); ++i) {
+    const auto& query = q.queries[i];
+    EXPECT_EQ(fps[i], predictor.PredictFps(query.victim, query.corunners))
+        << "query " << i;
+    EXPECT_EQ(ok[i] != 0,
+              predictor.PredictQosOk(kQos, query.victim, query.corunners))
+        << "query " << i;
+  }
+}
+
+TEST(BatchInferenceTest, CachedPredictorIsBitIdenticalToUncached) {
+  const auto& pair = Trained();
+  const auto q =
+      BuildQueries(std::span(TestWorld::Get().test_corpus()).first(40));
+
+  const std::vector<double> baseline = pair.uncached.PredictFpsBatch(q.queries);
+  const std::vector<char> baseline_ok =
+      pair.uncached.PredictQosOkBatch(kQos, q.queries);
+  // First pass fills the cache, second pass replays from it; both must
+  // match the uncached answers exactly.
+  for (int pass = 0; pass < 2; ++pass) {
+    EXPECT_EQ(pair.cached.PredictFpsBatch(q.queries), baseline)
+        << "pass " << pass;
+    EXPECT_EQ(pair.cached.PredictQosOkBatch(kQos, q.queries), baseline_ok)
+        << "pass " << pass;
+  }
+  const auto stats = pair.cached.PredictionCacheStats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(pair.cached.PredictionCacheSize(), 0u);
+}
+
+TEST(BatchInferenceTest, ScoreCandidatesMatchesPerVictimQueries) {
+  const auto& predictor = Trained().cached;
+  const auto candidates = TestCandidates();
+
+  const std::vector<char> verdicts =
+      predictor.ScoreCandidates(kQos, candidates);
+  ASSERT_EQ(verdicts.size(), candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    EXPECT_EQ(verdicts[i] != 0, predictor.PredictFeasible(kQos, candidates[i]))
+        << "candidate " << i;
+    bool all_ok = true;
+    for (std::size_t v = 0; v < candidates[i].size(); ++v) {
+      Colocation corunners = candidates[i];
+      corunners.erase(corunners.begin() + static_cast<std::ptrdiff_t>(v));
+      all_ok = all_ok &&
+               predictor.PredictQosOk(kQos, candidates[i][v], corunners);
+    }
+    EXPECT_EQ(verdicts[i] != 0, all_ok) << "candidate " << i;
+  }
+}
+
+TEST(BatchInferenceTest, RetrainInvalidatesPredictionCache) {
+  const auto& world = TestWorld::Get();
+  const std::span<const core::MeasuredColocation> slice =
+      std::span(world.corpus()).first(100);
+  GAugurPredictor predictor(world.features());
+  predictor.TrainRm(slice);
+  const std::vector<double> qos_grid{kQos};
+  predictor.TrainCm(slice, qos_grid);
+
+  const auto q = BuildQueries(std::span(world.test_corpus()).first(10));
+  (void)predictor.PredictFpsBatch(q.queries);
+  EXPECT_GT(predictor.PredictionCacheSize(), 0u);
+  predictor.TrainRm(slice);
+  EXPECT_EQ(predictor.PredictionCacheSize(), 0u);
+
+  (void)predictor.PredictQosOkBatch(kQos, q.queries);
+  EXPECT_GT(predictor.PredictionCacheSize(), 0u);
+  predictor.TrainCm(slice, qos_grid);
+  EXPECT_EQ(predictor.PredictionCacheSize(), 0u);
+}
+
+TEST(BatchInferenceTest, FeasibleBatchMatchesScalarForGAugurMethods) {
+  const auto& pair = Trained();
+  const auto candidates = TestCandidates();
+  for (const auto& method :
+       {MakeGAugurCmMethod(pair.cached), MakeGAugurRmMethod(pair.cached)}) {
+    SCOPED_TRACE(method->Name());
+    const std::vector<char> verdicts =
+        method->FeasibleBatch(kQos, candidates);
+    ASSERT_EQ(verdicts.size(), candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      EXPECT_EQ(verdicts[i] != 0, method->Feasible(kQos, candidates[i]))
+          << "candidate " << i;
+    }
+  }
+}
+
+TEST(BatchInferenceTest, PredictFpsSumsMatchScalarLoopBitForBit) {
+  const auto& pair = Trained();
+  const auto candidates = TestCandidates();
+  for (const auto& method :
+       {MakeGAugurCmMethod(pair.cached), MakeGAugurRmMethod(pair.cached)}) {
+    SCOPED_TRACE(method->Name());
+    const std::vector<double> sums = method->PredictFpsSums(candidates);
+    ASSERT_EQ(sums.size(), candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      double expected = 0.0;
+      for (std::size_t v = 0; v < candidates[i].size(); ++v) {
+        Colocation corunners = candidates[i];
+        corunners.erase(corunners.begin() + static_cast<std::ptrdiff_t>(v));
+        expected += method->PredictFps(candidates[i][v], corunners);
+      }
+      EXPECT_EQ(sums[i], expected) << "candidate " << i;
+    }
+  }
+}
+
+TEST(BatchInferenceTest, BatchPolicyReproducesScalarFleetExactly) {
+  const auto& world = TestWorld::Get();
+  const auto method = MakeGAugurCmMethod(Trained().cached);
+  const auto setup = SelectStudyGames(world.lab(), 6, kQos, 3);
+  const auto trace =
+      GenerateDynamicTrace(setup.game_ids, 150.0, 0.4, 25.0, 23);
+
+  const auto scalar = SimulateDynamicFleet(
+      world.lab(), trace, MakeFirstFeasiblePolicy([&](const Colocation& c) {
+        return method->Feasible(kQos, c);
+      }));
+  const auto batch = SimulateDynamicFleet(
+      world.lab(), trace,
+      MakeBatchFeasiblePolicy(
+          [&](std::span<const Colocation> candidates) {
+            return method->FeasibleBatch(kQos, candidates);
+          }));
+
+  EXPECT_EQ(scalar.sessions, batch.sessions);
+  EXPECT_EQ(scalar.peak_servers, batch.peak_servers);
+  EXPECT_EQ(scalar.violated_sessions, batch.violated_sessions);
+  EXPECT_EQ(scalar.powerons, batch.powerons);
+  EXPECT_DOUBLE_EQ(scalar.server_minutes, batch.server_minutes);
+}
+
+/// Delegates the scalar virtuals and inherits the base-class batch
+/// defaults, recovering the pre-refactor per-candidate evaluation path.
+class ScalarOnlyMethod : public Methodology {
+ public:
+  explicit ScalarOnlyMethod(const Methodology& inner) : inner_(inner) {}
+  std::string Name() const override { return inner_.Name(); }
+  bool Feasible(double qos_fps, const Colocation& c) const override {
+    return inner_.Feasible(qos_fps, c);
+  }
+  bool CanPredictFps() const override { return inner_.CanPredictFps(); }
+  double PredictFps(
+      const SessionRequest& victim,
+      std::span<const SessionRequest> corunners) const override {
+    return inner_.PredictFps(victim, corunners);
+  }
+
+ private:
+  const Methodology& inner_;
+};
+
+TEST(BatchInferenceTest, AssignmentUnchangedByBatchScoring) {
+  const auto& world = TestWorld::Get();
+  const auto method = MakeGAugurRmMethod(Trained().cached);
+  const ScalarOnlyMethod scalar_method(*method);
+
+  std::vector<SessionRequest> requests;
+  for (const auto& m : world.test_corpus()) {
+    for (const auto& s : m.sessions) {
+      requests.push_back(s);
+      if (requests.size() >= 120) break;
+    }
+    if (requests.size() >= 120) break;
+  }
+  AssignmentOptions options;
+  options.num_servers = 100;
+
+  const auto batched = AssignByPredictedFps(*method, world.features(),
+                                            requests, options);
+  const auto scalar = AssignByPredictedFps(scalar_method, world.features(),
+                                           requests, options);
+  EXPECT_EQ(batched, scalar);
+}
+
+TEST(BatchInferenceTest, CacheHitsReplayOneAuditRecordPerQuery) {
+  obs::EnabledScope on(true);
+  auto& monitor = obs::ModelMonitor::Global();
+  const auto& world = TestWorld::Get();
+
+  // Fresh predictor so the first batch is all misses.
+  GAugurPredictor predictor(world.features());
+  const std::span<const core::MeasuredColocation> slice =
+      std::span(world.corpus()).first(100);
+  predictor.TrainRm(slice);
+  const std::vector<double> qos_grid{kQos};
+  predictor.TrainCm(slice, qos_grid);
+
+  const auto q = BuildQueries(std::span(world.test_corpus()).first(10));
+  const std::uint64_t before = monitor.Summary().cm_predictions;
+  (void)predictor.PredictQosOkBatch(kQos, q.queries);
+  const std::uint64_t after_cold = monitor.Summary().cm_predictions;
+  EXPECT_EQ(after_cold - before, q.queries.size());
+
+  // Second pass is served from the cache yet must audit every logical
+  // query again — memoization is invisible to the model monitor.
+  EXPECT_GT(predictor.PredictionCacheStats().misses, 0u);
+  (void)predictor.PredictQosOkBatch(kQos, q.queries);
+  EXPECT_GT(predictor.PredictionCacheStats().hits, 0u);
+  const std::uint64_t after_warm = monitor.Summary().cm_predictions;
+  EXPECT_EQ(after_warm - after_cold, q.queries.size());
+}
+
+}  // namespace
+}  // namespace gaugur::sched
