@@ -21,9 +21,12 @@
 #include "bench/trained_stack.h"
 #include "gaugur/training.h"
 #include "ml/factory.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/switch.h"
+#include "obs/timeseries.h"
 #include "profiling/profiler.h"
+#include "sched/dynamic.h"
 
 using namespace gaugur;
 
@@ -124,6 +127,31 @@ void BM_ObsCounterAddDisabled(benchmark::State& state) {
 }
 BENCHMARK(BM_ObsCounterAddDisabled);
 
+void BM_EventLogAppendEnabled(benchmark::State& state) {
+  obs::EnabledScope on(true);
+  obs::EventLog& log = obs::EventLog::Global();
+  double tick = 0.0;
+  for (auto _ : state) {
+    log.Append(obs::EventKind::kArrival, tick, 0,
+               {{"game_id", obs::JsonValue(7)}});
+    tick += 1.0;
+  }
+  log.Clear();
+}
+BENCHMARK(BM_EventLogAppendEnabled);
+
+void BM_EventLogAppendDisabled(benchmark::State& state) {
+  obs::EnabledScope off(false);
+  obs::EventLog& log = obs::EventLog::Global();
+  double tick = 0.0;
+  for (auto _ : state) {
+    log.Append(obs::EventKind::kArrival, tick, 0,
+               {{"game_id", obs::JsonValue(7)}});
+    tick += 1.0;
+  }
+}
+BENCHMARK(BM_EventLogAppendDisabled);
+
 void BM_ObsHistogramRecordEnabled(benchmark::State& state) {
   obs::EnabledScope on(true);
   obs::Histogram& hist =
@@ -180,6 +208,56 @@ OverheadNumbers ReportInstrumentationOverhead() {
   return {enabled_us, disabled_us, delta_pct};
 }
 
+struct FleetOverheadNumbers {
+  double enabled_ms = 0.0;
+  double disabled_ms = 0.0;
+  double delta_pct = 0.0;
+};
+
+/// Fleet-level counterpart of ReportInstrumentationOverhead: one
+/// provenance-policy SimulateDynamicFleet run (arrivals, decision events
+/// with candidate judgements, violation attribution, time-series
+/// sampling) with the obs switch on vs off. Disabled, the whole event /
+/// time-series layer must collapse to relaxed-load branches.
+FleetOverheadNumbers ReportFleetOverhead() {
+  const auto& stack = bench::TrainedStack::Get();
+  const auto& world = bench::BenchWorld::Get();
+  std::vector<int> games;
+  for (int g = 0; g < 12; ++g) games.push_back(g);
+  const auto trace = sched::GenerateDynamicTrace(
+      games, /*horizon_min=*/120.0, /*arrivals_per_min=*/0.5,
+      /*mean_duration_min=*/30.0, /*seed=*/11);
+  const auto policy = sched::MakeProvenancePolicy(stack.gaugur, 60.0);
+  sched::DynamicOptions options;
+  options.qos_fps = 60.0;
+
+  const auto time_fleet = [&](bool enabled, int iters) {
+    obs::EnabledScope scope(enabled);
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) {
+      benchmark::DoNotOptimize(
+          sched::SimulateDynamicFleet(world.lab(), trace, policy, options));
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    obs::EventLog::Global().Clear();
+    obs::FleetTimeSeries::Global().Clear();
+    return std::chrono::duration<double, std::milli>(elapsed).count() /
+           iters;
+  };
+
+  constexpr int kFleetIters = 5;
+  time_fleet(true, 1);  // warmup (fps caches inside the lab, allocator)
+  const double enabled_ms = time_fleet(true, kFleetIters);
+  const double disabled_ms = time_fleet(false, kFleetIters);
+  const double delta_pct =
+      100.0 * (enabled_ms - disabled_ms) / disabled_ms;
+  std::printf(
+      "Provenance overhead on SimulateDynamicFleet (%zu arrivals): "
+      "obs on %.2f ms, obs off %.2f ms, enabled-path delta %+.2f%%.\n",
+      trace.size(), enabled_ms, disabled_ms, delta_pct);
+  return {enabled_ms, disabled_ms, delta_pct};
+}
+
 void BM_ProfileOneGame(benchmark::State& state) {
   const auto& world = bench::BenchWorld::Get();
   const profiling::Profiler profiler(world.server());
@@ -216,6 +294,7 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   const OverheadNumbers overhead = ReportInstrumentationOverhead();
+  const FleetOverheadNumbers fleet_overhead = ReportFleetOverhead();
   const double wall_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - wall_start)
@@ -229,6 +308,9 @@ int main(int argc, char** argv) {
   counters["measure_enabled_us"] = overhead.enabled_us;
   counters["measure_disabled_us"] = overhead.disabled_us;
   counters["enabled_delta_pct"] = overhead.delta_pct;
+  counters["fleet_enabled_ms"] = fleet_overhead.enabled_ms;
+  counters["fleet_disabled_ms"] = fleet_overhead.disabled_ms;
+  counters["fleet_enabled_delta_pct"] = fleet_overhead.delta_pct;
   counters["lab_measurements"] = static_cast<unsigned long long>(
       obs::Registry::Global().GetCounter("lab.measurements").Value());
   bench::WriteBenchJson("overhead", wall_ms, std::move(config),

@@ -5,7 +5,9 @@
 //  3. Measure a small colocation corpus and train the RM and CM.
 //  4. Predict the interference of a fresh colocation and compare with
 //     what actually happens when the games run together.
-//  5. Dump the telemetry run report the pipeline accumulated along the
+//  5. Run a short dynamic fleet under the provenance-aware policy and
+//     dump the decision event log (JSONL, for examples/trace_explorer).
+//  6. Dump the telemetry run report the pipeline accumulated along the
 //     way (metrics table + JSON written next to the binary).
 //
 // Build & run:  cmake --build build && ./build/examples/quickstart
@@ -20,10 +22,12 @@
 #include "gaugur/corpus.h"
 #include "gaugur/lab.h"
 #include "gaugur/predictor.h"
+#include "obs/event_log.h"
 #include "obs/model_monitor.h"
 #include "obs/report.h"
 #include "obs/switch.h"
 #include "profiling/profiler.h"
+#include "sched/dynamic.h"
 
 using namespace gaugur;
 
@@ -97,7 +101,39 @@ int main() {
     }
   }
 
-  // 5. Everything above was instrumented; capture the registry as a
+  // 5. A short dynamic-fleet run with the provenance-aware policy: every
+  // arrival, placement decision (with per-candidate predictor verdicts),
+  // power transition, and QoS violation lands in the event log, and each
+  // server's FPS/pressure trajectory in the fleet time series — the raw
+  // material for examples/trace_explorer.
+  std::vector<int> fleet_games;
+  for (std::size_t g = 0; g < 12 && g < catalog.size(); ++g) {
+    fleet_games.push_back(static_cast<int>(g));
+  }
+  const auto trace = sched::GenerateDynamicTrace(
+      fleet_games, /*horizon_min=*/240.0, /*arrivals_per_min=*/0.4,
+      /*mean_duration_min=*/45.0, /*seed=*/7);
+  sched::DynamicOptions fleet_options;
+  fleet_options.qos_fps = 60.0;
+  const sched::DynamicResult fleet = sched::SimulateDynamicFleet(
+      lab, trace, sched::MakeProvenancePolicy(predictor, 60.0),
+      fleet_options);
+  std::printf(
+      "\nfleet run: %zu sessions, peak %zu servers, %.0f server-minutes, "
+      "%zu QoS-violated sessions\n",
+      fleet.sessions, fleet.peak_servers, fleet.server_minutes,
+      fleet.violated_sessions);
+  if (obs::Enabled() && !obs::EventLog::Global().Empty()) {
+    const char* events_path = "bench_results/quickstart_events.jsonl";
+    if (!obs::EventLog::Global().WriteJsonl(events_path)) {
+      events_path = "quickstart_events.jsonl";
+      obs::EventLog::Global().WriteJsonl(events_path);
+    }
+    std::printf("event log written to %s (explore with trace_explorer)\n",
+                events_path);
+  }
+
+  // 6. Everything above was instrumented; capture the registry as a
   // structured run report.
   obs::RunReport report = obs::RunReport::Capture("quickstart");
   report.SetMeta("games_profiled", std::to_string(catalog.size()));

@@ -1,0 +1,285 @@
+// trace_explorer: offline forensics over a fleet run's decision event
+// log (the JSONL file quickstart and SimulateDynamicFleet-based drivers
+// write via obs::EventLog).
+//
+// Default view: run summary + per-server timeline table (every event
+// that touches a server, in sequence order). With --violation N the tool
+// answers the forensics question end to end for the N-th qos_violation
+// event: which decision placed the victim, what the predictor believed
+// about every candidate at that moment (queries, cache hits, margins),
+// and which resource / co-located offender the ground-truth attribution
+// blames for the dip.
+//
+// Usage:
+//   trace_explorer <events.jsonl> [report.json] [--violation N]
+//
+// Build & run:
+//   cmake --build build && ./build/examples/quickstart
+//   ./build/examples/trace_explorer bench_results/quickstart_events.jsonl
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "obs/event_log.h"
+#include "obs/report.h"
+
+using gaugur::obs::Event;
+using gaugur::obs::EventKind;
+using gaugur::obs::EventKindName;
+using gaugur::obs::JsonValue;
+
+namespace {
+
+/// Tolerant field accessors: the payload is kind-specific and optional
+/// fields (e.g. candidate details) are simply absent for plain policies.
+double NumField(const Event& event, const char* key, double fallback = -1.0) {
+  const auto it = event.fields.find(key);
+  if (it == event.fields.end() || !it->second.IsNumber()) return fallback;
+  return it->second.AsNumber();
+}
+
+std::string StrField(const Event& event, const char* key) {
+  const auto it = event.fields.find(key);
+  if (it == event.fields.end() || !it->second.IsString()) return "";
+  return it->second.AsString();
+}
+
+long long ServerOf(const Event& event) {
+  return static_cast<long long>(NumField(event, "server", -1.0));
+}
+
+/// One-line human description of an event's payload.
+std::string Describe(const Event& event) {
+  char buf[256];
+  switch (event.kind) {
+    case EventKind::kArrival:
+      std::snprintf(buf, sizeof(buf), "game %d arrives (%.0f min)",
+                    static_cast<int>(NumField(event, "game_id")),
+                    NumField(event, "duration_min"));
+      return buf;
+    case EventKind::kDecision:
+      std::snprintf(buf, sizeof(buf),
+                    "game %d -> server %lld (%d candidates, choice %d)",
+                    static_cast<int>(NumField(event, "game_id")),
+                    static_cast<long long>(NumField(event, "target_server")),
+                    static_cast<int>(NumField(event, "num_candidates")),
+                    static_cast<int>(NumField(event, "choice")));
+      return buf;
+    case EventKind::kDeparture:
+      std::snprintf(buf, sizeof(buf), "request %lld departs",
+                    static_cast<long long>(NumField(event, "request_index")));
+      return buf;
+    case EventKind::kPowerOn:
+      return "server powered on";
+    case EventKind::kPowerOff:
+      return "server powered off";
+    case EventKind::kQosViolation:
+      std::snprintf(buf, sizeof(buf),
+                    "game %d at %.1f FPS < QoS %.0f (%s, offender game %d)",
+                    static_cast<int>(NumField(event, "victim_game")),
+                    NumField(event, "realized_fps"),
+                    NumField(event, "qos_fps"),
+                    StrField(event, "dominant_resource").c_str(),
+                    static_cast<int>(NumField(event, "offender_game")));
+      return buf;
+    case EventKind::kRetrain:
+      std::snprintf(buf, sizeof(buf), "%s retrained on %lld rows",
+                    StrField(event, "model").c_str(),
+                    static_cast<long long>(NumField(event, "rows")));
+      return buf;
+  }
+  return "?";
+}
+
+void PrintTimeline(const std::vector<Event>& events) {
+  gaugur::common::Table table({"seq", "tick", "server", "decision", "kind",
+                               "what"},
+                              /*double_precision=*/2);
+  for (const Event& event : events) {
+    long long server = ServerOf(event);
+    if (event.kind == EventKind::kDecision) {
+      server = static_cast<long long>(NumField(event, "target_server"));
+    }
+    table.AddRow({static_cast<long long>(event.seq), event.tick,
+                  server >= 0 ? gaugur::common::Cell(server)
+                              : gaugur::common::Cell(std::string("-")),
+                  event.decision_id != 0
+                      ? gaugur::common::Cell(
+                            static_cast<long long>(event.decision_id))
+                      : gaugur::common::Cell(std::string("-")),
+                  std::string(EventKindName(event.kind)), Describe(event)});
+  }
+  table.Print(std::cout, "fleet timeline");
+}
+
+/// The forensics join: violation -> decision -> candidate judgements ->
+/// resource/offender attribution.
+int ExplainViolation(const std::vector<Event>& events, std::size_t n) {
+  std::vector<const Event*> violations;
+  for (const Event& event : events) {
+    if (event.kind == EventKind::kQosViolation) violations.push_back(&event);
+  }
+  if (n >= violations.size()) {
+    std::fprintf(stderr, "violation %zu out of range: log has %zu\n", n,
+                 violations.size());
+    return 1;
+  }
+  const Event& violation = *violations[n];
+  std::printf("violation %zu of %zu (event seq %llu, tick %.2f)\n", n,
+              violations.size(),
+              static_cast<unsigned long long>(violation.seq), violation.tick);
+  std::printf(
+      "  game %d on server %lld dipped to %.1f FPS (QoS floor %.0f)\n",
+      static_cast<int>(NumField(violation, "victim_game")),
+      ServerOf(violation), NumField(violation, "realized_fps"),
+      NumField(violation, "qos_fps"));
+  std::printf(
+      "  attribution: dominant resource %s (slowdown +%.3f); removing "
+      "co-located game %d would buy back %.1f FPS\n",
+      StrField(violation, "dominant_resource").c_str(),
+      NumField(violation, "dominant_damage", 0.0),
+      static_cast<int>(NumField(violation, "offender_game")),
+      NumField(violation, "offender_fps_gain", 0.0));
+
+  if (violation.decision_id == 0) {
+    std::printf("  no originating decision recorded (decision_id 0)\n");
+    return 0;
+  }
+  const Event* decision = nullptr;
+  for (const Event& event : events) {
+    if (event.kind == EventKind::kDecision &&
+        event.decision_id == violation.decision_id) {
+      decision = &event;
+      break;
+    }
+  }
+  if (decision == nullptr) {
+    std::printf("  decision %llu not in the log (ring dropped it?)\n",
+                static_cast<unsigned long long>(violation.decision_id));
+    return 0;
+  }
+  std::printf(
+      "\ncaused by decision %llu (seq %llu, tick %.2f): game %d placed on "
+      "server %lld out of %d open candidates\n",
+      static_cast<unsigned long long>(decision->decision_id),
+      static_cast<unsigned long long>(decision->seq), decision->tick,
+      static_cast<int>(NumField(*decision, "game_id")),
+      static_cast<long long>(NumField(*decision, "target_server")),
+      static_cast<int>(NumField(*decision, "num_candidates")));
+
+  const auto candidates_it = decision->fields.find("candidates");
+  if (candidates_it == decision->fields.end() ||
+      !candidates_it->second.IsArray()) {
+    std::printf("  (policy published no per-candidate judgements)\n");
+    return 0;
+  }
+  gaugur::common::Table table(
+      {"candidate", "feasible", "memory_ok", "queries", "cache_hits",
+       "min_margin"},
+      /*double_precision=*/4);
+  const auto& candidates = candidates_it->second.AsArray();
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    const JsonValue& entry = candidates[c];
+    auto num = [&](const char* key) {
+      const JsonValue* v = entry.Find(key);
+      return v != nullptr && v->IsNumber() ? v->AsNumber() : 0.0;
+    };
+    auto flag = [&](const char* key) {
+      const JsonValue* v = entry.Find(key);
+      return v != nullptr && v->IsBool() && v->AsBool();
+    };
+    table.AddRow({static_cast<long long>(c),
+                  std::string(flag("feasible") ? "yes" : "no"),
+                  std::string(flag("memory_ok") ? "yes" : "no"),
+                  static_cast<long long>(num("queries")),
+                  static_cast<long long>(num("cache_hits")),
+                  num("min_margin")});
+  }
+  table.Print(std::cout, "what the predictor believed");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string events_path;
+  std::string report_path;
+  bool explain = false;
+  std::size_t violation_index = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--violation" && i + 1 < argc) {
+      explain = true;
+      violation_index = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (events_path.empty()) {
+      events_path = arg;
+    } else {
+      report_path = arg;
+    }
+  }
+  if (events_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: trace_explorer <events.jsonl> [report.json] "
+                 "[--violation N]\n");
+    return 2;
+  }
+
+  std::vector<Event> events;
+  if (!gaugur::obs::EventLog::ReadJsonl(events_path, &events)) {
+    std::fprintf(stderr, "cannot read %s\n", events_path.c_str());
+    return 1;
+  }
+
+  std::size_t by_kind[gaugur::obs::kNumEventKinds] = {};
+  for (const Event& event : events) {
+    ++by_kind[static_cast<std::size_t>(event.kind)];
+  }
+  std::printf("%zu events", events.size());
+  bool first = true;
+  for (std::size_t k = 0; k < gaugur::obs::kNumEventKinds; ++k) {
+    if (by_kind[k] == 0) continue;
+    std::printf("%s %zu %s", first ? ":" : ",", by_kind[k],
+                EventKindName(static_cast<EventKind>(k)));
+    first = false;
+  }
+  std::printf("\n");
+
+  if (!report_path.empty()) {
+    std::ifstream in(report_path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", report_path.c_str());
+      return 1;
+    }
+    const gaugur::obs::RunReport report =
+        gaugur::obs::RunReport::FromJsonString(text.str());
+    if (report.forensics().has_value()) {
+      const auto& forensics = *report.forensics();
+      std::printf(
+          "run report: %llu events (%llu dropped), %llu decisions, %llu "
+          "violations (%llu linked to a decision)\n",
+          static_cast<unsigned long long>(forensics.events),
+          static_cast<unsigned long long>(forensics.events_dropped),
+          static_cast<unsigned long long>(forensics.decisions),
+          static_cast<unsigned long long>(forensics.violations),
+          static_cast<unsigned long long>(forensics.violations_linked));
+    } else {
+      std::printf("run report %s has no forensics section\n",
+                  report_path.c_str());
+    }
+  }
+
+  if (explain) return ExplainViolation(events, violation_index);
+
+  PrintTimeline(events);
+  std::printf("\nhint: re-run with --violation N to trace a QoS violation "
+              "back to its placement decision\n");
+  return 0;
+}

@@ -127,6 +127,36 @@ double SigmoidModel::PredictFps(const core::SessionRequest& victim,
          features_->Profile(victim.game_id).SoloFps(victim.resolution);
 }
 
+void SigmoidModel::PredictDegradationBatch(const ml::MatrixView& x,
+                                           std::span<double> out) const {
+  GAUGUR_CHECK_MSG(trained_, "Sigmoid model not trained");
+  GAUGUR_CHECK(x.cols == 2);
+  GAUGUR_CHECK(out.size() == x.rows);
+  for (std::size_t i = 0; i < x.rows; ++i) {
+    const std::span<const double> row = x.Row(i);
+    const auto& p = Params(static_cast<int>(row[0]));
+    out[i] = std::clamp(p.Eval(row[1]), 0.01, 1.0);
+  }
+}
+
+std::vector<double> SigmoidModel::PredictFpsBatch(
+    std::span<const core::QosQuery> queries) const {
+  GAUGUR_CHECK_MSG(trained_, "Sigmoid model not trained");
+  std::vector<double> matrix;
+  matrix.reserve(queries.size() * 2);
+  for (const auto& query : queries) {
+    matrix.push_back(static_cast<double>(query.victim.game_id));
+    matrix.push_back(static_cast<double>(query.corunners.size()));
+  }
+  std::vector<double> out(queries.size());
+  PredictDegradationBatch({matrix.data(), queries.size(), 2}, out);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    out[i] *= features_->Profile(queries[i].victim.game_id)
+                  .SoloFps(queries[i].victim.resolution);
+  }
+  return out;
+}
+
 const SigmoidParams& SigmoidModel::Params(int game_id) const {
   GAUGUR_CHECK(game_id >= 0 &&
                static_cast<std::size_t>(game_id) < params_.size());

@@ -14,8 +14,10 @@
 #include <span>
 #include <vector>
 
+#include "gaugur/colocation.h"
 #include "gaugur/features.h"
 #include "gaugur/training.h"
+#include "ml/dataset.h"
 
 namespace gaugur::baselines {
 
@@ -40,6 +42,16 @@ class SigmoidModel {
 
   double PredictFps(const core::SessionRequest& victim,
                     std::size_t num_corunners) const;
+
+  /// Batched PredictDegradation over a row-major matrix with columns
+  /// [game_id, num_corunners] (one query per row). Bit-identical to the
+  /// scalar call on each row.
+  void PredictDegradationBatch(const ml::MatrixView& x,
+                               std::span<double> out) const;
+
+  /// One predicted FPS per query, via one PredictDegradationBatch call.
+  std::vector<double> PredictFpsBatch(
+      std::span<const core::QosQuery> queries) const;
 
   const SigmoidParams& Params(int game_id) const;
 

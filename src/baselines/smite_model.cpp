@@ -73,4 +73,43 @@ double SmiteModel::PredictFps(
          features_->Profile(victim.game_id).SoloFps(victim.resolution);
 }
 
+std::vector<double> SmiteModel::BuildFeatureMatrix(
+    std::span<const core::QosQuery> queries) const {
+  const std::size_t cols = resources::kNumResources + 1;
+  std::vector<double> matrix;
+  matrix.reserve(queries.size() * cols);
+  for (const auto& query : queries) {
+    const auto x = SampleFeatures(query.victim, query.corunners);
+    matrix.insert(matrix.end(), x.begin(), x.end());
+  }
+  return matrix;
+}
+
+void SmiteModel::PredictDegradationBatch(const ml::MatrixView& x,
+                                         std::span<double> out) const {
+  GAUGUR_CHECK_MSG(trained_, "SMiTe model not trained");
+  GAUGUR_CHECK(x.cols == coef_.size());
+  GAUGUR_CHECK(out.size() == x.rows);
+  for (std::size_t i = 0; i < x.rows; ++i) {
+    const std::span<const double> row = x.Row(i);
+    double value = 0.0;
+    for (std::size_t j = 0; j < row.size(); ++j) value += coef_[j] * row[j];
+    out[i] = std::clamp(value, 0.01, 1.0);
+  }
+}
+
+std::vector<double> SmiteModel::PredictFpsBatch(
+    std::span<const core::QosQuery> queries) const {
+  GAUGUR_CHECK_MSG(trained_, "SMiTe model not trained");
+  const std::vector<double> matrix = BuildFeatureMatrix(queries);
+  const std::size_t cols = resources::kNumResources + 1;
+  std::vector<double> out(queries.size());
+  PredictDegradationBatch({matrix.data(), queries.size(), cols}, out);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    out[i] *= features_->Profile(queries[i].victim.game_id)
+                  .SoloFps(queries[i].victim.resolution);
+  }
+  return out;
+}
+
 }  // namespace gaugur::baselines

@@ -14,8 +14,10 @@
 #include <span>
 #include <vector>
 
+#include "gaugur/colocation.h"
 #include "gaugur/features.h"
 #include "gaugur/training.h"
+#include "ml/dataset.h"
 
 namespace gaugur::baselines {
 
@@ -32,6 +34,20 @@ class SmiteModel {
 
   double PredictFps(const core::SessionRequest& victim,
                     std::span<const core::SessionRequest> corunners) const;
+
+  /// Row-major feature matrix (kNumResources + 1 columns, one row per
+  /// query) matching the per-sample layout the scalar path uses.
+  std::vector<double> BuildFeatureMatrix(
+      std::span<const core::QosQuery> queries) const;
+
+  /// Pure linear kernel over a pre-built feature matrix: one clamped
+  /// degradation per row, bit-identical to the scalar call.
+  void PredictDegradationBatch(const ml::MatrixView& x,
+                               std::span<double> out) const;
+
+  /// One predicted FPS per query, via one PredictDegradationBatch call.
+  std::vector<double> PredictFpsBatch(
+      std::span<const core::QosQuery> queries) const;
 
   /// [c_1..c_R, c_0] after training.
   const std::vector<double>& Coefficients() const { return coef_; }

@@ -29,6 +29,14 @@ struct MeasuredColocation {
   std::vector<double> fps;
 };
 
+/// One per-victim prediction query: `corunners` excludes the victim and
+/// must stay alive for the duration of the call. Shared by the GAugur
+/// predictor and the baseline models' batch entry points.
+struct QosQuery {
+  SessionRequest victim;
+  std::span<const SessionRequest> corunners;
+};
+
 /// Canonical string key for a colocation (sorted game ids + resolutions);
 /// used for memoizing predictions and ground-truth measurements.
 std::string ColocationKey(const Colocation& colocation);

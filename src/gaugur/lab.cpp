@@ -22,6 +22,8 @@ struct LabMetrics {
       obs::Registry::Global().GetCounter("lab.true_fps_calls");
   obs::Counter& frame_time_calls =
       obs::Registry::Global().GetCounter("lab.frame_time_calls");
+  obs::Counter& attributions =
+      obs::Registry::Global().GetCounter("lab.attributions");
   obs::Histogram& measure_us =
       obs::Registry::Global().GetHistogram("lab.measure_us");
 
@@ -151,6 +153,65 @@ bool ColocationLab::TrulyFeasible(const Colocation& colocation,
     if (fps < qos_fps) return false;
   }
   return true;
+}
+
+std::vector<resources::PerResource<double>> ColocationLab::TruePressures(
+    const Colocation& colocation) const {
+  const auto workloads = ToWorkloads(colocation);
+  std::vector<resources::PerResource<double>> pressures;
+  pressures.reserve(workloads.size());
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    pressures.push_back(server_->EquilibriumPressureOn(workloads, i));
+  }
+  return pressures;
+}
+
+InterferenceAttribution ColocationLab::AttributeInterference(
+    const Colocation& colocation, std::size_t victim) const {
+  GAUGUR_CHECK(victim < colocation.size());
+  LabMetrics::Get().attributions.Add(1);
+  obs::ScopedSpan span("lab.AttributeInterference");
+
+  const auto workloads = ToWorkloads(colocation);
+  InterferenceAttribution attribution;
+  attribution.pressure = server_->EquilibriumPressureOn(workloads, victim);
+
+  // Contention-model walk: translate the pressure each resource is under
+  // into the stage slowdown the victim's inflation response assigns it.
+  const gamesim::WorkloadProfile& profile = workloads[victim];
+  for (resources::Resource r : resources::kAllResources) {
+    attribution.damage[r] =
+        profile.response[r].SlowdownFactor(attribution.pressure[r]) - 1.0;
+    if (attribution.damage[r] > attribution.dominant_damage) {
+      attribution.dominant_damage = attribution.damage[r];
+      attribution.dominant_resource = r;
+    }
+  }
+
+  // Dominant offender by leave-one-out: whose departure helps most?
+  if (colocation.size() > 1) {
+    const double base_fps = TrueFps(colocation)[victim];
+    for (std::size_t j = 0; j < colocation.size(); ++j) {
+      if (j == victim) continue;
+      Colocation reduced;
+      reduced.reserve(colocation.size() - 1);
+      std::size_t victim_index = victim;
+      for (std::size_t k = 0; k < colocation.size(); ++k) {
+        if (k == j) continue;
+        if (k == victim) victim_index = reduced.size();
+        reduced.push_back(colocation[k]);
+      }
+      const double gain = TrueFps(reduced)[victim_index] - base_fps;
+      if (attribution.dominant_offender ==
+              InterferenceAttribution::kNoOffender ||
+          gain > attribution.offender_fps_gain) {
+        attribution.dominant_offender = j;
+        attribution.offender_game_id = colocation[j].game_id;
+        attribution.offender_fps_gain = gain;
+      }
+    }
+  }
+  return attribution;
 }
 
 }  // namespace gaugur::core

@@ -5,14 +5,39 @@
 // methodologies never touch it.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "gamesim/catalog.h"
 #include "gamesim/server_sim.h"
 #include "gaugur/colocation.h"
+#include "resources/resource.h"
 
 namespace gaugur::core {
+
+/// Ground-truth forensic attribution of one victim's interference: the
+/// equilibrium pressure the colocation puts on each shared resource, the
+/// per-resource stage slowdown the victim's inflation responses translate
+/// that pressure into (the contention-model walk), and the dominant
+/// resource / colocated offender. The offender is found by leave-one-out
+/// re-solves: the co-runner whose removal raises the victim's true FPS
+/// the most.
+struct InterferenceAttribution {
+  static constexpr std::size_t kNoOffender = static_cast<std::size_t>(-1);
+
+  resources::PerResource<double> pressure{};
+  /// response[r].SlowdownFactor(pressure[r]) - 1 for the victim.
+  resources::PerResource<double> damage{};
+  resources::Resource dominant_resource = resources::Resource::kCpuCore;
+  double dominant_damage = 0.0;
+  /// Index into the colocation of the dominant offender (kNoOffender when
+  /// the victim runs alone).
+  std::size_t dominant_offender = kNoOffender;
+  int offender_game_id = -1;
+  /// True-FPS gain the victim would see if the dominant offender left.
+  double offender_fps_gain = 0.0;
+};
 
 struct LabOptions {
   /// Attach a hardware-encoder footprint to every session (paper §7:
@@ -54,6 +79,18 @@ class ColocationLab {
   /// Ground-truth QoS feasibility: memory fits and every session's true
   /// frame rate meets `qos_fps`.
   bool TrulyFeasible(const Colocation& colocation, double qos_fps) const;
+
+  /// Equilibrium pressure on each shared resource as seen by each session
+  /// (parallel to `colocation`); the fleet time series samples this.
+  std::vector<resources::PerResource<double>> TruePressures(
+      const Colocation& colocation) const;
+
+  /// Forensic walk of the contention model for one victim: per-resource
+  /// pressure and damage, dominant resource, and the dominant colocated
+  /// offender via leave-one-out re-solves. Costs O(colocation) analytic
+  /// solves — intended for the (rare) QoS-violation path, not per tick.
+  InterferenceAttribution AttributeInterference(const Colocation& colocation,
+                                                std::size_t victim) const;
 
  private:
   std::vector<gamesim::WorkloadProfile> ToWorkloads(

@@ -2,12 +2,33 @@
 
 namespace gaugur::core {
 
+void PredictionCache::AdvanceEpoch() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++epoch_;
+}
+
+std::uint64_t PredictionCache::Epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return epoch_;
+}
+
 std::shared_ptr<const CachedPrediction> PredictionCache::Lookup(
     const PredictionCacheKey& key) const {
   if (capacity_ == 0) return nullptr;
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (max_age_epochs_ > 0 &&
+      epoch_ - it->second.inserted_epoch >= max_age_epochs_) {
+    // Lazy reuse-window expiry: the answer is from a fit that is still
+    // valid (retrains Clear() outright) but older than the configured
+    // arrival window — treat as a miss so the caller recomputes.
+    lru_.erase(it->second.lru_it);
+    entries_.erase(it);
+    ++stats_.expired;
     ++stats_.misses;
     return nullptr;
   }
@@ -24,12 +45,14 @@ void PredictionCache::Insert(const PredictionCacheKey& key,
   if (it != entries_.end()) {
     it->second.value =
         std::make_shared<const CachedPrediction>(std::move(entry));
+    it->second.inserted_epoch = epoch_;
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
     return;
   }
   lru_.push_front(key);
   entries_[key] = {lru_.begin(),
-                   std::make_shared<const CachedPrediction>(std::move(entry))};
+                   std::make_shared<const CachedPrediction>(std::move(entry)),
+                   epoch_};
   while (entries_.size() > capacity_) {
     entries_.erase(lru_.back());
     lru_.pop_back();

@@ -12,7 +12,12 @@
 // invisible to the monitoring pipeline.
 //
 // Invalidation: GAugurPredictor::TrainRm/TrainCm call Clear() — a cache
-// must never outlive the model that filled it.
+// must never outlive the model that filled it. Orthogonally, an optional
+// max-age knob bounds how long an entry may be reused across scheduler
+// arrivals: AdvanceEpoch() ticks once per arrival (the predictor calls
+// it from ScoreCandidates), and a Lookup that finds an entry older than
+// `max_age_epochs` lazily expires it (counted separately from LRU
+// evictions). 0 = no age bound, the PR-3 behavior.
 //
 // Thread-safe: a single mutex guards the map and LRU list (lookups mutate
 // recency). Hit/miss/eviction counts are kept internally (always on, for
@@ -58,8 +63,16 @@ struct CachedPrediction {
 class PredictionCache {
  public:
   /// `capacity` == 0 disables the cache (every Lookup misses, Insert is
-  /// a no-op).
-  explicit PredictionCache(std::size_t capacity) : capacity_(capacity) {}
+  /// a no-op). `max_age_epochs` == 0 means entries never age out; with a
+  /// positive value, an entry inserted at epoch E expires once the epoch
+  /// reaches E + max_age_epochs.
+  explicit PredictionCache(std::size_t capacity,
+                           std::size_t max_age_epochs = 0)
+      : capacity_(capacity), max_age_epochs_(max_age_epochs) {}
+
+  /// Advances the reuse-window clock (one tick per scheduler arrival).
+  void AdvanceEpoch();
+  std::uint64_t Epoch() const;
 
   /// Returns the entry and refreshes its recency, or nullptr on miss.
   std::shared_ptr<const CachedPrediction> Lookup(
@@ -79,6 +92,9 @@ class PredictionCache {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    /// Entries dropped by the max-age reuse window (each also counts as
+    /// a miss for the lookup that found it stale).
+    std::uint64_t expired = 0;
   };
   Stats GetStats() const;
 
@@ -86,9 +102,12 @@ class PredictionCache {
   struct Entry {
     std::list<PredictionCacheKey>::iterator lru_it;
     std::shared_ptr<const CachedPrediction> value;
+    std::uint64_t inserted_epoch = 0;
   };
 
   const std::size_t capacity_;
+  const std::size_t max_age_epochs_;
+  mutable std::uint64_t epoch_ = 0;
   mutable std::mutex mutex_;
   /// Most recently used at the front.
   mutable std::list<PredictionCacheKey> lru_;

@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "ml/factory.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/model_monitor.h"
 #include "obs/switch.h"
@@ -25,6 +26,7 @@ struct PredictorMetrics {
   obs::Counter& cache_hits;
   obs::Counter& cache_misses;
   obs::Counter& cache_evictions;
+  obs::Counter& cache_expired;
   obs::Histogram& batch_size;
 
   static PredictorMetrics& Get() {
@@ -33,6 +35,7 @@ struct PredictorMetrics {
         obs::Registry::Global().GetCounter("gaugur.predictor.cache_misses"),
         obs::Registry::Global().GetCounter(
             "gaugur.predictor.cache_evictions"),
+        obs::Registry::Global().GetCounter("gaugur.predictor.cache_expired"),
         obs::Registry::Global().GetHistogram(
             "gaugur.predictor.batch_size",
             obs::Histogram::ExponentialBounds(1.0, 2.0, 14)),
@@ -49,7 +52,8 @@ GAugurPredictor::GAugurPredictor(const FeatureBuilder& features,
       config_(std::move(config)),
       rm_(ml::MakeRegressor(config_.rm_algorithm, config_.seed)),
       cm_(ml::MakeClassifier(config_.cm_algorithm, config_.seed + 1)),
-      cache_(config_.prediction_cache_capacity) {}
+      cache_(config_.prediction_cache_capacity,
+             config_.prediction_cache_max_age_arrivals) {}
 
 void GAugurPredictor::TrainRm(std::span<const MeasuredColocation> corpus) {
   TrainRmOnDataset(BuildRmDataset(*features_, corpus));
@@ -63,6 +67,12 @@ void GAugurPredictor::TrainRmOnDataset(const ml::Dataset& dataset) {
   if (obs::Enabled()) {
     obs::ModelMonitor::Global().SetReference(obs::ModelKind::kRm,
                                              BuildFeatureReference(dataset));
+    obs::EventLog::Global().Append(
+        obs::EventKind::kRetrain, /*tick=*/0.0, /*decision_id=*/0,
+        {{"model", obs::JsonValue("rm")},
+         {"rows",
+          obs::JsonValue(static_cast<unsigned long long>(dataset.NumRows()))},
+         {"algorithm", obs::JsonValue(config_.rm_algorithm)}});
   }
 }
 
@@ -79,12 +89,21 @@ void GAugurPredictor::TrainCmOnDataset(const ml::Dataset& dataset) {
   if (obs::Enabled()) {
     obs::ModelMonitor::Global().SetReference(obs::ModelKind::kCm,
                                              BuildFeatureReference(dataset));
+    obs::EventLog::Global().Append(
+        obs::EventKind::kRetrain, /*tick=*/0.0, /*decision_id=*/0,
+        {{"model", obs::JsonValue("cm")},
+         {"rows",
+          obs::JsonValue(static_cast<unsigned long long>(dataset.NumRows()))},
+         {"algorithm", obs::JsonValue(config_.cm_algorithm)}});
   }
 }
 
 GAugurPredictor::BatchEval GAugurPredictor::EvalRmBatch(
     std::span<const QosQuery> queries) const {
   GAUGUR_CHECK_MSG(rm_trained_, "RM not trained");
+  const bool obs_on = obs::Enabled();
+  const PredictionCache::Stats stats_before =
+      obs_on ? cache_.GetStats() : PredictionCache::Stats{};
   const std::size_t n = queries.size();
   BatchEval ev;
   ev.values.resize(n);
@@ -104,10 +123,6 @@ GAugurPredictor::BatchEval GAugurPredictor::EvalRmBatch(
       miss.push_back(i);
     }
   }
-
-  const bool obs_on = obs::Enabled();
-  const std::uint64_t evictions_before =
-      obs_on ? cache_.GetStats().evictions : 0;
 
   // Misses: one row-major matrix, one batched model call.
   const std::size_t dim = features_->RmDim();
@@ -133,11 +148,13 @@ GAugurPredictor::BatchEval GAugurPredictor::EvalRmBatch(
 
   if (obs_on) {
     auto& metrics = PredictorMetrics::Get();
+    const PredictionCache::Stats stats_after = cache_.GetStats();
     metrics.batch_size.Record(static_cast<double>(n));
     metrics.cache_hits.Add(n - miss.size());
     metrics.cache_misses.Add(miss.size());
-    metrics.cache_evictions.Add(cache_.GetStats().evictions -
-                                evictions_before);
+    metrics.cache_evictions.Add(stats_after.evictions -
+                                stats_before.evictions);
+    metrics.cache_expired.Add(stats_after.expired - stats_before.expired);
   }
   return ev;
 }
@@ -145,6 +162,9 @@ GAugurPredictor::BatchEval GAugurPredictor::EvalRmBatch(
 GAugurPredictor::BatchEval GAugurPredictor::EvalCmBatch(
     double qos_fps, std::span<const QosQuery> queries) const {
   GAUGUR_CHECK_MSG(cm_trained_, "CM not trained");
+  const bool obs_on = obs::Enabled();
+  const PredictionCache::Stats stats_before =
+      obs_on ? cache_.GetStats() : PredictionCache::Stats{};
   const std::uint64_t qos_bits = std::bit_cast<std::uint64_t>(qos_fps);
   const std::size_t n = queries.size();
   BatchEval ev;
@@ -165,10 +185,6 @@ GAugurPredictor::BatchEval GAugurPredictor::EvalCmBatch(
       miss.push_back(i);
     }
   }
-
-  const bool obs_on = obs::Enabled();
-  const std::uint64_t evictions_before =
-      obs_on ? cache_.GetStats().evictions : 0;
 
   const std::size_t dim = features_->CmDim();
   ev.matrix.reserve(miss.size() * dim);
@@ -192,11 +208,13 @@ GAugurPredictor::BatchEval GAugurPredictor::EvalCmBatch(
 
   if (obs_on) {
     auto& metrics = PredictorMetrics::Get();
+    const PredictionCache::Stats stats_after = cache_.GetStats();
     metrics.batch_size.Record(static_cast<double>(n));
     metrics.cache_hits.Add(n - miss.size());
     metrics.cache_misses.Add(miss.size());
-    metrics.cache_evictions.Add(cache_.GetStats().evictions -
-                                evictions_before);
+    metrics.cache_evictions.Add(stats_after.evictions -
+                                stats_before.evictions);
+    metrics.cache_expired.Add(stats_after.expired - stats_before.expired);
   }
   return ev;
 }
@@ -254,13 +272,27 @@ bool GAugurPredictor::PredictQosOk(
 
 std::vector<char> GAugurPredictor::PredictQosOkBatch(
     double qos_fps, std::span<const QosQuery> queries) const {
+  return QosOkBatchDetailed(qos_fps, queries, nullptr, nullptr);
+}
+
+std::vector<char> GAugurPredictor::QosOkBatchDetailed(
+    double qos_fps, std::span<const QosQuery> queries,
+    std::vector<char>* cache_hit, std::vector<double>* margin) const {
   std::vector<char> ok(queries.size());
+  if (cache_hit != nullptr) cache_hit->assign(queries.size(), 0);
+  if (margin != nullptr) margin->assign(queries.size(), 0.0);
   if (cm_trained_) {
     const BatchEval ev = EvalCmBatch(qos_fps, queries);
     const bool obs_on = obs::Enabled();
     for (std::size_t i = 0; i < queries.size(); ++i) {
       const bool feasible = ev.values[i] >= config_.cm_decision_threshold;
       ok[i] = feasible ? 1 : 0;
+      if (cache_hit != nullptr && ev.hits[i] != nullptr) {
+        (*cache_hit)[i] = 1;
+      }
+      if (margin != nullptr) {
+        (*margin)[i] = ev.values[i] - config_.cm_decision_threshold;
+      }
       if (obs_on) {
         obs::ModelMonitor::Global().RecordPrediction(
             obs::ModelKind::kCm, ev.keys[i], ev.x[i], ev.values[i],
@@ -275,6 +307,8 @@ std::vector<char> GAugurPredictor::PredictQosOkBatch(
     const double fps = ev.values[i] * SoloFps(queries[i].victim);
     const bool feasible = fps >= qos_fps;
     ok[i] = feasible ? 1 : 0;
+    if (cache_hit != nullptr && ev.hits[i] != nullptr) (*cache_hit)[i] = 1;
+    if (margin != nullptr) (*margin)[i] = fps - qos_fps;
     AuditRm(ev.keys[i], ev.x[i], fps, qos_fps, feasible);
   }
   return ok;
@@ -287,7 +321,21 @@ bool GAugurPredictor::PredictFeasible(double qos_fps,
 
 std::vector<char> GAugurPredictor::ScoreCandidates(
     double qos_fps, std::span<const Colocation> candidates) const {
+  const std::vector<CandidateScore> scores =
+      ScoreCandidatesDetailed(qos_fps, candidates);
   std::vector<char> feasible(candidates.size(), 0);
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    feasible[c] = scores[c].feasible ? 1 : 0;
+  }
+  return feasible;
+}
+
+std::vector<CandidateScore> GAugurPredictor::ScoreCandidatesDetailed(
+    double qos_fps, std::span<const Colocation> candidates) const {
+  // One scheduler arrival = one tick of the cache's reuse window.
+  cache_.AdvanceEpoch();
+
+  std::vector<CandidateScore> scores(candidates.size());
 
   // Memory screen first; only memory-fitting candidates spend model
   // queries.
@@ -301,12 +349,13 @@ std::vector<char> GAugurPredictor::ScoreCandidates(
       gpu_mem += profile.gpu_memory;
     }
     if (cpu_mem <= 1.0 && gpu_mem <= 1.0) {
-      feasible[c] = 1;
+      scores[c].memory_ok = true;
+      scores[c].feasible = true;
       num_queries += candidates[c].size();
       pool_slots += candidates[c].size() * (candidates[c].size() - 1);
     }
   }
-  if (num_queries == 0) return feasible;
+  if (num_queries == 0) return scores;
 
   // One query per (victim, candidate). Co-runner sets live in one flat
   // pool, reserved up front so the spans stay valid while the batch runs.
@@ -317,7 +366,7 @@ std::vector<char> GAugurPredictor::ScoreCandidates(
   std::vector<std::size_t> query_candidate;
   query_candidate.reserve(num_queries);
   for (std::size_t c = 0; c < candidates.size(); ++c) {
-    if (feasible[c] == 0) continue;
+    if (!scores[c].memory_ok) continue;
     const Colocation& colocation = candidates[c];
     for (std::size_t v = 0; v < colocation.size(); ++v) {
       const std::size_t begin = pool.size();
@@ -332,11 +381,20 @@ std::vector<char> GAugurPredictor::ScoreCandidates(
     }
   }
 
-  const std::vector<char> ok = PredictQosOkBatch(qos_fps, queries);
+  std::vector<char> hit;
+  std::vector<double> margin;
+  const std::vector<char> ok =
+      QosOkBatchDetailed(qos_fps, queries, &hit, &margin);
   for (std::size_t q = 0; q < queries.size(); ++q) {
-    if (ok[q] == 0) feasible[query_candidate[q]] = 0;
+    CandidateScore& score = scores[query_candidate[q]];
+    if (ok[q] == 0) score.feasible = false;
+    if (score.queries == 0 || margin[q] < score.min_margin) {
+      score.min_margin = margin[q];
+    }
+    ++score.queries;
+    score.cache_hits += hit[q] != 0 ? 1 : 0;
   }
-  return feasible;
+  return scores;
 }
 
 }  // namespace gaugur::core

@@ -47,13 +47,26 @@ struct PredictorConfig {
   /// Entries held by the memoizing PredictionCache; 0 disables caching
   /// (every query runs the model).
   std::size_t prediction_cache_capacity = 4096;
+  /// Reuse window for cached predictions, measured in scheduler arrivals
+  /// (ScoreCandidates calls): an entry older than this many arrivals
+  /// expires on lookup. 0 = entries live until the next retrain.
+  std::size_t prediction_cache_max_age_arrivals = 0;
 };
 
-/// One per-victim query: `corunners` excludes the victim and must stay
-/// alive for the duration of the call.
-struct QosQuery {
-  SessionRequest victim;
-  std::span<const SessionRequest> corunners;
+/// Per-candidate provenance of one ScoreCandidatesDetailed call: how the
+/// verdict was reached, for the decision event log.
+struct CandidateScore {
+  bool feasible = false;
+  /// Profiled memory screen result; false means no model queries ran.
+  bool memory_ok = false;
+  /// Model queries spent on this candidate (one per victim).
+  std::uint32_t queries = 0;
+  /// How many of those were answered from the PredictionCache.
+  std::uint32_t cache_hits = 0;
+  /// Worst per-victim margin: CM probability minus the decision
+  /// threshold, or (RM fallback) predicted FPS minus QoS. Negative means
+  /// the binding victim failed. 0 when no queries ran.
+  double min_margin = 0.0;
 };
 
 class GAugurPredictor {
@@ -102,8 +115,21 @@ class GAugurPredictor {
 
   /// PredictFeasible over a span of candidate colocations with one
   /// batched model evaluation: the scheduler-facing scoring entry point.
+  /// Advances the prediction-cache reuse window by one arrival.
   std::vector<char> ScoreCandidates(
       double qos_fps, std::span<const Colocation> candidates) const;
+
+  /// ScoreCandidates with full per-candidate provenance (memory screen,
+  /// query count, cache hit count, worst margin) for the decision event
+  /// log. Verdicts are bit-identical to ScoreCandidates — the plain call
+  /// delegates here.
+  std::vector<CandidateScore> ScoreCandidatesDetailed(
+      double qos_fps, std::span<const Colocation> candidates) const;
+
+  /// Ticks the prediction-cache reuse window (one scheduler arrival).
+  /// ScoreCandidates does this itself; custom drivers that only use
+  /// PredictQosOkBatch call it once per arrival.
+  void AdvanceArrivalEpoch() const { cache_.AdvanceEpoch(); }
 
   const FeatureBuilder& Features() const { return *features_; }
 
@@ -128,6 +154,14 @@ class GAugurPredictor {
   BatchEval EvalRmBatch(std::span<const QosQuery> queries) const;
   BatchEval EvalCmBatch(double qos_fps,
                         std::span<const QosQuery> queries) const;
+
+  /// PredictQosOkBatch plus optional per-query provenance: when non-null,
+  /// `cache_hit[i]` is whether query i was served from the cache and
+  /// `margin[i]` its feasibility margin (see CandidateScore::min_margin).
+  std::vector<char> QosOkBatchDetailed(double qos_fps,
+                                       std::span<const QosQuery> queries,
+                                       std::vector<char>* cache_hit,
+                                       std::vector<double>* margin) const;
 
   /// Appends one RM audit record to the global model monitor (no-op while
   /// obs is disabled). `qos_fps` is 0 for raw FPS queries.

@@ -1,0 +1,196 @@
+#include "obs/event_log.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/switch.h"
+
+namespace gaugur::obs {
+
+namespace {
+
+constexpr const char* kKindNames[kNumEventKinds] = {
+    "decision", "arrival",       "departure", "power_on",
+    "power_off", "qos_violation", "retrain",
+};
+
+struct EventLogMetrics {
+  Counter& appended = Registry::Global().GetCounter("obs.events_appended");
+  Counter& dropped = Registry::Global().GetCounter("obs.events_dropped");
+
+  static EventLogMetrics& Get() {
+    static EventLogMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
+
+const char* EventKindName(EventKind kind) {
+  const auto index = static_cast<std::size_t>(kind);
+  GAUGUR_CHECK_MSG(index < kNumEventKinds, "unknown EventKind");
+  return kKindNames[index];
+}
+
+bool EventKindFromName(std::string_view name, EventKind* out) {
+  for (std::size_t i = 0; i < kNumEventKinds; ++i) {
+    if (name == kKindNames[i]) {
+      *out = static_cast<EventKind>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+JsonValue Event::ToJson() const {
+  JsonObject object;
+  object["schema"] = kEventSchema;
+  object["seq"] = static_cast<unsigned long long>(seq);
+  object["tick"] = tick;
+  object["kind"] = EventKindName(kind);
+  object["decision_id"] = static_cast<unsigned long long>(decision_id);
+  object["fields"] = JsonValue(fields);
+  return JsonValue(std::move(object));
+}
+
+Event Event::FromJson(const JsonValue& value) {
+  GAUGUR_CHECK_MSG(value.IsObject(), "event must be a JSON object");
+  const JsonValue* schema = value.Find("schema");
+  GAUGUR_CHECK_MSG(schema != nullptr && schema->IsString() &&
+                       schema->AsString() == kEventSchema,
+                   "unknown event schema");
+  Event event;
+  const JsonValue* seq = value.Find("seq");
+  GAUGUR_CHECK_MSG(seq != nullptr && seq->IsNumber(),
+                   "event missing numeric 'seq'");
+  event.seq = static_cast<std::uint64_t>(seq->AsNumber());
+  const JsonValue* tick = value.Find("tick");
+  GAUGUR_CHECK_MSG(tick != nullptr && tick->IsNumber(),
+                   "event missing numeric 'tick'");
+  event.tick = tick->AsNumber();
+  const JsonValue* kind = value.Find("kind");
+  GAUGUR_CHECK_MSG(kind != nullptr && kind->IsString(),
+                   "event missing 'kind'");
+  GAUGUR_CHECK_MSG(EventKindFromName(kind->AsString(), &event.kind),
+                   "unknown event kind name");
+  const JsonValue* decision = value.Find("decision_id");
+  GAUGUR_CHECK_MSG(decision != nullptr && decision->IsNumber(),
+                   "event missing numeric 'decision_id'");
+  event.decision_id = static_cast<std::uint64_t>(decision->AsNumber());
+  const JsonValue* fields = value.Find("fields");
+  GAUGUR_CHECK_MSG(fields != nullptr && fields->IsObject(),
+                   "event missing 'fields' object");
+  event.fields = fields->AsObject();
+  return event;
+}
+
+EventLog::EventLog(EventLogConfig config) { Configure(config); }
+
+EventLog& EventLog::Global() {
+  static EventLog* log = new EventLog();
+  return *log;
+}
+
+void EventLog::Configure(EventLogConfig config) {
+  GAUGUR_CHECK_MSG(config.shard_capacity > 0 && config.num_shards > 0,
+                   "event log needs nonzero capacity and shards");
+  config_ = config;
+  std::vector<std::unique_ptr<Shard>> shards;
+  shards.reserve(config_.num_shards);
+  for (std::size_t i = 0; i < config_.num_shards; ++i) {
+    shards.push_back(std::make_unique<Shard>());
+  }
+  shards_ = std::move(shards);
+  appended_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+void EventLog::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->ring.clear();
+  }
+  appended_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+void EventLog::Append(EventKind kind, double tick,
+                      std::uint64_t decision_id, JsonObject fields) {
+  if (!Enabled()) return;
+  Event event;
+  event.tick = tick;
+  event.kind = kind;
+  event.decision_id = decision_id;
+  event.fields = std::move(fields);
+  event.seq = next_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Shard& shard = *shards_[detail::ThreadShard() % shards_.size()];
+  bool dropped_one = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.ring.size() >= config_.shard_capacity) {
+      shard.ring.pop_front();
+      dropped_one = true;
+    }
+    shard.ring.push_back(std::move(event));
+  }
+  appended_.fetch_add(1, std::memory_order_relaxed);
+  EventLogMetrics::Get().appended.Add(1);
+  if (dropped_one) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    EventLogMetrics::Get().dropped.Add(1);
+  }
+}
+
+std::vector<Event> EventLog::Snapshot() const {
+  std::vector<Event> merged;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    merged.insert(merged.end(), shard->ring.begin(), shard->ring.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  return merged;
+}
+
+std::string EventLog::ToJsonl() const {
+  std::ostringstream out;
+  for (const Event& event : Snapshot()) {
+    out << event.ToJson().Dump(/*indent=*/-1) << '\n';
+  }
+  return out.str();
+}
+
+bool EventLog::WriteJsonl(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << ToJsonl();
+  return static_cast<bool>(out);
+}
+
+std::vector<Event> EventLog::ParseJsonl(std::string_view text) {
+  std::vector<Event> events;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    events.push_back(Event::FromJson(JsonValue::Parse(line)));
+  }
+  return events;
+}
+
+bool EventLog::ReadJsonl(const std::string& path, std::vector<Event>* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream text;
+  text << in.rdbuf();
+  *out = ParseJsonl(text.str());
+  return true;
+}
+
+}  // namespace gaugur::obs

@@ -1,0 +1,149 @@
+// Structured decision-provenance event log.
+//
+// Every scheduler-visible state change in a fleet run — arrivals,
+// placement decisions (with the candidate set, batch predictions, and
+// cache hit/miss flags), departures, power transitions, retrains, and
+// QoS violations — is appended as one Event. Events carry a process-wide
+// monotonic sequence number (total order across threads) and the
+// simulation-tick timestamp, so an offline tool can replay the exact
+// causal chain: violation -> decision id -> candidate scores.
+//
+// Storage is a fixed number of shards, each a mutex-guarded bounded ring
+// (drop-oldest on overflow, drops counted), selected by the same
+// thread-shard hint the metrics registry uses — appends from different
+// threads rarely contend and the whole structure is TSan-clean.
+// Append() is a no-op (one relaxed load + branch) when the
+// GAUGUR_OBS_ENABLED kill switch is off.
+//
+// Flush format is JSON Lines, one event per line, each line carrying
+// schema "gaugur.obs.event/v1":
+//
+//   {"schema": "gaugur.obs.event/v1", "seq": <uint>, "tick": <double>,
+//    "kind": "<decision|arrival|departure|power_on|power_off|
+//             qos_violation|retrain>",
+//    "decision_id": <uint>,          // 0 when not tied to a decision
+//    "fields": {...}}                // kind-specific payload
+//
+// Doubles round-trip exactly through obs::JsonValue, so
+// ParseJsonl(ToJsonl()) reproduces the snapshot bit-for-bit
+// (tests/obs/event_log_test.cpp pins this).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace gaugur::obs {
+
+inline constexpr const char* kEventSchema = "gaugur.obs.event/v1";
+
+enum class EventKind : std::uint8_t {
+  kDecision = 0,
+  kArrival,
+  kDeparture,
+  kPowerOn,
+  kPowerOff,
+  kQosViolation,
+  kRetrain,
+};
+
+inline constexpr std::size_t kNumEventKinds = 7;
+
+/// Stable wire name for a kind ("decision", "qos_violation", ...).
+const char* EventKindName(EventKind kind);
+/// Inverse of EventKindName; returns false on an unknown name.
+bool EventKindFromName(std::string_view name, EventKind* out);
+
+struct Event {
+  std::uint64_t seq = 0;
+  double tick = 0.0;
+  EventKind kind = EventKind::kDecision;
+  /// Links the event to the scheduler decision that caused it; 0 means
+  /// "not tied to a decision" (e.g. an arrival or a retrain).
+  std::uint64_t decision_id = 0;
+  JsonObject fields;
+
+  bool operator==(const Event&) const = default;
+
+  JsonValue ToJson() const;
+  static Event FromJson(const JsonValue& value);
+};
+
+struct EventLogConfig {
+  /// Events kept per shard; the oldest event in a shard is dropped when
+  /// its ring is full. Total capacity = shard_capacity * num_shards.
+  std::size_t shard_capacity = 4096;
+  std::size_t num_shards = 8;
+};
+
+class EventLog {
+ public:
+  explicit EventLog(EventLogConfig config = {});
+
+  /// Process-wide instance the scheduler and predictor append to.
+  static EventLog& Global();
+
+  /// Replaces the configuration and drops all stored events. Not safe
+  /// concurrently with Append(); call during setup or between runs.
+  void Configure(EventLogConfig config);
+
+  /// Drops all stored events and resets the appended/dropped tallies
+  /// (sequence and decision-id counters keep advancing — they are
+  /// process-monotonic so snapshots from successive runs never collide).
+  void Clear();
+
+  /// Allocates the next scheduler decision id (monotonic from 1; 0 is
+  /// reserved for "no decision").
+  std::uint64_t NextDecisionId() {
+    return next_decision_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Appends one event, stamping its sequence number. No-op (and `fields`
+  /// is discarded) when the observability switch is off.
+  void Append(EventKind kind, double tick, std::uint64_t decision_id,
+              JsonObject fields);
+
+  /// Merged view of all shards, sorted by sequence number.
+  std::vector<Event> Snapshot() const;
+
+  std::uint64_t TotalAppended() const {
+    return appended_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t TotalDropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  bool Empty() const { return TotalAppended() == 0; }
+
+  /// One JSON object per line, snapshot order (sorted by seq).
+  std::string ToJsonl() const;
+  /// Writes ToJsonl() to `path`; returns false on I/O failure.
+  bool WriteJsonl(const std::string& path) const;
+
+  /// Parses a JSONL dump back into events; throws std::logic_error
+  /// (GAUGUR_CHECK) on a malformed line or a schema mismatch.
+  static std::vector<Event> ParseJsonl(std::string_view text);
+  /// Reads and parses `path`; returns false if the file cannot be read.
+  static bool ReadJsonl(const std::string& path, std::vector<Event>* out);
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::deque<Event> ring;
+  };
+
+  EventLogConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> next_seq_{0};
+  std::atomic<std::uint64_t> next_decision_id_{0};
+  std::atomic<std::uint64_t> appended_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace gaugur::obs

@@ -1,0 +1,79 @@
+// Forensics summary: the run-report section that joins the event log and
+// the fleet time series into an at-a-glance provenance digest — how many
+// decisions/violations were recorded, how many violations link back to a
+// placement decision, and a bounded tail of recent violations with their
+// full forensic chain (decision id, victim, dominant resource, dominant
+// offender). The complete per-event detail stays in the JSONL event log;
+// this section makes the run report self-describing and is what the CI
+// telemetry job cross-checks against the model monitor's totals.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/event_log.h"
+#include "obs/json.h"
+#include "obs/timeseries.h"
+
+namespace gaugur::obs {
+
+/// One QoS violation lifted out of the event log, with the provenance
+/// chain resolved: decision_id links it to the placement decision that
+/// created the colocation, dominant_resource / offender_game carry the
+/// contention-model attribution computed when the violation fired.
+struct ViolationRecap {
+  std::uint64_t seq = 0;
+  std::uint64_t decision_id = 0;
+  std::uint64_t server = 0;
+  double tick = 0.0;
+  int victim_game = -1;
+  double realized_fps = 0.0;
+  double qos_fps = 0.0;
+  std::string dominant_resource;
+  int offender_game = -1;
+
+  JsonValue ToJson() const;
+  static ViolationRecap FromJson(const JsonValue& value);
+
+  friend bool operator==(const ViolationRecap&,
+                         const ViolationRecap&) = default;
+};
+
+struct ForensicsSummary {
+  // Event-log volumes.
+  std::uint64_t events = 0;
+  std::uint64_t events_dropped = 0;
+  std::map<std::string, std::uint64_t> events_by_kind;
+  std::uint64_t decisions = 0;
+  std::uint64_t violations = 0;
+  /// Violations whose decision_id resolves to a decision event present in
+  /// the log (== violations unless the ring dropped the decision).
+  std::uint64_t violations_linked = 0;
+  /// Newest-last bounded tail of violations.
+  std::vector<ViolationRecap> recent_violations;
+
+  // Fleet time-series volumes.
+  std::uint64_t ts_servers = 0;
+  std::uint64_t ts_samples_seen = 0;
+  std::uint64_t ts_samples_kept = 0;
+
+  bool Empty() const { return events == 0 && ts_samples_seen == 0; }
+
+  JsonValue ToJson() const;
+  static ForensicsSummary FromJson(const JsonValue& doc);
+
+  friend bool operator==(const ForensicsSummary&,
+                         const ForensicsSummary&) = default;
+};
+
+/// Builds the summary from an event-log snapshot plus the time-series
+/// volumes; `dropped` is EventLog::TotalDropped() at snapshot time.
+ForensicsSummary BuildForensics(std::span<const Event> events,
+                                std::uint64_t dropped,
+                                const FleetTimeSeries::Summary& timeseries,
+                                std::size_t max_recaps = 32);
+
+}  // namespace gaugur::obs

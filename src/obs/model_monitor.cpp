@@ -30,6 +30,8 @@ struct MonitorMetrics {
       Registry::Global().GetCounter("model_monitor.attr_rm_overestimate");
   Counter& attr_capacity_pressure =
       Registry::Global().GetCounter("model_monitor.attr_capacity_pressure");
+  Counter& qos_violations_observed =
+      Registry::Global().GetCounter("model_monitor.qos_violations_observed");
   Gauge& cm_precision_bp =
       Registry::Global().GetGauge("model_monitor.cm_precision_bp");
   Gauge& cm_recall_bp =
@@ -266,6 +268,18 @@ JsonValue ModelMonitorSummary::ToJson() const {
       static_cast<unsigned long long>(attr_rm_overestimate);
   attribution["capacity_pressure"] =
       static_cast<unsigned long long>(attr_capacity_pressure);
+  attribution["qos_violations_observed"] =
+      static_cast<unsigned long long>(qos_violations_observed);
+  JsonObject by_resource;
+  for (const auto& [resource, count] : attr_by_resource) {
+    by_resource[resource] = static_cast<unsigned long long>(count);
+  }
+  attribution["by_resource"] = JsonValue(std::move(by_resource));
+  JsonObject offenders;
+  for (const auto& [game, count] : attr_offenders) {
+    offenders[game] = static_cast<unsigned long long>(count);
+  }
+  attribution["offenders"] = JsonValue(std::move(offenders));
 
   JsonObject doc;
   doc["cm"] = JsonValue(std::move(cm));
@@ -338,6 +352,24 @@ ModelMonitorSummary ModelMonitorSummary::FromJson(const JsonValue& doc) {
       AsU64(attribution->Find("rm_overestimate"));
   summary.attr_capacity_pressure =
       AsU64(attribution->Find("capacity_pressure"));
+  // /v3 forensic fields: optional so /v2 documents keep parsing.
+  if (const JsonValue* observed =
+          attribution->Find("qos_violations_observed")) {
+    summary.qos_violations_observed = AsU64(observed);
+  }
+  if (const JsonValue* by_resource = attribution->Find("by_resource")) {
+    GAUGUR_CHECK_MSG(by_resource->IsObject(),
+                     "'by_resource' must be an object");
+    for (const auto& [resource, count] : by_resource->AsObject()) {
+      summary.attr_by_resource[resource] = AsU64(&count);
+    }
+  }
+  if (const JsonValue* offenders = attribution->Find("offenders")) {
+    GAUGUR_CHECK_MSG(offenders->IsObject(), "'offenders' must be an object");
+    for (const auto& [game, count] : offenders->AsObject()) {
+      summary.attr_offenders[game] = AsU64(&count);
+    }
+  }
   return summary;
 }
 
@@ -383,6 +415,9 @@ void ModelMonitor::Configure(ModelMonitorConfig config) {
   attr_cm_false_positive_ = attr_rm_overestimate_ = 0;
   attr_capacity_pressure_ = 0;
   drift_alert_events_ = 0;
+  qos_violations_observed_ = 0;
+  attr_by_resource_.clear();
+  attr_offenders_.clear();
 }
 
 void ModelMonitor::Reset() { Configure(config_); }
@@ -442,9 +477,20 @@ void ModelMonitor::RecordPrediction(ModelKind kind, std::uint64_t join_key,
 }
 
 void ModelMonitor::ObserveOutcome(std::uint64_t join_key,
-                                  double realized_fps, double qos_fps) {
+                                  double realized_fps, double qos_fps,
+                                  const OutcomeContext& context) {
   if (!Enabled()) return;
   std::lock_guard lock(mutex_);
+  if (qos_fps > 0.0 && realized_fps < qos_fps) {
+    ++qos_violations_observed_;
+    MonitorMetrics::Get().qos_violations_observed.Add(1);
+    if (!context.dominant_resource.empty()) {
+      ++attr_by_resource_[context.dominant_resource];
+    }
+    if (context.offender_game_id >= 0) {
+      ++attr_offenders_[std::to_string(context.offender_game_id)];
+    }
+  }
   const auto it = pending_.find(join_key);
   if (it == pending_.end() || it->second.empty()) {
     ++observations_unmatched_;
@@ -656,6 +702,9 @@ ModelMonitorSummary ModelMonitor::Summary() const {
   summary.attr_cm_false_positive = attr_cm_false_positive_;
   summary.attr_rm_overestimate = attr_rm_overestimate_;
   summary.attr_capacity_pressure = attr_capacity_pressure_;
+  summary.qos_violations_observed = qos_violations_observed_;
+  summary.attr_by_resource = attr_by_resource_;
+  summary.attr_offenders = attr_offenders_;
   return summary;
 }
 

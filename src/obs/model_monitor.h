@@ -21,7 +21,10 @@
 // Everything is exported two ways: live obs counters/gauges/histograms in
 // the global registry (model_monitor.*), and a ModelMonitorSummary that
 // serializes into the "model_monitor" section of the
-// gaugur.obs.run_report/v2 schema with an exact JSON round-trip.
+// gaugur.obs.run_report/v3 schema with an exact JSON round-trip (the /v3
+// forensic fields — qos_violations_observed, per-resource and
+// per-offender violation tallies — are optional, so /v2 documents still
+// parse).
 //
 // All mutators are no-ops while obs::Enabled() is false; the disabled
 // path is the usual relaxed-load + branch and stays inside the <2%
@@ -30,6 +33,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <span>
 #include <string>
@@ -67,6 +71,26 @@ struct PredictionRecord {
 
   friend bool operator==(const PredictionRecord&,
                          const PredictionRecord&) = default;
+};
+
+/// Forensic context attached to an observed outcome: which shared
+/// resource the contention model blames for the FPS dip, and which
+/// colocated game relieves it most when removed. Filled by the fleet
+/// simulator from lab::AttributeInterference; defaults mean "unknown".
+struct OutcomeContext {
+  /// resources::Name() of the dominant contended resource, or "" when
+  /// no attribution was computed.
+  std::string dominant_resource;
+  /// Game id of the dominant colocated offender, or -1 when the victim
+  /// ran alone / attribution was not computed.
+  int offender_game_id = -1;
+
+  bool Empty() const {
+    return dominant_resource.empty() && offender_game_id < 0;
+  }
+
+  friend bool operator==(const OutcomeContext&,
+                         const OutcomeContext&) = default;
 };
 
 /// A prediction joined with the realized FPS the simulator later measured
@@ -181,6 +205,17 @@ struct ModelMonitorSummary {
   std::uint64_t attr_rm_overestimate = 0;
   std::uint64_t attr_capacity_pressure = 0;
 
+  // Resource/offender forensics (whole run, monotonic; /v3 additions,
+  // absent in /v2 documents and then left at their defaults).
+  /// Violated observations seen by ObserveOutcome — one per (victim,
+  /// colocation) realization, matched or not. This is the total the
+  /// event log's qos_violation events reconcile against.
+  std::uint64_t qos_violations_observed = 0;
+  /// Violations by dominant contended resource (resources::Name keys).
+  std::map<std::string, std::uint64_t> attr_by_resource;
+  /// Violations by dominant colocated offender (stringified game id).
+  std::map<std::string, std::uint64_t> attr_offenders;
+
   JsonValue ToJson() const;
   static ModelMonitorSummary FromJson(const JsonValue& doc);
 
@@ -230,7 +265,16 @@ class ModelMonitor {
   /// unmatched observation (and, if violated while predictions exist at
   /// all, capacity pressure). No-op while obs::Enabled() is false.
   void ObserveOutcome(std::uint64_t join_key, double realized_fps,
-                      double qos_fps);
+                      double qos_fps) {
+    ObserveOutcome(join_key, realized_fps, qos_fps, OutcomeContext{});
+  }
+
+  /// Same, with forensic context: when the outcome violated QoS, the
+  /// dominant resource / offender tallies are deepened so the classic
+  /// cm_false_positive / rm_overestimate / capacity_pressure attribution
+  /// also answers *what* caused the dip.
+  void ObserveOutcome(std::uint64_t join_key, double realized_fps,
+                      double qos_fps, const OutcomeContext& context);
 
   /// Installs the fit-time feature-distribution snapshot drift is
   /// measured against. Resets that model's online drift accumulators.
@@ -299,6 +343,9 @@ class ModelMonitor {
   std::uint64_t attr_rm_overestimate_ = 0;
   std::uint64_t attr_capacity_pressure_ = 0;
   std::uint64_t drift_alert_events_ = 0;
+  std::uint64_t qos_violations_observed_ = 0;
+  std::map<std::string, std::uint64_t> attr_by_resource_;
+  std::map<std::string, std::uint64_t> attr_offenders_;
 };
 
 /// Population Stability Index between a reference distribution and online

@@ -93,6 +93,9 @@ JsonValue RunReport::ToJson() const {
   if (model_monitor_.has_value()) {
     doc["model_monitor"] = model_monitor_->ToJson();
   }
+  if (forensics_.has_value()) {
+    doc["forensics"] = forensics_->ToJson();
+  }
   return JsonValue(std::move(doc));
 }
 
@@ -152,7 +155,26 @@ void RunReport::Print(std::ostream& os) const {
                     static_cast<long long>(m.attr_rm_overestimate)});
     monitor.AddRow({std::string("attr: capacity pressure"),
                     static_cast<long long>(m.attr_capacity_pressure)});
+    monitor.AddRow({std::string("qos violations observed"),
+                    static_cast<long long>(m.qos_violations_observed)});
     monitor.Print(os, "model monitor (rolling window)");
+  }
+  if (forensics_.has_value()) {
+    const ForensicsSummary& f = *forensics_;
+    common::Table forensics({"forensics", "value"});
+    forensics.AddRow({std::string("events"),
+                      static_cast<long long>(f.events)});
+    forensics.AddRow({std::string("events dropped"),
+                      static_cast<long long>(f.events_dropped)});
+    forensics.AddRow({std::string("decisions"),
+                      static_cast<long long>(f.decisions)});
+    forensics.AddRow({std::string("qos violations"),
+                      static_cast<long long>(f.violations)});
+    forensics.AddRow({std::string("violations linked to decision"),
+                      static_cast<long long>(f.violations_linked)});
+    forensics.AddRow({std::string("timeseries samples kept"),
+                      static_cast<long long>(f.ts_samples_kept)});
+    forensics.Print(os, "decision provenance");
   }
 }
 
@@ -168,6 +190,7 @@ RunReport RunReport::FromJson(const JsonValue& doc) {
   const JsonValue* schema = doc.Find("schema");
   GAUGUR_CHECK_MSG(schema != nullptr && schema->IsString() &&
                        (schema->AsString() == kRunReportSchema ||
+                        schema->AsString() == kRunReportSchemaV2 ||
                         schema->AsString() == kRunReportSchemaV1),
                    "unknown run-report schema");
   const JsonValue* name = doc.Find("name");
@@ -207,6 +230,9 @@ RunReport RunReport::FromJson(const JsonValue& doc) {
   }
   if (const JsonValue* monitor = doc.Find("model_monitor")) {
     report.SetModelMonitor(ModelMonitorSummary::FromJson(*monitor));
+  }
+  if (const JsonValue* forensics = doc.Find("forensics")) {
+    report.SetForensics(ForensicsSummary::FromJson(*forensics));
   }
   return report;
 }

@@ -2,10 +2,10 @@
 // machines) and aligned text tables (for eyeballs), following the
 // bench_results/ convention of one artifact per run.
 //
-// Documented schema, version "gaugur.obs.run_report/v2":
+// Documented schema, version "gaugur.obs.run_report/v3":
 //
 //   {
-//     "schema": "gaugur.obs.run_report/v2",
+//     "schema": "gaugur.obs.run_report/v3",
 //     "name": "<run name>",
 //     "meta": {"<key>": "<string value>", ...},
 //     "counters": {"<name>": <uint>, ...},
@@ -18,16 +18,22 @@
 //                     {"le": null, "count": <uint>}]   // overflow last
 //       }, ...
 //     },
-//     "model_monitor": { ... }   // optional; obs/model_monitor.h schema
+//     "model_monitor": { ... },  // optional; obs/model_monitor.h schema
+//     "forensics": { ... }       // optional; obs/forensics.h schema
 //   }
 //
-// v2 adds the optional "model_monitor" section (online CM/RM quality:
-// rolling calibration, RM error, per-feature PSI drift, QoS-violation
-// attribution). v1 documents (no section) still parse. mean/p50/p95/p99
-// are derived conveniences; ParseSnapshot reconstructs the snapshot from
-// buckets + sum alone, so a written report round-trips exactly
-// (tests/obs/registry_test.cpp and tests/obs/model_monitor_test.cpp
-// prove it).
+// v3 adds the optional "forensics" section (event-log volumes, decision /
+// violation linkage, recent-violation recaps with resource + offender
+// attribution, fleet time-series volumes) plus the optional forensic
+// fields inside model_monitor.attribution. v2 added the optional
+// "model_monitor" section (online CM/RM quality: rolling calibration, RM
+// error, per-feature PSI drift, QoS-violation attribution). v1 and v2
+// documents still parse. mean/p50/p95/p99 are derived conveniences;
+// ParseSnapshot reconstructs the snapshot from buckets + sum alone, so a
+// written report round-trips exactly (tests/obs/registry_test.cpp and
+// tests/obs/model_monitor_test.cpp prove it). All sections serialize
+// through JsonObject (std::map), so keys are sorted and the emitted JSON
+// is byte-stable across runs and platforms.
 #pragma once
 
 #include <iosfwd>
@@ -35,15 +41,18 @@
 #include <optional>
 #include <string>
 
+#include "obs/forensics.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/model_monitor.h"
 
 namespace gaugur::obs {
 
-inline constexpr const char* kRunReportSchema = "gaugur.obs.run_report/v2";
-/// Prior version, still accepted by FromJson (it simply lacks the
-/// model_monitor section).
+inline constexpr const char* kRunReportSchema = "gaugur.obs.run_report/v3";
+/// Prior versions, still accepted by FromJson (v2 lacks the forensics
+/// section, v1 additionally lacks model_monitor).
+inline constexpr const char* kRunReportSchemaV2 =
+    "gaugur.obs.run_report/v2";
 inline constexpr const char* kRunReportSchemaV1 =
     "gaugur.obs.run_report/v1";
 
@@ -54,11 +63,18 @@ class RunReport {
 
   /// Captures the global registry as of now; when the global ModelMonitor
   /// has recorded predictions, its summary is attached as the
-  /// model_monitor section.
+  /// model_monitor section, and when the global EventLog holds events a
+  /// forensics section is built from it and the global FleetTimeSeries.
   static RunReport Capture(std::string name) {
     RunReport report(std::move(name), Registry::Global().Snap());
     if (ModelMonitor::Global().HasData()) {
       report.SetModelMonitor(ModelMonitor::Global().Summary());
+    }
+    if (!EventLog::Global().Empty()) {
+      const std::vector<Event> events = EventLog::Global().Snapshot();
+      report.SetForensics(BuildForensics(
+          events, EventLog::Global().TotalDropped(),
+          FleetTimeSeries::Global().Summarize()));
     }
     return report;
   }
@@ -80,6 +96,14 @@ class RunReport {
     return model_monitor_;
   }
 
+  /// Optional decision-provenance section (v3).
+  void SetForensics(ForensicsSummary summary) {
+    forensics_ = std::move(summary);
+  }
+  const std::optional<ForensicsSummary>& forensics() const {
+    return forensics_;
+  }
+
   JsonValue ToJson() const;
   std::string ToJsonString(int indent = 2) const;
 
@@ -91,8 +115,8 @@ class RunReport {
   /// Writes ToJsonString() to `path`; returns false on I/O failure.
   bool WriteJson(const std::string& path) const;
 
-  /// Inverse of ToJson(). Accepts both the current /v2 schema and legacy
-  /// /v1 documents (which simply lack the model_monitor section); throws
+  /// Inverse of ToJson(). Accepts the current /v3 schema and legacy
+  /// /v2 / /v1 documents (which simply lack the newer sections); throws
   /// std::logic_error (GAUGUR_CHECK) on anything else.
   static RunReport FromJson(const JsonValue& doc);
   static RunReport FromJsonString(const std::string& text) {
@@ -104,6 +128,7 @@ class RunReport {
   Snapshot snapshot_;
   std::map<std::string, std::string> meta_;
   std::optional<ModelMonitorSummary> model_monitor_;
+  std::optional<ForensicsSummary> forensics_;
 };
 
 }  // namespace gaugur::obs

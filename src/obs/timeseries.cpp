@@ -1,0 +1,116 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "obs/switch.h"
+
+namespace gaugur::obs {
+
+FleetTimeSeries::FleetTimeSeries(TimeSeriesConfig config) {
+  Configure(config);
+}
+
+FleetTimeSeries& FleetTimeSeries::Global() {
+  static FleetTimeSeries* series = new FleetTimeSeries();
+  return *series;
+}
+
+void FleetTimeSeries::Configure(TimeSeriesConfig config) {
+  GAUGUR_CHECK_MSG(config.capacity_per_server >= 2,
+                   "time series needs capacity >= 2");
+  std::lock_guard<std::mutex> lock(mutex_);
+  config_ = config;
+  series_.clear();
+  samples_seen_ = 0;
+}
+
+void FleetTimeSeries::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  series_.clear();
+  samples_seen_ = 0;
+}
+
+void FleetTimeSeries::Record(std::size_t server, ServerSample sample) {
+  if (!Enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++samples_seen_;
+  ServerSeries& series = series_[server];
+  if (!series.samples.empty() &&
+      sample.tick - series.samples.back().tick < series.min_gap) {
+    return;
+  }
+  series.samples.push_back(std::move(sample));
+  if (series.samples.size() > config_.capacity_per_server) {
+    // Halving decimation: keep every other sample (newest included so the
+    // most recent state survives), then double the minimum gap so the
+    // thinned resolution is enforced for future appends too.
+    std::vector<ServerSample> kept;
+    kept.reserve(series.samples.size() / 2 + 1);
+    for (std::size_t i = series.samples.size() % 2 == 0 ? 1 : 0;
+         i < series.samples.size(); i += 2) {
+      kept.push_back(std::move(series.samples[i]));
+    }
+    series.samples = std::move(kept);
+    const double span =
+        series.samples.back().tick - series.samples.front().tick;
+    series.min_gap = std::max(
+        series.min_gap * 2.0,
+        span > 0.0 ? 2.0 * span / static_cast<double>(
+                                      config_.capacity_per_server)
+                   : 0.0);
+    if (series.min_gap == 0.0) series.min_gap = 1e-9;
+  }
+}
+
+std::vector<ServerSample> FleetTimeSeries::Series(std::size_t server) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = series_.find(server);
+  if (it == series_.end()) return {};
+  return it->second.samples;
+}
+
+std::size_t FleetTimeSeries::NumServers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return series_.size();
+}
+
+FleetTimeSeries::Summary FleetTimeSeries::Summarize() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Summary summary;
+  summary.servers = series_.size();
+  summary.samples_seen = samples_seen_;
+  for (const auto& [server, series] : series_) {
+    summary.samples_kept += series.samples.size();
+    summary.max_gap = std::max(summary.max_gap, series.min_gap);
+  }
+  return summary;
+}
+
+JsonValue FleetTimeSeries::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonObject servers;
+  for (const auto& [server, series] : series_) {
+    JsonArray samples;
+    for (const ServerSample& sample : series.samples) {
+      JsonObject entry;
+      entry["tick"] = sample.tick;
+      JsonArray slots;
+      for (const SlotSample& slot : sample.slots) {
+        JsonObject slot_json;
+        slot_json["game_id"] = static_cast<long long>(slot.game_id);
+        slot_json["fps"] = slot.fps;
+        JsonArray pressure;
+        for (double p : slot.pressure) pressure.push_back(JsonValue(p));
+        slot_json["pressure"] = JsonValue(std::move(pressure));
+        slots.push_back(JsonValue(std::move(slot_json)));
+      }
+      entry["slots"] = JsonValue(std::move(slots));
+      samples.push_back(JsonValue(std::move(entry)));
+    }
+    servers[std::to_string(server)] = JsonValue(std::move(samples));
+  }
+  return JsonValue(std::move(servers));
+}
+
+}  // namespace gaugur::obs

@@ -1,0 +1,98 @@
+// Bounded per-server fleet time series.
+//
+// SimulateDynamicFleet records one ServerSample per server whenever that
+// server's colocation changes (arrival or departure): the sim tick plus,
+// for every occupied slot, the realized FPS and the equilibrium pressure
+// on each of the seven shared resources. Forensics tooling uses the
+// series to show what a server looked like around a QoS violation.
+//
+// Memory is bounded per server by a thinning downsampler: each series
+// keeps at most `capacity_per_server` samples and enforces a minimum
+// tick gap between kept samples. When a ring fills, every other sample
+// is discarded and the minimum gap doubles, so an arbitrarily long run
+// converges to `capacity` samples spread across the whole horizon
+// (classic halving decimation — resolution degrades, coverage does not).
+//
+// Pressures are stored as a plain vector (index order matches
+// resources::kAllResources) so the obs layer stays dependency-free.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace gaugur::obs {
+
+struct SlotSample {
+  int game_id = -1;
+  double fps = 0.0;
+  /// Equilibrium pressure per shared resource, resources::kAllResources
+  /// order (7 entries); may be empty when pressure was not sampled.
+  std::vector<double> pressure;
+
+  bool operator==(const SlotSample&) const = default;
+};
+
+struct ServerSample {
+  double tick = 0.0;
+  std::vector<SlotSample> slots;
+
+  bool operator==(const ServerSample&) const = default;
+};
+
+struct TimeSeriesConfig {
+  /// Samples kept per server; halving decimation on overflow.
+  std::size_t capacity_per_server = 512;
+};
+
+class FleetTimeSeries {
+ public:
+  explicit FleetTimeSeries(TimeSeriesConfig config = {});
+
+  static FleetTimeSeries& Global();
+
+  /// Replaces the configuration and drops all series.
+  void Configure(TimeSeriesConfig config);
+  void Clear();
+
+  /// Records one sample for `server`. No-op when the observability
+  /// switch is off, or when the sample is closer than the current
+  /// minimum gap to the last kept sample of that server.
+  void Record(std::size_t server, ServerSample sample);
+
+  /// Kept samples for one server, oldest first (empty if never seen).
+  std::vector<ServerSample> Series(std::size_t server) const;
+  std::size_t NumServers() const;
+
+  struct Summary {
+    std::uint64_t servers = 0;
+    /// All Record() calls while enabled, including thinned/skipped ones.
+    std::uint64_t samples_seen = 0;
+    /// Samples currently retained across all servers.
+    std::uint64_t samples_kept = 0;
+    /// Largest per-server minimum tick gap (0 until decimation starts).
+    double max_gap = 0.0;
+
+    bool operator==(const Summary&) const = default;
+  };
+  Summary Summarize() const;
+
+  /// Full dump, {"<server>": [{"tick": ..., "slots": [...]}, ...]}.
+  JsonValue ToJson() const;
+
+ private:
+  struct ServerSeries {
+    std::vector<ServerSample> samples;
+    double min_gap = 0.0;
+  };
+
+  TimeSeriesConfig config_;
+  mutable std::mutex mutex_;
+  std::map<std::size_t, ServerSeries> series_;
+  std::uint64_t samples_seen_ = 0;
+};
+
+}  // namespace gaugur::obs

@@ -7,9 +7,13 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "gaugur/predictor.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/model_monitor.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "resources/resource.h"
 
 namespace gaugur::sched {
 
@@ -50,6 +54,18 @@ struct LiveServer {
   /// When this server last became non-empty (for server-minute billing).
   double powered_since = 0.0;
   bool powered = false;
+  /// Decision that most recently placed a session here; violation events
+  /// link back to it ("why was this colocation formed?"). 0 = none.
+  std::uint64_t last_decision_id = 0;
+};
+
+/// Memoized ground truth per colocation content. Pressures are filled
+/// lazily (first obs-enabled access) — they are only needed for the fleet
+/// time series, and computing them costs one equilibrium solve per slot.
+struct GroundTruth {
+  std::vector<double> fps;
+  std::vector<resources::PerResource<double>> pressures;
+  bool has_pressures = false;
 };
 
 /// Event: +1 arrival of request i, or -1 departure from server s.
@@ -79,20 +95,24 @@ DynamicResult SimulateDynamicFleet(const core::ColocationLab& lab,
   std::vector<LiveServer> servers;
   std::vector<char> violated(requests.size(), 0);
   // Memoized ground-truth QoS check per colocation content.
-  std::unordered_map<std::string, std::vector<double>> fps_cache;
-  auto mark_violations = [&](LiveServer& server) {
+  std::unordered_map<std::string, GroundTruth> fps_cache;
+  auto mark_violations = [&](std::size_t server_idx, double now) {
+    LiveServer& server = servers[server_idx];
     if (server.sessions.empty()) return;
     Colocation content;
     for (const auto& s : server.sessions) content.push_back(s.session);
     const std::string key = core::ColocationKey(content);
     auto it = fps_cache.find(key);
     if (it == fps_cache.end()) {
-      it = fps_cache.emplace(key, lab.TrueFps(content)).first;
+      it = fps_cache.emplace(key, GroundTruth{lab.TrueFps(content), {}, false})
+               .first;
       if (obs::Enabled()) {
         // First time this colocation content actually runs: feed each
         // session's realized FPS back to the model monitor, joining any
         // audit records the policy's predictor left under the same key.
-        // Cache hits are skipped so one colocation content is one outcome.
+        // Cache hits are skipped so one colocation content is one outcome
+        // — the same gating makes the qos_violation events below
+        // reconcile 1:1 with the monitor's qos_violations_observed tally.
         std::vector<SessionRequest> corunners;
         corunners.reserve(content.size());
         for (std::size_t i = 0; i < content.size(); ++i) {
@@ -100,16 +120,66 @@ DynamicResult SimulateDynamicFleet(const core::ColocationLab& lab,
           for (std::size_t j = 0; j < content.size(); ++j) {
             if (j != i) corunners.push_back(content[j]);
           }
+          const double realized = it->second.fps[i];
+          obs::OutcomeContext context;
+          if (realized < options.qos_fps) {
+            // QoS dip: ask the ground-truth lab which resource's
+            // contention curve drove it and which co-runner's removal
+            // would buy back the most FPS, then link the violation event
+            // to the decision that formed this colocation.
+            const core::InterferenceAttribution attr =
+                lab.AttributeInterference(content, i);
+            context.dominant_resource =
+                std::string(resources::Name(attr.dominant_resource));
+            context.offender_game_id = attr.offender_game_id;
+            obs::JsonObject fields;
+            fields["server"] = obs::JsonValue(
+                static_cast<unsigned long long>(server_idx));
+            fields["victim_game"] = obs::JsonValue(content[i].game_id);
+            fields["realized_fps"] = obs::JsonValue(realized);
+            fields["qos_fps"] = obs::JsonValue(options.qos_fps);
+            fields["dominant_resource"] =
+                obs::JsonValue(context.dominant_resource);
+            fields["dominant_damage"] = obs::JsonValue(attr.dominant_damage);
+            fields["offender_game"] = obs::JsonValue(attr.offender_game_id);
+            fields["offender_fps_gain"] =
+                obs::JsonValue(attr.offender_fps_gain);
+            obs::EventLog::Global().Append(obs::EventKind::kQosViolation, now,
+                                           server.last_decision_id,
+                                           std::move(fields));
+          }
           obs::ModelMonitor::Global().ObserveOutcome(
-              core::ModelJoinKey(content[i], corunners), it->second[i],
-              options.qos_fps);
+              core::ModelJoinKey(content[i], corunners), realized,
+              options.qos_fps, context);
         }
       }
     }
     for (std::size_t i = 0; i < server.sessions.size(); ++i) {
-      if (it->second[i] < options.qos_fps) {
+      if (it->second.fps[i] < options.qos_fps) {
         violated[server.sessions[i].request_index] = 1;
       }
+    }
+    if (obs::Enabled()) {
+      // Sample this server's state into the fleet time series. Pressures
+      // are solved once per distinct content and reused from the cache.
+      if (!it->second.has_pressures) {
+        it->second.pressures = lab.TruePressures(content);
+        it->second.has_pressures = true;
+      }
+      obs::ServerSample sample;
+      sample.tick = now;
+      sample.slots.reserve(server.sessions.size());
+      for (std::size_t i = 0; i < server.sessions.size(); ++i) {
+        obs::SlotSample slot;
+        slot.game_id = content[i].game_id;
+        slot.fps = it->second.fps[i];
+        slot.pressure.reserve(resources::kNumResources);
+        for (resources::Resource r : resources::kAllResources) {
+          slot.pressure.push_back(it->second.pressures[i][r]);
+        }
+        sample.slots.push_back(std::move(slot));
+      }
+      obs::FleetTimeSeries::Global().Record(server_idx, std::move(sample));
     }
   };
 
@@ -127,12 +197,24 @@ DynamicResult SimulateDynamicFleet(const core::ColocationLab& lab,
       result.server_minutes += now - server.powered_since;
       server.powered = false;
       --live_servers;
+      if (obs::Enabled()) {
+        obs::EventLog::Global().Append(
+            obs::EventKind::kPowerOff, now, /*decision_id=*/0,
+            {{"server", obs::JsonValue(
+                            static_cast<unsigned long long>(server_idx))}});
+      }
     } else if (!server.powered && !now_empty) {
       server.powered = true;
       server.powered_since = now;
       ++live_servers;
       ++result.powerons;
       SchedMetrics::Get().powerons.Add(1);
+      if (obs::Enabled()) {
+        obs::EventLog::Global().Append(
+            obs::EventKind::kPowerOn, now, /*decision_id=*/0,
+            {{"server", obs::JsonValue(
+                            static_cast<unsigned long long>(server_idx))}});
+      }
     }
     result.peak_servers = std::max(result.peak_servers, live_servers);
   };
@@ -156,7 +238,15 @@ DynamicResult SimulateDynamicFleet(const core::ColocationLab& lab,
                              });
       GAUGUR_CHECK(it != server.sessions.end());
       server.sessions.erase(it);
-      mark_violations(server);  // the survivors' new (smaller) colocation
+      if (obs::Enabled()) {
+        obs::EventLog::Global().Append(
+            obs::EventKind::kDeparture, when, /*decision_id=*/0,
+            {{"server",
+              obs::JsonValue(static_cast<unsigned long long>(server_idx))},
+             {"request_index",
+              obs::JsonValue(static_cast<unsigned long long>(request_idx))}});
+      }
+      mark_violations(server_idx, when);  // survivors' smaller colocation
       bill_and_update(server_idx, when, server.sessions.empty());
     }
 
@@ -176,7 +266,17 @@ DynamicResult SimulateDynamicFleet(const core::ColocationLab& lab,
       open_index.push_back(s);
     }
 
+    if (obs::Enabled()) {
+      obs::EventLog::Global().Append(
+          obs::EventKind::kArrival, now, /*decision_id=*/0,
+          {{"request_index", obs::JsonValue(static_cast<unsigned long long>(oi))},
+           {"game_id", obs::JsonValue(request.session.game_id)},
+           {"pixels", obs::JsonValue(request.session.resolution.NumPixels())},
+           {"duration_min", obs::JsonValue(request.duration_min)}});
+    }
+
     int choice;
+    PendingDecisionDetail().Clear();
     {
       obs::ScopedTimer decision_timer(SchedMetrics::Get().decision_us);
       choice = policy(open_view, request.session);
@@ -208,11 +308,52 @@ DynamicResult SimulateDynamicFleet(const core::ColocationLab& lab,
     }
     LiveServer& server = servers[target];
     GAUGUR_CHECK(server.sessions.size() < options.max_sessions_per_server);
+    if (obs::Enabled()) {
+      // One decision event per arrival, carrying the policy's judgement of
+      // every open candidate (when the policy published one) so a later
+      // violation can be traced back to "what did the predictor believe".
+      const std::uint64_t decision_id =
+          obs::EventLog::Global().NextDecisionId();
+      server.last_decision_id = decision_id;
+      obs::JsonObject fields;
+      fields["request_index"] =
+          obs::JsonValue(static_cast<unsigned long long>(oi));
+      fields["game_id"] = obs::JsonValue(request.session.game_id);
+      fields["num_candidates"] =
+          obs::JsonValue(static_cast<unsigned long long>(open_view.size()));
+      fields["choice"] = obs::JsonValue(choice);
+      fields["target_server"] =
+          obs::JsonValue(static_cast<unsigned long long>(target));
+      const DecisionDetail& detail = PendingDecisionDetail();
+      if (detail.has_detail) {
+        obs::JsonArray candidates;
+        candidates.reserve(detail.candidates.size());
+        unsigned long long queries_total = 0, cache_hits_total = 0;
+        for (const CandidateJudgement& judgement : detail.candidates) {
+          obs::JsonObject entry;
+          entry["feasible"] = obs::JsonValue(judgement.feasible);
+          entry["memory_ok"] = obs::JsonValue(judgement.memory_ok);
+          entry["queries"] = obs::JsonValue(
+              static_cast<unsigned long long>(judgement.queries));
+          entry["cache_hits"] = obs::JsonValue(
+              static_cast<unsigned long long>(judgement.cache_hits));
+          entry["min_margin"] = obs::JsonValue(judgement.min_margin);
+          candidates.push_back(obs::JsonValue(std::move(entry)));
+          queries_total += judgement.queries;
+          cache_hits_total += judgement.cache_hits;
+        }
+        fields["candidates"] = obs::JsonValue(std::move(candidates));
+        fields["queries_total"] = obs::JsonValue(queries_total);
+        fields["cache_hits_total"] = obs::JsonValue(cache_hits_total);
+      }
+      obs::EventLog::Global().Append(obs::EventKind::kDecision, now,
+                                     decision_id, std::move(fields));
+    }
     const bool was_empty = server.sessions.empty();
     server.sessions.push_back(
         {request.session, oi, now + request.duration_min});
     if (was_empty) bill_and_update(target, now, /*now_empty=*/false);
-    mark_violations(server);
+    mark_violations(target, now);
     departures.emplace(now + request.duration_min, std::make_pair(target, oi));
   }
 
@@ -228,7 +369,15 @@ DynamicResult SimulateDynamicFleet(const core::ColocationLab& lab,
                            });
     GAUGUR_CHECK(it != server.sessions.end());
     server.sessions.erase(it);
-    mark_violations(server);
+    if (obs::Enabled()) {
+      obs::EventLog::Global().Append(
+          obs::EventKind::kDeparture, when, /*decision_id=*/0,
+          {{"server",
+            obs::JsonValue(static_cast<unsigned long long>(server_idx))},
+           {"request_index",
+            obs::JsonValue(static_cast<unsigned long long>(request_idx))}});
+    }
+    mark_violations(server_idx, when);
     bill_and_update(server_idx, when, server.sessions.empty());
   }
 
@@ -297,6 +446,47 @@ PlacementPolicy MakeBatchFeasiblePolicy(BatchFeasibility feasible) {
 
 PlacementPolicy MakeDedicatedPolicy() {
   return [](std::span<const Colocation>, const SessionRequest&) -> int {
+    return -1;
+  };
+}
+
+DecisionDetail& PendingDecisionDetail() {
+  thread_local DecisionDetail detail;
+  return detail;
+}
+
+PlacementPolicy MakeProvenancePolicy(const core::GAugurPredictor& predictor,
+                                     double qos_fps) {
+  return [&predictor, qos_fps](std::span<const Colocation> open_servers,
+                               const SessionRequest& arrival) -> int {
+    if (open_servers.empty()) {
+      // Still one arrival for the prediction cache's reuse window.
+      predictor.AdvanceArrivalEpoch();
+      return -1;
+    }
+    std::vector<Colocation> candidates;
+    candidates.reserve(open_servers.size());
+    for (const Colocation& content : open_servers) {
+      Colocation extended = content;
+      extended.push_back(arrival);
+      candidates.push_back(std::move(extended));
+    }
+    const std::vector<core::CandidateScore> scores =
+        predictor.ScoreCandidatesDetailed(qos_fps, candidates);
+    DecisionDetail& detail = PendingDecisionDetail();
+    detail.Clear();
+    if (obs::Enabled()) {
+      detail.has_detail = true;
+      detail.candidates.reserve(scores.size());
+      for (const core::CandidateScore& score : scores) {
+        detail.candidates.push_back({score.feasible, score.memory_ok,
+                                     score.queries, score.cache_hits,
+                                     score.min_margin});
+      }
+    }
+    for (std::size_t s = 0; s < scores.size(); ++s) {
+      if (scores[s].feasible) return static_cast<int>(s);
+    }
     return -1;
   };
 }

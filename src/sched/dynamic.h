@@ -21,6 +21,10 @@
 
 #include "gaugur/lab.h"
 
+namespace gaugur::core {
+class GAugurPredictor;
+}  // namespace gaugur::core
+
 namespace gaugur::sched {
 
 /// One session arrival in the workload trace.
@@ -93,5 +97,40 @@ PlacementPolicy MakeBatchFeasiblePolicy(BatchFeasibility feasible);
 
 /// The no-colocation policy: every session gets its own server.
 PlacementPolicy MakeDedicatedPolicy();
+
+/// How one candidate server fared in a provenance-aware policy's scoring
+/// pass (mirrors core::CandidateScore; kept separate so the event-log
+/// schema does not leak predictor internals).
+struct CandidateJudgement {
+  bool feasible = false;
+  bool memory_ok = false;
+  std::uint32_t queries = 0;
+  std::uint32_t cache_hits = 0;
+  double min_margin = 0.0;
+};
+
+/// Side channel between a provenance-aware policy and the fleet
+/// simulator: the policy fills this during its call, and
+/// SimulateDynamicFleet folds it into the decision event it appends to
+/// obs::EventLog right after. Thread-local, cleared before every policy
+/// invocation; plain policies simply leave it empty.
+struct DecisionDetail {
+  bool has_detail = false;
+  std::vector<CandidateJudgement> candidates;
+  void Clear() {
+    has_detail = false;
+    candidates.clear();
+  }
+};
+DecisionDetail& PendingDecisionDetail();
+
+/// First-feasible admission over GAugurPredictor::ScoreCandidatesDetailed:
+/// placements are identical to MakeBatchFeasiblePolicy wired to
+/// ScoreCandidates, but every decision also publishes per-candidate
+/// provenance (memory screen, query/cache-hit counts, worst margin)
+/// through PendingDecisionDetail for the event log. `predictor` must
+/// outlive the policy.
+PlacementPolicy MakeProvenancePolicy(const core::GAugurPredictor& predictor,
+                                     double qos_fps);
 
 }  // namespace gaugur::sched

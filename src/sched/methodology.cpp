@@ -222,10 +222,36 @@ class SigmoidMethod final : public Methodology {
         });
   }
 
+  std::vector<char> FeasibleBatch(
+      double qos_fps,
+      std::span<const Colocation> candidates) const override {
+    std::vector<char> out(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      out[i] = ProfiledMemoryFits(*features_, candidates[i]) ? 1 : 0;
+    }
+    const VictimQueries vq = BuildVictimQueries(candidates, out);
+    const std::vector<double> fps = model_->PredictFpsBatch(vq.queries);
+    for (std::size_t q = 0; q < fps.size(); ++q) {
+      if (fps[q] < qos_fps) out[vq.query_candidate[q]] = 0;
+    }
+    return out;
+  }
+
   double PredictFps(
       const SessionRequest& victim,
       std::span<const SessionRequest> corunners) const override {
     return model_->PredictFps(victim, corunners.size());
+  }
+
+  std::vector<double> PredictFpsSums(
+      std::span<const Colocation> candidates) const override {
+    const VictimQueries vq = BuildVictimQueries(candidates);
+    const std::vector<double> fps = model_->PredictFpsBatch(vq.queries);
+    std::vector<double> sums(candidates.size(), 0.0);
+    for (std::size_t q = 0; q < fps.size(); ++q) {
+      sums[vq.query_candidate[q]] += fps[q];
+    }
+    return sums;
   }
 
  private:
@@ -251,10 +277,36 @@ class SmiteMethod final : public Methodology {
         });
   }
 
+  std::vector<char> FeasibleBatch(
+      double qos_fps,
+      std::span<const Colocation> candidates) const override {
+    std::vector<char> out(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      out[i] = ProfiledMemoryFits(*features_, candidates[i]) ? 1 : 0;
+    }
+    const VictimQueries vq = BuildVictimQueries(candidates, out);
+    const std::vector<double> fps = model_->PredictFpsBatch(vq.queries);
+    for (std::size_t q = 0; q < fps.size(); ++q) {
+      if (fps[q] < qos_fps) out[vq.query_candidate[q]] = 0;
+    }
+    return out;
+  }
+
   double PredictFps(
       const SessionRequest& victim,
       std::span<const SessionRequest> corunners) const override {
     return model_->PredictFps(victim, corunners);
+  }
+
+  std::vector<double> PredictFpsSums(
+      std::span<const Colocation> candidates) const override {
+    const VictimQueries vq = BuildVictimQueries(candidates);
+    const std::vector<double> fps = model_->PredictFpsBatch(vq.queries);
+    std::vector<double> sums(candidates.size(), 0.0);
+    for (std::size_t q = 0; q < fps.size(); ++q) {
+      sums[vq.query_candidate[q]] += fps[q];
+    }
+    return sums;
   }
 
  private:

@@ -107,6 +107,50 @@ TEST(PredictionCache, CapacityZeroDisables) {
   EXPECT_EQ(stats.evictions, 0u);
 }
 
+TEST(PredictionCache, MaxAgeExpiresEntriesOnLookup) {
+  PredictionCache cache(8, /*max_age_epochs=*/2);
+  cache.Insert(Key(1), {{}, 1.0});
+
+  // Age 0 and 1: still a hit.
+  ASSERT_NE(cache.Lookup(Key(1)), nullptr);
+  cache.AdvanceEpoch();
+  ASSERT_NE(cache.Lookup(Key(1)), nullptr);
+
+  // Age 2 == max_age: lazily expired, counted separately from evictions.
+  cache.AdvanceEpoch();
+  EXPECT_EQ(cache.Lookup(Key(1)), nullptr);
+  EXPECT_EQ(cache.Size(), 0u);
+  const auto stats = cache.GetStats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);  // the expiring lookup also counts a miss
+}
+
+TEST(PredictionCache, ReinsertResetsEntryAge) {
+  PredictionCache cache(8, /*max_age_epochs=*/2);
+  cache.Insert(Key(1), {{}, 1.0});
+  cache.AdvanceEpoch();
+  // Refresh at epoch 1: the age clock restarts.
+  cache.Insert(Key(1), {{}, 1.5});
+  cache.AdvanceEpoch();
+  const auto hit = cache.Lookup(Key(1));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->value, 1.5);
+  cache.AdvanceEpoch();
+  EXPECT_EQ(cache.Lookup(Key(1)), nullptr);
+  EXPECT_EQ(cache.GetStats().expired, 1u);
+}
+
+TEST(PredictionCache, MaxAgeZeroNeverExpires) {
+  PredictionCache cache(8);  // default: no age bound
+  cache.Insert(Key(1), {{}, 1.0});
+  for (int i = 0; i < 100; ++i) cache.AdvanceEpoch();
+  EXPECT_EQ(cache.Epoch(), 100u);
+  ASSERT_NE(cache.Lookup(Key(1)), nullptr);
+  EXPECT_EQ(cache.GetStats().expired, 0u);
+}
+
 TEST(PredictionCache, ConcurrentMixedWorkloadIsSafe) {
   PredictionCache cache(64);
   constexpr int kThreads = 4;

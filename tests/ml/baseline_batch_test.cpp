@@ -1,0 +1,208 @@
+// Batch-equivalence tests for the baseline models: Sigmoid and SMiTe
+// PredictFpsBatch / PredictDegradationBatch over an ml::MatrixView must
+// be bit-identical to the scalar entry points row by row — the same
+// contract the GAugur predictor's batch path honors, so the scheduler
+// methodology wrappers can switch every baseline to batched scoring
+// without changing a single placement verdict.
+//
+// Lives in tests/ml (not tests/pipeline) on purpose: the models here are
+// trained on a small synthetic catalog so the equivalence property is
+// pinned without the heavyweight profiling fixture.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "baselines/sigmoid_model.h"
+#include "baselines/smite_model.h"
+#include "gaugur/colocation.h"
+#include "gaugur/features.h"
+#include "ml/dataset.h"
+#include "resources/resolution.h"
+#include "resources/resource.h"
+
+namespace gaugur::baselines {
+namespace {
+
+using core::Colocation;
+using core::QosQuery;
+using core::SessionRequest;
+using resources::Resource;
+
+constexpr int kNumGames = 4;
+
+profiling::GameProfile MakeProfile(int id) {
+  profiling::GameProfile profile;
+  profile.game_id = id;
+  profile.name = "synthetic-" + std::to_string(id);
+  const double fps_720 = 150.0 - 9.0 * id;
+  const double fps_1080 = 120.0 - 7.0 * id;
+  profile.solo_fps_ref = fps_1080;
+  profile.solo_fps_model = resources::PixelLinearModel::FromTwoPoints(
+      resources::k720p, fps_720, resources::k1080p, fps_1080);
+  for (Resource r : resources::kAllResources) {
+    const std::size_t ri = resources::Index(r);
+    // Decreasing 3-point sensitivity curve, varied per game and resource.
+    const double floor = 0.35 + 0.05 * ((id + static_cast<int>(ri)) % 5);
+    profile.sensitivity[ri].degradation = {1.0, 0.5 * (1.0 + floor), floor};
+    const double i_720 = 0.05 + 0.04 * ((2 * id + static_cast<int>(ri)) % 4);
+    const double i_1080 = i_720 + 0.02 + 0.01 * (id % 3);
+    profile.intensity_ref[r] = i_1080;
+    profile.intensity_model[r] = resources::PixelLinearModel::FromTwoPoints(
+        resources::k720p, i_720, resources::k1080p, i_1080);
+  }
+  return profile;
+}
+
+core::FeatureBuilder MakeFeatures() {
+  std::vector<profiling::GameProfile> profiles;
+  for (int id = 0; id < kNumGames; ++id) profiles.push_back(MakeProfile(id));
+  return core::FeatureBuilder(std::move(profiles));
+}
+
+/// A small synthetic corpus: every pair and a few triples, with FPS
+/// values that degrade with colocation size and victim identity. The
+/// exact numbers don't matter — only that both models train and the
+/// batch path reproduces whatever they learned.
+std::vector<core::MeasuredColocation> MakeCorpus(
+    const core::FeatureBuilder& features) {
+  std::vector<core::MeasuredColocation> corpus;
+  auto add = [&](std::vector<int> ids) {
+    core::MeasuredColocation measured;
+    for (int id : ids) {
+      measured.sessions.push_back({id, resources::k1080p});
+    }
+    for (std::size_t v = 0; v < measured.sessions.size(); ++v) {
+      const auto& victim = measured.sessions[v];
+      const double solo =
+          features.Profile(victim.game_id).SoloFps(victim.resolution);
+      const double degradation = 0.97 -
+                                 0.09 * static_cast<double>(ids.size() - 1) -
+                                 0.015 * victim.game_id;
+      measured.fps.push_back(solo * degradation);
+    }
+    corpus.push_back(std::move(measured));
+  };
+  for (int a = 0; a < kNumGames; ++a) {
+    for (int b = a + 1; b < kNumGames; ++b) add({a, b});
+  }
+  add({0, 1, 2});
+  add({1, 2, 3});
+  add({0, 2, 3});
+  add({0, 1, 2, 3});
+  return corpus;
+}
+
+/// Query mix: varied victims, resolutions, and co-runner counts (including
+/// zero). The corunner storage must outlive the spans inside QosQuery.
+struct QuerySet {
+  std::vector<Colocation> storage;
+  std::vector<QosQuery> queries;
+};
+
+QuerySet MakeQueries() {
+  QuerySet set;
+  set.storage = {
+      {},
+      {{1, resources::k1080p}},
+      {{0, resources::k720p}, {3, resources::k1080p}},
+      {{1, resources::k1080p}, {2, resources::k720p}, {3, resources::k1080p}},
+  };
+  for (int id = 0; id < kNumGames; ++id) {
+    for (const Colocation& corunners : set.storage) {
+      set.queries.push_back(
+          {{id, id % 2 == 0 ? resources::k1080p : resources::k720p},
+           corunners});
+    }
+  }
+  return set;
+}
+
+class TrainedSyntheticBaselines : public ::testing::Test {
+ protected:
+  TrainedSyntheticBaselines()
+      : features_(MakeFeatures()), sigmoid_(features_), smite_(features_) {
+    const auto corpus = MakeCorpus(features_);
+    sigmoid_.Train(corpus);
+    smite_.Train(corpus);
+  }
+
+  core::FeatureBuilder features_;
+  SigmoidModel sigmoid_;
+  SmiteModel smite_;
+};
+
+TEST_F(TrainedSyntheticBaselines, SigmoidFpsBatchMatchesScalarBitForBit) {
+  const QuerySet set = MakeQueries();
+  const std::vector<double> batch = sigmoid_.PredictFpsBatch(set.queries);
+  ASSERT_EQ(batch.size(), set.queries.size());
+  for (std::size_t i = 0; i < set.queries.size(); ++i) {
+    const QosQuery& q = set.queries[i];
+    EXPECT_EQ(batch[i], sigmoid_.PredictFps(q.victim, q.corunners.size()))
+        << "query " << i;
+  }
+}
+
+TEST_F(TrainedSyntheticBaselines,
+       SigmoidDegradationBatchMatchesScalarBitForBit) {
+  const QuerySet set = MakeQueries();
+  std::vector<double> matrix;
+  for (const QosQuery& q : set.queries) {
+    matrix.push_back(static_cast<double>(q.victim.game_id));
+    matrix.push_back(static_cast<double>(q.corunners.size()));
+  }
+  std::vector<double> batch(set.queries.size());
+  sigmoid_.PredictDegradationBatch({matrix.data(), set.queries.size(), 2},
+                                   batch);
+  for (std::size_t i = 0; i < set.queries.size(); ++i) {
+    const QosQuery& q = set.queries[i];
+    EXPECT_EQ(batch[i],
+              sigmoid_.PredictDegradation(q.victim, q.corunners.size()))
+        << "query " << i;
+  }
+}
+
+TEST_F(TrainedSyntheticBaselines, SmiteFpsBatchMatchesScalarBitForBit) {
+  const QuerySet set = MakeQueries();
+  const std::vector<double> batch = smite_.PredictFpsBatch(set.queries);
+  ASSERT_EQ(batch.size(), set.queries.size());
+  for (std::size_t i = 0; i < set.queries.size(); ++i) {
+    const QosQuery& q = set.queries[i];
+    EXPECT_EQ(batch[i], smite_.PredictFps(q.victim, q.corunners))
+        << "query " << i;
+  }
+}
+
+TEST_F(TrainedSyntheticBaselines,
+       SmiteDegradationBatchMatchesScalarBitForBit) {
+  const QuerySet set = MakeQueries();
+  const std::vector<double> matrix = smite_.BuildFeatureMatrix(set.queries);
+  constexpr std::size_t kCols = resources::kNumResources + 1;
+  ASSERT_EQ(matrix.size(), set.queries.size() * kCols);
+  std::vector<double> batch(set.queries.size());
+  smite_.PredictDegradationBatch({matrix.data(), set.queries.size(), kCols},
+                                 batch);
+  for (std::size_t i = 0; i < set.queries.size(); ++i) {
+    const QosQuery& q = set.queries[i];
+    EXPECT_EQ(batch[i], smite_.PredictDegradation(q.victim, q.corunners))
+        << "query " << i;
+  }
+}
+
+TEST_F(TrainedSyntheticBaselines, EmptyBatchesReturnEmpty) {
+  EXPECT_TRUE(sigmoid_.PredictFpsBatch({}).empty());
+  EXPECT_TRUE(smite_.PredictFpsBatch({}).empty());
+}
+
+TEST(BaselineBatchUntrained, BatchEntryPointsThrow) {
+  const core::FeatureBuilder features = MakeFeatures();
+  const SigmoidModel sigmoid(features);
+  const SmiteModel smite(features);
+  EXPECT_THROW(sigmoid.PredictFpsBatch({}), std::logic_error);
+  EXPECT_THROW(smite.PredictFpsBatch({}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace gaugur::baselines

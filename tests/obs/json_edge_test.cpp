@@ -99,7 +99,7 @@ TEST(JsonEdgeTest, ParseRejectsMalformedDocuments) {
   EXPECT_THROW(JsonValue::Parse("nul"), JsonParseError);
 }
 
-TEST(JsonEdgeTest, RunReportV2DumpIsAFixedPoint) {
+TEST(JsonEdgeTest, RunReportDumpIsAFixedPoint) {
   EnabledScope on(true);
   ModelMonitor& monitor = ModelMonitor::Global();
   monitor.Reset();

@@ -1,0 +1,128 @@
+// Fleet time-series unit tests: bounded memory under overflow (halving
+// decimation), the min-gap thinning that follows it, newest-sample
+// retention, and the disabled no-op path.
+
+#include "obs/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "obs/switch.h"
+
+namespace gaugur::obs {
+namespace {
+
+ServerSample Sample(double tick, double fps = 60.0) {
+  ServerSample sample;
+  sample.tick = tick;
+  sample.slots.push_back({/*game_id=*/1, fps, {0.1, 0.2, 0.3, 0.4, 0.5,
+                                               0.6, 0.7}});
+  return sample;
+}
+
+TEST(FleetTimeSeries, RecordsAndReadsBack) {
+  EnabledScope on(true);
+  FleetTimeSeries ts({/*capacity_per_server=*/8});
+  ts.Record(0, Sample(1.0, 58.5));
+  ts.Record(0, Sample(2.0, 61.0));
+  ts.Record(3, Sample(1.5));
+
+  EXPECT_EQ(ts.NumServers(), 2u);
+  const std::vector<ServerSample> series = ts.Series(0);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].tick, 1.0);
+  EXPECT_EQ(series[0].slots[0].fps, 58.5);
+  EXPECT_EQ(series[0].slots[0].pressure.size(), 7u);
+  EXPECT_EQ(series[1].tick, 2.0);
+  EXPECT_TRUE(ts.Series(99).empty());
+
+  const FleetTimeSeries::Summary summary = ts.Summarize();
+  EXPECT_EQ(summary.servers, 2u);
+  EXPECT_EQ(summary.samples_seen, 3u);
+  EXPECT_EQ(summary.samples_kept, 3u);
+}
+
+TEST(FleetTimeSeries, OverflowHalvesButKeepsNewestAndCoverage) {
+  EnabledScope on(true);
+  constexpr std::size_t kCapacity = 16;
+  FleetTimeSeries ts({kCapacity});
+  constexpr int kSamples = 10000;
+  for (int i = 0; i < kSamples; ++i) {
+    ts.Record(0, Sample(static_cast<double>(i)));
+  }
+  const std::vector<ServerSample> series = ts.Series(0);
+  ASSERT_FALSE(series.empty());
+  EXPECT_LE(series.size(), kCapacity);
+
+  // The retained series tracks the present: the last kept sample is
+  // within one thinning gap of the newest recorded tick (a closer sample
+  // would have been kept).
+  EXPECT_GE(series.back().tick,
+            static_cast<double>(kSamples - 1) - ts.Summarize().max_gap);
+  // Ticks stay strictly increasing (decimation never reorders).
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_LT(series[i - 1].tick, series[i].tick);
+  }
+  // Coverage: the kept samples still span a large part of the horizon
+  // instead of clustering at the end.
+  EXPECT_LT(series.front().tick, kSamples / 2.0);
+
+  const FleetTimeSeries::Summary summary = ts.Summarize();
+  EXPECT_EQ(summary.samples_seen, static_cast<std::uint64_t>(kSamples));
+  EXPECT_LE(summary.samples_kept, kCapacity);
+  EXPECT_GT(summary.max_gap, 0.0);
+}
+
+TEST(FleetTimeSeries, MinGapThinsCloseSamples) {
+  EnabledScope on(true);
+  FleetTimeSeries ts({/*capacity_per_server=*/4});
+  // Fill to capacity to trigger decimation and a non-zero min gap...
+  for (int i = 0; i < 8; ++i) {
+    ts.Record(0, Sample(static_cast<double>(i)));
+  }
+  const double gap = ts.Summarize().max_gap;
+  ASSERT_GT(gap, 0.0);
+  const std::size_t kept_before = ts.Series(0).size();
+  // ...then a burst of samples inside one gap: all but (at most) the
+  // first are dropped by thinning, so memory stays bounded.
+  const double last = ts.Series(0).back().tick;
+  for (int i = 1; i <= 100; ++i) {
+    ts.Record(0, Sample(last + gap * 0.001 * i));
+  }
+  EXPECT_LE(ts.Series(0).size(), kept_before + 1);
+}
+
+TEST(FleetTimeSeries, IdenticalTicksStayBounded) {
+  EnabledScope on(true);
+  FleetTimeSeries ts({/*capacity_per_server=*/4});
+  // Zero-span series (all samples at tick 0): the gap fallback still
+  // thins, the ring never exceeds capacity.
+  for (int i = 0; i < 1000; ++i) {
+    ts.Record(0, Sample(0.0));
+  }
+  EXPECT_LE(ts.Series(0).size(), 4u);
+}
+
+TEST(FleetTimeSeries, DisabledRecordIsNoOp) {
+  EnabledScope off(false);
+  FleetTimeSeries ts;
+  ts.Record(0, Sample(1.0));
+  EXPECT_EQ(ts.NumServers(), 0u);
+  EXPECT_EQ(ts.Summarize().samples_seen, 0u);
+}
+
+TEST(FleetTimeSeries, ConfigureEnforcesMinimumCapacityAndClears) {
+  EnabledScope on(true);
+  FleetTimeSeries ts({/*capacity_per_server=*/8});
+  ts.Record(0, Sample(1.0));
+  ts.Configure({/*capacity_per_server=*/2});
+  EXPECT_EQ(ts.NumServers(), 0u);
+  for (int i = 0; i < 50; ++i) {
+    ts.Record(0, Sample(static_cast<double>(i)));
+  }
+  EXPECT_LE(ts.Series(0).size(), 2u);
+}
+
+}  // namespace
+}  // namespace gaugur::obs
