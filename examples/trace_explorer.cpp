@@ -207,6 +207,26 @@ int ExplainViolation(const std::vector<Event>& events, std::size_t n) {
 
 }  // namespace
 
+void PrintUsage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: trace_explorer <events.jsonl> [report.json] [--violation N]\n"
+      "\n"
+      "Offline forensics over a fleet run's decision event log.\n"
+      "\n"
+      "  <events.jsonl>  event log written via obs::EventLog (e.g. by the\n"
+      "                  quickstart example)\n"
+      "  [report.json]   optional RunReport; prints its forensics summary\n"
+      "  --violation N   explain the N-th qos_violation event (0-based):\n"
+      "                  the placement decision that caused it, what the\n"
+      "                  predictor believed about every candidate, and the\n"
+      "                  resource/offender the attribution blames\n"
+      "  --help          print this message\n"
+      "\n"
+      "Without --violation, prints the run summary and the per-server\n"
+      "fleet timeline.\n");
+}
+
 int main(int argc, char** argv) {
   std::string events_path;
   std::string report_path;
@@ -214,19 +234,35 @@ int main(int argc, char** argv) {
   std::size_t violation_index = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--violation" && i + 1 < argc) {
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(stdout);
+      return 0;
+    }
+    if (arg == "--violation") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--violation needs an index argument\n\n");
+        PrintUsage(stderr);
+        return 2;
+      }
       explain = true;
       violation_index = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+      // Unknown flags must not silently fall through as file paths.
+      std::fprintf(stderr, "unknown flag %s\n\n", arg.c_str());
+      PrintUsage(stderr);
+      return 2;
     } else if (events_path.empty()) {
       events_path = arg;
-    } else {
+    } else if (report_path.empty()) {
       report_path = arg;
+    } else {
+      std::fprintf(stderr, "unexpected extra argument %s\n\n", arg.c_str());
+      PrintUsage(stderr);
+      return 2;
     }
   }
   if (events_path.empty()) {
-    std::fprintf(stderr,
-                 "usage: trace_explorer <events.jsonl> [report.json] "
-                 "[--violation N]\n");
+    PrintUsage(stderr);
     return 2;
   }
 

@@ -1,52 +1,182 @@
 #include "ml/tree_kernel.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
+#include <string>
 
 #include "common/check.h"
 #include "ml/decision_tree.h"
+#include "ml/tree_kernel_simd.h"
 
 namespace gaugur::ml {
+
+namespace {
+
+/// Portable block descent: four independent descents in flight per
+/// iteration. The fixed per-tree level count (leaf chains pad every
+/// path) lets every lane take the same step count, and the
+/// child-adjacent layout keeps each step a compare-and-add with no
+/// data-dependent branch to mispredict. This is the semantic reference
+/// the SSE/AVX2 kernels must match bit for bit.
+void AccumulateTreeScalar(const FlatNode* nodes, const double* value,
+                          std::int32_t root, std::int32_t levels,
+                          const double* data, std::size_t rows,
+                          std::size_t cols, double* out, double scale) {
+  std::size_t i = 0;
+  for (; i + 4 <= rows; i += 4) {
+    const double* r0 = data + i * cols;
+    const double* r1 = r0 + cols;
+    const double* r2 = r1 + cols;
+    const double* r3 = r2 + cols;
+    std::int32_t n0 = root, n1 = root, n2 = root, n3 = root;
+    for (std::int32_t d = 0; d < levels; ++d) {
+      const FlatNode a = nodes[n0];
+      const FlatNode b = nodes[n1];
+      const FlatNode c = nodes[n2];
+      const FlatNode e = nodes[n3];
+      n0 = a.child + static_cast<std::int32_t>(r0[a.feature] > a.threshold);
+      n1 = b.child + static_cast<std::int32_t>(r1[b.feature] > b.threshold);
+      n2 = c.child + static_cast<std::int32_t>(r2[c.feature] > c.threshold);
+      n3 = e.child + static_cast<std::int32_t>(r3[e.feature] > e.threshold);
+    }
+    out[i] += scale * value[n0];
+    out[i + 1] += scale * value[n1];
+    out[i + 2] += scale * value[n2];
+    out[i + 3] += scale * value[n3];
+  }
+  for (; i < rows; ++i) {
+    const double* row = data + i * cols;
+    std::int32_t idx = root;
+    for (std::int32_t d = 0; d < levels; ++d) {
+      const FlatNode& n = nodes[idx];
+      idx = n.child +
+            static_cast<std::int32_t>(row[n.feature] > n.threshold);
+    }
+    out[i] += scale * value[idx];
+  }
+}
+
+/// Strongest tier the running CPU can execute, within what this build
+/// compiled in.
+SimdTier DetectCpuTier() {
+#if defined(GAUGUR_SIMD_X86)
+  if (__builtin_cpu_supports("avx2")) return SimdTier::kAvx2;
+  if (__builtin_cpu_supports("sse4.2")) return SimdTier::kSse;
+#endif
+  return SimdTier::kScalar;
+}
+
+/// -1 = automatic dispatch, else the int value of the forced SimdTier.
+std::atomic<int> g_forced_tier{-1};
+
+}  // namespace
+
+const char* SimdTierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return "scalar";
+    case SimdTier::kSse:
+      return "sse";
+    case SimdTier::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+SimdTier SimdTierFromString(const char* value, SimdTier fallback) {
+  if (value == nullptr) return fallback;
+  const std::string v(value);
+  if (v == "off" || v == "scalar") return SimdTier::kScalar;
+  if (v == "sse") return SimdTier::kSse;
+  if (v == "avx2") return SimdTier::kAvx2;
+  return fallback;
+}
+
+SimdTier FlatForest::SupportedTier() {
+  static const SimdTier tier = DetectCpuTier();
+  return tier;
+}
+
+SimdTier FlatForest::ActiveTier() {
+  const int forced = g_forced_tier.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<SimdTier>(forced);
+  static const SimdTier detected = std::min(
+      SupportedTier(),
+      SimdTierFromString(std::getenv("GAUGUR_SIMD"), SimdTier::kAvx2));
+  return detected;
+}
+
+void FlatForest::ForceTier(std::optional<SimdTier> tier) {
+  if (!tier.has_value()) {
+    g_forced_tier.store(-1, std::memory_order_relaxed);
+    return;
+  }
+  GAUGUR_CHECK_MSG(*tier <= SupportedTier(),
+                   "ForceTier(" << SimdTierName(*tier)
+                                << ") beyond supported tier "
+                                << SimdTierName(SupportedTier()));
+  g_forced_tier.store(static_cast<int>(*tier), std::memory_order_relaxed);
+}
 
 void FlatForest::Add(const TreeModel& tree) {
   GAUGUR_CHECK_MSG(tree.IsFitted(), "FlatForest::Add on an unfitted tree");
   const auto& nodes = tree.Nodes();
   const auto base = static_cast<std::int32_t>(nodes_.size());
-  nodes_.resize(nodes_.size() + nodes.size());
-  value_.resize(value_.size() + nodes.size());
-
-  // Breadth-first renumbering that places each split's children in
-  // adjacent slots, so a descent step is `child + (x > threshold)` with
-  // no branch and no second child pointer.
-  std::vector<std::int32_t> slot(nodes.size(), 0);
-  std::vector<std::int32_t> order;  // original indices in BFS order
-  order.reserve(nodes.size());
-  order.push_back(0);
-  slot[0] = base;
-  std::int32_t next = base + 1;
-  for (std::size_t q = 0; q < order.size(); ++q) {
-    const TreeNode& node = nodes[static_cast<std::size_t>(order[q])];
-    const std::int32_t self = slot[static_cast<std::size_t>(order[q])];
-    if (node.feature < 0) {
-      // Leaf self-loop: stepping adds (x[0] > +inf) == 0 forever.
-      nodes_[static_cast<std::size_t>(self)] = {
-          std::numeric_limits<double>::infinity(), 0, self};
-      value_[static_cast<std::size_t>(self)] = node.value;
-    } else {
-      slot[static_cast<std::size_t>(node.left)] = next;
-      slot[static_cast<std::size_t>(node.right)] = next + 1;
-      nodes_[static_cast<std::size_t>(self)] = {node.threshold,
-                                                node.feature, next};
-      next += 2;
-      order.push_back(node.left);
-      order.push_back(node.right);
-      max_feature_ =
-          std::max(max_feature_, static_cast<std::size_t>(node.feature));
-    }
-  }
-  roots_.push_back(base);
   // Depth() counts levels including the root; descents are one fewer.
-  levels_.push_back(tree.Depth() - 1);
+  const std::int32_t levels = tree.Depth() - 1;
+  roots_.push_back(base);
+  levels_.push_back(levels);
+  level_index_.push_back(static_cast<std::int32_t>(level_base_.size()));
+
+  // Level-by-level renumbering: every node of descent depth d —
+  // including copies of leaves that ended shallower — occupies one
+  // contiguous segment, children of a split land adjacent in the next
+  // segment, and a leaf at depth k < levels is chained downward (one
+  // copy per deeper level, threshold +inf so the step adds 0). Every
+  // descent is exactly `levels` steps and step d of a row block reads
+  // only level d's segment.
+  std::vector<std::int32_t> cur{0};  // original node ids at this level
+  std::vector<std::int32_t> next;
+  std::int32_t cur_base = base;
+  for (std::int32_t d = 0; d <= levels; ++d) {
+    level_base_.push_back(cur_base);
+    const std::int32_t next_base =
+        cur_base + static_cast<std::int32_t>(cur.size());
+    nodes_.resize(static_cast<std::size_t>(next_base));
+    value_.resize(static_cast<std::size_t>(next_base));
+    next.clear();
+    for (std::size_t q = 0; q < cur.size(); ++q) {
+      const TreeNode& node = nodes[static_cast<std::size_t>(cur[q])];
+      const auto self =
+          static_cast<std::size_t>(cur_base + static_cast<std::int32_t>(q));
+      if (node.feature < 0) {
+        // Leaf: self-loop at the last level, chain one level down
+        // otherwise. Copies carry the leaf value too, so any level's
+        // record is self-describing.
+        const std::int32_t child =
+            d == levels
+                ? static_cast<std::int32_t>(self)
+                : next_base + static_cast<std::int32_t>(next.size());
+        nodes_[self] = {std::numeric_limits<double>::infinity(), 0, child};
+        value_[self] = node.value;
+        if (d < levels) next.push_back(cur[q]);
+      } else {
+        GAUGUR_CHECK_MSG(d < levels, "split below the tree's depth");
+        const std::int32_t child =
+            next_base + static_cast<std::int32_t>(next.size());
+        nodes_[self] = {node.threshold, node.feature, child};
+        next.push_back(node.left);
+        next.push_back(node.right);
+        max_feature_ =
+            std::max(max_feature_, static_cast<std::size_t>(node.feature));
+      }
+    }
+    cur.swap(next);
+    cur_base = next_base;
+  }
 }
 
 void FlatForest::Clear() {
@@ -54,7 +184,28 @@ void FlatForest::Clear() {
   value_.clear();
   roots_.clear();
   levels_.clear();
+  level_base_.clear();
+  level_index_.clear();
   max_feature_ = 0;
+}
+
+std::int32_t FlatForest::NumLevels(std::size_t t) const {
+  GAUGUR_CHECK(t < roots_.size());
+  return levels_[t] + 1;
+}
+
+std::pair<std::int32_t, std::int32_t> FlatForest::LevelSpan(
+    std::size_t t, std::int32_t d) const {
+  GAUGUR_CHECK(t < roots_.size());
+  GAUGUR_CHECK(d >= 0 && d <= levels_[t]);
+  const auto first = static_cast<std::size_t>(level_index_[t] + d);
+  const std::int32_t begin = level_base_[first];
+  // Segments are laid out consecutively (across trees too), so the next
+  // recorded base is this segment's end.
+  const std::int32_t end = first + 1 < level_base_.size()
+                               ? level_base_[first + 1]
+                               : static_cast<std::int32_t>(nodes_.size());
+  return {begin, end};
 }
 
 void FlatForest::CheckWidth(std::size_t cols) const {
@@ -70,7 +221,7 @@ double FlatForest::PredictTree(std::size_t t,
   std::int32_t idx = roots_[t];
   const std::int32_t levels = levels_[t];
   for (std::int32_t d = 0; d < levels; ++d) {
-    const Node& n = nodes_[static_cast<std::size_t>(idx)];
+    const FlatNode& n = nodes_[static_cast<std::size_t>(idx)];
     idx = n.child + static_cast<std::int32_t>(
                         x[static_cast<std::size_t>(n.feature)] > n.threshold);
   }
@@ -89,57 +240,43 @@ double FlatForest::PredictRowSum(std::span<const double> x) const {
 void FlatForest::AccumulateTreeBatch(std::size_t t, MatrixView x,
                                      std::span<double> out,
                                      double scale) const {
+  AccumulateTreeBatchTier(t, x, out, scale, ActiveTier());
+}
+
+void FlatForest::AccumulateTreeBatchTier(std::size_t t, MatrixView x,
+                                         std::span<double> out, double scale,
+                                         SimdTier tier) const {
   CheckWidth(x.cols);
   GAUGUR_CHECK(out.size() == x.rows);
   const std::int32_t root = roots_[t];
   const std::int32_t levels = levels_[t];
-  const std::size_t cols = x.cols;
-  const double* data = x.data;
-  const Node* nodes = nodes_.data();
+  const FlatNode* nodes = nodes_.data();
   const double* value = value_.data();
-
-  // Four independent descents in flight per iteration: the self-looping
-  // leaves let every lane take the same fixed level count, and the
-  // child-adjacent layout keeps each step a compare-and-add with no
-  // data-dependent branch to mispredict.
-  std::size_t i = 0;
-  for (; i + 4 <= x.rows; i += 4) {
-    const double* r0 = data + i * cols;
-    const double* r1 = r0 + cols;
-    const double* r2 = r1 + cols;
-    const double* r3 = r2 + cols;
-    std::int32_t n0 = root, n1 = root, n2 = root, n3 = root;
-    for (std::int32_t d = 0; d < levels; ++d) {
-      const Node a = nodes[n0];
-      const Node b = nodes[n1];
-      const Node c = nodes[n2];
-      const Node e = nodes[n3];
-      n0 = a.child + static_cast<std::int32_t>(r0[a.feature] > a.threshold);
-      n1 = b.child + static_cast<std::int32_t>(r1[b.feature] > b.threshold);
-      n2 = c.child + static_cast<std::int32_t>(r2[c.feature] > c.threshold);
-      n3 = e.child + static_cast<std::int32_t>(r3[e.feature] > e.threshold);
-    }
-    out[i] += scale * value[n0];
-    out[i + 1] += scale * value[n1];
-    out[i + 2] += scale * value[n2];
-    out[i + 3] += scale * value[n3];
+  switch (tier) {
+#if defined(GAUGUR_SIMD_X86)
+    case SimdTier::kAvx2:
+      detail::AccumulateTreeAvx2(nodes, value, root, levels, x.data, x.rows,
+                                 x.cols, out.data(), scale);
+      return;
+    case SimdTier::kSse:
+      detail::AccumulateTreeSse(nodes, value, root, levels, x.data, x.rows,
+                                x.cols, out.data(), scale);
+      return;
+#endif
+    default:
+      break;
   }
-  for (; i < x.rows; ++i) {
-    const double* row = data + i * cols;
-    std::int32_t idx = root;
-    for (std::int32_t d = 0; d < levels; ++d) {
-      const Node& n = nodes[idx];
-      idx = n.child +
-            static_cast<std::int32_t>(row[n.feature] > n.threshold);
-    }
-    out[i] += scale * value[idx];
-  }
+  AccumulateTreeScalar(nodes, value, root, levels, x.data, x.rows, x.cols,
+                       out.data(), scale);
 }
 
 void FlatForest::AccumulateBatch(MatrixView x, std::span<double> out,
                                  double scale) const {
+  // Resolve the tier once per batch: a concurrent ForceTier flip then
+  // switches kernels between trees at worst, never mid-tree.
+  const SimdTier tier = ActiveTier();
   for (std::size_t t = 0; t < roots_.size(); ++t) {
-    AccumulateTreeBatch(t, x, out, scale);
+    AccumulateTreeBatchTier(t, x, out, scale, tier);
   }
 }
 

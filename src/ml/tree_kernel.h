@@ -7,29 +7,51 @@
 // real feature data. FlatForest re-lays fitted trees into one contiguous
 // array shared by the whole ensemble and traverses it without branches:
 //
-//  * nodes are renumbered breadth-first so each split's two children sit
-//    in adjacent slots, collapsing the child choice to integer
-//    arithmetic: `idx = child + (x[feature] > threshold)` — a comisd/seta
-//    data dependency instead of a mispredicting jump;
+//  * nodes are renumbered **level by level**: all nodes of descent depth
+//    d of a tree occupy one contiguous segment (LevelSpan), each split's
+//    two children sit in adjacent slots of the next segment, and leaves
+//    that end shallower than the tree's depth are chained downward (one
+//    16-byte copy per deeper level, threshold +inf so the step adds 0).
+//    Every root-to-leaf walk is therefore exactly the same fixed number
+//    of steps, and step d of a whole row block touches only level d's
+//    segment — one contiguous stream instead of a scatter across the
+//    tree;
+//  * the child choice collapses to integer arithmetic:
+//    `idx = child + (x[feature] > threshold)` — a comisd/seta data
+//    dependency instead of a mispredicting jump;
 //  * each node packs {threshold, feature, child} into 16 bytes, so one
 //    descent step touches a single node cache line plus the row value it
 //    compares against; leaf values live in a separate array indexed by
 //    the final position;
-//  * leaves self-loop (`child` points at the leaf itself, threshold
-//    +inf so the step adds 0), which makes the descent a fixed-count
-//    loop per tree level — no per-node leaf test, no early exits;
 //  * batch entry points iterate trees-outer / rows-inner so one tree's
-//    nodes stay hot in cache across the whole batch, with the rows
-//    unrolled four wide for instruction-level parallelism.
+//    levels stay hot in cache across the whole batch, with the rows
+//    processed in blocks of independent descents for instruction-level
+//    parallelism.
 //
-// Accumulation order matches the scalar ensemble loops exactly (per row:
-// tree 0, tree 1, ... with the same `out += scale * leaf` operation), so
-// batch results are bit-identical to row-by-row Predict — the property
-// the batch-equivalence tests pin down.
+// The block descent has three interchangeable implementations selected
+// once at startup (AVX2 gathers over 64-row blocks, SSE compares over
+// 16-row blocks, portable 4-row scalar unroll — see SimdTier below;
+// the SIMD blocks are wide to keep many independent descent chains in
+// flight, hiding each chain's serial gather -> compare -> advance
+// latency). All
+// tiers execute the identical recurrence with the identical float
+// compare (`x > threshold`; NaN compares false, so every kernel sends a
+// NaN feature down the left child — note TreeModel::Predict's
+// `x <= threshold` form would send it right, which is why the ensembles
+// route their scalar paths through FlatForest too) and the identical
+// `out += scale * leaf` accumulation (separate multiply and add, never
+// an FMA), so predictions are bit-identical across tiers and match the
+// scalar ensemble loops exactly (per row: tree 0, tree 1, ...) — the
+// property the batch-equivalence and simd_kernel test suites pin down,
+// and the contract the PredictionCache and obs::ModelMonitor depend on
+// (a memoized or audited value never depends on which kernel produced
+// it).
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "ml/dataset.h"
@@ -37,6 +59,31 @@
 namespace gaugur::ml {
 
 class TreeModel;
+
+/// Descent-kernel implementation tiers, ordered weakest to strongest.
+/// Dispatch picks the strongest tier the build, the CPU, and the
+/// GAUGUR_SIMD environment cap (`off`/`scalar`, `sse`, `avx2`) all
+/// allow. Every tier returns bit-identical predictions.
+enum class SimdTier : int { kScalar = 0, kSse = 1, kAvx2 = 2 };
+
+const char* SimdTierName(SimdTier tier);
+
+/// Maps a GAUGUR_SIMD-style string to the tier it caps dispatch at:
+/// "off"/"scalar" -> kScalar, "sse" -> kSse, "avx2" -> kAvx2. Unknown or
+/// empty values leave dispatch uncapped (returns `fallback`).
+SimdTier SimdTierFromString(const char* value, SimdTier fallback);
+
+/// One packed split/leaf record. `child` is the index of the left child;
+/// the right child is `child + 1` (children adjacent in the next level's
+/// segment). Leaves carry threshold == +inf so the descent step adds 0:
+/// at the tree's last level they self-loop (child == own index), at
+/// shallower levels `child` points at the leaf's copy one level down.
+struct alignas(16) FlatNode {
+  double threshold = 0.0;
+  std::int32_t feature = 0;  // leaves use feature 0
+  std::int32_t child = 0;
+};
+static_assert(sizeof(FlatNode) == 16);
 
 class FlatForest {
  public:
@@ -53,6 +100,19 @@ class FlatForest {
   /// row width against this once instead of per node.
   std::size_t MaxFeature() const { return max_feature_; }
 
+  /// The packed node array in level order; read-only structural view for
+  /// tests and inspection tooling.
+  std::span<const FlatNode> Nodes() const { return nodes_; }
+
+  /// Number of node levels of tree `t` (tree depth); descents take one
+  /// step fewer.
+  std::int32_t NumLevels(std::size_t t) const;
+
+  /// Half-open node-index span [begin, end) of descent level `d` of
+  /// tree `t`: the contiguous segment a row block's step `d` reads.
+  std::pair<std::int32_t, std::int32_t> LevelSpan(std::size_t t,
+                                                  std::int32_t d) const;
+
   /// Leaf value of tree `t` for one row (the batch-of-one scalar path).
   double PredictTree(std::size_t t, std::span<const double> x) const;
 
@@ -60,32 +120,49 @@ class FlatForest {
   /// order (matches the scalar ensemble loops bit for bit).
   double PredictRowSum(std::span<const double> x) const;
 
-  /// out[i] += scale * tree_t(x.Row(i)) for every row.
+  /// out[i] += scale * tree_t(x.Row(i)) for every row, via ActiveTier().
   void AccumulateTreeBatch(std::size_t t, MatrixView x,
                            std::span<double> out, double scale) const;
+
+  /// AccumulateTreeBatch pinned to one kernel tier (<= SupportedTier()),
+  /// ignoring ActiveTier(). Bench/test hook for variant comparisons.
+  void AccumulateTreeBatchTier(std::size_t t, MatrixView x,
+                               std::span<double> out, double scale,
+                               SimdTier tier) const;
 
   /// Applies AccumulateTreeBatch for every tree in order: trees outer,
   /// rows inner.
   void AccumulateBatch(MatrixView x, std::span<double> out,
                        double scale) const;
 
- private:
-  /// One packed split/leaf record. `child` is the index of the left
-  /// child; the right child is `child + 1` (BFS pair layout). Leaves
-  /// self-loop: child == own index, threshold == +inf.
-  struct alignas(16) Node {
-    double threshold = 0.0;
-    std::int32_t feature = 0;  // leaves use feature 0
-    std::int32_t child = 0;
-  };
-  static_assert(sizeof(Node) == 16);
+  /// Strongest tier this build + CPU can execute (compile-time
+  /// GAUGUR_NO_SIMD gate, then CPUID).
+  static SimdTier SupportedTier();
 
+  /// Tier the batch entry points dispatch to: the ForceTier override
+  /// when set, else SupportedTier() capped by the GAUGUR_SIMD
+  /// environment variable (read once).
+  static SimdTier ActiveTier();
+
+  /// Process-wide dispatch override for benches and tests; `tier` must
+  /// be <= SupportedTier(). std::nullopt restores automatic dispatch.
+  /// Thread-safe (relaxed atomic), but flipping it concurrently with
+  /// in-flight batches simply makes those batches pick either kernel —
+  /// results are bit-identical regardless.
+  static void ForceTier(std::optional<SimdTier> tier);
+
+ private:
   void CheckWidth(std::size_t cols) const;
 
-  std::vector<Node> nodes_;
-  std::vector<double> value_;        // leaf value; 0 for splits
-  std::vector<std::int32_t> roots_;  // per-tree root node index
-  std::vector<std::int32_t> levels_; // per-tree descent count
+  std::vector<FlatNode> nodes_;
+  std::vector<double> value_;         // leaf value; 0 for splits
+  std::vector<std::int32_t> roots_;   // per-tree root node index
+  std::vector<std::int32_t> levels_;  // per-tree descent count
+  /// Flat list of level-segment start offsets; tree t's levels begin at
+  /// level_index_[t] and segments are contiguous, so a segment's end is
+  /// the next entry's start (or nodes_.size() for the very last one).
+  std::vector<std::int32_t> level_base_;
+  std::vector<std::int32_t> level_index_;
   std::size_t max_feature_ = 0;
 };
 

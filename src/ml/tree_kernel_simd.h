@@ -1,0 +1,42 @@
+// Internal contract between FlatForest's dispatcher (tree_kernel.cpp)
+// and the per-ISA descent kernels (tree_kernel_sse.cpp compiled with
+// -msse4.2, tree_kernel_avx2.cpp compiled with -mavx2). These TUs exist
+// only when the build enables GAUGUR_SIMD_X86; the dispatcher never
+// calls a kernel the running CPU cannot execute.
+//
+// Every kernel implements the same operation as the portable scalar
+// block descent in tree_kernel.cpp, over the rows of one row-major
+// matrix against one tree:
+//
+//   for each row i: walk `levels` steps from `root` following
+//     idx = nodes[idx].child + (row[nodes[idx].feature] >
+//                               nodes[idx].threshold)
+//   then out[i] += scale * value[idx]   (separate multiply and add)
+//
+// and must keep the results bit-identical to that scalar kernel: same
+// ordered `>` compare (NaN descends left), no FMA contraction in the
+// accumulation, rows accumulated in index order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ml/tree_kernel.h"
+
+namespace gaugur::ml::detail {
+
+#if defined(GAUGUR_SIMD_X86)
+
+void AccumulateTreeSse(const FlatNode* nodes, const double* value,
+                       std::int32_t root, std::int32_t levels,
+                       const double* data, std::size_t rows,
+                       std::size_t cols, double* out, double scale);
+
+void AccumulateTreeAvx2(const FlatNode* nodes, const double* value,
+                        std::int32_t root, std::int32_t levels,
+                        const double* data, std::size_t rows,
+                        std::size_t cols, double* out, double scale);
+
+#endif  // GAUGUR_SIMD_X86
+
+}  // namespace gaugur::ml::detail

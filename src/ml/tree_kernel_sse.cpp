@@ -1,0 +1,94 @@
+// SSE4.2 descent kernel: sixteen rows per block as eight 2-lane double
+// vectors. SSE has no gather, so node fields and feature values are
+// assembled with scalar loads (the level-ordered layout keeps them in
+// one or two cache lines per step); the left-or-right choice is still
+// branchless — a packed _mm_cmpgt_pd plus movemask turns both lanes'
+// compares into two index-add bits with no data-dependent jump.
+//
+// Sixteen rows in flight (vs the scalar kernel's four) matter for the
+// same reason as in the AVX2 kernel: each row's descent is a serial
+// load -> compare -> advance chain, and the extra independent chains
+// keep the load ports fed while each chain waits out its own latency.
+// The per-row state lives in small arrays whose constant-trip loops the
+// compiler unrolls. Short remainders run a 4-row pass, then row-at-a-
+// time scalar.
+//
+// Bit-identicality with the scalar kernel: _mm_cmpgt_pd matches the
+// ordered `>` (NaN compares false), and accumulation is an explicit
+// _mm_mul_pd followed by _mm_add_pd — one rounding each, identical to
+// `out[i] += scale * value[idx]`, never contracted into an FMA
+// (-msse4.2 has no FMA).
+#include "ml/tree_kernel_simd.h"
+
+#if defined(GAUGUR_SIMD_X86)
+
+#include <emmintrin.h>
+
+namespace gaugur::ml::detail {
+
+namespace {
+
+/// One block of R rows (R even) starting at `data`, descended level by
+/// level in lockstep. Force-inlined: out of line the constant-R loops
+/// stay rolled and the index state spills (same effect as in the AVX2
+/// kernel, ~2x there).
+template <int R>
+__attribute__((always_inline)) inline void DescendBlock(const FlatNode* nodes, const double* value,
+                  std::int32_t root, std::int32_t levels,
+                  const double* data, std::size_t cols, double* out,
+                  __m128d vscale) {
+  const double* row[R];
+  row[0] = data;
+  for (int u = 1; u < R; ++u) row[u] = row[u - 1] + cols;
+  std::int32_t idx[R];
+  for (int u = 0; u < R; ++u) idx[u] = root;
+  for (std::int32_t d = 0; d < levels; ++d) {
+    for (int u = 0; u < R; u += 2) {
+      const FlatNode a = nodes[idx[u]];
+      const FlatNode b = nodes[idx[u + 1]];
+      const __m128d x =
+          _mm_set_pd(row[u + 1][b.feature], row[u][a.feature]);
+      const __m128d t = _mm_set_pd(b.threshold, a.threshold);
+      const int m = _mm_movemask_pd(_mm_cmpgt_pd(x, t));
+      idx[u] = a.child + (m & 1);
+      idx[u + 1] = b.child + (m >> 1);
+    }
+  }
+  for (int u = 0; u < R; u += 2) {
+    const __m128d leaf = _mm_set_pd(value[idx[u + 1]], value[idx[u]]);
+    _mm_storeu_pd(out + u, _mm_add_pd(_mm_loadu_pd(out + u),
+                                      _mm_mul_pd(vscale, leaf)));
+  }
+}
+
+}  // namespace
+
+void AccumulateTreeSse(const FlatNode* nodes, const double* value,
+                       std::int32_t root, std::int32_t levels,
+                       const double* data, std::size_t rows,
+                       std::size_t cols, double* out, double scale) {
+  const __m128d vscale = _mm_set1_pd(scale);
+  std::size_t i = 0;
+  for (; i + 16 <= rows; i += 16) {
+    DescendBlock<16>(nodes, value, root, levels, data + i * cols, cols,
+                     out + i, vscale);
+  }
+  for (; i + 4 <= rows; i += 4) {
+    DescendBlock<4>(nodes, value, root, levels, data + i * cols, cols,
+                    out + i, vscale);
+  }
+  for (; i < rows; ++i) {
+    const double* row = data + i * cols;
+    std::int32_t idx = root;
+    for (std::int32_t d = 0; d < levels; ++d) {
+      const FlatNode& n = nodes[idx];
+      idx = n.child +
+            static_cast<std::int32_t>(row[n.feature] > n.threshold);
+    }
+    out[i] += scale * value[idx];
+  }
+}
+
+}  // namespace gaugur::ml::detail
+
+#endif  // GAUGUR_SIMD_X86

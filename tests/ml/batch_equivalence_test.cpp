@@ -93,7 +93,9 @@ TEST(BatchEquivalence, FlatForestMatchesCanonicalTreeTraversal) {
   FlatForest flat;
   flat.Add(tree);
   ASSERT_EQ(flat.NumTrees(), 1u);
-  ASSERT_EQ(flat.NumNodes(), tree.Nodes().size());
+  // The level-ordered layout chains shallow leaves down to the tree's
+  // depth, so the flat form holds at least the original node count.
+  ASSERT_GE(flat.NumNodes(), tree.Nodes().size());
 
   const Dataset test = testing::MakeRegressionData(200, 42);
   std::vector<double> batch(test.NumRows(), 0.0);
