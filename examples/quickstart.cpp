@@ -14,6 +14,7 @@
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,7 @@
 #include "obs/event_log.h"
 #include "obs/model_monitor.h"
 #include "obs/report.h"
+#include "obs/sink.h"
 #include "obs/switch.h"
 #include "profiling/profiler.h"
 #include "sched/dynamic.h"
@@ -32,6 +34,14 @@
 using namespace gaugur;
 
 int main() {
+  // Optional streaming telemetry: with GAUGUR_SINK_DIR set, a background
+  // writer drains the event log / metrics / time series to rotating JSONL
+  // segments while the run progresses, instead of one dump at the end.
+  std::unique_ptr<obs::TelemetrySink> sink = obs::TelemetrySink::FromEnv();
+  if (sink != nullptr) {
+    std::printf("streaming telemetry to %s\n", sink->directory().c_str());
+  }
+
   // 1. The "machine room": 100 games and one GTX-1060-class server.
   const auto catalog = gamesim::GameCatalog::MakeDefault(/*seed=*/42);
   const gamesim::ServerSim server;
@@ -123,7 +133,21 @@ int main() {
       "%zu QoS-violated sessions\n",
       fleet.sessions, fleet.peak_servers, fleet.server_minutes,
       fleet.violated_sessions);
-  if (obs::Enabled() && !obs::EventLog::Global().Empty()) {
+  if (sink != nullptr) {
+    // The sink drained the rings as the run went; seal the segments and
+    // finalize the manifest instead of dumping a monolithic file.
+    sink->Stop();
+    const obs::Manifest manifest = sink->CurrentManifest();
+    std::size_t segments = 0;
+    for (const auto& [name, stream] : manifest.streams) {
+      segments += stream.segments.size();
+    }
+    std::printf(
+        "streamed telemetry: %zu segments across %zu streams in %s "
+        "(explore with trace_explorer %s)\n",
+        segments, manifest.streams.size(), sink->directory().c_str(),
+        sink->directory().c_str());
+  } else if (obs::Enabled() && !obs::EventLog::Global().Empty()) {
     const char* events_path = "bench_results/quickstart_events.jsonl";
     if (!obs::EventLog::Global().WriteJsonl(events_path)) {
       events_path = "quickstart_events.jsonl";

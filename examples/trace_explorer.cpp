@@ -1,6 +1,8 @@
-// trace_explorer: offline forensics over a fleet run's decision event
-// log (the JSONL file quickstart and SimulateDynamicFleet-based drivers
-// write via obs::EventLog).
+// trace_explorer: offline forensics over a fleet run's telemetry — the
+// monolithic JSONL event log quickstart writes by default, or a
+// streaming-sink manifest directory (segments + manifest.json, see
+// obs/stream.h). Manifest input is read lazily: views that only need a
+// tick window open just the segments whose manifest ranges overlap it.
 //
 // Default view: run summary + per-server timeline table (every event
 // that touches a server, in sequence order). With --violation N the tool
@@ -8,17 +10,26 @@
 // event: which decision placed the victim, what the predictor believed
 // about every candidate at that moment (queries, cache hits, margins),
 // and which resource / co-located offender the ground-truth attribution
-// blames for the dip.
+// blames for the dip. With --window S T it plots server S's realized
+// FPS and dominant-resource pressure for ±K ticks around tick T
+// (ASCII sparkline table), joined to the decisions and violations that
+// touched the server in that window.
 //
 // Usage:
-//   trace_explorer <events.jsonl> [report.json] [--violation N]
+//   trace_explorer <events.jsonl|sink_dir> [report.json]
+//                  [--violation N] [--window SERVER TICK] [--span K]
 //
 // Build & run:
 //   cmake --build build && ./build/examples/quickstart
 //   ./build/examples/trace_explorer bench_results/quickstart_events.jsonl
+//   GAUGUR_SINK_DIR=sink ./build/examples/quickstart
+//   ./build/examples/trace_explorer sink --window 0 120
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -28,11 +39,16 @@
 #include "common/table.h"
 #include "obs/event_log.h"
 #include "obs/report.h"
+#include "obs/stream.h"
+#include "resources/resource.h"
 
 using gaugur::obs::Event;
 using gaugur::obs::EventKind;
 using gaugur::obs::EventKindName;
 using gaugur::obs::JsonValue;
+using gaugur::obs::Manifest;
+using gaugur::obs::StreamManifest;
+using gaugur::obs::TimeseriesPoint;
 
 namespace {
 
@@ -51,7 +67,111 @@ std::string StrField(const Event& event, const char* key) {
 }
 
 long long ServerOf(const Event& event) {
+  if (event.kind == EventKind::kDecision) {
+    return static_cast<long long>(NumField(event, "target_server", -1.0));
+  }
   return static_cast<long long>(NumField(event, "server", -1.0));
+}
+
+/// Where the events come from: one JSONL file, or a sink directory whose
+/// manifest lets us open only the segments a view actually needs.
+struct TraceSource {
+  bool is_manifest = false;
+  std::string path;
+  Manifest manifest;
+  // Segment-read accounting, so the lazy-loading claim is checkable.
+  std::size_t event_segments_loaded = 0;
+  std::size_t timeseries_segments_loaded = 0;
+};
+
+bool OpenSource(const std::string& path, TraceSource* source) {
+  source->path = path;
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    source->is_manifest = true;
+    if (!Manifest::Load(path, &source->manifest)) {
+      std::fprintf(stderr, "cannot read %s/%s\n", path.c_str(),
+                   gaugur::obs::kManifestFileName);
+      return false;
+    }
+    return true;
+  }
+  source->is_manifest = false;
+  return true;
+}
+
+const StreamManifest* FindStream(const TraceSource& source,
+                                 const char* name) {
+  const auto it = source.manifest.streams.find(name);
+  return it == source.manifest.streams.end() ? nullptr : &it->second;
+}
+
+/// Loads the given event segments (by index) and merges them seq-sorted.
+bool LoadEventSegments(TraceSource& source,
+                       const std::vector<std::size_t>& indices,
+                       std::vector<Event>* out) {
+  const StreamManifest* stream = FindStream(source, gaugur::obs::kEventsStream);
+  if (stream == nullptr) return true;
+  for (std::size_t i : indices) {
+    const std::string path = source.path + "/" + stream->segments[i].file;
+    std::vector<Event> part;
+    if (!gaugur::obs::EventLog::ReadJsonl(path, &part)) {
+      std::fprintf(stderr, "cannot read segment %s\n", path.c_str());
+      return false;
+    }
+    out->insert(out->end(), part.begin(), part.end());
+    ++source.event_segments_loaded;
+  }
+  std::sort(out->begin(), out->end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  return true;
+}
+
+std::vector<std::size_t> AllSegmentIndices(const StreamManifest* stream) {
+  std::vector<std::size_t> indices;
+  if (stream == nullptr) return indices;
+  for (std::size_t i = 0; i < stream->segments.size(); ++i) {
+    indices.push_back(i);
+  }
+  return indices;
+}
+
+/// Whole-log views (timeline, --violation): every event segment.
+bool LoadAllEvents(TraceSource& source, std::vector<Event>* out) {
+  if (!source.is_manifest) {
+    return gaugur::obs::EventLog::ReadJsonl(source.path, out);
+  }
+  return LoadEventSegments(
+      source, AllSegmentIndices(FindStream(source, gaugur::obs::kEventsStream)),
+      out);
+}
+
+/// Timeseries points overlapping [lo, hi], reading only the segments
+/// whose manifest tick range intersects the window.
+bool LoadTimeseriesWindow(TraceSource& source, double lo, double hi,
+                          std::vector<TimeseriesPoint>* out) {
+  const StreamManifest* stream =
+      FindStream(source, gaugur::obs::kTimeseriesStream);
+  if (stream == nullptr) return true;
+  for (std::size_t i : gaugur::obs::SelectSegmentsByTick(*stream, lo, hi)) {
+    const std::string path = source.path + "/" + stream->segments[i].file;
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read segment %s\n", path.c_str());
+      return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const std::vector<TimeseriesPoint> part =
+        gaugur::obs::ParseTimeseriesJsonl(text.str());
+    out->insert(out->end(), part.begin(), part.end());
+    ++source.timeseries_segments_loaded;
+  }
+  std::sort(out->begin(), out->end(),
+            [](const TimeseriesPoint& a, const TimeseriesPoint& b) {
+              return a.seq < b.seq;
+            });
+  return true;
 }
 
 /// One-line human description of an event's payload.
@@ -102,10 +222,7 @@ void PrintTimeline(const std::vector<Event>& events) {
                                "what"},
                               /*double_precision=*/2);
   for (const Event& event : events) {
-    long long server = ServerOf(event);
-    if (event.kind == EventKind::kDecision) {
-      server = static_cast<long long>(NumField(event, "target_server"));
-    }
+    const long long server = ServerOf(event);
     table.AddRow({static_cast<long long>(event.seq), event.tick,
                   server >= 0 ? gaugur::common::Cell(server)
                               : gaugur::common::Cell(std::string("-")),
@@ -205,26 +322,251 @@ int ExplainViolation(const std::vector<Event>& events, std::size_t n) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// The window view: ±K ticks of FPS + pressure around a point in time.
+
+constexpr int kBarWidth = 12;
+
+std::string Bar(double value, double lo, double hi) {
+  if (!(hi > lo)) return std::string(kBarWidth, '#');
+  const double unit = (value - lo) / (hi - lo);
+  const int n = static_cast<int>(
+      std::lround(std::clamp(unit, 0.0, 1.0) * kBarWidth));
+  return std::string(static_cast<std::size_t>(n), '#');
+}
+
+/// One row of the window plot, derived from a timeseries sample (or,
+/// for monolithic input with no timeseries stream, a violation event).
+struct WindowRow {
+  double tick = 0.0;
+  long long games = -1;  // -1 = unknown (violation-derived row)
+  double min_fps = 0.0;
+  std::string dominant;
+  double pressure = 0.0;
+};
+
+WindowRow RowFromSample(const gaugur::obs::ServerSample& sample) {
+  WindowRow row;
+  row.tick = sample.tick;
+  row.games = static_cast<long long>(sample.slots.size());
+  row.min_fps = sample.slots.empty() ? 0.0 : sample.slots.front().fps;
+  // Dominant resource: the largest equilibrium pressure any slot sees on
+  // any shared resource in this sample.
+  double best = -1.0;
+  std::size_t best_resource = 0;
+  for (const gaugur::obs::SlotSample& slot : sample.slots) {
+    row.min_fps = std::min(row.min_fps, slot.fps);
+    for (std::size_t r = 0;
+         r < slot.pressure.size() && r < gaugur::resources::kNumResources;
+         ++r) {
+      if (slot.pressure[r] > best) {
+        best = slot.pressure[r];
+        best_resource = r;
+      }
+    }
+  }
+  if (best >= 0.0) {
+    row.dominant = std::string(
+        gaugur::resources::Name(gaugur::resources::kAllResources[best_resource]));
+    row.pressure = best;
+  }
+  return row;
+}
+
+int WindowView(TraceSource& source, long long server, double center,
+               double span) {
+  const double lo = center - span;
+  const double hi = center + span;
+
+  // Events: only the segments overlapping the window (all of them for a
+  // monolithic file — there is nothing smaller to open).
+  std::vector<Event> events;
+  if (source.is_manifest) {
+    const StreamManifest* stream =
+        FindStream(source, gaugur::obs::kEventsStream);
+    if (stream != nullptr &&
+        !LoadEventSegments(
+            source, gaugur::obs::SelectSegmentsByTick(*stream, lo, hi),
+            &events)) {
+      return 1;
+    }
+  } else if (!gaugur::obs::EventLog::ReadJsonl(source.path, &events)) {
+    std::fprintf(stderr, "cannot read %s\n", source.path.c_str());
+    return 1;
+  }
+
+  std::vector<TimeseriesPoint> points;
+  if (source.is_manifest && !LoadTimeseriesWindow(source, lo, hi, &points)) {
+    return 1;
+  }
+
+  // Rows: realized per-server state, preferring the full-fidelity
+  // timeseries stream; a monolithic event log only knows realized FPS at
+  // violation instants, so those become the fallback rows.
+  std::vector<WindowRow> rows;
+  for (const TimeseriesPoint& point : points) {
+    if (static_cast<long long>(point.server) != server) continue;
+    if (point.sample.tick < lo || point.sample.tick > hi) continue;
+    rows.push_back(RowFromSample(point.sample));
+  }
+  if (rows.empty()) {
+    for (const Event& event : events) {
+      if (event.kind != EventKind::kQosViolation) continue;
+      if (ServerOf(event) != server) continue;
+      if (event.tick < lo || event.tick > hi) continue;
+      WindowRow row;
+      row.tick = event.tick;
+      row.min_fps = NumField(event, "realized_fps", 0.0);
+      row.dominant = StrField(event, "dominant_resource");
+      row.pressure = NumField(event, "dominant_damage", 0.0);
+      rows.push_back(row);
+    }
+  }
+
+  std::printf("server %lld, ticks %.2f..%.2f (center %.2f, span %.2f)\n",
+              server, lo, hi, center, span);
+  if (rows.empty()) {
+    std::printf("no realized samples for server %lld in this window\n",
+                server);
+  } else {
+    double fps_lo = rows.front().min_fps, fps_hi = rows.front().min_fps;
+    double press_hi = 0.0;
+    for (const WindowRow& row : rows) {
+      fps_lo = std::min(fps_lo, row.min_fps);
+      fps_hi = std::max(fps_hi, row.min_fps);
+      press_hi = std::max(press_hi, row.pressure);
+    }
+    gaugur::common::Table table({"tick", "games", "min_fps", "fps",
+                                 "dominant", "pressure", "load"},
+                                /*double_precision=*/2);
+    for (const WindowRow& row : rows) {
+      table.AddRow(
+          {row.tick,
+           row.games >= 0 ? gaugur::common::Cell(row.games)
+                          : gaugur::common::Cell(std::string("-")),
+           row.min_fps, Bar(row.min_fps, fps_lo, fps_hi),
+           row.dominant.empty() ? std::string("-") : row.dominant,
+           row.pressure, Bar(row.pressure, 0.0, press_hi)});
+    }
+    char title[96];
+    std::snprintf(title, sizeof(title),
+                  "realized FPS / dominant pressure (fps %.1f..%.1f)",
+                  fps_lo, fps_hi);
+    table.Print(std::cout, title);
+  }
+
+  // The events that touched this server inside the window, with the
+  // violation -> decision join inline.
+  gaugur::common::Table event_table({"seq", "tick", "decision", "kind",
+                                     "what"},
+                                    /*double_precision=*/2);
+  std::vector<const Event*> window_violations;
+  for (const Event& event : events) {
+    if (ServerOf(event) != server) continue;
+    if (event.tick < lo || event.tick > hi) continue;
+    event_table.AddRow(
+        {static_cast<long long>(event.seq), event.tick,
+         event.decision_id != 0
+             ? gaugur::common::Cell(static_cast<long long>(event.decision_id))
+             : gaugur::common::Cell(std::string("-")),
+         std::string(EventKindName(event.kind)), Describe(event)});
+    if (event.kind == EventKind::kQosViolation) {
+      window_violations.push_back(&event);
+    }
+  }
+  if (event_table.NumRows() > 0) {
+    std::printf("\n");
+    event_table.Print(std::cout, "events on this server in the window");
+  }
+
+  // Join each violation to its originating decision. The decision may
+  // predate the window; for manifest input, lazily open older segments
+  // (newest first) by seq until it turns up.
+  for (const Event* violation : window_violations) {
+    const std::uint64_t want = violation->decision_id;
+    if (want == 0) continue;
+    const Event* decision = nullptr;
+    auto find_in = [&](const std::vector<Event>& haystack) -> const Event* {
+      for (const Event& event : haystack) {
+        if (event.kind == EventKind::kDecision && event.decision_id == want) {
+          return &event;
+        }
+      }
+      return nullptr;
+    };
+    decision = find_in(events);
+    std::vector<Event> older;  // keeps lazily-loaded decisions alive
+    if (decision == nullptr && source.is_manifest) {
+      const StreamManifest* stream =
+          FindStream(source, gaugur::obs::kEventsStream);
+      if (stream != nullptr) {
+        std::vector<std::size_t> earlier = gaugur::obs::SelectSegmentsBySeq(
+            *stream, 0, violation->seq);
+        for (auto it = earlier.rbegin();
+             it != earlier.rend() && decision == nullptr; ++it) {
+          older.clear();
+          if (!LoadEventSegments(source, {*it}, &older)) break;
+          decision = find_in(older);
+        }
+      }
+    }
+    if (decision != nullptr) {
+      std::printf(
+          "violation seq %llu <- decision %llu at tick %.2f: %s\n",
+          static_cast<unsigned long long>(violation->seq),
+          static_cast<unsigned long long>(want), decision->tick,
+          Describe(*decision).c_str());
+    } else {
+      std::printf("violation seq %llu: decision %llu not found in the log\n",
+                  static_cast<unsigned long long>(violation->seq),
+                  static_cast<unsigned long long>(want));
+    }
+  }
+
+  if (source.is_manifest) {
+    const StreamManifest* ev = FindStream(source, gaugur::obs::kEventsStream);
+    const StreamManifest* ts =
+        FindStream(source, gaugur::obs::kTimeseriesStream);
+    std::printf(
+        "\nloaded %zu/%zu event segments, %zu/%zu timeseries segments\n",
+        source.event_segments_loaded,
+        ev != nullptr ? ev->segments.size() : 0,
+        source.timeseries_segments_loaded,
+        ts != nullptr ? ts->segments.size() : 0);
+  }
+  return 0;
+}
+
 }  // namespace
 
 void PrintUsage(std::FILE* to) {
   std::fprintf(
       to,
-      "usage: trace_explorer <events.jsonl> [report.json] [--violation N]\n"
+      "usage: trace_explorer <events.jsonl|sink_dir> [report.json]\n"
+      "                      [--violation N] [--window SERVER TICK]"
+      " [--span K]\n"
       "\n"
       "Offline forensics over a fleet run's decision event log.\n"
       "\n"
       "  <events.jsonl>  event log written via obs::EventLog (e.g. by the\n"
       "                  quickstart example)\n"
+      "  <sink_dir>      streaming-sink directory (manifest.json +\n"
+      "                  segments); windowed views open only the segments\n"
+      "                  they need\n"
       "  [report.json]   optional RunReport; prints its forensics summary\n"
       "  --violation N   explain the N-th qos_violation event (0-based):\n"
       "                  the placement decision that caused it, what the\n"
       "                  predictor believed about every candidate, and the\n"
       "                  resource/offender the attribution blames\n"
+      "  --window S T    plot server S's realized FPS and dominant\n"
+      "                  resource pressure around tick T, joined to the\n"
+      "                  decisions/violations in the window\n"
+      "  --span K        half-width of the --window view in ticks\n"
+      "                  (default 30)\n"
       "  --help          print this message\n"
       "\n"
-      "Without --violation, prints the run summary and the per-server\n"
-      "fleet timeline.\n");
+      "Without --violation/--window, prints the run summary and the\n"
+      "per-server fleet timeline.\n");
 }
 
 int main(int argc, char** argv) {
@@ -232,6 +574,10 @@ int main(int argc, char** argv) {
   std::string report_path;
   bool explain = false;
   std::size_t violation_index = 0;
+  bool window = false;
+  long long window_server = 0;
+  double window_tick = 0.0;
+  double window_span = 30.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -246,6 +592,22 @@ int main(int argc, char** argv) {
       }
       explain = true;
       violation_index = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--window") {
+      if (i + 2 >= argc) {
+        std::fprintf(stderr, "--window needs SERVER and TICK arguments\n\n");
+        PrintUsage(stderr);
+        return 2;
+      }
+      window = true;
+      window_server = std::atoll(argv[++i]);
+      window_tick = std::atof(argv[++i]);
+    } else if (arg == "--span") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--span needs a tick-count argument\n\n");
+        PrintUsage(stderr);
+        return 2;
+      }
+      window_span = std::atof(argv[++i]);
     } else if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
       // Unknown flags must not silently fall through as file paths.
       std::fprintf(stderr, "unknown flag %s\n\n", arg.c_str());
@@ -266,25 +628,18 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::vector<Event> events;
-  if (!gaugur::obs::EventLog::ReadJsonl(events_path, &events)) {
-    std::fprintf(stderr, "cannot read %s\n", events_path.c_str());
-    return 1;
+  TraceSource source;
+  if (!OpenSource(events_path, &source)) return 1;
+  if (source.is_manifest) {
+    std::size_t segments = 0;
+    for (const auto& [name, stream] : source.manifest.streams) {
+      segments += stream.segments.size();
+    }
+    std::printf("manifest: %zu streams, %zu segments, backpressure %s%s\n",
+                source.manifest.streams.size(), segments,
+                source.manifest.backpressure.c_str(),
+                source.manifest.finalized ? "" : " (NOT finalized)");
   }
-
-  std::size_t by_kind[gaugur::obs::kNumEventKinds] = {};
-  for (const Event& event : events) {
-    ++by_kind[static_cast<std::size_t>(event.kind)];
-  }
-  std::printf("%zu events", events.size());
-  bool first = true;
-  for (std::size_t k = 0; k < gaugur::obs::kNumEventKinds; ++k) {
-    if (by_kind[k] == 0) continue;
-    std::printf("%s %zu %s", first ? ":" : ",", by_kind[k],
-                EventKindName(static_cast<EventKind>(k)));
-    first = false;
-  }
-  std::printf("\n");
 
   if (!report_path.empty()) {
     std::ifstream in(report_path);
@@ -312,10 +667,36 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (window) {
+    return WindowView(source, window_server, window_tick, window_span);
+  }
+
+  std::vector<Event> events;
+  if (!LoadAllEvents(source, &events)) {
+    std::fprintf(stderr, "cannot read %s\n", events_path.c_str());
+    return 1;
+  }
+
+  std::size_t by_kind[gaugur::obs::kNumEventKinds] = {};
+  for (const Event& event : events) {
+    ++by_kind[static_cast<std::size_t>(event.kind)];
+  }
+  std::printf("%zu events", events.size());
+  bool first = true;
+  for (std::size_t k = 0; k < gaugur::obs::kNumEventKinds; ++k) {
+    if (by_kind[k] == 0) continue;
+    std::printf("%s %zu %s", first ? ":" : ",", by_kind[k],
+                EventKindName(static_cast<EventKind>(k)));
+    first = false;
+  }
+  std::printf("\n");
+
   if (explain) return ExplainViolation(events, violation_index);
 
   PrintTimeline(events);
-  std::printf("\nhint: re-run with --violation N to trace a QoS violation "
-              "back to its placement decision\n");
+  std::printf(
+      "\nhint: re-run with --violation N to trace a QoS violation back to "
+      "its placement decision, or --window SERVER TICK to plot the\n"
+      "realized FPS/pressure around it\n");
   return 0;
 }

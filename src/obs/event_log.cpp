@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "obs/metrics.h"
+#include "obs/stream.h"
 #include "obs/switch.h"
 
 namespace gaugur::obs {
@@ -20,6 +21,7 @@ constexpr const char* kKindNames[kNumEventKinds] = {
 struct EventLogMetrics {
   Counter& appended = Registry::Global().GetCounter("obs.events_appended");
   Counter& dropped = Registry::Global().GetCounter("obs.events_dropped");
+  Counter& sink_dropped = Registry::Global().GetCounter("obs.sink.dropped");
 
   static EventLogMetrics& Get() {
     static EventLogMetrics metrics;
@@ -110,11 +112,28 @@ void EventLog::Configure(EventLogConfig config) {
 
 void EventLog::Clear() {
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
-    shard->ring.clear();
+    {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      shard->ring.clear();
+    }
+    shard->space_freed.notify_all();
   }
   appended_.store(0, std::memory_order_relaxed);
   dropped_.store(0, std::memory_order_relaxed);
+  stream_dropped_.store(0, std::memory_order_relaxed);
+}
+
+void EventLog::SetStreaming(bool streaming, OverflowPolicy policy) {
+  // Flip the flags while holding every shard lock: an appender blocked
+  // in the kBlock wait re-checks its predicate under its shard lock, so
+  // publishing the detach under those locks (then notifying) cannot
+  // miss a waiter that was between its predicate check and its sleep.
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    streaming_.store(streaming, std::memory_order_relaxed);
+    policy_.store(policy, std::memory_order_relaxed);
+  }
+  for (const auto& shard : shards_) shard->space_freed.notify_all();
 }
 
 void EventLog::Append(EventKind kind, double tick,
@@ -125,15 +144,30 @@ void EventLog::Append(EventKind kind, double tick,
   event.kind = kind;
   event.decision_id = decision_id;
   event.fields = std::move(fields);
-  event.seq = next_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
   Shard& shard = *shards_[detail::ThreadShard() % shards_.size()];
   bool dropped_one = false;
+  bool streaming_drop = false;
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    if (shard.ring.size() >= config_.shard_capacity &&
+        streaming_.load(std::memory_order_relaxed) &&
+        policy_.load(std::memory_order_relaxed) == OverflowPolicy::kBlock) {
+      shard.space_freed.wait(lock, [&] {
+        return shard.ring.size() < config_.shard_capacity ||
+               !streaming_.load(std::memory_order_relaxed) ||
+               policy_.load(std::memory_order_relaxed) !=
+                   OverflowPolicy::kBlock;
+      });
+    }
     if (shard.ring.size() >= config_.shard_capacity) {
       shard.ring.pop_front();
       dropped_one = true;
+      streaming_drop = streaming_.load(std::memory_order_relaxed);
     }
+    // Seq is stamped under the shard lock: DrainSince holds all shard
+    // locks for its cut, so no event can be in flight with an allocated
+    // seq the drain's cursor advance would skip forever.
+    event.seq = next_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
     shard.ring.push_back(std::move(event));
   }
   appended_.fetch_add(1, std::memory_order_relaxed);
@@ -141,7 +175,46 @@ void EventLog::Append(EventKind kind, double tick,
   if (dropped_one) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     EventLogMetrics::Get().dropped.Add(1);
+    if (streaming_drop) {
+      stream_dropped_.fetch_add(1, std::memory_order_relaxed);
+      EventLogMetrics::Get().sink_dropped.Add(1);
+    }
   }
+}
+
+std::vector<Event> EventLog::DrainSince(std::uint64_t cursor) {
+  // All shard locks at once: the cut is atomic across shards, so the
+  // returned batch is exactly the events with cursor < seq <= max(seq)
+  // at the cut — no gaps, no duplicates on the next drain. Appenders
+  // only ever take one shard lock, so ordered acquisition cannot
+  // deadlock.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) locks.emplace_back(shard->mutex);
+  std::vector<Event> drained;
+  for (const auto& shard : shards_) {
+    // Within a shard the ring is seq-ascending (seq stamped under the
+    // shard lock), so the survivors form a prefix.
+    auto& ring = shard->ring;
+    auto first = ring.begin();
+    while (first != ring.end() && first->seq <= cursor) ++first;
+    drained.insert(drained.end(), std::make_move_iterator(first),
+                   std::make_move_iterator(ring.end()));
+    ring.erase(first, ring.end());
+    shard->space_freed.notify_all();
+  }
+  std::sort(drained.begin(), drained.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  return drained;
+}
+
+std::size_t EventLog::Residency() const {
+  std::size_t resident = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    resident += shard->ring.size();
+  }
+  return resident;
 }
 
 std::vector<Event> EventLog::Snapshot() const {
@@ -165,9 +238,17 @@ std::string EventLog::ToJsonl() const {
 
 bool EventLog::WriteJsonl(const std::string& path) const {
   std::ofstream out(path);
-  if (!out) return false;
+  if (!out) {
+    NoteWriteError("event log", path);
+    return false;
+  }
   out << ToJsonl();
-  return static_cast<bool>(out);
+  out.flush();
+  if (!out) {
+    NoteWriteError("event log", path);
+    return false;
+  }
+  return true;
 }
 
 std::vector<Event> EventLog::ParseJsonl(std::string_view text) {

@@ -30,6 +30,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -43,6 +44,19 @@
 namespace gaugur::obs {
 
 inline constexpr const char* kEventSchema = "gaugur.obs.event/v1";
+
+/// What Append() does when a shard ring is full while a streaming sink
+/// is attached (without a sink, the ring always drops its oldest entry —
+/// that is the bounded-memory exit-dump mode).
+enum class OverflowPolicy : std::uint8_t {
+  /// Evict the oldest event in the shard; the loss is counted in
+  /// StreamDropped() and the `obs.sink.dropped` counter.
+  kDropOldest = 0,
+  /// Block the appending thread until the sink drains the shard (or
+  /// streaming detaches). Lossless, at the price of backpressure on the
+  /// simulation thread when the writer falls behind.
+  kBlock,
+};
 
 enum class EventKind : std::uint8_t {
   kDecision = 0,
@@ -106,9 +120,35 @@ class EventLog {
   }
 
   /// Appends one event, stamping its sequence number. No-op (and `fields`
-  /// is discarded) when the observability switch is off.
+  /// is discarded) when the observability switch is off. The sequence
+  /// number is allocated under the shard lock, so an event is never
+  /// in flight with a published seq a concurrent DrainSince() could
+  /// miss — the drain cut is gap-free.
   void Append(EventKind kind, double tick, std::uint64_t decision_id,
               JsonObject fields);
+
+  /// Attaches (or detaches) a streaming sink. While attached, ring
+  /// overflow follows `policy` instead of the default drop-oldest, and
+  /// losses are tallied in StreamDropped(). Detaching wakes any
+  /// appenders blocked by OverflowPolicy::kBlock.
+  void SetStreaming(bool streaming, OverflowPolicy policy);
+
+  /// Removes and returns every stored event with seq > `cursor`, sorted
+  /// by seq. Holds all shard locks for the cut, so the result has no
+  /// gaps: any event not returned either has seq <= cursor or will get
+  /// a later seq. Drained entries are released from the rings (this is
+  /// what bounds residency in streaming mode) and blocked appenders are
+  /// woken.
+  std::vector<Event> DrainSince(std::uint64_t cursor);
+
+  /// Events currently resident in the rings (streaming keeps this
+  /// bounded by drain cadence, not run length).
+  std::size_t Residency() const;
+
+  /// Events lost to ring overflow while a streaming sink was attached.
+  std::uint64_t StreamDropped() const {
+    return stream_dropped_.load(std::memory_order_relaxed);
+  }
 
   /// Merged view of all shards, sorted by sequence number.
   std::vector<Event> Snapshot() const;
@@ -123,7 +163,8 @@ class EventLog {
 
   /// One JSON object per line, snapshot order (sorted by seq).
   std::string ToJsonl() const;
-  /// Writes ToJsonl() to `path`; returns false on I/O failure.
+  /// Writes ToJsonl() to `path`; returns false on I/O failure, after
+  /// logging the errno text and bumping `obs.sink.write_errors`.
   bool WriteJsonl(const std::string& path) const;
 
   /// Parses a JSONL dump back into events; throws std::logic_error
@@ -135,6 +176,9 @@ class EventLog {
  private:
   struct Shard {
     mutable std::mutex mutex;
+    /// Wakes appenders blocked by OverflowPolicy::kBlock when a drain
+    /// (or detach/clear) frees ring space.
+    std::condition_variable space_freed;
     std::deque<Event> ring;
   };
 
@@ -144,6 +188,12 @@ class EventLog {
   std::atomic<std::uint64_t> next_decision_id_{0};
   std::atomic<std::uint64_t> appended_{0};
   std::atomic<std::uint64_t> dropped_{0};
+  // Streaming attachment. Written under every shard lock (SetStreaming),
+  // read under one shard lock (Append's wait predicate) — atomics so the
+  // relaxed reads outside any lock (StreamDropped) stay race-free.
+  std::atomic<bool> streaming_{false};
+  std::atomic<OverflowPolicy> policy_{OverflowPolicy::kDropOldest};
+  std::atomic<std::uint64_t> stream_dropped_{0};
 };
 
 }  // namespace gaugur::obs

@@ -269,6 +269,50 @@ struct Snapshot {
   std::map<std::string, HistogramSnapshot> histograms;
 
   friend bool operator==(const Snapshot&, const Snapshot&) = default;
+
+  /// Changed entries of `this` relative to `baseline` — the payload of one
+  /// metrics-delta stream line. Counters and histograms are reported as
+  /// increments (new minus old), gauges as their current level; entries
+  /// identical to the baseline are omitted, so an idle interval produces
+  /// an empty delta. Counter resets between snapshots would make the
+  /// increment negative; those are clamped to re-reporting the full value.
+  Snapshot DeltaSince(const Snapshot& baseline) const {
+    Snapshot delta;
+    for (const auto& [name, value] : counters) {
+      const auto it = baseline.counters.find(name);
+      const std::uint64_t base = it == baseline.counters.end() ? 0 : it->second;
+      if (value == base) continue;
+      delta.counters[name] = value >= base ? value - base : value;
+    }
+    for (const auto& [name, value] : gauges) {
+      const auto it = baseline.gauges.find(name);
+      if (it != baseline.gauges.end() && it->second == value) continue;
+      delta.gauges[name] = value;
+    }
+    for (const auto& [name, hist] : histograms) {
+      const auto it = baseline.histograms.find(name);
+      if (it != baseline.histograms.end() && it->second.count == hist.count &&
+          it->second.sum == hist.sum) {
+        continue;
+      }
+      HistogramSnapshot diff;
+      diff.bounds = hist.bounds;
+      diff.counts = hist.counts;
+      diff.sum = hist.sum;
+      diff.count = hist.count;
+      if (it != baseline.histograms.end() &&
+          it->second.count <= hist.count &&
+          it->second.counts.size() == hist.counts.size()) {
+        for (std::size_t i = 0; i < diff.counts.size(); ++i) {
+          diff.counts[i] -= it->second.counts[i];
+        }
+        diff.sum -= it->second.sum;
+        diff.count -= it->second.count;
+      }
+      delta.histograms[name] = std::move(diff);
+    }
+    return delta;
+  }
 };
 
 /// Named metric registry. Get* lazily creates on first use and returns a

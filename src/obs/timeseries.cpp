@@ -7,6 +7,48 @@
 
 namespace gaugur::obs {
 
+JsonValue SlotSamplesToJson(const std::vector<SlotSample>& slots) {
+  JsonArray array;
+  array.reserve(slots.size());
+  for (const SlotSample& slot : slots) {
+    JsonObject slot_json;
+    slot_json["game_id"] = static_cast<long long>(slot.game_id);
+    slot_json["fps"] = slot.fps;
+    JsonArray pressure;
+    for (double p : slot.pressure) pressure.push_back(JsonValue(p));
+    slot_json["pressure"] = JsonValue(std::move(pressure));
+    array.push_back(JsonValue(std::move(slot_json)));
+  }
+  return JsonValue(std::move(array));
+}
+
+std::vector<SlotSample> SlotSamplesFromJson(const JsonValue& value) {
+  GAUGUR_CHECK_MSG(value.IsArray(), "slots must be a JSON array");
+  std::vector<SlotSample> slots;
+  slots.reserve(value.AsArray().size());
+  for (const JsonValue& entry : value.AsArray()) {
+    GAUGUR_CHECK_MSG(entry.IsObject(), "slot must be a JSON object");
+    SlotSample slot;
+    const JsonValue* game = entry.Find("game_id");
+    GAUGUR_CHECK_MSG(game != nullptr && game->IsNumber(),
+                     "slot missing numeric 'game_id'");
+    slot.game_id = static_cast<int>(game->AsNumber());
+    const JsonValue* fps = entry.Find("fps");
+    GAUGUR_CHECK_MSG(fps != nullptr && fps->IsNumber(),
+                     "slot missing numeric 'fps'");
+    slot.fps = fps->AsNumber();
+    const JsonValue* pressure = entry.Find("pressure");
+    GAUGUR_CHECK_MSG(pressure != nullptr && pressure->IsArray(),
+                     "slot missing 'pressure' array");
+    for (const JsonValue& p : pressure->AsArray()) {
+      GAUGUR_CHECK_MSG(p.IsNumber(), "pressure entry must be a number");
+      slot.pressure.push_back(p.AsNumber());
+    }
+    slots.push_back(std::move(slot));
+  }
+  return slots;
+}
+
 FleetTimeSeries::FleetTimeSeries(TimeSeriesConfig config) {
   Configure(config);
 }
@@ -29,12 +71,66 @@ void FleetTimeSeries::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   series_.clear();
   samples_seen_ = 0;
+  staging_.clear();
+  sealed_.clear();
+  stream_dropped_ = 0;
+}
+
+void FleetTimeSeries::SetStreaming(bool streaming, std::size_t seal_after) {
+  GAUGUR_CHECK_MSG(seal_after > 0, "seal_after must be nonzero");
+  std::lock_guard<std::mutex> lock(mutex_);
+  streaming_ = streaming;
+  seal_after_ = seal_after;
+  if (!streaming) {
+    staging_.clear();
+    sealed_.clear();
+  }
+}
+
+void FleetTimeSeries::SealLocked(std::size_t server,
+                                 std::vector<ServerSample>* staged) {
+  SealedSeriesSegment segment;
+  segment.server = server;
+  segment.samples = std::move(*staged);
+  staged->clear();
+  sealed_.push_back(std::move(segment));
+  while (sealed_.size() > kMaxSealedSegments) {
+    stream_dropped_ += sealed_.front().samples.size();
+    sealed_.pop_front();
+  }
+}
+
+std::vector<SealedSeriesSegment> FleetTimeSeries::DrainSealed(
+    bool seal_partial) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (seal_partial) {
+    for (auto& [server, staged] : staging_) {
+      if (!staged.empty()) SealLocked(server, &staged);
+    }
+  }
+  std::vector<SealedSeriesSegment> drained(
+      std::make_move_iterator(sealed_.begin()),
+      std::make_move_iterator(sealed_.end()));
+  sealed_.clear();
+  return drained;
+}
+
+std::uint64_t FleetTimeSeries::StreamDropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stream_dropped_;
 }
 
 void FleetTimeSeries::Record(std::size_t server, ServerSample sample) {
   if (!Enabled()) return;
   std::lock_guard<std::mutex> lock(mutex_);
   ++samples_seen_;
+  if (streaming_) {
+    // Stage a full-fidelity copy BEFORE the thinning below: the stream
+    // must carry what was recorded, not what the bounded ring kept.
+    std::vector<ServerSample>& staged = staging_[server];
+    staged.push_back(sample);
+    if (staged.size() >= seal_after_) SealLocked(server, &staged);
+  }
   ServerSeries& series = series_[server];
   if (!series.samples.empty() &&
       sample.tick - series.samples.back().tick < series.min_gap) {
@@ -95,17 +191,7 @@ JsonValue FleetTimeSeries::ToJson() const {
     for (const ServerSample& sample : series.samples) {
       JsonObject entry;
       entry["tick"] = sample.tick;
-      JsonArray slots;
-      for (const SlotSample& slot : sample.slots) {
-        JsonObject slot_json;
-        slot_json["game_id"] = static_cast<long long>(slot.game_id);
-        slot_json["fps"] = slot.fps;
-        JsonArray pressure;
-        for (double p : slot.pressure) pressure.push_back(JsonValue(p));
-        slot_json["pressure"] = JsonValue(std::move(pressure));
-        slots.push_back(JsonValue(std::move(slot_json)));
-      }
-      entry["slots"] = JsonValue(std::move(slots));
+      entry["slots"] = SlotSamplesToJson(sample.slots);
       samples.push_back(JsonValue(std::move(entry)));
     }
     servers[std::to_string(server)] = JsonValue(std::move(samples));

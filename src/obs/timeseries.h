@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <vector>
@@ -43,6 +44,20 @@ struct ServerSample {
   bool operator==(const ServerSample&) const = default;
 };
 
+/// Wire form of a slot list, [{"game_id": ..., "fps": ..., "pressure":
+/// [...]}, ...] — shared by FleetTimeSeries::ToJson and the streaming
+/// sink's timeseries lines so both dumps parse the same way.
+JsonValue SlotSamplesToJson(const std::vector<SlotSample>& slots);
+std::vector<SlotSample> SlotSamplesFromJson(const JsonValue& value);
+
+/// A run of full-fidelity samples for one server, handed from Record()
+/// to the streaming sink. Sealed segments carry every sample as
+/// recorded — the in-memory thinning decimation never touches them.
+struct SealedSeriesSegment {
+  std::size_t server = 0;
+  std::vector<ServerSample> samples;
+};
+
 struct TimeSeriesConfig {
   /// Samples kept per server; halving decimation on overflow.
   std::size_t capacity_per_server = 512;
@@ -60,8 +75,27 @@ class FleetTimeSeries {
 
   /// Records one sample for `server`. No-op when the observability
   /// switch is off, or when the sample is closer than the current
-  /// minimum gap to the last kept sample of that server.
+  /// minimum gap to the last kept sample of that server (streaming
+  /// staging below sees it either way — thinning only governs the
+  /// in-memory series).
   void Record(std::size_t server, ServerSample sample);
+
+  /// Turns sealed-segment handoff on or off. While on, every Record()
+  /// call (thinned or not) is also staged at full fidelity; a server's
+  /// staging run is sealed into a SealedSeriesSegment every
+  /// `seal_after` samples and queued for DrainSealed(). The sealed
+  /// queue is bounded; overflow drops the oldest segment and counts it
+  /// in StreamDropped(). Turning streaming off discards staged and
+  /// sealed data.
+  void SetStreaming(bool streaming, std::size_t seal_after = 256);
+
+  /// Removes and returns all sealed segments, oldest first. With
+  /// `seal_partial` set, in-progress staging runs are sealed and
+  /// included too (the sink's final drain).
+  std::vector<SealedSeriesSegment> DrainSealed(bool seal_partial = false);
+
+  /// Samples lost to sealed-queue overflow since streaming was enabled.
+  std::uint64_t StreamDropped() const;
 
   /// Kept samples for one server, oldest first (empty if never seen).
   std::vector<ServerSample> Series(std::size_t server) const;
@@ -89,10 +123,22 @@ class FleetTimeSeries {
     double min_gap = 0.0;
   };
 
+  void SealLocked(std::size_t server, std::vector<ServerSample>* staged);
+
   TimeSeriesConfig config_;
   mutable std::mutex mutex_;
   std::map<std::size_t, ServerSeries> series_;
   std::uint64_t samples_seen_ = 0;
+
+  // Streaming state, guarded by the same mutex as the series.
+  bool streaming_ = false;
+  std::size_t seal_after_ = 256;
+  std::map<std::size_t, std::vector<ServerSample>> staging_;
+  std::deque<SealedSeriesSegment> sealed_;
+  std::uint64_t stream_dropped_ = 0;
 };
+
+/// Sealed segments the sink will buffer before dropping the oldest.
+inline constexpr std::size_t kMaxSealedSegments = 4096;
 
 }  // namespace gaugur::obs

@@ -10,6 +10,7 @@
 #include <memory>
 #include <mutex>
 
+#include "obs/stream.h"
 #include "obs/switch.h"
 
 namespace gaugur::obs {
@@ -26,23 +27,15 @@ struct ThreadBuffer {
 
 thread_local int tls_depth = 0;
 
-/// Terminate handler installed before ours; chained after the flush.
-std::terminate_handler previous_terminate = nullptr;
-
-void FlushOnExit() { Tracer::Global().FlushExitTrace(); }
-
-[[noreturn]] void FlushOnTerminate() {
-  Tracer::Global().FlushExitTrace();
-  if (previous_terminate != nullptr) previous_terminate();
-  std::abort();
-}
-
-/// Idempotent: hooks process exit (normal and std::terminate) so a run
-/// that dies with trace buffers full still produces a loadable trace.
+/// Idempotent: joins the ordered exit-flush chain (obs/stream.h) at the
+/// trace priority, so a streaming sink always drains its rings before
+/// the emergency trace is written — trailing span events recorded during
+/// that drain still make the trace.
 void InstallExitFlushOnce() {
   static const bool installed = [] {
-    std::atexit(FlushOnExit);
-    previous_terminate = std::set_terminate(FlushOnTerminate);
+    RegisterFlushHook(kFlushPriorityTrace,
+                      [] { Tracer::Global().FlushExitTrace(); });
+    InstallExitFlush();
     return true;
   }();
   (void)installed;

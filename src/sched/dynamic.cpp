@@ -11,6 +11,7 @@
 #include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/model_monitor.h"
+#include "obs/sink.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "resources/resource.h"
@@ -225,6 +226,16 @@ DynamicResult SimulateDynamicFleet(const core::ColocationLab& lab,
   for (std::size_t oi : order) {
     const DynamicRequest& request = requests[oi];
     const double now = request.arrival_min;
+
+    if (obs::Enabled()) {
+      // When a streaming sink is attached, the background writer drains
+      // the event rings as the run progresses — the fleet simulator no
+      // longer holds the full history in memory. The sink only needs to
+      // learn the sim clock for stamping metrics-delta lines.
+      if (obs::TelemetrySink* sink = obs::TelemetrySink::Active()) {
+        sink->NoteTick(now);
+      }
+    }
 
     // Process departures up to `now`.
     while (!departures.empty() && departures.begin()->first <= now) {

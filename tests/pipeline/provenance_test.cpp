@@ -145,6 +145,10 @@ TEST(ProvenanceTest, EveryViolationIsReachableFromTheEventLog) {
   ASSERT_TRUE(parsed.forensics().has_value());
   EXPECT_EQ(*parsed.forensics(), *report.forensics());
 
+  // The whole run produced its telemetry without a single failed write.
+  EXPECT_EQ(
+      obs::Registry::Global().GetCounter("obs.sink.write_errors").Value(), 0u);
+
   log.Clear();
   ts.Clear();
   monitor.Reset();
