@@ -10,7 +10,9 @@
 
 //  * telemetry-layer overhead: one colocation measurement with obs
 //    enabled vs disabled (the disabled path must be < 2%), plus the raw
-//    cost of the metric primitives themselves.
+//    cost of the metric primitives themselves;
+//  * health-engine overhead: the provenance fleet run with the default
+//    alert rule pack armed vs disarmed (target < 2%).
 
 #include <benchmark/benchmark.h>
 
@@ -24,6 +26,7 @@
 #include "gaugur/training.h"
 #include "ml/factory.h"
 #include "obs/event_log.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/sink.h"
 #include "obs/switch.h"
@@ -358,6 +361,77 @@ StreamingOverheadNumbers ReportStreamingOverhead() {
   return out;
 }
 
+struct HealthOverheadNumbers {
+  double disarmed_ms = 0.0;
+  double armed_ms = 0.0;
+  double delta_pct = 0.0;
+  std::uint64_t evaluations = 0;
+  std::uint64_t alerts_fired = 0;
+  std::uint64_t transitions = 0;
+};
+
+/// The health-engine acceptance number: the same provenance fleet run,
+/// obs on, with the default rule pack armed vs no rules installed. An
+/// armed engine re-evaluates every rule per sim tick (ring upkeep +
+/// burn-rate fractions + per-label state machines), so this isolates
+/// exactly what alerting adds on top of the passive layers. Target < 2%.
+HealthOverheadNumbers ReportHealthOverhead() {
+  const auto& stack = bench::TrainedStack::Get();
+  const auto& world = bench::BenchWorld::Get();
+  obs::EnabledScope on(true);
+  std::vector<int> games;
+  for (int g = 0; g < 12; ++g) games.push_back(g);
+  const auto trace = sched::GenerateDynamicTrace(
+      games, /*horizon_min=*/120.0, /*arrivals_per_min=*/0.5,
+      /*mean_duration_min=*/30.0, /*seed=*/11);
+  const auto policy = sched::MakeProvenancePolicy(stack.gaugur, 60.0);
+  sched::DynamicOptions options;
+  options.qos_fps = 60.0;
+
+  constexpr int kFleetIters = 5;
+  const auto time_fleet = [&](int iters) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) {
+      benchmark::DoNotOptimize(
+          sched::SimulateDynamicFleet(world.lab(), trace, policy, options));
+      obs::EventLog::Global().Clear();
+      obs::FleetTimeSeries::Global().Clear();
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    return std::chrono::duration<double, std::milli>(elapsed).count() /
+           iters;
+  };
+
+  HealthOverheadNumbers out;
+  obs::HealthEngine& engine = obs::HealthEngine::Global();
+  engine.Reset();
+  time_fleet(1);  // warmup
+  out.disarmed_ms = time_fleet(kFleetIters);
+
+  engine.InstallDefaultRules(options.qos_fps);
+  time_fleet(1);  // warmup (first pass populates the sliding rings)
+  engine.Reset();
+  engine.InstallDefaultRules(options.qos_fps);
+  out.armed_ms = time_fleet(kFleetIters);
+  const obs::HealthSummary summary = engine.Summary();
+  out.evaluations = summary.evaluations;
+  out.alerts_fired = summary.alerts_fired;
+  out.transitions = summary.transitions;
+  engine.Reset();
+
+  out.delta_pct = 100.0 * (out.armed_ms - out.disarmed_ms) / out.disarmed_ms;
+  std::printf(
+      "Health-engine overhead on SimulateDynamicFleet: disarmed %.2f ms, "
+      "default rule pack armed %.2f ms, delta %+.2f%% (target < 2%%); "
+      "%llu evaluations, %llu alerts fired, %llu transitions across "
+      "%d runs.\n",
+      out.disarmed_ms, out.armed_ms, out.delta_pct,
+      static_cast<unsigned long long>(out.evaluations),
+      static_cast<unsigned long long>(out.alerts_fired),
+      static_cast<unsigned long long>(out.transitions), kFleetIters);
+  return out;
+}
+
 void BM_ProfileOneGame(benchmark::State& state) {
   const auto& world = bench::BenchWorld::Get();
   const profiling::Profiler profiler(world.server());
@@ -396,6 +470,7 @@ int main(int argc, char** argv) {
   const OverheadNumbers overhead = ReportInstrumentationOverhead();
   const FleetOverheadNumbers fleet_overhead = ReportFleetOverhead();
   const StreamingOverheadNumbers streaming = ReportStreamingOverhead();
+  const HealthOverheadNumbers health = ReportHealthOverhead();
   const double wall_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - wall_start)
@@ -429,6 +504,15 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(streaming.dropped);
   counters["sink_write_errors"] =
       static_cast<unsigned long long>(streaming.write_errors);
+  counters["fleet_health_disarmed_ms"] = health.disarmed_ms;
+  counters["fleet_health_armed_ms"] = health.armed_ms;
+  counters["health_overhead_pct"] = health.delta_pct;
+  counters["health_evaluations"] =
+      static_cast<unsigned long long>(health.evaluations);
+  counters["health_alerts_fired"] =
+      static_cast<unsigned long long>(health.alerts_fired);
+  counters["health_transitions"] =
+      static_cast<unsigned long long>(health.transitions);
   counters["lab_measurements"] = static_cast<unsigned long long>(
       obs::Registry::Global().GetCounter("lab.measurements").Value());
   bench::WriteBenchJson("overhead", wall_ms, std::move(config),

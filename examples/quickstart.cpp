@@ -24,6 +24,7 @@
 #include "gaugur/lab.h"
 #include "gaugur/predictor.h"
 #include "obs/event_log.h"
+#include "obs/health.h"
 #include "obs/model_monitor.h"
 #include "obs/report.h"
 #include "obs/sink.h"
@@ -125,6 +126,15 @@ int main() {
       /*mean_duration_min=*/45.0, /*seed=*/7);
   sched::DynamicOptions fleet_options;
   fleet_options.qos_fps = 60.0;
+  // Arm the fleet health engine with the default rule pack: the simulator
+  // evaluates it every sim tick, alert lifecycle transitions land in the
+  // event log (and the streamed sink), and the run report gains a
+  // `health` section. `trace_explorer alerts <events>` joins the firing
+  // windows back to the violations and decisions they overlap.
+  if (obs::Enabled()) {
+    obs::HealthEngine::Global().Reset();
+    obs::HealthEngine::Global().InstallDefaultRules(fleet_options.qos_fps);
+  }
   const sched::DynamicResult fleet = sched::SimulateDynamicFleet(
       lab, trace, sched::MakeProvenancePolicy(predictor, 60.0),
       fleet_options);
@@ -133,6 +143,16 @@ int main() {
       "%zu QoS-violated sessions\n",
       fleet.sessions, fleet.peak_servers, fleet.server_minutes,
       fleet.violated_sessions);
+  if (obs::Enabled()) {
+    const obs::HealthSummary health = obs::HealthEngine::Global().Summary();
+    std::printf(
+        "health: %llu evaluations, %llu alerts fired, %llu resolved, "
+        "%llu firing at end\n",
+        static_cast<unsigned long long>(health.evaluations),
+        static_cast<unsigned long long>(health.alerts_fired),
+        static_cast<unsigned long long>(health.alerts_resolved),
+        static_cast<unsigned long long>(health.firing));
+  }
   if (sink != nullptr) {
     // The sink drained the rings as the run went; seal the segments and
     // finalize the manifest instead of dumping a monolithic file.

@@ -13,10 +13,12 @@
 // blames for the dip. With --window S T it plots server S's realized
 // FPS and dominant-resource pressure for ±K ticks around tick T
 // (ASCII sparkline table), joined to the decisions and violations that
-// touched the server in that window.
+// touched the server in that window. The `alerts` subcommand renders the
+// health engine's firing timeline (obs/health.h), each window joined to
+// the qos_violation events and decision ids it overlaps.
 //
 // Usage:
-//   trace_explorer <events.jsonl|sink_dir> [report.json]
+//   trace_explorer [alerts] <events.jsonl|sink_dir> [report.json]
 //                  [--violation N] [--window SERVER TICK] [--span K]
 //
 // Build & run:
@@ -36,8 +38,11 @@
 #include <string>
 #include <vector>
 
+#include <set>
+
 #include "common/table.h"
 #include "obs/event_log.h"
+#include "obs/health.h"
 #include "obs/report.h"
 #include "obs/stream.h"
 #include "resources/resource.h"
@@ -213,6 +218,26 @@ std::string Describe(const Event& event) {
                     StrField(event, "model").c_str(),
                     static_cast<long long>(NumField(event, "rows")));
       return buf;
+    case EventKind::kAlert: {
+      // Two shapes share the kind: lifecycle transitions (from/to) and
+      // subscriber acknowledgements (action, no from/to).
+      const std::string action = StrField(event, "action");
+      if (!action.empty()) {
+        std::snprintf(buf, sizeof(buf), "%s %s[%s] (value %.3f)",
+                      action.c_str(), StrField(event, "rule").c_str(),
+                      StrField(event, "label").c_str(),
+                      NumField(event, "value", 0.0));
+        return buf;
+      }
+      std::snprintf(buf, sizeof(buf), "%s[%s] %s -> %s (%.3f vs %.3f)",
+                    StrField(event, "rule").c_str(),
+                    StrField(event, "label").c_str(),
+                    StrField(event, "from").c_str(),
+                    StrField(event, "to").c_str(),
+                    NumField(event, "value", 0.0),
+                    NumField(event, "threshold", 0.0));
+      return buf;
+    }
   }
   return "?";
 }
@@ -323,6 +348,74 @@ int ExplainViolation(const std::vector<Event>& events, std::size_t n) {
 }
 
 // ---------------------------------------------------------------------------
+// The alerts view: the health engine's firing timeline, each window
+// joined back to the qos_violation events and decision ids it overlaps.
+
+/// Comma-joins up to `max` values of `items`, then "+N more".
+template <typename Container, typename Format>
+std::string JoinList(const Container& items, std::size_t max,
+                     Format format) {
+  std::string out;
+  std::size_t n = 0;
+  for (const auto& item : items) {
+    if (n == max) {
+      out += " +" + std::to_string(items.size() - max) + " more";
+      break;
+    }
+    if (n > 0) out += ",";
+    out += format(item);
+    ++n;
+  }
+  return out.empty() ? std::string("-") : out;
+}
+
+int AlertsView(const std::vector<Event>& events) {
+  const std::vector<gaugur::obs::FiringWindow> windows =
+      gaugur::obs::ExtractFiringWindows(events);
+  if (windows.empty()) {
+    std::printf("no alert firings in the log\n");
+    return 0;
+  }
+  std::size_t resolved = 0;
+  std::size_t joined_violations = 0;
+  gaugur::common::Table table(
+      {"fired", "resolved", "rule", "label", "sev", "value", "threshold",
+       "violations", "decisions"},
+      /*double_precision=*/2);
+  for (const gaugur::obs::FiringWindow& window : windows) {
+    const gaugur::obs::FiringWindowJoin join =
+        gaugur::obs::JoinFiringWindow(window, events);
+    if (window.resolved) ++resolved;
+    joined_violations += join.violation_seqs.size();
+    table.AddRow(
+        {window.fired_tick,
+         window.resolved
+             ? gaugur::common::Cell(window.resolved_tick)
+             : gaugur::common::Cell(std::string("(firing)")),
+         window.rule,
+         window.label.empty() ? std::string("-") : window.label,
+         window.severity, window.value, window.threshold,
+         JoinList(join.violation_seqs, 4,
+                  [](std::uint64_t seq) {
+                    return "#" + std::to_string(seq);
+                  }),
+         JoinList(join.decision_ids, 4, [](std::uint64_t id) {
+           return std::to_string(id);
+         })});
+  }
+  table.Print(std::cout, "alert timeline");
+  std::printf(
+      "\n%zu firing windows (%zu resolved, %zu still firing at end of "
+      "log), %zu overlapping qos_violation events\n",
+      windows.size(), resolved, windows.size() - resolved,
+      joined_violations);
+  std::printf(
+      "hint: --violation N explains any of the joined violations; "
+      "--window SERVER TICK plots the server around a firing\n");
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
 // The window view: ±K ticks of FPS + pressure around a point in time.
 
 constexpr int kBarWidth = 12;
@@ -420,6 +513,39 @@ int WindowView(TraceSource& source, long long server, double center,
       row.dominant = StrField(event, "dominant_resource");
       row.pressure = NumField(event, "dominant_damage", 0.0);
       rows.push_back(row);
+    }
+  }
+
+  // A server id nothing in the log has ever mentioned is a typo, not an
+  // empty window: fail loudly with the ids that do exist. The happy path
+  // stays lazy; only this error path opens every event segment.
+  if (rows.empty()) {
+    std::set<long long> known;
+    auto note = [&known](long long id) {
+      if (id >= 0) known.insert(id);
+    };
+    for (const Event& event : events) note(ServerOf(event));
+    for (const TimeseriesPoint& point : points) {
+      note(static_cast<long long>(point.server));
+    }
+    if (known.count(server) == 0 && source.is_manifest) {
+      std::vector<Event> all;
+      if (LoadAllEvents(source, &all)) {
+        for (const Event& event : all) note(ServerOf(event));
+      }
+    }
+    if (known.count(server) == 0) {
+      std::fprintf(stderr, "unknown server id %lld; this log knows %s\n",
+                   server,
+                   known.empty()
+                       ? "no servers at all"
+                       : ("server ids " +
+                          JoinList(known, 16,
+                                   [](long long id) {
+                                     return std::to_string(id);
+                                   }))
+                             .c_str());
+      return 1;
     }
   }
 
@@ -542,12 +668,16 @@ int WindowView(TraceSource& source, long long server, double center,
 void PrintUsage(std::FILE* to) {
   std::fprintf(
       to,
-      "usage: trace_explorer <events.jsonl|sink_dir> [report.json]\n"
+      "usage: trace_explorer [alerts] <events.jsonl|sink_dir> "
+      "[report.json]\n"
       "                      [--violation N] [--window SERVER TICK]"
       " [--span K]\n"
       "\n"
       "Offline forensics over a fleet run's decision event log.\n"
       "\n"
+      "  alerts          render the health engine's alert timeline: each\n"
+      "                  firing window with the qos_violation events and\n"
+      "                  decision ids it overlaps\n"
       "  <events.jsonl>  event log written via obs::EventLog (e.g. by the\n"
       "                  quickstart example)\n"
       "  <sink_dir>      streaming-sink directory (manifest.json +\n"
@@ -572,6 +702,7 @@ void PrintUsage(std::FILE* to) {
 int main(int argc, char** argv) {
   std::string events_path;
   std::string report_path;
+  bool alerts = false;
   bool explain = false;
   std::size_t violation_index = 0;
   bool window = false;
@@ -613,6 +744,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown flag %s\n\n", arg.c_str());
       PrintUsage(stderr);
       return 2;
+    } else if (!alerts && events_path.empty() && arg == "alerts") {
+      alerts = true;
     } else if (events_path.empty()) {
       events_path = arg;
     } else if (report_path.empty()) {
@@ -691,6 +824,7 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
 
+  if (alerts) return AlertsView(events);
   if (explain) return ExplainViolation(events, violation_index);
 
   PrintTimeline(events);

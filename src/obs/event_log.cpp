@@ -15,7 +15,7 @@ namespace {
 
 constexpr const char* kKindNames[kNumEventKinds] = {
     "decision", "arrival",       "departure", "power_on",
-    "power_off", "qos_violation", "retrain",
+    "power_off", "qos_violation", "retrain",   "alert",
 };
 
 struct EventLogMetrics {

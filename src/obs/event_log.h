@@ -20,7 +20,7 @@
 //
 //   {"schema": "gaugur.obs.event/v1", "seq": <uint>, "tick": <double>,
 //    "kind": "<decision|arrival|departure|power_on|power_off|
-//             qos_violation|retrain>",
+//             qos_violation|retrain|alert>",
 //    "decision_id": <uint>,          // 0 when not tied to a decision
 //    "fields": {...}}                // kind-specific payload
 //
@@ -66,9 +66,10 @@ enum class EventKind : std::uint8_t {
   kPowerOff,
   kQosViolation,
   kRetrain,
+  kAlert,
 };
 
-inline constexpr std::size_t kNumEventKinds = 7;
+inline constexpr std::size_t kNumEventKinds = 8;
 
 /// Stable wire name for a kind ("decision", "qos_violation", ...).
 const char* EventKindName(EventKind kind);

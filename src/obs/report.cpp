@@ -20,6 +20,7 @@ JsonValue HistogramToJson(const HistogramSnapshot& hist) {
   object["p50"] = hist.Percentile(0.50);
   object["p95"] = hist.Percentile(0.95);
   object["p99"] = hist.Percentile(0.99);
+  object["p999"] = hist.Percentile(0.999);
   JsonArray buckets;
   for (std::size_t i = 0; i < hist.counts.size(); ++i) {
     JsonObject bucket;
@@ -96,6 +97,9 @@ JsonValue RunReport::ToJson() const {
   if (forensics_.has_value()) {
     doc["forensics"] = forensics_->ToJson();
   }
+  if (health_.has_value()) {
+    doc["health"] = health_->ToJson();
+  }
   return JsonValue(std::move(doc));
 }
 
@@ -122,12 +126,13 @@ void RunReport::Print(std::ostream& os) const {
   if (scalars.NumRows() > 0) {
     scalars.Print(os, "run report: " + name_);
   }
-  common::Table hists({"histogram", "count", "mean", "p50", "p95", "p99"},
-                      /*double_precision=*/1);
+  common::Table hists(
+      {"histogram", "count", "mean", "p50", "p95", "p99", "p99.9"},
+      /*double_precision=*/1);
   for (const auto& [name, hist] : snapshot_.histograms) {
     hists.AddRow({name, static_cast<long long>(hist.count), hist.Mean(),
                   hist.Percentile(0.50), hist.Percentile(0.95),
-                  hist.Percentile(0.99)});
+                  hist.Percentile(0.99), hist.Percentile(0.999)});
   }
   if (hists.NumRows() > 0) {
     hists.Print(os, "latency histograms (µs)");
@@ -176,6 +181,25 @@ void RunReport::Print(std::ostream& os) const {
                       static_cast<long long>(f.ts_samples_kept)});
     forensics.Print(os, "decision provenance");
   }
+  if (health_.has_value()) {
+    const HealthSummary& h = *health_;
+    common::Table health({"health", "value"});
+    health.AddRow({std::string("rules"),
+                   static_cast<long long>(h.rules.size())});
+    health.AddRow({std::string("evaluations"),
+                   static_cast<long long>(h.evaluations)});
+    health.AddRow({std::string("transitions"),
+                   static_cast<long long>(h.transitions)});
+    health.AddRow({std::string("alerts fired"),
+                   static_cast<long long>(h.alerts_fired)});
+    health.AddRow({std::string("alerts resolved"),
+                   static_cast<long long>(h.alerts_resolved)});
+    health.AddRow({std::string("flaps suppressed"),
+                   static_cast<long long>(h.flaps_suppressed)});
+    health.AddRow({std::string("firing now"),
+                   static_cast<long long>(h.firing)});
+    health.Print(os, "fleet health");
+  }
 }
 
 bool RunReport::WriteJson(const std::string& path) const {
@@ -190,6 +214,7 @@ RunReport RunReport::FromJson(const JsonValue& doc) {
   const JsonValue* schema = doc.Find("schema");
   GAUGUR_CHECK_MSG(schema != nullptr && schema->IsString() &&
                        (schema->AsString() == kRunReportSchema ||
+                        schema->AsString() == kRunReportSchemaV3 ||
                         schema->AsString() == kRunReportSchemaV2 ||
                         schema->AsString() == kRunReportSchemaV1),
                    "unknown run-report schema");
@@ -233,6 +258,9 @@ RunReport RunReport::FromJson(const JsonValue& doc) {
   }
   if (const JsonValue* forensics = doc.Find("forensics")) {
     report.SetForensics(ForensicsSummary::FromJson(*forensics));
+  }
+  if (const JsonValue* health = doc.Find("health")) {
+    report.SetHealth(HealthSummary::FromJson(*health));
   }
   return report;
 }

@@ -2,10 +2,10 @@
 // machines) and aligned text tables (for eyeballs), following the
 // bench_results/ convention of one artifact per run.
 //
-// Documented schema, version "gaugur.obs.run_report/v3":
+// Documented schema, version "gaugur.obs.run_report/v4":
 //
 //   {
-//     "schema": "gaugur.obs.run_report/v3",
+//     "schema": "gaugur.obs.run_report/v4",
 //     "name": "<run name>",
 //     "meta": {"<key>": "<string value>", ...},
 //     "counters": {"<name>": <uint>, ...},
@@ -14,21 +14,26 @@
 //       "<name>": {
 //         "count": <uint>, "sum": <double>, "mean": <double>,
 //         "p50": <double>, "p95": <double>, "p99": <double>,
+//         "p999": <double>,
 //         "buckets": [{"le": <double>, "count": <uint>}, ...,
 //                     {"le": null, "count": <uint>}]   // overflow last
 //       }, ...
 //     },
 //     "model_monitor": { ... },  // optional; obs/model_monitor.h schema
-//     "forensics": { ... }       // optional; obs/forensics.h schema
+//     "forensics": { ... },      // optional; obs/forensics.h schema
+//     "health": { ... }          // optional; obs/health.h HealthSummary
 //   }
 //
-// v3 adds the optional "forensics" section (event-log volumes, decision /
-// violation linkage, recent-violation recaps with resource + offender
-// attribution, fleet time-series volumes) plus the optional forensic
-// fields inside model_monitor.attribution. v2 added the optional
-// "model_monitor" section (online CM/RM quality: rolling calibration, RM
-// error, per-feature PSI drift, QoS-violation attribution). v1 and v2
-// documents still parse. mean/p50/p95/p99 are derived conveniences;
+// v4 adds the optional "health" section (alert rules, labeled lifecycle
+// instance states, and the obs.health.* tallies they reconcile with) and
+// the derived "p999" histogram quantile. v3 added the optional
+// "forensics" section (event-log volumes, decision / violation linkage,
+// recent-violation recaps with resource + offender attribution, fleet
+// time-series volumes) plus the optional forensic fields inside
+// model_monitor.attribution. v2 added the optional "model_monitor"
+// section (online CM/RM quality: rolling calibration, RM error,
+// per-feature PSI drift, QoS-violation attribution). v1-v3 documents
+// still parse. mean/p50/p95/p99/p999 are derived conveniences;
 // ParseSnapshot reconstructs the snapshot from buckets + sum alone, so a
 // written report round-trips exactly (tests/obs/registry_test.cpp and
 // tests/obs/model_monitor_test.cpp prove it). All sections serialize
@@ -42,15 +47,19 @@
 #include <string>
 
 #include "obs/forensics.h"
+#include "obs/health.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/model_monitor.h"
 
 namespace gaugur::obs {
 
-inline constexpr const char* kRunReportSchema = "gaugur.obs.run_report/v3";
-/// Prior versions, still accepted by FromJson (v2 lacks the forensics
-/// section, v1 additionally lacks model_monitor).
+inline constexpr const char* kRunReportSchema = "gaugur.obs.run_report/v4";
+/// Prior versions, still accepted by FromJson (v3 lacks the health
+/// section, v2 additionally lacks forensics, v1 also lacks
+/// model_monitor).
+inline constexpr const char* kRunReportSchemaV3 =
+    "gaugur.obs.run_report/v3";
 inline constexpr const char* kRunReportSchemaV2 =
     "gaugur.obs.run_report/v2";
 inline constexpr const char* kRunReportSchemaV1 =
@@ -63,8 +72,10 @@ class RunReport {
 
   /// Captures the global registry as of now; when the global ModelMonitor
   /// has recorded predictions, its summary is attached as the
-  /// model_monitor section, and when the global EventLog holds events a
-  /// forensics section is built from it and the global FleetTimeSeries.
+  /// model_monitor section, when the global EventLog holds events a
+  /// forensics section is built from it and the global FleetTimeSeries,
+  /// and when the global HealthEngine is armed its summary becomes the
+  /// health section.
   static RunReport Capture(std::string name) {
     RunReport report(std::move(name), Registry::Global().Snap());
     if (ModelMonitor::Global().HasData()) {
@@ -75,6 +86,9 @@ class RunReport {
       report.SetForensics(BuildForensics(
           events, EventLog::Global().TotalDropped(),
           FleetTimeSeries::Global().Summarize()));
+    }
+    if (HealthEngine::Global().Armed()) {
+      report.SetHealth(HealthEngine::Global().Summary());
     }
     return report;
   }
@@ -104,20 +118,24 @@ class RunReport {
     return forensics_;
   }
 
+  /// Optional fleet-health / alerting section (v4).
+  void SetHealth(HealthSummary summary) { health_ = std::move(summary); }
+  const std::optional<HealthSummary>& health() const { return health_; }
+
   JsonValue ToJson() const;
   std::string ToJsonString(int indent = 2) const;
 
   /// Aligned text tables (via common::Table): one for counters + gauges,
-  /// one for histograms with count/mean/p50/p95/p99 columns.
+  /// one for histograms with count/mean/p50/p95/p99/p99.9 columns.
   std::string ToText() const;
   void Print(std::ostream& os) const;
 
   /// Writes ToJsonString() to `path`; returns false on I/O failure.
   bool WriteJson(const std::string& path) const;
 
-  /// Inverse of ToJson(). Accepts the current /v3 schema and legacy
-  /// /v2 / /v1 documents (which simply lack the newer sections); throws
-  /// std::logic_error (GAUGUR_CHECK) on anything else.
+  /// Inverse of ToJson(). Accepts the current /v4 schema and legacy
+  /// /v3 / /v2 / /v1 documents (which simply lack the newer sections);
+  /// throws std::logic_error (GAUGUR_CHECK) on anything else.
   static RunReport FromJson(const JsonValue& doc);
   static RunReport FromJsonString(const std::string& text) {
     return FromJson(JsonValue::Parse(text));
@@ -129,6 +147,7 @@ class RunReport {
   std::map<std::string, std::string> meta_;
   std::optional<ModelMonitorSummary> model_monitor_;
   std::optional<ForensicsSummary> forensics_;
+  std::optional<HealthSummary> health_;
 };
 
 }  // namespace gaugur::obs

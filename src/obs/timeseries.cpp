@@ -132,6 +132,7 @@ void FleetTimeSeries::Record(std::size_t server, ServerSample sample) {
     if (staged.size() >= seal_after_) SealLocked(server, &staged);
   }
   ServerSeries& series = series_[server];
+  series.last = sample;
   if (!series.samples.empty() &&
       sample.tick - series.samples.back().tick < series.min_gap) {
     return;
@@ -164,6 +165,31 @@ std::vector<ServerSample> FleetTimeSeries::Series(std::size_t server) const {
   auto it = series_.find(server);
   if (it == series_.end()) return {};
   return it->second.samples;
+}
+
+std::map<std::size_t, ServerSample> FleetTimeSeries::LatestSamples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::size_t, ServerSample> latest;
+  for (const auto& [server, series] : series_) {
+    latest[server] = series.last;
+  }
+  return latest;
+}
+
+std::vector<std::pair<std::size_t, double>> FleetTimeSeries::LatestMinFps()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::size_t, double>> latest;
+  latest.reserve(series_.size());
+  for (const auto& [server, series] : series_) {
+    if (series.last.slots.empty()) continue;
+    double min_fps = series.last.slots.front().fps;
+    for (const SlotSample& slot : series.last.slots) {
+      min_fps = std::min(min_fps, slot.fps);
+    }
+    latest.emplace_back(server, min_fps);
+  }
+  return latest;
 }
 
 std::size_t FleetTimeSeries::NumServers() const {

@@ -21,6 +21,7 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "obs/json.h"
@@ -101,6 +102,17 @@ class FleetTimeSeries {
   std::vector<ServerSample> Series(std::size_t server) const;
   std::size_t NumServers() const;
 
+  /// The most recent sample recorded per server, independent of the
+  /// thinning downsampler (a thinned-away Record still updates this).
+  std::map<std::size_t, ServerSample> LatestSamples() const;
+
+  /// (server, minimum realized FPS over occupied slots) from each
+  /// server's most recent sample; servers whose latest sample has no
+  /// occupied slots are omitted (a drained server carries no deficit).
+  /// The health engine's per-server FPS-deficit signal — computed under
+  /// the lock so the per-tick read copies no slot or pressure vectors.
+  std::vector<std::pair<std::size_t, double>> LatestMinFps() const;
+
   struct Summary {
     std::uint64_t servers = 0;
     /// All Record() calls while enabled, including thinned/skipped ones.
@@ -121,6 +133,8 @@ class FleetTimeSeries {
   struct ServerSeries {
     std::vector<ServerSample> samples;
     double min_gap = 0.0;
+    /// Most recent Record() for this server, thinned or not.
+    ServerSample last;
   };
 
   void SealLocked(std::size_t server, std::vector<ServerSample>* staged);

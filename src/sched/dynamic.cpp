@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <optional>
 #include <unordered_map>
 
 #include "common/check.h"
 #include "common/rng.h"
 #include "gaugur/predictor.h"
 #include "obs/event_log.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/model_monitor.h"
 #include "obs/sink.h"
@@ -84,6 +86,29 @@ DynamicResult SimulateDynamicFleet(const core::ColocationLab& lab,
                                    const DynamicOptions& options) {
   GAUGUR_CHECK(options.max_sessions_per_server >= 1);
   obs::ScopedSpan fleet_span("sched.SimulateDynamicFleet");
+
+  // Demo health subscriber: the future drift -> retrain loop will consume
+  // firing alerts exactly like this. For now a PSI-drift alert entering
+  // `firing` is acknowledged into the provenance log, so the closed-loop
+  // substrate (alert -> subscriber -> event) exists end to end.
+  std::optional<obs::SubscriptionScope> drift_ack;
+  if (obs::Enabled() && obs::HealthEngine::Global().Armed()) {
+    drift_ack.emplace(
+        obs::HealthEngine::Global(), [](const obs::AlertTransition& t) {
+          if (t.to != obs::AlertState::kFiring ||
+              t.signal != obs::SignalKind::kMonitorPsi) {
+            return;
+          }
+          obs::JsonObject fields;
+          fields["action"] = obs::JsonValue("ack_drift");
+          fields["rule"] = obs::JsonValue(t.rule);
+          fields["label"] = obs::JsonValue(t.label);
+          fields["value"] = obs::JsonValue(t.value);
+          obs::EventLog::Global().Append(obs::EventKind::kAlert, t.tick,
+                                         /*decision_id=*/0,
+                                         std::move(fields));
+        });
+  }
 
   // Sort arrivals by time (stable for determinism on ties).
   std::vector<std::size_t> order(requests.size());
@@ -203,6 +228,11 @@ DynamicResult SimulateDynamicFleet(const core::ColocationLab& lab,
             obs::EventKind::kPowerOff, now, /*decision_id=*/0,
             {{"server", obs::JsonValue(
                             static_cast<unsigned long long>(server_idx))}});
+        // A drained server carries no FPS deficit: record an empty sample
+        // so the health engine's per-server signal resolves instead of
+        // firing forever on the last occupied state.
+        obs::FleetTimeSeries::Global().Record(server_idx,
+                                              obs::ServerSample{now, {}});
       }
     } else if (!server.powered && !now_empty) {
       server.powered = true;
@@ -235,6 +265,9 @@ DynamicResult SimulateDynamicFleet(const core::ColocationLab& lab,
       if (obs::TelemetrySink* sink = obs::TelemetrySink::Active()) {
         sink->NoteTick(now);
       }
+      // One health pass per sim tick: rules watch the registry, model
+      // monitor, per-server FPS, and sink counters as the run unfolds.
+      obs::HealthEngine::Global().Evaluate(now);
     }
 
     // Process departures up to `now`.
@@ -390,6 +423,7 @@ DynamicResult SimulateDynamicFleet(const core::ColocationLab& lab,
     }
     mark_violations(server_idx, when);
     bill_and_update(server_idx, when, server.sessions.empty());
+    if (obs::Enabled()) obs::HealthEngine::Global().Evaluate(when);
   }
 
   for (char v : violated) result.violated_sessions += v != 0 ? 1 : 0;

@@ -65,6 +65,13 @@ struct DynamicResult {
 
 /// Runs the fleet simulation. `requests` need not be sorted. The policy
 /// only sees servers with a free slot.
+///
+/// With observability enabled, every arrival (and the final departure
+/// drain) also runs one obs::HealthEngine::Global().Evaluate(now) pass —
+/// arm it with rules (e.g. InstallDefaultRules) before the run to get
+/// live SLO burn-rate / deficit / drift alerts in the event stream. A
+/// demo subscriber acknowledges PSI-drift firings into the provenance
+/// log for the run's duration.
 DynamicResult SimulateDynamicFleet(const core::ColocationLab& lab,
                                    std::span<const DynamicRequest> requests,
                                    const PlacementPolicy& policy,

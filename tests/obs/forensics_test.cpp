@@ -116,7 +116,7 @@ TEST(ForensicsSummary, JsonRoundTripsExactly) {
   EXPECT_EQ(parsed.ToJson().Dump(), summary.ToJson().Dump());
 }
 
-TEST(RunReportForensics, CaptureEmitsV3WithForensicsSection) {
+TEST(RunReportForensics, CaptureEmitsCurrentSchemaWithForensicsSection) {
   EnabledScope on(true);
   EventLog& log = EventLog::Global();
   log.Clear();
@@ -140,7 +140,7 @@ TEST(RunReportForensics, CaptureEmitsV3WithForensicsSection) {
 
   const JsonValue doc = JsonValue::Parse(report.ToJsonString());
   EXPECT_EQ(doc.Find("schema")->AsString(),
-            std::string("gaugur.obs.run_report/v3"));
+            std::string("gaugur.obs.run_report/v4"));
   ASSERT_NE(doc.Find("forensics"), nullptr);
 
   const RunReport parsed = RunReport::FromJsonString(report.ToJsonString());

@@ -207,6 +207,14 @@ TEST(RunReportTest, JsonRoundTripsSnapshotExactly) {
   // The document is valid JSON with the documented schema marker...
   const JsonValue doc = JsonValue::Parse(json);
   EXPECT_EQ(doc.Find("schema")->AsString(), kRunReportSchema);
+  // v4 histogram summaries carry the derived tail quantile alongside the
+  // coarser ones, monotone with them.
+  const JsonValue* entry =
+      doc.Find("histograms")->Find("lab.measure_us");
+  ASSERT_NE(entry, nullptr);
+  ASSERT_NE(entry->Find("p999"), nullptr);
+  EXPECT_GE(entry->Find("p999")->AsNumber(),
+            entry->Find("p99")->AsNumber());
   // ...and parses back into the identical snapshot.
   const RunReport parsed = RunReport::FromJsonString(json);
   EXPECT_EQ(parsed.name(), "unit-test");
