@@ -34,6 +34,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -111,6 +112,39 @@ const StreamManifest* FindStream(const TraceSource& source,
   return it == source.manifest.streams.end() ? nullptr : &it->second;
 }
 
+/// Sorted-merge invariant for segment reads: after the seq-sort, seqs
+/// must be strictly increasing (a duplicate means two segments overlap —
+/// a corrupt or double-written manifest), and within one shard of a
+/// sharded fleet run, ticks must be non-decreasing (per-shard streams are
+/// monotonic by construction; a regression means the shard tag or the
+/// merge is wrong). Violations make the tool exit nonzero.
+bool CheckMergedEventInvariants(const std::vector<Event>& events) {
+  std::map<long long, double> shard_last_tick;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i > 0 && events[i].seq <= events[i - 1].seq) {
+      std::fprintf(stderr,
+                   "merge invariant violated: duplicate/regressing seq %llu "
+                   "(overlapping segments?)\n",
+                   static_cast<unsigned long long>(events[i].seq));
+      return false;
+    }
+    const auto shard_field = events[i].fields.find("shard");
+    if (shard_field == events[i].fields.end()) continue;
+    const auto shard = static_cast<long long>(shard_field->second.AsNumber());
+    const auto last = shard_last_tick.find(shard);
+    if (last != shard_last_tick.end() && events[i].tick < last->second) {
+      std::fprintf(stderr,
+                   "merge invariant violated: shard %lld tick regressed "
+                   "%.6f -> %.6f at seq %llu\n",
+                   shard, last->second, events[i].tick,
+                   static_cast<unsigned long long>(events[i].seq));
+      return false;
+    }
+    shard_last_tick[shard] = events[i].tick;
+  }
+  return true;
+}
+
 /// Loads the given event segments (by index) and merges them seq-sorted.
 bool LoadEventSegments(TraceSource& source,
                        const std::vector<std::size_t>& indices,
@@ -129,7 +163,7 @@ bool LoadEventSegments(TraceSource& source,
   }
   std::sort(out->begin(), out->end(),
             [](const Event& a, const Event& b) { return a.seq < b.seq; });
-  return true;
+  return CheckMergedEventInvariants(*out);
 }
 
 std::vector<std::size_t> AllSegmentIndices(const StreamManifest* stream) {

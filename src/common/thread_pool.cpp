@@ -30,17 +30,28 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  pinned_.resize(num_threads);
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] {
+    workers_.emplace_back([this, i] {
       for (;;) {
         std::function<void()> task;
         {
           std::unique_lock lock(mutex_);
-          cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
-          if (stop_ && tasks_.empty()) return;
-          task = std::move(tasks_.front());
-          tasks_.pop();
+          cv_.wait(lock, [this, i] {
+            return stop_ || !tasks_.empty() || !pinned_[i].empty();
+          });
+          if (stop_ && tasks_.empty() && pinned_[i].empty()) return;
+          // Pinned work first: affinity tasks must run on this worker
+          // and in submission order, so they are never left behind a
+          // long shared-queue backlog.
+          if (!pinned_[i].empty()) {
+            task = std::move(pinned_[i].front());
+            pinned_[i].pop_front();
+          } else {
+            task = std::move(tasks_.front());
+            tasks_.pop();
+          }
           queue_depth_.fetch_sub(1, std::memory_order_relaxed);
           PoolMetrics::Get().queue_depth.Sub(1);
         }
@@ -66,6 +77,9 @@ ThreadPool::~ThreadPool() {
   // stop was set has run by the time the joins return.
   for (auto& w : workers_) w.join();
   GAUGUR_CHECK_MSG(tasks_.empty(), "ThreadPool destroyed with queued tasks");
+  for (const auto& q : pinned_) {
+    GAUGUR_CHECK_MSG(q.empty(), "ThreadPool destroyed with pinned tasks");
+  }
   GAUGUR_CHECK_MSG(QueueDepth() == 0,
                    "queue-depth gauge nonzero after drain");
 }
@@ -83,6 +97,57 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   }
   cv_.notify_one();
   return future;
+}
+
+std::future<void> ThreadPool::SubmitPinned(std::size_t worker,
+                                           std::function<void()> task) {
+  GAUGUR_CHECK_MSG(worker < workers_.size(), "pinned worker out of range");
+  auto packaged =
+      std::make_shared<std::packaged_task<void()>>(std::move(task));
+  std::future<void> future = packaged->get_future();
+  {
+    std::lock_guard lock(mutex_);
+    GAUGUR_CHECK_MSG(!stop_, "SubmitPinned on stopped ThreadPool");
+    pinned_[worker].emplace_back([packaged] { (*packaged)(); });
+    queue_depth_.fetch_add(1, std::memory_order_relaxed);
+    PoolMetrics::Get().queue_depth.Add(1);
+  }
+  // notify_all: with one condition variable, notify_one could wake a
+  // worker whose pinned queue is empty while the target keeps sleeping.
+  cv_.notify_all();
+  return future;
+}
+
+std::size_t ThreadPool::WorkerIndexForName(std::string_view name) const {
+  const std::size_t n = workers_.size();
+  // Names ending in an integer ("shard-7", "worker12") map by that
+  // integer modulo N, so numbered shards partition round-robin with no
+  // hash collisions among the first N shards.
+  std::size_t digits = 0;
+  while (digits < name.size() &&
+         name[name.size() - 1 - digits] >= '0' &&
+         name[name.size() - 1 - digits] <= '9') {
+    ++digits;
+  }
+  if (digits > 0) {
+    std::uint64_t value = 0;
+    for (std::size_t i = name.size() - digits; i < name.size(); ++i) {
+      value = value * 10 + static_cast<std::uint64_t>(name[i] - '0');
+      if (value > (std::uint64_t{1} << 52)) value %= n;  // avoid overflow
+    }
+    return static_cast<std::size_t>(value % n);
+  }
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const char c : name) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return static_cast<std::size_t>(hash % n);
+}
+
+std::future<void> ThreadPool::SubmitNamed(std::string_view name,
+                                          std::function<void()> task) {
+  return SubmitPinned(WorkerIndexForName(name), std::move(task));
 }
 
 bool ThreadPool::OnWorkerThread() const {

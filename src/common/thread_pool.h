@@ -15,10 +15,12 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <future>
 #include <mutex>
 #include <queue>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -51,6 +53,24 @@ class ThreadPool {
   /// Enqueue a task; returns a future for its completion.
   std::future<void> Submit(std::function<void()> task);
 
+  /// Enqueue a task that only worker `worker` (< NumThreads()) may run.
+  /// Pinned tasks for one worker execute in submission order and take
+  /// priority over the shared queue — the affinity primitive behind the
+  /// sharded fleet service, where each shard's tasks must always land on
+  /// the worker owning that shard's state (no synchronization needed on
+  /// the state itself).
+  std::future<void> SubmitPinned(std::size_t worker,
+                                 std::function<void()> task);
+
+  /// SubmitPinned to the worker a stable name maps to:
+  /// WorkerIndexForName gives names with a trailing integer (e.g.
+  /// "shard-7") that integer modulo NumThreads(), so shard names
+  /// partition round-robin; other names hash (FNV-1a) modulo
+  /// NumThreads(). Tasks sharing a name always share a worker.
+  std::future<void> SubmitNamed(std::string_view name,
+                                std::function<void()> task);
+  std::size_t WorkerIndexForName(std::string_view name) const;
+
   /// Runs body(i) for i in [begin, end), distributing contiguous chunks
   /// over the pool and blocking until all complete. Exceptions thrown by
   /// `body` are rethrown (first one wins). Safe to call from a worker
@@ -66,6 +86,9 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
+  /// Per-worker pinned queues (guarded by mutex_); checked before the
+  /// shared queue so affinity work is never stolen.
+  std::vector<std::deque<std::function<void()>>> pinned_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;

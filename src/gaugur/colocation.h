@@ -44,9 +44,78 @@ std::string ColocationKey(const Colocation& colocation);
 /// 64-bit join key for one (victim, co-runner set) — order-insensitive in
 /// the co-runners, victim-sensitive. The model monitor (obs) uses it to
 /// join prediction audit records with the realized FPS the simulator
-/// later measures for the same victim in the same colocation. Cheap
-/// enough (~stack-only FNV) for every online prediction.
+/// later measures for the same victim in the same colocation. Derived
+/// from per-session hashes (see SessionHash / JoinKeyFromHashes below),
+/// so schedulers that maintain an IncrementalColocationHash per server
+/// can form it in O(1) per candidate instead of rehashing the set.
 std::uint64_t ModelJoinKey(const SessionRequest& victim,
                            std::span<const SessionRequest> corunners);
+
+/// SplitMix64 finalizer: a cheap, statistically strong 64-bit mixer.
+/// Every incremental-hash primitive below funnels through it so that
+/// structurally similar sessions (adjacent game ids, same resolution)
+/// land far apart in key space.
+constexpr std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Per-session Zobrist value. Unlike classic Zobrist tables this is
+/// computed (not looked up), so any (game_id, resolution) pair — including
+/// ones outside the profiled catalog — gets a stable 64-bit code without
+/// a preallocated table.
+inline std::uint64_t SessionHash(const SessionRequest& session) {
+  const std::uint64_t packed =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(session.game_id))
+       << 32) |
+      static_cast<std::uint32_t>(session.resolution.NumPixels());
+  return SplitMix64(packed);
+}
+
+/// Incrementally maintained hash of a colocation *multiset*.
+///
+/// Classic Zobrist hashing XORs piece codes, which is self-inverse — but
+/// XOR cancels duplicates, and colocations are multisets (two copies of
+/// the same game on one server are a real, distinct state). Working in
+/// the group (Z/2^64, +) instead keeps the O(1) add/remove property
+/// (subtraction is the inverse) while preserving multiplicity:
+///
+///   value = sum over sessions of SessionHash(session)   (mod 2^64)
+///
+/// Order-insensitive by commutativity; the empty colocation is 0.
+class IncrementalColocationHash {
+ public:
+  IncrementalColocationHash() = default;
+
+  void Add(const SessionRequest& session) { value_ += SessionHash(session); }
+  void Remove(const SessionRequest& session) {
+    value_ -= SessionHash(session);
+  }
+  std::uint64_t Value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+  static std::uint64_t FromScratch(std::span<const SessionRequest> sessions) {
+    std::uint64_t sum = 0;
+    for (const auto& s : sessions) sum += SessionHash(s);
+    return sum;
+  }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Forms the ModelJoinKey from precomputed hashes: the victim's own
+/// SessionHash and the additive hash of the co-runner multiset. A
+/// scheduler holding a per-server IncrementalColocationHash `H` evaluates
+/// candidate "place `victim` on this server" as
+/// JoinKeyFromHashes(SessionHash(victim), H.Value()) — no set traversal.
+/// The final mix makes the key victim-sensitive (swapping victim and a
+/// co-runner changes the key even though the total multiset is equal).
+inline std::uint64_t JoinKeyFromHashes(std::uint64_t victim_hash,
+                                       std::uint64_t corunner_sum) {
+  return SplitMix64(victim_hash ^ SplitMix64(corunner_sum + 0x51ed270b0f4aULL));
+}
 
 }  // namespace gaugur::core

@@ -52,33 +52,13 @@ std::string ColocationKey(const Colocation& colocation) {
 
 std::uint64_t ModelJoinKey(const SessionRequest& victim,
                            std::span<const SessionRequest> corunners) {
-  // FNV-1a over the victim followed by the sorted co-runner set. Sorting
-  // makes the key insensitive to co-runner order (the predictor and the
-  // simulator enumerate them differently); the victim stays first so each
-  // session of one colocation gets its own key.
-  std::vector<std::pair<int, long long>> parts;
-  parts.reserve(corunners.size());
-  for (const auto& s : corunners) {
-    parts.emplace_back(s.game_id,
-                       static_cast<long long>(s.resolution.NumPixels()));
-  }
-  std::sort(parts.begin(), parts.end());
-
-  std::uint64_t hash = 14695981039346656037ULL;
-  const auto mix = [&hash](long long value) {
-    auto bits = static_cast<std::uint64_t>(value);
-    for (int i = 0; i < 8; ++i) {
-      hash ^= (bits >> (8 * i)) & 0xffULL;
-      hash *= 1099511628211ULL;
-    }
-  };
-  mix(victim.game_id);
-  mix(static_cast<long long>(victim.resolution.NumPixels()));
-  for (const auto& [id, pixels] : parts) {
-    mix(id);
-    mix(pixels);
-  }
-  return hash;
+  // Additive-Zobrist form: the co-runner multiset reduces to a commutative
+  // sum of per-session hashes (no sort, no allocation), then the victim is
+  // mixed in asymmetrically. Defined exactly as JoinKeyFromHashes over
+  // SessionHash/IncrementalColocationHash so schedulers holding a
+  // per-server incremental hash derive the identical key in O(1).
+  return JoinKeyFromHashes(SessionHash(victim),
+                           IncrementalColocationHash::FromScratch(corunners));
 }
 
 ColocationLab::ColocationLab(const gamesim::GameCatalog& catalog,

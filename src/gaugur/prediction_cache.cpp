@@ -1,79 +1,107 @@
 #include "gaugur/prediction_cache.h"
 
+#include <algorithm>
+
 namespace gaugur::core {
 
-void PredictionCache::AdvanceEpoch() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++epoch_;
-}
-
-std::uint64_t PredictionCache::Epoch() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return epoch_;
-}
+PredictionCache::PredictionCache(std::size_t capacity,
+                                 std::size_t max_age_epochs,
+                                 std::size_t stripes)
+    : capacity_(capacity),
+      stripe_capacity_((capacity + std::max<std::size_t>(stripes, 1) - 1) /
+                       std::max<std::size_t>(stripes, 1)),
+      max_age_epochs_(max_age_epochs),
+      stripes_(std::max<std::size_t>(stripes, 1)) {}
 
 std::shared_ptr<const CachedPrediction> PredictionCache::Lookup(
-    const PredictionCacheKey& key) const {
+    const PredictionCacheKey& key, CacheLookupOutcome* outcome) const {
+  if (outcome != nullptr) *outcome = CacheLookupOutcome::kMiss;
   if (capacity_ == 0) return nullptr;
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    ++stats_.misses;
+  Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  auto it = stripe.entries.find(key);
+  if (it == stripe.entries.end()) {
+    ++stripe.stats.misses;
     return nullptr;
   }
   if (max_age_epochs_ > 0 &&
-      epoch_ - it->second.inserted_epoch >= max_age_epochs_) {
+      Epoch() - it->second.inserted_epoch >= max_age_epochs_) {
     // Lazy reuse-window expiry: the answer is from a fit that is still
     // valid (retrains Clear() outright) but older than the configured
     // arrival window — treat as a miss so the caller recomputes.
-    lru_.erase(it->second.lru_it);
-    entries_.erase(it);
-    ++stats_.expired;
-    ++stats_.misses;
+    stripe.lru.erase(it->second.lru_it);
+    stripe.entries.erase(it);
+    ++stripe.stats.expired;
+    ++stripe.stats.misses;
+    if (outcome != nullptr) *outcome = CacheLookupOutcome::kExpired;
     return nullptr;
   }
-  ++stats_.hits;
-  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  ++stripe.stats.hits;
+  stripe.lru.splice(stripe.lru.begin(), stripe.lru, it->second.lru_it);
+  if (outcome != nullptr) *outcome = CacheLookupOutcome::kHit;
   return it->second.value;
 }
 
-void PredictionCache::Insert(const PredictionCacheKey& key,
-                             CachedPrediction entry) {
-  if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {
+std::size_t PredictionCache::Insert(const PredictionCacheKey& key,
+                                    CachedPrediction entry) {
+  if (capacity_ == 0) return 0;
+  Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  auto it = stripe.entries.find(key);
+  if (it != stripe.entries.end()) {
     it->second.value =
         std::make_shared<const CachedPrediction>(std::move(entry));
-    it->second.inserted_epoch = epoch_;
-    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-    return;
+    it->second.inserted_epoch = Epoch();
+    stripe.lru.splice(stripe.lru.begin(), stripe.lru, it->second.lru_it);
+    return 0;
   }
-  lru_.push_front(key);
-  entries_[key] = {lru_.begin(),
-                   std::make_shared<const CachedPrediction>(std::move(entry)),
-                   epoch_};
-  while (entries_.size() > capacity_) {
-    entries_.erase(lru_.back());
-    lru_.pop_back();
-    ++stats_.evictions;
+  stripe.lru.push_front(key);
+  stripe.entries[key] = {
+      stripe.lru.begin(),
+      std::make_shared<const CachedPrediction>(std::move(entry)), Epoch()};
+  std::size_t evicted = 0;
+  while (stripe.entries.size() > stripe_capacity_) {
+    stripe.entries.erase(stripe.lru.back());
+    stripe.lru.pop_back();
+    ++stripe.stats.evictions;
+    ++evicted;
   }
+  return evicted;
 }
 
 void PredictionCache::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  entries_.clear();
-  lru_.clear();
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    stripe.entries.clear();
+    stripe.lru.clear();
+  }
 }
 
 std::size_t PredictionCache::Size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return entries_.size();
+  std::size_t total = 0;
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    total += stripe.entries.size();
+  }
+  return total;
 }
 
 PredictionCache::Stats PredictionCache::GetStats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  Stats folded;
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    folded.hits += stripe.stats.hits;
+    folded.misses += stripe.stats.misses;
+    folded.evictions += stripe.stats.evictions;
+    folded.expired += stripe.stats.expired;
+  }
+  return folded;
+}
+
+PredictionCache::Stats PredictionCache::StripeStats(std::size_t stripe) const {
+  Stripe& s = stripes_[stripe % stripes_.size()];
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.stats;
 }
 
 }  // namespace gaugur::core

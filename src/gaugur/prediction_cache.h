@@ -11,19 +11,33 @@
 // (obs::ModelMonitor) an uncached query would have — memoization is
 // invisible to the monitoring pipeline.
 //
+// Sharing: one PredictionCache instance is shared by every predictor
+// replica in the sharded fleet service (one shard's miss warms every
+// shard), so the structure is striped — the key space is partitioned
+// into `stripes` independent (mutex, map, LRU list, stats) units and a
+// lookup touches exactly one stripe's lock. Capacity and LRU recency are
+// per stripe (capacity_/stripes each); with stripes == 1 the cache is
+// exactly the former single-lock global-LRU structure, which tests that
+// pin exact eviction order rely on.
+//
 // Invalidation: GAugurPredictor::TrainRm/TrainCm call Clear() — a cache
 // must never outlive the model that filled it. Orthogonally, an optional
 // max-age knob bounds how long an entry may be reused across scheduler
 // arrivals: AdvanceEpoch() ticks once per arrival (the predictor calls
-// it from ScoreCandidates), and a Lookup that finds an entry older than
-// `max_age_epochs` lazily expires it (counted separately from LRU
-// evictions). 0 = no age bound, the PR-3 behavior.
+// it from ScoreCandidates; the counter is a single atomic shared by all
+// stripes), and a Lookup that finds an entry older than `max_age_epochs`
+// lazily expires it (counted separately from LRU evictions). 0 = no age
+// bound, the PR-3 behavior.
 //
-// Thread-safe: a single mutex guards the map and LRU list (lookups mutate
-// recency). Hit/miss/eviction counts are kept internally (always on, for
-// tests) and mirrored into obs counters by the predictor.
+// Thread-safe. Hit/miss/eviction tallies are kept per stripe under that
+// stripe's lock — never a data race no matter how many workers share the
+// cache — and folded on GetStats(). Callers that mirror outcomes into
+// obs counters must not diff GetStats() snapshots (another thread's
+// traffic lands in the delta); Lookup/Insert report their own outcome
+// exactly via LookupOutcome / the eviction count instead.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -60,33 +74,55 @@ struct CachedPrediction {
   double value = 0.0;
 };
 
+/// Exact per-call outcome of a Lookup, for callers that mirror cache
+/// activity into obs counters (snapshot diffs are racy once the cache is
+/// shared).
+enum class CacheLookupOutcome : std::uint8_t {
+  kHit,
+  kMiss,
+  /// Found but older than the max-age reuse window; dropped. Counts as a
+  /// miss for the caller (it must recompute) *and* as an expiry.
+  kExpired,
+};
+
 class PredictionCache {
  public:
+  static constexpr std::size_t kDefaultStripes = 8;
+
   /// `capacity` == 0 disables the cache (every Lookup misses, Insert is
   /// a no-op). `max_age_epochs` == 0 means entries never age out; with a
   /// positive value, an entry inserted at epoch E expires once the epoch
-  /// reaches E + max_age_epochs.
+  /// reaches E + max_age_epochs. `stripes` partitions the key space into
+  /// independent lock domains; 1 reproduces the former single-lock
+  /// global-LRU behavior exactly.
   explicit PredictionCache(std::size_t capacity,
-                           std::size_t max_age_epochs = 0)
-      : capacity_(capacity), max_age_epochs_(max_age_epochs) {}
+                           std::size_t max_age_epochs = 0,
+                           std::size_t stripes = kDefaultStripes);
 
   /// Advances the reuse-window clock (one tick per scheduler arrival).
-  void AdvanceEpoch();
-  std::uint64_t Epoch() const;
+  void AdvanceEpoch() { epoch_.fetch_add(1, std::memory_order_relaxed); }
+  std::uint64_t Epoch() const {
+    return epoch_.load(std::memory_order_relaxed);
+  }
 
   /// Returns the entry and refreshes its recency, or nullptr on miss.
+  /// When `outcome` is non-null it receives the exact disposition of
+  /// this call (kExpired implies a nullptr return).
   std::shared_ptr<const CachedPrediction> Lookup(
-      const PredictionCacheKey& key) const;
+      const PredictionCacheKey& key,
+      CacheLookupOutcome* outcome = nullptr) const;
 
   /// Inserts (or refreshes) an entry, evicting the least recently used
-  /// entries beyond the capacity bound.
-  void Insert(const PredictionCacheKey& key, CachedPrediction entry);
+  /// entries of the key's stripe beyond its capacity share. Returns the
+  /// number of entries evicted by this call.
+  std::size_t Insert(const PredictionCacheKey& key, CachedPrediction entry);
 
   /// Drops every entry (retrain invalidation). Stats are kept.
   void Clear();
 
   std::size_t Size() const;
   std::size_t Capacity() const { return capacity_; }
+  std::size_t NumStripes() const { return stripes_.size(); }
 
   struct Stats {
     std::uint64_t hits = 0;
@@ -96,7 +132,10 @@ class PredictionCache {
     /// a miss for the lookup that found it stale).
     std::uint64_t expired = 0;
   };
+  /// Folded view over every stripe.
   Stats GetStats() const;
+  /// One stripe's tally (for tests asserting the fold is consistent).
+  Stats StripeStats(std::size_t stripe) const;
 
  private:
   struct Entry {
@@ -105,16 +144,28 @@ class PredictionCache {
     std::uint64_t inserted_epoch = 0;
   };
 
+  /// One lock domain: its own map, recency list, and tallies. Stats are
+  /// only ever written under `mutex`, so sharing the cache across
+  /// workers cannot race the counters.
+  struct Stripe {
+    mutable std::mutex mutex;
+    /// Most recently used at the front.
+    std::list<PredictionCacheKey> lru;
+    std::unordered_map<PredictionCacheKey, Entry, PredictionCacheKeyHash>
+        entries;
+    Stats stats;
+  };
+
+  Stripe& StripeFor(const PredictionCacheKey& key) const {
+    return stripes_[PredictionCacheKeyHash{}(key) % stripes_.size()];
+  }
+
   const std::size_t capacity_;
+  /// Per-stripe LRU bound: ceil(capacity_ / stripes).
+  const std::size_t stripe_capacity_;
   const std::size_t max_age_epochs_;
-  mutable std::uint64_t epoch_ = 0;
-  mutable std::mutex mutex_;
-  /// Most recently used at the front.
-  mutable std::list<PredictionCacheKey> lru_;
-  mutable std::unordered_map<PredictionCacheKey, Entry,
-                             PredictionCacheKeyHash>
-      entries_;
-  mutable Stats stats_;
+  std::atomic<std::uint64_t> epoch_{0};
+  mutable std::vector<Stripe> stripes_;
 };
 
 }  // namespace gaugur::core

@@ -52,18 +52,38 @@ GAugurPredictor::GAugurPredictor(const FeatureBuilder& features,
       config_(std::move(config)),
       rm_(ml::MakeRegressor(config_.rm_algorithm, config_.seed)),
       cm_(ml::MakeClassifier(config_.cm_algorithm, config_.seed + 1)),
-      cache_(config_.prediction_cache_capacity,
-             config_.prediction_cache_max_age_arrivals) {}
+      cache_(std::make_shared<PredictionCache>(
+          config_.prediction_cache_capacity,
+          config_.prediction_cache_max_age_arrivals,
+          config_.prediction_cache_stripes)) {}
+
+GAugurPredictor GAugurPredictor::MakeReplica(bool share_cache) const {
+  GAUGUR_CHECK_MSG(rm_trained_ || cm_trained_,
+                   "replicate after training: replicas cannot retrain");
+  GAugurPredictor replica(*this);  // shares models + cache (shared_ptr)
+  replica.is_replica_ = true;
+  if (!share_cache) {
+    // Control arm: same cache geometry, but cold and private to this
+    // replica (no cross-shard warming).
+    replica.cache_ = std::make_shared<PredictionCache>(
+        config_.prediction_cache_capacity,
+        config_.prediction_cache_max_age_arrivals,
+        config_.prediction_cache_stripes);
+  }
+  return replica;
+}
 
 void GAugurPredictor::TrainRm(std::span<const MeasuredColocation> corpus) {
   TrainRmOnDataset(BuildRmDataset(*features_, corpus));
 }
 
 void GAugurPredictor::TrainRmOnDataset(const ml::Dataset& dataset) {
+  GAUGUR_CHECK_MSG(!is_replica_,
+                   "replicas share the parent's models; retrain the parent");
   GAUGUR_CHECK(dataset.NumFeatures() == features_->RmDim());
   rm_->Fit(dataset);
   rm_trained_ = true;
-  cache_.Clear();  // memoized outputs belong to the previous model
+  cache_->Clear();  // memoized outputs belong to the previous model
   if (obs::Enabled()) {
     obs::ModelMonitor::Global().SetReference(obs::ModelKind::kRm,
                                              BuildFeatureReference(dataset));
@@ -82,10 +102,12 @@ void GAugurPredictor::TrainCm(std::span<const MeasuredColocation> corpus,
 }
 
 void GAugurPredictor::TrainCmOnDataset(const ml::Dataset& dataset) {
+  GAUGUR_CHECK_MSG(!is_replica_,
+                   "replicas share the parent's models; retrain the parent");
   GAUGUR_CHECK(dataset.NumFeatures() == features_->CmDim());
   cm_->Fit(dataset);
   cm_trained_ = true;
-  cache_.Clear();
+  cache_->Clear();
   if (obs::Enabled()) {
     obs::ModelMonitor::Global().SetReference(obs::ModelKind::kCm,
                                              BuildFeatureReference(dataset));
@@ -99,27 +121,35 @@ void GAugurPredictor::TrainCmOnDataset(const ml::Dataset& dataset) {
 }
 
 GAugurPredictor::BatchEval GAugurPredictor::EvalRmBatch(
-    std::span<const QosQuery> queries) const {
+    std::span<const QosQuery> queries,
+    std::span<const std::uint64_t> precomputed_keys) const {
   GAUGUR_CHECK_MSG(rm_trained_, "RM not trained");
   const bool obs_on = obs::Enabled();
-  const PredictionCache::Stats stats_before =
-      obs_on ? cache_.GetStats() : PredictionCache::Stats{};
   const std::size_t n = queries.size();
+  GAUGUR_CHECK(precomputed_keys.empty() || precomputed_keys.size() == n);
   BatchEval ev;
   ev.values.resize(n);
   ev.keys.resize(n);
   ev.x.resize(n);
   ev.hits.resize(n);
 
+  // Per-call cache tallies: the cache is shared across replicas, so
+  // snapshot diffs would absorb other threads' traffic — every outcome
+  // is reported exactly by Lookup/Insert instead.
+  std::uint64_t expired = 0, evicted = 0;
   std::vector<std::size_t> miss;
   miss.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    ev.keys[i] = ModelJoinKey(queries[i].victim, queries[i].corunners);
-    if (auto hit = cache_.Lookup({ev.keys[i], 0, kRmKind})) {
+    ev.keys[i] = precomputed_keys.empty()
+                     ? ModelJoinKey(queries[i].victim, queries[i].corunners)
+                     : precomputed_keys[i];
+    CacheLookupOutcome outcome;
+    if (auto hit = cache_->Lookup({ev.keys[i], 0, kRmKind}, &outcome)) {
       ev.values[i] = hit->value;
       ev.x[i] = hit->features;
       ev.hits[i] = std::move(hit);
     } else {
+      if (outcome == CacheLookupOutcome::kExpired) ++expired;
       miss.push_back(i);
     }
   }
@@ -142,46 +172,51 @@ GAugurPredictor::BatchEval GAugurPredictor::EvalRmBatch(
     ev.values[i] = degradation;
     const std::span<const double> row{ev.matrix.data() + j * dim, dim};
     ev.x[i] = row;
-    cache_.Insert({ev.keys[i], 0, kRmKind},
-                  {std::vector<double>(row.begin(), row.end()), degradation});
+    evicted += cache_->Insert(
+        {ev.keys[i], 0, kRmKind},
+        {std::vector<double>(row.begin(), row.end()), degradation});
   }
 
   if (obs_on) {
     auto& metrics = PredictorMetrics::Get();
-    const PredictionCache::Stats stats_after = cache_.GetStats();
     metrics.batch_size.Record(static_cast<double>(n));
     metrics.cache_hits.Add(n - miss.size());
     metrics.cache_misses.Add(miss.size());
-    metrics.cache_evictions.Add(stats_after.evictions -
-                                stats_before.evictions);
-    metrics.cache_expired.Add(stats_after.expired - stats_before.expired);
+    metrics.cache_evictions.Add(evicted);
+    metrics.cache_expired.Add(expired);
   }
   return ev;
 }
 
 GAugurPredictor::BatchEval GAugurPredictor::EvalCmBatch(
-    double qos_fps, std::span<const QosQuery> queries) const {
+    double qos_fps, std::span<const QosQuery> queries,
+    std::span<const std::uint64_t> precomputed_keys) const {
   GAUGUR_CHECK_MSG(cm_trained_, "CM not trained");
   const bool obs_on = obs::Enabled();
-  const PredictionCache::Stats stats_before =
-      obs_on ? cache_.GetStats() : PredictionCache::Stats{};
   const std::uint64_t qos_bits = std::bit_cast<std::uint64_t>(qos_fps);
   const std::size_t n = queries.size();
+  GAUGUR_CHECK(precomputed_keys.empty() || precomputed_keys.size() == n);
   BatchEval ev;
   ev.values.resize(n);
   ev.keys.resize(n);
   ev.x.resize(n);
   ev.hits.resize(n);
 
+  std::uint64_t expired = 0, evicted = 0;
   std::vector<std::size_t> miss;
   miss.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    ev.keys[i] = ModelJoinKey(queries[i].victim, queries[i].corunners);
-    if (auto hit = cache_.Lookup({ev.keys[i], qos_bits, kCmKind})) {
+    ev.keys[i] = precomputed_keys.empty()
+                     ? ModelJoinKey(queries[i].victim, queries[i].corunners)
+                     : precomputed_keys[i];
+    CacheLookupOutcome outcome;
+    if (auto hit =
+            cache_->Lookup({ev.keys[i], qos_bits, kCmKind}, &outcome)) {
       ev.values[i] = hit->value;
       ev.x[i] = hit->features;
       ev.hits[i] = std::move(hit);
     } else {
+      if (outcome == CacheLookupOutcome::kExpired) ++expired;
       miss.push_back(i);
     }
   }
@@ -202,19 +237,18 @@ GAugurPredictor::BatchEval GAugurPredictor::EvalCmBatch(
     ev.values[i] = out[j];
     const std::span<const double> row{ev.matrix.data() + j * dim, dim};
     ev.x[i] = row;
-    cache_.Insert({ev.keys[i], qos_bits, kCmKind},
-                  {std::vector<double>(row.begin(), row.end()), out[j]});
+    evicted += cache_->Insert(
+        {ev.keys[i], qos_bits, kCmKind},
+        {std::vector<double>(row.begin(), row.end()), out[j]});
   }
 
   if (obs_on) {
     auto& metrics = PredictorMetrics::Get();
-    const PredictionCache::Stats stats_after = cache_.GetStats();
     metrics.batch_size.Record(static_cast<double>(n));
     metrics.cache_hits.Add(n - miss.size());
     metrics.cache_misses.Add(miss.size());
-    metrics.cache_evictions.Add(stats_after.evictions -
-                                stats_before.evictions);
-    metrics.cache_expired.Add(stats_after.expired - stats_before.expired);
+    metrics.cache_evictions.Add(evicted);
+    metrics.cache_expired.Add(expired);
   }
   return ev;
 }
@@ -277,12 +311,13 @@ std::vector<char> GAugurPredictor::PredictQosOkBatch(
 
 std::vector<char> GAugurPredictor::QosOkBatchDetailed(
     double qos_fps, std::span<const QosQuery> queries,
-    std::vector<char>* cache_hit, std::vector<double>* margin) const {
+    std::vector<char>* cache_hit, std::vector<double>* margin,
+    std::span<const std::uint64_t> precomputed_keys) const {
   std::vector<char> ok(queries.size());
   if (cache_hit != nullptr) cache_hit->assign(queries.size(), 0);
   if (margin != nullptr) margin->assign(queries.size(), 0.0);
   if (cm_trained_) {
-    const BatchEval ev = EvalCmBatch(qos_fps, queries);
+    const BatchEval ev = EvalCmBatch(qos_fps, queries, precomputed_keys);
     const bool obs_on = obs::Enabled();
     for (std::size_t i = 0; i < queries.size(); ++i) {
       const bool feasible = ev.values[i] >= config_.cm_decision_threshold;
@@ -302,7 +337,7 @@ std::vector<char> GAugurPredictor::QosOkBatchDetailed(
     return ok;
   }
   // RM fallback: threshold the predicted absolute FPS against QoS.
-  const BatchEval ev = EvalRmBatch(queries);
+  const BatchEval ev = EvalRmBatch(queries, precomputed_keys);
   for (std::size_t i = 0; i < queries.size(); ++i) {
     const double fps = ev.values[i] * SoloFps(queries[i].victim);
     const bool feasible = fps >= qos_fps;
@@ -332,8 +367,15 @@ std::vector<char> GAugurPredictor::ScoreCandidates(
 
 std::vector<CandidateScore> GAugurPredictor::ScoreCandidatesDetailed(
     double qos_fps, std::span<const Colocation> candidates) const {
+  return ScoreCandidatesDetailed(qos_fps, candidates, {});
+}
+
+std::vector<CandidateScore> GAugurPredictor::ScoreCandidatesDetailed(
+    double qos_fps, std::span<const Colocation> candidates,
+    std::span<const std::uint64_t> set_hashes) const {
   // One scheduler arrival = one tick of the cache's reuse window.
-  cache_.AdvanceEpoch();
+  cache_->AdvanceEpoch();
+  GAUGUR_CHECK(set_hashes.empty() || set_hashes.size() == candidates.size());
 
   std::vector<CandidateScore> scores(candidates.size());
 
@@ -365,9 +407,17 @@ std::vector<CandidateScore> GAugurPredictor::ScoreCandidatesDetailed(
   queries.reserve(num_queries);
   std::vector<std::size_t> query_candidate;
   query_candidate.reserve(num_queries);
+  std::vector<std::uint64_t> query_keys;
+  query_keys.reserve(num_queries);
   for (std::size_t c = 0; c < candidates.size(); ++c) {
     if (!scores[c].memory_ok) continue;
     const Colocation& colocation = candidates[c];
+    // Additive colocation hash: supplied by an incremental-hash-keeping
+    // scheduler, else one O(k) sum here. Each victim's join key is then
+    // derived in O(1) — the co-runner sum is the total minus the victim.
+    const std::uint64_t total_hash =
+        set_hashes.empty() ? IncrementalColocationHash::FromScratch(colocation)
+                           : set_hashes[c];
     for (std::size_t v = 0; v < colocation.size(); ++v) {
       const std::size_t begin = pool.size();
       for (std::size_t j = 0; j < colocation.size(); ++j) {
@@ -378,13 +428,16 @@ std::vector<CandidateScore> GAugurPredictor::ScoreCandidatesDetailed(
            std::span<const SessionRequest>(pool.data() + begin,
                                            pool.size() - begin)});
       query_candidate.push_back(c);
+      const std::uint64_t victim_hash = SessionHash(colocation[v]);
+      query_keys.push_back(
+          JoinKeyFromHashes(victim_hash, total_hash - victim_hash));
     }
   }
 
   std::vector<char> hit;
   std::vector<double> margin;
   const std::vector<char> ok =
-      QosOkBatchDetailed(qos_fps, queries, &hit, &margin);
+      QosOkBatchDetailed(qos_fps, queries, &hit, &margin, query_keys);
   for (std::size_t q = 0; q < queries.size(); ++q) {
     CandidateScore& score = scores[query_candidate[q]];
     if (ok[q] == 0) score.feasible = false;

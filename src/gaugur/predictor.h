@@ -51,6 +51,11 @@ struct PredictorConfig {
   /// (ScoreCandidates calls): an entry older than this many arrivals
   /// expires on lookup. 0 = entries live until the next retrain.
   std::size_t prediction_cache_max_age_arrivals = 0;
+  /// Lock stripes of the PredictionCache. The sharded fleet service
+  /// shares one cache across every predictor replica, so contention
+  /// scales with stripe count; 1 reproduces the single-lock global-LRU
+  /// eviction order exactly (tests pinning eviction order use 1).
+  std::size_t prediction_cache_stripes = PredictionCache::kDefaultStripes;
 };
 
 /// Per-candidate provenance of one ScoreCandidatesDetailed call: how the
@@ -126,18 +131,45 @@ class GAugurPredictor {
   std::vector<CandidateScore> ScoreCandidatesDetailed(
       double qos_fps, std::span<const Colocation> candidates) const;
 
+  /// ScoreCandidatesDetailed with caller-supplied additive colocation
+  /// hashes: `set_hashes[c]` must equal
+  /// IncrementalColocationHash::FromScratch(candidates[c]) (typically
+  /// maintained incrementally by the scheduler, O(1) per
+  /// arrival/departure). Every per-victim cache/audit key is then derived
+  /// in O(1) by subtracting the victim's SessionHash — bit-identical to
+  /// the keys the plain overload computes by traversal. An empty span
+  /// falls back to hashing each candidate once.
+  std::vector<CandidateScore> ScoreCandidatesDetailed(
+      double qos_fps, std::span<const Colocation> candidates,
+      std::span<const std::uint64_t> set_hashes) const;
+
+  /// A shard-local handle onto this predictor for concurrent scoring:
+  /// shares the trained models (immutable between retrains), the feature
+  /// builder, and — deliberately — the striped PredictionCache, so one
+  /// replica's miss warms every replica. Replicas are cheap (a few
+  /// shared_ptr copies), must not be retrained (Train* CHECK-fails), and
+  /// are safe to use from one thread each while no thread retrains the
+  /// parent. `share_cache = false` gives the replica a private cache of
+  /// the same geometry instead — the control arm bench_fleet_scale uses
+  /// to measure what cross-shard warming is worth.
+  GAugurPredictor MakeReplica(bool share_cache = true) const;
+  bool IsReplica() const { return is_replica_; }
+
   /// Ticks the prediction-cache reuse window (one scheduler arrival).
   /// ScoreCandidates does this itself; custom drivers that only use
   /// PredictQosOkBatch call it once per arrival.
-  void AdvanceArrivalEpoch() const { cache_.AdvanceEpoch(); }
+  void AdvanceArrivalEpoch() const { cache_->AdvanceEpoch(); }
 
   const FeatureBuilder& Features() const { return *features_; }
 
-  /// Cache introspection (tests and run reports).
-  std::size_t PredictionCacheSize() const { return cache_.Size(); }
+  /// Cache introspection (tests and run reports). The cache object is
+  /// shared across MakeReplica() copies, so stats/size reflect the whole
+  /// replica group.
+  std::size_t PredictionCacheSize() const { return cache_->Size(); }
   PredictionCache::Stats PredictionCacheStats() const {
-    return cache_.GetStats();
+    return cache_->GetStats();
   }
+  const PredictionCache& Cache() const { return *cache_; }
 
  private:
   /// One memoized batch model evaluation. `values[i]` is the raw model
@@ -151,17 +183,24 @@ class GAugurPredictor {
     std::vector<std::shared_ptr<const CachedPrediction>> hits;
     std::vector<double> matrix;
   };
-  BatchEval EvalRmBatch(std::span<const QosQuery> queries) const;
-  BatchEval EvalCmBatch(double qos_fps,
-                        std::span<const QosQuery> queries) const;
+  /// `precomputed_keys`, when non-empty, supplies ModelJoinKey per query
+  /// (callers with incremental colocation hashes derive them in O(1));
+  /// empty means compute from the query itself. Either way the keys are
+  /// identical by construction.
+  BatchEval EvalRmBatch(std::span<const QosQuery> queries,
+                        std::span<const std::uint64_t> precomputed_keys = {})
+      const;
+  BatchEval EvalCmBatch(double qos_fps, std::span<const QosQuery> queries,
+                        std::span<const std::uint64_t> precomputed_keys = {})
+      const;
 
   /// PredictQosOkBatch plus optional per-query provenance: when non-null,
   /// `cache_hit[i]` is whether query i was served from the cache and
   /// `margin[i]` its feasibility margin (see CandidateScore::min_margin).
-  std::vector<char> QosOkBatchDetailed(double qos_fps,
-                                       std::span<const QosQuery> queries,
-                                       std::vector<char>* cache_hit,
-                                       std::vector<double>* margin) const;
+  std::vector<char> QosOkBatchDetailed(
+      double qos_fps, std::span<const QosQuery> queries,
+      std::vector<char>* cache_hit, std::vector<double>* margin,
+      std::span<const std::uint64_t> precomputed_keys = {}) const;
 
   /// Appends one RM audit record to the global model monitor (no-op while
   /// obs is disabled). `qos_fps` is 0 for raw FPS queries.
@@ -174,11 +213,17 @@ class GAugurPredictor {
 
   const FeatureBuilder* features_;
   PredictorConfig config_;
-  std::unique_ptr<ml::Regressor> rm_;
-  std::unique_ptr<ml::Classifier> cm_;
+  /// Shared with MakeReplica() copies; a model is immutable once trained
+  /// (retrains swap behavior in place, which is why replicas may not
+  /// retrain — see the CHECK in Train*OnDataset).
+  std::shared_ptr<ml::Regressor> rm_;
+  std::shared_ptr<ml::Classifier> cm_;
   bool rm_trained_ = false;
   bool cm_trained_ = false;
-  mutable PredictionCache cache_;
+  bool is_replica_ = false;
+  /// Shared across the replica group: one striped cache, so any
+  /// replica's miss is every replica's hit.
+  std::shared_ptr<PredictionCache> cache_;
 };
 
 }  // namespace gaugur::core

@@ -515,6 +515,22 @@ void HealthEngine::InstallDefaultRules(double qos_fps) {
     rule.for_ticks = 2;
     AddRule(std::move(rule));
   }
+  {
+    // Sharded fleet service: arrivals enqueued for shard workers but not
+    // yet admitted. The gauge drains to zero within a run; a large level
+    // sustained across tick barriers means shards have stalled (stuck
+    // worker, pathological policy) while players wait for admission.
+    AlertRule rule;
+    rule.name = "fleet_shard_backlog";
+    rule.severity = "warning";
+    rule.signal.kind = SignalKind::kGauge;
+    rule.signal.name = "sched.shard_backlog";
+    rule.condition = ConditionKind::kThreshold;
+    rule.threshold = 100000.0;
+    rule.for_ticks = 3;
+    rule.resolve_ticks = 2;
+    AddRule(std::move(rule));
+  }
 }
 
 bool HealthEngine::Armed() const {

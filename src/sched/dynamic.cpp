@@ -1,13 +1,22 @@
 #include "sched/dynamic.h"
 
 #include <algorithm>
+#include <barrier>
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <limits>
 #include <map>
+#include <memory>
 #include <optional>
+#include <set>
+#include <string>
+#include <thread>
 #include <unordered_map>
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "gaugur/predictor.h"
 #include "obs/event_log.h"
 #include "obs/health.h"
@@ -39,6 +48,12 @@ struct SchedMetrics {
   /// the default linear layout cannot resolve at both ends.
   obs::Histogram& decision_us = obs::Registry::Global().GetHistogram(
       "sched.decision_us", obs::Histogram::ExponentialBounds(1.0, 2.0, 16));
+  /// Sharded service: worker count of the run in flight, and arrivals not
+  /// yet admitted (drains to zero as shards process their queues — the
+  /// default health rules watch it for stalls).
+  obs::Gauge& shards = obs::Registry::Global().GetGauge("sched.shards");
+  obs::Gauge& shard_backlog =
+      obs::Registry::Global().GetGauge("sched.shard_backlog");
 
   static SchedMetrics& Get() {
     static SchedMetrics metrics;
@@ -60,6 +75,10 @@ struct LiveServer {
   /// Decision that most recently placed a session here; violation events
   /// link back to it ("why was this colocation formed?"). 0 = none.
   std::uint64_t last_decision_id = 0;
+  /// Additive Zobrist hash of the current colocation, maintained in O(1)
+  /// per arrival/departure; fed to hash-aware policies through
+  /// PendingOpenServerHashes so candidate cache keys never rehash the set.
+  core::IncrementalColocationHash set_hash;
 };
 
 /// Memoized ground truth per colocation content. Pressures are filled
@@ -71,66 +90,132 @@ struct GroundTruth {
   bool has_pressures = false;
 };
 
-/// Event: +1 arrival of request i, or -1 departure from server s.
-struct Event {
-  double time = 0.0;
-  bool is_arrival = false;
-  std::size_t index = 0;  // request index (arrival) or sequence breaker
-};
+/// One shard's half of the fleet simulation: owns its servers, departure
+/// queue, ground-truth memo, RNG stream, and per-shard tallies. The
+/// legacy single-threaded SimulateDynamicFleet is exactly one ShardSim in
+/// `shard < 0` mode (fleet-global ids == local ids, no event tagging,
+/// per-arrival health passes) — the sharded service runs N of these on
+/// pinned pool workers with tick barriers between windows.
+///
+/// Fleet-global server ids interleave shards: shard s's k-th local server
+/// is id `k * num_shards + s`, so ShardOfServer(id) recovers ownership.
+class ShardSim {
+ public:
+  struct Config {
+    const core::ColocationLab* lab = nullptr;
+    std::span<const DynamicRequest> requests;
+    /// This shard's arrivals: indices into `requests`, time-sorted.
+    std::vector<std::size_t> order;
+    DynamicOptions options;
+    /// -1 = legacy mode (single thread, untagged events, health per
+    /// arrival); >= 0 = sharded mode.
+    int shard = -1;
+    std::size_t num_shards = 1;
+    std::uint64_t seed = 0;
+    bool collect_latencies = false;
+    /// Full-size (requests.size()) array; each shard writes only its own
+    /// request indices, so concurrent shards never touch the same slot.
+    long long* placements_out = nullptr;
+  };
 
-}  // namespace
-
-DynamicResult SimulateDynamicFleet(const core::ColocationLab& lab,
-                                   std::span<const DynamicRequest> requests,
-                                   const PlacementPolicy& policy,
-                                   const DynamicOptions& options) {
-  GAUGUR_CHECK(options.max_sessions_per_server >= 1);
-  obs::ScopedSpan fleet_span("sched.SimulateDynamicFleet");
-
-  // Demo health subscriber: the future drift -> retrain loop will consume
-  // firing alerts exactly like this. For now a PSI-drift alert entering
-  // `firing` is acknowledged into the provenance log, so the closed-loop
-  // substrate (alert -> subscriber -> event) exists end to end.
-  std::optional<obs::SubscriptionScope> drift_ack;
-  if (obs::Enabled() && obs::HealthEngine::Global().Armed()) {
-    drift_ack.emplace(
-        obs::HealthEngine::Global(), [](const obs::AlertTransition& t) {
-          if (t.to != obs::AlertState::kFiring ||
-              t.signal != obs::SignalKind::kMonitorPsi) {
-            return;
-          }
-          obs::JsonObject fields;
-          fields["action"] = obs::JsonValue("ack_drift");
-          fields["rule"] = obs::JsonValue(t.rule);
-          fields["label"] = obs::JsonValue(t.label);
-          fields["value"] = obs::JsonValue(t.value);
-          obs::EventLog::Global().Append(obs::EventKind::kAlert, t.tick,
-                                         /*decision_id=*/0,
-                                         std::move(fields));
-        });
+  explicit ShardSim(Config config)
+      : lab_(*config.lab),
+        requests_(config.requests),
+        order_(std::move(config.order)),
+        options_(config.options),
+        shard_(config.shard),
+        num_shards_(std::max<std::size_t>(config.num_shards, 1)),
+        rng_(config.seed ^
+             (0x9e3779b97f4a7c15ULL *
+              (static_cast<std::uint64_t>(std::max(config.shard, 0)) + 1))),
+        collect_latencies_(config.collect_latencies),
+        placements_out_(config.placements_out),
+        violated_(config.requests.size(), 0),
+        shard_placements_(
+            config.shard >= 0
+                ? &obs::Registry::Global().GetCounter(
+                      "sched.shard." + std::to_string(config.shard) +
+                      ".placements")
+                : nullptr) {
+    GAUGUR_CHECK(options_.max_sessions_per_server >= 1);
+    result_.sessions = order_.size();
   }
 
-  // Sort arrivals by time (stable for determinism on ties).
-  std::vector<std::size_t> order(requests.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::size_t a, std::size_t b) {
-                     return requests[a].arrival_min < requests[b].arrival_min;
-                   });
+  /// Admits every arrival with arrival_min < window_end (departures due
+  /// before each arrival are processed first, as in the legacy loop).
+  void RunWindow(const PlacementPolicy& policy, double window_end) {
+    while (next_arrival_ < order_.size() &&
+           requests_[order_[next_arrival_]].arrival_min < window_end) {
+      ProcessArrival(policy, order_[next_arrival_]);
+      ++next_arrival_;
+    }
+  }
 
-  std::vector<LiveServer> servers;
-  std::vector<char> violated(requests.size(), 0);
-  // Memoized ground-truth QoS check per colocation content.
-  std::unordered_map<std::string, GroundTruth> fps_cache;
-  auto mark_violations = [&](std::size_t server_idx, double now) {
-    LiveServer& server = servers[server_idx];
+  /// Processes departures due by `until` (sharded mode runs this at every
+  /// window boundary so monitor totals and the time series never lag a
+  /// whole shard behind the barrier clock).
+  void DrainUpTo(double until) {
+    while (!departures_.empty() && departures_.begin()->first <= until) {
+      PopDeparture(/*with_health=*/false);
+    }
+  }
+
+  /// Drains every remaining departure (end of run). In legacy mode each
+  /// departure also runs a health pass, like the historical drain loop.
+  void FinalDrain() {
+    while (!departures_.empty()) {
+      PopDeparture(/*with_health=*/shard_ < 0);
+    }
+  }
+
+  std::size_t LiveSessions() const { return live_sessions_; }
+  double LastEventTime() const { return last_event_time_; }
+  std::vector<double>& Latencies() { return latencies_; }
+
+  DynamicResult TakeResult() {
+    for (char v : violated_) result_.violated_sessions += v != 0 ? 1 : 0;
+    return std::move(result_);
+  }
+
+ private:
+  std::uint64_t GlobalId(std::size_t local) const {
+    return shard_ < 0 ? local
+                      : static_cast<std::uint64_t>(local) * num_shards_ +
+                            static_cast<std::uint64_t>(shard_);
+  }
+
+  /// Adds the sharded-run shard tag (legacy events stay byte-identical).
+  void TagShard(obs::JsonObject& fields) const {
+    if (shard_ >= 0) fields["shard"] = obs::JsonValue(shard_);
+  }
+
+  /// Moves server `s` between the idle/open index sets after its session
+  /// count changed (erase on a set the server is not in is a no-op, which
+  /// also covers freshly created servers).
+  void Reclassify(std::size_t s, std::size_t old_n, std::size_t new_n) {
+    if (old_n == new_n) return;
+    if (old_n == 0) {
+      idle_.erase(s);
+    } else if (old_n < options_.max_sessions_per_server) {
+      open_.erase(s);
+    }
+    if (new_n == 0) {
+      idle_.insert(s);
+    } else if (new_n < options_.max_sessions_per_server) {
+      open_.insert(s);
+    }
+  }
+
+  void MarkViolations(std::size_t server_idx, double now) {
+    LiveServer& server = servers_[server_idx];
     if (server.sessions.empty()) return;
     Colocation content;
     for (const auto& s : server.sessions) content.push_back(s.session);
     const std::string key = core::ColocationKey(content);
-    auto it = fps_cache.find(key);
-    if (it == fps_cache.end()) {
-      it = fps_cache.emplace(key, GroundTruth{lab.TrueFps(content), {}, false})
+    auto it = fps_cache_.find(key);
+    if (it == fps_cache_.end()) {
+      it = fps_cache_
+               .emplace(key, GroundTruth{lab_.TrueFps(content), {}, false})
                .first;
       if (obs::Enabled()) {
         // First time this colocation content actually runs: feed each
@@ -148,48 +233,49 @@ DynamicResult SimulateDynamicFleet(const core::ColocationLab& lab,
           }
           const double realized = it->second.fps[i];
           obs::OutcomeContext context;
-          if (realized < options.qos_fps) {
+          if (realized < options_.qos_fps) {
             // QoS dip: ask the ground-truth lab which resource's
             // contention curve drove it and which co-runner's removal
             // would buy back the most FPS, then link the violation event
             // to the decision that formed this colocation.
             const core::InterferenceAttribution attr =
-                lab.AttributeInterference(content, i);
+                lab_.AttributeInterference(content, i);
             context.dominant_resource =
                 std::string(resources::Name(attr.dominant_resource));
             context.offender_game_id = attr.offender_game_id;
             obs::JsonObject fields;
             fields["server"] = obs::JsonValue(
-                static_cast<unsigned long long>(server_idx));
+                static_cast<unsigned long long>(GlobalId(server_idx)));
             fields["victim_game"] = obs::JsonValue(content[i].game_id);
             fields["realized_fps"] = obs::JsonValue(realized);
-            fields["qos_fps"] = obs::JsonValue(options.qos_fps);
+            fields["qos_fps"] = obs::JsonValue(options_.qos_fps);
             fields["dominant_resource"] =
                 obs::JsonValue(context.dominant_resource);
             fields["dominant_damage"] = obs::JsonValue(attr.dominant_damage);
             fields["offender_game"] = obs::JsonValue(attr.offender_game_id);
             fields["offender_fps_gain"] =
                 obs::JsonValue(attr.offender_fps_gain);
-            obs::EventLog::Global().Append(obs::EventKind::kQosViolation, now,
-                                           server.last_decision_id,
+            TagShard(fields);
+            obs::EventLog::Global().Append(obs::EventKind::kQosViolation,
+                                           now, server.last_decision_id,
                                            std::move(fields));
           }
           obs::ModelMonitor::Global().ObserveOutcome(
               core::ModelJoinKey(content[i], corunners), realized,
-              options.qos_fps, context);
+              options_.qos_fps, context);
         }
       }
     }
     for (std::size_t i = 0; i < server.sessions.size(); ++i) {
-      if (it->second.fps[i] < options.qos_fps) {
-        violated[server.sessions[i].request_index] = 1;
+      if (it->second.fps[i] < options_.qos_fps) {
+        violated_[server.sessions[i].request_index] = 1;
       }
     }
     if (obs::Enabled()) {
       // Sample this server's state into the fleet time series. Pressures
       // are solved once per distinct content and reused from the cache.
       if (!it->second.has_pressures) {
-        it->second.pressures = lab.TruePressures(content);
+        it->second.pressures = lab_.TruePressures(content);
         it->second.has_pressures = true;
       }
       obs::ServerSample sample;
@@ -205,153 +291,196 @@ DynamicResult SimulateDynamicFleet(const core::ColocationLab& lab,
         }
         sample.slots.push_back(std::move(slot));
       }
-      obs::FleetTimeSeries::Global().Record(server_idx, std::move(sample));
+      obs::FleetTimeSeries::Global().Record(GlobalId(server_idx),
+                                            std::move(sample));
     }
-  };
+  }
 
-  DynamicResult result;
-  result.sessions = requests.size();
-
-  // Departure queue: (time, server index, request index).
-  std::multimap<double, std::pair<std::size_t, std::size_t>> departures;
-
-  std::size_t live_servers = 0;
-  auto bill_and_update = [&](std::size_t server_idx, double now,
-                             bool now_empty) {
-    LiveServer& server = servers[server_idx];
+  void BillAndUpdate(std::size_t server_idx, double now, bool now_empty) {
+    LiveServer& server = servers_[server_idx];
     if (server.powered && now_empty) {
-      result.server_minutes += now - server.powered_since;
+      result_.server_minutes += now - server.powered_since;
       server.powered = false;
-      --live_servers;
+      --live_servers_;
       if (obs::Enabled()) {
-        obs::EventLog::Global().Append(
-            obs::EventKind::kPowerOff, now, /*decision_id=*/0,
-            {{"server", obs::JsonValue(
-                            static_cast<unsigned long long>(server_idx))}});
+        obs::JsonObject fields;
+        fields["server"] = obs::JsonValue(
+            static_cast<unsigned long long>(GlobalId(server_idx)));
+        TagShard(fields);
+        obs::EventLog::Global().Append(obs::EventKind::kPowerOff, now,
+                                       /*decision_id=*/0, std::move(fields));
         // A drained server carries no FPS deficit: record an empty sample
         // so the health engine's per-server signal resolves instead of
         // firing forever on the last occupied state.
-        obs::FleetTimeSeries::Global().Record(server_idx,
+        obs::FleetTimeSeries::Global().Record(GlobalId(server_idx),
                                               obs::ServerSample{now, {}});
       }
     } else if (!server.powered && !now_empty) {
       server.powered = true;
       server.powered_since = now;
-      ++live_servers;
-      ++result.powerons;
+      ++live_servers_;
+      ++result_.powerons;
       SchedMetrics::Get().powerons.Add(1);
       if (obs::Enabled()) {
-        obs::EventLog::Global().Append(
-            obs::EventKind::kPowerOn, now, /*decision_id=*/0,
-            {{"server", obs::JsonValue(
-                            static_cast<unsigned long long>(server_idx))}});
+        obs::JsonObject fields;
+        fields["server"] = obs::JsonValue(
+            static_cast<unsigned long long>(GlobalId(server_idx)));
+        TagShard(fields);
+        obs::EventLog::Global().Append(obs::EventKind::kPowerOn, now,
+                                       /*decision_id=*/0, std::move(fields));
       }
     }
-    result.peak_servers = std::max(result.peak_servers, live_servers);
-  };
+    result_.peak_servers = std::max(result_.peak_servers, live_servers_);
+  }
 
-  std::vector<Colocation> open_view;
-  std::vector<std::size_t> open_index;
-
-  for (std::size_t oi : order) {
-    const DynamicRequest& request = requests[oi];
-    const double now = request.arrival_min;
-
+  void PopDeparture(bool with_health) {
+    const auto [server_idx, request_idx] = departures_.begin()->second;
+    const double when = departures_.begin()->first;
+    departures_.erase(departures_.begin());
+    LiveServer& server = servers_[server_idx];
+    auto it = std::find_if(server.sessions.begin(), server.sessions.end(),
+                           [&](const LiveSession& s) {
+                             return s.request_index == request_idx;
+                           });
+    GAUGUR_CHECK(it != server.sessions.end());
+    const std::size_t old_n = server.sessions.size();
+    server.set_hash.Remove(it->session);
+    server.sessions.erase(it);
+    --live_sessions_;
+    Reclassify(server_idx, old_n, old_n - 1);
+    last_event_time_ = std::max(last_event_time_, when);
     if (obs::Enabled()) {
-      // When a streaming sink is attached, the background writer drains
-      // the event rings as the run progresses — the fleet simulator no
-      // longer holds the full history in memory. The sink only needs to
-      // learn the sim clock for stamping metrics-delta lines.
+      obs::JsonObject fields;
+      fields["server"] = obs::JsonValue(
+          static_cast<unsigned long long>(GlobalId(server_idx)));
+      fields["request_index"] =
+          obs::JsonValue(static_cast<unsigned long long>(request_idx));
+      TagShard(fields);
+      obs::EventLog::Global().Append(obs::EventKind::kDeparture, when,
+                                     /*decision_id=*/0, std::move(fields));
+    }
+    MarkViolations(server_idx, when);  // survivors' smaller colocation
+    BillAndUpdate(server_idx, when, server.sessions.empty());
+    if (with_health && obs::Enabled()) {
+      obs::HealthEngine::Global().Evaluate(when);
+    }
+  }
+
+  /// Picks the open-server candidates for one arrival: every open server
+  /// (ascending index — the legacy contract) when uncapped or under the
+  /// cap, else the lowest-index half of the cap plus a seeded random
+  /// sample of the remaining open servers (Floyd's algorithm on this
+  /// shard's RNG stream), re-sorted so the view stays ascending.
+  void SelectCandidates() {
+    candidate_locals_.clear();
+    const std::size_t cap = options_.max_policy_candidates;
+    if (cap == 0 || open_.size() <= cap) {
+      candidate_locals_.assign(open_.begin(), open_.end());
+      return;
+    }
+    scratch_.assign(open_.begin(), open_.end());
+    const std::size_t prefix = cap / 2;
+    candidate_locals_.assign(scratch_.begin(), scratch_.begin() + prefix);
+    const std::size_t tail_n = scratch_.size() - prefix;
+    const std::size_t want = cap - prefix;
+    sample_.clear();
+    for (std::size_t j = tail_n - want; j < tail_n; ++j) {
+      const std::size_t t = rng_.UniformInt(j + 1);
+      if (sample_.insert(scratch_[prefix + t]).second) continue;
+      sample_.insert(scratch_[prefix + j]);
+    }
+    candidate_locals_.insert(candidate_locals_.end(), sample_.begin(),
+                             sample_.end());
+    // sample_ is an ordered set and the prefix precedes every tail
+    // element, so candidate_locals_ is already ascending.
+  }
+
+  void ProcessArrival(const PlacementPolicy& policy, std::size_t oi) {
+    const DynamicRequest& request = requests_[oi];
+    const double now = request.arrival_min;
+    last_event_time_ = std::max(last_event_time_, now);
+
+    if (shard_ < 0 && obs::Enabled()) {
+      // Legacy mode: the sim clock advances per arrival. (Sharded runs
+      // tick the sink and health engine at barrier boundaries instead,
+      // while every shard is quiescent.)
       if (obs::TelemetrySink* sink = obs::TelemetrySink::Active()) {
         sink->NoteTick(now);
       }
-      // One health pass per sim tick: rules watch the registry, model
-      // monitor, per-server FPS, and sink counters as the run unfolds.
       obs::HealthEngine::Global().Evaluate(now);
     }
 
     // Process departures up to `now`.
-    while (!departures.empty() && departures.begin()->first <= now) {
-      const auto [server_idx, request_idx] = departures.begin()->second;
-      const double when = departures.begin()->first;
-      departures.erase(departures.begin());
-      LiveServer& server = servers[server_idx];
-      auto it = std::find_if(server.sessions.begin(), server.sessions.end(),
-                             [&](const LiveSession& s) {
-                               return s.request_index == request_idx;
-                             });
-      GAUGUR_CHECK(it != server.sessions.end());
-      server.sessions.erase(it);
-      if (obs::Enabled()) {
-        obs::EventLog::Global().Append(
-            obs::EventKind::kDeparture, when, /*decision_id=*/0,
-            {{"server",
-              obs::JsonValue(static_cast<unsigned long long>(server_idx))},
-             {"request_index",
-              obs::JsonValue(static_cast<unsigned long long>(request_idx))}});
-      }
-      mark_violations(server_idx, when);  // survivors' smaller colocation
-      bill_and_update(server_idx, when, server.sessions.empty());
+    while (!departures_.empty() && departures_.begin()->first <= now) {
+      PopDeparture(/*with_health=*/false);
     }
 
     // Policy sees only servers with a free slot.
-    open_view.clear();
-    open_index.clear();
-    for (std::size_t s = 0; s < servers.size(); ++s) {
-      if (servers[s].sessions.empty() ||
-          servers[s].sessions.size() >= options.max_sessions_per_server) {
-        continue;
-      }
+    SelectCandidates();
+    open_view_.clear();
+    open_index_.clear();
+    std::vector<std::uint64_t>& open_hashes = PendingOpenServerHashes();
+    open_hashes.clear();
+    for (std::size_t s : candidate_locals_) {
       Colocation content;
-      for (const auto& live : servers[s].sessions) {
+      for (const auto& live : servers_[s].sessions) {
         content.push_back(live.session);
       }
-      open_view.push_back(std::move(content));
-      open_index.push_back(s);
+      open_view_.push_back(std::move(content));
+      open_index_.push_back(s);
+      open_hashes.push_back(servers_[s].set_hash.Value());
     }
 
     if (obs::Enabled()) {
-      obs::EventLog::Global().Append(
-          obs::EventKind::kArrival, now, /*decision_id=*/0,
-          {{"request_index", obs::JsonValue(static_cast<unsigned long long>(oi))},
-           {"game_id", obs::JsonValue(request.session.game_id)},
-           {"pixels", obs::JsonValue(request.session.resolution.NumPixels())},
-           {"duration_min", obs::JsonValue(request.duration_min)}});
+      obs::JsonObject fields;
+      fields["request_index"] =
+          obs::JsonValue(static_cast<unsigned long long>(oi));
+      fields["game_id"] = obs::JsonValue(request.session.game_id);
+      fields["pixels"] = obs::JsonValue(request.session.resolution.NumPixels());
+      fields["duration_min"] = obs::JsonValue(request.duration_min);
+      TagShard(fields);
+      obs::EventLog::Global().Append(obs::EventKind::kArrival, now,
+                                     /*decision_id=*/0, std::move(fields));
     }
 
     int choice;
     PendingDecisionDetail().Clear();
     {
-      obs::ScopedTimer decision_timer(SchedMetrics::Get().decision_us);
-      choice = policy(open_view, request.session);
+      const auto t0 = std::chrono::steady_clock::now();
+      choice = policy(open_view_, request.session);
+      const double us =
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+      SchedMetrics::Get().decision_us.Record(us);
+      if (collect_latencies_) latencies_.push_back(us);
     }
     if (obs::Enabled()) {
       SchedMetrics& metrics = SchedMetrics::Get();
       metrics.placements.Add(1);
+      if (shard_placements_ != nullptr) shard_placements_->Add(1);
+      if (shard_ >= 0) metrics.shard_backlog.Sub(1);
       // Open servers the policy was offered but did not pick.
-      metrics.candidates_rejected.Add(open_view.size() -
+      metrics.candidates_rejected.Add(open_view_.size() -
                                       (choice >= 0 ? 1 : 0));
     }
     std::size_t target;
     if (choice < 0) {
-      // Reuse a powered-off slot if one exists, else grow the fleet.
-      auto idle = std::find_if(servers.begin(), servers.end(),
-                               [](const LiveServer& s) {
-                                 return s.sessions.empty();
-                               });
-      if (idle == servers.end()) {
-        servers.emplace_back();
-        target = servers.size() - 1;
+      // Reuse a powered-off slot if one exists (lowest index, like the
+      // legacy first-empty scan), else grow the fleet.
+      if (idle_.empty()) {
+        servers_.emplace_back();
+        target = servers_.size() - 1;
       } else {
-        target = static_cast<std::size_t>(idle - servers.begin());
+        target = *idle_.begin();
       }
     } else {
-      GAUGUR_CHECK_MSG(static_cast<std::size_t>(choice) < open_view.size(),
+      GAUGUR_CHECK_MSG(static_cast<std::size_t>(choice) < open_view_.size(),
                        "policy returned an invalid server index");
-      target = open_index[static_cast<std::size_t>(choice)];
+      target = open_index_[static_cast<std::size_t>(choice)];
     }
-    LiveServer& server = servers[target];
-    GAUGUR_CHECK(server.sessions.size() < options.max_sessions_per_server);
+    LiveServer& server = servers_[target];
+    GAUGUR_CHECK(server.sessions.size() < options_.max_sessions_per_server);
     if (obs::Enabled()) {
       // One decision event per arrival, carrying the policy's judgement of
       // every open candidate (when the policy published one) so a later
@@ -364,10 +493,11 @@ DynamicResult SimulateDynamicFleet(const core::ColocationLab& lab,
           obs::JsonValue(static_cast<unsigned long long>(oi));
       fields["game_id"] = obs::JsonValue(request.session.game_id);
       fields["num_candidates"] =
-          obs::JsonValue(static_cast<unsigned long long>(open_view.size()));
+          obs::JsonValue(static_cast<unsigned long long>(open_view_.size()));
       fields["choice"] = obs::JsonValue(choice);
-      fields["target_server"] =
-          obs::JsonValue(static_cast<unsigned long long>(target));
+      fields["target_server"] = obs::JsonValue(
+          static_cast<unsigned long long>(GlobalId(target)));
+      TagShard(fields);
       const DecisionDetail& detail = PendingDecisionDetail();
       if (detail.has_detail) {
         obs::JsonArray candidates;
@@ -393,41 +523,292 @@ DynamicResult SimulateDynamicFleet(const core::ColocationLab& lab,
       obs::EventLog::Global().Append(obs::EventKind::kDecision, now,
                                      decision_id, std::move(fields));
     }
-    const bool was_empty = server.sessions.empty();
+    const std::size_t old_n = server.sessions.size();
     server.sessions.push_back(
         {request.session, oi, now + request.duration_min});
-    if (was_empty) bill_and_update(target, now, /*now_empty=*/false);
-    mark_violations(target, now);
-    departures.emplace(now + request.duration_min, std::make_pair(target, oi));
-  }
-
-  // Drain remaining departures.
-  while (!departures.empty()) {
-    const auto [server_idx, request_idx] = departures.begin()->second;
-    const double when = departures.begin()->first;
-    departures.erase(departures.begin());
-    LiveServer& server = servers[server_idx];
-    auto it = std::find_if(server.sessions.begin(), server.sessions.end(),
-                           [&](const LiveSession& s) {
-                             return s.request_index == request_idx;
-                           });
-    GAUGUR_CHECK(it != server.sessions.end());
-    server.sessions.erase(it);
-    if (obs::Enabled()) {
-      obs::EventLog::Global().Append(
-          obs::EventKind::kDeparture, when, /*decision_id=*/0,
-          {{"server",
-            obs::JsonValue(static_cast<unsigned long long>(server_idx))},
-           {"request_index",
-            obs::JsonValue(static_cast<unsigned long long>(request_idx))}});
+    server.set_hash.Add(request.session);
+    ++live_sessions_;
+    peak_live_sessions_ = std::max(peak_live_sessions_, live_sessions_);
+    Reclassify(target, old_n, old_n + 1);
+    if (placements_out_ != nullptr) {
+      placements_out_[oi] = static_cast<long long>(GlobalId(target));
     }
-    mark_violations(server_idx, when);
-    bill_and_update(server_idx, when, server.sessions.empty());
-    if (obs::Enabled()) obs::HealthEngine::Global().Evaluate(when);
+    if (old_n == 0) BillAndUpdate(target, now, /*now_empty=*/false);
+    MarkViolations(target, now);
+    departures_.emplace(now + request.duration_min,
+                        std::make_pair(target, oi));
   }
 
-  for (char v : violated) result.violated_sessions += v != 0 ? 1 : 0;
+  const core::ColocationLab& lab_;
+  std::span<const DynamicRequest> requests_;
+  std::vector<std::size_t> order_;
+  std::size_t next_arrival_ = 0;
+  DynamicOptions options_;
+  int shard_;
+  std::size_t num_shards_;
+  common::Rng rng_;
+  bool collect_latencies_;
+  long long* placements_out_;
+
+  std::vector<LiveServer> servers_;
+  /// Local indices of partially filled servers (0 < n < max), ordered so
+  /// the per-arrival candidate view stays ascending like the legacy scan.
+  std::set<std::size_t> open_;
+  /// Local indices of empty (powered-off) servers; begin() is the legacy
+  /// first-empty reuse choice.
+  std::set<std::size_t> idle_;
+  std::multimap<double, std::pair<std::size_t, std::size_t>> departures_;
+  std::unordered_map<std::string, GroundTruth> fps_cache_;
+  std::vector<char> violated_;
+  DynamicResult result_;
+  std::size_t live_servers_ = 0;
+  std::size_t live_sessions_ = 0;
+  std::size_t peak_live_sessions_ = 0;
+  double last_event_time_ = 0.0;
+  std::vector<double> latencies_;
+  obs::Counter* shard_placements_;
+
+  // Per-arrival scratch (kept across arrivals to avoid reallocation).
+  std::vector<Colocation> open_view_;
+  std::vector<std::size_t> open_index_;
+  std::vector<std::size_t> candidate_locals_;
+  std::vector<std::size_t> scratch_;
+  std::set<std::size_t> sample_;
+};
+
+/// Sorts request indices by arrival time (stable on ties, like the
+/// legacy loop).
+std::vector<std::size_t> TimeOrder(std::span<const DynamicRequest> requests) {
+  std::vector<std::size_t> order(requests.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return requests[a].arrival_min < requests[b].arrival_min;
+                   });
+  return order;
+}
+
+/// Demo health subscriber: the future drift -> retrain loop will consume
+/// firing alerts exactly like this. A PSI-drift alert entering `firing`
+/// is acknowledged into the provenance log, so the closed-loop substrate
+/// (alert -> subscriber -> event) exists end to end.
+void InstallDriftAck(std::optional<obs::SubscriptionScope>& drift_ack) {
+  if (obs::Enabled() && obs::HealthEngine::Global().Armed()) {
+    drift_ack.emplace(
+        obs::HealthEngine::Global(), [](const obs::AlertTransition& t) {
+          if (t.to != obs::AlertState::kFiring ||
+              t.signal != obs::SignalKind::kMonitorPsi) {
+            return;
+          }
+          obs::JsonObject fields;
+          fields["action"] = obs::JsonValue("ack_drift");
+          fields["rule"] = obs::JsonValue(t.rule);
+          fields["label"] = obs::JsonValue(t.label);
+          fields["value"] = obs::JsonValue(t.value);
+          obs::EventLog::Global().Append(obs::EventKind::kAlert, t.tick,
+                                         /*decision_id=*/0,
+                                         std::move(fields));
+        });
+  }
+}
+
+double Quantile(std::vector<double>& values, double q) {
+  if (values.empty()) return 0.0;
+  const std::size_t k = static_cast<std::size_t>(
+      q * static_cast<double>(values.size() - 1) + 0.5);
+  std::nth_element(values.begin(), values.begin() + k, values.end());
+  return values[k];
+}
+
+}  // namespace
+
+DynamicResult SimulateDynamicFleet(const core::ColocationLab& lab,
+                                   std::span<const DynamicRequest> requests,
+                                   const PlacementPolicy& policy,
+                                   const DynamicOptions& options) {
+  GAUGUR_CHECK(options.max_sessions_per_server >= 1);
+  obs::ScopedSpan fleet_span("sched.SimulateDynamicFleet");
+  std::optional<obs::SubscriptionScope> drift_ack;
+  InstallDriftAck(drift_ack);
+
+  std::vector<long long> placements(requests.size(), -1);
+  ShardSim sim({.lab = &lab,
+                .requests = requests,
+                .order = TimeOrder(requests),
+                .options = options,
+                .shard = -1,
+                .num_shards = 1,
+                .seed = 0,
+                .collect_latencies = false,
+                .placements_out = placements.data()});
+  sim.RunWindow(policy, std::numeric_limits<double>::infinity());
+  sim.FinalDrain();
+  DynamicResult result = sim.TakeResult();
+  result.placements = std::move(placements);
   return result;
+}
+
+std::size_t FleetShardsFromEnv() {
+  if (const char* env = std::getenv("GAUGUR_FLEET_SHARDS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) return static_cast<std::size_t>(parsed);
+  }
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+ShardedFleetResult SimulateShardedFleet(
+    const core::ColocationLab& lab, std::span<const DynamicRequest> requests,
+    const ShardPolicyFactory& policy_factory,
+    const ShardedFleetOptions& options) {
+  GAUGUR_CHECK(options.dynamic.max_sessions_per_server >= 1);
+  GAUGUR_CHECK(options.tick_window_min > 0.0);
+  const std::size_t num_shards = std::max<std::size_t>(options.num_shards, 1);
+  obs::ScopedSpan fleet_span("sched.SimulateShardedFleet");
+  std::optional<obs::SubscriptionScope> drift_ack;
+  InstallDriftAck(drift_ack);
+
+  // Route arrivals round-robin over the time-sorted order: shard i % N
+  // takes the i-th arrival, so every shard sees an even slice of the
+  // arrival process (same rate, same time span).
+  const std::vector<std::size_t> order = TimeOrder(requests);
+  std::vector<std::vector<std::size_t>> shard_orders(num_shards);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    shard_orders[i % num_shards].push_back(order[i]);
+  }
+  const double last_arrival =
+      order.empty() ? 0.0 : requests[order.back()].arrival_min;
+
+  // Barrier schedule: identical on every shard, ending strictly after the
+  // last arrival so the final RunWindow admits everything.
+  std::vector<double> window_ends;
+  for (double t = options.tick_window_min;; t += options.tick_window_min) {
+    window_ends.push_back(t);
+    if (t > last_arrival) break;
+  }
+
+  std::vector<long long> placements(requests.size(), -1);
+  std::vector<std::unique_ptr<ShardSim>> sims;
+  std::vector<PlacementPolicy> policies;
+  sims.reserve(num_shards);
+  policies.reserve(num_shards);
+  for (std::size_t k = 0; k < num_shards; ++k) {
+    sims.push_back(std::make_unique<ShardSim>(
+        ShardSim::Config{.lab = &lab,
+                         .requests = requests,
+                         .order = std::move(shard_orders[k]),
+                         .options = options.dynamic,
+                         .shard = static_cast<int>(k),
+                         .num_shards = num_shards,
+                         .seed = options.seed,
+                         .collect_latencies =
+                             options.collect_decision_latencies,
+                         .placements_out = placements.data()}));
+    policies.push_back(policy_factory(k));
+  }
+
+  if (obs::Enabled()) {
+    SchedMetrics::Get().shards.Add(static_cast<std::int64_t>(num_shards));
+    SchedMetrics::Get().shard_backlog.Add(
+        static_cast<std::int64_t>(requests.size()));
+  }
+
+  // Tick barrier: when every shard has admitted its window and gone
+  // quiescent, exactly one thread samples fleet-wide concurrency and runs
+  // the health + telemetry-sink tick — the sharded analogue of the legacy
+  // per-arrival passes.
+  std::size_t ticks = 0;
+  std::size_t peak_live = 0;
+  auto on_tick = [&]() noexcept {
+    const double window_end =
+        window_ends[std::min(ticks, window_ends.size() - 1)];
+    std::size_t live = 0;
+    for (const auto& sim : sims) live += sim->LiveSessions();
+    peak_live = std::max(peak_live, live);
+    ++ticks;
+    if (obs::Enabled()) {
+      try {
+        if (obs::TelemetrySink* sink = obs::TelemetrySink::Active()) {
+          sink->NoteTick(window_end);
+        }
+        obs::HealthEngine::Global().Evaluate(window_end);
+      } catch (...) {
+        // A throwing health pass must not take down the barrier; the
+        // run's final Evaluate will surface persistent problems.
+      }
+    }
+  };
+  std::barrier barrier(static_cast<std::ptrdiff_t>(num_shards), on_tick);
+
+  // One dedicated worker per shard, pinned by name so every task of shard
+  // k runs on worker k (the shard's state needs no locking). The pool is
+  // private to this call: pinning to the global pool would deadlock the
+  // barrier whenever it has fewer workers than shards.
+  common::ThreadPool pool(num_shards);
+  std::vector<std::exception_ptr> errors(num_shards);
+  std::vector<std::future<void>> futures;
+  futures.reserve(num_shards);
+  for (std::size_t k = 0; k < num_shards; ++k) {
+    futures.push_back(pool.SubmitNamed(
+        "fleet-shard-" + std::to_string(k), [&, k] {
+          for (const double window_end : window_ends) {
+            if (!errors[k]) {
+              try {
+                sims[k]->RunWindow(policies[k], window_end);
+                sims[k]->DrainUpTo(window_end);
+              } catch (...) {
+                // Keep arriving at the barrier so no sibling deadlocks;
+                // the error is rethrown on the caller's thread below.
+                errors[k] = std::current_exception();
+              }
+            }
+            barrier.arrive_and_wait();
+          }
+          if (!errors[k]) {
+            try {
+              sims[k]->FinalDrain();
+            } catch (...) {
+              errors[k] = std::current_exception();
+            }
+          }
+        }));
+  }
+  for (auto& f : futures) f.wait();
+
+  if (obs::Enabled()) {
+    SchedMetrics::Get().shards.Sub(static_cast<std::int64_t>(num_shards));
+  }
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+
+  ShardedFleetResult out;
+  out.num_shards = num_shards;
+  out.ticks = ticks;
+  out.peak_concurrent_sessions = peak_live;
+  out.per_shard.reserve(num_shards);
+  std::vector<double> all_latencies;
+  double last_event = 0.0;
+  for (std::size_t k = 0; k < num_shards; ++k) {
+    last_event = std::max(last_event, sims[k]->LastEventTime());
+    all_latencies.insert(all_latencies.end(), sims[k]->Latencies().begin(),
+                         sims[k]->Latencies().end());
+    out.per_shard.push_back(sims[k]->TakeResult());
+    const DynamicResult& shard = out.per_shard.back();
+    out.total.server_minutes += shard.server_minutes;
+    out.total.peak_servers += shard.peak_servers;
+    out.total.sessions += shard.sessions;
+    out.total.violated_sessions += shard.violated_sessions;
+    out.total.powerons += shard.powerons;
+  }
+  out.total.placements = std::move(placements);
+  out.decision_latency_p50_us = Quantile(all_latencies, 0.50);
+  out.decision_latency_p99_us = Quantile(all_latencies, 0.99);
+  if (obs::Enabled()) {
+    // One final pass after the drain, like the legacy loop's tail.
+    obs::HealthEngine::Global().Evaluate(
+        std::max(last_event, window_ends.back()));
+  }
+  return out;
 }
 
 std::vector<DynamicRequest> GenerateDynamicTrace(
@@ -500,39 +881,86 @@ DecisionDetail& PendingDecisionDetail() {
   return detail;
 }
 
+std::vector<std::uint64_t>& PendingOpenServerHashes() {
+  thread_local std::vector<std::uint64_t> hashes;
+  return hashes;
+}
+
+namespace {
+
+/// Shared core of MakeProvenancePolicy / MakeReplicatedProvenanceFactory:
+/// first-feasible over ScoreCandidatesDetailed, publishing per-candidate
+/// provenance, with candidate cache keys derived from the simulator's
+/// incremental open-server hashes when available.
+int ProvenancePlacement(const core::GAugurPredictor& predictor,
+                        double qos_fps,
+                        std::span<const Colocation> open_servers,
+                        const SessionRequest& arrival) {
+  if (open_servers.empty()) {
+    // Still one arrival for the prediction cache's reuse window.
+    predictor.AdvanceArrivalEpoch();
+    return -1;
+  }
+  std::vector<Colocation> candidates;
+  candidates.reserve(open_servers.size());
+  for (const Colocation& content : open_servers) {
+    Colocation extended = content;
+    extended.push_back(arrival);
+    candidates.push_back(std::move(extended));
+  }
+  // The simulator publishes each open server's additive colocation hash;
+  // extending a candidate with the arrival is one O(1) hash addition, so
+  // scoring never rehashes a co-runner set.
+  const std::vector<std::uint64_t>& open_hashes = PendingOpenServerHashes();
+  std::vector<std::uint64_t> set_hashes;
+  if (open_hashes.size() == open_servers.size()) {
+    set_hashes.reserve(open_hashes.size());
+    const std::uint64_t arrival_hash = core::SessionHash(arrival);
+    for (const std::uint64_t h : open_hashes) {
+      set_hashes.push_back(h + arrival_hash);
+    }
+  }
+  const std::vector<core::CandidateScore> scores =
+      predictor.ScoreCandidatesDetailed(qos_fps, candidates, set_hashes);
+  DecisionDetail& detail = PendingDecisionDetail();
+  detail.Clear();
+  if (obs::Enabled()) {
+    detail.has_detail = true;
+    detail.candidates.reserve(scores.size());
+    for (const core::CandidateScore& score : scores) {
+      detail.candidates.push_back({score.feasible, score.memory_ok,
+                                   score.queries, score.cache_hits,
+                                   score.min_margin});
+    }
+  }
+  for (std::size_t s = 0; s < scores.size(); ++s) {
+    if (scores[s].feasible) return static_cast<int>(s);
+  }
+  return -1;
+}
+
+}  // namespace
+
 PlacementPolicy MakeProvenancePolicy(const core::GAugurPredictor& predictor,
                                      double qos_fps) {
   return [&predictor, qos_fps](std::span<const Colocation> open_servers,
                                const SessionRequest& arrival) -> int {
-    if (open_servers.empty()) {
-      // Still one arrival for the prediction cache's reuse window.
-      predictor.AdvanceArrivalEpoch();
-      return -1;
-    }
-    std::vector<Colocation> candidates;
-    candidates.reserve(open_servers.size());
-    for (const Colocation& content : open_servers) {
-      Colocation extended = content;
-      extended.push_back(arrival);
-      candidates.push_back(std::move(extended));
-    }
-    const std::vector<core::CandidateScore> scores =
-        predictor.ScoreCandidatesDetailed(qos_fps, candidates);
-    DecisionDetail& detail = PendingDecisionDetail();
-    detail.Clear();
-    if (obs::Enabled()) {
-      detail.has_detail = true;
-      detail.candidates.reserve(scores.size());
-      for (const core::CandidateScore& score : scores) {
-        detail.candidates.push_back({score.feasible, score.memory_ok,
-                                     score.queries, score.cache_hits,
-                                     score.min_margin});
-      }
-    }
-    for (std::size_t s = 0; s < scores.size(); ++s) {
-      if (scores[s].feasible) return static_cast<int>(s);
-    }
-    return -1;
+    return ProvenancePlacement(predictor, qos_fps, open_servers, arrival);
+  };
+}
+
+ShardPolicyFactory MakeReplicatedProvenanceFactory(
+    const core::GAugurPredictor& predictor, double qos_fps) {
+  return [&predictor, qos_fps](std::size_t) -> PlacementPolicy {
+    // Each shard's policy owns its replica (shared models, shared striped
+    // cache); the shared_ptr keeps it alive inside the copyable lambda.
+    auto replica =
+        std::make_shared<core::GAugurPredictor>(predictor.MakeReplica());
+    return [replica = std::move(replica), qos_fps](
+               std::span<const Colocation> open_servers,
+               const SessionRequest& arrival) -> int {
+      return ProvenancePlacement(*replica, qos_fps, open_servers, arrival);
+    };
   };
 }
 

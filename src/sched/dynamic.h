@@ -45,6 +45,13 @@ using PlacementPolicy = std::function<int(
 struct DynamicOptions {
   std::size_t max_sessions_per_server = 4;
   double qos_fps = 60.0;
+  /// Upper bound on the open servers offered to the policy per arrival;
+  /// 0 = offer all (the bit-identical legacy contract). With a positive
+  /// cap and more open servers than the cap, the policy sees the
+  /// lowest-indexed half of the cap (preserving first-feasible packing
+  /// pressure) plus a seeded random sample of the rest (spreading
+  /// exploration) — bounding per-decision cost at fleet scale.
+  std::size_t max_policy_candidates = 0;
 };
 
 struct DynamicResult {
@@ -57,6 +64,11 @@ struct DynamicResult {
   /// Power-on transitions (each starts one billed server trajectory).
   /// Always >= peak_servers; mirrored as the "sched.powerons" counter.
   std::size_t powerons = 0;
+  /// Server chosen for each request index (fleet-global server id; see
+  /// ShardOfServer for the sharded id scheme). -1 = request not placed
+  /// (never happens for completed runs). Placement equivalence tests
+  /// compare these vectors directly.
+  std::vector<long long> placements;
 
   double MeanServersInUse(double horizon_min) const {
     return horizon_min > 0.0 ? server_minutes / horizon_min : 0.0;
@@ -139,5 +151,94 @@ DecisionDetail& PendingDecisionDetail();
 /// outlive the policy.
 PlacementPolicy MakeProvenancePolicy(const core::GAugurPredictor& predictor,
                                      double qos_fps);
+
+// ---------------------------------------------------------------------------
+// Sharded fleet service: the fleet partitioned into N shards, each driven
+// by a common::ThreadPool worker that owns its shard's server state, RNG
+// stream, and (for predictor-backed policies) a read-only GAugurPredictor
+// replica sharing one striped PredictionCache. See DESIGN.md "Sharded
+// fleet service".
+
+/// Reverse of the sharded server-id scheme: shard s's k-th local server
+/// has fleet-global id `k * num_shards + s`, so ownership is recoverable
+/// from the id alone (arrival routing, event forensics).
+inline std::size_t ShardOfServer(std::uint64_t server_id,
+                                 std::size_t num_shards) {
+  return static_cast<std::size_t>(server_id % num_shards);
+}
+
+/// Shard count from GAUGUR_FLEET_SHARDS (>=1), defaulting to
+/// hardware_concurrency when unset/invalid.
+std::size_t FleetShardsFromEnv();
+
+struct ShardedFleetOptions {
+  /// Per-shard simulation contract (QoS floor, server capacity,
+  /// candidate cap).
+  DynamicOptions dynamic;
+  /// Shards == dedicated workers. 1 reproduces SimulateDynamicFleet's
+  /// placements bit-identically (pinned by a pipeline test).
+  std::size_t num_shards = 1;
+  /// Tick-barrier cadence in sim minutes: all shards synchronize at every
+  /// window boundary, where exactly one thread runs the fleet-wide health
+  /// evaluation and telemetry-sink tick while every shard is quiescent.
+  double tick_window_min = 5.0;
+  /// Seeds the per-shard RNG streams (candidate subsampling).
+  std::uint64_t seed = 0;
+  /// Record every decision latency (per shard, merged into the result's
+  /// p50/p99). Costs one double per arrival.
+  bool collect_decision_latencies = true;
+};
+
+struct ShardedFleetResult {
+  /// Cross-shard aggregate. `placements` covers every request (each shard
+  /// writes its own disjoint request indices); `peak_servers` is the sum
+  /// of per-shard peaks — an upper bound on the instantaneous fleet peak,
+  /// exact for num_shards == 1.
+  DynamicResult total;
+  std::vector<DynamicResult> per_shard;
+  std::size_t num_shards = 1;
+  /// Fleet-wide concurrent sessions, sampled at every tick barrier while
+  /// all shards are quiescent (exact at barrier instants).
+  std::size_t peak_concurrent_sessions = 0;
+  /// Merged decision-latency quantiles (0 when collection is off).
+  double decision_latency_p50_us = 0.0;
+  double decision_latency_p99_us = 0.0;
+  /// Tick barriers crossed.
+  std::size_t ticks = 0;
+};
+
+/// Builds one placement policy per shard. Policies run concurrently (one
+/// shard each), so stateful policies must not share mutable state unless
+/// it is thread-safe (predictor replicas sharing the striped cache are).
+using ShardPolicyFactory = std::function<PlacementPolicy(std::size_t shard)>;
+
+/// Runs the sharded fleet simulation: arrivals are routed round-robin
+/// over the time-sorted order (arrival i -> shard i % num_shards), each
+/// shard simulates its sub-fleet on a dedicated pool worker (pinned via
+/// ThreadPool::SubmitNamed), and shards synchronize at tick-window
+/// barriers. Event-log decision counts, monitor totals, and `sched.*`
+/// metrics aggregate exactly across shards; sharded-run events carry a
+/// "shard" field.
+ShardedFleetResult SimulateShardedFleet(
+    const core::ColocationLab& lab, std::span<const DynamicRequest> requests,
+    const ShardPolicyFactory& policy_factory,
+    const ShardedFleetOptions& options = {});
+
+/// Side channel from the simulator to hash-aware policies: before each
+/// policy call the simulator fills this with the additive colocation hash
+/// (core::IncrementalColocationHash) of every open server it is offering,
+/// parallel to `open_servers`. MakeProvenancePolicy derives each
+/// candidate's prediction-cache key from these in O(1) instead of
+/// rehashing the extended set. Thread-local, like PendingDecisionDetail.
+std::vector<std::uint64_t>& PendingOpenServerHashes();
+
+/// ShardPolicyFactory for the sharded service: each shard receives its
+/// own read-only replica of `predictor` (shared models, shared striped
+/// prediction cache — one shard's miss warms every shard) wrapped in a
+/// provenance-publishing first-feasible policy identical in behavior to
+/// MakeProvenancePolicy. `predictor` must be trained before the call and
+/// outlive the returned factory's policies.
+ShardPolicyFactory MakeReplicatedProvenanceFactory(
+    const core::GAugurPredictor& predictor, double qos_fps);
 
 }  // namespace gaugur::sched

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -139,6 +141,88 @@ TEST(ThreadPoolTest, ParallelForContributesToTaskCounter) {
 
 TEST(ThreadPoolTest, GlobalPoolIsSingleton) {
   EXPECT_EQ(&ThreadPool::Global(), &ThreadPool::Global());
+}
+
+TEST(ThreadPoolTest, PinnedTasksRunOnTheirWorkerInOrder) {
+  ThreadPool pool(3);
+  // Per-worker journals: every pinned task records the thread it ran on
+  // and its submission rank; affinity requires one thread id per worker
+  // and strictly increasing ranks.
+  std::vector<std::vector<std::thread::id>> thread_ids(3);
+  std::vector<std::vector<int>> ranks(3);
+  std::vector<std::future<void>> futures;
+  for (int r = 0; r < 60; ++r) {
+    const std::size_t worker = static_cast<std::size_t>(r) % 3;
+    futures.push_back(pool.SubmitPinned(worker, [&, worker, r] {
+      // Only this worker touches its journal, so no locking is needed —
+      // exactly the property the sharded fleet service relies on.
+      thread_ids[worker].push_back(std::this_thread::get_id());
+      ranks[worker].push_back(r);
+    }));
+  }
+  for (auto& f : futures) f.wait();
+  for (std::size_t w = 0; w < 3; ++w) {
+    ASSERT_EQ(thread_ids[w].size(), 20u);
+    for (const std::thread::id& id : thread_ids[w]) {
+      EXPECT_EQ(id, thread_ids[w].front()) << "worker " << w;
+    }
+    for (std::size_t i = 1; i < ranks[w].size(); ++i) {
+      EXPECT_LT(ranks[w][i - 1], ranks[w][i]) << "worker " << w;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, PinnedWorkerOutOfRangeThrows) {
+  ThreadPool pool(2);
+  EXPECT_THROW((void)pool.SubmitPinned(2, [] {}), std::logic_error);
+}
+
+TEST(ThreadPoolTest, NamedSubmissionMapsTrailingIntegersRoundRobin) {
+  ThreadPool pool(4);
+  // Numbered names partition round-robin: shard k -> worker k % N.
+  for (std::size_t k = 0; k < 16; ++k) {
+    EXPECT_EQ(pool.WorkerIndexForName("fleet-shard-" + std::to_string(k)),
+              k % 4);
+  }
+  // Unnumbered names hash, but stably, and in range.
+  const std::size_t w = pool.WorkerIndexForName("compactor");
+  EXPECT_LT(w, 4u);
+  EXPECT_EQ(pool.WorkerIndexForName("compactor"), w);
+}
+
+TEST(ThreadPoolTest, SameNameAlwaysSharesAWorker) {
+  ThreadPool pool(3);
+  std::vector<std::thread::id> seen;
+  std::mutex mu;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 30; ++i) {
+    futures.push_back(pool.SubmitNamed("shard-1", [&] {
+      std::lock_guard lock(mu);
+      seen.push_back(std::this_thread::get_id());
+    }));
+  }
+  for (auto& f : futures) f.wait();
+  ASSERT_EQ(seen.size(), 30u);
+  for (const std::thread::id& id : seen) EXPECT_EQ(id, seen.front());
+}
+
+TEST(ThreadPoolTest, PinnedAndSharedQueuesCoexist) {
+  ThreadPool pool(2);
+  std::atomic<int> pinned_done{0};
+  std::atomic<int> shared_done{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 40; ++i) {
+    if (i % 2 == 0) {
+      futures.push_back(pool.SubmitPinned(static_cast<std::size_t>(i) % 2,
+                                          [&] { ++pinned_done; }));
+    } else {
+      futures.push_back(pool.Submit([&] { ++shared_done; }));
+    }
+  }
+  for (auto& f : futures) f.wait();
+  EXPECT_EQ(pinned_done.load(), 20);
+  EXPECT_EQ(shared_done.load(), 20);
+  EXPECT_EQ(pool.QueueDepth(), 0u);
 }
 
 TEST(ThreadPoolTest, ParallelSumMatchesSerial) {

@@ -1,0 +1,149 @@
+// Property suite for the additive (Zobrist-style) colocation hash: the
+// incremental value must equal the from-scratch sum after any interleaved
+// arrival/departure sequence, multisets must hash by multiplicity (the
+// reason the group is (Z/2^64, +) rather than XOR), and the derived
+// ModelJoinKey must match the span-based entry point exactly — that
+// identity is what lets the sharded scheduler form candidate cache keys
+// in O(1) without rehashing co-runner sets.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "gaugur/colocation.h"
+#include "resources/resolution.h"
+
+namespace gaugur::core {
+namespace {
+
+SessionRequest Session(int game_id, resources::Resolution resolution =
+                                        resources::kReferenceResolution) {
+  return SessionRequest{game_id, resolution};
+}
+
+TEST(ColocationHash, EmptyColocationHashesToZero) {
+  IncrementalColocationHash hash;
+  EXPECT_EQ(hash.Value(), 0u);
+  EXPECT_EQ(IncrementalColocationHash::FromScratch({}), 0u);
+
+  hash.Add(Session(3));
+  hash.Remove(Session(3));
+  EXPECT_EQ(hash.Value(), 0u) << "add/remove must return to the identity";
+
+  hash.Add(Session(7, resources::k720p));
+  hash.Reset();
+  EXPECT_EQ(hash.Value(), 0u);
+}
+
+TEST(ColocationHash, OrderInsensitive) {
+  Colocation forward = {Session(1), Session(2, resources::k720p),
+                        Session(3, resources::k1440p), Session(2)};
+  Colocation reversed(forward.rbegin(), forward.rend());
+  EXPECT_EQ(IncrementalColocationHash::FromScratch(forward),
+            IncrementalColocationHash::FromScratch(reversed));
+}
+
+TEST(ColocationHash, MultisetMultiplicityIsPreserved) {
+  // XOR-Zobrist would cancel the duplicate; the additive group must not.
+  const Colocation one = {Session(5)};
+  const Colocation two = {Session(5), Session(5)};
+  const Colocation three = {Session(5), Session(5), Session(5)};
+  EXPECT_NE(IncrementalColocationHash::FromScratch(two), 0u);
+  EXPECT_NE(IncrementalColocationHash::FromScratch(two),
+            IncrementalColocationHash::FromScratch(one));
+  EXPECT_NE(IncrementalColocationHash::FromScratch(three),
+            IncrementalColocationHash::FromScratch(one));
+  EXPECT_EQ(IncrementalColocationHash::FromScratch(two),
+            2 * SessionHash(Session(5)));
+}
+
+TEST(ColocationHash, SessionHashSeparatesGameAndResolution) {
+  EXPECT_NE(SessionHash(Session(1)), SessionHash(Session(2)));
+  EXPECT_NE(SessionHash(Session(1, resources::k720p)),
+            SessionHash(Session(1, resources::k1080p)));
+}
+
+TEST(ColocationHash, IncrementalMatchesFromScratchUnderRandomChurn) {
+  // Random arrival/departure sequences over a small catalog (small on
+  // purpose: duplicates are frequent, exercising the multiset property).
+  common::Rng rng(20260808);
+  for (int trial = 0; trial < 50; ++trial) {
+    IncrementalColocationHash incremental;
+    std::vector<SessionRequest> live;
+    for (int step = 0; step < 200; ++step) {
+      const bool arrive = live.empty() || rng.Uniform() < 0.55;
+      if (arrive) {
+        const SessionRequest session =
+            Session(static_cast<int>(rng.UniformInt(6)),
+                    resources::kPlayerResolutions[rng.UniformInt(4)]);
+        live.push_back(session);
+        incremental.Add(session);
+      } else {
+        const std::size_t victim = rng.UniformInt(live.size());
+        incremental.Remove(live[victim]);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+      }
+      ASSERT_EQ(incremental.Value(),
+                IncrementalColocationHash::FromScratch(live))
+          << "trial " << trial << " step " << step;
+    }
+  }
+}
+
+TEST(ColocationHash, ModelJoinKeyMatchesHashDerivedForm) {
+  // The O(1) candidate-key path: a scheduler holding the open server's
+  // additive hash H forms the key for "victim joins this server" as
+  // JoinKeyFromHashes(SessionHash(victim), H) — bit-identical to the
+  // span-based ModelJoinKey over the materialized co-runner list.
+  common::Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<SessionRequest> corunners;
+    const std::size_t n = rng.UniformInt(5);
+    IncrementalColocationHash server_hash;
+    for (std::size_t i = 0; i < n; ++i) {
+      corunners.push_back(
+          Session(static_cast<int>(rng.UniformInt(10)),
+                  resources::kPlayerResolutions[rng.UniformInt(4)]));
+      server_hash.Add(corunners.back());
+    }
+    const SessionRequest victim =
+        Session(static_cast<int>(rng.UniformInt(10)),
+                resources::kPlayerResolutions[rng.UniformInt(4)]);
+    EXPECT_EQ(ModelJoinKey(victim, corunners),
+              JoinKeyFromHashes(SessionHash(victim), server_hash.Value()));
+  }
+}
+
+TEST(ColocationHash, ModelJoinKeyIsVictimSensitive) {
+  // Same total multiset, different victim -> different key: the final mix
+  // must not collapse "A among {B}" with "B among {A}".
+  const SessionRequest a = Session(1);
+  const SessionRequest b = Session(2);
+  const Colocation only_b = {b};
+  const Colocation only_a = {a};
+  EXPECT_NE(ModelJoinKey(a, only_b), ModelJoinKey(b, only_a));
+}
+
+TEST(ColocationHash, PerVictimKeysDeriveFromTotalInConstantTime) {
+  // From the full colocation's additive hash, every victim's co-runner
+  // sum is total - SessionHash(victim): the subtraction trick the
+  // predictor's scoring loop uses to key all victims of one candidate.
+  const Colocation content = {Session(1), Session(2, resources::k720p),
+                              Session(2, resources::k720p), Session(4)};
+  const std::uint64_t total = IncrementalColocationHash::FromScratch(content);
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    std::vector<SessionRequest> corunners;
+    for (std::size_t j = 0; j < content.size(); ++j) {
+      if (j != i) corunners.push_back(content[j]);
+    }
+    EXPECT_EQ(ModelJoinKey(content[i], corunners),
+              JoinKeyFromHashes(SessionHash(content[i]),
+                                total - SessionHash(content[i])));
+  }
+}
+
+}  // namespace
+}  // namespace gaugur::core

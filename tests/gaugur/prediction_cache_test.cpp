@@ -1,11 +1,17 @@
 // Unit tests for the predictor's LRU memoization layer: roundtrip,
 // recency/eviction bounds, retrain invalidation, the capacity-0 disabled
-// mode, and a concurrent mixed-workload loop for the TSan build.
+// mode, striped-lock behavior (per-stripe stats folding, exact lookup
+// outcomes), and concurrent mixed workloads for the TSan build.
+//
+// Tests that pin exact global LRU order construct the cache with
+// stripes=1 (the single-lock legacy layout); striping only changes which
+// entries contend for a slot, never the hit/miss contract.
 
 #include "gaugur/prediction_cache.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -43,7 +49,7 @@ TEST(PredictionCache, KeyComponentsAreAllSignificant) {
 }
 
 TEST(PredictionCache, EvictsLeastRecentlyUsedAtCapacity) {
-  PredictionCache cache(3);
+  PredictionCache cache(3, /*max_age_epochs=*/0, /*stripes=*/1);
   cache.Insert(Key(1), {{}, 1.0});
   cache.Insert(Key(2), {{}, 2.0});
   cache.Insert(Key(3), {{}, 3.0});
@@ -62,7 +68,7 @@ TEST(PredictionCache, EvictsLeastRecentlyUsedAtCapacity) {
 }
 
 TEST(PredictionCache, SizeNeverExceedsCapacity) {
-  PredictionCache cache(16);
+  PredictionCache cache(16, /*max_age_epochs=*/0, /*stripes=*/1);
   for (std::uint64_t k = 0; k < 200; ++k) {
     cache.Insert(Key(k), {{}, static_cast<double>(k)});
     EXPECT_LE(cache.Size(), 16u);
@@ -182,6 +188,121 @@ TEST(PredictionCache, ConcurrentMixedWorkloadIsSafe) {
   EXPECT_LE(cache.Size(), 64u);
   const auto stats = cache.GetStats();
   EXPECT_GT(stats.hits + stats.misses, 0u);
+}
+
+TEST(PredictionCache, LookupReportsExactOutcome) {
+  PredictionCache cache(8, /*max_age_epochs=*/1, /*stripes=*/1);
+  CacheLookupOutcome outcome;
+
+  EXPECT_EQ(cache.Lookup(Key(1), &outcome), nullptr);
+  EXPECT_EQ(outcome, CacheLookupOutcome::kMiss);
+
+  cache.Insert(Key(1), {{}, 1.0});
+  ASSERT_NE(cache.Lookup(Key(1), &outcome), nullptr);
+  EXPECT_EQ(outcome, CacheLookupOutcome::kHit);
+
+  cache.AdvanceEpoch();
+  EXPECT_EQ(cache.Lookup(Key(1), &outcome), nullptr);
+  EXPECT_EQ(outcome, CacheLookupOutcome::kExpired);
+}
+
+TEST(PredictionCache, InsertReturnsEvictionCount) {
+  PredictionCache cache(2, /*max_age_epochs=*/0, /*stripes=*/1);
+  EXPECT_EQ(cache.Insert(Key(1), {{}, 1.0}), 0u);
+  EXPECT_EQ(cache.Insert(Key(2), {{}, 2.0}), 0u);
+  EXPECT_EQ(cache.Insert(Key(3), {{}, 3.0}), 1u);  // evicts key 1
+  EXPECT_EQ(cache.Insert(Key(3), {{}, 3.5}), 0u);  // refresh, no eviction
+  EXPECT_EQ(cache.GetStats().evictions, 1u);
+}
+
+TEST(PredictionCache, StripeCountIsClampedToAtLeastOne) {
+  PredictionCache cache(8, /*max_age_epochs=*/0, /*stripes=*/0);
+  EXPECT_EQ(cache.NumStripes(), 1u);
+  cache.Insert(Key(1), {{}, 1.0});
+  EXPECT_NE(cache.Lookup(Key(1)), nullptr);
+}
+
+TEST(PredictionCache, GetStatsFoldsPerStripeTalliesExactly) {
+  PredictionCache cache(64, /*max_age_epochs=*/0, /*stripes=*/8);
+  ASSERT_EQ(cache.NumStripes(), 8u);
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    cache.Insert(Key(k), {{}, static_cast<double>(k)});
+    cache.Lookup(Key(k));       // hit
+    cache.Lookup(Key(k + 1000));  // miss
+  }
+  PredictionCache::Stats folded;
+  for (std::size_t s = 0; s < cache.NumStripes(); ++s) {
+    const auto stripe = cache.StripeStats(s);
+    folded.hits += stripe.hits;
+    folded.misses += stripe.misses;
+    folded.evictions += stripe.evictions;
+    folded.expired += stripe.expired;
+  }
+  const auto total = cache.GetStats();
+  EXPECT_EQ(total.hits, folded.hits);
+  EXPECT_EQ(total.misses, folded.misses);
+  EXPECT_EQ(total.evictions, folded.evictions);
+  EXPECT_EQ(total.expired, folded.expired);
+  // Single-threaded, so the totals are also exactly the issued traffic.
+  EXPECT_EQ(total.hits, 100u);
+  EXPECT_EQ(total.misses, 100u);
+}
+
+TEST(PredictionCache, StripesPartitionTheKeySpace) {
+  // The same key must always land in the same stripe: insert through one
+  // path, look up through another, across many keys and both stripe
+  // geometries.
+  for (const std::size_t stripes : {2u, 8u, 13u}) {
+    PredictionCache cache(1024, /*max_age_epochs=*/0, stripes);
+    for (std::uint64_t k = 0; k < 300; ++k) {
+      cache.Insert(Key(k * 0x9e3779b97f4a7c15ULL), {{}, static_cast<double>(k)});
+    }
+    for (std::uint64_t k = 0; k < 300; ++k) {
+      const auto hit = cache.Lookup(Key(k * 0x9e3779b97f4a7c15ULL));
+      ASSERT_NE(hit, nullptr) << "stripes=" << stripes << " k=" << k;
+      EXPECT_EQ(hit->value, static_cast<double>(k));
+    }
+  }
+}
+
+TEST(PredictionCache, ConcurrentTalliesAreExactUnderStriping) {
+  // The racy pattern this replaces (GetStats deltas around each call)
+  // undercounted under contention. With per-stripe tallies updated under
+  // the stripe lock, hits + misses must equal the exact number of lookups
+  // issued, and per-thread outcome counts must fold to the same totals.
+  PredictionCache cache(4096, /*max_age_epochs=*/0, /*stripes=*/8);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kLookupsPerThread = 5000;
+  std::atomic<std::uint64_t> observed_hits{0};
+  std::atomic<std::uint64_t> observed_misses{0};
+
+  for (std::uint64_t k = 0; k < 256; ++k) {
+    cache.Insert(Key(k), {{}, static_cast<double>(k)});
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::uint64_t hits = 0, misses = 0;
+      for (std::uint64_t i = 0; i < kLookupsPerThread; ++i) {
+        // Even iterations probe the warmed range, odd ones miss.
+        const std::uint64_t k =
+            i % 2 == 0 ? (static_cast<std::uint64_t>(t) * 67 + i) % 256
+                       : 1000000 + static_cast<std::uint64_t>(t) * 10000 + i;
+        CacheLookupOutcome outcome;
+        cache.Lookup(Key(k), &outcome);
+        (outcome == CacheLookupOutcome::kHit ? hits : misses) += 1;
+      }
+      observed_hits.fetch_add(hits);
+      observed_misses.fetch_add(misses);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const auto stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, observed_hits.load());
+  EXPECT_EQ(stats.misses, observed_misses.load());
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kLookupsPerThread);
 }
 
 }  // namespace

@@ -502,7 +502,7 @@ TEST(HealthRunReport, V4RoundTripsWithHealthSectionExactly) {
   LocalWorld world;
   world.engine.InstallDefaultRules(/*qos_fps=*/60.0);
   EXPECT_TRUE(world.engine.Armed());
-  EXPECT_EQ(world.engine.Rules().size(), 7u);
+  EXPECT_EQ(world.engine.Rules().size(), 8u);
   world.registry.GetGauge("pool.queue_depth").Add(1000);  // over backlog
   world.engine.Evaluate(1.0);
   world.engine.Evaluate(2.0);  // pool_queue_backlog fires

@@ -1,0 +1,141 @@
+// Sharded fleet service on the full predictor stack: replica semantics,
+// the single-shard bit-identity pin against the legacy simulator (the
+// sharding acceptance contract), and the shared striped cache warming
+// every shard's replica.
+
+#include "sched/dynamic.h"
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <stdexcept>
+
+#include "gaugur/predictor.h"
+#include "obs/switch.h"
+#include "sched/study.h"
+#include "tests/pipeline/world.h"
+
+namespace gaugur::sched {
+namespace {
+
+using core::Colocation;
+using gaugur::testing::TestWorld;
+
+core::GAugurPredictor TrainedPredictor(const TestWorld& world) {
+  core::GAugurPredictor predictor(world.features());
+  const std::span<const core::MeasuredColocation> slice =
+      std::span(world.corpus()).first(200);
+  predictor.TrainRm(slice);
+  const std::vector<double> qos_grid{60.0};
+  predictor.TrainCm(slice, qos_grid);
+  return predictor;
+}
+
+TEST(ShardedFleetPipelineTest, ReplicaSharesModelsAndCache) {
+  const auto& world = TestWorld::Get();
+  const core::GAugurPredictor predictor = TrainedPredictor(world);
+
+  core::GAugurPredictor replica = predictor.MakeReplica();
+  EXPECT_TRUE(replica.IsReplica());
+  EXPECT_FALSE(predictor.IsReplica());
+  EXPECT_TRUE(replica.HasRm());
+  EXPECT_TRUE(replica.HasCm());
+  // One cache object behind the whole replica group.
+  EXPECT_EQ(&replica.Cache(), &predictor.Cache());
+
+  // Warm through the replica, then the parent's stats see the traffic
+  // (same object) and a repeat query through the parent hits.
+  const Colocation pair = {world.corpus()[0].sessions[0],
+                           world.corpus()[0].sessions[1]};
+  const std::vector<Colocation> candidates = {pair};
+  (void)replica.ScoreCandidatesDetailed(60.0, candidates);
+  const auto warmed = predictor.PredictionCacheStats();
+  EXPECT_GT(predictor.PredictionCacheSize(), 0u);
+  (void)predictor.ScoreCandidatesDetailed(60.0, candidates);
+  EXPECT_GT(predictor.PredictionCacheStats().hits, warmed.hits);
+
+  // Replicas are read-only handles: retraining one must throw.
+  EXPECT_THROW(
+      replica.TrainRm(std::span(world.corpus()).first(10)),
+      std::logic_error);
+
+  // The control arm: a private-cache replica starts cold and its traffic
+  // never touches the parent's cache.
+  const core::GAugurPredictor isolated =
+      predictor.MakeReplica(/*share_cache=*/false);
+  EXPECT_NE(&isolated.Cache(), &predictor.Cache());
+  EXPECT_EQ(isolated.PredictionCacheSize(), 0u);
+  const auto parent_before = predictor.PredictionCacheStats();
+  (void)isolated.ScoreCandidatesDetailed(60.0, candidates);
+  const auto parent_after = predictor.PredictionCacheStats();
+  EXPECT_EQ(parent_after.hits, parent_before.hits);
+  EXPECT_EQ(parent_after.misses, parent_before.misses);
+  EXPECT_GT(isolated.PredictionCacheStats().misses, 0u);
+}
+
+TEST(ShardedFleetPipelineTest, ReplicaRequiresATrainedParent) {
+  const auto& world = TestWorld::Get();
+  const core::GAugurPredictor untrained(world.features());
+  EXPECT_THROW((void)untrained.MakeReplica(), std::logic_error);
+}
+
+TEST(ShardedFleetPipelineTest, SingleShardReproducesLegacyPlacements) {
+  // The sharding acceptance pin: one shard driven through the sharded
+  // service must place every request on exactly the server the legacy
+  // single-threaded simulator picks.
+  const auto& world = TestWorld::Get();
+  const core::GAugurPredictor predictor = TrainedPredictor(world);
+
+  const auto setup = SelectStudyGames(world.lab(), 6, 60.0, 3);
+  const auto trace =
+      GenerateDynamicTrace(setup.game_ids, 150.0, 0.5, 25.0, 23);
+
+  const auto legacy = SimulateDynamicFleet(
+      world.lab(), trace, MakeProvenancePolicy(predictor, 60.0));
+
+  ShardedFleetOptions options;
+  options.num_shards = 1;
+  const auto sharded = SimulateShardedFleet(
+      world.lab(), trace, MakeReplicatedProvenanceFactory(predictor, 60.0),
+      options);
+
+  ASSERT_EQ(legacy.placements.size(), trace.size());
+  EXPECT_EQ(legacy.placements, sharded.total.placements);
+  EXPECT_EQ(legacy.violated_sessions, sharded.total.violated_sessions);
+  EXPECT_EQ(legacy.peak_servers, sharded.total.peak_servers);
+  EXPECT_DOUBLE_EQ(legacy.server_minutes, sharded.total.server_minutes);
+}
+
+TEST(ShardedFleetPipelineTest, MultiShardRunSharesOneCacheAcrossReplicas) {
+  obs::EnabledScope on(true);
+  const auto& world = TestWorld::Get();
+  const core::GAugurPredictor predictor = TrainedPredictor(world);
+
+  const auto setup = SelectStudyGames(world.lab(), 6, 60.0, 3);
+  const auto trace =
+      GenerateDynamicTrace(setup.game_ids, 200.0, 0.6, 25.0, 29);
+
+  ShardedFleetOptions options;
+  options.num_shards = 4;
+  const auto before = predictor.PredictionCacheStats();
+  const auto result = SimulateShardedFleet(
+      world.lab(), trace, MakeReplicatedProvenanceFactory(predictor, 60.0),
+      options);
+
+  EXPECT_EQ(result.total.sessions, trace.size());
+  for (const long long placed : result.total.placements) {
+    EXPECT_GE(placed, 0);
+  }
+  // All four replicas funneled their queries through the parent's cache:
+  // the shared stats moved, and cross-shard reuse produced hits (shards
+  // see overlapping colocation contents from the same game pool).
+  const auto after = predictor.PredictionCacheStats();
+  EXPECT_GT(after.misses, before.misses);
+  EXPECT_GT(after.hits, before.hits);
+  // p99 decision latency was measured (collection defaults on).
+  EXPECT_GT(result.decision_latency_p99_us, 0.0);
+  EXPECT_GE(result.decision_latency_p99_us, result.decision_latency_p50_us);
+}
+
+}  // namespace
+}  // namespace gaugur::sched
