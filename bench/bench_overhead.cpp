@@ -12,7 +12,11 @@
 //    enabled vs disabled (the disabled path must be < 2%), plus the raw
 //    cost of the metric primitives themselves;
 //  * health-engine overhead: the provenance fleet run with the default
-//    alert rule pack armed vs disarmed (target < 2%).
+//    alert rule pack armed vs disarmed (target < 2%);
+//  * latency-profiler overhead: the same fleet run with the decision
+//    flight recorder armed vs disarmed (target < 2% — the armed path
+//    adds a handful of steady_clock reads and relaxed atomic adds per
+//    decision).
 
 #include <benchmark/benchmark.h>
 
@@ -27,6 +31,7 @@
 #include "ml/factory.h"
 #include "obs/event_log.h"
 #include "obs/health.h"
+#include "obs/latency_profiler.h"
 #include "obs/metrics.h"
 #include "obs/sink.h"
 #include "obs/switch.h"
@@ -432,6 +437,74 @@ HealthOverheadNumbers ReportHealthOverhead() {
   return out;
 }
 
+struct ProfilerOverheadNumbers {
+  double disarmed_ms = 0.0;
+  double armed_ms = 0.0;
+  double delta_pct = 0.0;
+  std::uint64_t decisions = 0;
+  std::uint64_t exemplars = 0;
+};
+
+/// The flight-recorder acceptance number: the same provenance fleet run,
+/// obs on, with the latency profiler armed (default) vs disarmed via
+/// ArmedScope. Armed, every decision pays BeginDecision/EndDecision plus
+/// a steady_clock read per phase boundary; disarmed, PhaseTimer sees an
+/// inactive scratch and the whole layer collapses to a thread-local
+/// bool load. Target < 2%.
+ProfilerOverheadNumbers ReportProfilerOverhead() {
+  const auto& stack = bench::TrainedStack::Get();
+  const auto& world = bench::BenchWorld::Get();
+  obs::EnabledScope on(true);
+  std::vector<int> games;
+  for (int g = 0; g < 12; ++g) games.push_back(g);
+  const auto trace = sched::GenerateDynamicTrace(
+      games, /*horizon_min=*/120.0, /*arrivals_per_min=*/0.5,
+      /*mean_duration_min=*/30.0, /*seed=*/11);
+  const auto policy = sched::MakeProvenancePolicy(stack.gaugur, 60.0);
+  sched::DynamicOptions options;
+  options.qos_fps = 60.0;
+
+  constexpr int kFleetIters = 5;
+  const auto time_fleet = [&](int iters) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) {
+      benchmark::DoNotOptimize(
+          sched::SimulateDynamicFleet(world.lab(), trace, policy, options));
+      obs::EventLog::Global().Clear();
+      obs::FleetTimeSeries::Global().Clear();
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    return std::chrono::duration<double, std::milli>(elapsed).count() /
+           iters;
+  };
+
+  ProfilerOverheadNumbers out;
+  obs::LatencyProfiler& profiler = obs::LatencyProfiler::Global();
+  {
+    obs::LatencyProfiler::ArmedScope disarmed(false);
+    time_fleet(1);  // warmup
+    out.disarmed_ms = time_fleet(kFleetIters);
+  }
+  profiler.Reset();
+  time_fleet(1);  // warmup
+  profiler.Reset();
+  out.armed_ms = time_fleet(kFleetIters);
+  const obs::LatencyProfileSummary summary = profiler.Summary();
+  out.decisions = summary.decisions;
+  out.exemplars = summary.exemplars.size();
+  profiler.Reset();
+
+  out.delta_pct = 100.0 * (out.armed_ms - out.disarmed_ms) / out.disarmed_ms;
+  std::printf(
+      "Latency-profiler overhead on SimulateDynamicFleet: disarmed "
+      "%.2f ms, armed %.2f ms, delta %+.2f%% (target < 2%%); %llu "
+      "decisions attributed, %llu tail exemplars across %d runs.\n",
+      out.disarmed_ms, out.armed_ms, out.delta_pct,
+      static_cast<unsigned long long>(out.decisions),
+      static_cast<unsigned long long>(out.exemplars), kFleetIters);
+  return out;
+}
+
 void BM_ProfileOneGame(benchmark::State& state) {
   const auto& world = bench::BenchWorld::Get();
   const profiling::Profiler profiler(world.server());
@@ -471,6 +544,7 @@ int main(int argc, char** argv) {
   const FleetOverheadNumbers fleet_overhead = ReportFleetOverhead();
   const StreamingOverheadNumbers streaming = ReportStreamingOverhead();
   const HealthOverheadNumbers health = ReportHealthOverhead();
+  const ProfilerOverheadNumbers profiler = ReportProfilerOverhead();
   const double wall_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - wall_start)
@@ -513,6 +587,13 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(health.alerts_fired);
   counters["health_transitions"] =
       static_cast<unsigned long long>(health.transitions);
+  counters["fleet_profiler_disarmed_ms"] = profiler.disarmed_ms;
+  counters["fleet_profiler_armed_ms"] = profiler.armed_ms;
+  counters["profiler_overhead_pct"] = profiler.delta_pct;
+  counters["profiler_decisions"] =
+      static_cast<unsigned long long>(profiler.decisions);
+  counters["profiler_exemplars"] =
+      static_cast<unsigned long long>(profiler.exemplars);
   counters["lab_measurements"] = static_cast<unsigned long long>(
       obs::Registry::Global().GetCounter("lab.measurements").Value());
   bench::WriteBenchJson("overhead", wall_ms, std::move(config),

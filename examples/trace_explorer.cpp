@@ -15,10 +15,14 @@
 // (ASCII sparkline table), joined to the decisions and violations that
 // touched the server in that window. The `alerts` subcommand renders the
 // health engine's firing timeline (obs/health.h), each window joined to
-// the qos_violation events and decision ids it overlaps.
+// the qos_violation events and decision ids it overlaps. The `profile`
+// subcommand renders the run report's decision-latency attribution
+// (obs/latency_profiler.h): fleet and per-shard phase breakdowns,
+// barrier / window-imbalance / cache-lock contention, and the slowest-K
+// tail exemplars joined back to their decision events.
 //
 // Usage:
-//   trace_explorer [alerts] <events.jsonl|sink_dir> [report.json]
+//   trace_explorer [alerts|profile] <events.jsonl|sink_dir> [report.json]
 //                  [--violation N] [--window SERVER TICK] [--span K]
 //
 // Build & run:
@@ -28,6 +32,7 @@
 //   ./build/examples/trace_explorer sink --window 0 120
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -450,6 +455,146 @@ int AlertsView(const std::vector<Event>& events) {
 }
 
 // ---------------------------------------------------------------------------
+// The profile view: the run report's decision-latency-attribution
+// section (run_report/v5 "profile") rendered as fleet + per-shard phase
+// breakdowns, the contention/imbalance tallies, and the slowest-K tail
+// exemplars, each joined back to its decision event in the log.
+
+const char* DominantPhase(
+    const std::array<double, gaugur::obs::kNumPhases>& phase_us) {
+  std::size_t best = 0;
+  for (std::size_t p = 1; p < gaugur::obs::kNumPhases; ++p) {
+    if (phase_us[p] > phase_us[best]) best = p;
+  }
+  return gaugur::obs::PhaseName(static_cast<gaugur::obs::Phase>(best)).data();
+}
+
+int ProfileView(const gaugur::obs::LatencyProfileSummary& profile,
+                const std::vector<Event>& events) {
+  using gaugur::obs::kNumPhases;
+  using gaugur::obs::Phase;
+  using gaugur::obs::PhaseName;
+
+  // Fleet-wide phase breakdown, with each phase's share of the total
+  // attributed (exclusive) time so the dominant phase is one glance away.
+  double attributed_us = 0.0;
+  for (const auto& stats : profile.fleet) attributed_us += stats.total_us;
+  gaugur::common::Table fleet({"phase", "count", "total ms", "mean us",
+                               "max us", "share %"},
+                              /*double_precision=*/2);
+  for (std::size_t p = 0; p < kNumPhases; ++p) {
+    const auto& stats = profile.fleet[p];
+    if (stats.count == 0) continue;
+    fleet.AddRow({std::string(PhaseName(static_cast<Phase>(p))),
+                  static_cast<long long>(stats.count),
+                  stats.total_us / 1000.0,
+                  stats.total_us / static_cast<double>(stats.count),
+                  stats.max_us,
+                  attributed_us > 0.0
+                      ? 100.0 * stats.total_us / attributed_us
+                      : 0.0});
+  }
+  char title[96];
+  std::snprintf(title, sizeof(title),
+                "fleet phase breakdown (%llu decisions, %.2f ms attributed)",
+                static_cast<unsigned long long>(profile.decisions),
+                attributed_us / 1000.0);
+  fleet.Print(std::cout, title);
+
+  // Per-shard: where each shard spent its time and how long it idled at
+  // the tick barrier. A single-shard (legacy) run collapses to one row.
+  if (profile.shards.size() > 1) {
+    gaugur::common::Table shards(
+        {"shard", "decisions", "busy ms", "dominant phase", "barrier waits",
+         "barrier ms"},
+        /*double_precision=*/2);
+    for (const auto& shard : profile.shards) {
+      std::array<double, kNumPhases> phase_us{};
+      double busy_us = 0.0;
+      for (std::size_t p = 0; p < kNumPhases; ++p) {
+        phase_us[p] = shard.phases[p].total_us;
+        busy_us += phase_us[p];
+      }
+      shards.AddRow({static_cast<long long>(shard.shard),
+                     static_cast<long long>(shard.decisions),
+                     shard.window_busy_us > 0.0 ? shard.window_busy_us / 1000.0
+                                                : busy_us / 1000.0,
+                     std::string(DominantPhase(phase_us)),
+                     static_cast<long long>(shard.barrier_waits),
+                     shard.barrier_wait_us / 1000.0});
+    }
+    std::printf("\n");
+    shards.Print(std::cout, "per-shard attribution");
+  }
+
+  // Contention: window imbalance (fast shards waiting on the straggler)
+  // and prediction-cache stripe lock waits.
+  std::printf("\n");
+  gaugur::common::Table contention({"contention", "value"},
+                                   /*double_precision=*/2);
+  if (profile.imbalance.windows > 0) {
+    contention.AddRow(
+        {std::string("tick windows"),
+         static_cast<long long>(profile.imbalance.windows)});
+    contention.AddRow({std::string("shard spread mean us"),
+                       profile.imbalance.spread_total_us /
+                           static_cast<double>(profile.imbalance.windows)});
+    contention.AddRow({std::string("shard spread max us"),
+                       profile.imbalance.spread_max_us});
+  }
+  contention.AddRow(
+      {std::string("cache lock acquisitions"),
+       static_cast<long long>(profile.cache.acquisitions)});
+  contention.AddRow({std::string("cache lock contended"),
+                     static_cast<long long>(profile.cache.contended)});
+  contention.AddRow({std::string("cache lock wait us"),
+                     profile.cache.wait_us});
+  contention.AddRow({std::string("cache lock wait max us"),
+                     profile.cache.wait_max_us});
+  contention.Print(std::cout, "shard / cache contention");
+
+  // Tail exemplars: the slowest-K decisions with full phase breakdowns,
+  // joined 1:1 back to their decision events. A missing join means the
+  // bounded event ring dropped that decision, not a broken id.
+  if (profile.exemplars.empty()) {
+    std::printf("\nno tail exemplars recorded\n");
+    return 0;
+  }
+  std::printf("\n");
+  gaugur::common::Table tail({"rank", "decision", "tick", "shard",
+                              "total us", "dominant phase", "placement"},
+                             /*double_precision=*/2);
+  std::size_t joined = 0;
+  for (std::size_t rank = 0; rank < profile.exemplars.size(); ++rank) {
+    const auto& exemplar = profile.exemplars[rank];
+    const Event* decision = nullptr;
+    for (const Event& event : events) {
+      if (event.kind == EventKind::kDecision &&
+          event.decision_id == exemplar.decision_id) {
+        decision = &event;
+        break;
+      }
+    }
+    if (decision != nullptr) ++joined;
+    tail.AddRow({static_cast<long long>(rank),
+                 exemplar.decision_id != 0
+                     ? gaugur::common::Cell(
+                           static_cast<long long>(exemplar.decision_id))
+                     : gaugur::common::Cell(std::string("-")),
+                 exemplar.tick, static_cast<long long>(exemplar.shard),
+                 exemplar.total_us, std::string(DominantPhase(exemplar.phase_us)),
+                 decision != nullptr ? Describe(*decision)
+                                     : std::string("(not in event log)")});
+  }
+  tail.Print(std::cout, "slowest decisions (tail exemplars)");
+  std::printf(
+      "\n%zu/%zu exemplars joined to a decision event; re-run with "
+      "--violation N or --window SERVER TICK to dig into one\n",
+      joined, profile.exemplars.size());
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
 // The window view: ±K ticks of FPS + pressure around a point in time.
 
 constexpr int kBarWidth = 12;
@@ -702,7 +847,7 @@ int WindowView(TraceSource& source, long long server, double center,
 void PrintUsage(std::FILE* to) {
   std::fprintf(
       to,
-      "usage: trace_explorer [alerts] <events.jsonl|sink_dir> "
+      "usage: trace_explorer [alerts|profile] <events.jsonl|sink_dir> "
       "[report.json]\n"
       "                      [--violation N] [--window SERVER TICK]"
       " [--span K]\n"
@@ -712,6 +857,12 @@ void PrintUsage(std::FILE* to) {
       "  alerts          render the health engine's alert timeline: each\n"
       "                  firing window with the qos_violation events and\n"
       "                  decision ids it overlaps\n"
+      "  profile         render the report's decision-latency attribution\n"
+      "                  (run_report/v5 \"profile\" section): fleet and\n"
+      "                  per-shard phase breakdowns, barrier / cache-lock\n"
+      "                  contention, and the slowest-K tail exemplars\n"
+      "                  joined to their decision events; needs the\n"
+      "                  report.json argument\n"
       "  <events.jsonl>  event log written via obs::EventLog (e.g. by the\n"
       "                  quickstart example)\n"
       "  <sink_dir>      streaming-sink directory (manifest.json +\n"
@@ -737,6 +888,7 @@ int main(int argc, char** argv) {
   std::string events_path;
   std::string report_path;
   bool alerts = false;
+  bool profile = false;
   bool explain = false;
   std::size_t violation_index = 0;
   bool window = false;
@@ -778,8 +930,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown flag %s\n\n", arg.c_str());
       PrintUsage(stderr);
       return 2;
-    } else if (!alerts && events_path.empty() && arg == "alerts") {
+    } else if (!alerts && !profile && events_path.empty() &&
+               arg == "alerts") {
       alerts = true;
+    } else if (!alerts && !profile && events_path.empty() &&
+               arg == "profile") {
+      profile = true;
     } else if (events_path.empty()) {
       events_path = arg;
     } else if (report_path.empty()) {
@@ -791,6 +947,13 @@ int main(int argc, char** argv) {
     }
   }
   if (events_path.empty()) {
+    PrintUsage(stderr);
+    return 2;
+  }
+  if (profile && report_path.empty()) {
+    std::fprintf(stderr,
+                 "the profile view needs the report.json argument (the "
+                 "attribution lives in the run report)\n\n");
     PrintUsage(stderr);
     return 2;
   }
@@ -818,6 +981,21 @@ int main(int argc, char** argv) {
     }
     const gaugur::obs::RunReport report =
         gaugur::obs::RunReport::FromJsonString(text.str());
+    if (profile) {
+      if (!report.profile().has_value()) {
+        std::fprintf(stderr,
+                     "run report %s has no profile section (pre-v5 run, or "
+                     "observability was disabled)\n",
+                     report_path.c_str());
+        return 1;
+      }
+      std::vector<Event> events;
+      if (!LoadAllEvents(source, &events)) {
+        std::fprintf(stderr, "cannot read %s\n", events_path.c_str());
+        return 1;
+      }
+      return ProfileView(*report.profile(), events);
+    }
     if (report.forensics().has_value()) {
       const auto& forensics = *report.forensics();
       std::printf(

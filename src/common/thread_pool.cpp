@@ -15,6 +15,8 @@ namespace {
 struct PoolMetrics {
   obs::Gauge& queue_depth =
       obs::Registry::Global().GetGauge("pool.queue_depth");
+  obs::Gauge& pinned_queue_depth =
+      obs::Registry::Global().GetGauge("pool.pinned_queue_depth");
   obs::Counter& tasks_executed =
       obs::Registry::Global().GetCounter("pool.tasks_executed");
 
@@ -48,12 +50,14 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
           if (!pinned_[i].empty()) {
             task = std::move(pinned_[i].front());
             pinned_[i].pop_front();
+            pinned_depth_.fetch_sub(1, std::memory_order_relaxed);
+            PoolMetrics::Get().pinned_queue_depth.Sub(1);
           } else {
             task = std::move(tasks_.front());
             tasks_.pop();
+            queue_depth_.fetch_sub(1, std::memory_order_relaxed);
+            PoolMetrics::Get().queue_depth.Sub(1);
           }
-          queue_depth_.fetch_sub(1, std::memory_order_relaxed);
-          PoolMetrics::Get().queue_depth.Sub(1);
         }
         // Counted at dequeue so the tally is exact the moment every
         // submitted future has resolved (the increment happens-before the
@@ -82,6 +86,8 @@ ThreadPool::~ThreadPool() {
   }
   GAUGUR_CHECK_MSG(QueueDepth() == 0,
                    "queue-depth gauge nonzero after drain");
+  GAUGUR_CHECK_MSG(PinnedQueueDepth() == 0,
+                   "pinned-queue-depth gauge nonzero after drain");
 }
 
 std::future<void> ThreadPool::Submit(std::function<void()> task) {
@@ -109,8 +115,8 @@ std::future<void> ThreadPool::SubmitPinned(std::size_t worker,
     std::lock_guard lock(mutex_);
     GAUGUR_CHECK_MSG(!stop_, "SubmitPinned on stopped ThreadPool");
     pinned_[worker].emplace_back([packaged] { (*packaged)(); });
-    queue_depth_.fetch_add(1, std::memory_order_relaxed);
-    PoolMetrics::Get().queue_depth.Add(1);
+    pinned_depth_.fetch_add(1, std::memory_order_relaxed);
+    PoolMetrics::Get().pinned_queue_depth.Add(1);
   }
   // notify_all: with one condition variable, notify_one could wake a
   // worker whose pinned queue is empty while the target keeps sleeping.

@@ -37,11 +37,24 @@ class ThreadPool {
 
   std::size_t NumThreads() const { return workers_.size(); }
 
-  /// Tasks currently enqueued but not yet picked up by a worker. The
-  /// destructor drains the queue before joining and asserts this is zero.
-  /// Mirrored into the obs registry as the "pool.queue_depth" gauge.
+  /// Shared-queue tasks currently enqueued but not yet picked up by a
+  /// worker. The destructor drains the queue before joining and asserts
+  /// this is zero. Mirrored into the obs registry as the
+  /// "pool.queue_depth" gauge.
   std::size_t QueueDepth() const {
     return queue_depth_.load(std::memory_order_relaxed);
+  }
+
+  /// Pinned-queue counterpart of QueueDepth(): tasks submitted via
+  /// SubmitPinned / SubmitNamed that no worker has dequeued yet, summed
+  /// over all per-worker queues. Tracked separately from the shared
+  /// queue (gauge "pool.pinned_queue_depth") because a backlog here
+  /// means one specific worker is behind — affinity work cannot be
+  /// stolen, so the shared-depth gauge alone would hide a stuck shard.
+  /// Drains to zero by the time the destructor's joins return (asserted
+  /// there).
+  std::size_t PinnedQueueDepth() const {
+    return pinned_depth_.load(std::memory_order_relaxed);
   }
 
   /// Total tasks this pool has finished executing ("pool.tasks_executed"
@@ -93,6 +106,7 @@ class ThreadPool {
   std::condition_variable cv_;
   bool stop_ = false;
   std::atomic<std::size_t> queue_depth_{0};
+  std::atomic<std::size_t> pinned_depth_{0};
   std::atomic<std::uint64_t> tasks_executed_{0};
 };
 

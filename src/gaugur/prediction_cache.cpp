@@ -1,8 +1,35 @@
 #include "gaugur/prediction_cache.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "obs/latency_profiler.h"
 
 namespace gaugur::core {
+
+std::unique_lock<std::mutex> PredictionCache::LockStripe(Stripe& stripe) {
+  auto& profiler = obs::LatencyProfiler::Global();
+  if (!profiler.Active()) return std::unique_lock<std::mutex>(stripe.mutex);
+  std::unique_lock<std::mutex> lock(stripe.mutex, std::try_to_lock);
+  if (lock.owns_lock()) {
+    // Uncontended fast path: no clock read, just the tallies (we hold
+    // the stripe lock, so writing its stats is race-free).
+    ++stripe.stats.lock_acquisitions;
+    profiler.RecordCacheAcquisition(0.0, /*contended=*/false);
+    return lock;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  lock.lock();
+  const double wait_us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  ++stripe.stats.lock_acquisitions;
+  ++stripe.stats.lock_contended;
+  stripe.stats.lock_wait_us += wait_us;
+  profiler.RecordCacheAcquisition(wait_us, /*contended=*/true);
+  return lock;
+}
 
 PredictionCache::PredictionCache(std::size_t capacity,
                                  std::size_t max_age_epochs,
@@ -18,7 +45,7 @@ std::shared_ptr<const CachedPrediction> PredictionCache::Lookup(
   if (outcome != nullptr) *outcome = CacheLookupOutcome::kMiss;
   if (capacity_ == 0) return nullptr;
   Stripe& stripe = StripeFor(key);
-  std::lock_guard<std::mutex> lock(stripe.mutex);
+  const auto lock = LockStripe(stripe);
   auto it = stripe.entries.find(key);
   if (it == stripe.entries.end()) {
     ++stripe.stats.misses;
@@ -46,7 +73,7 @@ std::size_t PredictionCache::Insert(const PredictionCacheKey& key,
                                     CachedPrediction entry) {
   if (capacity_ == 0) return 0;
   Stripe& stripe = StripeFor(key);
-  std::lock_guard<std::mutex> lock(stripe.mutex);
+  const auto lock = LockStripe(stripe);
   auto it = stripe.entries.find(key);
   if (it != stripe.entries.end()) {
     it->second.value =
@@ -94,6 +121,9 @@ PredictionCache::Stats PredictionCache::GetStats() const {
     folded.misses += stripe.stats.misses;
     folded.evictions += stripe.stats.evictions;
     folded.expired += stripe.stats.expired;
+    folded.lock_acquisitions += stripe.stats.lock_acquisitions;
+    folded.lock_contended += stripe.stats.lock_contended;
+    folded.lock_wait_us += stripe.stats.lock_wait_us;
   }
   return folded;
 }

@@ -131,6 +131,15 @@ class PredictionCache {
     /// Entries dropped by the max-age reuse window (each also counts as
     /// a miss for the lookup that found it stale).
     std::uint64_t expired = 0;
+    /// Stripe-lock acquisition accounting, kept only while the latency
+    /// profiler is active (obs::LatencyProfiler): how many Lookup/Insert
+    /// calls took this stripe's lock, how many of those found it held,
+    /// and the total time they spent blocked. The uncontended fast path
+    /// (try_lock succeeds) costs no clock read; with the profiler
+    /// inactive the plain lock is taken and nothing is tallied.
+    std::uint64_t lock_acquisitions = 0;
+    std::uint64_t lock_contended = 0;
+    double lock_wait_us = 0.0;
   };
   /// Folded view over every stripe.
   Stats GetStats() const;
@@ -159,6 +168,10 @@ class PredictionCache {
   Stripe& StripeFor(const PredictionCacheKey& key) const {
     return stripes_[PredictionCacheKeyHash{}(key) % stripes_.size()];
   }
+
+  /// Takes `stripe.mutex`, tallying acquisition waits into the stripe
+  /// stats and the global latency profiler while it is active.
+  static std::unique_lock<std::mutex> LockStripe(Stripe& stripe);
 
   const std::size_t capacity_;
   /// Per-stripe LRU bound: ceil(capacity_ / stripes).

@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "ml/factory.h"
 #include "obs/event_log.h"
+#include "obs/latency_profiler.h"
 #include "obs/metrics.h"
 #include "obs/model_monitor.h"
 #include "obs/switch.h"
@@ -139,42 +140,52 @@ GAugurPredictor::BatchEval GAugurPredictor::EvalRmBatch(
   std::uint64_t expired = 0, evicted = 0;
   std::vector<std::size_t> miss;
   miss.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    ev.keys[i] = precomputed_keys.empty()
-                     ? ModelJoinKey(queries[i].victim, queries[i].corunners)
-                     : precomputed_keys[i];
-    CacheLookupOutcome outcome;
-    if (auto hit = cache_->Lookup({ev.keys[i], 0, kRmKind}, &outcome)) {
-      ev.values[i] = hit->value;
-      ev.x[i] = hit->features;
-      ev.hits[i] = std::move(hit);
-    } else {
-      if (outcome == CacheLookupOutcome::kExpired) ++expired;
-      miss.push_back(i);
+  {
+    obs::PhaseTimer phase(obs::Phase::kCacheLookup);
+    for (std::size_t i = 0; i < n; ++i) {
+      ev.keys[i] = precomputed_keys.empty()
+                       ? ModelJoinKey(queries[i].victim, queries[i].corunners)
+                       : precomputed_keys[i];
+      CacheLookupOutcome outcome;
+      if (auto hit = cache_->Lookup({ev.keys[i], 0, kRmKind}, &outcome)) {
+        ev.values[i] = hit->value;
+        ev.x[i] = hit->features;
+        ev.hits[i] = std::move(hit);
+      } else {
+        if (outcome == CacheLookupOutcome::kExpired) ++expired;
+        miss.push_back(i);
+      }
     }
   }
 
   // Misses: one row-major matrix, one batched model call.
   const std::size_t dim = features_->RmDim();
   ev.matrix.reserve(miss.size() * dim);
-  for (std::size_t i : miss) {
-    features_->AppendRmFeatures(queries[i].victim, queries[i].corunners,
-                                ev.matrix);
+  {
+    obs::PhaseTimer phase(obs::Phase::kFeatureBuild);
+    for (std::size_t i : miss) {
+      features_->AppendRmFeatures(queries[i].victim, queries[i].corunners,
+                                  ev.matrix);
+    }
   }
   std::vector<double> out(miss.size());
   if (!miss.empty()) {
+    obs::PhaseTimer phase(obs::Phase::kKernelEval);
     rm_->PredictBatch(ml::MatrixView{ev.matrix.data(), miss.size(), dim},
                       out);
   }
-  for (std::size_t j = 0; j < miss.size(); ++j) {
-    const std::size_t i = miss[j];
-    const double degradation = std::clamp(out[j], 0.01, 1.0);
-    ev.values[i] = degradation;
-    const std::span<const double> row{ev.matrix.data() + j * dim, dim};
-    ev.x[i] = row;
-    evicted += cache_->Insert(
-        {ev.keys[i], 0, kRmKind},
-        {std::vector<double>(row.begin(), row.end()), degradation});
+  {
+    obs::PhaseTimer phase(obs::Phase::kCacheLookup);
+    for (std::size_t j = 0; j < miss.size(); ++j) {
+      const std::size_t i = miss[j];
+      const double degradation = std::clamp(out[j], 0.01, 1.0);
+      ev.values[i] = degradation;
+      const std::span<const double> row{ev.matrix.data() + j * dim, dim};
+      ev.x[i] = row;
+      evicted += cache_->Insert(
+          {ev.keys[i], 0, kRmKind},
+          {std::vector<double>(row.begin(), row.end()), degradation});
+    }
   }
 
   if (obs_on) {
@@ -205,41 +216,51 @@ GAugurPredictor::BatchEval GAugurPredictor::EvalCmBatch(
   std::uint64_t expired = 0, evicted = 0;
   std::vector<std::size_t> miss;
   miss.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    ev.keys[i] = precomputed_keys.empty()
-                     ? ModelJoinKey(queries[i].victim, queries[i].corunners)
-                     : precomputed_keys[i];
-    CacheLookupOutcome outcome;
-    if (auto hit =
-            cache_->Lookup({ev.keys[i], qos_bits, kCmKind}, &outcome)) {
-      ev.values[i] = hit->value;
-      ev.x[i] = hit->features;
-      ev.hits[i] = std::move(hit);
-    } else {
-      if (outcome == CacheLookupOutcome::kExpired) ++expired;
-      miss.push_back(i);
+  {
+    obs::PhaseTimer phase(obs::Phase::kCacheLookup);
+    for (std::size_t i = 0; i < n; ++i) {
+      ev.keys[i] = precomputed_keys.empty()
+                       ? ModelJoinKey(queries[i].victim, queries[i].corunners)
+                       : precomputed_keys[i];
+      CacheLookupOutcome outcome;
+      if (auto hit =
+              cache_->Lookup({ev.keys[i], qos_bits, kCmKind}, &outcome)) {
+        ev.values[i] = hit->value;
+        ev.x[i] = hit->features;
+        ev.hits[i] = std::move(hit);
+      } else {
+        if (outcome == CacheLookupOutcome::kExpired) ++expired;
+        miss.push_back(i);
+      }
     }
   }
 
   const std::size_t dim = features_->CmDim();
   ev.matrix.reserve(miss.size() * dim);
-  for (std::size_t i : miss) {
-    features_->AppendCmFeatures(qos_fps, queries[i].victim,
-                                queries[i].corunners, ev.matrix);
+  {
+    obs::PhaseTimer phase(obs::Phase::kFeatureBuild);
+    for (std::size_t i : miss) {
+      features_->AppendCmFeatures(qos_fps, queries[i].victim,
+                                  queries[i].corunners, ev.matrix);
+    }
   }
   std::vector<double> out(miss.size());
   if (!miss.empty()) {
+    obs::PhaseTimer phase(obs::Phase::kKernelEval);
     cm_->PredictProbBatch(
         ml::MatrixView{ev.matrix.data(), miss.size(), dim}, out);
   }
-  for (std::size_t j = 0; j < miss.size(); ++j) {
-    const std::size_t i = miss[j];
-    ev.values[i] = out[j];
-    const std::span<const double> row{ev.matrix.data() + j * dim, dim};
-    ev.x[i] = row;
-    evicted += cache_->Insert(
-        {ev.keys[i], qos_bits, kCmKind},
-        {std::vector<double>(row.begin(), row.end()), out[j]});
+  {
+    obs::PhaseTimer phase(obs::Phase::kCacheLookup);
+    for (std::size_t j = 0; j < miss.size(); ++j) {
+      const std::size_t i = miss[j];
+      ev.values[i] = out[j];
+      const std::span<const double> row{ev.matrix.data() + j * dim, dim};
+      ev.x[i] = row;
+      evicted += cache_->Insert(
+          {ev.keys[i], qos_bits, kCmKind},
+          {std::vector<double>(row.begin(), row.end()), out[j]});
+    }
   }
 
   if (obs_on) {
@@ -409,28 +430,32 @@ std::vector<CandidateScore> GAugurPredictor::ScoreCandidatesDetailed(
   query_candidate.reserve(num_queries);
   std::vector<std::uint64_t> query_keys;
   query_keys.reserve(num_queries);
-  for (std::size_t c = 0; c < candidates.size(); ++c) {
-    if (!scores[c].memory_ok) continue;
-    const Colocation& colocation = candidates[c];
-    // Additive colocation hash: supplied by an incremental-hash-keeping
-    // scheduler, else one O(k) sum here. Each victim's join key is then
-    // derived in O(1) — the co-runner sum is the total minus the victim.
-    const std::uint64_t total_hash =
-        set_hashes.empty() ? IncrementalColocationHash::FromScratch(colocation)
-                           : set_hashes[c];
-    for (std::size_t v = 0; v < colocation.size(); ++v) {
-      const std::size_t begin = pool.size();
-      for (std::size_t j = 0; j < colocation.size(); ++j) {
-        if (j != v) pool.push_back(colocation[j]);
+  {
+    obs::PhaseTimer phase(obs::Phase::kColocationHash);
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      if (!scores[c].memory_ok) continue;
+      const Colocation& colocation = candidates[c];
+      // Additive colocation hash: supplied by an incremental-hash-keeping
+      // scheduler, else one O(k) sum here. Each victim's join key is then
+      // derived in O(1) — the co-runner sum is the total minus the victim.
+      const std::uint64_t total_hash =
+          set_hashes.empty()
+              ? IncrementalColocationHash::FromScratch(colocation)
+              : set_hashes[c];
+      for (std::size_t v = 0; v < colocation.size(); ++v) {
+        const std::size_t begin = pool.size();
+        for (std::size_t j = 0; j < colocation.size(); ++j) {
+          if (j != v) pool.push_back(colocation[j]);
+        }
+        queries.push_back(
+            {colocation[v],
+             std::span<const SessionRequest>(pool.data() + begin,
+                                             pool.size() - begin)});
+        query_candidate.push_back(c);
+        const std::uint64_t victim_hash = SessionHash(colocation[v]);
+        query_keys.push_back(
+            JoinKeyFromHashes(victim_hash, total_hash - victim_hash));
       }
-      queries.push_back(
-          {colocation[v],
-           std::span<const SessionRequest>(pool.data() + begin,
-                                           pool.size() - begin)});
-      query_candidate.push_back(c);
-      const std::uint64_t victim_hash = SessionHash(colocation[v]);
-      query_keys.push_back(
-          JoinKeyFromHashes(victim_hash, total_hash - victim_hash));
     }
   }
 

@@ -100,6 +100,9 @@ JsonValue RunReport::ToJson() const {
   if (health_.has_value()) {
     doc["health"] = health_->ToJson();
   }
+  if (profile_.has_value()) {
+    doc["profile"] = profile_->ToJson();
+  }
   return JsonValue(std::move(doc));
 }
 
@@ -200,6 +203,40 @@ void RunReport::Print(std::ostream& os) const {
                    static_cast<long long>(h.firing)});
     health.Print(os, "fleet health");
   }
+  if (profile_.has_value()) {
+    const LatencyProfileSummary& p = *profile_;
+    common::Table phases({"phase", "count", "total ms", "mean µs", "max µs"},
+                         /*double_precision=*/2);
+    for (std::size_t i = 0; i < kNumPhases; ++i) {
+      const PhaseStats& stats = p.fleet[i];
+      if (stats.count == 0) continue;
+      phases.AddRow({std::string(PhaseName(static_cast<Phase>(i))),
+                     static_cast<long long>(stats.count),
+                     stats.total_us / 1000.0,
+                     stats.total_us / static_cast<double>(stats.count),
+                     stats.max_us});
+    }
+    if (phases.NumRows() > 0) {
+      phases.Print(os, "decision latency attribution (" +
+                           std::to_string(p.decisions) + " decisions)");
+    }
+    common::Table contention({"contention", "value"}, /*double_precision=*/2);
+    contention.AddRow({std::string("tick windows"),
+                       static_cast<long long>(p.imbalance.windows)});
+    contention.AddRow({std::string("shard spread mean (µs)"),
+                       p.imbalance.windows > 0
+                           ? p.imbalance.spread_total_us /
+                                 static_cast<double>(p.imbalance.windows)
+                           : 0.0});
+    contention.AddRow({std::string("shard spread max (µs)"),
+                       p.imbalance.spread_max_us});
+    contention.AddRow({std::string("cache lock acquisitions"),
+                       static_cast<long long>(p.cache.acquisitions)});
+    contention.AddRow({std::string("cache lock contended"),
+                       static_cast<long long>(p.cache.contended)});
+    contention.AddRow({std::string("cache lock wait (µs)"), p.cache.wait_us});
+    contention.Print(os, "shard / cache contention");
+  }
 }
 
 bool RunReport::WriteJson(const std::string& path) const {
@@ -214,6 +251,7 @@ RunReport RunReport::FromJson(const JsonValue& doc) {
   const JsonValue* schema = doc.Find("schema");
   GAUGUR_CHECK_MSG(schema != nullptr && schema->IsString() &&
                        (schema->AsString() == kRunReportSchema ||
+                        schema->AsString() == kRunReportSchemaV4 ||
                         schema->AsString() == kRunReportSchemaV3 ||
                         schema->AsString() == kRunReportSchemaV2 ||
                         schema->AsString() == kRunReportSchemaV1),
@@ -261,6 +299,9 @@ RunReport RunReport::FromJson(const JsonValue& doc) {
   }
   if (const JsonValue* health = doc.Find("health")) {
     report.SetHealth(HealthSummary::FromJson(*health));
+  }
+  if (const JsonValue* profile = doc.Find("profile")) {
+    report.SetProfile(LatencyProfileSummary::FromJson(*profile));
   }
   return report;
 }

@@ -2,10 +2,10 @@
 // machines) and aligned text tables (for eyeballs), following the
 // bench_results/ convention of one artifact per run.
 //
-// Documented schema, version "gaugur.obs.run_report/v4":
+// Documented schema, version "gaugur.obs.run_report/v5":
 //
 //   {
-//     "schema": "gaugur.obs.run_report/v4",
+//     "schema": "gaugur.obs.run_report/v5",
 //     "name": "<run name>",
 //     "meta": {"<key>": "<string value>", ...},
 //     "counters": {"<name>": <uint>, ...},
@@ -21,10 +21,15 @@
 //     },
 //     "model_monitor": { ... },  // optional; obs/model_monitor.h schema
 //     "forensics": { ... },      // optional; obs/forensics.h schema
-//     "health": { ... }          // optional; obs/health.h HealthSummary
+//     "health": { ... },         // optional; obs/health.h HealthSummary
+//     "profile": { ... }         // optional; obs/latency_profiler.h
+//                                //   LatencyProfileSummary
 //   }
 //
-// v4 adds the optional "health" section (alert rules, labeled lifecycle
+// v5 adds the optional "profile" section (decision latency attribution:
+// per-shard phase breakdowns, barrier / window-imbalance / cache-lock
+// contention, and slowest-K tail exemplars keyed by decision_id). v4
+// added the optional "health" section (alert rules, labeled lifecycle
 // instance states, and the obs.health.* tallies they reconcile with) and
 // the derived "p999" histogram quantile. v3 added the optional
 // "forensics" section (event-log volumes, decision / violation linkage,
@@ -32,7 +37,7 @@
 // time-series volumes) plus the optional forensic fields inside
 // model_monitor.attribution. v2 added the optional "model_monitor"
 // section (online CM/RM quality: rolling calibration, RM error,
-// per-feature PSI drift, QoS-violation attribution). v1-v3 documents
+// per-feature PSI drift, QoS-violation attribution). v1-v4 documents
 // still parse. mean/p50/p95/p99/p999 are derived conveniences;
 // ParseSnapshot reconstructs the snapshot from buckets + sum alone, so a
 // written report round-trips exactly (tests/obs/registry_test.cpp and
@@ -49,15 +54,18 @@
 #include "obs/forensics.h"
 #include "obs/health.h"
 #include "obs/json.h"
+#include "obs/latency_profiler.h"
 #include "obs/metrics.h"
 #include "obs/model_monitor.h"
 
 namespace gaugur::obs {
 
-inline constexpr const char* kRunReportSchema = "gaugur.obs.run_report/v4";
-/// Prior versions, still accepted by FromJson (v3 lacks the health
-/// section, v2 additionally lacks forensics, v1 also lacks
-/// model_monitor).
+inline constexpr const char* kRunReportSchema = "gaugur.obs.run_report/v5";
+/// Prior versions, still accepted by FromJson (v4 lacks the profile
+/// section, v3 additionally lacks health, v2 also lacks forensics, v1
+/// also lacks model_monitor).
+inline constexpr const char* kRunReportSchemaV4 =
+    "gaugur.obs.run_report/v4";
 inline constexpr const char* kRunReportSchemaV3 =
     "gaugur.obs.run_report/v3";
 inline constexpr const char* kRunReportSchemaV2 =
@@ -89,6 +97,11 @@ class RunReport {
     }
     if (HealthEngine::Global().Armed()) {
       report.SetHealth(HealthEngine::Global().Summary());
+    }
+    const LatencyProfileSummary profile =
+        LatencyProfiler::Global().Summary();
+    if (!profile.Empty()) {
+      report.SetProfile(profile);
     }
     return report;
   }
@@ -122,6 +135,14 @@ class RunReport {
   void SetHealth(HealthSummary summary) { health_ = std::move(summary); }
   const std::optional<HealthSummary>& health() const { return health_; }
 
+  /// Optional decision-latency-attribution section (v5).
+  void SetProfile(LatencyProfileSummary summary) {
+    profile_ = std::move(summary);
+  }
+  const std::optional<LatencyProfileSummary>& profile() const {
+    return profile_;
+  }
+
   JsonValue ToJson() const;
   std::string ToJsonString(int indent = 2) const;
 
@@ -133,9 +154,9 @@ class RunReport {
   /// Writes ToJsonString() to `path`; returns false on I/O failure.
   bool WriteJson(const std::string& path) const;
 
-  /// Inverse of ToJson(). Accepts the current /v4 schema and legacy
-  /// /v3 / /v2 / /v1 documents (which simply lack the newer sections);
-  /// throws std::logic_error (GAUGUR_CHECK) on anything else.
+  /// Inverse of ToJson(). Accepts the current /v5 schema and legacy
+  /// /v4 / /v3 / /v2 / /v1 documents (which simply lack the newer
+  /// sections); throws std::logic_error (GAUGUR_CHECK) on anything else.
   static RunReport FromJson(const JsonValue& doc);
   static RunReport FromJsonString(const std::string& text) {
     return FromJson(JsonValue::Parse(text));
@@ -148,6 +169,7 @@ class RunReport {
   std::optional<ModelMonitorSummary> model_monitor_;
   std::optional<ForensicsSummary> forensics_;
   std::optional<HealthSummary> health_;
+  std::optional<LatencyProfileSummary> profile_;
 };
 
 }  // namespace gaugur::obs

@@ -20,6 +20,7 @@
 #include "gaugur/predictor.h"
 #include "obs/event_log.h"
 #include "obs/health.h"
+#include "obs/latency_profiler.h"
 #include "obs/metrics.h"
 #include "obs/model_monitor.h"
 #include "obs/sink.h"
@@ -415,23 +416,33 @@ class ShardSim {
       PopDeparture(/*with_health=*/false);
     }
 
+    // Flight recorder: everything from here to EndDecision below is
+    // attributed to a phase (or falls into policy_select's exclusive
+    // remainder). No-op unless the profiler is armed and obs is on.
+    obs::LatencyProfiler::Global().BeginDecision(
+        static_cast<std::size_t>(std::max(shard_, 0)));
+
     // Policy sees only servers with a free slot.
-    SelectCandidates();
-    open_view_.clear();
-    open_index_.clear();
-    std::vector<std::uint64_t>& open_hashes = PendingOpenServerHashes();
-    open_hashes.clear();
-    for (std::size_t s : candidate_locals_) {
-      Colocation content;
-      for (const auto& live : servers_[s].sessions) {
-        content.push_back(live.session);
+    {
+      obs::PhaseTimer phase(obs::Phase::kCandidateEnum);
+      SelectCandidates();
+      open_view_.clear();
+      open_index_.clear();
+      std::vector<std::uint64_t>& open_hashes = PendingOpenServerHashes();
+      open_hashes.clear();
+      for (std::size_t s : candidate_locals_) {
+        Colocation content;
+        for (const auto& live : servers_[s].sessions) {
+          content.push_back(live.session);
+        }
+        open_view_.push_back(std::move(content));
+        open_index_.push_back(s);
+        open_hashes.push_back(servers_[s].set_hash.Value());
       }
-      open_view_.push_back(std::move(content));
-      open_index_.push_back(s);
-      open_hashes.push_back(servers_[s].set_hash.Value());
     }
 
     if (obs::Enabled()) {
+      obs::PhaseTimer phase(obs::Phase::kEventEmit);
       obs::JsonObject fields;
       fields["request_index"] =
           obs::JsonValue(static_cast<unsigned long long>(oi));
@@ -447,7 +458,13 @@ class ShardSim {
     PendingDecisionDetail().Clear();
     {
       const auto t0 = std::chrono::steady_clock::now();
-      choice = policy(open_view_, request.session);
+      {
+        // Nested inside the decision_us span, so the phases the policy
+        // records internally subtract out of policy_select's exclusive
+        // time and the per-phase sum reconciles with sched.decision_us.
+        obs::PhaseTimer phase(obs::Phase::kPolicySelect);
+        choice = policy(open_view_, request.session);
+      }
       const double us =
           std::chrono::duration<double, std::micro>(
               std::chrono::steady_clock::now() - t0)
@@ -481,12 +498,13 @@ class ShardSim {
     }
     LiveServer& server = servers_[target];
     GAUGUR_CHECK(server.sessions.size() < options_.max_sessions_per_server);
+    std::uint64_t decision_id = 0;
     if (obs::Enabled()) {
+      obs::PhaseTimer phase(obs::Phase::kEventEmit);
       // One decision event per arrival, carrying the policy's judgement of
       // every open candidate (when the policy published one) so a later
       // violation can be traced back to "what did the predictor believe".
-      const std::uint64_t decision_id =
-          obs::EventLog::Global().NextDecisionId();
+      decision_id = obs::EventLog::Global().NextDecisionId();
       server.last_decision_id = decision_id;
       obs::JsonObject fields;
       fields["request_index"] =
@@ -523,6 +541,7 @@ class ShardSim {
       obs::EventLog::Global().Append(obs::EventKind::kDecision, now,
                                      decision_id, std::move(fields));
     }
+    obs::LatencyProfiler::Global().EndDecision(decision_id, now);
     const std::size_t old_n = server.sessions.size();
     server.sessions.push_back(
         {request.session, oi, now + request.duration_min});
@@ -718,6 +737,11 @@ ShardedFleetResult SimulateShardedFleet(
   // per-arrival passes.
   std::size_t ticks = 0;
   std::size_t peak_live = 0;
+  // Per-window in-window work time, one slot per shard: each shard
+  // writes its own slot before arriving at the barrier, and the
+  // completion step below reads + resets all slots while every shard is
+  // quiescent (the barrier's completion phase orders both directions).
+  std::vector<double> window_busy_us(num_shards, 0.0);
   auto on_tick = [&]() noexcept {
     const double window_end =
         window_ends[std::min(ticks, window_ends.size() - 1)];
@@ -725,6 +749,11 @@ ShardedFleetResult SimulateShardedFleet(
     for (const auto& sim : sims) live += sim->LiveSessions();
     peak_live = std::max(peak_live, live);
     ++ticks;
+    auto& profiler = obs::LatencyProfiler::Global();
+    if (profiler.Active()) {
+      profiler.RecordWindow(window_busy_us);
+      std::fill(window_busy_us.begin(), window_busy_us.end(), 0.0);
+    }
     if (obs::Enabled()) {
       try {
         if (obs::TelemetrySink* sink = obs::TelemetrySink::Active()) {
@@ -750,18 +779,39 @@ ShardedFleetResult SimulateShardedFleet(
   for (std::size_t k = 0; k < num_shards; ++k) {
     futures.push_back(pool.SubmitNamed(
         "fleet-shard-" + std::to_string(k), [&, k] {
+          auto& profiler = obs::LatencyProfiler::Global();
           for (const double window_end : window_ends) {
+            const bool profiled = profiler.Active();
             if (!errors[k]) {
               try {
+                const auto busy_start = profiled
+                                            ? std::chrono::steady_clock::now()
+                                            : std::chrono::steady_clock::
+                                                  time_point{};
                 sims[k]->RunWindow(policies[k], window_end);
                 sims[k]->DrainUpTo(window_end);
+                if (profiled) {
+                  window_busy_us[k] +=
+                      std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - busy_start)
+                          .count();
+                }
               } catch (...) {
                 // Keep arriving at the barrier so no sibling deadlocks;
                 // the error is rethrown on the caller's thread below.
                 errors[k] = std::current_exception();
               }
             }
-            barrier.arrive_and_wait();
+            if (profiled) {
+              const auto wait_start = std::chrono::steady_clock::now();
+              barrier.arrive_and_wait();
+              profiler.RecordBarrierWait(
+                  k, std::chrono::duration<double, std::micro>(
+                         std::chrono::steady_clock::now() - wait_start)
+                         .count());
+            } else {
+              barrier.arrive_and_wait();
+            }
           }
           if (!errors[k]) {
             try {
@@ -902,22 +952,25 @@ int ProvenancePlacement(const core::GAugurPredictor& predictor,
     return -1;
   }
   std::vector<Colocation> candidates;
-  candidates.reserve(open_servers.size());
-  for (const Colocation& content : open_servers) {
-    Colocation extended = content;
-    extended.push_back(arrival);
-    candidates.push_back(std::move(extended));
-  }
-  // The simulator publishes each open server's additive colocation hash;
-  // extending a candidate with the arrival is one O(1) hash addition, so
-  // scoring never rehashes a co-runner set.
-  const std::vector<std::uint64_t>& open_hashes = PendingOpenServerHashes();
   std::vector<std::uint64_t> set_hashes;
-  if (open_hashes.size() == open_servers.size()) {
-    set_hashes.reserve(open_hashes.size());
-    const std::uint64_t arrival_hash = core::SessionHash(arrival);
-    for (const std::uint64_t h : open_hashes) {
-      set_hashes.push_back(h + arrival_hash);
+  {
+    obs::PhaseTimer phase(obs::Phase::kColocationHash);
+    candidates.reserve(open_servers.size());
+    for (const Colocation& content : open_servers) {
+      Colocation extended = content;
+      extended.push_back(arrival);
+      candidates.push_back(std::move(extended));
+    }
+    // The simulator publishes each open server's additive colocation
+    // hash; extending a candidate with the arrival is one O(1) hash
+    // addition, so scoring never rehashes a co-runner set.
+    const std::vector<std::uint64_t>& open_hashes = PendingOpenServerHashes();
+    if (open_hashes.size() == open_servers.size()) {
+      set_hashes.reserve(open_hashes.size());
+      const std::uint64_t arrival_hash = core::SessionHash(arrival);
+      for (const std::uint64_t h : open_hashes) {
+        set_hashes.push_back(h + arrival_hash);
+      }
     }
   }
   const std::vector<core::CandidateScore> scores =

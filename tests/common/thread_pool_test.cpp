@@ -225,6 +225,43 @@ TEST(ThreadPoolTest, PinnedAndSharedQueuesCoexist) {
   EXPECT_EQ(pool.QueueDepth(), 0u);
 }
 
+TEST(ThreadPoolTest, PinnedQueueDepthGaugeTracksBacklogAndDrains) {
+  obs::EnabledScope on(true);
+  obs::Gauge& gauge =
+      obs::Registry::Global().GetGauge("pool.pinned_queue_depth");
+  const std::int64_t idle_before = gauge.Value();
+  {
+    ThreadPool pool(1);
+    // Park the lone worker so pinned submissions pile up observably:
+    // affinity work cannot be stolen, so the backlog must show in the
+    // pinned gauge and NOT in the shared-queue gauge.
+    std::promise<void> started;
+    std::promise<void> release;
+    auto blocker = pool.SubmitPinned(0, [&] {
+      started.set_value();
+      release.get_future().wait();
+    });
+    started.get_future().wait();
+    std::atomic<int> done{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 8; ++i) {
+      futures.push_back(pool.SubmitPinned(0, [&] { ++done; }));
+    }
+    EXPECT_EQ(pool.PinnedQueueDepth(), 8u);
+    EXPECT_EQ(pool.QueueDepth(), 0u);
+    EXPECT_EQ(gauge.Value(), idle_before + 8);
+    release.set_value();
+    blocker.wait();
+    for (auto& f : futures) f.wait();
+    EXPECT_EQ(done.load(), 8);
+    // The dequeue decrement happens-before each future resolves, so the
+    // depth is exactly zero once every future is ready.
+    EXPECT_EQ(pool.PinnedQueueDepth(), 0u);
+    // Destruction re-asserts PinnedQueueDepth() == 0 after the joins.
+  }
+  EXPECT_EQ(gauge.Value(), idle_before);
+}
+
 TEST(ThreadPoolTest, ParallelSumMatchesSerial) {
   ThreadPool pool(4);
   constexpr std::size_t kN = 100000;

@@ -140,7 +140,7 @@ TEST(RunReportForensics, CaptureEmitsCurrentSchemaWithForensicsSection) {
 
   const JsonValue doc = JsonValue::Parse(report.ToJsonString());
   EXPECT_EQ(doc.Find("schema")->AsString(),
-            std::string("gaugur.obs.run_report/v4"));
+            std::string("gaugur.obs.run_report/v5"));
   ASSERT_NE(doc.Find("forensics"), nullptr);
 
   const RunReport parsed = RunReport::FromJsonString(report.ToJsonString());

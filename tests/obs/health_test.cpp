@@ -497,7 +497,7 @@ TEST(HealthSummaryJson, RoundTripsBitExactly) {
   EXPECT_EQ(parsed.ToJson().Dump(), summary.ToJson().Dump());
 }
 
-TEST(HealthRunReport, V4RoundTripsWithHealthSectionExactly) {
+TEST(HealthRunReport, CurrentSchemaRoundTripsWithHealthSectionExactly) {
   EnabledScope on(true);
   LocalWorld world;
   world.engine.InstallDefaultRules(/*qos_fps=*/60.0);
@@ -510,7 +510,7 @@ TEST(HealthRunReport, V4RoundTripsWithHealthSectionExactly) {
   RunReport report("health-report", world.registry.Snap());
   report.SetHealth(world.engine.Summary());
   const std::string json = report.ToJsonString();
-  EXPECT_NE(json.find("\"gaugur.obs.run_report/v4\""), std::string::npos);
+  EXPECT_NE(json.find("\"gaugur.obs.run_report/v5\""), std::string::npos);
 
   const RunReport parsed = RunReport::FromJsonString(json);
   ASSERT_TRUE(parsed.health().has_value());
@@ -526,6 +526,15 @@ TEST(HealthRunReport, V3DocumentsStillParseWithoutHealth) {
       R"( "counters": {"a": 3}, "gauges": {}, "histograms": {}})");
   EXPECT_EQ(v3.name(), "legacy");
   EXPECT_FALSE(v3.health().has_value());
+}
+
+TEST(HealthRunReport, V4DocumentsStillParseWithoutProfile) {
+  const RunReport v4 = RunReport::FromJsonString(
+      R"({"schema": "gaugur.obs.run_report/v4", "name": "legacy",)"
+      R"( "counters": {"a": 3}, "gauges": {}, "histograms": {}})");
+  EXPECT_EQ(v4.name(), "legacy");
+  EXPECT_FALSE(v4.health().has_value());
+  EXPECT_FALSE(v4.profile().has_value());
 }
 
 TEST(HealthWindows, ExtractAndJoinFiringWindows) {

@@ -1,0 +1,232 @@
+#include "obs/latency_profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <vector>
+
+#include "obs/switch.h"
+
+namespace gaugur::obs {
+namespace {
+
+/// Busy-wait so the elapsed time is guaranteed >= `us` (sleep_for may
+/// oversleep arbitrarily, but never under-runs either; the busy wait
+/// keeps the lower bound tight enough to assert on).
+void SpinFor(std::chrono::microseconds us) {
+  const auto end = std::chrono::steady_clock::now() + us;
+  while (std::chrono::steady_clock::now() < end) {
+  }
+}
+
+TEST(LatencyProfilerTest, PhaseNamesRoundTrip) {
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    const auto phase = static_cast<Phase>(i);
+    Phase parsed;
+    ASSERT_TRUE(PhaseFromName(PhaseName(phase), &parsed))
+        << PhaseName(phase);
+    EXPECT_EQ(parsed, phase);
+  }
+  Phase unused;
+  EXPECT_FALSE(PhaseFromName("no_such_phase", &unused));
+  EXPECT_FALSE(PhaseFromName("", &unused));
+}
+
+TEST(LatencyProfilerTest, NestedTimersRecordExclusiveTime) {
+  EnabledScope on(true);
+  LatencyProfiler& profiler = LatencyProfiler::Global();
+  profiler.Reset();
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  profiler.BeginDecision(/*shard=*/3);
+  {
+    PhaseTimer outer(Phase::kPolicySelect);
+    SpinFor(std::chrono::microseconds(2000));
+    {
+      PhaseTimer inner(Phase::kCacheLookup);
+      SpinFor(std::chrono::microseconds(2000));
+    }
+  }
+  profiler.EndDecision(/*decision_id=*/42, /*tick=*/1.5);
+  const double wall_us = std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - wall_start)
+                             .count();
+
+  const LatencyProfileSummary summary = profiler.Summary();
+  EXPECT_EQ(summary.decisions, 1u);
+  ASSERT_EQ(summary.shards.size(), 1u);
+  EXPECT_EQ(summary.shards[0].shard, 3u);
+  EXPECT_EQ(summary.shards[0].decisions, 1u);
+
+  const PhaseStats& policy =
+      summary.fleet[static_cast<std::size_t>(Phase::kPolicySelect)];
+  const PhaseStats& cache =
+      summary.fleet[static_cast<std::size_t>(Phase::kCacheLookup)];
+  EXPECT_EQ(policy.count, 1u);
+  EXPECT_EQ(cache.count, 1u);
+  // Each timer's own busy-wait is a hard lower bound on its exclusive
+  // time.
+  EXPECT_GE(policy.total_us, 1999.0);
+  EXPECT_GE(cache.total_us, 1999.0);
+  // The exclusivity contract: phase totals partition the decision, so
+  // their sum cannot exceed the wall clock. (Double counting would make
+  // policy_select ~4 ms and the sum ~6 ms against a ~4 ms wall.)
+  EXPECT_LE(policy.total_us + cache.total_us, wall_us * 1.01);
+
+  // The lone decision is also the slowest seen: one exemplar, joined by
+  // the decision id we passed, with the same phase split.
+  ASSERT_EQ(summary.exemplars.size(), 1u);
+  const TailExemplar& exemplar = summary.exemplars[0];
+  EXPECT_EQ(exemplar.decision_id, 42u);
+  EXPECT_DOUBLE_EQ(exemplar.tick, 1.5);
+  EXPECT_EQ(exemplar.shard, 3u);
+  EXPECT_DOUBLE_EQ(exemplar.total_us, policy.total_us + cache.total_us);
+  profiler.Reset();
+}
+
+TEST(LatencyProfilerTest, InactiveWhileDisarmedOrDisabled) {
+  LatencyProfiler& profiler = LatencyProfiler::Global();
+  profiler.Reset();
+  {
+    EnabledScope on(true);
+    LatencyProfiler::ArmedScope disarmed(false);
+    EXPECT_FALSE(profiler.Active());
+    profiler.BeginDecision(0);
+    {
+      PhaseTimer timer(Phase::kPolicySelect);
+      SpinFor(std::chrono::microseconds(100));
+    }
+    profiler.EndDecision(7, 0.0);
+    profiler.RecordBarrierWait(0, 50.0);
+    const double busy[2] = {10.0, 20.0};
+    profiler.RecordWindow(busy);
+  }
+  {
+    EnabledScope off(false);
+    EXPECT_FALSE(profiler.Active());
+    profiler.BeginDecision(0);
+    {
+      PhaseTimer timer(Phase::kPolicySelect);
+      SpinFor(std::chrono::microseconds(100));
+    }
+    profiler.EndDecision(8, 0.0);
+  }
+  EXPECT_TRUE(profiler.Summary().Empty());
+}
+
+TEST(LatencyProfilerTest, ExemplarRingKeepsSlowestKSorted) {
+  EnabledScope on(true);
+  LatencyProfiler& profiler = LatencyProfiler::Global();
+  profiler.Reset();
+  constexpr std::size_t kDecisions = LatencyProfiler::kTailExemplars + 8;
+  for (std::size_t i = 0; i < kDecisions; ++i) {
+    profiler.BeginDecision(0);
+    {
+      PhaseTimer timer(Phase::kPolicySelect);
+      SpinFor(std::chrono::microseconds(30));
+    }
+    profiler.EndDecision(/*decision_id=*/i + 1,
+                         /*tick=*/static_cast<double>(i));
+  }
+  const LatencyProfileSummary summary = profiler.Summary();
+  EXPECT_EQ(summary.decisions, kDecisions);
+  ASSERT_EQ(summary.exemplars.size(), LatencyProfiler::kTailExemplars);
+  std::set<std::uint64_t> ids;
+  for (std::size_t i = 0; i < summary.exemplars.size(); ++i) {
+    const TailExemplar& exemplar = summary.exemplars[i];
+    EXPECT_GE(exemplar.decision_id, 1u);
+    EXPECT_LE(exemplar.decision_id, kDecisions);
+    ids.insert(exemplar.decision_id);
+    if (i > 0) {
+      EXPECT_GE(summary.exemplars[i - 1].total_us, exemplar.total_us)
+          << "exemplars not sorted slowest-first at " << i;
+    }
+  }
+  // Each ring slot holds a distinct decision.
+  EXPECT_EQ(ids.size(), summary.exemplars.size());
+  profiler.Reset();
+}
+
+TEST(LatencyProfilerTest, ContentionAccountingAndReset) {
+  EnabledScope on(true);
+  LatencyProfiler& profiler = LatencyProfiler::Global();
+  profiler.Reset();
+
+  profiler.RecordBarrierWait(2, 12.5);
+  profiler.RecordBarrierWait(2, 12.5);
+  const double busy[3] = {10.0, 4.0, 7.0};
+  profiler.RecordWindow(busy);
+  profiler.RecordCacheAcquisition(0.0, /*contended=*/false);
+  profiler.RecordCacheAcquisition(5.25, /*contended=*/true);
+
+  const LatencyProfileSummary summary = profiler.Summary();
+  EXPECT_EQ(summary.imbalance.windows, 1u);
+  EXPECT_DOUBLE_EQ(summary.imbalance.spread_total_us, 6.0);
+  EXPECT_DOUBLE_EQ(summary.imbalance.spread_max_us, 6.0);
+  EXPECT_EQ(summary.cache.acquisitions, 2u);
+  EXPECT_EQ(summary.cache.contended, 1u);
+  EXPECT_DOUBLE_EQ(summary.cache.wait_us, 5.25);
+  EXPECT_DOUBLE_EQ(summary.cache.wait_max_us, 5.25);
+  const ShardProfile* shard2 = nullptr;
+  for (const ShardProfile& shard : summary.shards) {
+    if (shard.shard == 2) shard2 = &shard;
+  }
+  ASSERT_NE(shard2, nullptr);
+  EXPECT_EQ(shard2->barrier_waits, 2u);
+  EXPECT_DOUBLE_EQ(shard2->barrier_wait_us, 25.0);
+  EXPECT_DOUBLE_EQ(shard2->window_busy_us, 7.0);
+
+  profiler.Reset();
+  const LatencyProfileSummary after = profiler.Summary();
+  EXPECT_TRUE(after.Empty());
+  EXPECT_EQ(after.cache.acquisitions, 0u);
+  EXPECT_EQ(after.imbalance.windows, 0u);
+}
+
+TEST(LatencyProfilerTest, SummaryJsonRoundTripsExactly) {
+  LatencyProfileSummary summary;
+  summary.decisions = 12345;
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    summary.fleet[i].count = 100 + i;
+    summary.fleet[i].total_us = 0.1 + static_cast<double>(i) * 1e-7;
+    summary.fleet[i].max_us = 1e9 / 3.0 + static_cast<double>(i);
+  }
+  ShardProfile shard;
+  shard.shard = 7;
+  shard.decisions = 99;
+  shard.phases = summary.fleet;
+  shard.barrier_waits = 41;
+  shard.barrier_wait_us = 123.4567890123;
+  shard.window_busy_us = 2.0 / 3.0;
+  summary.shards.push_back(shard);
+  summary.imbalance = {17, 1e-12, 98765.4321};
+  summary.cache = {1000, 42, 3.14159265358979, 0.25};
+  TailExemplar exemplar;
+  exemplar.decision_id = 987654321;
+  exemplar.tick = 120.5;
+  exemplar.shard = 7;
+  exemplar.total_us = 456.789;
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    exemplar.phase_us[i] = static_cast<double>(i) / 7.0;
+  }
+  summary.exemplars.push_back(exemplar);
+
+  const std::string text = summary.ToJson().Dump(2);
+  const LatencyProfileSummary parsed =
+      LatencyProfileSummary::FromJson(JsonValue::Parse(text));
+  EXPECT_EQ(parsed, summary);
+  // And a second trip through text is byte-stable.
+  EXPECT_EQ(parsed.ToJson().Dump(2), text);
+}
+
+TEST(LatencyProfilerTest, EmptySummaryRoundTrips) {
+  const LatencyProfileSummary empty;
+  EXPECT_TRUE(empty.Empty());
+  const LatencyProfileSummary parsed = LatencyProfileSummary::FromJson(
+      JsonValue::Parse(empty.ToJson().Dump(0)));
+  EXPECT_EQ(parsed, empty);
+}
+
+}  // namespace
+}  // namespace gaugur::obs

@@ -8,6 +8,7 @@
 
 #include "obs/json.h"
 #include "obs/report.h"
+#include "obs/stream.h"
 #include "obs/switch.h"
 
 namespace gaugur::obs {
@@ -239,6 +240,90 @@ TEST(RunReportTest, TextTablesMentionEveryMetric) {
   EXPECT_NE(text.find("alpha.count"), std::string::npos);
   EXPECT_NE(text.find("beta.level"), std::string::npos);
   EXPECT_NE(text.find("gamma.us"), std::string::npos);
+}
+
+TEST(MetricsDeltaTest, UnchangedGaugeOmittedFromDeltaLine) {
+  EnabledScope on(true);
+  Registry registry;
+  Gauge& steady = registry.GetGauge("steady.level");
+  Gauge& moving = registry.GetGauge("moving.level");
+  steady.Add(5);
+  moving.Add(1);
+  const Snapshot base = registry.Snap();
+  moving.Add(2);
+  const Snapshot delta = registry.Snap().DeltaSince(base);
+  // Gauges report their current level, and only when it changed.
+  EXPECT_EQ(delta.gauges.count("steady.level"), 0u);
+  ASSERT_EQ(delta.gauges.count("moving.level"), 1u);
+  EXPECT_EQ(delta.gauges.at("moving.level"), 3);
+  const JsonValue line = MetricsDeltaToJson(delta, /*seq=*/1, /*tick=*/10.0);
+  EXPECT_EQ(line.Find("schema")->AsString(), kMetricsDeltaSchema);
+  EXPECT_EQ(line.Find("gauges")->Find("steady.level"), nullptr);
+  EXPECT_EQ(line.Find("gauges")->Find("moving.level")->AsNumber(), 3.0);
+}
+
+TEST(MetricsDeltaTest, CounterIncrementsAcrossMultipleDrains) {
+  EnabledScope on(true);
+  Registry registry;
+  Counter& counter = registry.GetCounter("drain.count");
+
+  // Drain 1: the counter's whole value relative to an empty baseline.
+  counter.Add(3);
+  Snapshot baseline;
+  Snapshot delta = registry.Snap().DeltaSince(baseline);
+  EXPECT_EQ(delta.counters.at("drain.count"), 3u);
+  baseline = registry.Snap();
+
+  // Drain 2: only the increment since the previous drain.
+  counter.Add(4);
+  delta = registry.Snap().DeltaSince(baseline);
+  EXPECT_EQ(delta.counters.at("drain.count"), 4u);
+  JsonValue line = MetricsDeltaToJson(delta, /*seq=*/2, /*tick=*/20.0);
+  EXPECT_EQ(line.Find("counters")->Find("drain.count")->AsNumber(), 4.0);
+  baseline = registry.Snap();
+
+  // Drain 3: idle interval -> the counter vanishes from the line.
+  delta = registry.Snap().DeltaSince(baseline);
+  EXPECT_EQ(delta.counters.count("drain.count"), 0u);
+  line = MetricsDeltaToJson(delta, /*seq=*/3, /*tick=*/30.0);
+  EXPECT_EQ(line.Find("counters")->Find("drain.count"), nullptr);
+  EXPECT_TRUE(line.Find("counters")->AsObject().empty());
+}
+
+TEST(MetricsDeltaTest, HistogramBucketIncrementsStreamExactly) {
+  EnabledScope on(true);
+  Registry registry;
+  const std::vector<double> bounds = {1.0, 10.0, 100.0};
+  Histogram& hist = registry.GetHistogram("delta.us", bounds);
+  hist.Record(0.5);
+  hist.Record(5.0);
+  const Snapshot base = registry.Snap();
+
+  hist.Record(50.0);
+  hist.Record(500.0);  // overflow bucket
+  const Snapshot delta = registry.Snap().DeltaSince(base);
+  const HistogramSnapshot& diff = delta.histograms.at("delta.us");
+  // Only the two new records survive the subtraction, each in its bucket.
+  EXPECT_EQ(diff.count, 2u);
+  EXPECT_DOUBLE_EQ(diff.sum, 550.0);
+  ASSERT_EQ(diff.counts.size(), 4u);
+  EXPECT_EQ(diff.counts[0], 0u);  // <= 1: unchanged
+  EXPECT_EQ(diff.counts[1], 0u);  // <= 10: unchanged
+  EXPECT_EQ(diff.counts[2], 1u);  // <= 100: the 50.0
+  EXPECT_EQ(diff.counts[3], 1u);  // overflow: the 500.0
+  const JsonValue line = MetricsDeltaToJson(delta, /*seq=*/4, /*tick=*/40.0);
+  const JsonValue* entry = line.Find("histograms")->Find("delta.us");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->Find("count")->AsNumber(), 2.0);
+  EXPECT_DOUBLE_EQ(entry->Find("sum")->AsNumber(), 550.0);
+
+  // An unchanged histogram is omitted entirely.
+  const Snapshot idle = registry.Snap().DeltaSince(registry.Snap());
+  EXPECT_TRUE(idle.histograms.empty());
+  EXPECT_TRUE(MetricsDeltaToJson(idle, /*seq=*/5, /*tick=*/50.0)
+                  .Find("histograms")
+                  ->AsObject()
+                  .empty());
 }
 
 }  // namespace

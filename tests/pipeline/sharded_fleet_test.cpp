@@ -7,10 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <span>
 #include <stdexcept>
 
 #include "gaugur/predictor.h"
+#include "obs/event_log.h"
+#include "obs/latency_profiler.h"
+#include "obs/metrics.h"
 #include "obs/switch.h"
 #include "sched/study.h"
 #include "tests/pipeline/world.h"
@@ -135,6 +139,108 @@ TEST(ShardedFleetPipelineTest, MultiShardRunSharesOneCacheAcrossReplicas) {
   // p99 decision latency was measured (collection defaults on).
   EXPECT_GT(result.decision_latency_p99_us, 0.0);
   EXPECT_GE(result.decision_latency_p99_us, result.decision_latency_p50_us);
+}
+
+TEST(ShardedFleetPipelineTest, PhaseTotalsReconcileWithDecisionLatency) {
+  // The profiler's reconciliation contract (obs/latency_profiler.h): the
+  // five in-decision phase totals — colocation_hash + feature_build +
+  // cache_lookup + kernel_eval + policy_select, all exclusive time —
+  // partition the span SchedMetrics times as sched.decision_us. The
+  // remainder is timer/clock overhead and std::function dispatch, so the
+  // sum must land just under the histogram total, never over.
+  obs::EnabledScope on(true);
+  const auto& world = TestWorld::Get();
+  const core::GAugurPredictor predictor = TrainedPredictor(world);
+
+  const auto setup = SelectStudyGames(world.lab(), 6, 60.0, 3);
+  const auto trace =
+      GenerateDynamicTrace(setup.game_ids, 200.0, 0.6, 25.0, 29);
+
+  obs::LatencyProfiler& profiler = obs::LatencyProfiler::Global();
+  profiler.Reset();
+  const obs::Snapshot base = obs::Registry::Global().Snap();
+
+  ShardedFleetOptions options;
+  options.num_shards = 2;
+  (void)SimulateShardedFleet(
+      world.lab(), trace, MakeReplicatedProvenanceFactory(predictor, 60.0),
+      options);
+
+  const obs::Snapshot delta =
+      obs::Registry::Global().Snap().DeltaSince(base);
+  const obs::LatencyProfileSummary summary = profiler.Summary();
+  ASSERT_GT(summary.decisions, 0u);
+  ASSERT_EQ(delta.histograms.count("sched.decision_us"), 1u);
+  const double decision_us = delta.histograms.at("sched.decision_us").sum;
+  ASSERT_GT(decision_us, 0.0);
+
+  double attributed_us = 0.0;
+  for (const obs::Phase phase :
+       {obs::Phase::kColocationHash, obs::Phase::kFeatureBuild,
+        obs::Phase::kCacheLookup, obs::Phase::kKernelEval,
+        obs::Phase::kPolicySelect}) {
+    attributed_us +=
+        summary.fleet[static_cast<std::size_t>(phase)].total_us;
+  }
+  // Pinned tolerance: 15% relative plus 500 µs absolute slack for clock
+  // granularity on very fast decisions.
+  EXPECT_LE(attributed_us, decision_us * 1.02 + 500.0);
+  EXPECT_GE(attributed_us, decision_us * 0.85 - 500.0);
+  // The provenance policy exercised the whole phase taxonomy: candidate
+  // scoring hashes colocations, misses build features and run the tree
+  // kernel, and lookups touch the shared cache.
+  for (const obs::Phase phase :
+       {obs::Phase::kColocationHash, obs::Phase::kCacheLookup,
+        obs::Phase::kKernelEval, obs::Phase::kPolicySelect}) {
+    EXPECT_GT(summary.fleet[static_cast<std::size_t>(phase)].count, 0u)
+        << obs::PhaseName(phase);
+  }
+  // The shared striped cache saw traffic from both shards while armed.
+  EXPECT_GT(summary.cache.acquisitions, 0u);
+  profiler.Reset();
+}
+
+TEST(ShardedFleetPipelineTest, TailExemplarsJoinDecisionEventsOneToOne) {
+  obs::EnabledScope on(true);
+  const auto& world = TestWorld::Get();
+  const core::GAugurPredictor predictor = TrainedPredictor(world);
+
+  const auto setup = SelectStudyGames(world.lab(), 6, 60.0, 3);
+  const auto trace =
+      GenerateDynamicTrace(setup.game_ids, 150.0, 0.5, 25.0, 31);
+
+  obs::LatencyProfiler& profiler = obs::LatencyProfiler::Global();
+  profiler.Reset();
+  obs::EventLog::Global().Clear();
+
+  ShardedFleetOptions options;
+  options.num_shards = 2;
+  (void)SimulateShardedFleet(
+      world.lab(), trace, MakeReplicatedProvenanceFactory(predictor, 60.0),
+      options);
+
+  const obs::LatencyProfileSummary summary = profiler.Summary();
+  ASSERT_FALSE(summary.exemplars.empty());
+  const std::vector<obs::Event> events = obs::EventLog::Global().Snapshot();
+  std::set<std::uint64_t> seen_ids;
+  for (const obs::TailExemplar& exemplar : summary.exemplars) {
+    ASSERT_NE(exemplar.decision_id, 0u);
+    // Distinct ring slots hold distinct decisions.
+    EXPECT_TRUE(seen_ids.insert(exemplar.decision_id).second);
+    std::size_t matches = 0;
+    for (const obs::Event& event : events) {
+      if (event.kind == obs::EventKind::kDecision &&
+          event.decision_id == exemplar.decision_id) {
+        ++matches;
+        EXPECT_DOUBLE_EQ(event.tick, exemplar.tick);
+      }
+    }
+    EXPECT_EQ(matches, 1u)
+        << "exemplar decision " << exemplar.decision_id
+        << " must join exactly one decision event";
+  }
+  obs::EventLog::Global().Clear();
+  profiler.Reset();
 }
 
 }  // namespace

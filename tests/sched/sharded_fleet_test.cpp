@@ -22,6 +22,7 @@
 #include "gamesim/server_sim.h"
 #include "gaugur/lab.h"
 #include "obs/event_log.h"
+#include "obs/latency_profiler.h"
 #include "obs/metrics.h"
 #include "obs/switch.h"
 
@@ -198,6 +199,55 @@ TEST(ShardedFleet, PerShardEventStreamsAreTickMonotonic) {
   }
   EXPECT_GE(last_tick.size(), 2u) << "expected events from several shards";
   obs::EventLog::Global().Clear();
+}
+
+TEST(ShardedFleet, ArmedProfilerAttributesEveryShardAndWindow) {
+  // Races the decision flight recorder's shared slabs, exemplar ring, and
+  // window-imbalance accounting across four genuinely concurrent shard
+  // workers — the TSan target for obs/latency_profiler.h.
+  obs::EnabledScope on(true);
+  obs::LatencyProfiler& profiler = obs::LatencyProfiler::Global();
+  profiler.Reset();
+
+  const std::size_t shards = 4;
+  const auto trace = Trace(300, 63);
+  ShardedFleetOptions options;
+  options.num_shards = shards;
+  const auto result = SimulateShardedFleet(
+      Lab(), trace, [](std::size_t) { return AlwaysColocate(); }, options);
+
+  const obs::LatencyProfileSummary summary = profiler.Summary();
+  // Every arrival was attributed exactly once, spread over all shards.
+  EXPECT_EQ(summary.decisions, trace.size());
+  ASSERT_EQ(summary.shards.size(), shards);
+  for (const obs::ShardProfile& shard : summary.shards) {
+    EXPECT_LT(shard.shard, shards);
+    EXPECT_GT(shard.decisions, 0u);
+    // One barrier wait per tick window per shard.
+    EXPECT_EQ(shard.barrier_waits, result.ticks);
+    EXPECT_GE(shard.barrier_wait_us, 0.0);
+  }
+  // The policy invocation is timed once per decision; candidate
+  // enumeration and event emission bracket it outside the policy span.
+  EXPECT_EQ(
+      summary.fleet[static_cast<std::size_t>(obs::Phase::kPolicySelect)]
+          .count,
+      trace.size());
+  EXPECT_EQ(
+      summary.fleet[static_cast<std::size_t>(obs::Phase::kCandidateEnum)]
+          .count,
+      trace.size());
+  // One imbalance sample per tick window.
+  EXPECT_EQ(summary.imbalance.windows, result.ticks);
+  EXPECT_GE(summary.imbalance.spread_max_us,
+            summary.imbalance.windows > 0
+                ? summary.imbalance.spread_total_us /
+                      static_cast<double>(summary.imbalance.windows)
+                : 0.0);
+  // The tail ring filled and sorted slowest-first.
+  EXPECT_EQ(summary.exemplars.size(),
+            obs::LatencyProfiler::kTailExemplars);
+  profiler.Reset();
 }
 
 TEST(ShardedFleet, DeterministicAcrossRunsForFixedSeed) {
