@@ -13,29 +13,51 @@
 //
 // Decisions are cross-checked for agreement across all three regimes.
 //
-// On top of the regimes, a kernel-variant axis pins the SIMD descent
-// tiers (see ml::SimdTier): the uncached batch regime is re-timed with
-// dispatch forced to each tier the host supports
-// (batch_<scalar|sse|avx2>_qps), and a kernel-only pass times
-// PredictProbBatch over a prebuilt feature matrix per tier
-// (kernel_<tier>_rps) so the descent speedup is visible undiluted by
-// feature building. Decisions must agree across every variant — the
-// bit-identicality contract.
+// On top of the regimes, three kernel-variant axes, every variant
+// cross-checked for decision agreement (the bit-identicality contract):
+//
+//  * SIMD tiers (see ml::SimdTier): the uncached batch regime re-timed
+//    with dispatch forced to each tier the host supports
+//    (batch_<scalar|sse|avx2>_qps), plus a kernel-only pass timing
+//    PredictProbBatch over a prebuilt feature matrix per tier
+//    (kernel_<tier>_rps) so the descent speedup is visible undiluted by
+//    feature building. These force the quantized path OFF — they are
+//    the float-kernel reference numbers, comparable across PRs.
+//  * quantized descent: kernel_quant_<scalar|avx2>_rps times the
+//    quantized DESCENT over a pre-binned batch (rows-blocked, trees
+//    inner — exactly AccumulateBatch's loop structure), symmetric with
+//    the float kernel descending a pre-built matrix. Binning is the
+//    quantized path's batch prep the way feature materialization is the
+//    float path's, so it is timed as its own number (quant_bin_rows_ps)
+//    rather than smeared into the kernel rate, and the honest
+//    through-the-predictor rate including binning ships alongside as
+//    kernel_quant_<k>_e2e_rps. speedup_quant_vs_float_kernel = best
+//    quantized descent / float descent at the best tier
+//    (kernel_float_descent_rps, same harness) — the ratio the
+//    quantization work is accountable for.
+//  * multi-core (--threads k1,k2,...): AccumulateBatchMt over explicit
+//    ThreadPool(k) instances (kernel_mt_<k>_rps), with results checked
+//    bit-identical across every k, per-core scaling efficiency
+//    reported (mt_scaling_efficiency), and the uncached batch regime
+//    re-timed with the parallel path forced on (batch_mt_qps).
 //
 // Emits bench_results/BENCH_predictor.json with the QPS numbers and the
 // speedup ratios CI trend-tracks (batch >= 3x scalar, cached >= batch,
-// plus speedup_simd_vs_scalar_kernel on SIMD-capable hosts).
+// speedup_simd_vs_scalar_kernel on SIMD-capable hosts, and
+// speedup_quant_vs_float_kernel >= 2 on quantized builds).
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_world.h"
 #include "common/check.h"
 #include "common/mathutil.h"
+#include "common/thread_pool.h"
 #include "gaugur/predictor.h"
 #include "gaugur/training.h"
 #include "ml/gradient_boosting.h"
@@ -90,10 +112,45 @@ std::vector<char> RunPredictorChunked(
   return decisions;
 }
 
+/// Parses "--threads 1,2,4" (or "--threads=1,2,4"). Default: powers of
+/// two up to the hardware thread count, so the scaling claim is
+/// measured against what the machine actually has.
+std::vector<std::size_t> ParseThreadsAxis(int argc, char** argv) {
+  std::string spec;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    if (arg.rfind("--threads=", 0) == 0) {
+      spec = arg.substr(10);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      spec = argv[++i];
+    }
+  }
+  std::vector<std::size_t> axis;
+  if (spec.empty()) {
+    const std::size_t hw =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    for (std::size_t k = 1; k <= hw; k *= 2) axis.push_back(k);
+    return axis;
+  }
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string tok =
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    const unsigned long k = std::stoul(tok);
+    GAUGUR_CHECK_MSG(k >= 1 && k <= 256, "--threads entry out of range");
+    axis.push_back(static_cast<std::size_t>(k));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return axis;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const auto& world = bench::BenchWorld::Get();
+  const std::vector<std::size_t> threads_axis = ParseThreadsAxis(argc, argv);
   const auto wall_start = std::chrono::steady_clock::now();
 
   // Two predictors trained identically (same config/seed/data): one with
@@ -194,18 +251,34 @@ int main() {
   }
   std::vector<double> tier_batch_qps(tiers.size());
   std::vector<double> tier_kernel_rps(tiers.size());
+  // Quantized kernels: the portable scalar one everywhere, the 8-lane
+  // permute/gather one on AVX2 hosts.
+  std::vector<std::string> quant_names;
+  std::vector<double> quant_kernel_rps;
+  std::vector<double> quant_e2e_rps;
+  double quant_bin_rows_ps = 0.0;
+  double float_descent_rps = 0.0;
+  std::vector<double> mt_kernel_rps(threads_axis.size());
+  double batch_mt_qps = 0.0;
+  std::vector<double> matrix;
+  for (const core::QosQuery& q : queries) {
+    const std::vector<double> x =
+        world.features().CmFeatures(kQos, q.victim, q.corunners);
+    matrix.insert(matrix.end(), x.begin(), x.end());
+  }
+  const std::size_t cols = matrix.size() / queries.size();
+  const ml::MatrixView view{matrix.data(), queries.size(), cols};
+  const int kernel_reps = world.fast_mode() ? 4 : 8;
   {
     const obs::EnabledScope obs_off(false);
-    std::vector<double> matrix;
-    for (const core::QosQuery& q : queries) {
-      const std::vector<double> x =
-          world.features().CmFeatures(kQos, q.victim, q.corunners);
-      matrix.insert(matrix.end(), x.begin(), x.end());
-    }
-    const std::size_t cols = matrix.size() / queries.size();
-    const ml::MatrixView view{matrix.data(), queries.size(), cols};
     std::vector<double> probs(queries.size());
-    const int kernel_reps = world.fast_mode() ? 4 : 8;
+    // Float reference numbers: quantization and the multi-core path
+    // forced off, so kernel_<tier>_rps stays the pure single-core float
+    // descent, comparable with earlier PRs' committed results.
+    ml::FlatForest::ForceQuantized(
+        ml::FlatForest::QuantizedSupported() ? std::optional<bool>(false)
+                                             : std::nullopt);
+    ml::FlatForest::ForceParallel(false);
     for (std::size_t k = 0; k < tiers.size(); ++k) {
       ml::FlatForest::ForceTier(tiers[k]);
 
@@ -225,6 +298,118 @@ int main() {
                            kernel_reps / SecondsSince(t0);
     }
     ml::FlatForest::ForceTier(std::nullopt);
+
+    // Quantized axis. The kernel number is the descent over a
+    // pre-binned batch, rows-blocked with trees inner exactly like
+    // AccumulateBatch — symmetric with the float kernel descending the
+    // pre-built matrix above. Binning (the quantized path's batch prep,
+    // the analogue of feature materialization on the float side) gets
+    // its own rate, and the end-to-end PredictProbBatch rate including
+    // a fresh binning per call ships alongside so nothing hides.
+    if (ml::FlatForest::QuantizedSupported() &&
+        gbdt.Kernel().QuantizedBuilt()) {
+      const auto& flat = gbdt.Kernel();
+      const std::size_t rows = queries.size();
+      constexpr std::size_t kRowBlock = 512;  // mirrors AccumulateBatch
+      const auto descent_ms_per_rep = [&](auto&& tree_pass) {
+        std::vector<double> sums(rows);
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int rep = 0; rep < kernel_reps; ++rep) {
+          std::fill(sums.begin(), sums.end(), 0.0);
+          for (std::size_t rb = 0; rb < rows; rb += kRowBlock) {
+            const std::size_t brows = std::min(kRowBlock, rows - rb);
+            for (std::size_t t = 0; t < flat.NumTrees(); ++t) {
+              tree_pass(t, rb, brows, std::span<double>(sums).subspan(rb, brows));
+            }
+          }
+        }
+        return SecondsSince(t0) / kernel_reps;
+      };
+      const double lr = gbdt.Config().learning_rate;
+
+      // Float descent at the best tier, same harness: the denominator
+      // of speedup_quant_vs_float_kernel.
+      const ml::SimdTier best = ml::FlatForest::SupportedTier();
+      float_descent_rps =
+          static_cast<double>(rows) /
+          descent_ms_per_rep([&](std::size_t t, std::size_t rb,
+                                 std::size_t brows, std::span<double> o) {
+            const ml::MatrixView bx{matrix.data() + rb * cols, brows, cols};
+            flat.AccumulateTreeBatchTier(t, bx, o, lr, best);
+          });
+
+      ml::FlatForest::ForceQuantized(true);
+      const auto quant_dec = RunPredictorChunked(uncached, queries);
+      GAUGUR_CHECK_MSG(quant_dec == batch_dec,
+                       "quantized path changed decisions");
+
+      std::vector<std::uint16_t> bins;
+      auto t0 = std::chrono::steady_clock::now();
+      for (int rep = 0; rep < kernel_reps; ++rep) flat.BinBatch(view, bins);
+      quant_bin_rows_ps = static_cast<double>(rows) * kernel_reps /
+                          SecondsSince(t0);
+
+      std::vector<ml::SimdTier> quant_tiers{ml::SimdTier::kScalar};
+      if (ml::FlatForest::SupportedTier() >= ml::SimdTier::kAvx2) {
+        quant_tiers.push_back(ml::SimdTier::kAvx2);
+      }
+      for (ml::SimdTier tier : quant_tiers) {
+        quant_names.push_back(std::string("quant_") +
+                              ml::SimdTierName(tier));
+        quant_kernel_rps.push_back(
+            static_cast<double>(rows) /
+            descent_ms_per_rep([&](std::size_t t, std::size_t rb,
+                                   std::size_t brows, std::span<double> o) {
+              flat.AccumulateTreeQuantTier(t, bins.data() + rb * cols, brows,
+                                           cols, o, lr, tier);
+            }));
+
+        // End-to-end including a fresh binning pass every call.
+        ml::FlatForest::ForceTier(tier);
+        t0 = std::chrono::steady_clock::now();
+        for (int rep = 0; rep < kernel_reps; ++rep) {
+          gbdt.PredictProbBatch(view, probs);
+        }
+        quant_e2e_rps.push_back(static_cast<double>(rows) * kernel_reps /
+                                SecondsSince(t0));
+      }
+      ml::FlatForest::ForceTier(std::nullopt);
+    }
+    ml::FlatForest::ForceQuantized(std::nullopt);
+
+    // Multi-core axis: the raw kernel over explicit pools, one per
+    // --threads entry, every worker count checked bit-identical against
+    // the single-threaded accumulation (the deterministic-reduction
+    // contract, enforced here so the JSON never ships numbers from a
+    // run that broke it).
+    std::vector<double> sums(queries.size());
+    std::vector<double> reference(queries.size(), gbdt.BaseValue());
+    gbdt.Kernel().AccumulateBatch(view, reference,
+                                  gbdt.Config().learning_rate);
+    for (std::size_t k = 0; k < threads_axis.size(); ++k) {
+      common::ThreadPool pool(threads_axis[k]);
+      auto t0 = std::chrono::steady_clock::now();
+      for (int rep = 0; rep < kernel_reps; ++rep) {
+        std::fill(sums.begin(), sums.end(), gbdt.BaseValue());
+        gbdt.Kernel().AccumulateBatchMt(view, sums,
+                                        gbdt.Config().learning_rate, pool);
+      }
+      mt_kernel_rps[k] = static_cast<double>(queries.size()) * kernel_reps /
+                         SecondsSince(t0);
+      GAUGUR_CHECK_MSG(sums == reference,
+                       threads_axis[k]
+                           << " workers changed the accumulation bits");
+    }
+
+    // End-to-end with the parallel path forced on (the global pool):
+    // what a scheduler-facing batch sees on a many-core host.
+    ml::FlatForest::ForceParallel(true);
+    auto t0 = std::chrono::steady_clock::now();
+    const auto mt_dec = RunPredictorChunked(uncached, queries);
+    batch_mt_qps = static_cast<double>(queries.size()) / SecondsSince(t0);
+    GAUGUR_CHECK_MSG(mt_dec == batch_dec,
+                     "multi-core path changed decisions");
+    ml::FlatForest::ForceParallel(std::nullopt);
   }
 
   const double n = static_cast<double>(queries.size());
@@ -238,11 +423,33 @@ int main() {
               cached_qps / batch_qps);
   for (std::size_t k = 0; k < tiers.size(); ++k) {
     std::printf(
-        "kernel %-6s: %10.0f end-to-end qps, %12.0f kernel rows/sec"
+        "kernel %-12s: %10.0f end-to-end qps, %12.0f kernel rows/sec"
         "  (%.2fx scalar kernel)\n",
         ml::SimdTierName(tiers[k]), tier_batch_qps[k], tier_kernel_rps[k],
         tier_kernel_rps[k] / tier_kernel_rps[0]);
   }
+  if (float_descent_rps > 0.0) {
+    std::printf("float descent     : %26.0f descent rows/sec  (best tier)\n",
+                float_descent_rps);
+    std::printf("quant binning     : %26.0f rows/sec  (batch prep)\n",
+                quant_bin_rows_ps);
+  }
+  for (std::size_t k = 0; k < quant_names.size(); ++k) {
+    std::printf(
+        "kernel %-12s: %19.0f descent rows/sec  (%.2fx float descent, "
+        "%.0f e2e rows/sec)\n",
+        quant_names[k].c_str(), quant_kernel_rps[k],
+        quant_kernel_rps[k] / float_descent_rps, quant_e2e_rps[k]);
+  }
+  for (std::size_t k = 0; k < threads_axis.size(); ++k) {
+    const double eff = mt_kernel_rps[k] / mt_kernel_rps.front() /
+                       static_cast<double>(threads_axis[k]);
+    std::printf(
+        "kernel mt %2zu thr : %27.0f kernel rows/sec  (%.0f%% per-core)\n",
+        threads_axis[k], mt_kernel_rps[k], 100.0 * eff);
+  }
+  std::printf("batch mt: %10.0f queries/sec  (parallel path forced on)\n",
+              batch_mt_qps);
 
   obs::JsonObject json_config;
   json_config["qos_fps"] = kQos;
@@ -257,6 +464,16 @@ int main() {
       std::string(ml::SimdTierName(ml::FlatForest::SupportedTier()));
   json_config["simd_active"] =
       std::string(ml::SimdTierName(ml::FlatForest::ActiveTier()));
+  json_config["quant_supported"] = ml::FlatForest::QuantizedSupported();
+  json_config["quant_active"] = ml::FlatForest::QuantizedActive();
+  json_config["hardware_threads"] = static_cast<unsigned long long>(
+      std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+  std::string axis_str;
+  for (std::size_t k : threads_axis) {
+    if (!axis_str.empty()) axis_str += ",";
+    axis_str += std::to_string(k);
+  }
+  json_config["threads_axis"] = axis_str;
   obs::JsonObject counters;
   counters["scalar_qps"] = scalar_qps;
   counters["batch_qps"] = batch_qps;
@@ -274,6 +491,31 @@ int main() {
   // scalar kernel — the number the SIMD work is accountable for.
   counters["speedup_simd_vs_scalar_kernel"] =
       tier_kernel_rps.back() / tier_kernel_rps.front();
+  for (std::size_t k = 0; k < quant_names.size(); ++k) {
+    counters["kernel_" + quant_names[k] + "_rps"] = quant_kernel_rps[k];
+    counters["kernel_" + quant_names[k] + "_e2e_rps"] = quant_e2e_rps[k];
+  }
+  if (!quant_kernel_rps.empty()) {
+    counters["kernel_float_descent_rps"] = float_descent_rps;
+    counters["quant_bin_rows_ps"] = quant_bin_rows_ps;
+    // Best quantized descent over the float descent at the best tier,
+    // both over pre-built inputs in the same rows-blocked harness — the
+    // number the quantization work is accountable for (CI gates the
+    // committed value >= 2).
+    counters["speedup_quant_vs_float_kernel"] =
+        *std::max_element(quant_kernel_rps.begin(), quant_kernel_rps.end()) /
+        float_descent_rps;
+  }
+  for (std::size_t k = 0; k < threads_axis.size(); ++k) {
+    counters["kernel_mt_" + std::to_string(threads_axis[k]) + "_rps"] =
+        mt_kernel_rps[k];
+  }
+  // Per-core efficiency at the widest measured worker count: 1.0 is
+  // perfect linear scaling over the 1-worker entry.
+  counters["mt_scaling_efficiency"] =
+      mt_kernel_rps.back() / mt_kernel_rps.front() /
+      static_cast<double>(threads_axis.back());
+  counters["batch_mt_qps"] = batch_mt_qps;
   bench::WriteBenchJson("predictor",
                         1000.0 * SecondsSince(wall_start),
                         std::move(json_config), std::move(counters));

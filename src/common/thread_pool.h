@@ -91,6 +91,14 @@ class ThreadPool {
   void ParallelFor(std::size_t begin, std::size_t end,
                    const std::function<void(std::size_t)>& body);
 
+  /// True when the calling thread is one of this pool's workers. Code
+  /// that fans work out over the pool and blocks on completion (e.g.
+  /// the multi-core tree kernel) must run inline instead when already
+  /// on a worker: a worker waiting on futures served by its own queue
+  /// can deadlock, and the sharded fleet service pins each shard to one
+  /// worker precisely so its decisions never migrate.
+  bool CurrentThreadInPool() const { return OnWorkerThread(); }
+
   /// Process-wide default pool (lazily constructed).
   static ThreadPool& Global();
 

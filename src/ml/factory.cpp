@@ -5,8 +5,15 @@
 #include "ml/gradient_boosting.h"
 #include "ml/random_forest.h"
 #include "ml/svm.h"
+#include "ml/tree_kernel.h"
 
 namespace gaugur::ml {
+
+void BuildFlatForest(std::span<const TreeModel> trees, FlatForest& flat) {
+  flat.Clear();
+  for (const TreeModel& tree : trees) flat.Add(tree);
+  flat.FinalizeQuantized();
+}
 
 std::unique_ptr<Regressor> MakeRegressor(const std::string& name,
                                          std::uint64_t seed) {

@@ -3,12 +3,23 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "ml/model.h"
 
 namespace gaugur::ml {
+
+class TreeModel;
+class FlatForest;
+
+/// Flattens fitted trees into `flat` (Clear + Add in order) and builds
+/// the quantized descent tables (FinalizeQuantized). The one kernel
+/// construction path every ensemble's RebuildKernel routes through, so
+/// a fitted kernel is always quantization-ready — never call the
+/// Add loop by hand and forget the finalize.
+void BuildFlatForest(std::span<const TreeModel> trees, FlatForest& flat);
 
 /// Creates a regressor by paper name; CHECK-fails on unknown names.
 /// Known: "DTR", "GBRT", "RF", "SVR".

@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/mathutil.h"
 #include "common/rng.h"
+#include "ml/factory.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -85,6 +86,9 @@ void GradientBoostedRegressor::Fit(const Dataset& data) {
                               prediction, config_.learning_rate);
     stages_.push_back(std::move(tree));
   }
+  // Each Add above invalidated the quantized tables; build them once
+  // now that the ensemble is final.
+  flat_.FinalizeQuantized();
 }
 
 double GradientBoostedRegressor::Predict(std::span<const double> x) const {
@@ -105,8 +109,7 @@ void GradientBoostedRegressor::PredictBatch(MatrixView x,
 }
 
 void GradientBoostedRegressor::RebuildKernel() {
-  flat_.Clear();
-  for (const auto& tree : stages_) flat_.Add(tree);
+  BuildFlatForest(stages_, flat_);
 }
 
 void GradientBoostedClassifier::Fit(const Dataset& data) {
@@ -158,6 +161,9 @@ void GradientBoostedClassifier::Fit(const Dataset& data) {
                               config_.learning_rate);
     stages_.push_back(std::move(tree));
   }
+  // Each Add above invalidated the quantized tables; build them once
+  // now that the ensemble is final.
+  flat_.FinalizeQuantized();
 }
 
 double GradientBoostedClassifier::LogOdds(std::span<const double> x) const {
@@ -184,8 +190,7 @@ void GradientBoostedClassifier::PredictProbBatch(
 }
 
 void GradientBoostedClassifier::RebuildKernel() {
-  flat_.Clear();
-  for (const auto& tree : stages_) flat_.Add(tree);
+  BuildFlatForest(stages_, flat_);
 }
 
 }  // namespace gaugur::ml

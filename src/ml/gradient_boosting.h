@@ -46,6 +46,10 @@ class GradientBoostedRegressor final : public Regressor {
   double BaseValue() const { return base_prediction_; }
   const std::vector<TreeModel>& Stages() const { return stages_; }
 
+  /// The flattened (and quantization-finalized) inference kernel;
+  /// read-only hook for benches and kernel-level tests.
+  const FlatForest& Kernel() const { return flat_; }
+
   /// Reconstructs a fitted model (serialization).
   static GradientBoostedRegressor FromStages(BoostConfig config, double base,
                                              std::vector<TreeModel> stages) {
@@ -80,6 +84,10 @@ class GradientBoostedClassifier final : public Classifier {
   const BoostConfig& Config() const { return config_; }
   double BaseValue() const { return base_log_odds_; }
   const std::vector<TreeModel>& Stages() const { return stages_; }
+
+  /// The flattened (and quantization-finalized) inference kernel;
+  /// read-only hook for benches and kernel-level tests.
+  const FlatForest& Kernel() const { return flat_; }
 
   /// Reconstructs a fitted model (serialization).
   static GradientBoostedClassifier FromStages(BoostConfig config, double base,

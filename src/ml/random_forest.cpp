@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "ml/factory.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -82,11 +83,6 @@ void ForestPredictBatch(const FlatForest& flat, MatrixView x,
   for (double& v : out) v /= count;
 }
 
-void FlattenForest(const std::vector<TreeModel>& trees, FlatForest& flat) {
-  flat.Clear();
-  for (const auto& tree : trees) flat.Add(tree);
-}
-
 }  // namespace
 
 void RandomForestRegressor::Fit(const Dataset& data) {
@@ -104,7 +100,7 @@ void RandomForestRegressor::PredictBatch(MatrixView x,
 }
 
 void RandomForestRegressor::RebuildKernel() {
-  FlattenForest(trees_, flat_);
+  BuildFlatForest(trees_, flat_);
 }
 
 void RandomForestClassifier::Fit(const Dataset& data) {
@@ -122,7 +118,7 @@ void RandomForestClassifier::PredictProbBatch(MatrixView x,
 }
 
 void RandomForestClassifier::RebuildKernel() {
-  FlattenForest(trees_, flat_);
+  BuildFlatForest(trees_, flat_);
 }
 
 }  // namespace gaugur::ml

@@ -41,6 +41,10 @@ class RandomForestRegressor final : public Regressor {
   const std::vector<TreeModel>& Trees() const { return trees_; }
   const ForestConfig& Config() const { return config_; }
 
+  /// The flattened (and quantization-finalized) inference kernel;
+  /// read-only hook for benches and kernel-level tests.
+  const FlatForest& Kernel() const { return flat_; }
+
   /// Reconstructs a fitted forest (serialization).
   static RandomForestRegressor FromTrees(ForestConfig config,
                                          std::vector<TreeModel> trees) {
@@ -72,6 +76,10 @@ class RandomForestClassifier final : public Classifier {
 
   const std::vector<TreeModel>& Trees() const { return trees_; }
   const ForestConfig& Config() const { return config_; }
+
+  /// The flattened (and quantization-finalized) inference kernel;
+  /// read-only hook for benches and kernel-level tests.
+  const FlatForest& Kernel() const { return flat_; }
 
   /// Reconstructs a fitted forest (serialization).
   static RandomForestClassifier FromTrees(ForestConfig config,

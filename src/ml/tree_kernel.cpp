@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
+#include <future>
 #include <limits>
 #include <string>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "ml/decision_tree.h"
 #include "ml/tree_kernel_simd.h"
 
@@ -72,6 +76,77 @@ SimdTier DetectCpuTier() {
 /// -1 = automatic dispatch, else the int value of the forced SimdTier.
 std::atomic<int> g_forced_tier{-1};
 
+/// -1 = env-driven, 0 = forced off, 1 = forced on.
+std::atomic<int> g_forced_quant{-1};
+std::atomic<int> g_forced_parallel{-1};
+
+/// Threshold rank marking a leaf/always-left record in a qmeta word. No
+/// bin id reaches it (FinalizeQuantized caps edges per feature at
+/// kLeafRank - 1), so `bin > kLeafRank` is always false and the record
+/// adds 0 to the index — exactly like its +inf float threshold.
+constexpr std::uint32_t kLeafRank = 0xFFFFu;
+
+/// Quantized counterpart of AccumulateTreeScalar over pre-binned rows:
+/// the same four-chain unroll, with each step's float compare replaced
+/// by the integer `bin > rank` (exact by construction — the bin edges
+/// are the split thresholds themselves). This is the semantic reference
+/// the AVX2 quantized kernel must match bit for bit, and the kernel
+/// every sub-AVX2 tier runs (SSE4.2 has no gathers, so a dedicated SSE
+/// quantized kernel would re-implement this loop lane by lane for no
+/// win — measured on the float side, scalar-style compares beat
+/// element-inserted vectors below 4-wide gathers).
+void AccumulateTreeQuantScalar(const std::int32_t* meta,
+                               const std::int32_t* child, const double* value,
+                               std::int32_t root, std::int32_t levels,
+                               const std::uint16_t* bins, std::size_t rows,
+                               std::size_t cols, double* out, double scale) {
+  std::size_t i = 0;
+  for (; i + 4 <= rows; i += 4) {
+    const std::uint16_t* r0 = bins + i * cols;
+    const std::uint16_t* r1 = r0 + cols;
+    const std::uint16_t* r2 = r1 + cols;
+    const std::uint16_t* r3 = r2 + cols;
+    std::int32_t n0 = root, n1 = root, n2 = root, n3 = root;
+    for (std::int32_t d = 0; d < levels; ++d) {
+      const auto a = static_cast<std::uint32_t>(meta[n0]);
+      const auto b = static_cast<std::uint32_t>(meta[n1]);
+      const auto c = static_cast<std::uint32_t>(meta[n2]);
+      const auto e = static_cast<std::uint32_t>(meta[n3]);
+      n0 = child[n0] +
+           static_cast<std::int32_t>(r0[a >> 16] > (a & 0xFFFFu));
+      n1 = child[n1] +
+           static_cast<std::int32_t>(r1[b >> 16] > (b & 0xFFFFu));
+      n2 = child[n2] +
+           static_cast<std::int32_t>(r2[c >> 16] > (c & 0xFFFFu));
+      n3 = child[n3] +
+           static_cast<std::int32_t>(r3[e >> 16] > (e & 0xFFFFu));
+    }
+    out[i] += scale * value[n0];
+    out[i + 1] += scale * value[n1];
+    out[i + 2] += scale * value[n2];
+    out[i + 3] += scale * value[n3];
+  }
+  for (; i < rows; ++i) {
+    const std::uint16_t* row = bins + i * cols;
+    std::int32_t idx = root;
+    for (std::int32_t d = 0; d < levels; ++d) {
+      const auto m = static_cast<std::uint32_t>(meta[idx]);
+      idx = child[idx] +
+            static_cast<std::int32_t>(row[m >> 16] > (m & 0xFFFFu));
+    }
+    out[i] += scale * value[idx];
+  }
+}
+
+/// The AVX2 quantized kernel computes bin offsets in 32-bit lanes; any
+/// batch whose flat element count overflows them (absurd for this
+/// repo's row widths) just runs the scalar quantized kernel instead.
+bool FitsInt32(std::size_t rows, std::size_t cols) {
+  return rows <= static_cast<std::size_t>(
+                     std::numeric_limits<std::int32_t>::max()) /
+                     (cols == 0 ? 1 : cols);
+}
+
 }  // namespace
 
 const char* SimdTierName(SimdTier tier) {
@@ -123,6 +198,14 @@ void FlatForest::ForceTier(std::optional<SimdTier> tier) {
 
 void FlatForest::Add(const TreeModel& tree) {
   GAUGUR_CHECK_MSG(tree.IsFitted(), "FlatForest::Add on an unfitted tree");
+  // Any structural change invalidates the quantized tables (the GBDT
+  // fit adds a tree per stage and re-finalizes once after the last).
+  quant_built_ = false;
+  edges_.clear();
+  edge_flat_.clear();
+  edge_off_.clear();
+  qmeta_.clear();
+  qchild_.clear();
   const auto& nodes = tree.Nodes();
   const auto base = static_cast<std::int32_t>(nodes_.size());
   // Depth() counts levels including the root; descents are one fewer.
@@ -187,6 +270,12 @@ void FlatForest::Clear() {
   level_base_.clear();
   level_index_.clear();
   max_feature_ = 0;
+  edges_.clear();
+  edge_flat_.clear();
+  edge_off_.clear();
+  qmeta_.clear();
+  qchild_.clear();
+  quant_built_ = false;
 }
 
 std::int32_t FlatForest::NumLevels(std::size_t t) const {
@@ -272,12 +361,373 @@ void FlatForest::AccumulateTreeBatchTier(std::size_t t, MatrixView x,
 
 void FlatForest::AccumulateBatch(MatrixView x, std::span<double> out,
                                  double scale) const {
-  // Resolve the tier once per batch: a concurrent ForceTier flip then
-  // switches kernels between trees at worst, never mid-tree.
-  const SimdTier tier = ActiveTier();
-  for (std::size_t t = 0; t < roots_.size(); ++t) {
-    AccumulateTreeBatchTier(t, x, out, scale, tier);
+  // Multi-core fan-out pays for itself only when there is enough work
+  // to amortize the submit/staging round trip; below the cutoffs (or
+  // from a pool worker — a shard's decision batch must stay on its
+  // pinned worker) the sequential path wins and is what runs.
+  if (ParallelActive() && x.rows >= 256 && roots_.size() >= 16) {
+    common::ThreadPool& pool = common::ThreadPool::Global();
+    if (pool.NumThreads() >= 2 && !pool.CurrentThreadInPool()) {
+      AccumulateBatchMt(x, out, scale, pool);
+      return;
+    }
   }
+  // Resolve tier and quantized dispatch once per batch: a concurrent
+  // ForceTier/ForceQuantized flip then switches kernels between trees
+  // at worst, never mid-tree — and both paths are bit-identical anyway.
+  const SimdTier tier = ActiveTier();
+  // Rows outer, trees inner: a tree-outer sweep re-streams the whole
+  // matrix (and bin matrix) through the cache once PER TREE — for a
+  // fleet-sized batch that is gigabytes of re-read traffic and every
+  // descent gather pays L3 latency. A row block small enough to stay
+  // cache-resident across all trees turns those gathers into L1/L2
+  // hits. Bit-identical to the tree-outer order: each row still
+  // accumulates its trees in index order, one rounding per step.
+  constexpr std::size_t kBatchRowBlock = 512;
+  if (UsesQuantized()) {
+    // Reused per thread: predictor decision batches call this at high
+    // rate and the bin buffer would otherwise churn the allocator.
+    static thread_local std::vector<std::uint16_t> bins;
+    BinBatch(x, bins);
+    for (std::size_t rb = 0; rb < x.rows; rb += kBatchRowBlock) {
+      const std::size_t brows = std::min(kBatchRowBlock, x.rows - rb);
+      for (std::size_t t = 0; t < roots_.size(); ++t) {
+        AccumulateTreeQuantTier(t, bins.data() + rb * x.cols, brows, x.cols,
+                                out.subspan(rb, brows), scale, tier);
+      }
+    }
+    return;
+  }
+  for (std::size_t rb = 0; rb < x.rows; rb += kBatchRowBlock) {
+    const std::size_t brows = std::min(kBatchRowBlock, x.rows - rb);
+    const MatrixView bx{x.data + rb * x.cols, brows, x.cols};
+    for (std::size_t t = 0; t < roots_.size(); ++t) {
+      AccumulateTreeBatchTier(t, bx, out.subspan(rb, brows), scale, tier);
+    }
+  }
+}
+
+void FlatForest::AccumulateBatchMt(MatrixView x, std::span<double> out,
+                                   double scale,
+                                   common::ThreadPool& pool) const {
+  CheckWidth(x.cols);
+  GAUGUR_CHECK(out.size() == x.rows);
+  const SimdTier tier = ActiveTier();
+  const bool quant = UsesQuantized();
+  const std::size_t trees = roots_.size();
+  const std::size_t workers = pool.NumThreads();
+
+  static thread_local std::vector<std::uint16_t> bins;
+  if (quant) BinBatch(x, bins);
+
+  if (workers < 2 || pool.CurrentThreadInPool() || x.rows == 0) {
+    // Same rows-outer blocking as AccumulateBatch (cache residency
+    // across the tree sweep), same bit-identical accumulation order.
+    constexpr std::size_t kSeqRowBlock = 512;
+    for (std::size_t rb = 0; rb < x.rows; rb += kSeqRowBlock) {
+      const std::size_t brows = std::min(kSeqRowBlock, x.rows - rb);
+      for (std::size_t t = 0; t < trees; ++t) {
+        if (quant) {
+          AccumulateTreeQuantTier(t, bins.data() + rb * x.cols, brows,
+                                  x.cols, out.subspan(rb, brows), scale,
+                                  tier);
+        } else {
+          const MatrixView bx{x.data + rb * x.cols, brows, x.cols};
+          AccumulateTreeBatchTier(t, bx, out.subspan(rb, brows), scale,
+                                  tier);
+        }
+      }
+    }
+    return;
+  }
+
+  // Row blocks bound the staging slab (trees * block rows) so a large
+  // fleet batch never allocates trees * rows doubles at once.
+  constexpr std::size_t kMtRowBlock = 1024;
+  const std::size_t nshards = std::min(workers, trees);
+  std::vector<double> scratch;
+  std::vector<std::future<void>> futs;
+  futs.reserve(nshards);
+  for (std::size_t rb = 0; rb < x.rows; rb += kMtRowBlock) {
+    const std::size_t brows = std::min(kMtRowBlock, x.rows - rb);
+    const MatrixView bx{x.data + rb * x.cols, brows, x.cols};
+    const std::uint16_t* bbins = quant ? bins.data() + rb * x.cols : nullptr;
+    // Stage per-tree products: scratch[t * brows + i] = scale * leaf.
+    // The slab starts zeroed and the kernels compute `out += scale *
+    // leaf` over it; 0.0 + p == p exactly, so the staged value IS the
+    // product with its single multiply rounding.
+    scratch.assign(trees * brows, 0.0);
+    double* const sbase = scratch.data();
+    futs.clear();
+    for (std::size_t w = 0; w < nshards; ++w) {
+      const std::size_t tb = trees * w / nshards;
+      const std::size_t te = trees * (w + 1) / nshards;
+      futs.push_back(pool.SubmitPinned(w, [=, this] {
+        for (std::size_t t = tb; t < te; ++t) {
+          std::span<double> slab(sbase + t * brows, brows);
+          if (quant) {
+            AccumulateTreeQuantTier(t, bbins, brows, bx.cols, slab, scale,
+                                    tier);
+          } else {
+            AccumulateTreeBatchTier(t, bx, slab, scale, tier);
+          }
+        }
+      }));
+    }
+    std::exception_ptr err;
+    for (auto& f : futs) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!err) err = std::current_exception();
+      }
+    }
+    if (err) std::rethrow_exception(err);
+    // Deterministic reduction: each row adds its tree products in tree
+    // order — exactly the addition sequence of the sequential loop, so
+    // the result is bit-identical for every worker count.
+    for (std::size_t i = 0; i < brows; ++i) {
+      double acc = out[rb + i];
+      for (std::size_t t = 0; t < trees; ++t) {
+        acc += sbase[t * brows + i];
+      }
+      out[rb + i] = acc;
+    }
+  }
+}
+
+// --- Quantized descent ---------------------------------------------
+
+void FlatForest::FinalizeQuantized() {
+#if defined(GAUGUR_NO_QUANT)
+  return;
+#else
+  if (quant_built_ || Empty()) return;
+  if (max_feature_ >= (1u << 16)) return;  // feature must fit 16 bits
+
+  // Bin edges are the distinct split thresholds themselves — the whole
+  // exactness argument. bin(x) counts edges strictly below x, so for a
+  // threshold of rank k: x > e_k  ⟺  at least k+1 edges lie below x
+  //  ⟺  bin(x) > k. +inf leaf records (and any pathological non-finite
+  // threshold, whose float compare is constant-false too) skip the edge
+  // list and take the always-left kLeafRank instead.
+  std::vector<std::vector<double>> edges(max_feature_ + 1);
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const FlatNode& n : nodes_) {
+    if (n.threshold < inf) {
+      edges[static_cast<std::size_t>(n.feature)].push_back(n.threshold);
+    }
+  }
+  for (auto& e : edges) {
+    std::sort(e.begin(), e.end());
+    e.erase(std::unique(e.begin(), e.end()), e.end());
+    // Bin ids must stay strictly below the leaf rank or a real compare
+    // could alias the always-left sentinel.
+    if (e.size() >= kLeafRank) return;
+  }
+
+  // Eight trailing pad words per array keep the AVX2 kernel's whole-
+  // register loads of a small level segment (the vpermd fast path for
+  // levels of <= 16 nodes) inside the allocation; the permute selector
+  // never picks a pad lane.
+  std::vector<std::int32_t> qmeta(nodes_.size() + 8, 0);
+  std::vector<std::int32_t> qchild(nodes_.size() + 8, 0);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const FlatNode& n = nodes_[i];
+    std::uint32_t rank = kLeafRank;
+    if (n.threshold < inf) {
+      const auto& e = edges[static_cast<std::size_t>(n.feature)];
+      rank = static_cast<std::uint32_t>(
+          std::lower_bound(e.begin(), e.end(), n.threshold) - e.begin());
+    }
+    qmeta[i] = static_cast<std::int32_t>(
+        (static_cast<std::uint32_t>(n.feature) << 16) | rank);
+    qchild[i] = n.child;
+  }
+  // Flatten the edge lists into one slab for BinBatch: slice f is
+  // edge_flat_[edge_off_[f] .. edge_off_[f + 1]).
+  edge_off_.assign(edges.size() + 1, 0);
+  for (std::size_t f = 0; f < edges.size(); ++f) {
+    edge_off_[f + 1] =
+        edge_off_[f] + static_cast<std::uint32_t>(edges[f].size());
+  }
+  edge_flat_.clear();
+  edge_flat_.reserve(edge_off_.back());
+  for (const auto& e : edges) {
+    edge_flat_.insert(edge_flat_.end(), e.begin(), e.end());
+  }
+  edges_ = std::move(edges);
+  qmeta_ = std::move(qmeta);
+  qchild_ = std::move(qchild);
+  quant_built_ = true;
+#endif
+}
+
+bool FlatForest::QuantizedSupported() {
+#if defined(GAUGUR_NO_QUANT)
+  return false;
+#else
+  return true;
+#endif
+}
+
+bool FlatForest::QuantizedActive() {
+  if (!QuantizedSupported()) return false;
+  const int forced = g_forced_quant.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  static const bool enabled = [] {
+    const char* v = std::getenv("GAUGUR_QUANT");
+    if (v == nullptr) return true;
+    const std::string s(v);
+    return !(s == "off" || s == "0" || s == "false");
+  }();
+  return enabled;
+}
+
+void FlatForest::ForceQuantized(std::optional<bool> on) {
+  if (!on.has_value()) {
+    g_forced_quant.store(-1, std::memory_order_relaxed);
+    return;
+  }
+  GAUGUR_CHECK_MSG(!*on || QuantizedSupported(),
+                   "ForceQuantized(true) in a GAUGUR_NO_QUANT build");
+  g_forced_quant.store(*on ? 1 : 0, std::memory_order_relaxed);
+}
+
+std::size_t FlatForest::NumBinEdges(std::size_t f) const {
+  GAUGUR_CHECK_MSG(quant_built_, "bin query before FinalizeQuantized");
+  return f < edges_.size() ? edges_[f].size() : 0;
+}
+
+std::uint16_t FlatForest::BinValue(std::size_t f, double x) const {
+  GAUGUR_CHECK_MSG(quant_built_, "bin query before FinalizeQuantized");
+  if (f >= edges_.size() || std::isnan(x)) return 0;
+  const auto& e = edges_[f];
+  return static_cast<std::uint16_t>(
+      std::lower_bound(e.begin(), e.end(), x) - e.begin());
+}
+
+namespace {
+
+// Branchless lower_bound: the number of edges strictly below x, i.e.
+// std::lower_bound(e, e + n, x) - e for a sorted edge slice with
+// n >= 1. The `?:` steps compile to cmov, which matters here because
+// fitted thresholds sit right in the thick of the data — every branchy
+// probe would be a coin flip for the predictor. NaN compares false
+// against every edge and falls out as bin 0 (descends left), matching
+// BinValue without an isnan test in the hot loop.
+inline std::uint16_t CountEdgesBelow(const double* e, std::size_t n,
+                                     double x) {
+  std::size_t base = 0;
+  std::size_t len = n;
+  while (len > 1) {
+    const std::size_t half = len >> 1;
+    base += e[base + half - 1] < x ? half : 0;
+    len -= half;
+  }
+  base += e[base] < x ? 1 : 0;
+  return static_cast<std::uint16_t>(base);
+}
+
+}  // namespace
+
+void FlatForest::BinBatch(MatrixView x,
+                          std::vector<std::uint16_t>& bins) const {
+  GAUGUR_CHECK_MSG(quant_built_, "BinBatch before FinalizeQuantized");
+  CheckWidth(x.cols);
+  // Two trailing pad elements keep the AVX2 kernel's 4-byte bin gather
+  // of the last element inside the allocation.
+  bins.resize(x.rows * x.cols + 2);
+  const std::size_t nf = edges_.size();
+  // Tiled column sweep: within a tile of rows, bin one feature at a
+  // time so its edge slice stays hot in L1 for the whole inner loop
+  // (a row sweep rotates through every per-feature slice each row);
+  // the tile bound keeps the matrix slice being strided L2-resident.
+  constexpr std::size_t kBinTile = 256;
+  for (std::size_t rb = 0; rb < x.rows; rb += kBinTile) {
+    const std::size_t rend = std::min(x.rows, rb + kBinTile);
+    for (std::size_t f = 0; f < x.cols; ++f) {
+      std::uint16_t* b = bins.data() + rb * x.cols + f;
+      const std::size_t n =
+          f < nf ? edge_off_[f + 1] - edge_off_[f] : std::size_t{0};
+      if (n == 0) {
+        // Feature never split on: every value (NaN included) is bin 0.
+        for (std::size_t i = rb; i < rend; ++i, b += x.cols) *b = 0;
+        continue;
+      }
+      const double* e = edge_flat_.data() + edge_off_[f];
+      const double* v = x.data + rb * x.cols + f;
+      const std::size_t s = x.cols;
+      // Four interleaved searches: each probe chain is serial on an L1
+      // load, so independent rows in flight are what buy throughput.
+      std::size_t i = rb;
+      for (; i + 4 <= rend; i += 4, b += 4 * s, v += 4 * s) {
+        const double x0 = v[0], x1 = v[s], x2 = v[2 * s], x3 = v[3 * s];
+        std::size_t b0 = 0, b1 = 0, b2 = 0, b3 = 0;
+        std::size_t len = n;
+        while (len > 1) {
+          const std::size_t half = len >> 1;
+          b0 += e[b0 + half - 1] < x0 ? half : 0;
+          b1 += e[b1 + half - 1] < x1 ? half : 0;
+          b2 += e[b2 + half - 1] < x2 ? half : 0;
+          b3 += e[b3 + half - 1] < x3 ? half : 0;
+          len -= half;
+        }
+        b[0] = static_cast<std::uint16_t>(b0 + (e[b0] < x0 ? 1 : 0));
+        b[s] = static_cast<std::uint16_t>(b1 + (e[b1] < x1 ? 1 : 0));
+        b[2 * s] = static_cast<std::uint16_t>(b2 + (e[b2] < x2 ? 1 : 0));
+        b[3 * s] = static_cast<std::uint16_t>(b3 + (e[b3] < x3 ? 1 : 0));
+      }
+      for (; i < rend; ++i, b += s, v += s) {
+        *b = CountEdgesBelow(e, n, *v);
+      }
+    }
+  }
+}
+
+void FlatForest::AccumulateTreeQuantTier(std::size_t t,
+                                         const std::uint16_t* bins,
+                                         std::size_t rows, std::size_t cols,
+                                         std::span<double> out, double scale,
+                                         SimdTier tier) const {
+  GAUGUR_CHECK_MSG(quant_built_,
+                   "quantized descent before FinalizeQuantized");
+  GAUGUR_CHECK(out.size() == rows);
+  const std::int32_t root = roots_[t];
+  const std::int32_t levels = levels_[t];
+#if defined(GAUGUR_SIMD_X86)
+  if (tier >= SimdTier::kAvx2 && FitsInt32(rows, cols)) {
+    detail::AccumulateTreeQuantAvx2(qmeta_.data(), qchild_.data(),
+                                    value_.data(), root, levels, bins, rows,
+                                    cols, out.data(), scale);
+    return;
+  }
+#endif
+  AccumulateTreeQuantScalar(qmeta_.data(), qchild_.data(), value_.data(),
+                            root, levels, bins, rows, cols, out.data(),
+                            scale);
+}
+
+// --- Multi-core dispatch -------------------------------------------
+
+bool FlatForest::ParallelActive() {
+  const int forced = g_forced_parallel.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  static const bool enabled = [] {
+    const char* v = std::getenv("GAUGUR_KERNEL_THREADS");
+    if (v == nullptr) return true;
+    const std::string s(v);
+    return !(s == "1" || s == "0" || s == "off");
+  }();
+  return enabled;
+}
+
+void FlatForest::ForceParallel(std::optional<bool> on) {
+  if (!on.has_value()) {
+    g_forced_parallel.store(-1, std::memory_order_relaxed);
+    return;
+  }
+  g_forced_parallel.store(*on ? 1 : 0, std::memory_order_relaxed);
 }
 
 }  // namespace gaugur::ml

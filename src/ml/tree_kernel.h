@@ -46,6 +46,29 @@
 // and the contract the PredictionCache and obs::ModelMonitor depend on
 // (a memoized or audited value never depends on which kernel produced
 // it).
+//
+// On top of the float layout sit two independent accelerations, both
+// bound by the same bit-identicality contract (see docs/inference.md):
+//
+//  * a **quantized** descent (FinalizeQuantized): every distinct split
+//    threshold of feature f becomes a bin edge, a batch's feature
+//    values are binned once up front (uint16 bin ids), and each node
+//    shrinks to 8 bytes of per-level SoA int32 arrays —
+//    {feature, threshold-rank} packed in one word plus the child index
+//    in another — so a cache line holds 8 nodes instead of 4 and the
+//    AVX2 kernel descends 8 rows per vector with 32-bit gathers instead
+//    of 4 with 64-bit ones. Binning is exact by construction:
+//    thresholds ARE the bin edges, so `bin(x) > rank(t)` decides
+//    exactly like `x > t` (NaN bins to 0 and still descends left; leaf
+//    records carry rank 0xFFFF, which no bin id reaches, so their step
+//    still adds 0). Quantized results are therefore EXPECT_EQ-equal to
+//    the float kernels, not merely close;
+//  * a **multi-core** batch path (AccumulateBatchMt): trees fan out
+//    over common::ThreadPool workers, each tree's per-row contribution
+//    `scale * leaf` is staged in a scratch slab, and a deterministic
+//    tree-order reduction replays the exact addition sequence of the
+//    sequential loop — so results are bit-identical for every worker
+//    count (1, 2, N), and identical to the single-threaded path.
 #pragma once
 
 #include <cstdint>
@@ -55,6 +78,10 @@
 #include <vector>
 
 #include "ml/dataset.h"
+
+namespace gaugur::common {
+class ThreadPool;
+}
 
 namespace gaugur::ml {
 
@@ -131,9 +158,94 @@ class FlatForest {
                                SimdTier tier) const;
 
   /// Applies AccumulateTreeBatch for every tree in order: trees outer,
-  /// rows inner.
+  /// rows inner. Dispatches to the quantized descent when the forest is
+  /// finalized and quantization is active, and to the multi-core path
+  /// on large batches when parallel execution is active (both produce
+  /// bit-identical results, so neither dispatch is observable in the
+  /// outputs).
   void AccumulateBatch(MatrixView x, std::span<double> out,
                        double scale) const;
+
+  /// AccumulateBatch fanned out trees-outer over `pool` via
+  /// SubmitPinned. Each tree's per-row product `scale * leaf` is staged
+  /// in a scratch slab and reduced in tree order, replaying the exact
+  /// addition sequence of the sequential loop — results are
+  /// bit-identical to AccumulateBatch for every pool size. Falls back
+  /// to the sequential path when called from one of `pool`'s own
+  /// workers (a shard worker's decision batch must not re-enter its own
+  /// queue) or when the pool has a single worker.
+  void AccumulateBatchMt(MatrixView x, std::span<double> out, double scale,
+                         common::ThreadPool& pool) const;
+
+  // --- Quantized descent -------------------------------------------
+
+  /// Builds the quantized tables from the current trees: per-feature
+  /// sorted bin edges (the distinct split thresholds) plus the packed
+  /// per-level SoA node arrays. Idempotent; call after the last Add.
+  /// A forest the scheme cannot represent exactly (a feature with more
+  /// than 65534 distinct thresholds, or a feature index beyond 16 bits)
+  /// simply leaves QuantizedBuilt() false and every batch on the float
+  /// path. Compiled out (no-op) under GAUGUR_NO_QUANT.
+  void FinalizeQuantized();
+
+  /// True when FinalizeQuantized built exact tables for this forest.
+  bool QuantizedBuilt() const { return quant_built_; }
+
+  /// True when batch calls on this forest will take the quantized
+  /// descent: tables built and quantization active.
+  bool UsesQuantized() const { return quant_built_ && QuantizedActive(); }
+
+  /// Whether this build carries the quantized path at all
+  /// (false under -DGAUGUR_NO_QUANT=ON).
+  static bool QuantizedSupported();
+
+  /// Whether dispatch currently allows the quantized descent: the
+  /// ForceQuantized override when set, else the GAUGUR_QUANT
+  /// environment variable (`off`/`0`/`false` disables; default on,
+  /// read once). Always false when QuantizedSupported() is false.
+  static bool QuantizedActive();
+
+  /// Process-wide dispatch override for benches and tests;
+  /// std::nullopt restores automatic (env-driven) dispatch. Forcing
+  /// quantization on in a GAUGUR_NO_QUANT build throws. Thread-safe
+  /// (relaxed atomic); flipping it concurrently with in-flight batches
+  /// just makes those batches pick either path — results are
+  /// bit-identical regardless.
+  static void ForceQuantized(std::optional<bool> on);
+
+  /// Number of bin edges (distinct split thresholds) of feature `f`;
+  /// bin ids for that feature range over [0, NumBinEdges(f)].
+  /// Inspection hook for tests and docs tooling.
+  std::size_t NumBinEdges(std::size_t f) const;
+
+  /// The bin id the quantized descent compares for value `x` of
+  /// feature `f`: the count of edges strictly below `x` (NaN -> 0).
+  std::uint16_t BinValue(std::size_t f, double x) const;
+
+  /// Bins one row-major batch into `bins` (resized to rows * cols plus
+  /// two elements of gather-overread padding). Test/bench hook for the
+  /// exact front half of the quantized batch path.
+  void BinBatch(MatrixView x, std::vector<std::uint16_t>& bins) const;
+
+  /// Quantized counterpart of AccumulateTreeBatchTier over a pre-binned
+  /// batch; `tier` >= kAvx2 takes the 8-lane gather kernel, anything
+  /// lower the portable scalar one. Requires QuantizedBuilt().
+  void AccumulateTreeQuantTier(std::size_t t, const std::uint16_t* bins,
+                               std::size_t rows, std::size_t cols,
+                               std::span<double> out, double scale,
+                               SimdTier tier) const;
+
+  // --- Multi-core dispatch -----------------------------------------
+
+  /// Whether AccumulateBatch may fan large batches out over the global
+  /// pool: the ForceParallel override when set, else the
+  /// GAUGUR_KERNEL_THREADS environment variable (`1`/`off` disables;
+  /// default on, read once).
+  static bool ParallelActive();
+
+  /// Process-wide override of ParallelActive() for benches and tests;
+  /// std::nullopt restores automatic dispatch.
+  static void ForceParallel(std::optional<bool> on);
 
   /// Strongest tier this build + CPU can execute (compile-time
   /// GAUGUR_NO_SIMD gate, then CPUID).
@@ -164,6 +276,25 @@ class FlatForest {
   std::vector<std::int32_t> level_base_;
   std::vector<std::int32_t> level_index_;
   std::size_t max_feature_ = 0;
+
+  // Quantized tables (valid iff quant_built_; any Add invalidates).
+  // Per-feature sorted distinct split thresholds: bin(x) for feature f
+  // is the count of edges_[f] entries strictly below x.
+  std::vector<std::vector<double>> edges_;
+  /// The same edges flattened into one contiguous slab for the hot
+  /// BinBatch sweep: feature f's slice is
+  /// edge_flat_[edge_off_[f] .. edge_off_[f + 1]). One allocation keeps
+  /// every per-feature slice a pointer bump apart instead of a heap
+  /// object apart.
+  std::vector<double> edge_flat_;
+  std::vector<std::uint32_t> edge_off_;
+  /// SoA node words, parallel to nodes_ (same level-contiguous index
+  /// space): qmeta_[i] packs (feature << 16) | threshold_rank, with
+  /// rank 0xFFFF marking a leaf record; qchild_[i] is the left-child
+  /// index. 8 bytes per node -> 8 nodes per cache line.
+  std::vector<std::int32_t> qmeta_;
+  std::vector<std::int32_t> qchild_;
+  bool quant_built_ = false;
 };
 
 }  // namespace gaugur::ml

@@ -37,6 +37,19 @@ void AccumulateTreeAvx2(const FlatNode* nodes, const double* value,
                         const double* data, std::size_t rows,
                         std::size_t cols, double* out, double scale);
 
+/// Quantized descent over a pre-binned batch (uint16 bin ids, row-major,
+/// padded with two trailing elements for the 32-bit bin gather's 4-byte
+/// read). `meta[i]` packs (feature << 16) | threshold_rank and
+/// `child[i]` the left-child index — the 8-byte SoA layout built by
+/// FlatForest::FinalizeQuantized. Same exactness contract: results are
+/// bit-identical to the float kernels (binning snaps thresholds to
+/// their own edges, so every compare decides identically).
+void AccumulateTreeQuantAvx2(const std::int32_t* meta,
+                             const std::int32_t* child, const double* value,
+                             std::int32_t root, std::int32_t levels,
+                             const std::uint16_t* bins, std::size_t rows,
+                             std::size_t cols, double* out, double scale);
+
 #endif  // GAUGUR_SIMD_X86
 
 }  // namespace gaugur::ml::detail

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "gaugur/predictor.h"
+#include "ml/tree_kernel.h"
 #include "obs/model_monitor.h"
 #include "obs/switch.h"
 #include "sched/assignment.h"
@@ -235,6 +236,50 @@ TEST(BatchInferenceTest, BatchPolicyReproducesScalarFleetExactly) {
   EXPECT_EQ(scalar.violated_sessions, batch.violated_sessions);
   EXPECT_EQ(scalar.powerons, batch.powerons);
   EXPECT_DOUBLE_EQ(scalar.server_minutes, batch.server_minutes);
+}
+
+TEST(BatchInferenceTest, QuantizedTierReproducesFloatTierFleetExactly) {
+  if (!ml::FlatForest::QuantizedSupported()) {
+    GTEST_SKIP() << "built with GAUGUR_NO_QUANT";
+  }
+  struct Guard {
+    ~Guard() {
+      ml::FlatForest::ForceQuantized(std::nullopt);
+      ml::FlatForest::ForceParallel(std::nullopt);
+    }
+  } guard;
+  const auto& world = TestWorld::Get();
+  // The uncached predictor: a warm prediction cache would replay the
+  // first run's numbers and mask any kernel difference.
+  const auto method = MakeGAugurCmMethod(Trained().uncached);
+  const auto setup = SelectStudyGames(world.lab(), 6, kQos, 3);
+  const auto trace =
+      GenerateDynamicTrace(setup.game_ids, 150.0, 0.4, 25.0, 23);
+  const auto run = [&] {
+    return SimulateDynamicFleet(
+        world.lab(), trace,
+        MakeBatchFeasiblePolicy(
+            [&](std::span<const Colocation> candidates) {
+              return method->FeasibleBatch(kQos, candidates);
+            }));
+  };
+
+  ml::FlatForest::ForceQuantized(false);
+  const auto float_tier = run();
+
+  // Quantized, and quantized + multi-core: every variant must place
+  // every session on exactly the same server as the float kernels.
+  for (const bool parallel : {false, true}) {
+    SCOPED_TRACE(parallel ? "quantized+mt" : "quantized");
+    ml::FlatForest::ForceQuantized(true);
+    ml::FlatForest::ForceParallel(parallel);
+    const auto quant_tier = run();
+    EXPECT_EQ(float_tier.sessions, quant_tier.sessions);
+    EXPECT_EQ(float_tier.peak_servers, quant_tier.peak_servers);
+    EXPECT_EQ(float_tier.violated_sessions, quant_tier.violated_sessions);
+    EXPECT_EQ(float_tier.powerons, quant_tier.powerons);
+    EXPECT_DOUBLE_EQ(float_tier.server_minutes, quant_tier.server_minutes);
+  }
 }
 
 /// Delegates the scalar virtuals and inherits the base-class batch
